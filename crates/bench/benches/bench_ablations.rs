@@ -1,0 +1,108 @@
+//! Ablation benches for the design choices DESIGN.md calls out: the
+//! removal/replacement split (Fig 10's MTO_RM / MTO_RP / MTO_Both), the
+//! Theorem 5 extension, the criterion view, laziness, and the
+//! replacement-probability knob. Each variant reports both wall time and
+//! (via the returned stats) how much rewiring it accomplished.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mto_core::mto::{CriterionView, MtoConfig, MtoSampler, OverlayDegreeMode};
+use mto_core::walk::Walker;
+use mto_graph::NodeId;
+use mto_osn::{CachedClient, OsnService};
+
+fn run_variant(graph: &mto_graph::Graph, config: MtoConfig, steps: usize) -> u64 {
+    let service = OsnService::with_defaults(graph);
+    let mut sampler =
+        MtoSampler::new(CachedClient::new(service), NodeId(0), config).unwrap();
+    for _ in 0..steps {
+        sampler.step().unwrap();
+    }
+    sampler.stats().removals + sampler.stats().replacements
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/variants");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let graph = mto_bench::mini_epinions_graph(40);
+    let variants: Vec<(&str, MtoConfig)> = vec![
+        ("both", MtoConfig::default()),
+        ("removal-only", MtoConfig::removal_only()),
+        ("replacement-only", MtoConfig::replacement_only()),
+        ("with-extension", MtoConfig::with_extension()),
+        (
+            "overlay-view",
+            MtoConfig { criterion_view: CriterionView::Overlay, ..Default::default() },
+        ),
+        ("non-lazy", MtoConfig { lazy: false, ..Default::default() }),
+        ("plain-lazy-walk", MtoConfig { removal: false, replacement: false, ..Default::default() }),
+    ];
+
+    for (name, config) in variants {
+        group.bench_with_input(BenchmarkId::new("mto-2k-steps", name), &config, |b, cfg| {
+            b.iter(|| std::hint::black_box(run_variant(&graph, *cfg, 2_000)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_replace_prob(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/replace-prob");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    let graph = mto_bench::mini_epinions_graph(40);
+    for prob in [0.0f64, 0.25, 0.5, 1.0] {
+        let config = MtoConfig { replace_prob: prob, ..Default::default() };
+        group.bench_with_input(
+            BenchmarkId::new("mto-2k-steps", format!("p={prob}")),
+            &config,
+            |b, cfg| b.iter(|| std::hint::black_box(run_variant(&graph, *cfg, 2_000))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_weight_modes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/weight-modes");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    let graph = mto_bench::mini_epinions_graph(40);
+    let service = OsnService::with_defaults(&graph);
+    let mut sampler = MtoSampler::new(
+        CachedClient::new(service),
+        NodeId(0),
+        MtoConfig::default(),
+    )
+    .unwrap();
+    for _ in 0..3_000 {
+        sampler.step().unwrap();
+    }
+    let probe = sampler.current();
+
+    for (name, mode) in [
+        ("discovered", OverlayDegreeMode::Discovered),
+        ("exact-removal", OverlayDegreeMode::ExactRemoval),
+        ("sampled-4", OverlayDegreeMode::SampledRemoval(4)),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("overlay-degree-estimate", name),
+            &mode,
+            |b, &mode| {
+                b.iter(|| {
+                    std::hint::black_box(
+                        sampler.overlay_degree_estimate(probe, mode).unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants, bench_replace_prob, bench_weight_modes);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Bench for Fig 10: the latent-space mixing-time pipeline — graph
+//! sampling, SLEM via Jacobi, and the coverage walk + overlay evaluation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mto_core::mto::{MtoConfig, MtoSampler};
+use mto_core::walk::Walker;
+use mto_graph::algo::largest_component;
+use mto_graph::generators::{latent_space_graph, LatentSpaceModel};
+use mto_graph::NodeId;
+use mto_osn::{CachedClient, OsnService};
+use mto_spectral::MixingAnalysis;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig10");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    let model = LatentSpaceModel::paper_fig10();
+    let mut rng = StdRng::seed_from_u64(2);
+    let sample = latent_space_graph(&model, 60, &mut rng);
+    let (g, _) = largest_component(&sample.graph);
+
+    group.bench_function("sample-latent-space-n60", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            std::hint::black_box(latent_space_graph(&model, 60, &mut rng).graph.num_edges())
+        })
+    });
+
+    group.bench_function("slem-mixing-time-jacobi", |b| {
+        b.iter(|| std::hint::black_box(MixingAnalysis::new(&g, true).theoretical_mixing_time()))
+    });
+
+    group.bench_function("coverage-walk-plus-overlay-mixing", |b| {
+        b.iter(|| {
+            let service = OsnService::with_defaults(&g);
+            let mut sampler = MtoSampler::new(
+                CachedClient::new(service),
+                NodeId(0),
+                MtoConfig::default(),
+            )
+            .unwrap();
+            let mut seen = std::collections::HashSet::new();
+            seen.insert(NodeId(0));
+            let mut steps = 0;
+            while seen.len() < g.num_nodes() && steps < 200 * g.num_nodes() {
+                seen.insert(sampler.step().unwrap());
+                steps += 1;
+            }
+            let overlay = sampler.overlay().materialize(&g);
+            let (lcc, _) = largest_component(&overlay);
+            std::hint::black_box(MixingAnalysis::new(&lcc, true).theoretical_mixing_time())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Bench for Fig 11: the Google-Plus-like estimation pipeline at reduced
+//! scale — both the degree aggregate and the profile-attribute aggregate.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mto_core::estimate::Aggregate;
+use mto_experiments::driver::{run_converged, Algorithm, RunProtocol};
+use mto_graph::NodeId;
+use mto_osn::OsnService;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig11");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    let graph = mto_experiments::build_dataset(
+        &mto_experiments::DatasetSpec::google_plus().scaled_down(120),
+    );
+    let service = Arc::new(OsnService::with_defaults(&graph));
+    let protocol = RunProtocol {
+        geweke_threshold: 0.2,
+        max_burn_in_steps: 5_000,
+        sample_steps: 1_500,
+    };
+
+    for (label, aggregate) in [
+        ("avg-degree", Aggregate::AverageDegree),
+        ("avg-descr-len", Aggregate::AverageDescriptionLength),
+    ] {
+        for alg in [Algorithm::Srw, Algorithm::Mto] {
+            group.bench_with_input(
+                BenchmarkId::new(label, alg.label()),
+                &(alg, aggregate),
+                |b, &(alg, aggregate)| {
+                    b.iter(|| {
+                        let mut walker =
+                            alg.build(service.clone(), NodeId(0), 11).unwrap();
+                        let run = run_converged(
+                            walker.as_mut(),
+                            &service,
+                            aggregate,
+                            protocol,
+                        )
+                        .unwrap();
+                        std::hint::black_box(run.final_estimate())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

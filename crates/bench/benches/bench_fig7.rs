@@ -1,0 +1,52 @@
+//! Bench for Fig 7: one converged estimation run per algorithm on the
+//! reduced Epinions stand-in.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mto_core::estimate::Aggregate;
+use mto_experiments::driver::{run_converged, Algorithm, RunProtocol};
+use mto_graph::NodeId;
+use mto_osn::OsnService;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    let graph = mto_experiments::build_dataset(
+        &mto_experiments::DatasetSpec::epinions().scaled_down(40),
+    );
+    let service = Arc::new(OsnService::with_defaults(&graph));
+    let protocol = RunProtocol {
+        geweke_threshold: 0.2,
+        max_burn_in_steps: 5_000,
+        sample_steps: 1_000,
+    };
+
+    for alg in Algorithm::all() {
+        group.bench_with_input(
+            BenchmarkId::new("converged-run", alg.label()),
+            &alg,
+            |b, &alg| {
+                b.iter(|| {
+                    let mut walker =
+                        alg.build(service.clone(), NodeId(0), 7).expect("valid start");
+                    let run = run_converged(
+                        walker.as_mut(),
+                        &service,
+                        Aggregate::AverageDegree,
+                        protocol,
+                    )
+                    .expect("cannot fail");
+                    std::hint::black_box(run.total_cost)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

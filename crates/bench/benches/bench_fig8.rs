@@ -1,0 +1,70 @@
+//! Bench for Fig 8: the KL-divergence measurement kernel (visit counting
+//! plus symmetric KL) after a sampling run.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mto_core::diagnostics::kl::{symmetric_kl, VisitCounter, DEFAULT_SMOOTHING};
+use mto_core::estimate::Aggregate;
+use mto_experiments::driver::{run_converged, Algorithm, RunProtocol};
+use mto_graph::NodeId;
+use mto_osn::OsnService;
+use mto_spectral::stationary_distribution;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    let graph = mto_experiments::build_dataset(
+        &mto_experiments::DatasetSpec::epinions().scaled_down(40),
+    );
+    let service = Arc::new(OsnService::with_defaults(&graph));
+    let pi = stationary_distribution(&graph);
+
+    // Pre-run the walk once; bench the bias measurement separately from
+    // the sampling.
+    let mut walker = Algorithm::Srw.build(service.clone(), NodeId(0), 3).unwrap();
+    let run = run_converged(
+        walker.as_mut(),
+        &service,
+        Aggregate::AverageDegree,
+        RunProtocol { geweke_threshold: 0.2, max_burn_in_steps: 5_000, sample_steps: 4_000 },
+    )
+    .unwrap();
+
+    group.bench_function("kl-measurement-4000-samples", |b| {
+        b.iter(|| {
+            let mut counter = VisitCounter::new(pi.len());
+            for (s, _) in &run.samples {
+                counter.record(s.node);
+            }
+            let sampled = counter.distribution();
+            std::hint::black_box(symmetric_kl(&pi, &sampled, DEFAULT_SMOOTHING))
+        })
+    });
+
+    group.bench_function("srw-sampling-run", |b| {
+        b.iter(|| {
+            let mut walker = Algorithm::Srw.build(service.clone(), NodeId(0), 3).unwrap();
+            let run = run_converged(
+                walker.as_mut(),
+                &service,
+                Aggregate::AverageDegree,
+                RunProtocol {
+                    geweke_threshold: 0.3,
+                    max_burn_in_steps: 2_000,
+                    sample_steps: 2_000,
+                },
+            )
+            .unwrap();
+            std::hint::black_box(run.total_cost)
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

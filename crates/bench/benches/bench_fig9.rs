@@ -1,0 +1,51 @@
+//! Bench for Fig 9: one Geweke-threshold point of the sweep (burn-in to
+//! convergence at a given threshold).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mto_core::estimate::Aggregate;
+use mto_experiments::driver::{run_converged, Algorithm, RunProtocol};
+use mto_graph::NodeId;
+use mto_osn::OsnService;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    let graph = mto_experiments::build_dataset(
+        &mto_experiments::DatasetSpec::slashdot_b().scaled_down(60),
+    );
+    let service = Arc::new(OsnService::with_defaults(&graph));
+
+    for threshold in [0.1f64, 0.4, 0.8] {
+        group.bench_with_input(
+            BenchmarkId::new("geweke-threshold", format!("{threshold}")),
+            &threshold,
+            |b, &threshold| {
+                b.iter(|| {
+                    let mut walker =
+                        Algorithm::Mto.build(service.clone(), NodeId(0), 5).unwrap();
+                    let run = run_converged(
+                        walker.as_mut(),
+                        &service,
+                        Aggregate::AverageDegree,
+                        RunProtocol {
+                            geweke_threshold: threshold,
+                            max_burn_in_steps: 8_000,
+                            sample_steps: 500,
+                        },
+                    )
+                    .unwrap();
+                    std::hint::black_box(run.burn_in_cost)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,160 @@
+//! Micro-benchmarks of the hot kernels: walker steps, the removal
+//! criterion, common-neighbor intersection, overlay operations, and the
+//! spectral solvers.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mto_core::mto::{MtoConfig, MtoSampler};
+use mto_core::rewire::{removal_criterion, OverlayDelta};
+use mto_core::walk::{MetropolisHastingsWalk, MhrwConfig, SimpleRandomWalk, SrwConfig, Walker};
+use mto_graph::generators::paper_barbell;
+use mto_graph::{CsrGraph, NodeId};
+use mto_osn::{CachedClient, OsnService};
+use mto_spectral::jacobi::{jacobi_eigen, JacobiOptions};
+use mto_spectral::power::{slem_power_iteration, PowerIterationOptions};
+use mto_spectral::transition::symmetrized_transition;
+
+fn bench_walk_steps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/walk-steps");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.throughput(Throughput::Elements(1_000));
+
+    let graph = mto_bench::mini_epinions_graph(40);
+
+    group.bench_function("srw-1k-steps", |b| {
+        b.iter(|| {
+            let service = OsnService::with_defaults(&graph);
+            let mut w = SimpleRandomWalk::new(
+                CachedClient::new(service),
+                NodeId(0),
+                SrwConfig { seed: 1, lazy: false },
+            )
+            .unwrap();
+            for _ in 0..1_000 {
+                w.step().unwrap();
+            }
+            std::hint::black_box(w.current())
+        })
+    });
+
+    group.bench_function("mhrw-1k-steps", |b| {
+        b.iter(|| {
+            let service = OsnService::with_defaults(&graph);
+            let mut w = MetropolisHastingsWalk::new(
+                CachedClient::new(service),
+                NodeId(0),
+                MhrwConfig { seed: 1 },
+            )
+            .unwrap();
+            for _ in 0..1_000 {
+                w.step().unwrap();
+            }
+            std::hint::black_box(w.current())
+        })
+    });
+
+    group.bench_function("mto-1k-steps", |b| {
+        b.iter(|| {
+            let service = OsnService::with_defaults(&graph);
+            let mut w = MtoSampler::new(
+                CachedClient::new(service),
+                NodeId(0),
+                MtoConfig::default(),
+            )
+            .unwrap();
+            for _ in 0..1_000 {
+                w.step().unwrap();
+            }
+            std::hint::black_box(w.current())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/kernels");
+    group.sample_size(50);
+    group.measurement_time(Duration::from_secs(2));
+
+    let graph = mto_bench::mini_epinions_graph(40);
+
+    group.bench_function("removal-criterion-1k-calls", |b| {
+        b.iter(|| {
+            let mut fired = 0usize;
+            for i in 0..1_000usize {
+                if removal_criterion(i % 12, 3 + i % 9, 3 + (i * 7) % 11) {
+                    fired += 1;
+                }
+            }
+            std::hint::black_box(fired)
+        })
+    });
+
+    group.bench_function("common-neighbors-all-edges", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for e in graph.edges() {
+                total += graph.common_neighbor_count(e.small(), e.large());
+            }
+            std::hint::black_box(total)
+        })
+    });
+
+    group.bench_function("csr-freeze", |b| {
+        b.iter(|| std::hint::black_box(CsrGraph::from_graph(&graph).num_edges()))
+    });
+
+    group.bench_function("overlay-delta-1k-ops", |b| {
+        b.iter(|| {
+            let mut delta = OverlayDelta::new();
+            for i in 0..1_000u32 {
+                let (u, v) = (NodeId(i % 97), NodeId((i * 13 + 1) % 97));
+                if u == v {
+                    continue;
+                }
+                if i % 3 == 0 {
+                    delta.add_edge(u, v);
+                } else {
+                    delta.remove_edge(u, v);
+                }
+            }
+            std::hint::black_box(delta.num_removed() + delta.num_added())
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_spectral(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/spectral");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    let barbell = paper_barbell();
+
+    group.bench_function("jacobi-full-spectrum-n22", |b| {
+        let s = symmetrized_transition(&barbell);
+        b.iter(|| std::hint::black_box(jacobi_eigen(&s, JacobiOptions::default()).slem()))
+    });
+
+    let graph = mto_bench::mini_epinions_graph(40);
+    group.bench_function("power-iteration-slem-n650", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                slem_power_iteration(&graph, PowerIterationOptions::default()).slem,
+            )
+        })
+    });
+
+    group.bench_function("sweep-conductance-n650", |b| {
+        b.iter(|| std::hint::black_box(mto_spectral::conductance::sweep_conductance(&graph).0))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_walk_steps, bench_kernels, bench_spectral);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Bench for the §II–III running example: exact conductance of the
+//! barbell, Theorem-3 overlay materialization, and the full rewiring walk.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mto_core::mto::{MtoConfig, MtoSampler};
+use mto_core::walk::Walker;
+use mto_core::materialize_removal_overlay;
+use mto_graph::generators::paper_barbell;
+use mto_graph::NodeId;
+use mto_osn::{CachedClient, OsnService};
+use mto_spectral::conductance::exact_conductance;
+use mto_spectral::mixing::mixing_bound_log10_coefficient;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("running-example");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+
+    let g = paper_barbell();
+
+    group.bench_function("exact-conductance-barbell", |b| {
+        b.iter(|| std::hint::black_box(exact_conductance(&g).phi))
+    });
+
+    group.bench_function("materialize-removal-overlay", |b| {
+        b.iter(|| std::hint::black_box(materialize_removal_overlay(&g).num_edges()))
+    });
+
+    group.bench_function("mto-walk-2000-steps", |b| {
+        b.iter(|| {
+            let service = OsnService::with_defaults(&g);
+            let mut sampler = MtoSampler::new(
+                CachedClient::new(service),
+                NodeId(0),
+                MtoConfig::default(),
+            )
+            .expect("start exists");
+            for _ in 0..2000 {
+                sampler.step().expect("cannot fail");
+            }
+            std::hint::black_box(sampler.stats())
+        })
+    });
+
+    group.bench_function("full-pipeline-phi-and-bound", |b| {
+        b.iter(|| {
+            let overlay = materialize_removal_overlay(&g);
+            let phi = exact_conductance(&overlay).phi;
+            std::hint::black_box(mixing_bound_log10_coefficient(phi))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

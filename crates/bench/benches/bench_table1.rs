@@ -1,0 +1,40 @@
+//! Bench for Table I: dataset synthesis and effective-diameter
+//! measurement at reduced scale.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mto_experiments::{build_dataset, DatasetSpec};
+use mto_graph::algo::{effective_diameter, EffectiveDiameterOptions};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+
+    group.bench_function("build-epinions-1/20", |b| {
+        b.iter(|| {
+            let g = build_dataset(&DatasetSpec::epinions().scaled_down(20));
+            std::hint::black_box(g.num_edges())
+        })
+    });
+
+    let g = build_dataset(&DatasetSpec::slashdot_b().scaled_down(20));
+    group.bench_function("effective-diameter-96-sources", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            std::hint::black_box(effective_diameter(
+                &g,
+                EffectiveDiameterOptions { quantile: 0.9, num_sources: 96 },
+                &mut rng,
+            ))
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Bench for the Theorem 6 experiment: the Monte-Carlo removable-edge
+//! probability and the overlay materialization on latent-space graphs.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mto_core::materialize_removal_overlay;
+use mto_experiments::fig10::removal_probability_bound;
+use mto_graph::algo::largest_component;
+use mto_graph::generators::{latent_space_graph, LatentSpaceModel};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("theorem6");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(4));
+
+    let model = LatentSpaceModel::paper_fig10();
+
+    group.bench_function("monte-carlo-bound-20k-pairs", |b| {
+        b.iter(|| std::hint::black_box(removal_probability_bound(&model, 20_000, 1)))
+    });
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let sample = latent_space_graph(&model, 80, &mut rng);
+    let (g, _) = largest_component(&sample.graph);
+    group.bench_function("materialize-overlay-latent-n80", |b| {
+        b.iter(|| std::hint::black_box(materialize_removal_overlay(&g).num_edges()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

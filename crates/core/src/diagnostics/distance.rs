@@ -1,0 +1,128 @@
+//! Additional convergence distances from the sampling literature: total
+//! variation and Kolmogorov–Smirnov, both cited by the paper's Section I-B
+//! discussion of convergence measures ("degree distribution distance, KS
+//! distance and mean degree error").
+
+/// Total-variation distance `½ Σ |p_i − q_i|` between two distributions
+/// over the same support.
+///
+/// # Panics
+/// Panics on length mismatch or non-normalizable inputs.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let sp: f64 = p.iter().sum();
+    let sq: f64 = q.iter().sum();
+    assert!(sp > 0.0 && sq > 0.0, "distributions must have positive mass");
+    p.iter().zip(q).map(|(a, b)| (a / sp - b / sq).abs()).sum::<f64>() / 2.0
+}
+
+/// Kolmogorov–Smirnov distance between two *empirical samples* of scalar
+/// values (e.g. the degree sequences seen by two samplers):
+/// `sup_x |F_a(x) − F_b(x)|`.
+///
+/// # Panics
+/// Panics if either sample is empty or contains NaN.
+pub fn ks_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS distance needs nonempty samples");
+    let mut xa = a.to_vec();
+    let mut xb = b.to_vec();
+    xa.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    xb.sort_by(|x, y| x.partial_cmp(y).expect("NaN in sample"));
+    let (na, nb) = (xa.len() as f64, xb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d: f64 = 0.0;
+    while i < xa.len() && j < xb.len() {
+        let x = xa[i].min(xb[j]);
+        while i < xa.len() && xa[i] <= x {
+            i += 1;
+        }
+        while j < xb.len() && xb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Mean absolute error between the running mean of a series and a
+/// reference value — the "mean degree error" trace used to eyeball
+/// convergence (Fig 11a's flavor).
+pub fn running_mean_error(series: &[f64], reference: f64) -> Vec<f64> {
+    let mut out = Vec::with_capacity(series.len());
+    let mut sum = 0.0;
+    for (i, &x) in series.iter().enumerate() {
+        sum += x;
+        out.push((sum / (i + 1) as f64 - reference).abs());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_identical_is_zero() {
+        assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+    }
+
+    #[test]
+    fn tv_disjoint_is_one() {
+        assert!((total_variation(&[1.0, 0.0], &[0.0, 1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_normalizes_inputs() {
+        assert!((total_variation(&[2.0, 0.0], &[0.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_identical_samples() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(ks_distance(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn ks_disjoint_samples() {
+        let a = [1.0, 2.0];
+        let b = [10.0, 20.0];
+        assert!((ks_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_known_half_overlap() {
+        // F_a jumps at 1, 2; F_b at 2, 3. At x ∈ [1,2): F_a=0.5, F_b=0 → 0.5.
+        let a = [1.0, 2.0];
+        let b = [2.0, 3.0];
+        assert!((ks_distance(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ks_different_sizes() {
+        let a = [1.0, 1.0, 1.0, 5.0];
+        let b = [1.0, 5.0];
+        // F_a(1) = 0.75, F_b(1) = 0.5 → 0.25.
+        assert!((ks_distance(&a, &b) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn running_mean_error_converges_for_stationary_series() {
+        let series: Vec<f64> = (0..1000).map(|i| if i % 2 == 0 { 0.0 } else { 2.0 }).collect();
+        let errs = running_mean_error(&series, 1.0);
+        assert_eq!(errs.len(), 1000);
+        assert!(errs[999] < errs[0]);
+        assert!(errs[999] < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonempty")]
+    fn ks_rejects_empty() {
+        let _ = ks_distance(&[], &[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn tv_rejects_mismatch() {
+        let _ = total_variation(&[1.0], &[0.5, 0.5]);
+    }
+}

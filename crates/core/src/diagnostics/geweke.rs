@@ -1,0 +1,259 @@
+//! The Geweke convergence indicator (Section V-A.3, Eq. 14).
+//!
+//! Given the series of a node attribute `θ` along the walk (degree by
+//! default), form window `A` = first 10% and window `B` = last 50%; the
+//! statistic
+//!
+//! ```text
+//! Z = |θ̄_A − θ̄_B| / sqrt(S_A + S_B)
+//! ```
+//!
+//! tends to 0 as the walk converges. The paper declares convergence at
+//! `Z ≤ 0.1` by default and sweeps the threshold in Fig 9.
+
+/// Window fractions of the paper's Geweke variant.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GewekeConfig {
+    /// Leading fraction forming window A (paper: 0.1).
+    pub first_fraction: f64,
+    /// Trailing fraction forming window B (paper: 0.5).
+    pub last_fraction: f64,
+}
+
+impl Default for GewekeConfig {
+    fn default() -> Self {
+        GewekeConfig { first_fraction: 0.1, last_fraction: 0.5 }
+    }
+}
+
+/// Computes the Geweke Z statistic of a series, or `None` when either
+/// window would be empty or both windows are constant (zero variance with
+/// equal means ⇒ converged trivially; zero variance with distinct means ⇒
+/// `Some(f64::INFINITY)`).
+pub fn geweke_z(series: &[f64], config: GewekeConfig) -> Option<f64> {
+    assert!(
+        config.first_fraction > 0.0
+            && config.last_fraction > 0.0
+            && config.first_fraction + config.last_fraction <= 1.0,
+        "window fractions must be positive and sum to at most 1"
+    );
+    let n = series.len();
+    let a_len = (n as f64 * config.first_fraction).floor() as usize;
+    let b_len = (n as f64 * config.last_fraction).floor() as usize;
+    if a_len == 0 || b_len == 0 {
+        return None;
+    }
+    let a = &series[..a_len];
+    let b = &series[n - b_len..];
+    let (mean_a, var_a) = mean_and_variance(a);
+    let (mean_b, var_b) = mean_and_variance(b);
+    let denom = (var_a + var_b).sqrt();
+    let num = (mean_a - mean_b).abs();
+    if denom == 0.0 {
+        return Some(if num == 0.0 { 0.0 } else { f64::INFINITY });
+    }
+    Some(num / denom)
+}
+
+fn mean_and_variance(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+/// Whether the series passes the Geweke test at `threshold`.
+pub fn geweke_converged(series: &[f64], threshold: f64, config: GewekeConfig) -> bool {
+    matches!(geweke_z(series, config), Some(z) if z <= threshold)
+}
+
+/// Incremental convergence monitor: push attribute values step by step,
+/// poll for convergence every `check_interval` pushes. Used by the
+/// experiment drivers so a converged walk stops issuing queries.
+#[derive(Clone, Debug)]
+pub struct GewekeMonitor {
+    series: Vec<f64>,
+    threshold: f64,
+    config: GewekeConfig,
+    check_interval: usize,
+    min_samples: usize,
+    converged_at: Option<usize>,
+}
+
+impl GewekeMonitor {
+    /// Creates a monitor declaring convergence at `threshold`.
+    pub fn new(threshold: f64) -> Self {
+        GewekeMonitor {
+            series: Vec::new(),
+            threshold,
+            config: GewekeConfig::default(),
+            check_interval: 50,
+            min_samples: 100,
+            converged_at: None,
+        }
+    }
+
+    /// Overrides the minimum series length before convergence may fire.
+    pub fn with_min_samples(mut self, min: usize) -> Self {
+        self.min_samples = min;
+        self
+    }
+
+    /// Overrides how often the statistic is recomputed.
+    pub fn with_check_interval(mut self, every: usize) -> Self {
+        self.check_interval = every.max(1);
+        self
+    }
+
+    /// Feeds one observation; returns `true` once converged (latched).
+    pub fn push(&mut self, value: f64) -> bool {
+        self.series.push(value);
+        if self.converged_at.is_some() {
+            return true;
+        }
+        let n = self.series.len();
+        if n >= self.min_samples && n % self.check_interval == 0 {
+            if geweke_converged(&self.series, self.threshold, self.config) {
+                self.converged_at = Some(n);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The step index at which convergence latched, if it has.
+    pub fn converged_at(&self) -> Option<usize> {
+        self.converged_at
+    }
+
+    /// The attribute series accumulated so far.
+    pub fn series(&self) -> &[f64] {
+        &self.series
+    }
+
+    /// Current Z value (recomputed on demand).
+    pub fn current_z(&self) -> Option<f64> {
+        geweke_z(&self.series, self.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn stationary_series_converges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let series: Vec<f64> = (0..2000).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let z = geweke_z(&series, GewekeConfig::default()).unwrap();
+        assert!(z < 0.1, "iid series must look converged, z = {z}");
+    }
+
+    #[test]
+    fn drifting_series_does_not_converge() {
+        // Strong upward trend: window means differ by far more than the
+        // within-window spread.
+        let series: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let z = geweke_z(&series, GewekeConfig::default()).unwrap();
+        assert!(z > 1.0, "trending series must fail, z = {z}");
+    }
+
+    #[test]
+    fn burn_in_prefix_raises_z() {
+        // A walk stuck at value 100 for the first 10% then mixing around 0.
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut series = vec![100.0; 150];
+        series.extend((0..1350).map(|_| rng.gen_range(-1.0..1.0)));
+        let z = geweke_z(&series, GewekeConfig::default()).unwrap();
+        assert!(z > 0.5, "unforgotten initial state must be detected, z = {z}");
+    }
+
+    #[test]
+    fn constant_series_is_trivially_converged() {
+        let series = vec![3.0; 500];
+        assert_eq!(geweke_z(&series, GewekeConfig::default()), Some(0.0));
+        assert!(geweke_converged(&series, 0.01, GewekeConfig::default()));
+    }
+
+    #[test]
+    fn constant_but_different_windows_diverge() {
+        let mut series = vec![1.0; 100];
+        series.extend(vec![2.0; 900]);
+        assert_eq!(geweke_z(&series, GewekeConfig::default()), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn short_series_yields_none() {
+        assert_eq!(geweke_z(&[1.0, 2.0], GewekeConfig::default()), None);
+        assert_eq!(geweke_z(&[], GewekeConfig::default()), None);
+    }
+
+    #[test]
+    fn monitor_latches_on_convergence() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = GewekeMonitor::new(0.1).with_min_samples(200).with_check_interval(10);
+        let mut converged = false;
+        for _ in 0..2000 {
+            converged = m.push(rng.gen_range(0.0..1.0));
+            if converged {
+                break;
+            }
+        }
+        assert!(converged);
+        let at = m.converged_at().unwrap();
+        assert!(at >= 200, "must respect min_samples, got {at}");
+        // Latched: pushing garbage keeps it converged.
+        assert!(m.push(1e9));
+    }
+
+    #[test]
+    fn monitor_does_not_converge_on_trend() {
+        let mut m = GewekeMonitor::new(0.1).with_min_samples(100);
+        let mut converged = false;
+        for i in 0..3000 {
+            converged = m.push(i as f64);
+        }
+        assert!(!converged);
+        assert_eq!(m.converged_at(), None);
+        assert_eq!(m.series().len(), 3000);
+    }
+
+    #[test]
+    fn tighter_thresholds_need_longer_series() {
+        // AR(1)-ish correlated noise: loose threshold converges earlier.
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut x = 5.0f64;
+        let series: Vec<f64> = (0..20_000)
+            .map(|_| {
+                x = 0.99 * x + rng.gen_range(-1.0..1.0);
+                x
+            })
+            .collect();
+        let at = |threshold: f64| -> Option<usize> {
+            let mut m =
+                GewekeMonitor::new(threshold).with_min_samples(100).with_check_interval(20);
+            for &v in &series {
+                if m.push(v) {
+                    break;
+                }
+            }
+            m.converged_at()
+        };
+        let loose = at(0.8);
+        let tight = at(0.05);
+        assert!(loose.is_some());
+        match (loose, tight) {
+            (Some(l), Some(t)) => assert!(l <= t, "loose {l} vs tight {t}"),
+            (Some(_), None) => {} // tight never converged: also fine
+            _ => panic!("loose threshold must converge"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window fractions")]
+    fn rejects_overlapping_windows() {
+        let _ = geweke_z(&[1.0; 100], GewekeConfig { first_fraction: 0.6, last_fraction: 0.6 });
+    }
+}

@@ -1,0 +1,210 @@
+//! Sampling-bias measurement: the symmetric KL divergence of Section
+//! V-A.3.
+//!
+//! For small graphs the paper runs each sampler "for an extremely long
+//! time", estimates the empirical sampling distribution from visit counts,
+//! and reports `D_KL(P ‖ P_sam) + D_KL(P_sam ‖ P)` against the ideal
+//! distribution `P` (degree-proportional for SRW; for MTO the target is
+//! the same `P`, reached via importance reweighting).
+
+use mto_graph::NodeId;
+
+/// Visit-count accumulator over a known node universe.
+#[derive(Clone, Debug)]
+pub struct VisitCounter {
+    counts: Vec<u64>,
+    /// Optional per-visit weights (importance-corrected distribution).
+    weighted: Vec<f64>,
+    total: u64,
+    total_weight: f64,
+}
+
+impl VisitCounter {
+    /// Counter over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        VisitCounter {
+            counts: vec![0; n],
+            weighted: vec![0.0; n],
+            total: 0,
+            total_weight: 0.0,
+        }
+    }
+
+    /// Records a visit with unit weight.
+    pub fn record(&mut self, v: NodeId) {
+        self.record_weighted(v, 1.0);
+    }
+
+    /// Records a visit carrying an importance weight.
+    pub fn record_weighted(&mut self, v: NodeId, weight: f64) {
+        assert!(weight.is_finite() && weight >= 0.0, "bad weight {weight}");
+        self.counts[v.index()] += 1;
+        self.weighted[v.index()] += weight;
+        self.total += 1;
+        self.total_weight += weight;
+    }
+
+    /// Total visits recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Raw visit counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The empirical (unweighted) sampling distribution.
+    ///
+    /// # Panics
+    /// Panics when nothing was recorded.
+    pub fn distribution(&self) -> Vec<f64> {
+        assert!(self.total > 0, "empty visit counter has no distribution");
+        self.counts.iter().map(|&c| c as f64 / self.total as f64).collect()
+    }
+
+    /// The importance-weighted sampling distribution.
+    ///
+    /// # Panics
+    /// Panics when total weight is zero.
+    pub fn weighted_distribution(&self) -> Vec<f64> {
+        assert!(self.total_weight > 0.0, "zero-weight counter has no distribution");
+        self.weighted.iter().map(|&w| w / self.total_weight).collect()
+    }
+}
+
+/// `D_KL(p ‖ q)` with additive smoothing: both distributions are mixed
+/// with the uniform distribution at rate `smoothing` so empty cells (nodes
+/// the finite run never visited) stay finite. `smoothing = 0` is allowed
+/// when `q` has full support wherever `p` does.
+///
+/// # Panics
+/// Panics on length mismatch, negative entries, or non-normalizable input.
+pub fn kl_divergence(p: &[f64], q: &[f64], smoothing: f64) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    assert!(smoothing >= 0.0, "negative smoothing");
+    let n = p.len() as f64;
+    let norm = |xs: &[f64]| -> Vec<f64> {
+        let sum: f64 = xs.iter().sum();
+        assert!(sum > 0.0, "distribution sums to zero");
+        xs.iter()
+            .map(|&x| {
+                assert!(x >= 0.0, "negative probability {x}");
+                (x / sum) * (1.0 - smoothing) + smoothing / n
+            })
+            .collect()
+    };
+    let ps = norm(p);
+    let qs = norm(q);
+    let mut kl = 0.0;
+    for (pi, qi) in ps.iter().zip(&qs) {
+        if *pi > 0.0 {
+            assert!(*qi > 0.0, "q has a hole where p has mass; increase smoothing");
+            kl += pi * (pi / qi).ln();
+        }
+    }
+    kl.max(0.0) // guard tiny negative from rounding
+}
+
+/// The paper's bias measure: `D_KL(P‖P_sam) + D_KL(P_sam‖P)`.
+pub fn symmetric_kl(p: &[f64], q: &[f64], smoothing: f64) -> f64 {
+    kl_divergence(p, q, smoothing) + kl_divergence(q, p, smoothing)
+}
+
+/// Default smoothing used by the experiments (a tenth of a uniform cell).
+pub const DEFAULT_SMOOTHING: f64 = 1e-4;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions_have_zero_divergence() {
+        let p = vec![0.25, 0.25, 0.5];
+        assert_eq!(kl_divergence(&p, &p, 0.0), 0.0);
+        assert_eq!(symmetric_kl(&p, &p, 0.0), 0.0);
+    }
+
+    #[test]
+    fn known_value_two_point() {
+        // KL([1,0] || [0.5,0.5]) = ln 2.
+        let kl = kl_divergence(&[1.0, 0.0], &[0.5, 0.5], 0.0);
+        assert!((kl - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn divergence_is_positive_for_different_distributions() {
+        let p = vec![0.9, 0.1];
+        let q = vec![0.1, 0.9];
+        assert!(kl_divergence(&p, &q, 0.0) > 0.5);
+        let sym = symmetric_kl(&p, &q, 0.0);
+        assert!((sym - 2.0 * kl_divergence(&p, &q, 0.0)).abs() < 1e-12, "symmetric case");
+    }
+
+    #[test]
+    fn symmetric_kl_is_symmetric() {
+        let p = vec![0.7, 0.2, 0.1];
+        let q = vec![0.3, 0.3, 0.4];
+        assert!((symmetric_kl(&p, &q, 1e-6) - symmetric_kl(&q, &p, 1e-6)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smoothing_handles_missing_support() {
+        let p = vec![0.5, 0.5, 0.0];
+        let q = vec![0.0, 0.5, 0.5];
+        // Without smoothing this would panic; with it, finite.
+        let v = symmetric_kl(&p, &q, 1e-3);
+        assert!(v.is_finite() && v > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "hole")]
+    fn zero_smoothing_with_holes_panics() {
+        let _ = kl_divergence(&[1.0, 0.0], &[0.0, 1.0], 0.0);
+    }
+
+    #[test]
+    fn unnormalized_inputs_are_normalized() {
+        let p = vec![2.0, 2.0];
+        let q = vec![1.0, 1.0];
+        assert_eq!(kl_divergence(&p, &q, 0.0), 0.0);
+    }
+
+    #[test]
+    fn visit_counter_distribution() {
+        let mut c = VisitCounter::new(3);
+        c.record(NodeId(0));
+        c.record(NodeId(0));
+        c.record(NodeId(2));
+        assert_eq!(c.total(), 3);
+        let d = c.distribution();
+        assert!((d[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d[1], 0.0);
+        assert!((d[2] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_distribution_rebalances() {
+        let mut c = VisitCounter::new(2);
+        // Node 0 visited 9x with weight 1/9 (hub), node 1 once with 1.
+        for _ in 0..9 {
+            c.record_weighted(NodeId(0), 1.0 / 9.0);
+        }
+        c.record_weighted(NodeId(1), 1.0);
+        let d = c.weighted_distribution();
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty visit counter")]
+    fn empty_counter_panics() {
+        let _ = VisitCounter::new(2).distribution();
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = kl_divergence(&[1.0], &[0.5, 0.5], 0.0);
+    }
+}

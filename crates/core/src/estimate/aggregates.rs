@@ -1,0 +1,147 @@
+//! The aggregate functions the paper estimates.
+//!
+//! Fig 7 estimates the **average degree** of the local datasets; Fig 11
+//! adds the **average self-description length** on the Google-Plus-like
+//! network. [`Aggregate`] names the supported functions; `evaluate`
+//! computes `f(v)` from the cached query response, so evaluating an
+//! aggregate for a visited node never costs an extra query.
+
+use mto_osn::QueryResponse;
+
+/// An aggregate function over users.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Aggregate {
+    /// `f(v) = k_v` — average degree (Fig 7, Fig 11a/b).
+    AverageDegree,
+    /// `f(v) = len(self description)` (Fig 11c).
+    AverageDescriptionLength,
+    /// `f(v) = age`.
+    AverageAge,
+    /// `f(v) = num posts`.
+    AveragePosts,
+    /// `f(v) = 1[account is public]` — a proportion, and with known `|V|` a
+    /// COUNT.
+    PublicProportion,
+}
+
+impl Aggregate {
+    /// Evaluates the aggregate function on one query response.
+    pub fn evaluate(&self, response: &QueryResponse) -> f64 {
+        match self {
+            Aggregate::AverageDegree => response.neighbors.len() as f64,
+            Aggregate::AverageDescriptionLength => {
+                response.profile.self_description_len as f64
+            }
+            Aggregate::AverageAge => response.profile.age as f64,
+            Aggregate::AveragePosts => response.profile.num_posts as f64,
+            Aggregate::PublicProportion => {
+                if response.profile.is_public {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Aggregate::AverageDegree => "average degree",
+            Aggregate::AverageDescriptionLength => "average self-description length",
+            Aggregate::AverageAge => "average age",
+            Aggregate::AveragePosts => "average posts",
+            Aggregate::PublicProportion => "public-account proportion",
+        }
+    }
+
+    /// Ground truth over a full service (evaluation only).
+    pub fn ground_truth(&self, service: &mto_osn::OsnService) -> f64 {
+        let g = service.ground_truth();
+        let profiles = service.ground_truth_profiles();
+        let n = g.num_nodes() as f64;
+        match self {
+            Aggregate::AverageDegree => g.volume() as f64 / n,
+            Aggregate::AverageDescriptionLength => {
+                profiles.iter().map(|p| p.self_description_len as f64).sum::<f64>() / n
+            }
+            Aggregate::AverageAge => {
+                profiles.iter().map(|p| p.age as f64).sum::<f64>() / n
+            }
+            Aggregate::AveragePosts => {
+                profiles.iter().map(|p| p.num_posts as f64).sum::<f64>() / n
+            }
+            Aggregate::PublicProportion => {
+                profiles.iter().filter(|p| p.is_public).count() as f64 / n
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_graph::generators::paper_barbell;
+    use mto_graph::NodeId;
+    use mto_osn::{OsnService, SocialNetworkInterface, UserProfile};
+
+    fn response(deg: usize, profile: UserProfile) -> QueryResponse {
+        QueryResponse {
+            user: NodeId(0),
+            neighbors: (1..=deg as u32).map(NodeId).collect(),
+            profile,
+        }
+    }
+
+    fn profile() -> UserProfile {
+        UserProfile { age: 40, self_description_len: 120, num_posts: 7, is_public: false }
+    }
+
+    #[test]
+    fn evaluate_each_aggregate() {
+        let r = response(5, profile());
+        assert_eq!(Aggregate::AverageDegree.evaluate(&r), 5.0);
+        assert_eq!(Aggregate::AverageDescriptionLength.evaluate(&r), 120.0);
+        assert_eq!(Aggregate::AverageAge.evaluate(&r), 40.0);
+        assert_eq!(Aggregate::AveragePosts.evaluate(&r), 7.0);
+        assert_eq!(Aggregate::PublicProportion.evaluate(&r), 0.0);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels = [
+            Aggregate::AverageDegree.label(),
+            Aggregate::AverageDescriptionLength.label(),
+            Aggregate::AverageAge.label(),
+            Aggregate::AveragePosts.label(),
+            Aggregate::PublicProportion.label(),
+        ];
+        let unique: std::collections::HashSet<_> = labels.iter().collect();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn ground_truth_average_degree_matches_topology() {
+        let service = OsnService::with_defaults(&paper_barbell());
+        let truth = Aggregate::AverageDegree.ground_truth(&service);
+        assert!((truth - 222.0 / 22.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_truth_matches_manual_scan() {
+        let service = OsnService::with_defaults(&paper_barbell());
+        let by_scan: f64 = (0..22u32)
+            .map(|v| service.query(NodeId(v)).unwrap().profile.age as f64)
+            .sum::<f64>()
+            / 22.0;
+        let truth = Aggregate::AverageAge.ground_truth(&service);
+        assert!((truth - by_scan).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportion_is_within_unit_interval() {
+        let service = OsnService::with_defaults(&paper_barbell());
+        let p = Aggregate::PublicProportion.ground_truth(&service);
+        assert!((0.0..=1.0).contains(&p));
+    }
+}

@@ -1,0 +1,192 @@
+//! Self-normalized importance sampling (Section IV-A).
+//!
+//! Given samples `x_i` from a walk with stationary distribution `τ` and
+//! importance weights `w(x_i) ∝ π(x_i)/τ(x_i)` (for the uniform target
+//! `π`, `w ∝ 1/τ`), the aggregate estimate is
+//!
+//! ```text
+//! Â(f) = Σ f(x_i) w(x_i) / Σ w(x_i)
+//! ```
+//!
+//! Self-normalization means weights only need to be known up to a constant
+//! — exactly what the walkers provide (`1/k_v`, `1/k*_v`, or `1`).
+
+use crate::walk::walker::StepSample;
+
+/// A running importance-sampling estimator: feed `(value, weight)` pairs,
+/// read the estimate at any time. Constant memory, so million-step walks
+/// can track a running estimate per query budget.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ImportanceEstimator {
+    weighted_sum: f64,
+    weight_sum: f64,
+    count: u64,
+}
+
+impl ImportanceEstimator {
+    /// Fresh estimator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one observation.
+    ///
+    /// # Panics
+    /// Panics on non-finite or negative weights — these always indicate an
+    /// upstream bug, and silently absorbing them poisons the estimate.
+    pub fn push(&mut self, value: f64, weight: f64) {
+        assert!(
+            weight.is_finite() && weight >= 0.0,
+            "invalid importance weight {weight}"
+        );
+        assert!(value.is_finite(), "invalid sample value {value}");
+        self.weighted_sum += value * weight;
+        self.weight_sum += weight;
+        self.count += 1;
+    }
+
+    /// Feeds a recorded step sample.
+    pub fn push_sample(&mut self, s: &StepSample) {
+        self.push(s.value, s.weight);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The self-normalized estimate, or `None` before any mass arrived.
+    pub fn estimate(&self) -> Option<f64> {
+        (self.weight_sum > 0.0).then(|| self.weighted_sum / self.weight_sum)
+    }
+
+    /// Effective sample size `(Σw)² / Σw²` is not computable from the two
+    /// running sums alone; this returns the plain count. Kept for clarity
+    /// at call sites that want "how much data".
+    pub fn observations(&self) -> u64 {
+        self.count
+    }
+}
+
+/// One-shot estimate from a slice of samples.
+pub fn importance_estimate(samples: &[StepSample]) -> Option<f64> {
+    let mut est = ImportanceEstimator::new();
+    for s in samples {
+        est.push_sample(s);
+    }
+    est.estimate()
+}
+
+/// Estimate of a COUNT aggregate (`Σ_v 1[pred(v)]`) from uniform-target
+/// samples plus the provider-published total `|V|` — the paper notes COUNT
+/// and SUM become available exactly when `|V|` is public.
+pub fn count_estimate(samples: &[StepSample], total_users: usize) -> Option<f64> {
+    importance_estimate(samples).map(|mean| mean * total_users as f64)
+}
+
+/// Relative error `|estimate − truth| / |truth|`.
+///
+/// # Panics
+/// Panics when `truth == 0`; callers must use absolute error there.
+pub fn relative_error(estimate: f64, truth: f64) -> f64 {
+    assert!(truth != 0.0, "relative error undefined for zero ground truth");
+    (estimate - truth).abs() / truth.abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_graph::NodeId;
+
+    fn s(value: f64, weight: f64) -> StepSample {
+        StepSample { node: NodeId(0), value, weight }
+    }
+
+    #[test]
+    fn uniform_weights_reduce_to_plain_mean() {
+        let samples = vec![s(1.0, 1.0), s(2.0, 1.0), s(6.0, 1.0)];
+        assert!((importance_estimate(&samples).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_rebalance_biased_samples() {
+        // Two nodes with degrees 1 and 9; degree-proportional sampling sees
+        // the hub 9x as often. Values: hub=10, leaf=20; true mean = 15.
+        // Simulate the stationary visit pattern: 9 hub visits, 1 leaf.
+        let mut samples = Vec::new();
+        for _ in 0..9 {
+            samples.push(s(10.0, 1.0 / 9.0));
+        }
+        samples.push(s(20.0, 1.0 / 1.0));
+        let est = importance_estimate(&samples).unwrap();
+        assert!((est - 15.0).abs() < 1e-12, "got {est}");
+    }
+
+    #[test]
+    fn unweighted_estimate_of_same_data_is_biased() {
+        let mut samples = Vec::new();
+        for _ in 0..9 {
+            samples.push(s(10.0, 1.0));
+        }
+        samples.push(s(20.0, 1.0));
+        let biased = importance_estimate(&samples).unwrap();
+        assert!((biased - 11.0).abs() < 1e-12, "plain mean is degree-biased");
+    }
+
+    #[test]
+    fn running_estimator_matches_one_shot() {
+        let samples = vec![s(3.0, 0.5), s(7.0, 0.25), s(1.0, 2.0)];
+        let mut run = ImportanceEstimator::new();
+        for x in &samples {
+            run.push_sample(x);
+        }
+        assert_eq!(run.estimate(), importance_estimate(&samples));
+        assert_eq!(run.count(), 3);
+    }
+
+    #[test]
+    fn empty_input_yields_none() {
+        assert_eq!(importance_estimate(&[]), None);
+        assert_eq!(ImportanceEstimator::new().estimate(), None);
+    }
+
+    #[test]
+    fn zero_weights_only_yields_none() {
+        let samples = vec![s(5.0, 0.0)];
+        assert_eq!(importance_estimate(&samples), None);
+    }
+
+    #[test]
+    fn count_estimate_scales_by_population() {
+        // Indicator aggregate: 40% of uniform samples satisfy the predicate.
+        let samples: Vec<StepSample> =
+            (0..10).map(|i| s(if i < 4 { 1.0 } else { 0.0 }, 1.0)).collect();
+        let c = count_estimate(&samples, 1000).unwrap();
+        assert!((c - 400.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn relative_error_basic() {
+        assert!((relative_error(11.0, 10.0) - 0.1).abs() < 1e-12);
+        assert!((relative_error(9.0, 10.0) - 0.1).abs() < 1e-12);
+        assert_eq!(relative_error(10.0, 10.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid importance weight")]
+    fn rejects_negative_weight() {
+        ImportanceEstimator::new().push(1.0, -0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid importance weight")]
+    fn rejects_nan_weight() {
+        ImportanceEstimator::new().push(1.0, f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero ground truth")]
+    fn relative_error_rejects_zero_truth() {
+        let _ = relative_error(1.0, 0.0);
+    }
+}

@@ -1,0 +1,10 @@
+//! Aggregate estimation from walk samples: self-normalized importance
+//! sampling (Section IV-A) over the paper's aggregate functions.
+
+pub mod aggregates;
+pub mod importance;
+
+pub use aggregates::Aggregate;
+pub use importance::{
+    count_estimate, importance_estimate, relative_error, ImportanceEstimator,
+};

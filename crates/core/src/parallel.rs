@@ -1,0 +1,163 @@
+//! Parallel MTO walkers over a shared budget.
+//!
+//! The paper notes (Section VI) that MTO applies directly to the
+//! many-parallel-walks deployment of \[4\]: each walker rewires and walks
+//! independently, while sharing the local cache — so a neighborhood paid
+//! for by one walker is free for all. This module runs `k` samplers on
+//! `crossbeam` scoped threads against one [`SharedClient`].
+//!
+//! Design note: each walker keeps its *own* overlay. Sharing the overlay
+//! would also be sound (modifications are conductance-monotone regardless
+//! of who discovered them) but makes runs nondeterministic under
+//! scheduling; per-walker overlays keep every walker reproducible given
+//! its seed, and the caches — the expensive part — are still shared.
+
+use mto_graph::NodeId;
+use mto_osn::{CachedClient, QueryClient, Result, SharedClient, SocialNetworkInterface};
+
+use crate::mto::{MtoConfig, MtoSampler, RewireStats};
+use crate::walk::walker::Walker;
+
+/// Outcome of one parallel walker.
+#[derive(Clone, Debug)]
+pub struct ParallelWalkResult {
+    /// Index of the walker.
+    pub walker_id: usize,
+    /// Start node.
+    pub start: NodeId,
+    /// Visited positions (seed node first).
+    pub history: Vec<NodeId>,
+    /// Rewiring counters.
+    pub stats: RewireStats,
+}
+
+/// Runs `starts.len()` MTO samplers for `steps` steps each, sharing one
+/// cache/budget. Walker `i` uses `config.seed + i` so results are
+/// reproducible yet decorrelated.
+///
+/// Returns per-walker results ordered by walker index, plus the total
+/// unique-query cost.
+pub fn run_parallel_mto<I>(
+    interface: I,
+    starts: &[NodeId],
+    steps: usize,
+    config: MtoConfig,
+) -> Result<(Vec<ParallelWalkResult>, u64)>
+where
+    I: SocialNetworkInterface + Send + Sync,
+{
+    let shared = SharedClient::new(CachedClient::new(interface));
+    let mut results: Vec<Option<ParallelWalkResult>> = Vec::new();
+    results.resize_with(starts.len(), || None);
+
+    crossbeam::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &start) in starts.iter().enumerate() {
+            let client = shared.clone();
+            let cfg = MtoConfig { seed: config.seed.wrapping_add(i as u64), ..config };
+            handles.push((
+                i,
+                scope.spawn(move |_| -> Result<ParallelWalkResult> {
+                    let mut sampler = MtoSampler::new(client, start, cfg)?;
+                    for _ in 0..steps {
+                        sampler.step()?;
+                    }
+                    Ok(ParallelWalkResult {
+                        walker_id: i,
+                        start,
+                        history: sampler.history().to_vec(),
+                        stats: sampler.stats(),
+                    })
+                }),
+            ));
+        }
+        for (i, h) in handles {
+            let res = h.join().expect("walker thread panicked");
+            results[i] = Some(res?);
+        }
+        Ok::<(), mto_osn::OsnError>(())
+    })
+    .expect("crossbeam scope panicked")?;
+
+    let cost = shared.unique_queries();
+    Ok((
+        results.into_iter().map(|r| r.expect("all walkers joined")).collect(),
+        cost,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_graph::generators::paper_barbell;
+    use mto_osn::OsnService;
+
+    #[test]
+    fn parallel_walkers_share_the_cache() {
+        let g = paper_barbell();
+        let service = OsnService::with_defaults(&g);
+        let starts: Vec<NodeId> = (0..4u32).map(NodeId).collect();
+        let (results, cost) =
+            run_parallel_mto(service, &starts, 300, MtoConfig::default()).unwrap();
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert_eq!(r.history.len(), 301);
+        }
+        // 4 walkers × 300 steps would cost far more than 22 without cache
+        // sharing; with it, the budget is capped by the node count.
+        assert!(cost <= 22, "shared cache must bound cost at |V|, got {cost}");
+    }
+
+    #[test]
+    fn walkers_have_decorrelated_seeds() {
+        let g = paper_barbell();
+        let service = OsnService::with_defaults(&g);
+        let starts = vec![NodeId(0), NodeId(0)];
+        let (results, _) =
+            run_parallel_mto(service, &starts, 200, MtoConfig::default()).unwrap();
+        assert_ne!(
+            results[0].history, results[1].history,
+            "same start, different seeds → different paths"
+        );
+    }
+
+    #[test]
+    fn each_walker_performs_rewiring() {
+        let g = paper_barbell();
+        let service = OsnService::with_defaults(&g);
+        let starts: Vec<NodeId> = vec![NodeId(0), NodeId(11)];
+        let (results, _) =
+            run_parallel_mto(service, &starts, 1000, MtoConfig::default()).unwrap();
+        for r in &results {
+            assert!(r.stats.removals > 0, "walker {} removed nothing", r.walker_id);
+        }
+    }
+
+    #[test]
+    fn parallel_run_covers_both_cliques_faster() {
+        // Two walkers seeded in opposite cliques cover the graph even when
+        // single-walker runs of the same length might not cross the bridge.
+        let g = paper_barbell();
+        let service = OsnService::with_defaults(&g);
+        let starts = vec![NodeId(1), NodeId(12)];
+        let (results, _) =
+            run_parallel_mto(service, &starts, 1500, MtoConfig::default()).unwrap();
+        let mut seen = std::collections::HashSet::new();
+        for r in &results {
+            seen.extend(r.history.iter().copied());
+        }
+        let clique_a = seen.iter().filter(|v| v.index() < 11).count();
+        let clique_b = seen.iter().filter(|v| v.index() >= 11).count();
+        assert!(clique_a > 5 && clique_b > 5, "A: {clique_a}, B: {clique_b}");
+    }
+
+    #[test]
+    fn empty_start_list_is_a_noop() {
+        let g = paper_barbell();
+        let service = OsnService::with_defaults(&g);
+        let (results, cost) =
+            run_parallel_mto(service, &[], 100, MtoConfig::default()).unwrap();
+        assert!(results.is_empty());
+        assert_eq!(cost, 0);
+    }
+}

@@ -1,0 +1,279 @@
+//! The overlay delta: the virtual topology the MTO walk actually follows.
+//!
+//! The third party cannot touch the real graph; it maintains a *delta* —
+//! removed and added edges — and derives the overlay neighborhood
+//! `N*(v)` on demand from the cached interface response. Materializing the
+//! full overlay graph `G*` (for spectral evaluation, Fig 10) replays the
+//! delta onto the base topology.
+
+use std::collections::{BTreeSet, HashMap};
+
+use mto_graph::{Edge, Graph, NodeId};
+
+/// Removed/added edge sets with per-endpoint indexes.
+#[derive(Clone, Debug, Default)]
+pub struct OverlayDelta {
+    removed: BTreeSet<Edge>,
+    added: BTreeSet<Edge>,
+    removed_at: HashMap<NodeId, BTreeSet<NodeId>>,
+    added_at: HashMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl OverlayDelta {
+    /// Empty delta: the overlay equals the base graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Removes an edge from the overlay. Removing an edge that the delta
+    /// previously *added* cancels the addition instead.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) {
+        let e = Edge::new(u, v);
+        if self.added.remove(&e) {
+            detach(&mut self.added_at, u, v);
+        } else if self.removed.insert(e) {
+            attach(&mut self.removed_at, u, v);
+        }
+    }
+
+    /// Adds an edge to the overlay. Adding an edge the delta previously
+    /// *removed* cancels the removal instead.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        let e = Edge::new(u, v);
+        if self.removed.remove(&e) {
+            detach(&mut self.removed_at, u, v);
+        } else if self.added.insert(e) {
+            attach(&mut self.added_at, u, v);
+        }
+    }
+
+    /// Whether the delta marks `(u, v)` removed.
+    pub fn is_removed(&self, u: NodeId, v: NodeId) -> bool {
+        self.removed.contains(&Edge::new(u, v))
+    }
+
+    /// Whether the delta marks `(u, v)` added.
+    pub fn is_added(&self, u: NodeId, v: NodeId) -> bool {
+        self.added.contains(&Edge::new(u, v))
+    }
+
+    /// Whether the overlay contains `(u, v)` given that the base graph
+    /// does (`base_has`).
+    pub fn has_edge(&self, base_has: bool, u: NodeId, v: NodeId) -> bool {
+        if base_has {
+            !self.is_removed(u, v)
+        } else {
+            self.is_added(u, v)
+        }
+    }
+
+    /// Number of removed edges.
+    pub fn num_removed(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Number of added edges.
+    pub fn num_added(&self) -> usize {
+        self.added.len()
+    }
+
+    /// Removed edges, canonical order.
+    pub fn removed_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.removed.iter().copied()
+    }
+
+    /// Added edges, canonical order.
+    pub fn added_edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.added.iter().copied()
+    }
+
+    /// Overlay neighborhood `N*(v)`: the base neighborhood minus removed
+    /// plus added, sorted.
+    pub fn adjust_neighbors(&self, v: NodeId, base: &[NodeId]) -> Vec<NodeId> {
+        let removed = self.removed_at.get(&v);
+        let added = self.added_at.get(&v);
+        if removed.is_none() && added.is_none() {
+            return base.to_vec();
+        }
+        let mut out: Vec<NodeId> = base
+            .iter()
+            .copied()
+            .filter(|&u| removed.is_none_or(|r| !r.contains(&u)))
+            .collect();
+        if let Some(add) = added {
+            for &u in add {
+                if let Err(pos) = out.binary_search(&u) {
+                    out.insert(pos, u);
+                }
+            }
+        }
+        out
+    }
+
+    /// Overlay degree `k*_v` given the base degree.
+    pub fn adjust_degree(&self, v: NodeId, base_degree: usize) -> usize {
+        let removed = self.removed_at.get(&v).map_or(0, BTreeSet::len);
+        let added = self.added_at.get(&v).map_or(0, BTreeSet::len);
+        base_degree + added - removed
+    }
+
+    /// Materializes the overlay graph `G* = (V, (E \ removed) ∪ added)`.
+    ///
+    /// # Panics
+    /// Panics if the delta is inconsistent with the base graph (removing an
+    /// absent edge or adding a present one) — which indicates the delta was
+    /// built against a different topology.
+    pub fn materialize(&self, base: &Graph) -> Graph {
+        let mut g = base.clone();
+        for e in &self.removed {
+            g.remove_edge(e.small(), e.large())
+                .expect("removed edge must exist in the base graph");
+        }
+        for e in &self.added {
+            g.add_edge(e.small(), e.large())
+                .expect("added edge must be absent from the base graph");
+        }
+        g
+    }
+}
+
+fn attach(index: &mut HashMap<NodeId, BTreeSet<NodeId>>, u: NodeId, v: NodeId) {
+    index.entry(u).or_default().insert(v);
+    index.entry(v).or_default().insert(u);
+}
+
+fn detach(index: &mut HashMap<NodeId, BTreeSet<NodeId>>, u: NodeId, v: NodeId) {
+    if let Some(s) = index.get_mut(&u) {
+        s.remove(&v);
+    }
+    if let Some(s) = index.get_mut(&v) {
+        s.remove(&u);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_graph::generators::paper_barbell;
+
+    fn ids(raw: &[u32]) -> Vec<NodeId> {
+        raw.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let d = OverlayDelta::new();
+        let base = ids(&[1, 2, 3]);
+        assert_eq!(d.adjust_neighbors(NodeId(0), &base), base);
+        assert_eq!(d.adjust_degree(NodeId(0), 3), 3);
+        assert_eq!(d.num_removed() + d.num_added(), 0);
+    }
+
+    #[test]
+    fn removal_hides_neighbors() {
+        let mut d = OverlayDelta::new();
+        d.remove_edge(NodeId(0), NodeId(2));
+        assert!(d.is_removed(NodeId(2), NodeId(0)), "orientation-free");
+        assert_eq!(d.adjust_neighbors(NodeId(0), &ids(&[1, 2, 3])), ids(&[1, 3]));
+        assert_eq!(d.adjust_neighbors(NodeId(2), &ids(&[0, 5])), ids(&[5]));
+        assert_eq!(d.adjust_degree(NodeId(0), 3), 2);
+    }
+
+    #[test]
+    fn addition_inserts_sorted() {
+        let mut d = OverlayDelta::new();
+        d.add_edge(NodeId(0), NodeId(4));
+        d.add_edge(NodeId(0), NodeId(2));
+        assert_eq!(
+            d.adjust_neighbors(NodeId(0), &ids(&[1, 3])),
+            ids(&[1, 2, 3, 4])
+        );
+        assert_eq!(d.adjust_degree(NodeId(0), 2), 4);
+    }
+
+    #[test]
+    fn add_then_remove_cancels() {
+        let mut d = OverlayDelta::new();
+        d.add_edge(NodeId(0), NodeId(9));
+        d.remove_edge(NodeId(9), NodeId(0));
+        assert_eq!(d.num_added(), 0);
+        assert_eq!(d.num_removed(), 0);
+        assert_eq!(d.adjust_neighbors(NodeId(0), &ids(&[1])), ids(&[1]));
+    }
+
+    #[test]
+    fn remove_then_add_cancels() {
+        let mut d = OverlayDelta::new();
+        d.remove_edge(NodeId(0), NodeId(1));
+        d.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(d.num_removed(), 0);
+        assert_eq!(d.num_added(), 0);
+        assert_eq!(d.adjust_neighbors(NodeId(0), &ids(&[1, 2])), ids(&[1, 2]));
+    }
+
+    #[test]
+    fn double_removal_is_idempotent() {
+        let mut d = OverlayDelta::new();
+        d.remove_edge(NodeId(0), NodeId(1));
+        d.remove_edge(NodeId(0), NodeId(1));
+        assert_eq!(d.num_removed(), 1);
+        d.add_edge(NodeId(0), NodeId(1));
+        assert_eq!(d.num_removed(), 0, "one addition cancels the single record");
+    }
+
+    #[test]
+    fn has_edge_combines_base_and_delta() {
+        let mut d = OverlayDelta::new();
+        d.remove_edge(NodeId(0), NodeId(1));
+        d.add_edge(NodeId(0), NodeId(5));
+        assert!(!d.has_edge(true, NodeId(0), NodeId(1)), "removed");
+        assert!(d.has_edge(true, NodeId(0), NodeId(2)), "untouched");
+        assert!(d.has_edge(false, NodeId(0), NodeId(5)), "added");
+        assert!(!d.has_edge(false, NodeId(0), NodeId(7)), "never existed");
+    }
+
+    #[test]
+    fn replacement_pattern_updates_three_nodes() {
+        // Replacement e_uv → e_uw: remove (u,v), add (u,w).
+        let (u, v, w) = (NodeId(1), NodeId(5), NodeId(7));
+        let mut d = OverlayDelta::new();
+        d.remove_edge(u, v);
+        d.add_edge(u, w);
+        assert_eq!(d.adjust_degree(u, 3), 3, "u keeps its degree");
+        assert_eq!(d.adjust_degree(v, 3), 2, "pivot loses one");
+        assert_eq!(d.adjust_degree(w, 4), 5, "target gains one");
+    }
+
+    #[test]
+    fn materialize_applies_delta() {
+        let g = paper_barbell();
+        let mut d = OverlayDelta::new();
+        d.remove_edge(NodeId(1), NodeId(2));
+        d.add_edge(NodeId(1), NodeId(12));
+        let overlay = d.materialize(&g);
+        assert_eq!(overlay.num_edges(), g.num_edges());
+        assert!(!overlay.has_edge(NodeId(1), NodeId(2)));
+        assert!(overlay.has_edge(NodeId(1), NodeId(12)));
+        overlay.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "must exist in the base graph")]
+    fn materialize_rejects_foreign_delta() {
+        let g = paper_barbell();
+        let mut d = OverlayDelta::new();
+        d.remove_edge(NodeId(0), NodeId(21)); // not an edge of the barbell
+        let _ = d.materialize(&g);
+    }
+
+    #[test]
+    fn edge_iterators_are_canonical() {
+        let mut d = OverlayDelta::new();
+        d.remove_edge(NodeId(9), NodeId(2));
+        d.add_edge(NodeId(7), NodeId(3));
+        let removed: Vec<Edge> = d.removed_edges().collect();
+        let added: Vec<Edge> = d.added_edges().collect();
+        assert_eq!(removed, vec![Edge::new(NodeId(2), NodeId(9))]);
+        assert_eq!(added, vec![Edge::new(NodeId(3), NodeId(7))]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Deterministic identification of non-cross-cutting edges: the removal
+//! criteria of Theorem 3 and its Theorem 5 extension.
+//!
+//! Theorem 3 (Edge Removal Criteria): for `e_uv ∈ E`, if
+//!
+//! ```text
+//! ⌈|N(u) ∩ N(v)| / 2⌉ + 1  >  max(k_u, k_v) / 2
+//! ```
+//!
+//! then `e_uv` is not a cross-cutting edge and removing it from the overlay
+//! cannot decrease — and typically increases — the conductance. The
+//! criterion is *tight* (Corollary 1): whenever it fails, a graph exists in
+//! which the edge is cross-cutting.
+//!
+//! Theorem 5 adds free knowledge from the walker's history: with
+//! `N* = {w ∈ N(u) ∩ N(v) : k_w known, 2 ≤ k_w ≤ 3}`,
+//!
+//! ```text
+//! ⌈(|N(u) ∩ N(v)| − |N*|) / 2⌉ + 1 + ½ Σ_{w∈N*} (4 − k_w)  >  max(k_u, k_v) / 2
+//! ```
+//!
+//! All comparisons are done in integers (multiplied by 2) so no floating
+//! point is involved.
+
+/// Theorem 3 criterion from raw counts.
+///
+/// `common` is `|N(u) ∩ N(v)|`; `ku`, `kv` the endpoint degrees. Returns
+/// `true` when the edge is provably non-cross-cutting.
+#[inline]
+pub fn removal_criterion(common: usize, ku: usize, kv: usize) -> bool {
+    // ⌈c/2⌉ + 1 > max/2  ⟺  2⌈c/2⌉ + 2 > max (all integers).
+    2 * (common.div_ceil(2) + 1) > ku.max(kv)
+}
+
+/// Theorem 5 criterion from raw counts plus the known degrees of common
+/// neighbors in `N*`.
+///
+/// `nstar_degrees` must contain only degrees in `{2, 3}` of *distinct*
+/// common neighbors; `common` counts the full intersection including them.
+///
+/// # Panics
+/// Panics if any `N*` degree is outside `{2, 3}` or `N*` is larger than
+/// the intersection.
+#[inline]
+pub fn removal_criterion_extended(
+    common: usize,
+    nstar_degrees: &[usize],
+    ku: usize,
+    kv: usize,
+) -> bool {
+    let s = nstar_degrees.len();
+    assert!(s <= common, "N* ⊆ N(u)∩N(v) requires |N*| <= common");
+    let mut bonus = 0usize;
+    for &kw in nstar_degrees {
+        assert!((2..=3).contains(&kw), "N* degrees must be 2 or 3, got {kw}");
+        bonus += 4 - kw;
+    }
+    // ⌈(c−s)/2⌉ + 1 + ½·bonus > max/2 ⟺ 2⌈(c−s)/2⌉ + 2 + bonus > max.
+    2 * ((common - s).div_ceil(2) + 1) + bonus > ku.max(kv)
+}
+
+/// Evaluates Theorem 3 directly on neighbor lists (both sorted). Intended
+/// for callers holding raw interface responses.
+pub fn is_removable_from_neighborhoods(
+    nu: &[mto_graph::NodeId],
+    nv: &[mto_graph::NodeId],
+) -> bool {
+    let common = sorted_intersection_count(nu, nv);
+    removal_criterion(common, nu.len(), nv.len())
+}
+
+/// Theorem 5 with the *optimal choice of `N*`*: given `common` total
+/// intersections of which `s2` have known degree 2 and `s3` known degree
+/// 3, returns whether any admissible subset of `N*` certifies removal.
+///
+/// Including a degree-2 neighbor never hurts (bonus 2 vs a ceiling loss of
+/// at most 2), so all are included. Including degree-3 neighbors swings the
+/// parity of the ceiling term: adding two is always neutral, so only
+/// `t ∈ {0, 1}` need be tried.
+pub fn best_extended_criterion(
+    common: usize,
+    s2: usize,
+    s3: usize,
+    ku: usize,
+    kv: usize,
+) -> bool {
+    assert!(s2 + s3 <= common, "N* candidates exceed the intersection");
+    let mut nstar = vec![2usize; s2];
+    for t3 in 0..=s3.min(1) {
+        nstar.resize(s2 + t3, 3);
+        if removal_criterion_extended(common, &nstar, ku, kv) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Theorem 5 on neighbor lists plus a degree oracle (the walker's local
+/// history); `degree_of` must return `None` for unknown nodes, and is only
+/// consulted for common neighbors. Uses [`best_extended_criterion`] so the
+/// extension can only strengthen Theorem 3.
+pub fn is_removable_with_history(
+    nu: &[mto_graph::NodeId],
+    nv: &[mto_graph::NodeId],
+    mut degree_of: impl FnMut(mto_graph::NodeId) -> Option<usize>,
+) -> bool {
+    let mut common = 0usize;
+    let mut s2 = 0usize;
+    let mut s3 = 0usize;
+    let (mut i, mut j) = (0, 0);
+    while i < nu.len() && j < nv.len() {
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                common += 1;
+                match degree_of(nu[i]) {
+                    Some(2) => s2 += 1,
+                    Some(3) => s3 += 1,
+                    _ => {}
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    best_extended_criterion(common, s2, s3, nu.len(), nv.len())
+}
+
+fn sorted_intersection_count(a: &[mto_graph::NodeId], b: &[mto_graph::NodeId]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_graph::generators::paper_barbell;
+    use mto_graph::NodeId;
+
+    #[test]
+    fn barbell_intra_clique_edges_are_removable() {
+        // Two non-bridge clique nodes: k=10 each, 9 common neighbors.
+        assert!(removal_criterion(9, 10, 10));
+        // Bridge endpoint to clique node: k=11 vs 10, still 9 common.
+        assert!(removal_criterion(9, 11, 10));
+    }
+
+    #[test]
+    fn barbell_bridge_is_not_removable() {
+        // The bridge endpoints share no neighbors.
+        assert!(!removal_criterion(0, 11, 11));
+    }
+
+    #[test]
+    fn criterion_boundary_is_strict() {
+        // ⌈4/2⌉+1 = 3 vs max/2 = 3: not strictly greater → not removable.
+        assert!(!removal_criterion(4, 6, 6));
+        // One more common neighbor tips it: ⌈5/2⌉+1 = 4 > 3.
+        assert!(removal_criterion(5, 6, 6));
+        // Or one less degree: ⌈4/2⌉+1 = 3 > 5/2.
+        assert!(removal_criterion(4, 5, 5));
+    }
+
+    #[test]
+    fn triangle_edges_are_removable() {
+        // K3: common=1, k=2: ⌈1/2⌉+1 = 2 > 1. A triangle never carries the
+        // only connection between communities once its third vertex exists.
+        assert!(removal_criterion(1, 2, 2));
+    }
+
+    #[test]
+    fn pendant_edges_are_not_removable() {
+        assert!(!removal_criterion(0, 1, 5));
+        assert!(!removal_criterion(0, 2, 2));
+    }
+
+    #[test]
+    fn isolated_edge_is_the_degenerate_case() {
+        // For k_u = k_v = 1 (an isolated K2 component) the paper's formula
+        // literally fires: ⌈0/2⌉ + 1 = 1 > 1/2. The theorem's "drag u
+        // across" proof produces an empty side there, so the sampler
+        // guards this with its minimum-overlay-degree check rather than
+        // bending the published criterion.
+        assert!(removal_criterion(0, 1, 1));
+    }
+
+    #[test]
+    fn asymmetric_degrees_use_the_max() {
+        // common=3: lhs = 2(2+1) = 6; removable iff max degree < 6.
+        assert!(removal_criterion(3, 5, 3));
+        assert!(!removal_criterion(3, 6, 3));
+    }
+
+    #[test]
+    fn extended_reduces_to_theorem3_without_history() {
+        for common in 0..8 {
+            for ku in 1..10 {
+                for kv in 1..10 {
+                    assert_eq!(
+                        removal_criterion_extended(common, &[], ku, kv),
+                        removal_criterion(common, ku, kv),
+                        "mismatch at c={common}, ku={ku}, kv={kv}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extension_identifies_edges_theorem3_misses() {
+        // Two common neighbors, both known degree-2, endpoints degree 4:
+        // Thm 3: 2(⌈2/2⌉+1) = 4 > 4 fails.
+        // Thm 5: 2(⌈0/2⌉+1) + (2+2) = 6 > 4 holds.
+        assert!(!removal_criterion(2, 4, 4));
+        assert!(removal_criterion_extended(2, &[2, 2], 4, 4));
+    }
+
+    #[test]
+    fn extension_with_degree3_neighbors_is_weaker_than_degree2() {
+        // Same shape, but the known neighbors have degree 3 (bonus 1 each):
+        // 2(0+1) + (1+1) = 4 > 4 fails.
+        assert!(!removal_criterion_extended(2, &[3, 3], 4, 4));
+        // Mixed: 2 + (2+1) = 5 > 4 holds.
+        assert!(removal_criterion_extended(2, &[2, 3], 4, 4));
+    }
+
+    #[test]
+    fn raw_extended_formula_can_be_weaker_for_odd_counts() {
+        // The literal Theorem 5 formula trades ⌈·⌉-rounding for an explicit
+        // bonus; for odd intersections a degree-3 member costs more
+        // rounding than its bonus pays: c=1, k=3.
+        assert!(removal_criterion(1, 1, 3));
+        assert!(!removal_criterion_extended(1, &[3], 1, 3));
+    }
+
+    #[test]
+    fn best_extension_is_never_weaker_than_theorem3() {
+        // With N* chosen optimally (the t ∈ {0,1} sweep), the extension
+        // dominates Theorem 3 on the whole grid.
+        for common in 1..8 {
+            for ku in 1..12 {
+                for kv in 1..12 {
+                    if removal_criterion(common, ku, kv) {
+                        for s2 in 0..=common {
+                            for s3 in 0..=(common - s2) {
+                                assert!(
+                                    best_extended_criterion(common, s2, s3, ku, kv),
+                                    "lost edge at c={common}, s2={s2}, s3={s3}, ku={ku}, kv={kv}"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn best_extension_strictly_stronger_example() {
+        // c=2 with both common neighbors of known degree 2, endpoints k=4:
+        // Theorem 3 fails, the optimized extension succeeds.
+        assert!(!removal_criterion(2, 4, 4));
+        assert!(best_extended_criterion(2, 2, 0, 4, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be 2 or 3")]
+    fn extended_rejects_bad_nstar_degree() {
+        let _ = removal_criterion_extended(3, &[4], 5, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "|N*| <= common")]
+    fn extended_rejects_oversized_nstar() {
+        let _ = removal_criterion_extended(1, &[2, 2], 5, 5);
+    }
+
+    #[test]
+    fn neighborhood_wrapper_agrees_with_graph_counts() {
+        let g = paper_barbell();
+        let nu = g.neighbors(NodeId(1));
+        let nv = g.neighbors(NodeId(2));
+        assert!(is_removable_from_neighborhoods(nu, nv));
+        let bridge_u = g.neighbors(NodeId(0));
+        let bridge_v = g.neighbors(NodeId(11));
+        assert!(!is_removable_from_neighborhoods(bridge_u, bridge_v));
+    }
+
+    #[test]
+    fn history_wrapper_uses_only_known_degrees() {
+        // Path 0-1-2-3 plus chord 1-3 and edge 0-2... construct the
+        // Fig 5-style case: u=0, v=1 adjacent; common neighbor w=2 with
+        // k_2 = 2 known.
+        let g = mto_graph::Graph::from_edges([(0u32, 1u32), (0, 2), (1, 2), (0, 3), (1, 4)])
+            .unwrap();
+        let nu = g.neighbors(NodeId(0)); // {1,2,3}
+        let nv = g.neighbors(NodeId(1)); // {0,2,4}
+        // Thm 3: common=1, max k=3: 2(1+1)=4 > 3 → already removable.
+        assert!(is_removable_from_neighborhoods(nu, nv));
+        // With no history the extended path gives the same answer.
+        assert!(is_removable_with_history(nu, nv, |_| None));
+        // With k_2=2 known the margin only grows.
+        assert!(is_removable_with_history(nu, nv, |w| (w == NodeId(2)).then_some(2)));
+    }
+
+    #[test]
+    fn history_oracle_is_consulted_only_for_common_neighbors() {
+        let g = mto_graph::Graph::from_edges([(0u32, 1u32), (0, 2), (1, 2), (0, 3), (1, 4)])
+            .unwrap();
+        let mut asked = Vec::new();
+        let _ = is_removable_with_history(g.neighbors(NodeId(0)), g.neighbors(NodeId(1)), |w| {
+            asked.push(w);
+            None
+        });
+        assert_eq!(asked, vec![NodeId(2)], "only the common neighbor is looked up");
+    }
+}

@@ -1,0 +1,178 @@
+//! Conditional edge replacement: Theorem 4.
+//!
+//! If a pivot node `v` has degree exactly 3 and `u, w ∈ N(v)`, replacing
+//! `e_uv` by `e_uw` never decreases the conductance and may increase it
+//! (the paper's proof: `e_uv` and `e_vw` cannot both be cross-cutting, so
+//! if `e_uv` was cross-cutting, `e_uw` is too — no loss; if it wasn't, the
+//! new edge might be — possible gain). Degree 3 is the *only* pivot degree
+//! with this guarantee (Corollary 2): for `k_v ≥ 4` both `e_uv` and `e_wv`
+//! can be cross-cutting and the replacement can destroy one of them.
+//!
+//! A valid replacement must also keep the overlay a simple graph: `w ≠ u`
+//! and `e_uw` not already present.
+
+use mto_graph::NodeId;
+
+/// The degree a pivot must have for Theorem 4 to apply.
+pub const PIVOT_DEGREE: usize = 3;
+
+/// A concrete replacement decision: remove `(u, v)`, add `(u, w)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Replacement {
+    /// The walker's current node (kept endpoint).
+    pub u: NodeId,
+    /// The degree-3 pivot losing the edge.
+    pub v: NodeId,
+    /// The pivot's neighbor gaining the edge.
+    pub w: NodeId,
+}
+
+/// Why a candidate replacement was rejected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReplacementRejection {
+    /// Pivot degree is not exactly [`PIVOT_DEGREE`].
+    WrongPivotDegree(usize),
+    /// `u` is not adjacent to the pivot.
+    NotAdjacent,
+    /// No eligible `w` exists (all candidates equal `u` or already linked
+    /// to `u`).
+    NoEligibleTarget,
+}
+
+/// Enumerates the eligible replacement targets `w` for pivot `v` seen from
+/// `u`: neighbors of `v` other than `u` that are not already adjacent to
+/// `u` in the overlay.
+///
+/// `pivot_neighbors` is `N*(v)` in the overlay; `is_u_neighbor` tests
+/// overlay adjacency to `u` (including any previously added edges).
+pub fn eligible_targets(
+    u: NodeId,
+    pivot_neighbors: &[NodeId],
+    mut is_u_neighbor: impl FnMut(NodeId) -> bool,
+) -> Vec<NodeId> {
+    pivot_neighbors
+        .iter()
+        .copied()
+        .filter(|&w| w != u && !is_u_neighbor(w))
+        .collect()
+}
+
+/// Validates and constructs a replacement.
+///
+/// * `u` — current node, must be in `pivot_neighbors`;
+/// * `pivot` / `pivot_neighbors` — the freshly queried candidate and its
+///   overlay neighborhood;
+/// * `choose` — picks one target among the eligible (callers pass an RNG
+///   closure; tests pass deterministic selectors).
+pub fn plan_replacement(
+    u: NodeId,
+    pivot: NodeId,
+    pivot_neighbors: &[NodeId],
+    is_u_neighbor: impl FnMut(NodeId) -> bool,
+    choose: impl FnOnce(&[NodeId]) -> NodeId,
+) -> Result<Replacement, ReplacementRejection> {
+    if pivot_neighbors.len() != PIVOT_DEGREE {
+        return Err(ReplacementRejection::WrongPivotDegree(pivot_neighbors.len()));
+    }
+    if !pivot_neighbors.contains(&u) {
+        return Err(ReplacementRejection::NotAdjacent);
+    }
+    let targets = eligible_targets(u, pivot_neighbors, is_u_neighbor);
+    if targets.is_empty() {
+        return Err(ReplacementRejection::NoEligibleTarget);
+    }
+    let w = choose(&targets);
+    debug_assert!(targets.contains(&w), "choose must pick an eligible target");
+    Ok(Replacement { u, v: pivot, w })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(ids: &[u32]) -> Vec<NodeId> {
+        ids.iter().map(|&i| NodeId(i)).collect()
+    }
+
+    #[test]
+    fn basic_replacement_plan() {
+        // Pivot 5 with neighbors {1, 2, 3}; u = 1; u's only neighbor is 5.
+        let r = plan_replacement(
+            NodeId(1),
+            NodeId(5),
+            &n(&[1, 2, 3]),
+            |_| false,
+            |targets| targets[0],
+        )
+        .unwrap();
+        assert_eq!(r, Replacement { u: NodeId(1), v: NodeId(5), w: NodeId(2) });
+    }
+
+    #[test]
+    fn pivot_degree_must_be_exactly_three() {
+        let err = plan_replacement(NodeId(1), NodeId(5), &n(&[1, 2]), |_| false, |t| t[0])
+            .unwrap_err();
+        assert_eq!(err, ReplacementRejection::WrongPivotDegree(2));
+        let err = plan_replacement(NodeId(1), NodeId(5), &n(&[1, 2, 3, 4]), |_| false, |t| t[0])
+            .unwrap_err();
+        assert_eq!(err, ReplacementRejection::WrongPivotDegree(4));
+    }
+
+    #[test]
+    fn u_must_be_a_pivot_neighbor() {
+        let err = plan_replacement(NodeId(9), NodeId(5), &n(&[1, 2, 3]), |_| false, |t| t[0])
+            .unwrap_err();
+        assert_eq!(err, ReplacementRejection::NotAdjacent);
+    }
+
+    #[test]
+    fn existing_edges_are_not_duplicated() {
+        // u=1 already adjacent to 2; only 3 remains eligible.
+        let r = plan_replacement(
+            NodeId(1),
+            NodeId(5),
+            &n(&[1, 2, 3]),
+            |w| w == NodeId(2),
+            |targets| {
+                assert_eq!(targets, &[NodeId(3)]);
+                targets[0]
+            },
+        )
+        .unwrap();
+        assert_eq!(r.w, NodeId(3));
+    }
+
+    #[test]
+    fn all_targets_blocked_is_rejected() {
+        let err = plan_replacement(NodeId(1), NodeId(5), &n(&[1, 2, 3]), |_| true, |t| t[0])
+            .unwrap_err();
+        assert_eq!(err, ReplacementRejection::NoEligibleTarget);
+    }
+
+    #[test]
+    fn eligible_targets_excludes_u_itself() {
+        let t = eligible_targets(NodeId(2), &n(&[1, 2, 3]), |_| false);
+        assert_eq!(t, n(&[1, 3]));
+    }
+
+    #[test]
+    fn paper_running_example_shape() {
+        // Running example (Section III-C): pivot u with degree 3 after
+        // removals, neighbors {r, v_bridge, s}; replacing e_ur with e_rv.
+        // Our orientation: walker at r, pivot u, target v.
+        let (r, u, v, s) = (NodeId(1), NodeId(0), NodeId(11), NodeId(2));
+        let plan = plan_replacement(
+            r,
+            u,
+            &[r, s, v],
+            |_| false,
+            |targets| {
+                // Choose the bridge peer — creates a second cross-clique edge.
+                assert!(targets.contains(&v));
+                v
+            },
+        )
+        .unwrap();
+        assert_eq!(plan, Replacement { u: r, v: u, w: v });
+    }
+}

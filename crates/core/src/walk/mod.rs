@@ -1,0 +1,12 @@
+//! Random-walk samplers: the common [`Walker`] interface, the SRW / MHRW /
+//! RJ baselines of Section I-B, and helpers for recording walks.
+
+pub mod mhrw;
+pub mod rj;
+pub mod srw;
+pub mod walker;
+
+pub use mhrw::{MetropolisHastingsWalk, MhrwConfig};
+pub use rj::{RandomJumpWalk, RjConfig};
+pub use srw::{SimpleRandomWalk, SrwConfig};
+pub use walker::{record_walk, StepSample, Walker};

@@ -1,0 +1,145 @@
+//! The common sampler interface.
+//!
+//! Every sampler — the SRW/MHRW/RJ baselines and the MTO-Sampler — is a
+//! Markov chain driven through the restrictive interface. [`Walker`]
+//! exposes the pieces the experiment harness composes: stepping, the visit
+//! history (for convergence diagnostics and sample extraction), the
+//! query-cost counter, and the importance weight that debiases samples
+//! toward the uniform node distribution.
+
+use mto_graph::NodeId;
+use mto_osn::Result;
+
+/// A random-walk sampler over a restrictive social-network interface.
+pub trait Walker {
+    /// Human-readable algorithm name (`"SRW"`, `"MTO"`, …).
+    fn name(&self) -> &'static str;
+
+    /// The node the walk is currently at.
+    fn current(&self) -> NodeId;
+
+    /// Advances one time-step of the chain (lazy chains may stay put) and
+    /// returns the new position. Queries issued along the way are charged
+    /// to the walker's client.
+    fn step(&mut self) -> Result<NodeId>;
+
+    /// Every position the walk has occupied, starting with the seed node.
+    fn history(&self) -> &[NodeId];
+
+    /// Unique queries consumed so far (the paper's cost measure).
+    fn query_cost(&self) -> u64;
+
+    /// Importance weight `w(v) ∝ 1 / τ(v)` of a *visited* node, where `τ`
+    /// is this walk's stationary distribution — the reweighting needed for
+    /// unbiased estimates of uniform-node aggregates. Constants cancel in
+    /// the self-normalized estimator, so any consistent scaling is fine.
+    fn importance_weight(&mut self, v: NodeId) -> Result<f64>;
+
+    /// Runs `n` steps, returning the final position.
+    fn run(&mut self, n: usize) -> Result<NodeId> {
+        let mut last = self.current();
+        for _ in 0..n {
+            last = self.step()?;
+        }
+        Ok(last)
+    }
+}
+
+/// Per-step record the experiment harness accumulates: position, the value
+/// of the aggregate function there, and the importance weight.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct StepSample {
+    /// Node visited at this step.
+    pub node: NodeId,
+    /// Aggregate-function value `f(node)`.
+    pub value: f64,
+    /// Importance weight `w(node)`.
+    pub weight: f64,
+}
+
+/// Drives a walker for `steps` steps, recording `(node, f, w)` triples.
+///
+/// `f` receives the walker *after* the step so it can consult cached
+/// responses for the current node.
+pub fn record_walk<W, F>(
+    walker: &mut W,
+    steps: usize,
+    mut f: F,
+) -> Result<Vec<StepSample>>
+where
+    W: Walker + ?Sized,
+    F: FnMut(&mut W, NodeId) -> Result<f64>,
+{
+    let mut out = Vec::with_capacity(steps);
+    for _ in 0..steps {
+        let node = walker.step()?;
+        let value = f(walker, node)?;
+        let weight = walker.importance_weight(node)?;
+        out.push(StepSample { node, value, weight });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A deterministic cycle "walk" for exercising the trait helpers.
+    struct FixedCycle {
+        nodes: Vec<NodeId>,
+        at: usize,
+        history: Vec<NodeId>,
+        cost: u64,
+    }
+
+    impl FixedCycle {
+        fn new(len: u32) -> Self {
+            let nodes: Vec<NodeId> = (0..len).map(NodeId).collect();
+            FixedCycle { history: vec![nodes[0]], nodes, at: 0, cost: 0 }
+        }
+    }
+
+    impl Walker for FixedCycle {
+        fn name(&self) -> &'static str {
+            "fixed-cycle"
+        }
+        fn current(&self) -> NodeId {
+            self.nodes[self.at]
+        }
+        fn step(&mut self) -> Result<NodeId> {
+            self.at = (self.at + 1) % self.nodes.len();
+            self.cost += 1;
+            let v = self.nodes[self.at];
+            self.history.push(v);
+            Ok(v)
+        }
+        fn history(&self) -> &[NodeId] {
+            &self.history
+        }
+        fn query_cost(&self) -> u64 {
+            self.cost
+        }
+        fn importance_weight(&mut self, _v: NodeId) -> Result<f64> {
+            Ok(1.0)
+        }
+    }
+
+    #[test]
+    fn run_advances_n_steps() {
+        let mut w = FixedCycle::new(5);
+        let end = w.run(7).unwrap();
+        assert_eq!(end, NodeId(2));
+        assert_eq!(w.query_cost(), 7);
+        assert_eq!(w.history().len(), 8, "seed plus 7 steps");
+    }
+
+    #[test]
+    fn record_walk_collects_samples() {
+        let mut w = FixedCycle::new(3);
+        let samples =
+            record_walk(&mut w, 4, |_, node| Ok(node.0 as f64 * 10.0)).unwrap();
+        assert_eq!(samples.len(), 4);
+        assert_eq!(samples[0], StepSample { node: NodeId(1), value: 10.0, weight: 1.0 });
+        assert_eq!(samples[2].node, NodeId(0));
+    }
+}

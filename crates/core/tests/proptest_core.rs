@@ -1,0 +1,205 @@
+//! Property tests for the sampler core: overlay-delta coherence against a
+//! shadow graph, criterion boundary behavior, and estimator algebra.
+
+use mto_core::estimate::importance::{importance_estimate, ImportanceEstimator};
+use mto_core::rewire::{removal_criterion, removal_criterion_extended, OverlayDelta};
+use mto_core::walk::StepSample;
+use mto_graph::generators::gnp_graph;
+use mto_graph::{Graph, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[derive(Clone, Debug)]
+enum DeltaOp {
+    Remove(u32, u32),
+    Add(u32, u32),
+}
+
+fn delta_ops(n: u32) -> impl Strategy<Value = DeltaOp> {
+    (0..n, 0..n, any::<bool>()).prop_filter_map("no self loops", |(u, v, add)| {
+        if u == v {
+            None
+        } else if add {
+            Some(DeltaOp::Add(u, v))
+        } else {
+            Some(DeltaOp::Remove(u, v))
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The overlay delta's derived views (adjusted neighbors, adjusted
+    /// degree, has_edge) always match a shadow graph maintained by direct
+    /// mutation.
+    #[test]
+    fn overlay_delta_matches_shadow_graph(
+        seed in 0u64..500,
+        ops in proptest::collection::vec(delta_ops(10), 0..80)
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base = gnp_graph(10, 0.4, &mut rng);
+        let mut shadow = base.clone();
+        let mut delta = OverlayDelta::new();
+        for op in ops {
+            match op {
+                DeltaOp::Remove(u, v) => {
+                    let (u, v) = (NodeId(u), NodeId(v));
+                    if shadow.has_edge(u, v) {
+                        delta.remove_edge(u, v);
+                        shadow.remove_edge(u, v).unwrap();
+                    }
+                }
+                DeltaOp::Add(u, v) => {
+                    let (u, v) = (NodeId(u), NodeId(v));
+                    if !shadow.has_edge(u, v) {
+                        delta.add_edge(u, v);
+                        shadow.add_edge(u, v).unwrap();
+                    }
+                }
+            }
+        }
+        for v in base.nodes() {
+            prop_assert_eq!(
+                delta.adjust_neighbors(v, base.neighbors(v)),
+                shadow.neighbors(v).to_vec(),
+                "neighborhood mismatch at {}", v
+            );
+            prop_assert_eq!(delta.adjust_degree(v, base.degree(v)), shadow.degree(v));
+        }
+        for u in base.nodes() {
+            for v in base.nodes() {
+                if u < v {
+                    prop_assert_eq!(
+                        delta.has_edge(base.has_edge(u, v), u, v),
+                        shadow.has_edge(u, v)
+                    );
+                }
+            }
+        }
+        // Materialization agrees with the shadow too.
+        let materialized = delta.materialize(&base);
+        prop_assert_eq!(materialized.num_edges(), shadow.num_edges());
+    }
+
+    /// The removal criterion is monotone: more common neighbors can never
+    /// turn a removable edge unremovable; higher degrees can never turn
+    /// an unremovable edge removable.
+    #[test]
+    fn criterion_monotonicity(common in 0usize..20, ku in 1usize..30, kv in 1usize..30) {
+        if removal_criterion(common, ku, kv) {
+            prop_assert!(removal_criterion(common + 1, ku, kv));
+        } else {
+            prop_assert!(!removal_criterion(common, ku + 1, kv));
+            prop_assert!(!removal_criterion(common, ku, kv + 1));
+        }
+    }
+
+    /// Theorem 5 with an empty N* is literally Theorem 3.
+    #[test]
+    fn extended_criterion_degenerates(common in 0usize..20, ku in 1usize..30, kv in 1usize..30) {
+        prop_assert_eq!(
+            removal_criterion_extended(common, &[], ku, kv),
+            removal_criterion(common, ku, kv)
+        );
+    }
+
+    /// Self-normalized importance estimates are invariant under weight
+    /// scaling and bounded by the sample values' range.
+    #[test]
+    fn estimator_scale_invariance_and_bounds(
+        data in proptest::collection::vec((0.0f64..100.0, 0.01f64..10.0), 1..50),
+        scale in 0.01f64..100.0
+    ) {
+        let samples: Vec<StepSample> = data
+            .iter()
+            .map(|&(value, weight)| StepSample { node: NodeId(0), value, weight })
+            .collect();
+        let scaled: Vec<StepSample> = samples
+            .iter()
+            .map(|s| StepSample { weight: s.weight * scale, ..*s })
+            .collect();
+        let a = importance_estimate(&samples).unwrap();
+        let b = importance_estimate(&scaled).unwrap();
+        prop_assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "scale variance: {a} vs {b}");
+        let min = data.iter().map(|p| p.0).fold(f64::INFINITY, f64::min);
+        let max = data.iter().map(|p| p.0).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(a >= min - 1e-9 && a <= max + 1e-9, "estimate {a} outside [{min}, {max}]");
+    }
+
+    /// Feeding the running estimator in any order yields the same result
+    /// (it is a pair of sums).
+    #[test]
+    fn estimator_order_invariance(
+        data in proptest::collection::vec((0.0f64..10.0, 0.01f64..5.0), 2..30),
+        swap_seed in 0u64..1000
+    ) {
+        let mut forward = ImportanceEstimator::new();
+        for &(v, w) in &data {
+            forward.push(v, w);
+        }
+        let mut shuffled = data.clone();
+        let mut rng = StdRng::seed_from_u64(swap_seed);
+        use rand::seq::SliceRandom;
+        shuffled.shuffle(&mut rng);
+        let mut backward = ImportanceEstimator::new();
+        for &(v, w) in &shuffled {
+            backward.push(v, w);
+        }
+        let a = forward.estimate().unwrap();
+        let b = backward.estimate().unwrap();
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+}
+
+/// Deterministic MTO equivalence: the walk on the overlay is identical to
+/// a direct walk whose graph is the materialized overlay, once the overlay
+/// is frozen. (Pinned with a concrete case rather than proptest because
+/// freezing must be established first.)
+#[test]
+fn frozen_overlay_walk_matches_direct_walk_distribution() {
+    use mto_core::mto::{MtoConfig, MtoSampler};
+    use mto_core::walk::Walker;
+    use mto_osn::{CachedClient, OsnService};
+
+    let g = mto_graph::generators::barbell_graph(mto_graph::generators::BarbellSpec {
+        clique_size: 6,
+        bridges: 1,
+    });
+    let service = OsnService::with_defaults(&g);
+    let mut sampler = MtoSampler::new(
+        CachedClient::new(service),
+        NodeId(0),
+        MtoConfig { seed: 42, ..Default::default() },
+    )
+    .unwrap();
+    // Rewire until stable.
+    for _ in 0..30_000 {
+        sampler.step().unwrap();
+    }
+    let overlay_before = sampler.overlay().materialize(&g);
+    // Count occupancy over a long window.
+    let mut visits = vec![0u64; g.num_nodes()];
+    let window = 200_000;
+    for _ in 0..window {
+        visits[sampler.step().unwrap().index()] += 1;
+    }
+    let overlay_after = sampler.overlay().materialize(&g);
+    assert_eq!(
+        overlay_before.num_edges(),
+        overlay_after.num_edges(),
+        "overlay kept changing; cannot compare"
+    );
+    // Occupancy ≈ overlay stationary distribution.
+    let vol = overlay_after.volume() as f64;
+    for v in overlay_after.nodes() {
+        let expected = overlay_after.degree(v) as f64 / vol;
+        let got = visits[v.index()] as f64 / window as f64;
+        assert!(
+            (got - expected).abs() < 0.3 * expected + 0.01,
+            "node {v}: {got:.4} vs {expected:.4}"
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! `mto-lab` — the experiment runner.
+//!
+//! ```text
+//! mto-lab [--reduced] [--out DIR] <experiment>...
+//! mto-lab all                 # everything, paper scale
+//! mto-lab --reduced all       # everything, CI scale
+//! mto-lab fig7 fig10          # a subset
+//! ```
+//!
+//! Experiments: running-example, table1, fig7, fig8, fig9, fig10, fig11,
+//! theorem6. Reports print to stdout and are written under `--out`
+//! (default `results/`).
+
+use std::path::PathBuf;
+
+use mto_experiments::report::ExperimentReport;
+use mto_experiments::{fig10, fig11, fig7, fig8, fig9, running_example, table1, theorem6};
+
+const EXPERIMENTS: &[&str] = &[
+    "running-example",
+    "table1",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "theorem6",
+];
+
+struct Options {
+    reduced: bool,
+    out_dir: PathBuf,
+    chosen: Vec<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut reduced = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut chosen = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--reduced" => reduced = true,
+            "--out" => {
+                out_dir = PathBuf::from(
+                    args.next().ok_or_else(|| "--out requires a directory".to_string())?,
+                );
+            }
+            "--help" | "-h" => {
+                return Err(format!(
+                    "usage: mto-lab [--reduced] [--out DIR] <experiment|all>...\n\
+                     experiments: {}",
+                    EXPERIMENTS.join(", ")
+                ));
+            }
+            "all" => chosen.extend(EXPERIMENTS.iter().map(|s| s.to_string())),
+            name if EXPERIMENTS.contains(&name) => chosen.push(name.to_string()),
+            other => return Err(format!("unknown argument {other:?}; try --help")),
+        }
+    }
+    if chosen.is_empty() {
+        return Err("no experiment named; try `mto-lab all` or --help".to_string());
+    }
+    chosen.dedup();
+    Ok(Options { reduced, out_dir, chosen })
+}
+
+fn run_experiment(name: &str, reduced: bool) -> ExperimentReport {
+    match name {
+        "running-example" => running_example::run(7).1,
+        "table1" => table1::run(if reduced { 40 } else { 1 }).1,
+        "fig7" => {
+            let config = if reduced { fig7::Fig7Config::reduced() } else { fig7::Fig7Config::full() };
+            // fig7 yields one report per dataset; merge them.
+            let mut merged = ExperimentReport::new("fig7");
+            for (_, report) in fig7::run_all(&config) {
+                merged.notes.extend(report.notes);
+                merged.tables.extend(report.tables);
+                merged.series.extend(report.series);
+            }
+            merged
+        }
+        "fig8" => {
+            let config = if reduced { fig8::Fig8Config::reduced() } else { fig8::Fig8Config::full() };
+            fig8::run_all(&config).1
+        }
+        "fig9" => {
+            let config = if reduced { fig9::Fig9Config::reduced() } else { fig9::Fig9Config::full() };
+            fig9::run(&config).2
+        }
+        "fig10" => {
+            let config =
+                if reduced { fig10::Fig10Config::reduced() } else { fig10::Fig10Config::full() };
+            fig10::run(&config).1
+        }
+        "fig11" => {
+            let config =
+                if reduced { fig11::Fig11Config::reduced() } else { fig11::Fig11Config::full() };
+            fig11::run(&config).1
+        }
+        "theorem6" => {
+            let config = if reduced {
+                theorem6::Theorem6Config::reduced()
+            } else {
+                theorem6::Theorem6Config::full()
+            };
+            theorem6::run(&config).1
+        }
+        other => unreachable!("experiment {other} validated during arg parsing"),
+    }
+}
+
+fn main() {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    for name in &options.chosen {
+        let started = std::time::Instant::now();
+        eprintln!(
+            "== running {name} ({}) ==",
+            if options.reduced { "reduced" } else { "full" }
+        );
+        let report = run_experiment(name, options.reduced);
+        println!("{}", report.to_markdown());
+        if let Err(e) = report.write_to(&options.out_dir) {
+            eprintln!("warning: could not write report for {name}: {e}");
+        }
+        eprintln!("== {name} done in {:.1?} ==\n", started.elapsed());
+    }
+}

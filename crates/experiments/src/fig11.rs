@@ -1,0 +1,261 @@
+//! Fig 11: the Google-Plus-like online network.
+//!
+//! The live Google Plus Social Graph API the paper used retired in April
+//! 2012; the stand-in is a 240k-user synthetic network (matching the
+//! 240,276 users the paper accessed) behind the same
+//! individual-user-query-only interface. As in the paper there is no
+//! external ground truth: each sampler runs to Geweke convergence, its
+//! final estimate becomes the *converged value*, and the relative-error
+//! curves are measured against it.
+//!
+//! * (a) estimated average degree vs query cost (trace for SRW and MTO);
+//! * (b) query cost vs relative error for the average degree;
+//! * (c) query cost vs relative error for the average self-description
+//!   length.
+
+use std::sync::Arc;
+
+use mto_core::estimate::Aggregate;
+use mto_graph::NodeId;
+use mto_osn::OsnService;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::driver::{run_converged, Algorithm, RunProtocol};
+use crate::report::{fmt, mean, ExperimentReport, Series, Table};
+
+/// Parameters of the Fig 11 experiment.
+#[derive(Clone, Debug)]
+pub struct Fig11Config {
+    /// Scale-down divisor (1 = 240k users).
+    pub scale: usize,
+    /// Runs per algorithm for the error curves.
+    pub runs: usize,
+    /// Relative-error grid (paper: 0.1–0.5).
+    pub error_grid: Vec<f64>,
+    /// Geweke threshold.
+    pub geweke_threshold: f64,
+    /// Post-convergence samples.
+    pub sample_steps: usize,
+    /// Burn-in cap.
+    pub max_burn_in_steps: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Fig11Config {
+    /// Paper-scale configuration.
+    pub fn full() -> Self {
+        Fig11Config {
+            scale: 1,
+            runs: 5,
+            error_grid: vec![0.10, 0.15, 0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50],
+            geweke_threshold: 0.1,
+            sample_steps: 10_000,
+            max_burn_in_steps: 80_000,
+            seed: 0xF11,
+        }
+    }
+
+    /// Reduced configuration.
+    pub fn reduced() -> Self {
+        Fig11Config {
+            scale: 60,
+            runs: 2,
+            error_grid: vec![0.1, 0.3, 0.5],
+            sample_steps: 2_500,
+            max_burn_in_steps: 12_000,
+            ..Fig11Config::full()
+        }
+    }
+}
+
+/// One algorithm's Fig 11 outputs.
+#[derive(Clone, Debug)]
+pub struct Fig11Curves {
+    /// Algorithm.
+    pub algorithm: Algorithm,
+    /// `(query cost, running estimate)` trace for panel (a).
+    pub degree_trace: Vec<(u64, f64)>,
+    /// Converged value of the average degree.
+    pub degree_converged: f64,
+    /// `(epsilon, mean cost)` for panel (b).
+    pub degree_cost: Vec<(f64, f64)>,
+    /// Converged value of the description length.
+    pub descr_converged: f64,
+    /// `(epsilon, mean cost)` for panel (c).
+    pub descr_cost: Vec<(f64, f64)>,
+}
+
+fn error_curve(
+    alg: Algorithm,
+    service: &Arc<OsnService>,
+    aggregate: Aggregate,
+    config: &Fig11Config,
+    n: usize,
+) -> (Vec<(f64, f64)>, f64, Vec<(u64, f64)>) {
+    let mut rng = StdRng::seed_from_u64(config.seed ^ aggregate.label().len() as u64);
+    let mut per_eps: Vec<Vec<f64>> = vec![Vec::new(); config.error_grid.len()];
+    let mut converged_values = Vec::new();
+    let mut first_trace: Vec<(u64, f64)> = Vec::new();
+    for run_idx in 0..config.runs {
+        let start = NodeId(rng.gen_range(0..n as u32));
+        let mut walker = alg
+            .build(service.clone(), start, config.seed + run_idx as u64 * 7919)
+            .expect("valid start");
+        let protocol = RunProtocol {
+            geweke_threshold: config.geweke_threshold,
+            max_burn_in_steps: config.max_burn_in_steps,
+            sample_steps: config.sample_steps,
+        };
+        let run = run_converged(walker.as_mut(), service, aggregate, protocol)
+            .expect("simulated interface cannot fail");
+        // The paper's presumptive ground truth: the run's own converged
+        // value.
+        let converged = run.final_estimate().unwrap_or(0.0);
+        converged_values.push(converged);
+        if converged != 0.0 {
+            for (i, &eps) in config.error_grid.iter().enumerate() {
+                let cost = run.cost_to_reach(eps, converged).unwrap_or(run.total_cost);
+                per_eps[i].push(cost as f64);
+            }
+        }
+        if run_idx == 0 {
+            first_trace = run.estimate_trace();
+        }
+    }
+    let curve = config
+        .error_grid
+        .iter()
+        .enumerate()
+        .map(|(i, &eps)| (eps, if per_eps[i].is_empty() { 0.0 } else { mean(&per_eps[i]) }))
+        .collect();
+    (curve, mean(&converged_values), downsample(&first_trace, 200))
+}
+
+/// Keeps at most `max_points` evenly spaced points of a trace.
+fn downsample(trace: &[(u64, f64)], max_points: usize) -> Vec<(u64, f64)> {
+    if trace.len() <= max_points {
+        return trace.to_vec();
+    }
+    let stride = trace.len() as f64 / max_points as f64;
+    (0..max_points)
+        .map(|i| trace[(i as f64 * stride) as usize])
+        .collect()
+}
+
+/// Runs Fig 11 (SRW vs MTO on the Google-Plus-like service).
+pub fn run(config: &Fig11Config) -> (Vec<Fig11Curves>, ExperimentReport) {
+    let spec = if config.scale > 1 {
+        DatasetSpec::google_plus().scaled_down(config.scale)
+    } else {
+        DatasetSpec::google_plus()
+    };
+    let graph = build_dataset(&spec);
+    let n = graph.num_nodes();
+    let service = Arc::new(OsnService::with_defaults(&graph));
+
+    let mut report = ExperimentReport::new("fig11");
+    report.note(format!(
+        "Google-Plus stand-in: {n} users (paper accessed 240,276 via the live API); \
+         converged value used as presumptive ground truth, as in the paper."
+    ));
+    report.note(format!(
+        "Simulation bonus — true values: avg degree {:.3}, avg description length {:.2}.",
+        service.true_average_degree(),
+        service.true_average_description_len()
+    ));
+
+    let mut curves = Vec::new();
+    let mut table = Table::new(
+        "Fig 11 — converged values and cost to reach 10% error",
+        &["algorithm", "avg degree (converged)", "cost@ε=0.1 degree", "avg descr len", "cost@ε=0.1 descr"],
+    );
+
+    for alg in [Algorithm::Srw, Algorithm::Mto] {
+        let (degree_cost, degree_converged, degree_trace) =
+            error_curve(alg, &service, Aggregate::AverageDegree, config, n);
+        let (descr_cost, descr_converged, _) =
+            error_curve(alg, &service, Aggregate::AverageDescriptionLength, config, n);
+        table.push_row(vec![
+            alg.label().into(),
+            fmt(degree_converged),
+            fmt(degree_cost.first().map(|p| p.1).unwrap_or(0.0)),
+            fmt(descr_converged),
+            fmt(descr_cost.first().map(|p| p.1).unwrap_or(0.0)),
+        ]);
+        report.series.push(Series {
+            label: format!("{} estimated avg degree vs cost", alg.label()),
+            points: degree_trace.iter().map(|&(c, e)| (c as f64, e)).collect(),
+        });
+        report.series.push(Series {
+            label: format!("{} cost vs rel err (degree)", alg.label()),
+            points: degree_cost.clone(),
+        });
+        report.series.push(Series {
+            label: format!("{} cost vs rel err (descr len)", alg.label()),
+            points: descr_cost.clone(),
+        });
+        curves.push(Fig11Curves {
+            algorithm: alg,
+            degree_trace,
+            degree_converged,
+            degree_cost,
+            descr_converged,
+            descr_cost,
+        });
+    }
+    report.tables.push(table);
+    (curves, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_fig11_produces_both_algorithms() {
+        let (curves, report) = run(&Fig11Config::reduced());
+        assert_eq!(curves.len(), 2);
+        for c in &curves {
+            assert!(!c.degree_trace.is_empty(), "{} trace empty", c.algorithm.label());
+            assert!(c.degree_converged > 0.0);
+            assert!(c.descr_converged > 0.0);
+            assert_eq!(c.degree_cost.len(), 3);
+            assert_eq!(c.descr_cost.len(), 3);
+        }
+        let md = report.to_markdown();
+        assert!(md.contains("Google-Plus"));
+        assert!(md.contains("converged value"));
+    }
+
+    #[test]
+    fn converged_degree_is_near_truth_at_reduced_scale() {
+        // We *can* check against truth in simulation: importance-weighted
+        // converged values should land in the truth's neighborhood.
+        let (curves, _) = run(&Fig11Config::reduced());
+        let spec = DatasetSpec::google_plus().scaled_down(60);
+        let graph = build_dataset(&spec);
+        let truth = 2.0 * graph.num_edges() as f64 / graph.num_nodes() as f64;
+        for c in &curves {
+            let err = (c.degree_converged - truth).abs() / truth;
+            assert!(
+                err < 0.4,
+                "{}: converged {} vs truth {truth} (err {err:.3})",
+                c.algorithm.label(),
+                c.degree_converged
+            );
+        }
+    }
+
+    #[test]
+    fn downsample_preserves_endpoints_and_bounds() {
+        let trace: Vec<(u64, f64)> = (0..1000).map(|i| (i, i as f64)).collect();
+        let d = downsample(&trace, 100);
+        assert_eq!(d.len(), 100);
+        assert_eq!(d[0], (0, 0.0));
+        let short = vec![(1u64, 1.0), (2, 2.0)];
+        assert_eq!(downsample(&short, 100), short);
+    }
+}

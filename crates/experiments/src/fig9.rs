@@ -1,0 +1,221 @@
+//! Fig 9: sweeping the Geweke threshold on Slashdot B.
+//!
+//! The paper varies the convergence threshold from 0.1 to 0.8 and plots,
+//! for SRW and MTO, the resulting symmetric KL divergence and query cost:
+//! tighter thresholds buy smaller bias with more queries, and MTO sits
+//! below SRW across the sweep.
+
+use std::sync::Arc;
+
+use mto_core::diagnostics::kl::{symmetric_kl, VisitCounter, DEFAULT_SMOOTHING};
+use mto_core::estimate::Aggregate;
+use mto_graph::NodeId;
+use mto_osn::OsnService;
+use mto_spectral::stationary_distribution;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::driver::{run_converged, Algorithm, RunProtocol};
+use crate::report::{fmt, ExperimentReport, Series, Table};
+
+/// Parameters for the Fig 9 sweep.
+#[derive(Clone, Debug)]
+pub struct Fig9Config {
+    /// Scale-down divisor.
+    pub scale: usize,
+    /// Thresholds to sweep (paper: 0.1–0.8).
+    pub thresholds: Vec<f64>,
+    /// Samples per point.
+    pub samples: usize,
+    /// Burn-in cap.
+    pub max_burn_in_steps: usize,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl Fig9Config {
+    /// Paper-scale configuration.
+    pub fn full() -> Self {
+        Fig9Config {
+            scale: 1,
+            thresholds: vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            samples: 20_000,
+            max_burn_in_steps: 60_000,
+            seed: 0xF19,
+        }
+    }
+
+    /// Reduced configuration.
+    pub fn reduced() -> Self {
+        Fig9Config {
+            scale: 40,
+            thresholds: vec![0.1, 0.4, 0.8],
+            samples: 4_000,
+            max_burn_in_steps: 12_000,
+            ..Fig9Config::full()
+        }
+    }
+}
+
+/// One sweep point.
+#[derive(Clone, Debug)]
+pub struct Fig9Point {
+    /// Geweke threshold.
+    pub threshold: f64,
+    /// Symmetric KL at this threshold.
+    pub kl: f64,
+    /// Query cost at this threshold.
+    pub cost: u64,
+}
+
+/// Runs the sweep for one algorithm on Slashdot B.
+fn sweep(
+    alg: Algorithm,
+    graph: &mto_graph::Graph,
+    service: &Arc<OsnService>,
+    pi: &[f64],
+    start: NodeId,
+    config: &Fig9Config,
+) -> Vec<Fig9Point> {
+    config
+        .thresholds
+        .iter()
+        .map(|&threshold| {
+            let protocol = RunProtocol {
+                geweke_threshold: threshold,
+                max_burn_in_steps: config.max_burn_in_steps,
+                sample_steps: config.samples,
+            };
+            let seed = config.seed ^ (threshold * 1000.0) as u64;
+            // Each sampler is measured against its own stationary law
+            // (see fig8): SRW vs pi(G), MTO vs pi(G*) of its final overlay.
+            let (kl, cost) = if alg == Algorithm::Mto {
+                let mut sampler = mto_core::mto::MtoSampler::new(
+                    mto_osn::CachedClient::new(service.clone()),
+                    start,
+                    crate::driver::mto_config(seed),
+                )
+                .expect("valid start");
+                let run =
+                    run_converged(&mut sampler, service, Aggregate::AverageDegree, protocol)
+                        .expect("simulated interface cannot fail");
+                let mut counter = VisitCounter::new(pi.len());
+                for (s, _) in &run.samples {
+                    counter.record(s.node);
+                }
+                let overlay = sampler.overlay().materialize(graph);
+                let vol = overlay.volume() as f64;
+                let pi_star: Vec<f64> =
+                    overlay.nodes().map(|v| overlay.degree(v) as f64 / vol).collect();
+                (
+                    symmetric_kl(&pi_star, &counter.distribution(), DEFAULT_SMOOTHING),
+                    run.total_cost,
+                )
+            } else {
+                let mut walker =
+                    alg.build(service.clone(), start, seed).expect("valid start");
+                let run =
+                    run_converged(walker.as_mut(), service, Aggregate::AverageDegree, protocol)
+                        .expect("simulated interface cannot fail");
+                let mut counter = VisitCounter::new(pi.len());
+                for (s, _) in &run.samples {
+                    counter.record(s.node);
+                }
+                (
+                    symmetric_kl(pi, &counter.distribution(), DEFAULT_SMOOTHING),
+                    run.total_cost,
+                )
+            };
+            Fig9Point { threshold, kl, cost }
+        })
+        .collect()
+}
+
+/// Runs Fig 9 (SRW and MTO on Slashdot B).
+pub fn run(config: &Fig9Config) -> (Vec<Fig9Point>, Vec<Fig9Point>, ExperimentReport) {
+    let spec = if config.scale > 1 {
+        DatasetSpec::slashdot_b().scaled_down(config.scale)
+    } else {
+        DatasetSpec::slashdot_b()
+    };
+    let graph = build_dataset(&spec);
+    let service = Arc::new(OsnService::with_defaults(&graph));
+    let pi = stationary_distribution(&graph);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let start = NodeId(rng.gen_range(0..graph.num_nodes() as u32));
+
+    let srw = sweep(Algorithm::Srw, &graph, &service, &pi, start, config);
+    let mto = sweep(Algorithm::Mto, &graph, &service, &pi, start, config);
+
+    let mut report = ExperimentReport::new("fig9");
+    report.note("Geweke threshold sweep on Slashdot B (paper Fig 9).");
+    let mut table = Table::new(
+        "Fig 9 — KL divergence and query cost vs Geweke threshold",
+        &["threshold", "KL SRW", "KL MTO", "cost SRW", "cost MTO"],
+    );
+    for (s, m) in srw.iter().zip(&mto) {
+        table.push_row(vec![
+            fmt(s.threshold),
+            fmt(s.kl),
+            fmt(m.kl),
+            s.cost.to_string(),
+            m.cost.to_string(),
+        ]);
+    }
+    report.tables.push(table);
+    report.series.push(Series {
+        label: "KL_SRW".into(),
+        points: srw.iter().map(|p| (p.threshold, p.kl)).collect(),
+    });
+    report.series.push(Series {
+        label: "KL_MTO".into(),
+        points: mto.iter().map(|p| (p.threshold, p.kl)).collect(),
+    });
+    report.series.push(Series {
+        label: "QC_SRW".into(),
+        points: srw.iter().map(|p| (p.threshold, p.cost as f64)).collect(),
+    });
+    report.series.push(Series {
+        label: "QC_MTO".into(),
+        points: mto.iter().map(|p| (p.threshold, p.cost as f64)).collect(),
+    });
+    (srw, mto, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_sweep_produces_points_per_threshold() {
+        let config = Fig9Config { samples: 2_000, ..Fig9Config::reduced() };
+        let (srw, mto, report) = run(&config);
+        assert_eq!(srw.len(), 3);
+        assert_eq!(mto.len(), 3);
+        for p in srw.iter().chain(&mto) {
+            assert!(p.kl.is_finite() && p.kl > 0.0);
+            assert!(p.cost > 0);
+        }
+        let md = report.to_markdown();
+        assert!(md.contains("KL_SRW"));
+        assert!(md.contains("QC_MTO"));
+    }
+
+    #[test]
+    fn looser_thresholds_do_not_cost_more() {
+        // Burn-in (and hence total cost at fixed sample count) shrinks as
+        // the threshold loosens; sampling noise can wiggle it, so compare
+        // the extremes with slack.
+        let config = Fig9Config { samples: 2_000, ..Fig9Config::reduced() };
+        let (srw, _, _) = run(&config);
+        let tight = srw.first().unwrap();
+        let loose = srw.last().unwrap();
+        assert!(
+            loose.cost <= tight.cost.saturating_add(tight.cost / 2),
+            "loose {} vs tight {}",
+            loose.cost,
+            tight.cost
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! # mto-experiments — regenerating every table and figure of the paper
+//!
+//! One module per evaluation artifact of *"Faster Random Walks By Rewiring
+//! Online Social Networks On-The-Fly"* (ICDE 2013):
+//!
+//! | module | paper artifact |
+//! |---|---|
+//! | [`running_example`] | §II–III barbell: Φ 0.018 → 0.053 → 0.105, 97% mixing cut |
+//! | [`table1`] | Table I dataset statistics |
+//! | [`fig7`] | Fig 7(a–c): query cost vs relative error, 4 algorithms × 3 datasets |
+//! | [`fig8`] | Fig 8: SRW vs MTO query cost + symmetric KL |
+//! | [`fig9`] | Fig 9: Geweke threshold sweep on Slashdot B |
+//! | [`fig10`] | Fig 10: latent-space mixing times with RM/RP ablation + Theorem 6 bound |
+//! | [`fig11`] | Fig 11(a–c): Google-Plus-like online network |
+//! | [`theorem6`] | §IV-B / Eq (13): latent-space removal bound |
+//!
+//! Each module exposes a `Config` with `full()` (paper-scale) and
+//! `reduced()` (CI-scale) presets and returns structured results plus an
+//! [`report::ExperimentReport`]. The `mto-lab` binary drives them; see
+//! EXPERIMENTS.md for recorded paper-vs-measured numbers.
+
+#![warn(missing_docs)]
+
+pub mod datasets;
+pub mod driver;
+pub mod fig10;
+pub mod fig11;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod report;
+pub mod running_example;
+pub mod table1;
+pub mod theorem6;
+
+pub use datasets::{build_dataset, DatasetSpec};
+pub use driver::{run_converged, Algorithm, ConvergedRun, RunProtocol};
+pub use report::{ExperimentReport, Series, Table};

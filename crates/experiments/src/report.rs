@@ -1,0 +1,290 @@
+//! Report formatting: markdown tables, CSV series, and tiny ASCII charts.
+//!
+//! Every experiment produces an [`ExperimentReport`] — a set of labelled
+//! tables and series — which the `mto-lab` binary prints and optionally
+//! writes under `results/`.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// A labelled markdown table.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells (already formatted).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the arity differs from the header.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch in {:?}", self.title);
+        self.rows.push(cells);
+    }
+
+    /// Renders as github-flavored markdown with padded columns.
+    pub fn to_markdown(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let fmt_row = |cells: &[String]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.headers));
+        let sep: Vec<String> = (0..ncols).map(|i| "-".repeat(widths[i])).collect();
+        let _ = writeln!(out, "{}", fmt_row(&sep));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row));
+        }
+        out
+    }
+}
+
+/// A named numeric series (one figure curve).
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Curve label.
+    pub label: String,
+    /// `(x, y)` points in plot order.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Everything one experiment produces.
+#[derive(Clone, Debug, Default)]
+pub struct ExperimentReport {
+    /// Experiment identifier (e.g. `fig7-epinions`).
+    pub name: String,
+    /// Narrative notes (assumptions, substitutions, paper references).
+    pub notes: Vec<String>,
+    /// Tables to print.
+    pub tables: Vec<Table>,
+    /// Curves to export as CSV.
+    pub series: Vec<Series>,
+}
+
+impl ExperimentReport {
+    /// Creates an empty report.
+    pub fn new(name: impl Into<String>) -> Self {
+        ExperimentReport { name: name.into(), ..Default::default() }
+    }
+
+    /// Adds a note line.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Renders the whole report as markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}\n", self.name);
+        for n in &self.notes {
+            let _ = writeln!(out, "> {n}");
+        }
+        if !self.notes.is_empty() {
+            let _ = writeln!(out);
+        }
+        for t in &self.tables {
+            let _ = writeln!(out, "{}", t.to_markdown());
+        }
+        for s in &self.series {
+            let _ = writeln!(out, "{}", ascii_chart(s, 60, 12));
+        }
+        out
+    }
+
+    /// Writes `name.md` plus one CSV per series into `dir`.
+    pub fn write_to(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let md_path = dir.join(format!("{}.md", self.name));
+        std::fs::write(&md_path, self.to_markdown())?;
+        for s in &self.series {
+            let safe: String = s
+                .label
+                .chars()
+                .map(|c| if c.is_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+                .collect();
+            let path = dir.join(format!("{}-{safe}.csv", self.name));
+            let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+            writeln!(f, "x,y")?;
+            for (x, y) in &s.points {
+                writeln!(f, "{x},{y}")?;
+            }
+            f.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Renders a series as a crude ASCII scatter — enough to see a trend in a
+/// terminal without plotting dependencies.
+pub fn ascii_chart(series: &Series, width: usize, height: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "``` {}", series.label);
+    if series.points.is_empty() {
+        let _ = writeln!(out, "(empty series)");
+        let _ = writeln!(out, "```");
+        return out;
+    }
+    let (mut xmin, mut xmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut ymin, mut ymax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &(x, y) in &series.points {
+        xmin = xmin.min(x);
+        xmax = xmax.max(x);
+        ymin = ymin.min(y);
+        ymax = ymax.max(y);
+    }
+    let xspan = (xmax - xmin).max(f64::MIN_POSITIVE);
+    let yspan = (ymax - ymin).max(f64::MIN_POSITIVE);
+    let mut grid = vec![vec![b' '; width]; height];
+    for &(x, y) in &series.points {
+        let col = (((x - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        let row = (((y - ymin) / yspan) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - row][col] = b'*';
+    }
+    let _ = writeln!(out, "y ∈ [{ymin:.3}, {ymax:.3}]");
+    for row in grid {
+        let _ = writeln!(out, "|{}|", String::from_utf8_lossy(&row));
+    }
+    let _ = writeln!(out, "x ∈ [{xmin:.3}, {xmax:.3}]");
+    let _ = writeln!(out, "```");
+    out
+}
+
+/// Formats a float compactly for table cells.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 1000.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 10.0 {
+        format!("{x:.1}")
+    } else if x.abs() >= 0.01 {
+        format!("{x:.3}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+/// Mean of a slice.
+///
+/// # Panics
+/// Panics on empty input.
+pub fn mean(xs: &[f64]) -> f64 {
+    assert!(!xs.is_empty(), "mean of empty slice");
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Sample standard deviation (n−1); zero for singletons.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_padded_markdown() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.push_row(vec!["alpha".into(), "1".into()]);
+        t.push_row(vec!["b".into(), "22.5".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("### Demo"));
+        assert!(md.contains("| name  | value |"));
+        assert!(md.contains("| alpha | 1     |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn table_rejects_bad_arity() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn report_markdown_contains_all_parts() {
+        let mut r = ExperimentReport::new("fig-test");
+        r.note("substitution: synthetic data");
+        let mut t = Table::new("T", &["k"]);
+        t.push_row(vec!["v".into()]);
+        r.tables.push(t);
+        r.series.push(Series { label: "curve".into(), points: vec![(0.0, 1.0), (1.0, 2.0)] });
+        let md = r.to_markdown();
+        assert!(md.contains("## fig-test"));
+        assert!(md.contains("> substitution"));
+        assert!(md.contains("### T"));
+        assert!(md.contains("curve"));
+    }
+
+    #[test]
+    fn report_writes_files() {
+        let dir = std::env::temp_dir().join("mto_report_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut r = ExperimentReport::new("unit");
+        r.series.push(Series { label: "A B".into(), points: vec![(1.0, 2.0)] });
+        r.write_to(&dir).unwrap();
+        assert!(dir.join("unit.md").exists());
+        let csv = std::fs::read_to_string(dir.join("unit-a_b.csv")).unwrap();
+        assert!(csv.contains("x,y"));
+        assert!(csv.contains("1,2"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn ascii_chart_handles_empty_and_regular() {
+        let empty = Series { label: "e".into(), points: vec![] };
+        assert!(ascii_chart(&empty, 10, 4).contains("empty"));
+        let s = Series { label: "s".into(), points: (0..10).map(|i| (i as f64, (i * i) as f64)).collect() };
+        let chart = ascii_chart(&s, 20, 8);
+        assert!(chart.contains('*'));
+        assert!(chart.contains("x ∈"));
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(12345.6), "12346");
+        assert_eq!(fmt(42.42), "42.4");
+        assert_eq!(fmt(0.1234), "0.123");
+        assert_eq!(fmt(0.0001234), "1.23e-4");
+    }
+
+    #[test]
+    fn mean_and_std() {
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        let sd = std_dev(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((sd - 2.138).abs() < 0.01);
+    }
+}

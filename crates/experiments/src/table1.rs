@@ -1,0 +1,147 @@
+//! Table I: local dataset statistics.
+//!
+//! The paper reports `#nodes`, `#edges` and the 90% effective diameter of
+//! the three local snapshots (after mutual-edge conversion). Our synthetic
+//! stand-ins are calibrated to land near those numbers; this experiment
+//! builds them and reports paper-vs-measured side by side, plus the
+//! clustering statistics that explain how much material Theorem 3 has to
+//! work with.
+
+use mto_graph::algo::{
+    average_clustering_coefficient, effective_diameter, DegreeStats, EffectiveDiameterOptions,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::report::{fmt, ExperimentReport, Table};
+
+/// One measured dataset row.
+#[derive(Clone, Debug)]
+pub struct DatasetRow {
+    /// Dataset label.
+    pub name: &'static str,
+    /// Measured node count (largest component).
+    pub nodes: usize,
+    /// Measured edge count.
+    pub edges: usize,
+    /// Sampled 90% effective diameter.
+    pub diameter90: f64,
+    /// Average clustering coefficient.
+    pub clustering: f64,
+    /// Degree summary.
+    pub degrees: DegreeStats,
+}
+
+/// Builds all Table I datasets (optionally scaled down) and measures them.
+pub fn run(scale: usize) -> (Vec<DatasetRow>, ExperimentReport) {
+    let mut rows = Vec::new();
+    let mut report = ExperimentReport::new("table1");
+    report.note(
+        "Datasets are synthetic stand-ins (Chung-Lu + planted communities) \
+         calibrated to the paper's Table I; see DESIGN.md §3.",
+    );
+    if scale > 1 {
+        report.note(format!("Reduced run: all datasets scaled down by {scale}x."));
+    }
+
+    let mut table = Table::new(
+        "Table I — local datasets (paper vs measured)",
+        &[
+            "dataset",
+            "#nodes paper",
+            "#nodes",
+            "#edges paper",
+            "#edges",
+            "90% diam paper",
+            "90% diam",
+            "avg clustering",
+        ],
+    );
+
+    for spec in DatasetSpec::table1() {
+        let spec = if scale > 1 { spec.scaled_down(scale) } else { spec };
+        let g = build_dataset(&spec);
+        let mut rng = StdRng::seed_from_u64(spec.seed ^ 0xD1A);
+        let diameter = effective_diameter(
+            &g,
+            EffectiveDiameterOptions { quantile: 0.9, num_sources: 96 },
+            &mut rng,
+        );
+        let clustering = if g.num_nodes() <= 20_000 {
+            average_clustering_coefficient(&g)
+        } else {
+            // Sampled clustering on big graphs: first 10k nodes is plenty
+            // for a summary statistic.
+            let sum: f64 = (0..10_000u32)
+                .map(|v| {
+                    mto_graph::algo::local_clustering_coefficient(&g, mto_graph::NodeId(v))
+                })
+                .sum();
+            sum / 10_000.0
+        };
+        let row = DatasetRow {
+            name: spec.name,
+            nodes: g.num_nodes(),
+            edges: g.num_edges(),
+            diameter90: diameter,
+            clustering,
+            degrees: DegreeStats::of(&g),
+        };
+        let (pn, pe, pd) = spec.paper_reference;
+        table.push_row(vec![
+            row.name.into(),
+            pn.to_string(),
+            row.nodes.to_string(),
+            pe.to_string(),
+            row.edges.to_string(),
+            fmt(pd),
+            fmt(row.diameter90),
+            fmt(row.clustering),
+        ]);
+        rows.push(row);
+    }
+    report.tables.push(table);
+    (rows, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduced_table1_has_three_rows_with_sane_stats() {
+        let (rows, report) = run(40);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert!(row.nodes > 300, "{}: {} nodes", row.name, row.nodes);
+            assert!(row.edges > row.nodes, "{}: sparser than a tree?", row.name);
+            assert!(
+                row.diameter90 > 2.0 && row.diameter90 < 12.0,
+                "{}: diameter {}",
+                row.name,
+                row.diameter90
+            );
+            assert!(row.clustering >= 0.0 && row.clustering <= 1.0);
+            assert!(row.degrees.max > 3 * row.degrees.mean as usize);
+        }
+        let md = report.to_markdown();
+        assert!(md.contains("Epinions"));
+        assert!(md.contains("Slashdot A"));
+    }
+
+    #[test]
+    fn density_tracks_paper_targets() {
+        let (rows, _) = run(40);
+        // Average degree within 35% of the paper's (2m/n).
+        let targets = [12.24, 12.29, 7.53];
+        for (row, target) in rows.iter().zip(targets) {
+            let avg = 2.0 * row.edges as f64 / row.nodes as f64;
+            assert!(
+                (avg - target).abs() / target < 0.35,
+                "{}: avg degree {avg} vs paper {target}",
+                row.name
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Breadth-first search primitives.
+
+use std::collections::VecDeque;
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Distance value for unreachable nodes in [`bfs_distances`].
+pub const UNREACHABLE: u32 = u32::MAX;
+
+/// Hop distances from `source` to every node; [`UNREACHABLE`] marks nodes in
+/// other components.
+pub fn bfs_distances(g: &Graph, source: NodeId) -> Vec<u32> {
+    assert!(g.contains_node(source), "source {source} not in graph");
+    let mut dist = vec![UNREACHABLE; g.num_nodes()];
+    let mut queue = VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()];
+        for &v in g.neighbors(u) {
+            if dist[v.index()] == UNREACHABLE {
+                dist[v.index()] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes in BFS visit order from `source` (its connected component only).
+pub fn bfs_order(g: &Graph, source: NodeId) -> Vec<NodeId> {
+    assert!(g.contains_node(source), "source {source} not in graph");
+    let mut seen = vec![false; g.num_nodes()];
+    let mut order = Vec::new();
+    let mut queue = VecDeque::new();
+    seen[source.index()] = true;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for &v in g.neighbors(u) {
+            if !seen[v.index()] {
+                seen[v.index()] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{cycle_graph, path_graph};
+
+    #[test]
+    fn distances_on_a_path() {
+        let g = path_graph(5);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        let d2 = bfs_distances(&g, NodeId(2));
+        assert_eq!(d2, vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn distances_on_a_cycle_wrap_around() {
+        let g = cycle_graph(6);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unreachable_nodes_are_marked() {
+        let mut g = path_graph(3);
+        g.add_node(); // isolated node 3
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[3], UNREACHABLE);
+    }
+
+    #[test]
+    fn bfs_order_visits_component_breadth_first() {
+        let g = path_graph(4);
+        assert_eq!(
+            bfs_order(&g, NodeId(1)),
+            vec![NodeId(1), NodeId(0), NodeId(2), NodeId(3)]
+        );
+    }
+
+    #[test]
+    fn bfs_order_skips_other_components() {
+        let mut g = path_graph(3);
+        g.add_node();
+        assert_eq!(bfs_order(&g, NodeId(3)), vec![NodeId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in graph")]
+    fn rejects_unknown_source() {
+        let g = path_graph(2);
+        let _ = bfs_distances(&g, NodeId(9));
+    }
+}

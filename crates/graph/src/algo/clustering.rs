@@ -1,0 +1,128 @@
+//! Clustering coefficients and triangle counting.
+//!
+//! Theorem 3's removal criterion fires exactly when an edge closes many
+//! triangles relative to its endpoints' degrees, so clustering statistics
+//! predict how much material MTO has to work with on a given graph — the
+//! experiments report them alongside the conductance gains.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Number of triangles through node `v`: edges among `N(v)`.
+fn triangles_at(g: &Graph, v: NodeId) -> usize {
+    let nbrs = g.neighbors(v);
+    let mut t = 0usize;
+    for (i, &a) in nbrs.iter().enumerate() {
+        for &b in &nbrs[i + 1..] {
+            if g.has_edge(a, b) {
+                t += 1;
+            }
+        }
+    }
+    t
+}
+
+/// Local clustering coefficient of `v`: closed wedges at `v` divided by
+/// `C(k_v, 2)`. Zero for degree < 2.
+pub fn local_clustering_coefficient(g: &Graph, v: NodeId) -> f64 {
+    let k = g.degree(v);
+    if k < 2 {
+        return 0.0;
+    }
+    let possible = k * (k - 1) / 2;
+    triangles_at(g, v) as f64 / possible as f64
+}
+
+/// Average of local clustering coefficients over all nodes (Watts–Strogatz
+/// convention; isolated and degree-1 nodes contribute 0).
+pub fn average_clustering_coefficient(g: &Graph) -> f64 {
+    if g.num_nodes() == 0 {
+        return 0.0;
+    }
+    let sum: f64 = g.nodes().map(|v| local_clustering_coefficient(g, v)).sum();
+    sum / g.num_nodes() as f64
+}
+
+/// Total number of triangles in the graph.
+pub fn triangle_count(g: &Graph) -> usize {
+    // Each triangle is counted at each of its three corners.
+    g.nodes().map(|v| triangles_at(g, v)).sum::<usize>() / 3
+}
+
+/// Global clustering coefficient (transitivity): `3·triangles / wedges`.
+pub fn global_clustering_coefficient(g: &Graph) -> f64 {
+    let wedges: usize = g
+        .nodes()
+        .map(|v| {
+            let k = g.degree(v);
+            k * k.saturating_sub(1) / 2
+        })
+        .sum();
+    if wedges == 0 {
+        return 0.0;
+    }
+    3.0 * triangle_count(g) as f64 / wedges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, cycle_graph, paper_barbell, star_graph};
+
+    #[test]
+    fn triangle_graph_is_fully_clustered() {
+        let g = complete_graph(3);
+        assert_eq!(triangle_count(&g), 1);
+        assert_eq!(global_clustering_coefficient(&g), 1.0);
+        assert_eq!(average_clustering_coefficient(&g), 1.0);
+        assert_eq!(local_clustering_coefficient(&g, NodeId(0)), 1.0);
+    }
+
+    #[test]
+    fn complete_graph_triangle_count_is_binomial() {
+        let g = complete_graph(6);
+        assert_eq!(triangle_count(&g), 20); // C(6,3)
+        assert_eq!(global_clustering_coefficient(&g), 1.0);
+    }
+
+    #[test]
+    fn star_and_cycle_have_no_triangles() {
+        assert_eq!(triangle_count(&star_graph(8)), 0);
+        assert_eq!(triangle_count(&cycle_graph(5)), 0);
+        assert_eq!(global_clustering_coefficient(&star_graph(8)), 0.0);
+        assert_eq!(average_clustering_coefficient(&cycle_graph(5)), 0.0);
+    }
+
+    #[test]
+    fn barbell_triangle_count() {
+        // Two K11: 2 * C(11,3) = 2 * 165 = 330; the bridge adds none.
+        let g = paper_barbell();
+        assert_eq!(triangle_count(&g), 330);
+    }
+
+    #[test]
+    fn barbell_local_coefficients() {
+        let g = paper_barbell();
+        // Non-bridge clique node: all 10 neighbors pairwise adjacent.
+        assert_eq!(local_clustering_coefficient(&g, NodeId(1)), 1.0);
+        // Bridge endpoint: 11 neighbors, the bridge peer adjacent to none
+        // of the other 10 → C(10,2)=45 closed of C(11,2)=55.
+        let c = local_clustering_coefficient(&g, NodeId(0));
+        assert!((c - 45.0 / 55.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_degree_nodes_contribute_zero() {
+        let g = crate::generators::path_graph(3);
+        assert_eq!(local_clustering_coefficient(&g, NodeId(0)), 0.0);
+        assert_eq!(local_clustering_coefficient(&g, NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn empty_graph_coefficients_are_zero() {
+        let g = Graph::new();
+        assert_eq!(average_clustering_coefficient(&g), 0.0);
+        assert_eq!(global_clustering_coefficient(&g), 0.0);
+        assert_eq!(triangle_count(&g), 0);
+    }
+}

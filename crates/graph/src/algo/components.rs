@@ -1,0 +1,157 @@
+//! Connected components and largest-component extraction.
+//!
+//! The dataset pipeline mirrors the paper's preprocessing: after converting
+//! a directed snapshot to its mutual-edge undirected core, only the largest
+//! connected component is kept (random walks cannot leave a component).
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Result of a connected-components decomposition.
+#[derive(Clone, Debug)]
+pub struct Components {
+    /// Component label per node, densely numbered from 0.
+    pub labels: Vec<u32>,
+    /// Size of each component, indexed by label.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Label of the largest component (ties broken by lowest label).
+    ///
+    /// # Panics
+    /// Panics on an empty graph.
+    pub fn largest_label(&self) -> u32 {
+        assert!(!self.sizes.is_empty(), "no components in an empty graph");
+        let mut best = 0usize;
+        for (i, &s) in self.sizes.iter().enumerate() {
+            if s > self.sizes[best] {
+                best = i;
+            }
+        }
+        best as u32
+    }
+
+    /// Nodes belonging to component `label`, in ascending id order.
+    pub fn members(&self, label: u32) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == label)
+            .map(|(i, _)| NodeId::from_index(i))
+            .collect()
+    }
+}
+
+/// Labels connected components with iterative BFS (no recursion, so deep
+/// graphs cannot overflow the stack).
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.num_nodes();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if labels[start] != u32::MAX {
+            continue;
+        }
+        let label = sizes.len() as u32;
+        let mut size = 0usize;
+        labels[start] = label;
+        queue.push_back(NodeId::from_index(start));
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if labels[v.index()] == u32::MAX {
+                    labels[v.index()] = label;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { labels, sizes }
+}
+
+/// Extracts the largest connected component as a new densely-labelled
+/// graph, together with the mapping `new id -> old id`.
+///
+/// # Panics
+/// Panics on an empty graph.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<NodeId>) {
+    let comps = connected_components(g);
+    let keep = comps.members(comps.largest_label());
+    g.induced_subgraph(&keep)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, path_graph};
+
+    #[test]
+    fn single_component_graph() {
+        let g = path_graph(6);
+        let c = connected_components(&g);
+        assert_eq!(c.num_components(), 1);
+        assert_eq!(c.sizes, vec![6]);
+        assert!(c.labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn multiple_components_counted() {
+        // path of 3, triangle, and an isolated node = 3 components.
+        let mut g = Graph::from_edges([(0u32, 1u32), (1, 2), (3, 4), (4, 5), (3, 5)]).unwrap();
+        g.add_node(); // node 6
+        let c = connected_components(&g);
+        assert_eq!(c.num_components(), 3);
+        assert_eq!(c.sizes, vec![3, 3, 1]);
+        assert_eq!(c.labels[6], 2);
+    }
+
+    #[test]
+    fn largest_label_prefers_biggest() {
+        let mut g = Graph::from_edges([(0u32, 1u32), (2, 3), (3, 4)]).unwrap();
+        g.add_node();
+        let c = connected_components(&g);
+        assert_eq!(c.largest_label(), 1);
+        assert_eq!(c.members(1), vec![NodeId(2), NodeId(3), NodeId(4)]);
+    }
+
+    #[test]
+    fn largest_component_extraction() {
+        let g = Graph::from_edges([(0u32, 1u32), (2, 3), (3, 4), (4, 2)]).unwrap();
+        let (lcc, map) = largest_component(&g);
+        assert_eq!(lcc.num_nodes(), 3);
+        assert_eq!(lcc.num_edges(), 3);
+        assert_eq!(map, vec![NodeId(2), NodeId(3), NodeId(4)]);
+        lcc.validate().unwrap();
+    }
+
+    #[test]
+    fn complete_graph_is_one_component() {
+        let g = complete_graph(8);
+        let (lcc, _) = largest_component(&g);
+        assert_eq!(lcc.num_nodes(), 8);
+        assert_eq!(lcc.num_edges(), 28);
+    }
+
+    #[test]
+    fn all_isolated_nodes() {
+        let g = Graph::with_nodes(4);
+        let c = connected_components(&g);
+        assert_eq!(c.num_components(), 4);
+        assert!(c.sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn largest_label_panics_on_empty() {
+        let c = connected_components(&Graph::new());
+        let _ = c.largest_label();
+    }
+}

@@ -1,0 +1,134 @@
+//! Degree statistics and the degree-distribution distance used as a
+//! convergence measure in the sampling literature (\[10\], \[14\] in the paper).
+
+use crate::graph::Graph;
+
+/// Summary statistics of a degree sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DegreeStats {
+    /// Smallest degree.
+    pub min: usize,
+    /// Largest degree.
+    pub max: usize,
+    /// Mean degree `2|E|/|V|`.
+    pub mean: f64,
+    /// Median degree.
+    pub median: f64,
+    /// Population variance of the degree sequence.
+    pub variance: f64,
+}
+
+impl DegreeStats {
+    /// Computes the summary for a graph.
+    ///
+    /// # Panics
+    /// Panics on the empty graph (no degrees to summarize).
+    pub fn of(g: &Graph) -> DegreeStats {
+        assert!(g.num_nodes() > 0, "degree stats of an empty graph are undefined");
+        let mut degs = g.degree_sequence();
+        degs.sort_unstable();
+        let n = degs.len();
+        let mean = degs.iter().sum::<usize>() as f64 / n as f64;
+        let variance =
+            degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let median = if n % 2 == 1 {
+            degs[n / 2] as f64
+        } else {
+            (degs[n / 2 - 1] + degs[n / 2]) as f64 / 2.0
+        };
+        DegreeStats { min: degs[0], max: degs[n - 1], mean, median, variance }
+    }
+}
+
+/// Histogram of degrees: `hist[d]` = number of nodes of degree `d`.
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for d in g.degree_sequence() {
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Total-variation distance between the *normalized* degree distributions
+/// of two graphs: `½ Σ_d |p(d) − q(d)|` — the "degree distribution
+/// distance" convergence measure from the sampling literature.
+///
+/// # Panics
+/// Panics if either graph is empty.
+pub fn degree_distribution_distance(a: &Graph, b: &Graph) -> f64 {
+    assert!(a.num_nodes() > 0 && b.num_nodes() > 0, "empty graph has no distribution");
+    let ha = degree_histogram(a);
+    let hb = degree_histogram(b);
+    let na = a.num_nodes() as f64;
+    let nb = b.num_nodes() as f64;
+    let len = ha.len().max(hb.len());
+    let mut tv = 0.0;
+    for d in 0..len {
+        let pa = ha.get(d).copied().unwrap_or(0) as f64 / na;
+        let pb = hb.get(d).copied().unwrap_or(0) as f64 / nb;
+        tv += (pa - pb).abs();
+    }
+    tv / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_graph, path_graph, star_graph};
+    use crate::Graph;
+
+    #[test]
+    fn stats_of_path() {
+        let s = DegreeStats::of(&path_graph(5));
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 2);
+        assert!((s.mean - 1.6).abs() < 1e-12);
+        assert_eq!(s.median, 2.0);
+        assert!((s.variance - 0.24).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_of_regular_graph_have_zero_variance() {
+        let s = DegreeStats::of(&complete_graph(7));
+        assert_eq!(s.min, 6);
+        assert_eq!(s.max, 6);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.median, 6.0);
+    }
+
+    #[test]
+    fn histogram_of_star() {
+        let h = degree_histogram(&star_graph(5)); // hub degree 4, leaves 1
+        assert_eq!(h, vec![0, 4, 0, 0, 1]);
+    }
+
+    #[test]
+    fn distance_between_identical_graphs_is_zero() {
+        let g = star_graph(6);
+        assert_eq!(degree_distribution_distance(&g, &g), 0.0);
+    }
+
+    #[test]
+    fn distance_between_disjoint_supports_is_one() {
+        // All nodes degree 2 vs all nodes degree 3.
+        let a = crate::generators::cycle_graph(5);
+        let b = complete_graph(4);
+        assert!((degree_distribution_distance(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let a = path_graph(10);
+        let b = star_graph(10);
+        let d1 = degree_distribution_distance(&a, &b);
+        let d2 = degree_distribution_distance(&b, &a);
+        assert!((d1 - d2).abs() < 1e-15);
+        assert!((0.0..=1.0).contains(&d1));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn stats_reject_empty_graph() {
+        let _ = DegreeStats::of(&Graph::new());
+    }
+}

@@ -1,0 +1,15 @@
+//! Classic graph algorithms needed by the experiments: traversal, connected
+//! components, the SNAP-style 90% effective diameter of Table I, clustering
+//! coefficients and degree statistics.
+
+mod bfs;
+mod clustering;
+mod components;
+mod degree;
+mod diameter;
+
+pub use bfs::{bfs_distances, bfs_order, UNREACHABLE};
+pub use clustering::{average_clustering_coefficient, global_clustering_coefficient, local_clustering_coefficient, triangle_count};
+pub use components::{connected_components, largest_component, Components};
+pub use degree::{degree_histogram, degree_distribution_distance, DegreeStats};
+pub use diameter::{effective_diameter, exact_effective_diameter, EffectiveDiameterOptions};

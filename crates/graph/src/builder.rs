@@ -1,0 +1,180 @@
+//! Forgiving bulk construction of graphs.
+//!
+//! Generators and edge-list readers produce streams of node pairs that may
+//! contain duplicates, reversed duplicates and self-loops. [`GraphBuilder`]
+//! accepts them all, canonicalizes, deduplicates, and produces a valid
+//! [`Graph`] in one pass — far cheaper than incremental sorted insertion for
+//! the multi-million-edge synthetic OSNs the experiments need.
+
+use crate::graph::Graph;
+use crate::node::{Edge, NodeId};
+
+/// Accumulates edges permissively and builds a [`Graph`].
+#[derive(Clone, Default)]
+pub struct GraphBuilder {
+    edges: Vec<Edge>,
+    min_nodes: usize,
+    dropped_self_loops: usize,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder whose graph will have at least `n` nodes even if
+    /// some of them end up isolated.
+    pub fn with_nodes(n: usize) -> Self {
+        GraphBuilder { edges: Vec::new(), min_nodes: n, dropped_self_loops: 0 }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_edge_capacity(mut self, m: usize) -> Self {
+        self.edges.reserve(m);
+        self
+    }
+
+    /// Ensures the final graph has at least `n` nodes.
+    pub fn ensure_nodes(&mut self, n: usize) {
+        self.min_nodes = self.min_nodes.max(n);
+    }
+
+    /// Adds an undirected edge. Self-loops are silently dropped (counted in
+    /// [`GraphBuilder::dropped_self_loops`]); duplicates are deduplicated at
+    /// build time.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) {
+        if u == v {
+            self.dropped_self_loops += 1;
+            return;
+        }
+        self.edges.push(Edge::new(u, v));
+    }
+
+    /// Adds an edge given raw `u32` ids.
+    pub fn add_edge_u32(&mut self, u: u32, v: u32) {
+        self.add_edge(NodeId(u), NodeId(v));
+    }
+
+    /// Extends from an iterator of raw pairs.
+    pub fn extend<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) {
+        for (u, v) in iter {
+            self.add_edge_u32(u, v);
+        }
+    }
+
+    /// Number of self-loops dropped so far.
+    pub fn dropped_self_loops(&self) -> usize {
+        self.dropped_self_loops
+    }
+
+    /// Number of (possibly duplicated) edges accumulated so far.
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sorts, deduplicates, and materializes the graph.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+
+        let max_node = self
+            .edges
+            .iter()
+            .map(|e| e.large().index() + 1)
+            .max()
+            .unwrap_or(0);
+        let n = max_node.max(self.min_nodes);
+
+        // Two-pass CSR-style fill so each adjacency vector is allocated once
+        // at its exact final size.
+        let mut degree = vec![0usize; n];
+        for e in &self.edges {
+            degree[e.small().index()] += 1;
+            degree[e.large().index()] += 1;
+        }
+        let mut adj: Vec<Vec<NodeId>> =
+            degree.iter().map(|&d| Vec::with_capacity(d)).collect();
+        for e in &self.edges {
+            adj[e.small().index()].push(e.large());
+            adj[e.large().index()].push(e.small());
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+        }
+        let g = Graph::assemble(adj, self.edges.len());
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_dedups_and_canonicalizes() {
+        let mut b = GraphBuilder::new();
+        b.add_edge_u32(0, 1);
+        b.add_edge_u32(1, 0); // reversed duplicate
+        b.add_edge_u32(0, 1); // exact duplicate
+        b.add_edge_u32(2, 2); // self-loop dropped
+        b.add_edge_u32(1, 2);
+        assert_eq!(b.dropped_self_loops(), 1);
+        assert_eq!(b.pending_edges(), 4);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_respects_min_nodes() {
+        let mut b = GraphBuilder::with_nodes(10);
+        b.add_edge_u32(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 10);
+        assert_eq!(g.degree(NodeId(9)), 0);
+    }
+
+    #[test]
+    fn ensure_nodes_grows_only() {
+        let mut b = GraphBuilder::with_nodes(5);
+        b.ensure_nodes(3);
+        b.ensure_nodes(8);
+        let g = b.build();
+        assert_eq!(g.num_nodes(), 8);
+    }
+
+    #[test]
+    fn empty_builder_builds_empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn extend_accepts_raw_pairs() {
+        let mut b = GraphBuilder::new().with_edge_capacity(4);
+        b.extend([(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_nodes(), 4);
+    }
+
+    #[test]
+    fn builder_matches_incremental_graph() {
+        let pairs = [(0u32, 3u32), (3, 7), (7, 0), (1, 2), (2, 5), (5, 1), (4, 6)];
+        let mut b = GraphBuilder::new();
+        for &(u, v) in &pairs {
+            b.add_edge_u32(u, v);
+        }
+        let built = b.build();
+        let incremental = Graph::from_edges(pairs).unwrap();
+        assert_eq!(built.num_nodes(), incremental.num_nodes());
+        assert_eq!(built.num_edges(), incremental.num_edges());
+        for v in built.nodes() {
+            assert_eq!(built.neighbors(v), incremental.neighbors(v));
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Frozen compressed-sparse-row graph.
+//!
+//! Random walks take millions of steps over a graph that never changes (the
+//! *original* topology; the overlay is a delta on top). [`CsrGraph`] packs
+//! all adjacency into two flat arrays for cache-friendly neighbor lookup and
+//! cheap cloning across experiment threads.
+
+use crate::graph::Graph;
+use crate::node::{Edge, NodeId};
+
+/// Immutable CSR view of an undirected graph.
+#[derive(Clone)]
+pub struct CsrGraph {
+    /// `offsets[v] .. offsets[v+1]` indexes `targets` for node `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-node-sorted neighbor lists.
+    targets: Vec<NodeId>,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Freezes a [`Graph`] into CSR form.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut targets = Vec::with_capacity(g.volume());
+        offsets.push(0u32);
+        for v in g.nodes() {
+            targets.extend_from_slice(g.neighbors(v));
+            offsets.push(targets.len() as u32);
+        }
+        CsrGraph { offsets, targets, num_edges: g.num_edges() }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Sorted neighborhood of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.offsets[v.index()] as usize;
+        let hi = self.offsets[v.index() + 1] as usize;
+        &self.targets[lo..hi]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Membership test via binary search on the sorted neighbor list.
+    #[inline]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        u != v && self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::from_index)
+    }
+
+    /// Iterates each undirected edge once, canonically oriented.
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .filter(move |&&v| u < v)
+                .map(move |&v| Edge::new(u, v))
+        })
+    }
+
+    /// Sum of all degrees, `2|E|`.
+    #[inline]
+    pub fn volume(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Thaws back into a mutable [`Graph`].
+    pub fn to_graph(&self) -> Graph {
+        let adj: Vec<Vec<NodeId>> =
+            self.nodes().map(|v| self.neighbors(v).to_vec()).collect();
+        Graph::assemble(adj, self.num_edges)
+    }
+}
+
+impl From<&Graph> for CsrGraph {
+    fn from(g: &Graph) -> Self {
+        CsrGraph::from_graph(g)
+    }
+}
+
+impl std::fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "CsrGraph(n={}, m={})", self.num_nodes(), self.num_edges())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        Graph::from_edges([(0u32, 1u32), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap()
+    }
+
+    #[test]
+    fn csr_matches_source_graph() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        assert_eq!(c.num_nodes(), g.num_nodes());
+        assert_eq!(c.num_edges(), g.num_edges());
+        assert_eq!(c.volume(), g.volume());
+        for v in g.nodes() {
+            assert_eq!(c.neighbors(v), g.neighbors(v));
+            assert_eq!(c.degree(v), g.degree(v));
+        }
+    }
+
+    #[test]
+    fn csr_edge_iteration_matches() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        let mut a: Vec<Edge> = g.edges().collect();
+        let mut b: Vec<Edge> = c.edges().collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn csr_has_edge_agrees() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                assert_eq!(c.has_edge(u, v), g.has_edge(u, v), "({u},{v})");
+            }
+        }
+    }
+
+    #[test]
+    fn thaw_roundtrip() {
+        let g = sample();
+        let c = CsrGraph::from_graph(&g);
+        let g2 = c.to_graph();
+        g2.validate().unwrap();
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn empty_graph_freezes() {
+        let c = CsrGraph::from_graph(&Graph::new());
+        assert_eq!(c.num_nodes(), 0);
+        assert_eq!(c.num_edges(), 0);
+        assert_eq!(c.edges().count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_empty_neighborhoods() {
+        let c = CsrGraph::from_graph(&Graph::with_nodes(3));
+        for v in c.nodes() {
+            assert!(c.neighbors(v).is_empty());
+        }
+    }
+}

@@ -1,0 +1,95 @@
+//! Error type for graph construction and IO.
+
+use std::fmt;
+use std::io;
+
+use crate::NodeId;
+
+/// Errors raised by graph construction, mutation and (de)serialization.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A node id referenced a node outside the graph.
+    NodeOutOfBounds {
+        /// The offending id.
+        node: NodeId,
+        /// Number of nodes in the graph at the time.
+        num_nodes: usize,
+    },
+    /// An edge `(u, u)` was supplied; the library models simple graphs.
+    SelfLoop(NodeId),
+    /// The same undirected edge was supplied twice to an operation that
+    /// requires distinct edges.
+    DuplicateEdge(NodeId, NodeId),
+    /// An edge that was expected to exist is absent.
+    MissingEdge(NodeId, NodeId),
+    /// An edge-list line could not be parsed.
+    Parse {
+        /// 1-based line number in the input.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// Underlying IO failure while reading or writing an edge list.
+    Io(io::Error),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfBounds { node, num_nodes } => {
+                write!(f, "node {node} out of bounds for graph with {num_nodes} nodes")
+            }
+            GraphError::SelfLoop(v) => write!(f, "self-loop at node {v} is not allowed"),
+            GraphError::DuplicateEdge(u, v) => write!(f, "duplicate edge ({u}, {v})"),
+            GraphError::MissingEdge(u, v) => write!(f, "edge ({u}, {v}) does not exist"),
+            GraphError::Parse { line, message } => {
+                write!(f, "edge list parse error on line {line}: {message}")
+            }
+            GraphError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, GraphError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfBounds { node: NodeId(9), num_nodes: 4 };
+        assert!(e.to_string().contains("out of bounds"));
+        assert!(GraphError::SelfLoop(NodeId(1)).to_string().contains("self-loop"));
+        assert!(GraphError::DuplicateEdge(NodeId(1), NodeId(2)).to_string().contains("duplicate"));
+        assert!(GraphError::MissingEdge(NodeId(1), NodeId(2)).to_string().contains("not exist"));
+        let p = GraphError::Parse { line: 3, message: "bad token".into() };
+        assert!(p.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error as _;
+        let e: GraphError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(e.to_string().contains("gone"));
+        assert!(e.source().is_some());
+        let s = GraphError::SelfLoop(NodeId(0));
+        assert!(s.source().is_none());
+    }
+}

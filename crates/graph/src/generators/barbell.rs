@@ -1,0 +1,162 @@
+//! The barbell running example from the paper (Fig 1).
+//!
+//! Two cliques `K_c` joined by a single bridge edge. With `c = 11` this is
+//! the paper's 22-node, 111-edge graph whose conductance is
+//! `Φ(G) = 1 / (C(11,2) + 1) = 1/56 ≈ 0.018` — the unique minimizing cut
+//! splits the two cliques and the lone bridge is the only cross-cutting
+//! edge.
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Parameters of a generalized barbell graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BarbellSpec {
+    /// Size of each clique (`>= 2`).
+    pub clique_size: usize,
+    /// Number of bridge edges between the cliques (`>= 1`); the paper's
+    /// running example has exactly one.
+    pub bridges: usize,
+}
+
+impl BarbellSpec {
+    /// The paper's running example: two `K_11` plus one bridge.
+    pub fn paper() -> Self {
+        BarbellSpec { clique_size: 11, bridges: 1 }
+    }
+
+    /// Expected node count.
+    pub fn num_nodes(&self) -> usize {
+        2 * self.clique_size
+    }
+
+    /// Expected edge count: `2·C(c,2) + bridges`.
+    pub fn num_edges(&self) -> usize {
+        self.clique_size * (self.clique_size - 1) + self.bridges
+    }
+
+    /// Exact conductance of the clique/clique cut under the paper's
+    /// Definition 3, whose denominator counts each edge with at least one
+    /// endpoint in `S` *once* (not per endpoint). One clique side has
+    /// `C(c,2)` internal edges plus the `bridges` cross edges, giving
+    /// `bridges / (C(c,2) + bridges)`; with `c = 11, bridges = 1` that is
+    /// `1/56 ≈ 0.0179`, exactly the paper's `Φ(G) = 0.018`.
+    pub fn clique_cut_conductance(&self) -> f64 {
+        let side = self.clique_size * (self.clique_size - 1) / 2 + self.bridges;
+        self.bridges as f64 / side as f64
+    }
+}
+
+/// Builds a barbell graph.
+///
+/// Nodes `0 .. c` form clique `A` (the paper's `S`), nodes `c .. 2c` form
+/// clique `B` (`S̄`). Bridge `i` joins node `i` of `A` to node `c + i` of
+/// `B`, so the paper's bridge endpoints `u, v` are `NodeId(0)` and
+/// `NodeId(c)`.
+///
+/// # Panics
+/// Panics if `clique_size < 2` or `bridges` is zero or exceeds
+/// `clique_size` (one bridge per node pair keeps the graph simple).
+pub fn barbell_graph(spec: BarbellSpec) -> Graph {
+    let c = spec.clique_size;
+    assert!(c >= 2, "barbell cliques need at least 2 nodes, got {c}");
+    assert!(
+        (1..=c).contains(&spec.bridges),
+        "bridges must be in 1..={c}, got {}",
+        spec.bridges
+    );
+    let mut g = Graph::with_nodes(2 * c);
+    for offset in [0, c] {
+        for i in 0..c {
+            for j in (i + 1)..c {
+                g.add_edge(NodeId::from_index(offset + i), NodeId::from_index(offset + j))
+                    .expect("clique edges are unique");
+            }
+        }
+    }
+    for b in 0..spec.bridges {
+        g.add_edge(NodeId::from_index(b), NodeId::from_index(c + b))
+            .expect("bridge edges are unique");
+    }
+    debug_assert_eq!(g.num_edges(), spec.num_edges());
+    g
+}
+
+/// The exact graph of the paper's running example: 22 nodes, 111 edges.
+pub fn paper_barbell() -> Graph {
+    barbell_graph(BarbellSpec::paper())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_barbell_matches_published_counts() {
+        let g = paper_barbell();
+        assert_eq!(g.num_nodes(), 22, "paper: 22-node barbell");
+        assert_eq!(g.num_edges(), 111, "paper: 111-edge barbell");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn paper_conductance_closed_form() {
+        // Φ(G) = 1/(C(11,2)+1) = 1/56 ≈ 0.018 (paper, running example).
+        let phi = BarbellSpec::paper().clique_cut_conductance();
+        assert!((phi - 1.0 / 56.0).abs() < 1e-12);
+        assert!((phi - 0.018).abs() < 5e-4);
+    }
+
+    #[test]
+    fn bridge_endpoints_are_0_and_c() {
+        let g = paper_barbell();
+        assert!(g.has_edge(NodeId(0), NodeId(11)));
+        assert_eq!(g.degree(NodeId(0)), 11); // 10 clique + 1 bridge
+        assert_eq!(g.degree(NodeId(1)), 10); // clique only
+    }
+
+    #[test]
+    fn bridge_endpoints_share_no_common_neighbors() {
+        // The bridge must never satisfy the Theorem 3 removal criterion.
+        let g = paper_barbell();
+        assert_eq!(g.common_neighbor_count(NodeId(0), NodeId(11)), 0);
+    }
+
+    #[test]
+    fn intra_clique_edges_have_c_minus_2_common_neighbors() {
+        let g = paper_barbell();
+        assert_eq!(g.common_neighbor_count(NodeId(1), NodeId(2)), 9);
+        assert_eq!(g.common_neighbor_count(NodeId(0), NodeId(1)), 9);
+    }
+
+    #[test]
+    fn multi_bridge_barbell() {
+        let spec = BarbellSpec { clique_size: 5, bridges: 3 };
+        let g = barbell_graph(spec);
+        assert_eq!(g.num_nodes(), spec.num_nodes());
+        assert_eq!(g.num_edges(), spec.num_edges());
+        assert!(g.has_edge(NodeId(0), NodeId(5)));
+        assert!(g.has_edge(NodeId(1), NodeId(6)));
+        assert!(g.has_edge(NodeId(2), NodeId(7)));
+        assert!(!g.has_edge(NodeId(3), NodeId(8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "bridges must be in")]
+    fn rejects_too_many_bridges() {
+        let _ = barbell_graph(BarbellSpec { clique_size: 3, bridges: 4 });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 nodes")]
+    fn rejects_tiny_cliques() {
+        let _ = barbell_graph(BarbellSpec { clique_size: 1, bridges: 1 });
+    }
+
+    #[test]
+    fn conductance_decreases_with_clique_size() {
+        let small = BarbellSpec { clique_size: 4, bridges: 1 }.clique_cut_conductance();
+        let large = BarbellSpec { clique_size: 12, bridges: 1 }.clique_cut_conductance();
+        assert!(large < small, "bigger cliques mean worse bottleneck");
+    }
+}

@@ -1,0 +1,175 @@
+//! Erdős–Rényi random graphs `G(n, p)` and `G(n, m)`.
+//!
+//! Used as "no community structure" controls in the experiments and as the
+//! raw material of property tests (the removal/replacement theorems must be
+//! sound on arbitrary topology, not just on nicely clustered graphs).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Samples `G(n, p)`: every pair independently linked with probability `p`.
+///
+/// Uses the geometric skipping method (Batagelj–Brandes), `O(n + m)`
+/// expected time, so sparse million-node graphs are cheap.
+///
+/// # Panics
+/// Panics unless `0.0 <= p <= 1.0`.
+pub fn gnp_graph<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability p={p} outside [0, 1]");
+    let mut b = GraphBuilder::with_nodes(n);
+    if p <= 0.0 || n < 2 {
+        return b.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                b.add_edge_u32(u, v);
+            }
+        }
+        return b.build();
+    }
+    // Walk the strictly-upper-triangular pair index with geometric jumps.
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    while (v as usize) < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log_q).floor() as i64;
+        while w >= v && (v as usize) < n {
+            w -= v;
+            v += 1;
+        }
+        if (v as usize) < n {
+            b.add_edge_u32(w as u32, v as u32);
+        }
+    }
+    b.build()
+}
+
+/// Samples `G(n, m)`: exactly `m` distinct edges drawn uniformly among all
+/// `C(n, 2)` pairs.
+///
+/// # Panics
+/// Panics if `m > C(n, 2)`.
+pub fn gnm_graph<R: Rng + ?Sized>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "G(n={n}, m={m}) impossible: max {max_edges} edges");
+    let mut b = GraphBuilder::with_nodes(n).with_edge_capacity(m);
+    if m == 0 {
+        return b.build();
+    }
+    // Dense request: sample by shuffling all pairs (exact, no rejection).
+    if m * 3 >= max_edges {
+        let mut pairs = Vec::with_capacity(max_edges);
+        for u in 0..n as u32 {
+            for v in (u + 1)..n as u32 {
+                pairs.push((u, v));
+            }
+        }
+        pairs.shuffle(rng);
+        for &(u, v) in pairs.iter().take(m) {
+            b.add_edge_u32(u, v);
+        }
+        return b.build();
+    }
+    // Sparse request: rejection-sample distinct pairs.
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    while seen.len() < m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge_u32(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gnp_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty = gnp_graph(10, 0.0, &mut rng);
+        assert_eq!(empty.num_edges(), 0);
+        assert_eq!(empty.num_nodes(), 10);
+        let full = gnp_graph(10, 1.0, &mut rng);
+        assert_eq!(full.num_edges(), 45);
+    }
+
+    #[test]
+    fn gnp_edge_count_near_expectation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 400;
+        let p = 0.05;
+        let g = gnp_graph(n, p, &mut rng);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        // 5 sigma tolerance on a binomial.
+        let sigma = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (got - expected).abs() < 5.0 * sigma,
+            "edges {got} too far from expectation {expected}"
+        );
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn gnp_is_deterministic_under_seed() {
+        let g1 = gnp_graph(50, 0.2, &mut StdRng::seed_from_u64(99));
+        let g2 = gnp_graph(50, 0.2, &mut StdRng::seed_from_u64(99));
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        for v in g1.nodes() {
+            assert_eq!(g1.neighbors(v), g2.neighbors(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn gnp_rejects_bad_probability() {
+        let _ = gnp_graph(5, 1.5, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn gnm_exact_edge_count_sparse_and_dense() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let sparse = gnm_graph(100, 50, &mut rng);
+        assert_eq!(sparse.num_edges(), 50);
+        sparse.validate().unwrap();
+        let dense = gnm_graph(10, 40, &mut rng);
+        assert_eq!(dense.num_edges(), 40);
+        dense.validate().unwrap();
+    }
+
+    #[test]
+    fn gnm_zero_edges() {
+        let g = gnm_graph(5, 0, &mut StdRng::seed_from_u64(0));
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 5);
+    }
+
+    #[test]
+    fn gnm_complete() {
+        let g = gnm_graph(6, 15, &mut StdRng::seed_from_u64(0));
+        assert_eq!(g.num_edges(), 15);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible")]
+    fn gnm_rejects_overfull() {
+        let _ = gnm_graph(4, 7, &mut StdRng::seed_from_u64(0));
+    }
+}

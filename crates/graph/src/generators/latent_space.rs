@@ -1,0 +1,242 @@
+//! The latent-space graph model of Section IV-B.
+//!
+//! Nodes are points in a `D`-dimensional latent space; `i` and `j` connect
+//! with probability `P(i ~ j | d_ij) = 1 / (1 + e^{α (d_ij - r)})` (paper
+//! Eq. 11). `r` controls sociability, `α` the sharpness; `α = +∞` makes the
+//! model a deterministic geometric graph (`d_ij < r ⇔ edge`), which is the
+//! regime of Theorem 6 and Fig 10.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// A sampled latent position.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatentPoint {
+    /// Coordinates, one per latent dimension.
+    pub coords: Vec<f64>,
+}
+
+impl LatentPoint {
+    /// Euclidean distance to another point.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree.
+    pub fn distance(&self, other: &LatentPoint) -> f64 {
+        assert_eq!(self.coords.len(), other.coords.len(), "dimension mismatch");
+        self.coords
+            .iter()
+            .zip(&other.coords)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+/// Parameters of the latent-space model.
+#[derive(Clone, Debug)]
+pub struct LatentSpaceModel {
+    /// Side lengths of the axis-aligned box nodes are uniform in; its length
+    /// is the dimension `D`. The paper's Fig 10 uses `[4.0, 5.0]` (an area
+    /// of `[0,4] × [0,5]`) with `D = 2`.
+    pub box_sides: Vec<f64>,
+    /// Sociability radius `r` (paper: 0.7).
+    pub r: f64,
+    /// Link-function sharpness `α`; `None` means `α = +∞` (hard threshold).
+    pub alpha: Option<f64>,
+}
+
+impl LatentSpaceModel {
+    /// The configuration used in the paper's Fig 10 and Theorem 6
+    /// experiments: `D = 2`, box `[0,4] × [0,5]`, `r = 0.7`, `α = ∞`.
+    pub fn paper_fig10() -> Self {
+        LatentSpaceModel { box_sides: vec![4.0, 5.0], r: 0.7, alpha: None }
+    }
+
+    /// Latent dimension `D`.
+    pub fn dimension(&self) -> usize {
+        self.box_sides.len()
+    }
+
+    /// Connection probability for a pair at distance `d` (Eq. 11).
+    pub fn link_probability(&self, d: f64) -> f64 {
+        match self.alpha {
+            None => {
+                if d < self.r {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Some(alpha) => 1.0 / (1.0 + (alpha * (d - self.r)).exp()),
+        }
+    }
+
+    /// Volume of the `D`-dimensional hypersphere of radius `r` — `V(r)` in
+    /// Theorem 6. Supports `D ∈ {1, 2, 3}`, which covers the paper's use.
+    ///
+    /// # Panics
+    /// Panics for other dimensions.
+    pub fn hypersphere_volume(&self) -> f64 {
+        let r = self.r;
+        match self.dimension() {
+            1 => 2.0 * r,
+            2 => std::f64::consts::PI * r * r,
+            3 => 4.0 / 3.0 * std::f64::consts::PI * r * r * r,
+            d => panic!("hypersphere volume implemented for D <= 3, got {d}"),
+        }
+    }
+
+    /// Samples `n` node positions uniformly in the box.
+    pub fn sample_points<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Vec<LatentPoint> {
+        (0..n)
+            .map(|_| LatentPoint {
+                coords: self.box_sides.iter().map(|&s| rng.gen_range(0.0..s)).collect(),
+            })
+            .collect()
+    }
+}
+
+/// A latent-space graph together with the positions that generated it —
+/// Theorem 6 verification needs the geometry, not just the topology.
+#[derive(Clone, Debug)]
+pub struct LatentSpaceSample {
+    /// The generated graph.
+    pub graph: Graph,
+    /// Latent position of each node.
+    pub points: Vec<LatentPoint>,
+}
+
+/// Samples an `n`-node latent-space graph.
+///
+/// Pair enumeration is `O(n²)`; the paper's Fig 10 uses `n ≤ 100`, and the
+/// Theorem 6 check uses point samples rather than graphs, so quadratic cost
+/// is fine here.
+pub fn latent_space_graph<R: Rng + ?Sized>(
+    model: &LatentSpaceModel,
+    n: usize,
+    rng: &mut R,
+) -> LatentSpaceSample {
+    let points = model.sample_points(n, rng);
+    let mut b = GraphBuilder::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = points[i].distance(&points[j]);
+            let p = model.link_probability(d);
+            let connect = match model.alpha {
+                None => p == 1.0,
+                Some(_) => rng.gen::<f64>() < p,
+            };
+            if connect {
+                b.add_edge_u32(i as u32, j as u32);
+            }
+        }
+    }
+    LatentSpaceSample { graph: b.build(), points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hard_threshold_matches_geometry_exactly() {
+        let model = LatentSpaceModel::paper_fig10();
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = latent_space_graph(&model, 60, &mut rng);
+        for i in 0..60 {
+            for j in (i + 1)..60 {
+                let d = s.points[i].distance(&s.points[j]);
+                let has = s.graph.has_edge(
+                    crate::NodeId(i as u32),
+                    crate::NodeId(j as u32),
+                );
+                assert_eq!(has, d < model.r, "pair ({i},{j}) at distance {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn link_probability_hard_and_soft() {
+        let hard = LatentSpaceModel::paper_fig10();
+        assert_eq!(hard.link_probability(0.5), 1.0);
+        assert_eq!(hard.link_probability(0.9), 0.0);
+
+        let soft = LatentSpaceModel { alpha: Some(4.0), ..LatentSpaceModel::paper_fig10() };
+        let at_r = soft.link_probability(0.7);
+        assert!((at_r - 0.5).abs() < 1e-12, "sigmoid is 1/2 at d = r");
+        assert!(soft.link_probability(0.1) > 0.9);
+        assert!(soft.link_probability(2.0) < 0.01);
+    }
+
+    #[test]
+    fn soft_model_is_monotone_in_distance() {
+        let soft = LatentSpaceModel { alpha: Some(3.0), ..LatentSpaceModel::paper_fig10() };
+        let mut last = f64::INFINITY;
+        for k in 0..50 {
+            let d = k as f64 * 0.1;
+            let p = soft.link_probability(d);
+            assert!(p <= last + 1e-15);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn points_stay_in_box() {
+        let model = LatentSpaceModel::paper_fig10();
+        let pts = model.sample_points(500, &mut StdRng::seed_from_u64(8));
+        for p in &pts {
+            assert_eq!(p.coords.len(), 2);
+            assert!(p.coords[0] >= 0.0 && p.coords[0] < 4.0);
+            assert!(p.coords[1] >= 0.0 && p.coords[1] < 5.0);
+        }
+    }
+
+    #[test]
+    fn distance_is_a_metric_on_samples() {
+        let model = LatentSpaceModel::paper_fig10();
+        let pts = model.sample_points(20, &mut StdRng::seed_from_u64(2));
+        for a in &pts {
+            assert_eq!(a.distance(a), 0.0);
+            for b in &pts {
+                assert!((a.distance(b) - b.distance(a)).abs() < 1e-12);
+                for c in &pts {
+                    assert!(a.distance(c) <= a.distance(b) + b.distance(c) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hypersphere_volumes() {
+        let mut m = LatentSpaceModel::paper_fig10();
+        assert!((m.hypersphere_volume() - std::f64::consts::PI * 0.49).abs() < 1e-12);
+        m.box_sides = vec![1.0];
+        assert!((m.hypersphere_volume() - 1.4).abs() < 1e-12);
+        m.box_sides = vec![1.0, 1.0, 1.0];
+        let v3 = 4.0 / 3.0 * std::f64::consts::PI * 0.7f64.powi(3);
+        assert!((m.hypersphere_volume() - v3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn denser_radius_means_more_edges() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let tight = LatentSpaceModel { r: 0.4, ..LatentSpaceModel::paper_fig10() };
+        let wide = LatentSpaceModel { r: 1.2, ..LatentSpaceModel::paper_fig10() };
+        let g_tight = latent_space_graph(&tight, 80, &mut rng).graph;
+        let g_wide = latent_space_graph(&wide, 80, &mut rng).graph;
+        assert!(g_wide.num_edges() > g_tight.num_edges());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let model = LatentSpaceModel::paper_fig10();
+        let a = latent_space_graph(&model, 40, &mut StdRng::seed_from_u64(21));
+        let b = latent_space_graph(&model, 40, &mut StdRng::seed_from_u64(21));
+        assert_eq!(a.graph.num_edges(), b.graph.num_edges());
+        assert_eq!(a.points, b.points);
+    }
+}

@@ -1,0 +1,129 @@
+//! Graph generators.
+//!
+//! The paper evaluates on three kinds of topology (Section V-A.2):
+//!
+//! * **local real-world snapshots** (Epinions, Slashdot) — reproduced here
+//!   by [`chung_lu_graph`] power-law graphs mixed with [`sbm_graph`] community
+//!   structure (see `mto-experiments::datasets` for the calibrated stand-ins);
+//! * **the Google Plus online graph** — a large [`chung_lu_graph`] graph
+//!   served through the simulated interface in `mto-osn`;
+//! * **synthetic latent-space graphs** ([`latent_space_graph`], Section IV-B).
+//!
+//! [`paper_barbell`] builds the 22-node/111-edge running example from Fig 1,
+//! and the toy shapes ([`path_graph`], [`cycle_graph`], [`star_graph`],
+//! [`complete_graph`]) feed unit and property tests.
+
+mod barbell;
+mod chung_lu;
+mod erdos_renyi;
+mod latent_space;
+mod sbm;
+mod watts_strogatz;
+
+pub use barbell::{barbell_graph, paper_barbell, BarbellSpec};
+pub use chung_lu::{chung_lu_graph, power_law_weights, ChungLuSpec};
+pub use erdos_renyi::{gnm_graph, gnp_graph};
+pub use latent_space::{latent_space_graph, LatentPoint, LatentSpaceModel, LatentSpaceSample};
+pub use sbm::{planted_partition_graph, sbm_graph, SbmSpec};
+pub use watts_strogatz::watts_strogatz_graph;
+
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// Path graph `P_n`: `0 - 1 - … - (n-1)`.
+pub fn path_graph(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId::from_index(i - 1), NodeId::from_index(i))
+            .expect("path edges are unique");
+    }
+    g
+}
+
+/// Cycle graph `C_n` (requires `n >= 3`).
+///
+/// # Panics
+/// Panics for `n < 3`, where a simple cycle does not exist.
+pub fn cycle_graph(n: usize) -> Graph {
+    assert!(n >= 3, "cycle graph needs at least 3 nodes, got {n}");
+    let mut g = path_graph(n);
+    g.add_edge(NodeId::from_index(n - 1), NodeId(0)).expect("closing edge is unique");
+    g
+}
+
+/// Star graph `S_n`: hub `0` joined to `n-1` leaves.
+pub fn star_graph(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 1..n {
+        g.add_edge(NodeId(0), NodeId::from_index(i)).expect("star edges are unique");
+    }
+    g
+}
+
+/// Complete graph `K_n`.
+pub fn complete_graph(n: usize) -> Graph {
+    let mut g = Graph::with_nodes(n);
+    for i in 0..n {
+        for j in (i + 1)..n {
+            g.add_edge(NodeId::from_index(i), NodeId::from_index(j))
+                .expect("complete-graph edges are unique");
+        }
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_graph_shape() {
+        let g = path_graph(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn path_graph_degenerate_sizes() {
+        assert_eq!(path_graph(0).num_nodes(), 0);
+        assert_eq!(path_graph(1).num_edges(), 0);
+        assert_eq!(path_graph(2).num_edges(), 1);
+    }
+
+    #[test]
+    fn cycle_graph_is_2_regular() {
+        let g = cycle_graph(6);
+        assert_eq!(g.num_edges(), 6);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_graph_rejects_tiny() {
+        let _ = cycle_graph(2);
+    }
+
+    #[test]
+    fn star_graph_shape() {
+        let g = star_graph(7);
+        assert_eq!(g.num_edges(), 6);
+        assert_eq!(g.degree(NodeId(0)), 6);
+        for i in 1..7 {
+            assert_eq!(g.degree(NodeId(i)), 1);
+        }
+    }
+
+    #[test]
+    fn complete_graph_edge_count() {
+        let g = complete_graph(11);
+        assert_eq!(g.num_edges(), 55); // C(11, 2) — one barbell half
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 10);
+        }
+        g.validate().unwrap();
+    }
+}

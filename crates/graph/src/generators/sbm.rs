@@ -1,0 +1,268 @@
+//! Stochastic block model (planted partition) generators.
+//!
+//! Real OSNs owe their low conductance to community structure (\[18\] in the
+//! paper measured mixing times far above the theoretical expectations for
+//! this reason). The SBM plants that structure explicitly: dense blocks,
+//! sparse inter-block links. The experiment datasets blend SBM community
+//! structure with Chung–Lu degree heterogeneity.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Specification of a stochastic block model.
+#[derive(Clone, Debug)]
+pub struct SbmSpec {
+    /// Number of nodes per block.
+    pub block_sizes: Vec<usize>,
+    /// Within-block link probability.
+    pub p_in: f64,
+    /// Between-block link probability (`p_out << p_in` gives the low
+    /// conductance regime the paper targets).
+    pub p_out: f64,
+}
+
+impl SbmSpec {
+    /// Total node count.
+    pub fn num_nodes(&self) -> usize {
+        self.block_sizes.iter().sum()
+    }
+
+    /// Block label of each node (nodes are numbered block by block).
+    pub fn block_assignment(&self) -> Vec<usize> {
+        let mut labels = Vec::with_capacity(self.num_nodes());
+        for (b, &size) in self.block_sizes.iter().enumerate() {
+            labels.extend(std::iter::repeat(b).take(size));
+        }
+        labels
+    }
+}
+
+/// Samples an SBM graph. Nodes `0..s_0` belong to block 0, the next `s_1`
+/// to block 1, and so on.
+///
+/// Pairs inside a block link with `p_in`, across blocks with `p_out`.
+/// Geometric skipping is used within each (block, block) rectangle so the
+/// cost is proportional to the number of edges, not pairs.
+///
+/// # Panics
+/// Panics if either probability is outside `[0, 1]`.
+pub fn sbm_graph<R: Rng + ?Sized>(spec: &SbmSpec, rng: &mut R) -> Graph {
+    assert!((0.0..=1.0).contains(&spec.p_in), "p_in={} outside [0,1]", spec.p_in);
+    assert!((0.0..=1.0).contains(&spec.p_out), "p_out={} outside [0,1]", spec.p_out);
+    let n = spec.num_nodes();
+    let mut b = GraphBuilder::with_nodes(n);
+
+    // Block boundary offsets.
+    let mut starts = Vec::with_capacity(spec.block_sizes.len() + 1);
+    let mut acc = 0usize;
+    for &s in &spec.block_sizes {
+        starts.push(acc);
+        acc += s;
+    }
+    starts.push(acc);
+
+    let nb = spec.block_sizes.len();
+    for bi in 0..nb {
+        for bj in bi..nb {
+            let p = if bi == bj { spec.p_in } else { spec.p_out };
+            if p <= 0.0 {
+                continue;
+            }
+            let (lo_i, hi_i) = (starts[bi], starts[bi + 1]);
+            let (lo_j, hi_j) = (starts[bj], starts[bj + 1]);
+            if bi == bj {
+                sample_triangle(&mut b, lo_i, hi_i, p, rng);
+            } else {
+                sample_rectangle(&mut b, lo_i, hi_i, lo_j, hi_j, p, rng);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Two-block planted partition: the classic low-conductance benchmark.
+pub fn planted_partition_graph<R: Rng + ?Sized>(
+    nodes_per_block: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Graph {
+    sbm_graph(
+        &SbmSpec { block_sizes: vec![nodes_per_block, nodes_per_block], p_in, p_out },
+        rng,
+    )
+}
+
+/// Bernoulli(p) sampling over unordered pairs inside `[lo, hi)` via
+/// geometric jumps.
+fn sample_triangle<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    lo: usize,
+    hi: usize,
+    p: f64,
+    rng: &mut R,
+) {
+    let n = hi - lo;
+    if n < 2 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..n {
+            for j in (i + 1)..n {
+                b.add_edge_u32((lo + i) as u32, (lo + j) as u32);
+            }
+        }
+        return;
+    }
+    let log_q = (1.0 - p).ln();
+    let mut v: i64 = 1;
+    let mut w: i64 = -1;
+    while (v as usize) < n {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        w += 1 + (r.ln() / log_q).floor() as i64;
+        while w >= v && (v as usize) < n {
+            w -= v;
+            v += 1;
+        }
+        if (v as usize) < n {
+            b.add_edge_u32((lo + w as usize) as u32, (lo + v as usize) as u32);
+        }
+    }
+}
+
+/// Bernoulli(p) sampling over the full rectangle `[lo_i, hi_i) × [lo_j, hi_j)`.
+fn sample_rectangle<R: Rng + ?Sized>(
+    b: &mut GraphBuilder,
+    lo_i: usize,
+    hi_i: usize,
+    lo_j: usize,
+    hi_j: usize,
+    p: f64,
+    rng: &mut R,
+) {
+    let rows = hi_i - lo_i;
+    let cols = hi_j - lo_j;
+    let total = (rows * cols) as i64;
+    if total == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for i in 0..rows {
+            for j in 0..cols {
+                b.add_edge_u32((lo_i + i) as u32, (lo_j + j) as u32);
+            }
+        }
+        return;
+    }
+    let log_q = (1.0 - p).ln();
+    let mut idx: i64 = -1;
+    loop {
+        let r: f64 = rng.gen_range(f64::EPSILON..1.0);
+        idx += 1 + (r.ln() / log_q).floor() as i64;
+        if idx >= total {
+            break;
+        }
+        let i = (idx as usize) / cols;
+        let j = (idx as usize) % cols;
+        b.add_edge_u32((lo_i + i) as u32, (lo_j + j) as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NodeId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn block_assignment_is_contiguous() {
+        let spec = SbmSpec { block_sizes: vec![3, 2, 4], p_in: 0.5, p_out: 0.1 };
+        assert_eq!(spec.num_nodes(), 9);
+        assert_eq!(spec.block_assignment(), vec![0, 0, 0, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn planted_partition_edge_counts_split_as_expected() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let half = 200;
+        let g = planted_partition_graph(half, 0.2, 0.01, &mut rng);
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for e in g.edges() {
+            let (u, v) = e.endpoints();
+            let bu = (u.index() >= half) as u8;
+            let bv = (v.index() >= half) as u8;
+            if bu == bv {
+                within += 1;
+            } else {
+                across += 1;
+            }
+        }
+        // Expectations: within ≈ 2 * C(200,2) * 0.2 = 7960, across ≈ 200*200*0.01 = 400.
+        let exp_within = 2.0 * (half * (half - 1) / 2) as f64 * 0.2;
+        let exp_across = (half * half) as f64 * 0.01;
+        assert!((within as f64 - exp_within).abs() < 0.15 * exp_within, "within={within}");
+        assert!((across as f64 - exp_across).abs() < 0.5 * exp_across, "across={across}");
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn p_in_one_builds_cliques() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = SbmSpec { block_sizes: vec![5, 5], p_in: 1.0, p_out: 0.0 };
+        let g = sbm_graph(&spec, &mut rng);
+        assert_eq!(g.num_edges(), 2 * 10); // two K5
+        assert!(!g.has_edge(NodeId(0), NodeId(5)));
+        assert!(g.has_edge(NodeId(0), NodeId(4)));
+    }
+
+    #[test]
+    fn p_out_one_builds_complete_bipartite_between_blocks() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = SbmSpec { block_sizes: vec![3, 4], p_in: 0.0, p_out: 1.0 };
+        let g = sbm_graph(&spec, &mut rng);
+        assert_eq!(g.num_edges(), 12); // 3 * 4
+        for i in 0..3u32 {
+            for j in 3..7u32 {
+                assert!(g.has_edge(NodeId(i), NodeId(j)));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_probabilities_give_empty_graph() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = SbmSpec { block_sizes: vec![10, 10], p_in: 0.0, p_out: 0.0 };
+        let g = sbm_graph(&spec, &mut rng);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 20);
+    }
+
+    #[test]
+    fn many_small_blocks() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let spec = SbmSpec { block_sizes: vec![8; 10], p_in: 0.8, p_out: 0.02 };
+        let g = sbm_graph(&spec, &mut rng);
+        assert_eq!(g.num_nodes(), 80);
+        assert!(g.num_edges() > 150);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1]")]
+    fn rejects_bad_probability() {
+        let spec = SbmSpec { block_sizes: vec![4], p_in: 1.2, p_out: 0.0 };
+        let _ = sbm_graph(&spec, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let spec = SbmSpec { block_sizes: vec![30, 30, 30], p_in: 0.3, p_out: 0.02 };
+        let a = sbm_graph(&spec, &mut StdRng::seed_from_u64(5));
+        let b = sbm_graph(&spec, &mut StdRng::seed_from_u64(5));
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+}

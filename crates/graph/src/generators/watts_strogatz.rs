@@ -1,0 +1,148 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! The paper's related-work section points at hybrid small-world models
+//! (\[8\] Chung & Lu) as plausible OSN topologies. Watts–Strogatz gives the
+//! canonical small-world control: a ring lattice (high clustering, long
+//! mixing) whose rewiring probability `beta` interpolates toward a random
+//! graph (low clustering, short mixing). Useful for sanity-checking that
+//! MTO's gains shrink as community structure disappears.
+
+use rand::Rng;
+
+use crate::builder::GraphBuilder;
+use crate::graph::Graph;
+
+/// Samples a Watts–Strogatz graph: `n` nodes on a ring, each joined to its
+/// `k` nearest neighbors (`k` even), then each lattice edge is rewired to a
+/// uniform random endpoint with probability `beta`.
+///
+/// Rewiring keeps the graph simple: a rewire that would create a self-loop
+/// or duplicate edge is skipped (the lattice edge is kept), matching the
+/// common NetworkX semantics.
+///
+/// # Panics
+/// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
+pub fn watts_strogatz_graph<R: Rng + ?Sized>(
+    n: usize,
+    k: usize,
+    beta: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(k % 2 == 0, "lattice degree k={k} must be even");
+    assert!(k < n, "lattice degree k={k} must be below n={n}");
+    assert!((0.0..=1.0).contains(&beta), "beta={beta} outside [0,1]");
+
+    // Adjacency set mirror for O(1)-ish duplicate checks during rewiring.
+    let mut neighbors: Vec<std::collections::BTreeSet<u32>> =
+        vec![std::collections::BTreeSet::new(); n];
+    let connect = |nbrs: &mut Vec<std::collections::BTreeSet<u32>>, u: u32, v: u32| {
+        nbrs[u as usize].insert(v);
+        nbrs[v as usize].insert(u);
+    };
+
+    for i in 0..n {
+        for offset in 1..=(k / 2) {
+            let j = (i + offset) % n;
+            connect(&mut neighbors, i as u32, j as u32);
+        }
+    }
+
+    // Rewire each original lattice edge (i, i+offset).
+    for i in 0..n {
+        for offset in 1..=(k / 2) {
+            let j = ((i + offset) % n) as u32;
+            let iu = i as u32;
+            if rng.gen::<f64>() >= beta {
+                continue;
+            }
+            // Propose a replacement endpoint.
+            let w = rng.gen_range(0..n as u32);
+            if w == iu || neighbors[i].contains(&w) {
+                continue; // keep the lattice edge
+            }
+            // The edge may itself have been rewired away already by an
+            // earlier proposal touching the same pair; skip if so.
+            if !neighbors[i].remove(&j) {
+                continue;
+            }
+            neighbors[j as usize].remove(&iu);
+            connect(&mut neighbors, iu, w);
+        }
+    }
+
+    let mut b = GraphBuilder::with_nodes(n);
+    for (i, nbrs) in neighbors.iter().enumerate() {
+        for &v in nbrs {
+            if (i as u32) < v {
+                b.add_edge_u32(i as u32, v);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::connected_components;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn beta_zero_is_the_ring_lattice() {
+        let g = watts_strogatz_graph(12, 4, 0.0, &mut StdRng::seed_from_u64(0));
+        assert_eq!(g.num_edges(), 12 * 4 / 2);
+        for v in g.nodes() {
+            assert_eq!(g.degree(v), 4);
+        }
+        // Ring structure: 0 connects to 1, 2, 10, 11.
+        let nbrs: Vec<u32> = g.neighbors(crate::NodeId(0)).iter().map(|x| x.0).collect();
+        assert_eq!(nbrs, vec![1, 2, 10, 11]);
+    }
+
+    #[test]
+    fn edge_count_is_preserved_by_rewiring() {
+        let g = watts_strogatz_graph(100, 6, 0.3, &mut StdRng::seed_from_u64(5));
+        assert_eq!(g.num_edges(), 100 * 6 / 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rewiring_changes_topology() {
+        let lattice = watts_strogatz_graph(60, 4, 0.0, &mut StdRng::seed_from_u64(1));
+        let rewired = watts_strogatz_graph(60, 4, 0.5, &mut StdRng::seed_from_u64(1));
+        let lattice_edges: std::collections::BTreeSet<_> = lattice.edges().collect();
+        let rewired_edges: std::collections::BTreeSet<_> = rewired.edges().collect();
+        assert_ne!(lattice_edges, rewired_edges);
+    }
+
+    #[test]
+    fn usually_stays_connected_for_moderate_beta() {
+        // Not guaranteed in general, but k=6 with n=80 and beta=0.2 is far
+        // inside the connected regime; a disconnection would indicate a bug.
+        let g = watts_strogatz_graph(80, 6, 0.2, &mut StdRng::seed_from_u64(77));
+        let comps = connected_components(&g);
+        assert_eq!(comps.num_components(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn rejects_odd_k() {
+        let _ = watts_strogatz_graph(10, 3, 0.1, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "below n")]
+    fn rejects_k_too_large() {
+        let _ = watts_strogatz_graph(4, 4, 0.1, &mut StdRng::seed_from_u64(0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = watts_strogatz_graph(50, 4, 0.3, &mut StdRng::seed_from_u64(9));
+        let b = watts_strogatz_graph(50, 4, 0.3, &mut StdRng::seed_from_u64(9));
+        let ea: Vec<_> = a.edges().collect();
+        let eb: Vec<_> = b.edges().collect();
+        assert_eq!(ea, eb);
+    }
+}

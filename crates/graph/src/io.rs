@@ -1,0 +1,237 @@
+//! Edge-list IO in the SNAP text format, plus the paper's directed→
+//! undirected conversion.
+//!
+//! SNAP files are whitespace-separated `u v` pairs, `#`-prefixed comment
+//! lines allowed. The paper's preprocessing (Section V-A.2) converts a
+//! directed snapshot to undirected form "by only keeping edges that appear
+//! in both directions" — implemented here as [`mutual_undirected`].
+
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::GraphBuilder;
+use crate::error::{GraphError, Result};
+use crate::graph::Graph;
+use crate::node::NodeId;
+
+/// A directed edge list as read from disk; kept raw so conversion policies
+/// can be applied explicitly.
+#[derive(Clone, Debug, Default)]
+pub struct DirectedEdgeList {
+    /// `(source, target)` pairs exactly as parsed.
+    pub arcs: Vec<(u32, u32)>,
+    /// One plus the largest node id seen (0 for an empty list).
+    pub num_nodes: usize,
+}
+
+/// Parses a SNAP-style edge list from any reader.
+///
+/// Each non-comment line must contain exactly two unsigned integers.
+pub fn parse_edge_list<R: Read>(reader: R) -> Result<DirectedEdgeList> {
+    let mut arcs = Vec::new();
+    let mut max_node = 0usize;
+    let buf = BufReader::new(reader);
+    for (idx, line) in buf.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let parse_one = |tok: Option<&str>, what: &str| -> Result<u32> {
+            let tok = tok.ok_or_else(|| GraphError::Parse {
+                line: idx + 1,
+                message: format!("missing {what} node id"),
+            })?;
+            tok.parse::<u32>().map_err(|e| GraphError::Parse {
+                line: idx + 1,
+                message: format!("bad {what} node id {tok:?}: {e}"),
+            })
+        };
+        let u = parse_one(parts.next(), "source")?;
+        let v = parse_one(parts.next(), "target")?;
+        if parts.next().is_some() {
+            return Err(GraphError::Parse {
+                line: idx + 1,
+                message: "more than two fields on line".into(),
+            });
+        }
+        max_node = max_node.max(u as usize + 1).max(v as usize + 1);
+        arcs.push((u, v));
+    }
+    Ok(DirectedEdgeList { arcs, num_nodes: max_node })
+}
+
+/// Reads an edge list from a file path.
+pub fn read_edge_list<P: AsRef<Path>>(path: P) -> Result<DirectedEdgeList> {
+    let file = std::fs::File::open(path)?;
+    parse_edge_list(file)
+}
+
+/// Treats every arc as undirected (deduplicating reversals and dropping
+/// self-loops) — the right conversion for natively undirected datasets.
+pub fn as_undirected(list: &DirectedEdgeList) -> Graph {
+    let mut b = GraphBuilder::with_nodes(list.num_nodes);
+    for &(u, v) in &list.arcs {
+        if u != v {
+            b.add_edge_u32(u, v);
+        }
+    }
+    b.build()
+}
+
+/// The paper's conversion: keep `(u, v)` only when both `u→v` and `v→u`
+/// are present in the directed snapshot.
+///
+/// This guarantees that any random walk over the undirected result can be
+/// replayed on the original directed interface (Section V-A.2).
+pub fn mutual_undirected(list: &DirectedEdgeList) -> Graph {
+    let mut seen = std::collections::HashSet::with_capacity(list.arcs.len());
+    let mut b = GraphBuilder::with_nodes(list.num_nodes);
+    for &(u, v) in &list.arcs {
+        if u == v {
+            continue;
+        }
+        if seen.contains(&(v, u)) {
+            b.add_edge_u32(u, v);
+        }
+        seen.insert((u, v));
+    }
+    b.build()
+}
+
+/// Writes a graph as a SNAP-style undirected edge list (each edge once,
+/// canonical orientation), with a header comment.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<()> {
+    let mut out = BufWriter::new(writer);
+    writeln!(out, "# Undirected graph: {} nodes, {} edges", g.num_nodes(), g.num_edges())?;
+    writeln!(out, "# FromNodeId\tToNodeId")?;
+    for e in g.edges() {
+        writeln!(out, "{}\t{}", e.small(), e.large())?;
+    }
+    out.flush()?;
+    Ok(())
+}
+
+/// Writes a graph to a file path.
+pub fn save_edge_list<P: AsRef<Path>>(g: &Graph, path: P) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_edge_list(g, file)
+}
+
+/// Reads an undirected graph back from a SNAP-style file.
+pub fn load_undirected<P: AsRef<Path>>(path: P) -> Result<Graph> {
+    Ok(as_undirected(&read_edge_list(path)?))
+}
+
+impl Graph {
+    /// Ensures node `v` exists, growing the graph if necessary. Used when
+    /// replaying edge lists with gaps in the id space.
+    pub fn ensure_node(&mut self, v: NodeId) {
+        while !self.contains_node(v) {
+            self.add_node();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "# header\n\n0 1\n1\t2\n  # another comment\n2 0\n";
+        let list = parse_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(list.arcs, vec![(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(list.num_nodes, 3);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(matches!(
+            parse_edge_list("0\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("0 x\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("0 1 2\n".as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+        assert!(matches!(
+            parse_edge_list("0 1\n-3 4\n".as_bytes()),
+            Err(GraphError::Parse { line: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn as_undirected_dedups_and_drops_loops() {
+        let list = parse_edge_list("0 1\n1 0\n2 2\n1 2\n".as_bytes()).unwrap();
+        let g = as_undirected(&list);
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn mutual_keeps_only_reciprocated_arcs() {
+        // 0→1 and 1→0 reciprocated; 1→2 one-way; 2→3 and 3→2 reciprocated.
+        let list = parse_edge_list("0 1\n1 0\n1 2\n2 3\n3 2\n".as_bytes()).unwrap();
+        let g = mutual_undirected(&list);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(NodeId(0), NodeId(1)));
+        assert!(g.has_edge(NodeId(2), NodeId(3)));
+        assert!(!g.has_edge(NodeId(1), NodeId(2)));
+    }
+
+    #[test]
+    fn mutual_handles_duplicate_arcs() {
+        let list = parse_edge_list("0 1\n0 1\n1 0\n".as_bytes()).unwrap();
+        let g = mutual_undirected(&list);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn mutual_ignores_self_loops() {
+        let list = parse_edge_list("5 5\n5 5\n".as_bytes()).unwrap();
+        let g = mutual_undirected(&list);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.num_nodes(), 6);
+    }
+
+    #[test]
+    fn write_then_parse_roundtrip() {
+        let g = Graph::from_edges([(0u32, 1u32), (1, 2), (0, 2), (2, 3)]).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let list = parse_edge_list(buf.as_slice()).unwrap();
+        let g2 = as_undirected(&list);
+        assert_eq!(g2.num_edges(), g.num_edges());
+        for v in g.nodes() {
+            assert_eq!(g2.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("mto_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        let g = crate::generators::paper_barbell();
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_undirected(&path).unwrap();
+        assert_eq!(g2.num_nodes(), 22);
+        assert_eq!(g2.num_edges(), 111);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn ensure_node_grows() {
+        let mut g = Graph::new();
+        g.ensure_node(NodeId(4));
+        assert_eq!(g.num_nodes(), 5);
+        g.ensure_node(NodeId(2)); // no-op
+        assert_eq!(g.num_nodes(), 5);
+    }
+}

@@ -1,0 +1,54 @@
+//! # mto-graph — graph substrate for the MTO-Sampler reproduction
+//!
+//! This crate provides everything topological the reproduction of
+//! *"Faster Random Walks By Rewiring Online Social Networks On-The-Fly"*
+//! (Zhou, Zhang, Gong & Das, ICDE 2013) needs:
+//!
+//! * [`Graph`] — a simple undirected graph with sorted adjacency, the model
+//!   of Section II-A, plus the frozen [`CsrGraph`] for read-heavy walks;
+//! * [`generators`] — the paper's barbell running example, the latent-space
+//!   model of Section IV-B, and the Chung–Lu / SBM / Watts–Strogatz /
+//!   Erdős–Rényi families used to synthesize dataset stand-ins;
+//! * [`algo`] — BFS, connected components, the Table I 90% effective
+//!   diameter, clustering and degree statistics;
+//! * [`io`] — SNAP-format edge lists and the paper's mutual-edge
+//!   directed→undirected conversion.
+//!
+//! Everything downstream (`mto-spectral`, `mto-osn`, `mto-core`) builds on
+//! these types.
+//!
+//! ## Example
+//!
+//! ```
+//! use mto_graph::generators::paper_barbell;
+//!
+//! let g = paper_barbell();
+//! assert_eq!(g.num_nodes(), 22);
+//! assert_eq!(g.num_edges(), 111);
+//! // The bridge (0, 11) is the lone cross-cutting edge.
+//! assert!(g.has_edge(mto_graph::NodeId(0), mto_graph::NodeId(11)));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod algo;
+mod builder;
+mod csr;
+mod error;
+pub mod generators;
+mod graph;
+pub mod io;
+mod node;
+
+pub use builder::GraphBuilder;
+pub use csr::CsrGraph;
+pub use error::{GraphError, Result};
+pub use graph::Graph;
+pub use node::{Edge, NodeId};
+
+/// Commonly used items, for glob import in examples and tests.
+pub mod prelude {
+    pub use crate::algo::{connected_components, effective_diameter, largest_component};
+    pub use crate::generators::paper_barbell;
+    pub use crate::{CsrGraph, Edge, Graph, GraphBuilder, NodeId};
+}

@@ -1,0 +1,208 @@
+//! Node and edge identifiers.
+//!
+//! Nodes are dense `u32` indices. Social-network snapshots in the paper's
+//! scale (tens of thousands to a few hundred thousand users) fit comfortably,
+//! and the narrow index keeps adjacency lists at half the memory of `usize`.
+
+use std::fmt;
+
+/// Identifier of a node (a social-network user) inside a [`crate::Graph`].
+///
+/// `NodeId` is a dense index: a graph with `n` nodes uses ids `0..n`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the id as a `usize`, for indexing into per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a `usize` index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index {index} overflows u32");
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl From<NodeId> for u32 {
+    fn from(v: NodeId) -> Self {
+        v.0
+    }
+}
+
+/// An undirected edge in canonical form: `small <= large`.
+///
+/// The canonical ordering makes `Edge` usable as a key in hash maps and
+/// ordered sets regardless of the orientation the edge was observed in —
+/// which matters for the overlay delta where `(u, v)` and `(v, u)` must be
+/// the same record.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Edge {
+    small: NodeId,
+    large: NodeId,
+}
+
+impl Edge {
+    /// Canonicalizes the pair `(u, v)`.
+    ///
+    /// # Panics
+    /// Panics on self-loops: the paper's graphs are simple.
+    #[inline]
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        assert_ne!(u, v, "self-loop ({u}, {v}) is not a valid undirected edge");
+        if u < v {
+            Edge { small: u, large: v }
+        } else {
+            Edge { small: v, large: u }
+        }
+    }
+
+    /// The endpoint with the smaller id.
+    #[inline]
+    pub fn small(self) -> NodeId {
+        self.small
+    }
+
+    /// The endpoint with the larger id.
+    #[inline]
+    pub fn large(self) -> NodeId {
+        self.large
+    }
+
+    /// Both endpoints as a `(small, large)` tuple.
+    #[inline]
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.small, self.large)
+    }
+
+    /// Given one endpoint, returns the other.
+    ///
+    /// # Panics
+    /// Panics if `v` is not an endpoint of this edge.
+    #[inline]
+    pub fn other(self, v: NodeId) -> NodeId {
+        if v == self.small {
+            self.large
+        } else if v == self.large {
+            self.small
+        } else {
+            panic!("{v} is not an endpoint of {self:?}")
+        }
+    }
+
+    /// Whether `v` is one of the two endpoints.
+    #[inline]
+    pub fn touches(self, v: NodeId) -> bool {
+        v == self.small || v == self.large
+    }
+}
+
+impl fmt::Debug for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}-{})", self.small, self.large)
+    }
+}
+
+impl fmt::Display for Edge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.small, self.large)
+    }
+}
+
+impl From<(NodeId, NodeId)> for Edge {
+    fn from((u, v): (NodeId, NodeId)) -> Self {
+        Edge::new(u, v)
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    fn from((u, v): (u32, u32)) -> Self {
+        Edge::new(NodeId(u), NodeId(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_index() {
+        let n = NodeId::from_index(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(u32::from(n), 42);
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn edge_canonicalizes_orientation() {
+        let a = Edge::new(NodeId(7), NodeId(3));
+        let b = Edge::new(NodeId(3), NodeId(7));
+        assert_eq!(a, b);
+        assert_eq!(a.small(), NodeId(3));
+        assert_eq!(a.large(), NodeId(7));
+        assert_eq!(a.endpoints(), (NodeId(3), NodeId(7)));
+    }
+
+    #[test]
+    fn edge_other_returns_opposite_endpoint() {
+        let e = Edge::new(NodeId(1), NodeId(9));
+        assert_eq!(e.other(NodeId(1)), NodeId(9));
+        assert_eq!(e.other(NodeId(9)), NodeId(1));
+        assert!(e.touches(NodeId(1)));
+        assert!(e.touches(NodeId(9)));
+        assert!(!e.touches(NodeId(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn edge_rejects_self_loop() {
+        let _ = Edge::new(NodeId(4), NodeId(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "not an endpoint")]
+    fn edge_other_panics_for_non_endpoint() {
+        Edge::new(NodeId(1), NodeId(2)).other(NodeId(3));
+    }
+
+    #[test]
+    fn edge_ordering_is_lexicographic_on_canonical_pair() {
+        let e12 = Edge::from((1u32, 2u32));
+        let e13 = Edge::from((3u32, 1u32));
+        let e23 = Edge::from((2u32, 3u32));
+        assert!(e12 < e13);
+        assert!(e13 < e23);
+    }
+
+    #[test]
+    fn display_formats_are_stable() {
+        assert_eq!(NodeId(5).to_string(), "5");
+        assert_eq!(Edge::from((9u32, 2u32)).to_string(), "(2, 9)");
+        assert_eq!(format!("{:?}", NodeId(5)), "n5");
+        assert_eq!(format!("{:?}", Edge::from((9u32, 2u32))), "(2-9)");
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the graph substrate: structural invariants under
+//! random construction and mutation sequences.
+
+use mto_graph::algo::{bfs_distances, connected_components, UNREACHABLE};
+use mto_graph::generators::gnp_graph;
+use mto_graph::{CsrGraph, Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Arbitrary edit: add or remove an edge between small node ids.
+#[derive(Clone, Debug)]
+enum Edit {
+    Add(u32, u32),
+    Remove(u32, u32),
+}
+
+fn edit_strategy(n: u32) -> impl Strategy<Value = Edit> {
+    (0..n, 0..n, any::<bool>()).prop_map(|(u, v, add)| {
+        if add {
+            Edit::Add(u, v)
+        } else {
+            Edit::Remove(u, v)
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Any sequence of add/remove operations keeps the graph valid:
+    /// sorted symmetric adjacency, accurate edge count, no loops.
+    #[test]
+    fn random_edit_sequences_preserve_invariants(
+        edits in proptest::collection::vec(edit_strategy(12), 0..200)
+    ) {
+        let mut g = Graph::with_nodes(12);
+        // A shadow set of canonical pairs mirrors what the graph should hold.
+        let mut shadow = std::collections::BTreeSet::new();
+        for e in edits {
+            match e {
+                Edit::Add(u, v) => {
+                    if u == v {
+                        prop_assert!(g.add_edge(NodeId(u), NodeId(v)).is_err());
+                    } else {
+                        let key = (u.min(v), u.max(v));
+                        let inserted = g.add_edge_if_absent(NodeId(u), NodeId(v)).unwrap();
+                        prop_assert_eq!(inserted, shadow.insert(key));
+                    }
+                }
+                Edit::Remove(u, v) => {
+                    let key = (u.min(v), u.max(v));
+                    let existed = shadow.remove(&key);
+                    let result = g.remove_edge(NodeId(u), NodeId(v));
+                    prop_assert_eq!(result.is_ok(), existed && u != v);
+                }
+            }
+        }
+        g.validate().unwrap();
+        prop_assert_eq!(g.num_edges(), shadow.len());
+        for &(u, v) in &shadow {
+            prop_assert!(g.has_edge(NodeId(u), NodeId(v)));
+        }
+    }
+
+    /// Builder construction matches incremental construction exactly,
+    /// regardless of duplicates and orientation noise.
+    #[test]
+    fn builder_equals_incremental(
+        pairs in proptest::collection::vec((0u32..20, 0u32..20), 0..120)
+    ) {
+        let mut b = GraphBuilder::with_nodes(20);
+        let mut incremental = Graph::with_nodes(20);
+        for &(u, v) in &pairs {
+            b.add_edge_u32(u, v);
+            if u != v {
+                let _ = incremental.add_edge_if_absent(NodeId(u), NodeId(v));
+            }
+        }
+        let built = b.build();
+        prop_assert_eq!(built.num_edges(), incremental.num_edges());
+        for v in built.nodes() {
+            prop_assert_eq!(built.neighbors(v), incremental.neighbors(v));
+        }
+    }
+
+    /// CSR freeze/thaw is an exact round trip.
+    #[test]
+    fn csr_roundtrip(seed in 0u64..500, n in 2usize..40, p in 0.02f64..0.6) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp_graph(n, p, &mut rng);
+        let csr = CsrGraph::from_graph(&g);
+        prop_assert_eq!(csr.num_edges(), g.num_edges());
+        prop_assert_eq!(csr.volume(), g.volume());
+        let thawed = csr.to_graph();
+        thawed.validate().unwrap();
+        for v in g.nodes() {
+            prop_assert_eq!(thawed.neighbors(v), g.neighbors(v));
+        }
+    }
+
+    /// Component sizes always sum to the node count, and BFS reaches
+    /// exactly the component of its source.
+    #[test]
+    fn components_and_bfs_agree(seed in 0u64..500, n in 1usize..40, p in 0.0f64..0.3) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp_graph(n, p, &mut rng);
+        let comps = connected_components(&g);
+        prop_assert_eq!(comps.sizes.iter().sum::<usize>(), n);
+        let source = NodeId(0);
+        let dist = bfs_distances(&g, source);
+        let source_label = comps.labels[0];
+        for v in 0..n {
+            let same_component = comps.labels[v] == source_label;
+            prop_assert_eq!(
+                dist[v] != UNREACHABLE,
+                same_component,
+                "node {} reachability vs component mismatch", v
+            );
+        }
+    }
+
+    /// Common-neighbor counting is symmetric and bounded by both degrees.
+    #[test]
+    fn common_neighbors_symmetric(seed in 0u64..500, n in 2usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp_graph(n, 0.3, &mut rng);
+        for u in g.nodes() {
+            for v in g.nodes() {
+                if u == v {
+                    continue;
+                }
+                let c_uv = g.common_neighbor_count(u, v);
+                prop_assert_eq!(c_uv, g.common_neighbor_count(v, u));
+                prop_assert!(c_uv <= g.degree(u).min(g.degree(v)));
+                prop_assert_eq!(c_uv, g.common_neighbors(u, v).len());
+            }
+        }
+    }
+
+    /// Degree sum equals twice the edge count (handshake lemma), and the
+    /// edges iterator yields each edge exactly once.
+    #[test]
+    fn handshake_lemma(seed in 0u64..500, n in 1usize..50, p in 0.0f64..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = gnp_graph(n, p, &mut rng);
+        let degree_sum: usize = g.degree_sequence().iter().sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        let edges: Vec<_> = g.edges().collect();
+        prop_assert_eq!(edges.len(), g.num_edges());
+        let unique: std::collections::BTreeSet<_> = edges.iter().collect();
+        prop_assert_eq!(unique.len(), edges.len());
+    }
+}

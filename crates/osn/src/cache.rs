@@ -1,0 +1,200 @@
+//! Client-side cache with unique-query accounting.
+//!
+//! The paper's cost model (Section II-B): *"we consider the number of
+//! unique queries one has to issue for the sampling process, as any
+//! duplicate query can be answered from local cache without consuming the
+//! query limit"*. [`CachedClient`] is that local cache — it also doubles as
+//! the "local database" of Section III-D whose remembered degrees power the
+//! Theorem 5 extension.
+
+use std::collections::HashMap;
+
+use mto_graph::NodeId;
+
+use crate::error::Result;
+use crate::interface::{QueryResponse, SocialNetworkInterface};
+
+/// Caching wrapper around any [`SocialNetworkInterface`].
+pub struct CachedClient<I> {
+    inner: I,
+    cache: HashMap<NodeId, QueryResponse>,
+    /// Requests that reached the backing interface (unique query cost).
+    unique_queries: u64,
+    /// All `query` calls, including cache hits.
+    total_lookups: u64,
+    /// Retries spent on transient failures (these do not consume quota).
+    transient_retries: u64,
+    /// Hard cap on consecutive transient retries per query.
+    max_retries: u32,
+}
+
+impl<I: SocialNetworkInterface> CachedClient<I> {
+    /// Wraps an interface.
+    pub fn new(inner: I) -> Self {
+        CachedClient {
+            inner,
+            cache: HashMap::new(),
+            unique_queries: 0,
+            total_lookups: 0,
+            transient_retries: 0,
+            max_retries: 16,
+        }
+    }
+
+    /// Issues `q(v)`, served from cache when possible. Transient failures
+    /// are retried up to the configured cap.
+    pub fn query(&mut self, v: NodeId) -> Result<&QueryResponse> {
+        self.total_lookups += 1;
+        // Borrow-checker friendly double lookup: entry API would hold a
+        // mutable borrow across the network call.
+        if !self.cache.contains_key(&v) {
+            let mut attempt = 0u32;
+            let response = loop {
+                match self.inner.query(v) {
+                    Ok(r) => break r,
+                    Err(crate::error::OsnError::Transient { .. }) if attempt < self.max_retries => {
+                        attempt += 1;
+                        self.transient_retries += 1;
+                    }
+                    Err(e) => return Err(e),
+                }
+            };
+            self.unique_queries += 1;
+            self.cache.insert(v, response);
+        }
+        Ok(&self.cache[&v])
+    }
+
+    /// The paper's query cost: unique queries issued so far.
+    pub fn unique_queries(&self) -> u64 {
+        self.unique_queries
+    }
+
+    /// All lookups including cache hits.
+    pub fn total_lookups(&self) -> u64 {
+        self.total_lookups
+    }
+
+    /// Transient-failure retries performed.
+    pub fn transient_retries(&self) -> u64 {
+        self.transient_retries
+    }
+
+    /// Whether `v` has been queried (and thus its full neighborhood and
+    /// degree are known locally).
+    pub fn is_cached(&self, v: NodeId) -> bool {
+        self.cache.contains_key(&v)
+    }
+
+    /// Degree of `v` **if known from history** — the Theorem 5 `N*`
+    /// lookup. Free: no request is issued.
+    pub fn known_degree(&self, v: NodeId) -> Option<usize> {
+        self.cache.get(&v).map(|r| r.neighbors.len())
+    }
+
+    /// Cached response for `v`, if any (free).
+    pub fn cached(&self, v: NodeId) -> Option<&QueryResponse> {
+        self.cache.get(&v)
+    }
+
+    /// Nodes whose neighborhoods are known.
+    pub fn cached_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.cache.keys().copied()
+    }
+
+    /// Access to the wrapped interface.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    /// Total user count hint from the provider.
+    pub fn num_users_hint(&self) -> Option<usize> {
+        self.inner.num_users_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{OsnService, OsnServiceConfig};
+    use mto_graph::generators::paper_barbell;
+
+    fn client() -> CachedClient<OsnService> {
+        CachedClient::new(OsnService::with_defaults(&paper_barbell()))
+    }
+
+    #[test]
+    fn duplicate_queries_are_free() {
+        let mut c = client();
+        c.query(NodeId(0)).unwrap();
+        c.query(NodeId(0)).unwrap();
+        c.query(NodeId(0)).unwrap();
+        assert_eq!(c.unique_queries(), 1);
+        assert_eq!(c.total_lookups(), 3);
+        assert_eq!(c.inner().requests_served(), 1, "backend saw one request");
+    }
+
+    #[test]
+    fn distinct_queries_each_cost_one() {
+        let mut c = client();
+        for v in [0u32, 1, 2, 1, 0, 3] {
+            c.query(NodeId(v)).unwrap();
+        }
+        assert_eq!(c.unique_queries(), 4);
+    }
+
+    #[test]
+    fn known_degree_only_after_query() {
+        let mut c = client();
+        assert_eq!(c.known_degree(NodeId(5)), None);
+        c.query(NodeId(5)).unwrap();
+        assert_eq!(c.known_degree(NodeId(5)), Some(10));
+        assert!(c.is_cached(NodeId(5)));
+        assert!(!c.is_cached(NodeId(6)));
+    }
+
+    #[test]
+    fn cached_returns_without_cost() {
+        let mut c = client();
+        assert!(c.cached(NodeId(1)).is_none());
+        c.query(NodeId(1)).unwrap();
+        let before = c.unique_queries();
+        let r = c.cached(NodeId(1)).expect("cached");
+        assert_eq!(r.user, NodeId(1));
+        assert_eq!(c.unique_queries(), before);
+    }
+
+    #[test]
+    fn unknown_user_error_propagates() {
+        let mut c = client();
+        assert!(c.query(NodeId(404)).is_err());
+        // Failed queries are not cached.
+        assert!(!c.is_cached(NodeId(404)));
+    }
+
+    #[test]
+    fn transient_failures_are_retried() {
+        let g = paper_barbell();
+        let svc = OsnService::new(
+            &g,
+            OsnServiceConfig { transient_failure_rate: 0.4, ..Default::default() },
+        );
+        let mut c = CachedClient::new(svc);
+        // All queries must eventually succeed despite 40% failure rate.
+        for v in 0..22u32 {
+            c.query(NodeId(v)).unwrap();
+        }
+        assert_eq!(c.unique_queries(), 22);
+        assert!(c.transient_retries() > 0, "expected some retries at 40% failure rate");
+    }
+
+    #[test]
+    fn cached_nodes_enumerates_history() {
+        let mut c = client();
+        c.query(NodeId(2)).unwrap();
+        c.query(NodeId(7)).unwrap();
+        let mut nodes: Vec<u32> = c.cached_nodes().map(|n| n.0).collect();
+        nodes.sort_unstable();
+        assert_eq!(nodes, vec![2, 7]);
+    }
+}

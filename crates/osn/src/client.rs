@@ -1,0 +1,142 @@
+//! Client abstraction the samplers walk through.
+//!
+//! Walkers need: issue `q(v)` with caching, look up remembered degrees
+//! (Theorem 5), and report the unique-query cost. [`QueryClient`] captures
+//! exactly that, with two implementations:
+//!
+//! * [`CachedClient`] — exclusive ownership, zero locking (single walker);
+//! * [`SharedClient`] — an `Arc<Mutex<CachedClient>>` so parallel walkers
+//!   share one cache and one query budget, the deployment the paper
+//!   mentions for "many parallel random walks".
+
+use std::sync::Arc;
+
+use mto_graph::NodeId;
+use parking_lot::Mutex;
+
+use crate::cache::CachedClient;
+use crate::error::Result;
+use crate::interface::{QueryResponse, SocialNetworkInterface};
+
+/// The sampler-facing client API.
+pub trait QueryClient {
+    /// Issues `q(v)` (cached), returning an owned response.
+    fn fetch(&mut self, v: NodeId) -> Result<QueryResponse>;
+
+    /// Degree of `v` if it is already known locally (free).
+    fn known_degree(&self, v: NodeId) -> Option<usize>;
+
+    /// Unique queries spent so far — the paper's cost measure.
+    fn unique_queries(&self) -> u64;
+
+    /// Provider-published total user count, when available.
+    fn num_users_hint(&self) -> Option<usize>;
+}
+
+impl<I: SocialNetworkInterface> QueryClient for CachedClient<I> {
+    fn fetch(&mut self, v: NodeId) -> Result<QueryResponse> {
+        self.query(v).cloned()
+    }
+
+    fn known_degree(&self, v: NodeId) -> Option<usize> {
+        CachedClient::known_degree(self, v)
+    }
+
+    fn unique_queries(&self) -> u64 {
+        CachedClient::unique_queries(self)
+    }
+
+    fn num_users_hint(&self) -> Option<usize> {
+        CachedClient::num_users_hint(self)
+    }
+}
+
+/// Thread-safe shared client: many walkers, one cache, one budget.
+pub struct SharedClient<I> {
+    inner: Arc<Mutex<CachedClient<I>>>,
+}
+
+impl<I> Clone for SharedClient<I> {
+    fn clone(&self) -> Self {
+        SharedClient { inner: self.inner.clone() }
+    }
+}
+
+impl<I: SocialNetworkInterface> SharedClient<I> {
+    /// Wraps a cached client for sharing.
+    pub fn new(client: CachedClient<I>) -> Self {
+        SharedClient { inner: Arc::new(Mutex::new(client)) }
+    }
+
+    /// Runs a closure against the underlying client.
+    pub fn with<R>(&self, f: impl FnOnce(&mut CachedClient<I>) -> R) -> R {
+        f(&mut self.inner.lock())
+    }
+}
+
+impl<I: SocialNetworkInterface> QueryClient for SharedClient<I> {
+    fn fetch(&mut self, v: NodeId) -> Result<QueryResponse> {
+        self.inner.lock().query(v).cloned()
+    }
+
+    fn known_degree(&self, v: NodeId) -> Option<usize> {
+        self.inner.lock().known_degree(v)
+    }
+
+    fn unique_queries(&self) -> u64 {
+        self.inner.lock().unique_queries()
+    }
+
+    fn num_users_hint(&self) -> Option<usize> {
+        self.inner.lock().num_users_hint()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::OsnService;
+    use mto_graph::generators::paper_barbell;
+
+    #[test]
+    fn cached_client_implements_query_client() {
+        let mut c = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        let r = QueryClient::fetch(&mut c, NodeId(0)).unwrap();
+        assert_eq!(r.degree(), 11);
+        assert_eq!(QueryClient::unique_queries(&c), 1);
+        assert_eq!(QueryClient::known_degree(&c, NodeId(0)), Some(11));
+        assert_eq!(QueryClient::num_users_hint(&c), Some(22));
+    }
+
+    #[test]
+    fn shared_client_pools_budget_across_clones() {
+        let c = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        let mut a = SharedClient::new(c);
+        let mut b = a.clone();
+        a.fetch(NodeId(0)).unwrap();
+        b.fetch(NodeId(0)).unwrap(); // cache hit through the other handle
+        b.fetch(NodeId(1)).unwrap();
+        assert_eq!(a.unique_queries(), 2);
+        assert_eq!(b.unique_queries(), 2);
+        assert_eq!(a.known_degree(NodeId(1)), Some(10));
+    }
+
+    #[test]
+    fn shared_client_is_send_across_threads() {
+        let c = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        let shared = SharedClient::new(c);
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let mut s = shared.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..22u32 {
+                    s.fetch(NodeId((i + t) % 22)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(shared.unique_queries(), 22, "every node cached exactly once");
+    }
+}

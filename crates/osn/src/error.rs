@@ -1,0 +1,59 @@
+//! Error type for the simulated online-social-network interface.
+
+use std::fmt;
+
+use mto_graph::NodeId;
+
+/// Failures a third-party client can observe when querying the interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsnError {
+    /// The queried user id does not exist.
+    UnknownUser(NodeId),
+    /// The per-window request quota is exhausted; retry after the given
+    /// number of virtual seconds.
+    RateLimited {
+        /// Virtual seconds until the next token becomes available.
+        retry_after_secs: u64,
+    },
+    /// A transient server-side failure (injected for resilience testing);
+    /// the request did not consume quota and may be retried.
+    Transient {
+        /// The user whose query failed.
+        user: NodeId,
+        /// How many failures this query has seen so far.
+        attempt: u32,
+    },
+}
+
+impl fmt::Display for OsnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsnError::UnknownUser(v) => write!(f, "unknown user id {v}"),
+            OsnError::RateLimited { retry_after_secs } => {
+                write!(f, "rate limited; retry after {retry_after_secs}s")
+            }
+            OsnError::Transient { user, attempt } => {
+                write!(f, "transient failure querying {user} (attempt {attempt})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OsnError {}
+
+/// Result alias for interface operations.
+pub type Result<T> = std::result::Result<T, OsnError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(OsnError::UnknownUser(NodeId(3)).to_string().contains("unknown user"));
+        assert!(OsnError::RateLimited { retry_after_secs: 9 }.to_string().contains("9s"));
+        assert!(OsnError::Transient { user: NodeId(1), attempt: 2 }
+            .to_string()
+            .contains("attempt 2"));
+    }
+}

@@ -1,0 +1,98 @@
+//! The restrictive web interface of Section II-A.
+//!
+//! Everything a third party can do is issue
+//! `q(v): SELECT * FROM D WHERE USER-ID = v`, which returns the user's
+//! published information and the list of connected users. No global
+//! topology, no random-node endpoint, no bulk export — exactly the access
+//! model of Google Plus / Facebook that the paper works under.
+
+use mto_graph::NodeId;
+
+use crate::error::Result;
+use crate::profile::UserProfile;
+
+/// Everything one individual-user query reveals.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueryResponse {
+    /// The queried user.
+    pub user: NodeId,
+    /// All users connected to `user` (the full neighborhood `N(v)`),
+    /// sorted by id.
+    pub neighbors: Vec<NodeId>,
+    /// The user's published profile.
+    pub profile: UserProfile,
+}
+
+impl QueryResponse {
+    /// Degree of the queried user, `k_v = |N(v)|`.
+    pub fn degree(&self) -> usize {
+        self.neighbors.len()
+    }
+}
+
+/// A restrictive per-user query interface.
+///
+/// Implementations: [`crate::service::OsnService`] (in-memory simulated
+/// network), [`crate::rate_limit::RateLimitedInterface`] (adds quota
+/// enforcement), and test doubles.
+pub trait SocialNetworkInterface {
+    /// Issues the individual-user query `q(v)`.
+    ///
+    /// Every call counts against the interface's request accounting —
+    /// clients that want duplicate queries answered for free must go
+    /// through [`crate::cache::CachedClient`].
+    fn query(&self, v: NodeId) -> Result<QueryResponse>;
+
+    /// Total number of users, if the provider publishes it (the paper notes
+    /// many providers advertise `|V|`, enabling COUNT/SUM estimates and the
+    /// Random Jump baseline's id space).
+    fn num_users_hint(&self) -> Option<usize>;
+
+    /// Number of requests served so far (including failed ones that
+    /// consumed quota).
+    fn requests_served(&self) -> u64;
+}
+
+impl<T: SocialNetworkInterface + ?Sized> SocialNetworkInterface for &T {
+    fn query(&self, v: NodeId) -> Result<QueryResponse> {
+        (**self).query(v)
+    }
+    fn num_users_hint(&self) -> Option<usize> {
+        (**self).num_users_hint()
+    }
+    fn requests_served(&self) -> u64 {
+        (**self).requests_served()
+    }
+}
+
+impl<T: SocialNetworkInterface + ?Sized> SocialNetworkInterface for std::sync::Arc<T> {
+    fn query(&self, v: NodeId) -> Result<QueryResponse> {
+        (**self).query(v)
+    }
+    fn num_users_hint(&self) -> Option<usize> {
+        (**self).num_users_hint()
+    }
+    fn requests_served(&self) -> u64 {
+        (**self).requests_served()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_response_degree() {
+        let r = QueryResponse {
+            user: NodeId(0),
+            neighbors: vec![NodeId(1), NodeId(2)],
+            profile: UserProfile {
+                age: 25,
+                self_description_len: 10,
+                num_posts: 1,
+                is_public: true,
+            },
+        };
+        assert_eq!(r.degree(), 2);
+    }
+}

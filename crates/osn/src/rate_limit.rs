@@ -1,0 +1,255 @@
+//! Token-bucket rate limiting over a virtual clock.
+//!
+//! Real providers cap request rates (the paper quotes Facebook's 600
+//! queries per 600 seconds and Twitter's 350 per hour). The simulation
+//! enforces the same shape of limit against a *virtual* clock so
+//! experiments can report "this sampling run would have taken N hours
+//! against the live API" without actually sleeping.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mto_graph::NodeId;
+use parking_lot::Mutex;
+
+use crate::error::{OsnError, Result};
+use crate::interface::{QueryResponse, SocialNetworkInterface};
+
+/// A published rate-limit policy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RateLimitPolicy {
+    /// Maximum requests per window (bucket capacity).
+    pub burst: u64,
+    /// Sustained refill rate in requests per virtual second.
+    pub refill_per_sec: f64,
+}
+
+impl RateLimitPolicy {
+    /// Facebook's published limit circa the paper: 600 requests / 600 s.
+    pub fn facebook() -> Self {
+        RateLimitPolicy { burst: 600, refill_per_sec: 1.0 }
+    }
+
+    /// Twitter's published limit circa the paper: 350 requests / hour.
+    pub fn twitter() -> Self {
+        RateLimitPolicy { burst: 350, refill_per_sec: 350.0 / 3600.0 }
+    }
+
+    /// A generous developer quota similar to what the paper found on the
+    /// Google Plus API.
+    pub fn google_plus() -> Self {
+        RateLimitPolicy { burst: 10_000, refill_per_sec: 10_000.0 / 86_400.0 }
+    }
+}
+
+/// Token bucket against a virtual clock (seconds as `f64`).
+#[derive(Clone, Debug)]
+pub struct TokenBucket {
+    policy: RateLimitPolicy,
+    tokens: f64,
+    /// Virtual time of the last refill.
+    last_refill: f64,
+}
+
+impl TokenBucket {
+    /// Full bucket at virtual time zero.
+    pub fn new(policy: RateLimitPolicy) -> Self {
+        TokenBucket { policy, tokens: policy.burst as f64, last_refill: 0.0 }
+    }
+
+    fn refill(&mut self, now: f64) {
+        if now > self.last_refill {
+            self.tokens = (self.tokens + (now - self.last_refill) * self.policy.refill_per_sec)
+                .min(self.policy.burst as f64);
+            self.last_refill = now;
+        }
+    }
+
+    /// Attempts to take one token at virtual time `now`. On failure returns
+    /// the virtual seconds to wait for the next token.
+    pub fn try_acquire(&mut self, now: f64) -> std::result::Result<(), f64> {
+        self.refill(now);
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            Err((1.0 - self.tokens) / self.policy.refill_per_sec)
+        }
+    }
+
+    /// Tokens currently available at `now`.
+    pub fn available(&mut self, now: f64) -> f64 {
+        self.refill(now);
+        self.tokens
+    }
+}
+
+/// Interface wrapper enforcing a rate limit and advancing a virtual clock.
+///
+/// Policy: when the bucket is empty the wrapper *waits virtually* —
+/// advancing the clock to the next token instead of failing — and records
+/// the stall. Set `fail_when_limited` to surface [`OsnError::RateLimited`]
+/// instead.
+pub struct RateLimitedInterface<I> {
+    inner: I,
+    bucket: Mutex<TokenBucket>,
+    /// Virtual now, in microseconds (atomic for cheap shared reads).
+    virtual_now_us: AtomicU64,
+    /// Virtual seconds each request costs even when tokens are available
+    /// (network latency).
+    request_latency: f64,
+    /// Fail instead of stalling when the bucket is empty.
+    pub fail_when_limited: bool,
+    stalls: AtomicU64,
+}
+
+impl<I: SocialNetworkInterface> RateLimitedInterface<I> {
+    /// Wraps an interface with a policy; default per-request virtual
+    /// latency of 50 ms.
+    pub fn new(inner: I, policy: RateLimitPolicy) -> Self {
+        RateLimitedInterface {
+            inner,
+            bucket: Mutex::new(TokenBucket::new(policy)),
+            virtual_now_us: AtomicU64::new(0),
+            request_latency: 0.05,
+            fail_when_limited: false,
+            stalls: AtomicU64::new(0),
+        }
+    }
+
+    /// Current virtual time in seconds.
+    pub fn virtual_now(&self) -> f64 {
+        self.virtual_now_us.load(Ordering::Relaxed) as f64 / 1e6
+    }
+
+    /// Number of requests that had to stall for tokens.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    fn advance(&self, seconds: f64) -> f64 {
+        let us = (seconds * 1e6).ceil() as u64;
+        let prev = self.virtual_now_us.fetch_add(us, Ordering::Relaxed);
+        (prev + us) as f64 / 1e6
+    }
+
+    /// Access to the wrapped interface.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+}
+
+impl<I: SocialNetworkInterface> SocialNetworkInterface for RateLimitedInterface<I> {
+    fn query(&self, v: NodeId) -> Result<QueryResponse> {
+        let now = self.advance(self.request_latency);
+        let mut bucket = self.bucket.lock();
+        match bucket.try_acquire(now) {
+            Ok(()) => {}
+            Err(wait) => {
+                if self.fail_when_limited {
+                    return Err(OsnError::RateLimited {
+                        retry_after_secs: wait.ceil() as u64,
+                    });
+                }
+                self.stalls.fetch_add(1, Ordering::Relaxed);
+                let later = self.advance(wait);
+                bucket
+                    .try_acquire(later)
+                    .expect("token must be available after stalling for refill");
+            }
+        }
+        drop(bucket);
+        self.inner.query(v)
+    }
+
+    fn num_users_hint(&self) -> Option<usize> {
+        self.inner.num_users_hint()
+    }
+
+    fn requests_served(&self) -> u64 {
+        self.inner.requests_served()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::OsnService;
+    use mto_graph::generators::paper_barbell;
+
+    #[test]
+    fn bucket_burst_then_empty() {
+        let mut b = TokenBucket::new(RateLimitPolicy { burst: 3, refill_per_sec: 1.0 });
+        assert!(b.try_acquire(0.0).is_ok());
+        assert!(b.try_acquire(0.0).is_ok());
+        assert!(b.try_acquire(0.0).is_ok());
+        let wait = b.try_acquire(0.0).unwrap_err();
+        assert!((wait - 1.0).abs() < 1e-9, "one token a second away, got {wait}");
+    }
+
+    #[test]
+    fn bucket_refills_with_time() {
+        let mut b = TokenBucket::new(RateLimitPolicy { burst: 2, refill_per_sec: 0.5 });
+        b.try_acquire(0.0).unwrap();
+        b.try_acquire(0.0).unwrap();
+        assert!(b.try_acquire(1.0).is_err(), "only half a token at t=1");
+        assert!(b.try_acquire(2.0).is_ok(), "full token at t=2");
+    }
+
+    #[test]
+    fn bucket_never_exceeds_burst() {
+        let mut b = TokenBucket::new(RateLimitPolicy { burst: 5, refill_per_sec: 100.0 });
+        assert!((b.available(1000.0) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn policies_have_expected_magnitudes() {
+        let fb = RateLimitPolicy::facebook();
+        assert_eq!(fb.burst, 600);
+        assert!((fb.refill_per_sec - 1.0).abs() < 1e-12);
+        let tw = RateLimitPolicy::twitter();
+        assert!(tw.refill_per_sec < fb.refill_per_sec);
+    }
+
+    #[test]
+    fn limited_interface_stalls_and_advances_clock() {
+        let svc = OsnService::with_defaults(&paper_barbell());
+        let limited = RateLimitedInterface::new(
+            svc,
+            RateLimitPolicy { burst: 5, refill_per_sec: 1.0 },
+        );
+        for i in 0..10u32 {
+            limited.query(NodeId(i % 22)).unwrap();
+        }
+        assert!(limited.stalls() >= 4, "got {} stalls", limited.stalls());
+        // 10 requests with burst 5 at 1 rps: at least ~4 seconds of stalling.
+        assert!(limited.virtual_now() >= 4.0, "virtual time {}", limited.virtual_now());
+    }
+
+    #[test]
+    fn limited_interface_can_fail_fast() {
+        let svc = OsnService::with_defaults(&paper_barbell());
+        let mut limited = RateLimitedInterface::new(
+            svc,
+            RateLimitPolicy { burst: 1, refill_per_sec: 0.001 },
+        );
+        limited.fail_when_limited = true;
+        limited.query(NodeId(0)).unwrap();
+        match limited.query(NodeId(1)) {
+            Err(OsnError::RateLimited { retry_after_secs }) => {
+                assert!(retry_after_secs > 100, "slow refill means a long wait");
+            }
+            other => panic!("expected RateLimited, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_advances_clock_even_without_stalls() {
+        let svc = OsnService::with_defaults(&paper_barbell());
+        let limited = RateLimitedInterface::new(svc, RateLimitPolicy::facebook());
+        for i in 0..20u32 {
+            limited.query(NodeId(i % 22)).unwrap();
+        }
+        assert!((limited.virtual_now() - 1.0).abs() < 0.01, "20 * 50ms = 1s");
+        assert_eq!(limited.stalls(), 0);
+    }
+}

@@ -1,0 +1,262 @@
+//! In-memory simulated social-network service.
+//!
+//! [`OsnService`] owns a frozen topology plus per-user profiles and serves
+//! the [`SocialNetworkInterface`]. It is the stand-in for the live Google
+//! Plus API of Section V (retired in 2012), and for the "simulated
+//! individual-user-query-only web interface" the paper runs over its local
+//! Epinions/Slashdot snapshots.
+//!
+//! The service is `Sync`: experiments run many walkers against one shared
+//! `Arc<OsnService>`; request accounting uses atomics and failure injection
+//! a small seeded lock-protected generator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mto_graph::{CsrGraph, Graph, NodeId};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::{OsnError, Result};
+use crate::interface::{QueryResponse, SocialNetworkInterface};
+use crate::profile::{ProfileGenerator, UserProfile};
+
+/// Configuration for [`OsnService`].
+#[derive(Clone, Debug)]
+pub struct OsnServiceConfig {
+    /// Seed for profile synthesis.
+    pub profile_seed: u64,
+    /// Whether the provider advertises its total user count.
+    pub publishes_user_count: bool,
+    /// Probability that any given request fails transiently (resilience
+    /// testing; 0.0 disables injection).
+    pub transient_failure_rate: f64,
+    /// Seed for the failure-injection stream.
+    pub failure_seed: u64,
+}
+
+impl Default for OsnServiceConfig {
+    fn default() -> Self {
+        OsnServiceConfig {
+            profile_seed: 0xC0FFEE,
+            publishes_user_count: true,
+            transient_failure_rate: 0.0,
+            failure_seed: 0xBAD5EED,
+        }
+    }
+}
+
+/// The simulated network: topology + profiles behind the restrictive
+/// interface.
+pub struct OsnService {
+    graph: CsrGraph,
+    profiles: Vec<UserProfile>,
+    publishes_user_count: bool,
+    requests: AtomicU64,
+    failed_requests: AtomicU64,
+    transient_failure_rate: f64,
+    failure_rng: Mutex<StdRng>,
+    /// Per-user failure counts, for the `attempt` field of transient errors.
+    failure_counts: Mutex<std::collections::HashMap<NodeId, u32>>,
+}
+
+impl OsnService {
+    /// Builds a service over a topology, synthesizing profiles.
+    pub fn new(graph: &Graph, config: OsnServiceConfig) -> Self {
+        let profiles = ProfileGenerator::new(config.profile_seed).generate_all(graph);
+        OsnService {
+            graph: CsrGraph::from_graph(graph),
+            profiles,
+            publishes_user_count: config.publishes_user_count,
+            requests: AtomicU64::new(0),
+            failed_requests: AtomicU64::new(0),
+            transient_failure_rate: config.transient_failure_rate,
+            failure_rng: Mutex::new(StdRng::seed_from_u64(config.failure_seed)),
+            failure_counts: Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Builds with default configuration.
+    pub fn with_defaults(graph: &Graph) -> Self {
+        OsnService::new(graph, OsnServiceConfig::default())
+    }
+
+    /// The ground-truth graph — for *evaluation only*. Samplers must never
+    /// touch this; they see the world through [`SocialNetworkInterface`].
+    pub fn ground_truth(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Ground-truth profiles — for evaluation only.
+    pub fn ground_truth_profiles(&self) -> &[UserProfile] {
+        &self.profiles
+    }
+
+    /// Ground-truth average degree, the Fig 7 aggregate.
+    pub fn true_average_degree(&self) -> f64 {
+        self.graph.volume() as f64 / self.graph.num_nodes() as f64
+    }
+
+    /// Ground-truth average self-description length, the Fig 11(c)
+    /// aggregate.
+    pub fn true_average_description_len(&self) -> f64 {
+        let total: u64 =
+            self.profiles.iter().map(|p| p.self_description_len as u64).sum();
+        total as f64 / self.profiles.len() as f64
+    }
+
+    /// Number of requests that failed transiently.
+    pub fn failed_requests(&self) -> u64 {
+        self.failed_requests.load(Ordering::Relaxed)
+    }
+}
+
+impl SocialNetworkInterface for OsnService {
+    fn query(&self, v: NodeId) -> Result<QueryResponse> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if v.index() >= self.graph.num_nodes() {
+            return Err(OsnError::UnknownUser(v));
+        }
+        if self.transient_failure_rate > 0.0 {
+            let fail = self.failure_rng.lock().gen::<f64>() < self.transient_failure_rate;
+            if fail {
+                self.failed_requests.fetch_add(1, Ordering::Relaxed);
+                let mut counts = self.failure_counts.lock();
+                let attempt = counts.entry(v).or_insert(0);
+                *attempt += 1;
+                return Err(OsnError::Transient { user: v, attempt: *attempt });
+            }
+        }
+        Ok(QueryResponse {
+            user: v,
+            neighbors: self.graph.neighbors(v).to_vec(),
+            profile: self.profiles[v.index()].clone(),
+        })
+    }
+
+    fn num_users_hint(&self) -> Option<usize> {
+        self.publishes_user_count.then(|| self.graph.num_nodes())
+    }
+
+    fn requests_served(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_graph::generators::paper_barbell;
+
+    fn service() -> OsnService {
+        OsnService::with_defaults(&paper_barbell())
+    }
+
+    #[test]
+    fn query_returns_full_neighborhood() {
+        let s = service();
+        let r = s.query(NodeId(0)).unwrap();
+        assert_eq!(r.user, NodeId(0));
+        assert_eq!(r.degree(), 11);
+        assert!(r.neighbors.contains(&NodeId(11)));
+        assert!(r.neighbors.windows(2).all(|w| w[0] < w[1]), "sorted");
+    }
+
+    #[test]
+    fn unknown_user_is_an_error_but_counts_as_request() {
+        let s = service();
+        assert_eq!(s.query(NodeId(99)), Err(OsnError::UnknownUser(NodeId(99))));
+        assert_eq!(s.requests_served(), 1);
+    }
+
+    #[test]
+    fn request_accounting_increments() {
+        let s = service();
+        for _ in 0..5 {
+            s.query(NodeId(1)).unwrap();
+        }
+        assert_eq!(s.requests_served(), 5, "duplicates are NOT free at the service");
+    }
+
+    #[test]
+    fn user_count_hint_follows_config() {
+        let g = paper_barbell();
+        let public = OsnService::new(&g, OsnServiceConfig::default());
+        assert_eq!(public.num_users_hint(), Some(22));
+        let private = OsnService::new(
+            &g,
+            OsnServiceConfig { publishes_user_count: false, ..Default::default() },
+        );
+        assert_eq!(private.num_users_hint(), None);
+    }
+
+    #[test]
+    fn profiles_are_stable_across_service_builds() {
+        let g = paper_barbell();
+        let a = OsnService::with_defaults(&g);
+        let b = OsnService::with_defaults(&g);
+        let ra = a.query(NodeId(3)).unwrap();
+        let rb = b.query(NodeId(3)).unwrap();
+        assert_eq!(ra.profile, rb.profile);
+    }
+
+    #[test]
+    fn failure_injection_fails_some_requests() {
+        let g = paper_barbell();
+        let s = OsnService::new(
+            &g,
+            OsnServiceConfig { transient_failure_rate: 0.5, ..Default::default() },
+        );
+        let mut failures = 0;
+        for _ in 0..200 {
+            if s.query(NodeId(0)).is_err() {
+                failures += 1;
+            }
+        }
+        assert!(failures > 50 && failures < 150, "got {failures}/200 failures");
+        assert_eq!(s.failed_requests(), failures as u64);
+    }
+
+    #[test]
+    fn transient_errors_carry_attempt_numbers() {
+        let g = paper_barbell();
+        let s = OsnService::new(
+            &g,
+            OsnServiceConfig { transient_failure_rate: 1.0, ..Default::default() },
+        );
+        match s.query(NodeId(2)) {
+            Err(OsnError::Transient { user, attempt: 1 }) => assert_eq!(user, NodeId(2)),
+            other => panic!("expected first transient failure, got {other:?}"),
+        }
+        match s.query(NodeId(2)) {
+            Err(OsnError::Transient { attempt: 2, .. }) => {}
+            other => panic!("expected second transient failure, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ground_truth_aggregates() {
+        let s = service();
+        assert!((s.true_average_degree() - 222.0 / 22.0).abs() < 1e-12);
+        assert!(s.true_average_description_len() >= 0.0);
+    }
+
+    #[test]
+    fn service_is_shareable_across_threads() {
+        let s = std::sync::Arc::new(service());
+        let mut handles = Vec::new();
+        for t in 0..4u32 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50u32 {
+                    let v = NodeId((t * 50 + i) % 22);
+                    s.query(v).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.requests_served(), 200);
+    }
+}

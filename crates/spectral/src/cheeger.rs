@@ -1,0 +1,182 @@
+//! Cheeger-type inequalities connecting conductance and the spectral gap.
+//!
+//! For the lazy walk with spectral gap `g = 1 − λ₂`, the classic bounds are
+//! `Φ²/2 ≤ g_nonlazy` and `g_nonlazy ≤ 2Φ` for the *volume-normalized*
+//! conductance. The paper's Definition 3 normalizes by edge counts
+//! (each edge incident to `S` counted once), which differs from the volume
+//! form by at most a factor of 2 — the helpers here expose both so the
+//! experiments can sanity-check the spectral computations against the
+//! combinatorial ones.
+
+use mto_graph::Graph;
+
+use crate::conductance::CutMetrics;
+
+/// Volume-normalized conductance of a bipartition:
+/// `|∂S| / min(vol S, vol S̄)` where `vol` sums degrees. This is the form
+/// the Cheeger inequality is stated for.
+pub fn volume_conductance_of_cut(g: &Graph, in_s: &[bool]) -> Option<f64> {
+    assert_eq!(in_s.len(), g.num_nodes(), "membership vector length mismatch");
+    let mut vol_s = 0usize;
+    let mut cut = 0usize;
+    for v in g.nodes() {
+        if in_s[v.index()] {
+            vol_s += g.degree(v);
+        }
+    }
+    for e in g.edges() {
+        let (u, v) = e.endpoints();
+        if in_s[u.index()] != in_s[v.index()] {
+            cut += 1;
+        }
+    }
+    let vol_t = g.volume() - vol_s;
+    let denom = vol_s.min(vol_t);
+    if denom == 0 {
+        None
+    } else {
+        Some(cut as f64 / denom as f64)
+    }
+}
+
+/// Exact volume-normalized conductance via the same Gray-code sweep as
+/// [`crate::conductance::exact_conductance`].
+///
+/// # Panics
+/// Same constraints as the edge-count version.
+pub fn exact_volume_conductance(g: &Graph) -> f64 {
+    let n = g.num_nodes();
+    assert!(n >= 2, "conductance needs at least two nodes");
+    assert!(
+        n <= crate::conductance::MAX_EXACT_NODES,
+        "exact conductance capped at {} nodes",
+        crate::conductance::MAX_EXACT_NODES
+    );
+    assert!(g.num_edges() > 0, "conductance of an edge-free graph is undefined");
+
+    let mut in_s = vec![false; n];
+    let mut cut = 0usize;
+    let mut vol_s = 0usize;
+    let vol = g.volume();
+    let mut best = f64::INFINITY;
+    let steps: u64 = 1u64 << (n - 1);
+    for i in 1..steps {
+        let flip = i.trailing_zeros() as usize;
+        let v = mto_graph::NodeId::from_index(flip);
+        let entering = !in_s[flip];
+        for &u in g.neighbors(v) {
+            if in_s[u.index()] == entering {
+                cut -= 1;
+            } else {
+                cut += 1;
+            }
+        }
+        if entering {
+            vol_s += g.degree(v);
+        } else {
+            vol_s -= g.degree(v);
+        }
+        in_s[flip] = entering;
+        let denom = vol_s.min(vol - vol_s);
+        if denom > 0 {
+            let phi = cut as f64 / denom as f64;
+            if phi < best {
+                best = phi;
+            }
+        }
+    }
+    best
+}
+
+/// Relationship between the paper's edge-count conductance and the volume
+/// form for a single cut: `vol_phi <= edge_phi <= 2·vol_phi` (each internal
+/// edge contributes twice to volume, once to the edge count; cut edges
+/// contribute once/twice respectively).
+pub fn edge_phi_bounds_from_volume(metrics: &CutMetrics) -> (f64, f64) {
+    let edge_phi = metrics.phi().unwrap_or(f64::INFINITY);
+    (edge_phi / 2.0, edge_phi)
+}
+
+/// Checks the Cheeger bracket `Φ_vol²/2 ≤ 1 − λ₂ ≤ 2 Φ_vol` and returns
+/// `(lower, gap, upper)` for inspection.
+pub fn cheeger_bracket(phi_vol: f64, lambda_2: f64) -> (f64, f64, f64) {
+    (phi_vol * phi_vol / 2.0, 1.0 - lambda_2, 2.0 * phi_vol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::{jacobi_eigen, JacobiOptions};
+    use crate::transition::symmetrized_transition;
+    use mto_graph::generators::{complete_graph, cycle_graph, paper_barbell};
+
+    #[test]
+    fn volume_conductance_of_barbell_cut() {
+        let g = paper_barbell();
+        let mut in_s = vec![false; 22];
+        for v in 0..11 {
+            in_s[v] = true;
+        }
+        // cut 1, vol S = 2·55 + 1 = 111.
+        let phi = volume_conductance_of_cut(&g, &in_s).unwrap();
+        assert!((phi - 1.0 / 111.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_volume_conductance_of_barbell() {
+        let g = paper_barbell();
+        let phi = exact_volume_conductance(&g);
+        assert!((phi - 1.0 / 111.0).abs() < 1e-12, "got {phi}");
+    }
+
+    #[test]
+    fn volume_and_edge_forms_bracket_each_other() {
+        let g = paper_barbell();
+        let edge_phi = crate::conductance::exact_conductance(&g).phi;
+        let vol_phi = exact_volume_conductance(&g);
+        assert!(vol_phi <= edge_phi + 1e-12);
+        assert!(edge_phi <= 2.0 * vol_phi + 1e-12);
+    }
+
+    #[test]
+    fn cheeger_inequality_holds_on_samples() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let graphs: Vec<Graph> = vec![
+            paper_barbell(),
+            complete_graph(10),
+            cycle_graph(12),
+            {
+                let g = mto_graph::generators::gnp_graph(16, 0.3, &mut StdRng::seed_from_u64(3));
+                mto_graph::algo::largest_component(&g).0
+            },
+        ];
+        for g in &graphs {
+            if g.num_nodes() < 3 || g.min_degree() == 0 {
+                continue;
+            }
+            let phi_vol = exact_volume_conductance(g);
+            let e = jacobi_eigen(&symmetrized_transition(g), JacobiOptions::default());
+            let lambda2 = e.values[1];
+            let (lo, gap, hi) = cheeger_bracket(phi_vol, lambda2);
+            assert!(lo <= gap + 1e-9, "{g:?}: Cheeger lower bound violated: {lo} > {gap}");
+            assert!(gap <= hi + 1e-9, "{g:?}: Cheeger upper bound violated: {gap} > {hi}");
+        }
+    }
+
+    #[test]
+    fn edge_phi_bounds_helper() {
+        let m = CutMetrics { cut: 1, within_s: 55, within_t: 55 };
+        let (lo, hi) = edge_phi_bounds_from_volume(&m);
+        assert!((hi - 1.0 / 56.0).abs() < 1e-12);
+        assert!((lo - 0.5 / 56.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cut_returns_none() {
+        let g = paper_barbell();
+        let in_s = vec![false; 22];
+        assert_eq!(volume_conductance_of_cut(&g, &in_s), None);
+    }
+
+    use mto_graph::Graph;
+}

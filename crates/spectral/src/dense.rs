@@ -1,0 +1,286 @@
+//! Minimal dense row-major matrix used by the spectral machinery.
+//!
+//! The paper's spectral computations (SLEM, theoretical mixing time, Fig 10)
+//! run on graphs of at most a few hundred nodes, where a plain dense matrix
+//! plus a Jacobi eigensolver is both simplest and plenty fast. Larger
+//! graphs go through [`crate::sparse`].
+
+use std::fmt;
+
+/// Dense `rows × cols` matrix of `f64`, row-major.
+#[derive(Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Identity matrix of order `n`.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix from a generator `f(row, col)`.
+    pub fn from_fn<F: FnMut(usize, usize) -> f64>(rows: usize, cols: usize, mut f: F) -> Self {
+        let mut m = DenseMatrix::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Builds from nested arrays; rows must be equal length.
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, Vec::len);
+        let mut m = DenseMatrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged row {i}");
+            for (j, &x) in row.iter().enumerate() {
+                m.set(i, j, x);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols);
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Borrow of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Matrix–matrix product `self · other`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "shape mismatch in matmul");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        // i-k-j loop order keeps the inner loop streaming over rows.
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                let other_row = other.row(k);
+                let out_row =
+                    &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(other_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(self.cols, x.len(), "shape mismatch in matvec");
+        (0..self.rows)
+            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        DenseMatrix::from_fn(self.cols, self.rows, |i, j| self.get(j, i))
+    }
+
+    /// Whether `|a_ij − a_ji| <= tol` everywhere.
+    pub fn is_symmetric(&self, tol: f64) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for i in 0..self.rows {
+            for j in (i + 1)..self.cols {
+                if (self.get(i, j) - self.get(j, i)).abs() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Square root of the sum of squared off-diagonal entries; the Jacobi
+    /// sweep's convergence measure.
+    pub fn off_diagonal_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if i != j {
+                    let v = self.get(i, j);
+                    s += v * v;
+                }
+            }
+        }
+        s.sqrt()
+    }
+
+    /// Largest absolute element-wise difference to another matrix.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Sum of each row; a stochastic matrix has all row sums equal to 1.
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row(i).iter().sum()).collect()
+    }
+}
+
+impl fmt::Debug for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DenseMatrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows.min(8) {
+            write!(f, "  ")?;
+            for j in 0..self.cols.min(8) {
+                write!(f, "{:8.4} ", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral_for_matmul() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let i = DenseMatrix::identity(2);
+        assert_eq!(a.matmul(&i), a);
+        assert_eq!(i.matmul(&a), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn matvec_known_product() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 0.0, 2.0], vec![0.0, 3.0, 0.0]]);
+        assert_eq!(a.matvec(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]]);
+        let t = a.transpose();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.get(2, 1), 6.0);
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        let s = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 5.0]]);
+        assert!(s.is_symmetric(0.0));
+        let a = DenseMatrix::from_rows(&[vec![1.0, 2.0], vec![2.1, 5.0]]);
+        assert!(!a.is_symmetric(1e-6));
+        assert!(a.is_symmetric(0.2));
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(!rect.is_symmetric(1.0));
+    }
+
+    #[test]
+    fn off_diagonal_norm_of_diagonal_matrix_is_zero() {
+        let mut d = DenseMatrix::zeros(3, 3);
+        d.set(0, 0, 4.0);
+        d.set(1, 1, -2.0);
+        assert_eq!(d.off_diagonal_norm(), 0.0);
+        d.set(0, 1, 3.0);
+        d.set(1, 0, 4.0);
+        assert_eq!(d.off_diagonal_norm(), 5.0);
+    }
+
+    #[test]
+    fn row_sums_of_stochastic_matrix() {
+        let p = DenseMatrix::from_rows(&[vec![0.5, 0.5], vec![0.25, 0.75]]);
+        for s in p.row_sums() {
+            assert!((s - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_detects_perturbation() {
+        let a = DenseMatrix::identity(3);
+        let mut b = a.clone();
+        b.set(2, 0, 0.25);
+        assert_eq!(a.max_abs_diff(&b), 0.25);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn from_rows_rejects_ragged() {
+        let _ = DenseMatrix::from_rows(&[vec![1.0], vec![1.0, 2.0]]);
+    }
+}

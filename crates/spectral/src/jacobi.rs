@@ -1,0 +1,280 @@
+//! Cyclic Jacobi eigendecomposition for symmetric matrices.
+//!
+//! Robust, dependency-free, and easily accurate enough for the paper's
+//! spectral experiments (Fig 10 uses graphs of 50–100 nodes). Jacobi
+//! iterates plane rotations that zero one off-diagonal pair at a time;
+//! convergence is quadratic once the matrix is nearly diagonal.
+
+use crate::dense::DenseMatrix;
+
+/// Result of a symmetric eigendecomposition.
+#[derive(Clone, Debug)]
+pub struct EigenDecomposition {
+    /// Eigenvalues sorted in descending order.
+    pub values: Vec<f64>,
+    /// `vectors[k]` is the unit eigenvector for `values[k]`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+impl EigenDecomposition {
+    /// Largest eigenvalue.
+    ///
+    /// # Panics
+    /// Panics for the 0×0 matrix.
+    pub fn lambda_max(&self) -> f64 {
+        *self.values.first().expect("empty spectrum")
+    }
+
+    /// Smallest eigenvalue.
+    ///
+    /// # Panics
+    /// Panics for the 0×0 matrix.
+    pub fn lambda_min(&self) -> f64 {
+        *self.values.last().expect("empty spectrum")
+    }
+
+    /// Second largest eigenvalue modulus: `max(|λ_2|, |λ_n|)` — the SLEM of
+    /// a stochastic matrix whose Perron eigenvalue is `values[0] = 1`.
+    ///
+    /// # Panics
+    /// Panics for matrices smaller than 2×2.
+    pub fn slem(&self) -> f64 {
+        assert!(self.values.len() >= 2, "SLEM needs at least a 2x2 matrix");
+        self.values[1].abs().max(self.values[self.values.len() - 1].abs())
+    }
+}
+
+/// Eigendecomposition options.
+#[derive(Clone, Copy, Debug)]
+pub struct JacobiOptions {
+    /// Stop once the off-diagonal Frobenius norm falls below this.
+    pub tolerance: f64,
+    /// Hard cap on full sweeps.
+    pub max_sweeps: usize,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        JacobiOptions { tolerance: 1e-12, max_sweeps: 100 }
+    }
+}
+
+/// Computes all eigenvalues and eigenvectors of a symmetric matrix.
+///
+/// # Panics
+/// Panics if the matrix is not square or not symmetric (tolerance `1e-9`),
+/// or if `max_sweeps` is exhausted before convergence (which for real
+/// symmetric input indicates a logic error, not an input problem).
+pub fn jacobi_eigen(matrix: &DenseMatrix, opts: JacobiOptions) -> EigenDecomposition {
+    assert_eq!(matrix.rows(), matrix.cols(), "Jacobi needs a square matrix");
+    assert!(matrix.is_symmetric(1e-9), "Jacobi needs a symmetric matrix");
+    let n = matrix.rows();
+    let mut a = matrix.clone();
+    let mut v = DenseMatrix::identity(n);
+
+    if n > 1 {
+        let mut sweeps = 0;
+        while a.off_diagonal_norm() > opts.tolerance {
+            assert!(
+                sweeps < opts.max_sweeps,
+                "Jacobi failed to converge in {} sweeps (off-diag {:.3e})",
+                opts.max_sweeps,
+                a.off_diagonal_norm()
+            );
+            for p in 0..n - 1 {
+                for q in (p + 1)..n {
+                    rotate(&mut a, &mut v, p, q);
+                }
+            }
+            sweeps += 1;
+        }
+    }
+
+    // Extract and sort.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        a.get(j, j).partial_cmp(&a.get(i, i)).expect("eigenvalue NaN")
+    });
+    let values: Vec<f64> = order.iter().map(|&i| a.get(i, i)).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&k| (0..n).map(|i| v.get(i, k)).collect())
+        .collect();
+    EigenDecomposition { values, vectors }
+}
+
+/// One Jacobi rotation zeroing `a[p][q]`.
+fn rotate(a: &mut DenseMatrix, v: &mut DenseMatrix, p: usize, q: usize) {
+    let apq = a.get(p, q);
+    if apq.abs() < f64::MIN_POSITIVE {
+        return;
+    }
+    let app = a.get(p, p);
+    let aqq = a.get(q, q);
+    let theta = (aqq - app) / (2.0 * apq);
+    // Numerically stable tangent of the rotation angle.
+    let t = if theta >= 0.0 {
+        1.0 / (theta + (1.0 + theta * theta).sqrt())
+    } else {
+        1.0 / (theta - (1.0 + theta * theta).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    let n = a.rows();
+    for i in 0..n {
+        let aip = a.get(i, p);
+        let aiq = a.get(i, q);
+        a.set(i, p, c * aip - s * aiq);
+        a.set(i, q, s * aip + c * aiq);
+    }
+    for j in 0..n {
+        let apj = a.get(p, j);
+        let aqj = a.get(q, j);
+        a.set(p, j, c * apj - s * aqj);
+        a.set(q, j, s * apj + c * aqj);
+    }
+    for i in 0..n {
+        let vip = v.get(i, p);
+        let viq = v.get(i, q);
+        v.set(i, p, c * vip - s * viq);
+        v.set(i, q, s * vip + c * viq);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decompose(rows: &[Vec<f64>]) -> EigenDecomposition {
+        jacobi_eigen(&DenseMatrix::from_rows(rows), JacobiOptions::default())
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_its_diagonal() {
+        let e = decompose(&[
+            vec![3.0, 0.0, 0.0],
+            vec![0.0, -1.0, 0.0],
+            vec![0.0, 0.0, 2.0],
+        ]);
+        assert_eq!(e.values, vec![3.0, 2.0, -1.0]);
+        assert_eq!(e.lambda_max(), 3.0);
+        assert_eq!(e.lambda_min(), -1.0);
+    }
+
+    #[test]
+    fn two_by_two_known_spectrum() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let e = decompose(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        assert!((e.values[0] - 3.0).abs() < 1e-10);
+        assert!((e.values[1] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let m = DenseMatrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, -1.0],
+            vec![0.5, -1.0, 2.0],
+        ]);
+        let e = jacobi_eigen(&m, JacobiOptions::default());
+        for (lambda, vec) in e.values.iter().zip(&e.vectors) {
+            let mv = m.matvec(vec);
+            for (a, b) in mv.iter().zip(vec) {
+                assert!((a - lambda * b).abs() < 1e-8, "Av != λv");
+            }
+            let norm: f64 = vec.iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-10, "eigenvector not unit");
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_orthogonal() {
+        let m = DenseMatrix::from_rows(&[
+            vec![1.0, 0.3, 0.0, 0.2],
+            vec![0.3, 2.0, 0.5, 0.0],
+            vec![0.0, 0.5, 3.0, 0.7],
+            vec![0.2, 0.0, 0.7, 4.0],
+        ]);
+        let e = jacobi_eigen(&m, JacobiOptions::default());
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                let dot: f64 =
+                    e.vectors[i].iter().zip(&e.vectors[j]).map(|(a, b)| a * b).sum();
+                assert!(dot.abs() < 1e-9, "vectors {i},{j} not orthogonal: {dot}");
+            }
+        }
+    }
+
+    #[test]
+    fn trace_and_eigenvalue_sum_agree() {
+        let m = DenseMatrix::from_rows(&[
+            vec![5.0, 2.0, 1.0],
+            vec![2.0, -3.0, 0.5],
+            vec![1.0, 0.5, 1.5],
+        ]);
+        let e = jacobi_eigen(&m, JacobiOptions::default());
+        let trace = 5.0 - 3.0 + 1.5;
+        let sum: f64 = e.values.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slem_picks_largest_modulus_after_perron() {
+        // Stochastic-like spectrum {1, 0.3, -0.8}: SLEM is 0.8.
+        let e = decompose(&[
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 0.3, 0.0],
+            vec![0.0, 0.0, -0.8],
+        ]);
+        assert!((e.slem() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let e = decompose(&[vec![7.0]]);
+        assert_eq!(e.values, vec![7.0]);
+        assert_eq!(e.vectors, vec![vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "symmetric")]
+    fn rejects_asymmetric_input() {
+        let _ = decompose(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rejects_rectangular_input() {
+        let m = DenseMatrix::zeros(2, 3);
+        let _ = jacobi_eigen(&m, JacobiOptions::default());
+    }
+
+    #[test]
+    fn larger_random_symmetric_matrix_reconstructs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(6);
+        let n = 30;
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in i..n {
+                let x: f64 = rng.gen_range(-1.0..1.0);
+                m.set(i, j, x);
+                m.set(j, i, x);
+            }
+        }
+        let e = jacobi_eigen(&m, JacobiOptions::default());
+        // Reconstruct A = Q Λ Qᵀ and compare.
+        let mut recon = DenseMatrix::zeros(n, n);
+        for k in 0..n {
+            for i in 0..n {
+                for j in 0..n {
+                    let v = recon.get(i, j)
+                        + e.values[k] * e.vectors[k][i] * e.vectors[k][j];
+                    recon.set(i, j, v);
+                }
+            }
+        }
+        assert!(m.max_abs_diff(&recon) < 1e-8);
+    }
+}

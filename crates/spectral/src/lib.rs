@@ -1,0 +1,48 @@
+//! # mto-spectral — spectral substrate for the MTO-Sampler reproduction
+//!
+//! Dense and sparse linear algebra, eigensolvers, and the graph-theoretic
+//! quantities the paper reasons with:
+//!
+//! * [`conductance`] — the paper's Definition 3 conductance, exact
+//!   brute-force minimization (Gray-code sweep), cross-cutting edge
+//!   identification (Definition 4), and a spectral sweep-cut heuristic;
+//! * [`mixing`] — relative point-wise distance `Δ(t)` (Definition 2),
+//!   SLEM-based theoretical mixing time (footnote 12), and the Eq. (3)–(6)
+//!   conductance bounds, unit-tested against every number the paper's
+//!   running example quotes;
+//! * [`transition`] — SRW / lazy transition matrices and their symmetrized
+//!   forms; [`jacobi`] and [`power`] — eigensolvers (dense full spectrum,
+//!   sparse deflated power iteration).
+//!
+//! ## Example: the paper's running example, verified
+//!
+//! ```
+//! use mto_graph::generators::paper_barbell;
+//! use mto_spectral::conductance::exact_conductance;
+//!
+//! let g = paper_barbell();
+//! let phi = exact_conductance(&g).phi;
+//! assert!((phi - 1.0 / 56.0).abs() < 1e-12); // paper: Φ(G) = 0.018
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cheeger;
+pub mod conductance;
+pub mod dense;
+pub mod jacobi;
+pub mod mixing;
+pub mod power;
+pub mod sparse;
+pub mod transition;
+
+pub use conductance::{
+    conductance_estimate, cross_cutting_edges, cut_metrics, exact_conductance, is_cross_cutting,
+    CutMetrics, ExactConductance,
+};
+pub use dense::DenseMatrix;
+pub use jacobi::{jacobi_eigen, EigenDecomposition, JacobiOptions};
+pub use mixing::{slem_mixing_time, MixingAnalysis};
+pub use power::{slem_power_iteration, PowerIterationOptions, SlemEstimate};
+pub use sparse::{SparseBuilder, SparseMatrix};
+pub use transition::{lazy_transition, srw_transition, stationary_distribution};

@@ -1,0 +1,352 @@
+//! Mixing time: exact relative point-wise distance, SLEM-based theoretical
+//! mixing time (footnote 12 of the paper), and the conductance bounds of
+//! Eq. (3)–(6).
+//!
+//! The paper's running example quantifies everything through the upper
+//! bound of Eq. (4): `Δ(t) ≤ (2|E|/min_v k_v) (1 − Φ²/2)^t`, giving a
+//! mixing-time bound of `ln(c/ε) / −ln(1 − Φ²/2)`, which the paper reports
+//! as a coefficient of `log₁₀(c/ε)` — e.g. `14212.3 · log(22.2/ε)` for the
+//! barbell. Those exact constants are unit-tested here.
+
+use mto_graph::Graph;
+
+use crate::dense::DenseMatrix;
+use crate::jacobi::{jacobi_eigen, EigenDecomposition, JacobiOptions};
+use crate::transition::{
+    stationary_distribution, symmetrized_lazy_transition, symmetrized_transition,
+};
+
+/// Relative point-wise distance `Δ(t) = max_{u,v} |Pᵗ(u,v) − π(v)| / π(v)`
+/// (Definition 2, taken over all node pairs).
+pub fn relative_pointwise_distance(p_t: &DenseMatrix, pi: &[f64]) -> f64 {
+    assert_eq!(p_t.rows(), p_t.cols(), "transition power must be square");
+    assert_eq!(p_t.rows(), pi.len(), "π length mismatch");
+    let mut worst = 0.0f64;
+    for u in 0..p_t.rows() {
+        for (v, &pv) in pi.iter().enumerate() {
+            let d = (p_t.get(u, v) - pv).abs() / pv;
+            if d > worst {
+                worst = d;
+            }
+        }
+    }
+    worst
+}
+
+/// Machinery for evaluating `Δ(t)` at arbitrary `t` from one
+/// eigendecomposition: `Pᵗ = D^{-1/2} Q Λᵗ Qᵀ D^{1/2}`.
+pub struct MixingAnalysis {
+    eigen: EigenDecomposition,
+    /// `√k_u` per node.
+    sqrt_deg: Vec<f64>,
+    pi: Vec<f64>,
+    /// Whether the lazy chain was analyzed.
+    pub lazy: bool,
+}
+
+impl MixingAnalysis {
+    /// Eigendecomposes the (lazy) walk on `g`.
+    ///
+    /// # Panics
+    /// Panics for graphs with isolated nodes (no SRW) or over ~400 nodes
+    /// (dense eigendecomposition becomes unreasonable).
+    pub fn new(g: &Graph, lazy: bool) -> Self {
+        assert!(
+            g.num_nodes() <= 400,
+            "dense mixing analysis capped at 400 nodes, got {}",
+            g.num_nodes()
+        );
+        let s = if lazy { symmetrized_lazy_transition(g) } else { symmetrized_transition(g) };
+        let eigen = jacobi_eigen(&s, JacobiOptions::default());
+        let sqrt_deg = g.nodes().map(|v| (g.degree(v) as f64).sqrt()).collect();
+        let pi = stationary_distribution(g);
+        MixingAnalysis { eigen, sqrt_deg, pi, lazy }
+    }
+
+    /// The SLEM `µ = max(|λ₂|, |λ_n|)`.
+    pub fn slem(&self) -> f64 {
+        self.eigen.slem()
+    }
+
+    /// Theoretical mixing time `1 / ln(1/µ)` (paper footnote 12). Infinite
+    /// when `µ >= 1` (disconnected or non-lazy bipartite chains).
+    pub fn theoretical_mixing_time(&self) -> f64 {
+        slem_mixing_time(self.slem())
+    }
+
+    /// Evaluates `Δ(t)` exactly from the spectrum.
+    pub fn delta(&self, t: u32) -> f64 {
+        let n = self.pi.len();
+        let mut worst = 0.0f64;
+        // P^t(u,v) = Σ_k λ_k^t q_k(u) q_k(v) √(k_v/k_u); the k=0 term is
+        // exactly π(v), so the deviation is the k>=1 sum.
+        for u in 0..n {
+            for v in 0..n {
+                let mut dev = 0.0;
+                for k in 1..n {
+                    let lam = self.eigen.values[k];
+                    dev += lam.powi(t as i32)
+                        * self.eigen.vectors[k][u]
+                        * self.eigen.vectors[k][v];
+                }
+                dev *= self.sqrt_deg[v] / self.sqrt_deg[u];
+                let rel = dev.abs() / self.pi[v];
+                if rel > worst {
+                    worst = rel;
+                }
+            }
+        }
+        worst
+    }
+
+    /// Smallest `t` with `Δ(t) <= epsilon`, found by doubling + binary
+    /// search (valid because the eigenvalue envelope decays geometrically).
+    /// Returns `None` if not reached within `t_max`.
+    pub fn mixing_time(&self, epsilon: f64, t_max: u32) -> Option<u32> {
+        assert!(epsilon > 0.0, "epsilon must be positive");
+        if self.delta(1) <= epsilon {
+            return Some(1);
+        }
+        // Exponential search for an upper bracket.
+        let mut hi = 2u32;
+        while self.delta(hi) > epsilon {
+            if hi >= t_max {
+                return None;
+            }
+            hi = (hi * 2).min(t_max);
+        }
+        let mut lo = hi / 2; // delta(lo) > eps, delta(hi) <= eps
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if self.delta(mid) <= epsilon {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        Some(hi)
+    }
+}
+
+/// Footnote-12 theoretical mixing time `1 / ln(1/µ)`.
+pub fn slem_mixing_time(slem: f64) -> f64 {
+    if slem <= 0.0 {
+        0.0
+    } else if slem >= 1.0 {
+        f64::INFINITY
+    } else {
+        1.0 / (1.0 / slem).ln()
+    }
+}
+
+/// The paper's Eq. (3) lower envelope: `(1 − 2Φ)ᵗ <= Δ(t)`.
+pub fn lower_bound_distance(phi: f64, t: u32) -> f64 {
+    (1.0 - 2.0 * phi).max(0.0).powi(t as i32)
+}
+
+/// The paper's Eq. (3)/(4) upper envelope:
+/// `Δ(t) <= (2|E| / min_k) (1 − Φ²/2)ᵗ`.
+pub fn upper_bound_distance(phi: f64, t: u32, num_edges: usize, min_degree: usize) -> f64 {
+    assert!(min_degree > 0, "min degree must be positive");
+    let c = 2.0 * num_edges as f64 / min_degree as f64;
+    c * (1.0 - phi * phi / 2.0).powi(t as i32)
+}
+
+/// Mixing-time upper bound from Eq. (5): smallest `t` guaranteeing
+/// `Δ(t) <= ε`, i.e. `t >= ln(c/ε) / −ln(1 − Φ²/2)` with
+/// `c = 2|E|/min_k`.
+pub fn mixing_time_upper_bound(
+    phi: f64,
+    epsilon: f64,
+    num_edges: usize,
+    min_degree: usize,
+) -> f64 {
+    assert!(phi > 0.0 && phi <= 1.0, "need 0 < Φ <= 1, got {phi}");
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let c = 2.0 * num_edges as f64 / min_degree as f64;
+    (c / epsilon).ln() / -(1.0 - phi * phi / 2.0).ln()
+}
+
+/// The coefficient the paper multiplies `log₁₀(c/ε)` by when quoting
+/// mixing-time bounds: `ln(10) / −ln(1 − Φ²/2)`.
+///
+/// Running example: `Φ = 0.018 → 14212.3`, `0.035 → 3758.1 (≈3759)`,
+/// `0.053 → 1638.3`, `0.105 → 416.6`.
+pub fn mixing_bound_log10_coefficient(phi: f64) -> f64 {
+    assert!(phi > 0.0 && phi <= 1.0, "need 0 < Φ <= 1, got {phi}");
+    std::f64::consts::LN_10 / -(1.0 - phi * phi / 2.0).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transition::{lazy_transition, srw_transition};
+    use mto_graph::generators::{complete_graph, cycle_graph, paper_barbell};
+
+    #[test]
+    fn paper_running_example_coefficients() {
+        // Section II-D and III: the four bound coefficients the paper quotes.
+        assert!((mixing_bound_log10_coefficient(0.018) - 14212.3).abs() < 1.0);
+        assert!((mixing_bound_log10_coefficient(0.035) - 3759.1).abs() < 1.5);
+        assert!((mixing_bound_log10_coefficient(0.053) - 1638.3).abs() < 1.0);
+        assert!((mixing_bound_log10_coefficient(0.105) - 416.6).abs() < 0.5);
+    }
+
+    #[test]
+    fn paper_conductance_change_example() {
+        // Section II-D: "increasing conductance from 0.010 to 0.012 will
+        // change the mixing time from 46050.5·log(c/ε) to 31979.1·log(c/ε)".
+        // Same log₁₀ coefficient as the running example.
+        let a = mixing_bound_log10_coefficient(0.010);
+        let b = mixing_bound_log10_coefficient(0.012);
+        assert!((a - 46050.5).abs() < 2.0, "got {a}");
+        assert!((b - 31979.1).abs() < 2.0, "got {b}");
+    }
+
+    #[test]
+    fn paper_mixing_reduction_ratios() {
+        // Running example: removal cuts the bound to 0.115 of the original,
+        // replacement to 0.029 overall.
+        let orig = mixing_bound_log10_coefficient(0.018);
+        let removed = mixing_bound_log10_coefficient(0.053);
+        let replaced = mixing_bound_log10_coefficient(0.105);
+        assert!((removed / orig - 0.115).abs() < 0.003, "got {}", removed / orig);
+        assert!((replaced / orig - 0.029).abs() < 0.002, "got {}", replaced / orig);
+    }
+
+    #[test]
+    fn delta_matches_direct_matrix_power() {
+        let g = paper_barbell();
+        let analysis = MixingAnalysis::new(&g, true);
+        let p = lazy_transition(&g);
+        let pi = stationary_distribution(&g);
+        // P^4 by repeated multiplication.
+        let mut pt = p.clone();
+        for _ in 0..3 {
+            pt = pt.matmul(&p);
+        }
+        let direct = relative_pointwise_distance(&pt, &pi);
+        let spectral = analysis.delta(4);
+        assert!(
+            (direct - spectral).abs() < 1e-8,
+            "direct {direct} vs spectral {spectral}"
+        );
+    }
+
+    #[test]
+    fn delta_decreases_with_time_on_lazy_chain() {
+        let g = paper_barbell();
+        let analysis = MixingAnalysis::new(&g, true);
+        let d1 = analysis.delta(1);
+        let d10 = analysis.delta(10);
+        let d100 = analysis.delta(100);
+        assert!(d1 > d10 && d10 > d100, "{d1} {d10} {d100}");
+    }
+
+    #[test]
+    fn complete_graph_mixes_almost_instantly() {
+        let g = complete_graph(12);
+        let analysis = MixingAnalysis::new(&g, false);
+        let t = analysis.mixing_time(0.01, 100).expect("K12 mixes fast");
+        assert!(t <= 5, "K12 should mix in a few steps, got {t}");
+    }
+
+    #[test]
+    fn barbell_mixes_slowly() {
+        let g = paper_barbell();
+        let analysis = MixingAnalysis::new(&g, true);
+        let t_barbell = analysis.mixing_time(0.25, 100_000).expect("mixes eventually");
+        let k = complete_graph(22);
+        let t_complete =
+            MixingAnalysis::new(&k, true).mixing_time(0.25, 100_000).expect("mixes");
+        assert!(
+            t_barbell > 20 * t_complete,
+            "barbell {t_barbell} vs complete {t_complete}"
+        );
+    }
+
+    #[test]
+    fn mixing_time_is_minimal(){
+        let g = cycle_graph(9);
+        let analysis = MixingAnalysis::new(&g, true);
+        let t = analysis.mixing_time(0.2, 10_000).unwrap();
+        assert!(analysis.delta(t) <= 0.2);
+        assert!(analysis.delta(t - 1) > 0.2, "t={t} not minimal");
+    }
+
+    #[test]
+    fn mixing_time_none_when_capped() {
+        let g = paper_barbell();
+        let analysis = MixingAnalysis::new(&g, true);
+        assert_eq!(analysis.mixing_time(1e-6, 4), None);
+    }
+
+    #[test]
+    fn slem_mixing_time_edge_cases() {
+        assert_eq!(slem_mixing_time(0.0), 0.0);
+        assert_eq!(slem_mixing_time(1.0), f64::INFINITY);
+        assert!((slem_mixing_time(1.0 / std::f64::consts::E) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_bracket_true_distance_on_barbell() {
+        let g = paper_barbell();
+        // Paper's Def-3 conductance of the barbell.
+        let phi = 1.0 / 56.0;
+        let analysis = MixingAnalysis::new(&g, true);
+        for t in [10u32, 100, 1000] {
+            let d = analysis.delta(t);
+            let ub = upper_bound_distance(phi, t, g.num_edges(), g.min_degree());
+            assert!(d <= ub + 1e-9, "t={t}: Δ={d} above upper bound {ub}");
+        }
+    }
+
+    #[test]
+    fn lower_bound_is_conservative() {
+        // (1-2Φ)^t with Φ = 1/56 stays below 1 and decays.
+        let b1 = lower_bound_distance(1.0 / 56.0, 1);
+        let b100 = lower_bound_distance(1.0 / 56.0, 100);
+        assert!(b1 < 1.0 && b100 < b1);
+        assert_eq!(lower_bound_distance(0.6, 3), 0.0, "clamped at zero");
+    }
+
+    #[test]
+    fn upper_bound_at_t0_is_c() {
+        let ub = upper_bound_distance(0.1, 0, 111, 10);
+        assert!((ub - 22.2).abs() < 1e-12, "c = 2|E|/min_k = 22.2");
+    }
+
+    #[test]
+    fn mixing_time_upper_bound_matches_coefficient_form() {
+        // ln(c/ε)/−ln(1−Φ²/2) == coeff · log10(c/ε).
+        let phi = 0.018;
+        let (m, min_k) = (111, 10);
+        let eps = 0.01;
+        let direct = mixing_time_upper_bound(phi, eps, m, min_k);
+        let via_coeff = mixing_bound_log10_coefficient(phi) * (22.2f64 / eps).log10();
+        assert!((direct - via_coeff).abs() < 1e-6);
+    }
+
+    #[test]
+    fn srw_vs_lazy_on_bipartite() {
+        // Non-lazy SRW on an even cycle never mixes (period 2): Δ stays Θ(1).
+        let g = cycle_graph(8);
+        let plain = MixingAnalysis::new(&g, false);
+        assert!(plain.delta(1001) > 0.5);
+        let lazy = MixingAnalysis::new(&g, true);
+        assert!(lazy.mixing_time(0.1, 10_000).is_some());
+    }
+
+    #[test]
+    fn analysis_exposes_slem_consistent_with_transition() {
+        let g = paper_barbell();
+        let a = MixingAnalysis::new(&g, false);
+        let e = jacobi_eigen(&symmetrized_transition(&g), JacobiOptions::default());
+        assert!((a.slem() - e.slem()).abs() < 1e-10);
+        // sanity: srw_transition row sums are 1 (used implicitly throughout)
+        let p = srw_transition(&g);
+        for s in p.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+}

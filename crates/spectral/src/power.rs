@@ -1,0 +1,307 @@
+//! Deflated power iteration: SLEM estimation for graphs too large for the
+//! dense Jacobi solver.
+//!
+//! The symmetrized walk matrix `S = D^{1/2} P D^{-1/2}` has a *known*
+//! Perron eigenvector `v₁(u) = √k_u / √(2|E|)`. Projecting it out each
+//! step, power iteration converges to the eigenvalue of second-largest
+//! modulus — exactly the SLEM the paper's footnote 12 uses for theoretical
+//! mixing time. The estimate uses `‖Sx‖/‖x‖`, which converges to `|λ|`
+//! even when the dominant remaining eigenvalue is negative (bipartite-ish
+//! graphs).
+
+use mto_graph::Graph;
+
+use crate::sparse::SparseMatrix;
+use crate::transition::sparse_symmetrized_transition;
+
+/// Options for the deflated power iteration.
+#[derive(Clone, Copy, Debug)]
+pub struct PowerIterationOptions {
+    /// Maximum iterations before giving up.
+    pub max_iterations: usize,
+    /// Relative change in the eigenvalue estimate treated as converged.
+    pub tolerance: f64,
+    /// Seed for the random start vector.
+    pub seed: u64,
+}
+
+impl Default for PowerIterationOptions {
+    fn default() -> Self {
+        PowerIterationOptions { max_iterations: 5000, tolerance: 1e-10, seed: 0x5EED }
+    }
+}
+
+/// Outcome of a power-iteration SLEM estimate.
+#[derive(Clone, Copy, Debug)]
+pub struct SlemEstimate {
+    /// The estimated second-largest eigenvalue modulus.
+    pub slem: f64,
+    /// Iterations actually performed.
+    pub iterations: usize,
+    /// Whether the tolerance was met (otherwise the estimate is the last
+    /// iterate and should be treated as approximate).
+    pub converged: bool,
+}
+
+fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Estimates the SLEM of the SRW on `g` via deflated power iteration on the
+/// sparse symmetrized transition matrix.
+///
+/// # Panics
+/// Panics on graphs with isolated nodes (no SRW) or fewer than 2 nodes.
+pub fn slem_power_iteration(g: &Graph, opts: PowerIterationOptions) -> SlemEstimate {
+    assert!(g.num_nodes() >= 2, "SLEM needs at least two nodes");
+    let s = sparse_symmetrized_transition(g);
+    let vol = g.volume() as f64;
+    let v1: Vec<f64> = g.nodes().map(|v| (g.degree(v) as f64 / vol).sqrt()).collect();
+    slem_power_iteration_matrix(&s, &v1, opts)
+}
+
+/// Power iteration on an explicit symmetric matrix with known unit Perron
+/// vector `v1` to deflate.
+///
+/// # Panics
+/// Panics if shapes disagree or the matrix is not square.
+pub fn slem_power_iteration_matrix(
+    s: &SparseMatrix,
+    v1: &[f64],
+    opts: PowerIterationOptions,
+) -> SlemEstimate {
+    assert_eq!(s.rows(), s.cols(), "matrix must be square");
+    assert_eq!(s.rows(), v1.len(), "Perron vector length mismatch");
+    let n = s.rows();
+
+    // Deterministic pseudo-random start vector.
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    let deflate = |x: &mut Vec<f64>| {
+        let c = dot(x, v1);
+        for (xi, vi) in x.iter_mut().zip(v1) {
+            *xi -= c * vi;
+        }
+    };
+
+    deflate(&mut x);
+    let nx = norm(&x);
+    if nx < 1e-300 {
+        // Degenerate start (possible only for n=1 effective spaces).
+        return SlemEstimate { slem: 0.0, iterations: 0, converged: true };
+    }
+    for v in &mut x {
+        *v /= nx;
+    }
+
+    let mut estimate = 0.0f64;
+    let mut y = vec![0.0; n];
+    for it in 1..=opts.max_iterations {
+        s.matvec_into(&x, &mut y);
+        // Re-deflate to counter numerical drift back toward v1.
+        let c = dot(&y, v1);
+        for (yi, vi) in y.iter_mut().zip(v1) {
+            *yi -= c * vi;
+        }
+        let ny = norm(&y);
+        if ny < 1e-300 {
+            // S annihilates the deflated space: SLEM is 0 (star-like).
+            return SlemEstimate { slem: 0.0, iterations: it, converged: true };
+        }
+        let new_estimate = ny; // ‖Sx‖ with ‖x‖=1 → |λ| at convergence
+        for (xi, yi) in x.iter_mut().zip(&y) {
+            *xi = yi / ny;
+        }
+        if (new_estimate - estimate).abs() <= opts.tolerance * new_estimate.max(1e-12) {
+            return SlemEstimate { slem: new_estimate, iterations: it, converged: true };
+        }
+        estimate = new_estimate;
+    }
+    SlemEstimate { slem: estimate, iterations: opts.max_iterations, converged: false }
+}
+
+/// Second eigenpair of the *lazy* symmetrized walk matrix `(I + S)/2`.
+///
+/// Because the lazy spectrum lives in `[0, 1]`, the dominant eigenvalue of
+/// the deflated space is the algebraic `λ₂` and its eigenvector is exactly
+/// the vector the spectral sweep cut needs. Returns `(λ₂, x)` with `x` a
+/// unit vector in the symmetrized coordinates (divide by `√k_u` to get the
+/// walk-space embedding).
+///
+/// # Panics
+/// Panics on graphs with isolated nodes or fewer than 2 nodes.
+pub fn second_eigenvector_lazy(g: &Graph, opts: PowerIterationOptions) -> (f64, Vec<f64>) {
+    assert!(g.num_nodes() >= 2, "second eigenvector needs at least two nodes");
+    let s = crate::transition::sparse_symmetrized_lazy_transition(g);
+    let vol = g.volume() as f64;
+    let v1: Vec<f64> = g.nodes().map(|v| (g.degree(v) as f64 / vol).sqrt()).collect();
+
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let n = g.num_nodes();
+    let mut x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+
+    let mut lambda = 0.0f64;
+    let mut y = vec![0.0; n];
+    for _ in 0..opts.max_iterations {
+        // Deflate then multiply.
+        let c = dot(&x, &v1);
+        for (xi, vi) in x.iter_mut().zip(&v1) {
+            *xi -= c * vi;
+        }
+        let nx = norm(&x);
+        if nx < 1e-300 {
+            return (0.0, x);
+        }
+        for v in &mut x {
+            *v /= nx;
+        }
+        s.matvec_into(&x, &mut y);
+        let new_lambda = dot(&x, &y); // Rayleigh quotient; spectrum >= 0
+        std::mem::swap(&mut x, &mut y);
+        if (new_lambda - lambda).abs() <= opts.tolerance * new_lambda.abs().max(1e-12) {
+            lambda = new_lambda;
+            break;
+        }
+        lambda = new_lambda;
+    }
+    // Final cleanup: deflate and normalize the returned vector.
+    let c = dot(&x, &v1);
+    for (xi, vi) in x.iter_mut().zip(&v1) {
+        *xi -= c * vi;
+    }
+    let nx = norm(&x);
+    if nx > 1e-300 {
+        for v in &mut x {
+            *v /= nx;
+        }
+    }
+    (lambda, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::{jacobi_eigen, JacobiOptions};
+    use crate::transition::symmetrized_transition;
+    use mto_graph::generators::{complete_graph, cycle_graph, paper_barbell, star_graph};
+
+    fn jacobi_slem(g: &Graph) -> f64 {
+        jacobi_eigen(&symmetrized_transition(g), JacobiOptions::default()).slem()
+    }
+
+    #[test]
+    fn matches_jacobi_on_complete_graph() {
+        let g = complete_graph(8);
+        let est = slem_power_iteration(&g, PowerIterationOptions::default());
+        assert!(est.converged);
+        assert!((est.slem - jacobi_slem(&g)).abs() < 1e-7, "got {}", est.slem);
+    }
+
+    #[test]
+    fn matches_jacobi_on_barbell() {
+        let g = paper_barbell();
+        let est = slem_power_iteration(&g, PowerIterationOptions::default());
+        assert!(est.converged);
+        let exact = jacobi_slem(&g);
+        assert!(
+            (est.slem - exact).abs() < 1e-6,
+            "power {} vs jacobi {exact}",
+            est.slem
+        );
+        // The barbell mixes terribly: SLEM very close to 1 (Cheeger with
+        // volume conductance 1/111 guarantees λ₂ ≥ 1 − 2/111 ≈ 0.982).
+        assert!(est.slem > 0.98, "got {}", est.slem);
+    }
+
+    #[test]
+    fn handles_negative_dominant_eigenvalue() {
+        // Even cycles are bipartite: λ_n = -1 dominates |λ_2|.
+        let g = cycle_graph(8);
+        let est = slem_power_iteration(&g, PowerIterationOptions::default());
+        assert!((est.slem - 1.0).abs() < 1e-6, "bipartite SLEM is 1, got {}", est.slem);
+    }
+
+    #[test]
+    fn star_graph_slem() {
+        // Star: SRW eigenvalues {1, 0^(n-2), -1}; SLEM = 1 (bipartite).
+        let g = star_graph(10);
+        let est = slem_power_iteration(&g, PowerIterationOptions::default());
+        assert!((est.slem - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn matches_jacobi_on_random_graph() {
+        use rand::{rngs::StdRng, SeedableRng};
+        let g = mto_graph::generators::gnp_graph(40, 0.3, &mut StdRng::seed_from_u64(14));
+        let (g, _) = mto_graph::algo::largest_component(&g);
+        let est = slem_power_iteration(&g, PowerIterationOptions::default());
+        let exact = jacobi_slem(&g);
+        assert!(
+            (est.slem - exact).abs() < 1e-6,
+            "power {} vs jacobi {exact}",
+            est.slem
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = paper_barbell();
+        let a = slem_power_iteration(&g, PowerIterationOptions::default());
+        let b = slem_power_iteration(&g, PowerIterationOptions::default());
+        assert_eq!(a.slem, b.slem);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_single_node() {
+        let mut g = Graph::new();
+        g.add_node();
+        let _ = slem_power_iteration(&g, PowerIterationOptions::default());
+    }
+
+    #[test]
+    fn second_eigenvector_lazy_matches_jacobi() {
+        let g = paper_barbell();
+        let (lambda, x) = second_eigenvector_lazy(&g, PowerIterationOptions::default());
+        let lazy = crate::transition::symmetrized_lazy_transition(&g);
+        let e = jacobi_eigen(&lazy, JacobiOptions::default());
+        assert!(
+            (lambda - e.values[1]).abs() < 1e-6,
+            "power λ2 {lambda} vs jacobi {}",
+            e.values[1]
+        );
+        // Vector should be the λ2 eigenvector up to sign.
+        let dot_abs: f64 = x
+            .iter()
+            .zip(&e.vectors[1])
+            .map(|(a, b)| a * b)
+            .sum::<f64>()
+            .abs();
+        assert!(dot_abs > 1.0 - 1e-4, "vectors misaligned: |<x, v2>| = {dot_abs}");
+    }
+
+    #[test]
+    fn second_eigenvector_separates_barbell_cliques() {
+        // The λ2 eigenvector of the barbell is the community indicator:
+        // one clique positive, the other negative.
+        let g = paper_barbell();
+        let (_, x) = second_eigenvector_lazy(&g, PowerIterationOptions::default());
+        let side_a = x[0].signum();
+        for v in 0..11 {
+            assert_eq!(x[v].signum(), side_a, "clique A node {v} flipped");
+        }
+        for v in 11..22 {
+            assert_eq!(x[v].signum(), -side_a, "clique B node {v} on wrong side");
+        }
+    }
+
+    use mto_graph::Graph;
+}

@@ -1,0 +1,195 @@
+//! CSR sparse matrix with just enough functionality for power iteration on
+//! large OSN-scale graphs (hundreds of thousands of nodes).
+
+/// Compressed-sparse-row matrix of `f64`.
+#[derive(Clone, Debug)]
+pub struct SparseMatrix {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+/// Builder accumulating triplets.
+#[derive(Clone, Debug, Default)]
+pub struct SparseBuilder {
+    rows: usize,
+    cols: usize,
+    triplets: Vec<(u32, u32, f64)>,
+}
+
+impl SparseBuilder {
+    /// New builder for a `rows × cols` matrix.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        SparseBuilder { rows, cols, triplets: Vec::new() }
+    }
+
+    /// Records `m[i][j] += v` (duplicate triplets are summed).
+    ///
+    /// # Panics
+    /// Panics when indices exceed the declared shape.
+    pub fn push(&mut self, i: usize, j: usize, v: f64) {
+        assert!(i < self.rows && j < self.cols, "triplet ({i},{j}) out of bounds");
+        self.triplets.push((i as u32, j as u32, v));
+    }
+
+    /// Sorts, merges duplicates, and freezes into CSR.
+    pub fn build(mut self) -> SparseMatrix {
+        self.triplets.sort_unstable_by_key(|&(i, j, _)| (i, j));
+        let mut merged: Vec<(u32, u32, f64)> = Vec::with_capacity(self.triplets.len());
+        for &(i, j, v) in &self.triplets {
+            match merged.last_mut() {
+                Some(last) if last.0 == i && last.1 == j => last.2 += v,
+                _ => merged.push((i, j, v)),
+            }
+        }
+        let mut row_offsets = vec![0usize; self.rows + 1];
+        for &(i, _, _) in &merged {
+            row_offsets[i as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_offsets[i + 1] += row_offsets[i];
+        }
+        SparseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            row_offsets,
+            col_indices: merged.iter().map(|t| t.1).collect(),
+            values: merged.iter().map(|t| t.2).collect(),
+        }
+    }
+}
+
+impl SparseMatrix {
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `y = A x`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "shape mismatch in sparse matvec");
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A x` writing into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "shape mismatch in sparse matvec");
+        assert_eq!(y.len(), self.rows, "output buffer shape mismatch");
+        for i in 0..self.rows {
+            let lo = self.row_offsets[i];
+            let hi = self.row_offsets[i + 1];
+            let mut acc = 0.0;
+            for k in lo..hi {
+                acc += self.values[k] * x[self.col_indices[k] as usize];
+            }
+            y[i] = acc;
+        }
+    }
+
+    /// Entry lookup (zero when absent); linear scan of the row.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let lo = self.row_offsets[i];
+        let hi = self.row_offsets[i + 1];
+        for k in lo..hi {
+            if self.col_indices[k] as usize == j {
+                return self.values[k];
+            }
+        }
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_lookup() {
+        let mut b = SparseBuilder::new(3, 3);
+        b.push(0, 1, 2.0);
+        b.push(2, 0, -1.0);
+        b.push(1, 1, 5.0);
+        let m = b.build();
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(0, 1), 2.0);
+        assert_eq!(m.get(1, 1), 5.0);
+        assert_eq!(m.get(2, 0), -1.0);
+        assert_eq!(m.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.push(0, 0, 1.0);
+        b.push(0, 0, 2.5);
+        let m = b.build();
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 0), 3.5);
+    }
+
+    #[test]
+    fn matvec_matches_dense() {
+        let mut b = SparseBuilder::new(3, 3);
+        b.push(0, 0, 1.0);
+        b.push(0, 2, 2.0);
+        b.push(1, 1, 3.0);
+        b.push(2, 0, 4.0);
+        let m = b.build();
+        let y = m.matvec(&[1.0, 2.0, 3.0]);
+        assert_eq!(y, vec![7.0, 6.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let mut b = SparseBuilder::new(4, 4);
+        b.push(3, 3, 1.0);
+        let m = b.build();
+        let y = m.matvec(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(y, vec![0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn matvec_into_avoids_allocation() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.push(0, 1, 1.0);
+        b.push(1, 0, 1.0);
+        let m = b.build();
+        let mut y = vec![9.0, 9.0];
+        m.matvec_into(&[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![4.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn push_out_of_bounds_panics() {
+        let mut b = SparseBuilder::new(2, 2);
+        b.push(2, 0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matvec_shape_mismatch_panics() {
+        let m = SparseBuilder::new(2, 2).build();
+        let _ = m.matvec(&[1.0]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Transition matrices of the simple random walk and its lazy variant.
+//!
+//! For the simple random walk of Definition 1, `P[u][v] = 1/k_u` for
+//! `v ∈ N(u)`. Its stationary distribution is `π(v) = k_v / 2|E|`. The lazy
+//! walk `(I + P)/2` shares `π` but has a nonnegative spectrum, which makes
+//! `SLEM = λ₂` and mixing-time comparisons clean — the MTO-Sampler's
+//! `rand(0,1) < 1/2` step in Algorithm 1 is exactly this laziness.
+//!
+//! All spectral work happens on the *similarity-symmetrized* matrix
+//! `S = D^{1/2} P D^{-1/2}`, with `S[u][v] = 1/√(k_u k_v)` on edges: `S` is
+//! symmetric with the same spectrum as `P`, so the Jacobi solver and the
+//! deflated power iteration both apply.
+
+use mto_graph::Graph;
+
+use crate::dense::DenseMatrix;
+use crate::sparse::{SparseBuilder, SparseMatrix};
+
+/// Asserts the graph supports a random walk from every node.
+fn check_no_isolated(g: &Graph) {
+    assert!(g.num_nodes() > 0, "transition matrix of an empty graph");
+    assert!(
+        g.min_degree() >= 1,
+        "graph has isolated nodes; the simple random walk is undefined there"
+    );
+}
+
+/// Dense SRW transition matrix `P`.
+pub fn srw_transition(g: &Graph) -> DenseMatrix {
+    check_no_isolated(g);
+    let n = g.num_nodes();
+    let mut p = DenseMatrix::zeros(n, n);
+    for u in g.nodes() {
+        let ku = g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            p.set(u.index(), v.index(), 1.0 / ku);
+        }
+    }
+    p
+}
+
+/// Dense lazy transition matrix `(I + P)/2`.
+pub fn lazy_transition(g: &Graph) -> DenseMatrix {
+    check_no_isolated(g);
+    let n = g.num_nodes();
+    let mut p = DenseMatrix::zeros(n, n);
+    for u in g.nodes() {
+        let ku = g.degree(u) as f64;
+        p.set(u.index(), u.index(), 0.5);
+        for &v in g.neighbors(u) {
+            p.set(u.index(), v.index(), 0.5 / ku);
+        }
+    }
+    p
+}
+
+/// Dense symmetrized walk matrix `S = D^{1/2} P D^{-1/2}`
+/// (`S[u][v] = 1/√(k_u k_v)` on edges). Same spectrum as `P`.
+pub fn symmetrized_transition(g: &Graph) -> DenseMatrix {
+    check_no_isolated(g);
+    let n = g.num_nodes();
+    let mut s = DenseMatrix::zeros(n, n);
+    for u in g.nodes() {
+        let ku = g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            if v > u {
+                let kv = g.degree(v) as f64;
+                let w = 1.0 / (ku * kv).sqrt();
+                s.set(u.index(), v.index(), w);
+                s.set(v.index(), u.index(), w);
+            }
+        }
+    }
+    s
+}
+
+/// Dense symmetrized *lazy* walk matrix `(I + S)/2`; spectrum of the lazy
+/// chain, all eigenvalues in `[0, 1]`.
+pub fn symmetrized_lazy_transition(g: &Graph) -> DenseMatrix {
+    let mut s = symmetrized_transition(g);
+    let n = s.rows();
+    for i in 0..n {
+        for j in 0..n {
+            let v = s.get(i, j) * 0.5 + if i == j { 0.5 } else { 0.0 };
+            s.set(i, j, v);
+        }
+    }
+    s
+}
+
+/// Sparse symmetrized walk matrix for large graphs.
+pub fn sparse_symmetrized_transition(g: &Graph) -> SparseMatrix {
+    check_no_isolated(g);
+    let n = g.num_nodes();
+    let mut b = SparseBuilder::new(n, n);
+    for u in g.nodes() {
+        let ku = g.degree(u) as f64;
+        for &v in g.neighbors(u) {
+            let kv = g.degree(v) as f64;
+            b.push(u.index(), v.index(), 1.0 / (ku * kv).sqrt());
+        }
+    }
+    b.build()
+}
+
+/// Sparse symmetrized *lazy* walk matrix `(I + S)/2` for large graphs; all
+/// eigenvalues in `[0, 1]`.
+pub fn sparse_symmetrized_lazy_transition(g: &Graph) -> SparseMatrix {
+    check_no_isolated(g);
+    let n = g.num_nodes();
+    let mut b = SparseBuilder::new(n, n);
+    for u in g.nodes() {
+        let ku = g.degree(u) as f64;
+        b.push(u.index(), u.index(), 0.5);
+        for &v in g.neighbors(u) {
+            let kv = g.degree(v) as f64;
+            b.push(u.index(), v.index(), 0.5 / (ku * kv).sqrt());
+        }
+    }
+    b.build()
+}
+
+/// Stationary distribution of the SRW (and its lazy variant):
+/// `π(v) = k_v / 2|E|`.
+pub fn stationary_distribution(g: &Graph) -> Vec<f64> {
+    check_no_isolated(g);
+    let vol = g.volume() as f64;
+    g.nodes().map(|v| g.degree(v) as f64 / vol).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::{jacobi_eigen, JacobiOptions};
+    use mto_graph::generators::{complete_graph, cycle_graph, path_graph};
+
+    #[test]
+    fn srw_rows_are_stochastic() {
+        let g = path_graph(5);
+        let p = srw_transition(&g);
+        for s in p.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        assert_eq!(p.get(0, 1), 1.0);
+        assert_eq!(p.get(1, 0), 0.5);
+        assert_eq!(p.get(1, 2), 0.5);
+        assert_eq!(p.get(1, 3), 0.0);
+    }
+
+    #[test]
+    fn lazy_rows_are_stochastic_with_half_self_loop() {
+        let g = cycle_graph(4);
+        let p = lazy_transition(&g);
+        for s in p.row_sums() {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+        for i in 0..4 {
+            assert_eq!(p.get(i, i), 0.5);
+        }
+        assert_eq!(p.get(0, 1), 0.25);
+    }
+
+    #[test]
+    fn stationary_is_degree_proportional_and_invariant() {
+        let g = mto_graph::Graph::from_edges([(0u32, 1u32), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let pi = stationary_distribution(&g);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((pi[1] - 3.0 / 8.0).abs() < 1e-12);
+        // πP = π.
+        let p = srw_transition(&g);
+        let pt = p.transpose();
+        let pi_next = pt.matvec(&pi);
+        for (a, b) in pi.iter().zip(&pi_next) {
+            assert!((a - b).abs() < 1e-12, "π not invariant");
+        }
+    }
+
+    #[test]
+    fn symmetrized_shares_spectrum_with_p() {
+        // For the cycle C_n the SRW spectrum is cos(2πk/n), all known.
+        let g = cycle_graph(5);
+        let s = symmetrized_transition(&g);
+        assert!(s.is_symmetric(1e-15));
+        let e = jacobi_eigen(&s, JacobiOptions::default());
+        assert!((e.lambda_max() - 1.0).abs() < 1e-10);
+        let expect = (2.0 * std::f64::consts::PI / 5.0).cos();
+        assert!((e.values[1] - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K_n SRW: eigenvalues 1 and -1/(n-1) (multiplicity n-1).
+        let g = complete_graph(6);
+        let e = jacobi_eigen(&symmetrized_transition(&g), JacobiOptions::default());
+        assert!((e.lambda_max() - 1.0).abs() < 1e-10);
+        for &v in &e.values[1..] {
+            assert!((v + 0.2).abs() < 1e-10, "expected -1/5, got {v}");
+        }
+        assert!((e.slem() - 0.2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lazy_symmetrized_spectrum_is_nonnegative() {
+        let g = cycle_graph(6); // bipartite: plain SRW has eigenvalue -1
+        let plain = jacobi_eigen(&symmetrized_transition(&g), JacobiOptions::default());
+        assert!(plain.lambda_min() < -0.99, "C6 SRW has eigenvalue -1");
+        let lazy = jacobi_eigen(&symmetrized_lazy_transition(&g), JacobiOptions::default());
+        assert!(lazy.lambda_min() > -1e-10, "lazy spectrum must be >= 0");
+        assert!((lazy.lambda_max() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn sparse_symmetrized_matches_dense() {
+        let g = mto_graph::generators::paper_barbell();
+        let dense = symmetrized_transition(&g);
+        let sparse = sparse_symmetrized_transition(&g);
+        for i in 0..g.num_nodes() {
+            for j in 0..g.num_nodes() {
+                assert!((dense.get(i, j) - sparse.get(i, j)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn isolated_nodes_are_rejected() {
+        let mut g = path_graph(3);
+        g.add_node();
+        let _ = srw_transition(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_is_rejected() {
+        let _ = srw_transition(&Graph::new());
+    }
+}

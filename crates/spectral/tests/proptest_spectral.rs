@@ -1,0 +1,135 @@
+//! Property tests for the spectral substrate: eigensolver correctness,
+//! conductance consistency, and the mixing-time bound relationships.
+
+use mto_graph::algo::largest_component;
+use mto_graph::generators::gnp_graph;
+use mto_spectral::conductance::{
+    cut_metrics, exact_conductance, mask_to_membership, sweep_conductance,
+};
+use mto_spectral::jacobi::{jacobi_eigen, JacobiOptions};
+use mto_spectral::mixing::{
+    mixing_bound_log10_coefficient, upper_bound_distance, MixingAnalysis,
+};
+use mto_spectral::power::{slem_power_iteration, PowerIterationOptions};
+use mto_spectral::transition::{stationary_distribution, symmetrized_transition};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn connected_graph(seed: u64, n: usize, p: f64) -> Option<mto_graph::Graph> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let g = gnp_graph(n, p, &mut rng);
+    let (lcc, _) = largest_component(&g);
+    (lcc.num_nodes() >= 3 && lcc.min_degree() >= 1).then_some(lcc)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The SRW spectrum lives in [-1, 1] with top eigenvalue exactly 1,
+    /// and the known stationary distribution is invariant.
+    #[test]
+    fn srw_spectrum_is_bounded(seed in 0u64..2000, n in 4usize..18) {
+        let Some(g) = connected_graph(seed, n, 0.4) else { return Ok(()) };
+        let e = jacobi_eigen(&symmetrized_transition(&g), JacobiOptions::default());
+        prop_assert!((e.lambda_max() - 1.0).abs() < 1e-8, "λ₁ = {}", e.lambda_max());
+        prop_assert!(e.lambda_min() >= -1.0 - 1e-8);
+        // Connected graph: λ₂ < 1 strictly.
+        prop_assert!(e.values[1] < 1.0 - 1e-10);
+        // Stationary invariance.
+        let p = mto_spectral::srw_transition(&g);
+        let pi = stationary_distribution(&g);
+        let next = p.transpose().matvec(&pi);
+        for (a, b) in pi.iter().zip(&next) {
+            prop_assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    /// Deflated power iteration agrees with the dense Jacobi SLEM.
+    #[test]
+    fn power_iteration_matches_jacobi(seed in 0u64..2000, n in 4usize..20) {
+        let Some(g) = connected_graph(seed, n, 0.35) else { return Ok(()) };
+        let exact = jacobi_eigen(&symmetrized_transition(&g), JacobiOptions::default()).slem();
+        let approx = slem_power_iteration(&g, PowerIterationOptions::default());
+        prop_assert!(
+            (approx.slem - exact).abs() < 1e-5,
+            "power {} vs jacobi {exact}",
+            approx.slem
+        );
+    }
+
+    /// The exact conductance is attained by its reported cut, no cut does
+    /// better, and the spectral sweep upper-bounds it.
+    #[test]
+    fn conductance_certificates(seed in 0u64..2000, n in 4usize..12) {
+        let Some(g) = connected_graph(seed, n, 0.45) else { return Ok(()) };
+        let result = exact_conductance(&g);
+        // The reported best cut really evaluates to phi.
+        let membership = mask_to_membership(result.best_cut, g.num_nodes());
+        let phi_of_best = cut_metrics(&g, &membership).phi().unwrap();
+        prop_assert!((phi_of_best - result.phi).abs() < 1e-12);
+        // A handful of random cuts can't beat it.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        use rand::Rng;
+        for _ in 0..50 {
+            let mask: u64 = rng.gen_range(1..(1u64 << g.num_nodes()) - 1);
+            let m = cut_metrics(&g, &mask_to_membership(mask, g.num_nodes()));
+            if let Some(phi) = m.phi() {
+                prop_assert!(phi >= result.phi - 1e-12, "cut {mask:b} beats the optimum");
+            }
+        }
+        // Sweep is an upper bound.
+        let (sweep, _) = sweep_conductance(&g);
+        prop_assert!(sweep >= result.phi - 1e-9);
+    }
+
+    /// Eq (4): the conductance envelope really upper-bounds the exact
+    /// relative pointwise distance of the lazy chain.
+    #[test]
+    fn upper_envelope_dominates_delta(seed in 0u64..1000, n in 4usize..14) {
+        let Some(g) = connected_graph(seed, n, 0.5) else { return Ok(()) };
+        let phi = exact_conductance(&g).phi;
+        if phi <= 0.0 {
+            return Ok(());
+        }
+        let analysis = MixingAnalysis::new(&g, true);
+        for t in [1u32, 4, 16, 64] {
+            let delta = analysis.delta(t);
+            let bound = upper_bound_distance(phi, t, g.num_edges(), g.min_degree());
+            prop_assert!(
+                delta <= bound + 1e-9,
+                "t={t}: Δ={delta} exceeds envelope {bound} (Φ={phi})"
+            );
+        }
+    }
+
+    /// The mixing-bound coefficient is monotone decreasing in Φ — the
+    /// paper's whole premise (higher conductance ⇒ faster walks).
+    #[test]
+    fn bound_coefficient_monotone(phi_lo in 0.001f64..0.5, gap in 0.001f64..0.4) {
+        let phi_hi = (phi_lo + gap).min(0.99);
+        prop_assert!(
+            mixing_bound_log10_coefficient(phi_hi)
+                < mixing_bound_log10_coefficient(phi_lo)
+        );
+    }
+
+    /// Δ(t) from the eigendecomposition matches brute-force matrix powers.
+    #[test]
+    fn spectral_delta_matches_matrix_power(seed in 0u64..500, n in 3usize..10) {
+        let Some(g) = connected_graph(seed, n, 0.5) else { return Ok(()) };
+        let analysis = MixingAnalysis::new(&g, true);
+        let p = mto_spectral::lazy_transition(&g);
+        let pi = stationary_distribution(&g);
+        let mut pt = p.clone();
+        for t in 1..=6u32 {
+            let direct = mto_spectral::mixing::relative_pointwise_distance(&pt, &pi);
+            let spectral = analysis.delta(t);
+            prop_assert!(
+                (direct - spectral).abs() < 1e-7,
+                "t={t}: direct {direct} vs spectral {spectral}"
+            );
+            pt = pt.matmul(&p);
+        }
+    }
+}

@@ -1,0 +1,65 @@
+//! Aggregate estimation over an Epinions-like social network.
+//!
+//! The workload of the paper's Fig 7: estimate the average degree of a
+//! community-structured, heavy-tailed network through nothing but the
+//! per-user query interface, and compare how many unique queries SRW,
+//! MHRW, RJ and MTO each burn to get within 10% of the truth.
+//!
+//! ```text
+//! cargo run --release --example epinions_estimation
+//! ```
+
+use std::sync::Arc;
+
+use mto_sampler::core::estimate::Aggregate;
+use mto_sampler::experiments::datasets::{build_dataset, DatasetSpec};
+use mto_sampler::experiments::driver::{run_converged, Algorithm, RunProtocol};
+use mto_sampler::graph::NodeId;
+use mto_sampler::osn::OsnService;
+
+fn main() {
+    // A 1/10-scale Epinions stand-in keeps this example snappy; drop the
+    // scale factor for the full 26,588-node graph.
+    let spec = DatasetSpec::epinions().scaled_down(10);
+    println!("building {} stand-in ({} nodes requested)…", spec.name, spec.nodes);
+    let graph = build_dataset(&spec);
+    let service = Arc::new(OsnService::with_defaults(&graph));
+    let truth = service.true_average_degree();
+    println!(
+        "ground truth: {} nodes, {} edges, average degree {truth:.3}\n",
+        graph.num_nodes(),
+        graph.num_edges()
+    );
+
+    println!(
+        "{:<6} {:>12} {:>12} {:>10} {:>10}",
+        "algo", "estimate", "rel. error", "burn-in", "queries"
+    );
+    for alg in Algorithm::all() {
+        let mut walker = alg
+            .build(service.clone(), NodeId(0), 2024)
+            .expect("start node exists");
+        let protocol = RunProtocol {
+            geweke_threshold: 0.1,
+            max_burn_in_steps: 30_000,
+            sample_steps: 6_000,
+        };
+        let run = run_converged(walker.as_mut(), &service, Aggregate::AverageDegree, protocol)
+            .expect("simulated interface cannot fail");
+        let estimate = run.final_estimate().unwrap_or(f64::NAN);
+        let rel = (estimate - truth).abs() / truth;
+        println!(
+            "{:<6} {:>12.3} {:>11.1}% {:>10} {:>10}",
+            alg.label(),
+            estimate,
+            100.0 * rel,
+            run.burn_in_cost,
+            run.total_cost
+        );
+    }
+
+    println!(
+        "\nMTO reaches comparable accuracy with fewer unique queries because the \
+         \noverlay walk mixes faster across the planted communities."
+    );
+}

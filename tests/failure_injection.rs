@@ -1,0 +1,124 @@
+//! Resilience: samplers must survive transient interface failures and
+//! rate limiting without corrupting their state or their estimates.
+
+use mto_sampler::core::mto::{MtoConfig, MtoSampler};
+use mto_sampler::core::walk::{SimpleRandomWalk, SrwConfig, Walker};
+use mto_sampler::graph::generators::paper_barbell;
+use mto_sampler::graph::NodeId;
+use mto_sampler::osn::{
+    CachedClient, OsnService, OsnServiceConfig, RateLimitPolicy, RateLimitedInterface,
+};
+
+fn flaky_service(rate: f64) -> OsnService {
+    OsnService::new(
+        &paper_barbell(),
+        OsnServiceConfig { transient_failure_rate: rate, ..Default::default() },
+    )
+}
+
+#[test]
+fn srw_completes_through_transient_failures() {
+    let mut walk = SimpleRandomWalk::new(
+        CachedClient::new(flaky_service(0.3)),
+        NodeId(0),
+        SrwConfig { seed: 1, lazy: false },
+    )
+    .expect("retries hide the failures");
+    for _ in 0..2_000 {
+        walk.step().expect("cached client retries transient failures");
+    }
+    assert_eq!(walk.history().len(), 2_001);
+    assert!(walk.client().transient_retries() > 0, "failures must actually have occurred");
+}
+
+#[test]
+fn mto_completes_through_transient_failures() {
+    let mut sampler = MtoSampler::new(
+        CachedClient::new(flaky_service(0.3)),
+        NodeId(0),
+        MtoConfig::default(),
+    )
+    .expect("retries hide the failures");
+    for _ in 0..3_000 {
+        sampler.step().expect("cached client retries transient failures");
+    }
+    assert!(sampler.stats().removals > 0, "rewiring proceeds despite failures");
+    // Overlay must still be coherent.
+    let overlay = sampler.overlay().materialize(&paper_barbell());
+    overlay.validate().unwrap();
+}
+
+#[test]
+fn failure_rate_does_not_change_the_walk_itself() {
+    // Retries are invisible to the chain: same seed ⇒ same trajectory,
+    // with and without failures (the walker RNG is independent of the
+    // failure RNG).
+    let mut clean = SimpleRandomWalk::new(
+        CachedClient::new(flaky_service(0.0)),
+        NodeId(0),
+        SrwConfig { seed: 9, lazy: false },
+    )
+    .unwrap();
+    let mut flaky = SimpleRandomWalk::new(
+        CachedClient::new(flaky_service(0.5)),
+        NodeId(0),
+        SrwConfig { seed: 9, lazy: false },
+    )
+    .unwrap();
+    for _ in 0..500 {
+        assert_eq!(clean.step().unwrap(), flaky.step().unwrap());
+    }
+}
+
+#[test]
+fn rate_limited_walk_advances_virtual_time_not_errors() {
+    let limited = RateLimitedInterface::new(
+        OsnService::with_defaults(&paper_barbell()),
+        RateLimitPolicy { burst: 5, refill_per_sec: 2.0 },
+    );
+    let mut walk = SimpleRandomWalk::new(
+        CachedClient::new(limited),
+        NodeId(0),
+        SrwConfig { seed: 2, lazy: false },
+    )
+    .unwrap();
+    for _ in 0..200 {
+        walk.step().expect("stall-mode limiter never errors");
+    }
+    let iface = walk.client().inner();
+    assert!(iface.virtual_now() > 1.0, "clock advanced: {}", iface.virtual_now());
+    // With only 22 unique nodes the cache absorbs most pressure; stalls
+    // happen during the initial burst.
+    assert!(iface.stalls() >= 1 || walk.query_cost() <= 5);
+}
+
+#[test]
+fn fail_fast_mode_surfaces_rate_limit_errors() {
+    let mut limited = RateLimitedInterface::new(
+        OsnService::with_defaults(&paper_barbell()),
+        RateLimitPolicy { burst: 2, refill_per_sec: 1e-6 },
+    );
+    limited.fail_when_limited = true;
+    let mut client = CachedClient::new(limited);
+    use mto_sampler::osn::{OsnError, QueryClient};
+    client.fetch(NodeId(0)).unwrap();
+    client.fetch(NodeId(1)).unwrap();
+    match client.fetch(NodeId(2)) {
+        Err(OsnError::RateLimited { retry_after_secs }) => {
+            assert!(retry_after_secs > 0);
+        }
+        other => panic!("expected RateLimited, got {other:?}"),
+    }
+    // Cached nodes remain servable even while limited.
+    assert!(client.fetch(NodeId(0)).is_ok());
+}
+
+#[test]
+fn unknown_users_do_not_poison_the_cache() {
+    let mut client = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+    use mto_sampler::osn::QueryClient;
+    assert!(client.fetch(NodeId(999)).is_err());
+    assert!(client.fetch(NodeId(999)).is_err(), "errors are not cached as successes");
+    assert_eq!(client.unique_queries(), 0, "failed queries are not unique successes");
+    assert!(client.fetch(NodeId(0)).is_ok());
+}
