@@ -14,8 +14,7 @@ use mto_osn::{CachedClient, OsnService};
 
 fn run_variant(graph: &mto_graph::Graph, config: MtoConfig, steps: usize) -> u64 {
     let service = OsnService::with_defaults(graph);
-    let mut sampler =
-        MtoSampler::new(CachedClient::new(service), NodeId(0), config).unwrap();
+    let mut sampler = MtoSampler::new(CachedClient::new(service), NodeId(0), config).unwrap();
     for _ in 0..steps {
         sampler.step().unwrap();
     }
@@ -73,12 +72,8 @@ fn bench_weight_modes(c: &mut Criterion) {
 
     let graph = mto_bench::mini_epinions_graph(40);
     let service = OsnService::with_defaults(&graph);
-    let mut sampler = MtoSampler::new(
-        CachedClient::new(service),
-        NodeId(0),
-        MtoConfig::default(),
-    )
-    .unwrap();
+    let mut sampler =
+        MtoSampler::new(CachedClient::new(service), NodeId(0), MtoConfig::default()).unwrap();
     for _ in 0..3_000 {
         sampler.step().unwrap();
     }
@@ -94,9 +89,7 @@ fn bench_weight_modes(c: &mut Criterion) {
             &mode,
             |b, &mode| {
                 b.iter(|| {
-                    std::hint::black_box(
-                        sampler.overlay_degree_estimate(probe, mode).unwrap(),
-                    )
+                    std::hint::black_box(sampler.overlay_degree_estimate(probe, mode).unwrap())
                 })
             },
         );

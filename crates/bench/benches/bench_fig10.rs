@@ -38,12 +38,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("coverage-walk-plus-overlay-mixing", |b| {
         b.iter(|| {
             let service = OsnService::with_defaults(&g);
-            let mut sampler = MtoSampler::new(
-                CachedClient::new(service),
-                NodeId(0),
-                MtoConfig::default(),
-            )
-            .unwrap();
+            let mut sampler =
+                MtoSampler::new(CachedClient::new(service), NodeId(0), MtoConfig::default())
+                    .unwrap();
             let mut seen = std::collections::HashSet::new();
             seen.insert(NodeId(0));
             let mut steps = 0;

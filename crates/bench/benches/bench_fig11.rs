@@ -19,11 +19,8 @@ fn bench(c: &mut Criterion) {
         &mto_experiments::DatasetSpec::google_plus().scaled_down(120),
     );
     let service = Arc::new(OsnService::with_defaults(&graph));
-    let protocol = RunProtocol {
-        geweke_threshold: 0.2,
-        max_burn_in_steps: 5_000,
-        sample_steps: 1_500,
-    };
+    let protocol =
+        RunProtocol { geweke_threshold: 0.2, max_burn_in_steps: 5_000, sample_steps: 1_500 };
 
     for (label, aggregate) in [
         ("avg-degree", Aggregate::AverageDegree),
@@ -35,15 +32,9 @@ fn bench(c: &mut Criterion) {
                 &(alg, aggregate),
                 |b, &(alg, aggregate)| {
                     b.iter(|| {
-                        let mut walker =
-                            alg.build(service.clone(), NodeId(0), 11).unwrap();
-                        let run = run_converged(
-                            walker.as_mut(),
-                            &service,
-                            aggregate,
-                            protocol,
-                        )
-                        .unwrap();
+                        let mut walker = alg.build(service.clone(), NodeId(0), 11).unwrap();
+                        let run =
+                            run_converged(walker.as_mut(), &service, aggregate, protocol).unwrap();
                         std::hint::black_box(run.final_estimate())
                     })
                 },

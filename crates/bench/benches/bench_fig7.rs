@@ -15,35 +15,22 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(5));
 
-    let graph = mto_experiments::build_dataset(
-        &mto_experiments::DatasetSpec::epinions().scaled_down(40),
-    );
+    let graph =
+        mto_experiments::build_dataset(&mto_experiments::DatasetSpec::epinions().scaled_down(40));
     let service = Arc::new(OsnService::with_defaults(&graph));
-    let protocol = RunProtocol {
-        geweke_threshold: 0.2,
-        max_burn_in_steps: 5_000,
-        sample_steps: 1_000,
-    };
+    let protocol =
+        RunProtocol { geweke_threshold: 0.2, max_burn_in_steps: 5_000, sample_steps: 1_000 };
 
     for alg in Algorithm::all() {
-        group.bench_with_input(
-            BenchmarkId::new("converged-run", alg.label()),
-            &alg,
-            |b, &alg| {
-                b.iter(|| {
-                    let mut walker =
-                        alg.build(service.clone(), NodeId(0), 7).expect("valid start");
-                    let run = run_converged(
-                        walker.as_mut(),
-                        &service,
-                        Aggregate::AverageDegree,
-                        protocol,
-                    )
-                    .expect("cannot fail");
-                    std::hint::black_box(run.total_cost)
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("converged-run", alg.label()), &alg, |b, &alg| {
+            b.iter(|| {
+                let mut walker = alg.build(service.clone(), NodeId(0), 7).expect("valid start");
+                let run =
+                    run_converged(walker.as_mut(), &service, Aggregate::AverageDegree, protocol)
+                        .expect("cannot fail");
+                std::hint::black_box(run.total_cost)
+            })
+        });
     }
     group.finish();
 }

@@ -17,9 +17,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(5));
 
-    let graph = mto_experiments::build_dataset(
-        &mto_experiments::DatasetSpec::epinions().scaled_down(40),
-    );
+    let graph =
+        mto_experiments::build_dataset(&mto_experiments::DatasetSpec::epinions().scaled_down(40));
     let service = Arc::new(OsnService::with_defaults(&graph));
     let pi = stationary_distribution(&graph);
 

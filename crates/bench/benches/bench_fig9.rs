@@ -15,9 +15,8 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.measurement_time(Duration::from_secs(5));
 
-    let graph = mto_experiments::build_dataset(
-        &mto_experiments::DatasetSpec::slashdot_b().scaled_down(60),
-    );
+    let graph =
+        mto_experiments::build_dataset(&mto_experiments::DatasetSpec::slashdot_b().scaled_down(60));
     let service = Arc::new(OsnService::with_defaults(&graph));
 
     for threshold in [0.1f64, 0.4, 0.8] {
@@ -26,8 +25,7 @@ fn bench(c: &mut Criterion) {
             &threshold,
             |b, &threshold| {
                 b.iter(|| {
-                    let mut walker =
-                        Algorithm::Mto.build(service.clone(), NodeId(0), 5).unwrap();
+                    let mut walker = Algorithm::Mto.build(service.clone(), NodeId(0), 5).unwrap();
                     let run = run_converged(
                         walker.as_mut(),
                         &service,

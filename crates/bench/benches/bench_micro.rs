@@ -58,12 +58,9 @@ fn bench_walk_steps(c: &mut Criterion) {
     group.bench_function("mto-1k-steps", |b| {
         b.iter(|| {
             let service = OsnService::with_defaults(&graph);
-            let mut w = MtoSampler::new(
-                CachedClient::new(service),
-                NodeId(0),
-                MtoConfig::default(),
-            )
-            .unwrap();
+            let mut w =
+                MtoSampler::new(CachedClient::new(service), NodeId(0), MtoConfig::default())
+                    .unwrap();
             for _ in 0..1_000 {
                 w.step().unwrap();
             }

@@ -4,9 +4,9 @@
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use mto_core::materialize_removal_overlay;
 use mto_core::mto::{MtoConfig, MtoSampler};
 use mto_core::walk::Walker;
-use mto_core::materialize_removal_overlay;
 use mto_graph::generators::paper_barbell;
 use mto_graph::NodeId;
 use mto_osn::{CachedClient, OsnService};
@@ -31,12 +31,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("mto-walk-2000-steps", |b| {
         b.iter(|| {
             let service = OsnService::with_defaults(&g);
-            let mut sampler = MtoSampler::new(
-                CachedClient::new(service),
-                NodeId(0),
-                MtoConfig::default(),
-            )
-            .expect("start exists");
+            let mut sampler =
+                MtoSampler::new(CachedClient::new(service), NodeId(0), MtoConfig::default())
+                    .expect("start exists");
             for _ in 0..2000 {
                 sampler.step().expect("cannot fail");
             }

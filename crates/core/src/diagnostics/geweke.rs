@@ -112,11 +112,12 @@ impl GewekeMonitor {
             return true;
         }
         let n = self.series.len();
-        if n >= self.min_samples && n % self.check_interval == 0 {
-            if geweke_converged(&self.series, self.threshold, self.config) {
-                self.converged_at = Some(n);
-                return true;
-            }
+        if n >= self.min_samples
+            && n % self.check_interval == 0
+            && geweke_converged(&self.series, self.threshold, self.config)
+        {
+            self.converged_at = Some(n);
+            return true;
         }
         false
     }
@@ -232,8 +233,7 @@ mod tests {
             })
             .collect();
         let at = |threshold: f64| -> Option<usize> {
-            let mut m =
-                GewekeMonitor::new(threshold).with_min_samples(100).with_check_interval(20);
+            let mut m = GewekeMonitor::new(threshold).with_min_samples(100).with_check_interval(20);
             for &v in &series {
                 if m.push(v) {
                     break;

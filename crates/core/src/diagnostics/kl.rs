@@ -22,12 +22,7 @@ pub struct VisitCounter {
 impl VisitCounter {
     /// Counter over `n` nodes.
     pub fn new(n: usize) -> Self {
-        VisitCounter {
-            counts: vec![0; n],
-            weighted: vec![0.0; n],
-            total: 0,
-            total_weight: 0.0,
-        }
+        VisitCounter { counts: vec![0; n], weighted: vec![0.0; n], total: 0, total_weight: 0.0 }
     }
 
     /// Records a visit with unit weight.

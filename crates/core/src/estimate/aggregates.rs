@@ -29,9 +29,7 @@ impl Aggregate {
     pub fn evaluate(&self, response: &QueryResponse) -> f64 {
         match self {
             Aggregate::AverageDegree => response.neighbors.len() as f64,
-            Aggregate::AverageDescriptionLength => {
-                response.profile.self_description_len as f64
-            }
+            Aggregate::AverageDescriptionLength => response.profile.self_description_len as f64,
             Aggregate::AverageAge => response.profile.age as f64,
             Aggregate::AveragePosts => response.profile.num_posts as f64,
             Aggregate::PublicProportion => {
@@ -65,12 +63,8 @@ impl Aggregate {
             Aggregate::AverageDescriptionLength => {
                 profiles.iter().map(|p| p.self_description_len as f64).sum::<f64>() / n
             }
-            Aggregate::AverageAge => {
-                profiles.iter().map(|p| p.age as f64).sum::<f64>() / n
-            }
-            Aggregate::AveragePosts => {
-                profiles.iter().map(|p| p.num_posts as f64).sum::<f64>() / n
-            }
+            Aggregate::AverageAge => profiles.iter().map(|p| p.age as f64).sum::<f64>() / n,
+            Aggregate::AveragePosts => profiles.iter().map(|p| p.num_posts as f64).sum::<f64>() / n,
             Aggregate::PublicProportion => {
                 profiles.iter().filter(|p| p.is_public).count() as f64 / n
             }
@@ -130,10 +124,9 @@ mod tests {
     #[test]
     fn ground_truth_matches_manual_scan() {
         let service = OsnService::with_defaults(&paper_barbell());
-        let by_scan: f64 = (0..22u32)
-            .map(|v| service.query(NodeId(v)).unwrap().profile.age as f64)
-            .sum::<f64>()
-            / 22.0;
+        let by_scan: f64 =
+            (0..22u32).map(|v| service.query(NodeId(v)).unwrap().profile.age as f64).sum::<f64>()
+                / 22.0;
         let truth = Aggregate::AverageAge.ground_truth(&service);
         assert!((truth - by_scan).abs() < 1e-12);
     }

@@ -35,10 +35,7 @@ impl ImportanceEstimator {
     /// Panics on non-finite or negative weights — these always indicate an
     /// upstream bug, and silently absorbing them poisons the estimate.
     pub fn push(&mut self, value: f64, weight: f64) {
-        assert!(
-            weight.is_finite() && weight >= 0.0,
-            "invalid importance weight {weight}"
-        );
+        assert!(weight.is_finite() && weight >= 0.0, "invalid importance weight {weight}");
         assert!(value.is_finite(), "invalid sample value {value}");
         self.weighted_sum += value * weight;
         self.weight_sum += weight;

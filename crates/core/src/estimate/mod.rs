@@ -5,6 +5,4 @@ pub mod aggregates;
 pub mod importance;
 
 pub use aggregates::Aggregate;
-pub use importance::{
-    count_estimate, importance_estimate, relative_error, ImportanceEstimator,
-};
+pub use importance::{count_estimate, importance_estimate, relative_error, ImportanceEstimator};

@@ -209,7 +209,7 @@ impl<C: QueryClient> MtoSampler<C> {
     /// endpoints may be unqueried (falls back to the delta plus a base
     /// lookup through `a` if cached, else through `b`, else queries `a`).
     fn overlay_has_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool> {
-        let base_has = if let Some(_) = self.client.known_degree(a) {
+        let base_has = if self.client.known_degree(a).is_some() {
             let resp = self.client.fetch(a)?;
             resp.neighbors.binary_search(&b).is_ok()
         } else if self.client.known_degree(b).is_some() {
@@ -258,11 +258,7 @@ impl<C: QueryClient> MtoSampler<C> {
     }
 
     /// Estimates `k*_v` under the configured [`OverlayDegreeMode`].
-    pub fn overlay_degree_estimate(
-        &mut self,
-        v: NodeId,
-        mode: OverlayDegreeMode,
-    ) -> Result<f64> {
+    pub fn overlay_degree_estimate(&mut self, v: NodeId, mode: OverlayDegreeMode) -> Result<f64> {
         let nv = self.overlay_neighbors(v)?;
         let discovered = nv.len() as f64;
         match mode {
@@ -599,16 +595,15 @@ mod tests {
     fn sampled_removal_mode_is_bounded_and_sane() {
         let g = paper_barbell();
         let mut s = sampler_on(&g, NodeId(0), MtoConfig::removal_only());
-        let k = s
-            .overlay_degree_estimate(NodeId(1), OverlayDegreeMode::SampledRemoval(5))
-            .unwrap();
+        let k = s.overlay_degree_estimate(NodeId(1), OverlayDegreeMode::SampledRemoval(5)).unwrap();
         assert!((1.0..=10.0).contains(&k), "got {k}");
     }
 
     #[test]
     fn non_lazy_walk_always_moves_on_connected_graph() {
         let g = complete_graph(6);
-        let cfg = MtoConfig { lazy: false, removal: false, replacement: false, ..Default::default() };
+        let cfg =
+            MtoConfig { lazy: false, removal: false, replacement: false, ..Default::default() };
         let mut s = sampler_on(&g, NodeId(0), cfg);
         let mut prev = s.current();
         for _ in 0..100 {

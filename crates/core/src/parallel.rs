@@ -4,7 +4,9 @@
 //! many-parallel-walks deployment of \[4\]: each walker rewires and walks
 //! independently, while sharing the local cache — so a neighborhood paid
 //! for by one walker is free for all. This module runs `k` samplers on
-//! `crossbeam` scoped threads against one [`SharedClient`].
+//! [`std::thread::scope`] scoped threads against one [`SharedClient`];
+//! scoped spawning lets the walkers borrow the shared client without any
+//! `'static` bound or extra dependency.
 //!
 //! Design note: each walker keeps its *own* overlay. Sharing the overlay
 //! would also be sound (modifications are conductance-monotone regardless
@@ -50,14 +52,14 @@ where
     let mut results: Vec<Option<ParallelWalkResult>> = Vec::new();
     results.resize_with(starts.len(), || None);
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, &start) in starts.iter().enumerate() {
             let client = shared.clone();
             let cfg = MtoConfig { seed: config.seed.wrapping_add(i as u64), ..config };
             handles.push((
                 i,
-                scope.spawn(move |_| -> Result<ParallelWalkResult> {
+                scope.spawn(move || -> Result<ParallelWalkResult> {
                     let mut sampler = MtoSampler::new(client, start, cfg)?;
                     for _ in 0..steps {
                         sampler.step()?;
@@ -76,14 +78,10 @@ where
             results[i] = Some(res?);
         }
         Ok::<(), mto_osn::OsnError>(())
-    })
-    .expect("crossbeam scope panicked")?;
+    })?;
 
     let cost = shared.unique_queries();
-    Ok((
-        results.into_iter().map(|r| r.expect("all walkers joined")).collect(),
-        cost,
-    ))
+    Ok((results.into_iter().map(|r| r.expect("all walkers joined")).collect(), cost))
 }
 
 #[cfg(test)]
@@ -113,8 +111,7 @@ mod tests {
         let g = paper_barbell();
         let service = OsnService::with_defaults(&g);
         let starts = vec![NodeId(0), NodeId(0)];
-        let (results, _) =
-            run_parallel_mto(service, &starts, 200, MtoConfig::default()).unwrap();
+        let (results, _) = run_parallel_mto(service, &starts, 200, MtoConfig::default()).unwrap();
         assert_ne!(
             results[0].history, results[1].history,
             "same start, different seeds → different paths"
@@ -126,8 +123,7 @@ mod tests {
         let g = paper_barbell();
         let service = OsnService::with_defaults(&g);
         let starts: Vec<NodeId> = vec![NodeId(0), NodeId(11)];
-        let (results, _) =
-            run_parallel_mto(service, &starts, 1000, MtoConfig::default()).unwrap();
+        let (results, _) = run_parallel_mto(service, &starts, 1000, MtoConfig::default()).unwrap();
         for r in &results {
             assert!(r.stats.removals > 0, "walker {} removed nothing", r.walker_id);
         }
@@ -140,8 +136,7 @@ mod tests {
         let g = paper_barbell();
         let service = OsnService::with_defaults(&g);
         let starts = vec![NodeId(1), NodeId(12)];
-        let (results, _) =
-            run_parallel_mto(service, &starts, 1500, MtoConfig::default()).unwrap();
+        let (results, _) = run_parallel_mto(service, &starts, 1500, MtoConfig::default()).unwrap();
         let mut seen = std::collections::HashSet::new();
         for r in &results {
             seen.extend(r.history.iter().copied());
@@ -155,8 +150,7 @@ mod tests {
     fn empty_start_list_is_a_noop() {
         let g = paper_barbell();
         let service = OsnService::with_defaults(&g);
-        let (results, cost) =
-            run_parallel_mto(service, &[], 100, MtoConfig::default()).unwrap();
+        let (results, cost) = run_parallel_mto(service, &[], 100, MtoConfig::default()).unwrap();
         assert!(results.is_empty());
         assert_eq!(cost, 0);
     }

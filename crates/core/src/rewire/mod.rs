@@ -112,10 +112,7 @@ mod tests {
         // Paper running example: 0.018 → ~0.053 (exact value depends on
         // which spanning structure survives; the direction and rough factor
         // must hold).
-        assert!(
-            after > 2.0 * before,
-            "Φ should improve ~3x: before {before}, after {after}"
-        );
+        assert!(after > 2.0 * before, "Φ should improve ~3x: before {before}, after {after}");
     }
 
     #[test]

@@ -95,11 +95,8 @@ impl OverlayDelta {
         if removed.is_none() && added.is_none() {
             return base.to_vec();
         }
-        let mut out: Vec<NodeId> = base
-            .iter()
-            .copied()
-            .filter(|&u| removed.is_none_or(|r| !r.contains(&u)))
-            .collect();
+        let mut out: Vec<NodeId> =
+            base.iter().copied().filter(|&u| !removed.is_some_and(|r| r.contains(&u))).collect();
         if let Some(add) = added {
             for &u in add {
                 if let Err(pos) = out.binary_search(&u) {
@@ -126,8 +123,7 @@ impl OverlayDelta {
     pub fn materialize(&self, base: &Graph) -> Graph {
         let mut g = base.clone();
         for e in &self.removed {
-            g.remove_edge(e.small(), e.large())
-                .expect("removed edge must exist in the base graph");
+            g.remove_edge(e.small(), e.large()).expect("removed edge must exist in the base graph");
         }
         for e in &self.added {
             g.add_edge(e.small(), e.large())
@@ -184,10 +180,7 @@ mod tests {
         let mut d = OverlayDelta::new();
         d.add_edge(NodeId(0), NodeId(4));
         d.add_edge(NodeId(0), NodeId(2));
-        assert_eq!(
-            d.adjust_neighbors(NodeId(0), &ids(&[1, 3])),
-            ids(&[1, 2, 3, 4])
-        );
+        assert_eq!(d.adjust_neighbors(NodeId(0), &ids(&[1, 3])), ids(&[1, 2, 3, 4]));
         assert_eq!(d.adjust_degree(NodeId(0), 2), 4);
     }
 

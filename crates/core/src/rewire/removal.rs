@@ -61,10 +61,7 @@ pub fn removal_criterion_extended(
 
 /// Evaluates Theorem 3 directly on neighbor lists (both sorted). Intended
 /// for callers holding raw interface responses.
-pub fn is_removable_from_neighborhoods(
-    nu: &[mto_graph::NodeId],
-    nv: &[mto_graph::NodeId],
-) -> bool {
+pub fn is_removable_from_neighborhoods(nu: &[mto_graph::NodeId], nv: &[mto_graph::NodeId]) -> bool {
     let common = sorted_intersection_count(nu, nv);
     removal_criterion(common, nu.len(), nv.len())
 }
@@ -77,13 +74,7 @@ pub fn is_removable_from_neighborhoods(
 /// at most 2), so all are included. Including degree-3 neighbors swings the
 /// parity of the ceiling term: adding two is always neutral, so only
 /// `t ∈ {0, 1}` need be tried.
-pub fn best_extended_criterion(
-    common: usize,
-    s2: usize,
-    s3: usize,
-    ku: usize,
-    kv: usize,
-) -> bool {
+pub fn best_extended_criterion(common: usize, s2: usize, s3: usize, ku: usize, kv: usize) -> bool {
     assert!(s2 + s3 <= common, "N* candidates exceed the intersection");
     let mut nstar = vec![2usize; s2];
     for t3 in 0..=s3.min(1) {
@@ -303,11 +294,11 @@ mod tests {
         // Path 0-1-2-3 plus chord 1-3 and edge 0-2... construct the
         // Fig 5-style case: u=0, v=1 adjacent; common neighbor w=2 with
         // k_2 = 2 known.
-        let g = mto_graph::Graph::from_edges([(0u32, 1u32), (0, 2), (1, 2), (0, 3), (1, 4)])
-            .unwrap();
+        let g =
+            mto_graph::Graph::from_edges([(0u32, 1u32), (0, 2), (1, 2), (0, 3), (1, 4)]).unwrap();
         let nu = g.neighbors(NodeId(0)); // {1,2,3}
         let nv = g.neighbors(NodeId(1)); // {0,2,4}
-        // Thm 3: common=1, max k=3: 2(1+1)=4 > 3 → already removable.
+                                         // Thm 3: common=1, max k=3: 2(1+1)=4 > 3 → already removable.
         assert!(is_removable_from_neighborhoods(nu, nv));
         // With no history the extended path gives the same answer.
         assert!(is_removable_with_history(nu, nv, |_| None));
@@ -317,8 +308,8 @@ mod tests {
 
     #[test]
     fn history_oracle_is_consulted_only_for_common_neighbors() {
-        let g = mto_graph::Graph::from_edges([(0u32, 1u32), (0, 2), (1, 2), (0, 3), (1, 4)])
-            .unwrap();
+        let g =
+            mto_graph::Graph::from_edges([(0u32, 1u32), (0, 2), (1, 2), (0, 3), (1, 4)]).unwrap();
         let mut asked = Vec::new();
         let _ = is_removable_with_history(g.neighbors(NodeId(0)), g.neighbors(NodeId(1)), |w| {
             asked.push(w);

@@ -50,11 +50,7 @@ pub fn eligible_targets(
     pivot_neighbors: &[NodeId],
     mut is_u_neighbor: impl FnMut(NodeId) -> bool,
 ) -> Vec<NodeId> {
-    pivot_neighbors
-        .iter()
-        .copied()
-        .filter(|&w| w != u && !is_u_neighbor(w))
-        .collect()
+    pivot_neighbors.iter().copied().filter(|&w| w != u && !is_u_neighbor(w)).collect()
 }
 
 /// Validates and constructs a replacement.
@@ -97,21 +93,16 @@ mod tests {
     #[test]
     fn basic_replacement_plan() {
         // Pivot 5 with neighbors {1, 2, 3}; u = 1; u's only neighbor is 5.
-        let r = plan_replacement(
-            NodeId(1),
-            NodeId(5),
-            &n(&[1, 2, 3]),
-            |_| false,
-            |targets| targets[0],
-        )
-        .unwrap();
+        let r =
+            plan_replacement(NodeId(1), NodeId(5), &n(&[1, 2, 3]), |_| false, |targets| targets[0])
+                .unwrap();
         assert_eq!(r, Replacement { u: NodeId(1), v: NodeId(5), w: NodeId(2) });
     }
 
     #[test]
     fn pivot_degree_must_be_exactly_three() {
-        let err = plan_replacement(NodeId(1), NodeId(5), &n(&[1, 2]), |_| false, |t| t[0])
-            .unwrap_err();
+        let err =
+            plan_replacement(NodeId(1), NodeId(5), &n(&[1, 2]), |_| false, |t| t[0]).unwrap_err();
         assert_eq!(err, ReplacementRejection::WrongPivotDegree(2));
         let err = plan_replacement(NodeId(1), NodeId(5), &n(&[1, 2, 3, 4]), |_| false, |t| t[0])
             .unwrap_err();
@@ -144,8 +135,8 @@ mod tests {
 
     #[test]
     fn all_targets_blocked_is_rejected() {
-        let err = plan_replacement(NodeId(1), NodeId(5), &n(&[1, 2, 3]), |_| true, |t| t[0])
-            .unwrap_err();
+        let err =
+            plan_replacement(NodeId(1), NodeId(5), &n(&[1, 2, 3]), |_| true, |t| t[0]).unwrap_err();
         assert_eq!(err, ReplacementRejection::NoEligibleTarget);
     }
 

@@ -148,8 +148,7 @@ mod tests {
         jump: f64,
     ) -> RandomJumpWalk<CachedClient<OsnService>> {
         let client = CachedClient::new(OsnService::with_defaults(g));
-        RandomJumpWalk::new(client, start, RjConfig { seed, jump_probability: jump })
-            .unwrap()
+        RandomJumpWalk::new(client, start, RjConfig { seed, jump_probability: jump }).unwrap()
     }
 
     #[test]
@@ -216,11 +215,7 @@ mod tests {
             &g,
             OsnServiceConfig { publishes_user_count: false, ..Default::default() },
         );
-        let _ = RandomJumpWalk::new(
-            CachedClient::new(svc),
-            NodeId(0),
-            RjConfig::default(),
-        );
+        let _ = RandomJumpWalk::new(CachedClient::new(svc), NodeId(0), RjConfig::default());
     }
 
     #[test]

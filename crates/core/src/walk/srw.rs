@@ -168,7 +168,7 @@ mod tests {
         // often than plain clique nodes (degree 10), proportionally.
         let g = paper_barbell();
         let mut w = walk_on(&g, NodeId(3), 11);
-        let mut visits = vec![0u64; 22];
+        let mut visits = [0u64; 22];
         for _ in 0..400_000 {
             let v = w.step().unwrap();
             visits[v.index()] += 1;

@@ -61,11 +61,7 @@ pub struct StepSample {
 ///
 /// `f` receives the walker *after* the step so it can consult cached
 /// responses for the current node.
-pub fn record_walk<W, F>(
-    walker: &mut W,
-    steps: usize,
-    mut f: F,
-) -> Result<Vec<StepSample>>
+pub fn record_walk<W, F>(walker: &mut W, steps: usize, mut f: F) -> Result<Vec<StepSample>>
 where
     W: Walker + ?Sized,
     F: FnMut(&mut W, NodeId) -> Result<f64>,
@@ -136,8 +132,7 @@ mod tests {
     #[test]
     fn record_walk_collects_samples() {
         let mut w = FixedCycle::new(3);
-        let samples =
-            record_walk(&mut w, 4, |_, node| Ok(node.0 as f64 * 10.0)).unwrap();
+        let samples = record_walk(&mut w, 4, |_, node| Ok(node.0 as f64 * 10.0)).unwrap();
         assert_eq!(samples.len(), 4);
         assert_eq!(samples[0], StepSample { node: NodeId(1), value: 10.0, weight: 1.0 });
         assert_eq!(samples[2].node, NodeId(0));

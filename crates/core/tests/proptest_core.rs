@@ -5,7 +5,7 @@ use mto_core::estimate::importance::{importance_estimate, ImportanceEstimator};
 use mto_core::rewire::{removal_criterion, removal_criterion_extended, OverlayDelta};
 use mto_core::walk::StepSample;
 use mto_graph::generators::gnp_graph;
-use mto_graph::{Graph, NodeId};
+use mto_graph::NodeId;
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

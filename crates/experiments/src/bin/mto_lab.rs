@@ -16,16 +16,8 @@ use std::path::PathBuf;
 use mto_experiments::report::ExperimentReport;
 use mto_experiments::{fig10, fig11, fig7, fig8, fig9, running_example, table1, theorem6};
 
-const EXPERIMENTS: &[&str] = &[
-    "running-example",
-    "table1",
-    "fig7",
-    "fig8",
-    "fig9",
-    "fig10",
-    "fig11",
-    "theorem6",
-];
+const EXPERIMENTS: &[&str] =
+    &["running-example", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6"];
 
 struct Options {
     reduced: bool,
@@ -70,7 +62,8 @@ fn run_experiment(name: &str, reduced: bool) -> ExperimentReport {
         "running-example" => running_example::run(7).1,
         "table1" => table1::run(if reduced { 40 } else { 1 }).1,
         "fig7" => {
-            let config = if reduced { fig7::Fig7Config::reduced() } else { fig7::Fig7Config::full() };
+            let config =
+                if reduced { fig7::Fig7Config::reduced() } else { fig7::Fig7Config::full() };
             // fig7 yields one report per dataset; merge them.
             let mut merged = ExperimentReport::new("fig7");
             for (_, report) in fig7::run_all(&config) {
@@ -81,11 +74,13 @@ fn run_experiment(name: &str, reduced: bool) -> ExperimentReport {
             merged
         }
         "fig8" => {
-            let config = if reduced { fig8::Fig8Config::reduced() } else { fig8::Fig8Config::full() };
+            let config =
+                if reduced { fig8::Fig8Config::reduced() } else { fig8::Fig8Config::full() };
             fig8::run_all(&config).1
         }
         "fig9" => {
-            let config = if reduced { fig9::Fig9Config::reduced() } else { fig9::Fig9Config::full() };
+            let config =
+                if reduced { fig9::Fig9Config::reduced() } else { fig9::Fig9Config::full() };
             fig9::run(&config).2
         }
         "fig10" => {
@@ -120,10 +115,7 @@ fn main() {
     };
     for name in &options.chosen {
         let started = std::time::Instant::now();
-        eprintln!(
-            "== running {name} ({}) ==",
-            if options.reduced { "reduced" } else { "full" }
-        );
+        eprintln!("== running {name} ({}) ==", if options.reduced { "reduced" } else { "full" });
         let report = run_experiment(name, options.reduced);
         println!("{}", report.to_markdown());
         if let Err(e) = report.write_to(&options.out_dir) {

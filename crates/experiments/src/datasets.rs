@@ -182,6 +182,9 @@ pub fn build_dataset(spec: &DatasetSpec) -> Graph {
     }
 
     let mut builder = GraphBuilder::with_nodes(n);
+    // Mirrors the builder's connectivity so whisker gateways can be
+    // steered into the largest realized component below.
+    let mut dsu = UnionFind::new(n);
 
     // Social circles: chop each community into dense near-cliques. A
     // typical (low-weight) node's degree is dominated by its circle, which
@@ -192,10 +195,12 @@ pub fn build_dataset(spec: &DatasetSpec) -> Graph {
     assert!(2 <= lo && lo <= hi, "invalid circle size range {lo}..={hi}");
     assert!((0.0..=1.0).contains(&spec.whisker_fraction), "whisker fraction outside [0,1]");
     let mut circle_degree = vec![0.0f64; n];
-    // Whisker members other than the gateway get no external residual.
+    // Whisker members (gateway included) get no external residual; each
+    // whisker is re-attached by exactly one gateway edge after the
+    // Chung–Lu passes.
     let mut external_blocked = vec![false; n];
-    let mut is_gateway = vec![false; n];
-    for community in &members {
+    let mut whisker_gateways: Vec<(u32, usize)> = Vec::new();
+    for (community_index, community) in members.iter().enumerate() {
         let mut pool: Vec<u32> = community.clone();
         // Shuffle so circles don't correlate with node weight.
         for i in (1..pool.len()).rev() {
@@ -210,45 +215,37 @@ pub fn build_dataset(spec: &DatasetSpec) -> Graph {
                 for b in (a + 1)..size {
                     if rng.gen::<f64>() < spec.circle_edge_prob {
                         builder.add_edge_u32(circle[a], circle[b]);
+                        dsu.union(circle[a], circle[b]);
                         circle_degree[circle[a] as usize] += 1.0;
                         circle_degree[circle[b] as usize] += 1.0;
                     }
                 }
             }
             if rng.gen::<f64>() < spec.whisker_fraction {
-                // Whisker: every member except one gateway is sealed off
-                // from the Chung-Lu passes, so the walk can only leave
-                // through the gateway.
-                let gateway = rng.gen_range(0..size);
-                for (i, &member) in circle.iter().enumerate() {
-                    if i != gateway {
-                        external_blocked[member as usize] = true;
-                    } else {
-                        is_gateway[member as usize] = true;
-                    }
+                // Whisker: the whole circle is sealed off from the
+                // Chung–Lu passes and re-attached to the core by exactly
+                // one gateway edge below — the canonical single-edge
+                // whisker of Leskovec et al., whose cut conductance
+                // (1 / circle volume) is strictly deeper than any
+                // chance-attached circle.
+                let gateway = circle[rng.gen_range(0..size)];
+                for &member in circle {
+                    external_blocked[member as usize] = true;
                 }
+                whisker_gateways.push((gateway, community_index));
             }
             idx += size;
         }
     }
 
-    // Residual expected degree feeds the Chung–Lu passes. Gateways keep a
-    // healthy external stub (the whisker must attach to the core, not
-    // fall out of the largest component); sealed members get nothing;
+    // Residual expected degree feeds the Chung–Lu passes. Sealed whisker
+    // members get nothing (their gateway edge is added explicitly below);
     // everyone else keeps what the circles did not consume.
     let mut residual: Vec<f64> = weights
         .iter()
         .zip(&circle_degree)
         .enumerate()
-        .map(|(v, (w, c))| {
-            if external_blocked[v] {
-                0.0
-            } else if is_gateway[v] {
-                (w - c).max(2.0)
-            } else {
-                (w - c).max(0.2)
-            }
-        })
+        .map(|(v, (w, c))| if external_blocked[v] { 0.0 } else { (w - c).max(0.2) })
         .collect();
 
     // Rescale the residual pool so the realized mean degree still tracks
@@ -268,16 +265,12 @@ pub fn build_dataset(spec: &DatasetSpec) -> Graph {
         if community.len() < 2 {
             continue;
         }
-        let local_weights: Vec<f64> = community
-            .iter()
-            .map(|&v| residual[v as usize] * (1.0 - spec.mixing))
-            .collect();
+        let local_weights: Vec<f64> =
+            community.iter().map(|&v| residual[v as usize] * (1.0 - spec.mixing)).collect();
         let local = chung_lu_graph(&local_weights, &mut rng);
         for e in local.edges() {
-            builder.add_edge_u32(
-                community[e.small().index()],
-                community[e.large().index()],
-            );
+            builder.add_edge_u32(community[e.small().index()], community[e.large().index()]);
+            dsu.union(community[e.small().index()], community[e.large().index()]);
         }
     }
 
@@ -286,22 +279,92 @@ pub fn build_dataset(spec: &DatasetSpec) -> Graph {
     let global = chung_lu_graph(&global_weights, &mut rng);
     for e in global.edges() {
         builder.add_edge_u32(e.small().0, e.large().0);
+        dsu.union(e.small().0, e.large().0);
+    }
+
+    // Attach each whisker to the core by exactly one gateway edge —
+    // preferably inside its own community, falling back to any core node
+    // when the community was chopped into whiskers entirely. Targets are
+    // restricted to the *largest realized component* (tracked by the
+    // union-find above), so the whisker provably survives the
+    // largest-component extraction and its cut is the Φ ≈ 1/volume
+    // structure the spec promises — an unsealed node with zero realized
+    // Chung–Lu edges would otherwise drag the whisker out of the LCC.
+    let open_roots: Vec<u32> =
+        (0..n as u32).filter(|&v| !external_blocked[v as usize]).map(|v| dsu.find(v)).collect();
+    let core_root = open_roots.into_iter().max_by_key(|&r| dsu.component_size(r));
+    let open: Vec<u32> = match core_root {
+        Some(root) => (0..n as u32)
+            .filter(|&v| !external_blocked[v as usize] && dsu.find(v) == root)
+            .collect(),
+        None => Vec::new(),
+    };
+    for &(gateway, community) in &whisker_gateways {
+        let candidates: Vec<u32> = members[community]
+            .iter()
+            .copied()
+            .filter(|&v| !external_blocked[v as usize] && Some(dsu.find(v)) == core_root)
+            .collect();
+        let target = if !candidates.is_empty() {
+            candidates[rng.gen_range(0..candidates.len())]
+        } else if !open.is_empty() {
+            open[rng.gen_range(0..open.len())]
+        } else if gateway != 0 {
+            // Degenerate spec (every node whiskered): chain to node 0.
+            NodeId(0).0
+        } else {
+            continue;
+        };
+        builder.add_edge_u32(gateway, target);
     }
 
     let merged = builder.build();
     largest_component(&merged).0
 }
 
+/// Size-tracking union-find over node ids, mirroring realized edges so
+/// whisker gateways can target the largest component deterministically.
+struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), size: vec![1; n] }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            // Path halving.
+            self.parent[x as usize] = self.parent[self.parent[x as usize] as usize];
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (big, small) =
+            if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[small as usize] = big;
+        self.size[big as usize] += self.size[small as usize];
+    }
+
+    /// Size of the component rooted at `root` (callers pass `find(v)`).
+    fn component_size(&self, root: u32) -> u32 {
+        self.size[root as usize]
+    }
+}
+
 /// Assigns nodes to communities with power-law sizes (Zipf-ish weights).
-fn assign_communities<R: Rng + ?Sized>(
-    n: usize,
-    communities: usize,
-    rng: &mut R,
-) -> Vec<usize> {
+fn assign_communities<R: Rng + ?Sized>(n: usize, communities: usize, rng: &mut R) -> Vec<usize> {
     assert!(communities >= 1);
     // Community attraction ∝ rank^{-0.8}: a few big, many small.
-    let attractions: Vec<f64> =
-        (1..=communities).map(|r| (r as f64).powf(-0.8)).collect();
+    let attractions: Vec<f64> = (1..=communities).map(|r| (r as f64).powf(-0.8)).collect();
     let total: f64 = attractions.iter().sum();
     let mut cumulative = Vec::with_capacity(communities);
     let mut acc = 0.0;
@@ -352,12 +415,7 @@ mod tests {
     fn degrees_are_heavy_tailed() {
         let (_, g) = mini(DatasetSpec::slashdot_a());
         let stats = DegreeStats::of(&g);
-        assert!(
-            stats.max as f64 > 6.0 * stats.mean,
-            "hub {} vs mean {}",
-            stats.max,
-            stats.mean
-        );
+        assert!(stats.max as f64 > 6.0 * stats.mean, "hub {} vs mean {}", stats.max, stats.mean);
         assert!(stats.min >= 1);
     }
 
@@ -384,8 +442,7 @@ mod tests {
     #[test]
     fn whiskers_lower_conductance_further() {
         use mto_spectral::conductance::sweep_conductance;
-        let base =
-            DatasetSpec { whisker_fraction: 0.0, ..DatasetSpec::epinions() }.scaled_down(40);
+        let base = DatasetSpec { whisker_fraction: 0.0, ..DatasetSpec::epinions() }.scaled_down(40);
         let whiskered =
             DatasetSpec { whisker_fraction: 0.8, ..DatasetSpec::epinions() }.scaled_down(40);
         let (phi_base, _) = sweep_conductance(&build_dataset(&base));
@@ -408,7 +465,8 @@ mod tests {
     #[test]
     fn distinct_seeds_give_distinct_graphs() {
         let a = build_dataset(&DatasetSpec::epinions().scaled_down(40));
-        let b = build_dataset(&DatasetSpec { seed: 123, ..DatasetSpec::epinions() }.scaled_down(40));
+        let b =
+            build_dataset(&DatasetSpec { seed: 123, ..DatasetSpec::epinions() }.scaled_down(40));
         assert_ne!(a.num_edges(), b.num_edges());
     }
 
@@ -416,7 +474,7 @@ mod tests {
     fn community_assignment_is_skewed() {
         let mut rng = StdRng::seed_from_u64(1);
         let m = assign_communities(10_000, 20, &mut rng);
-        let mut sizes = vec![0usize; 20];
+        let mut sizes = [0usize; 20];
         for &c in &m {
             sizes[c] += 1;
         }

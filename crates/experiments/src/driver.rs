@@ -216,19 +216,12 @@ pub fn run_converged(
     for (v, value, cost) in raw {
         let weight = match weight_of.entry(v) {
             std::collections::hash_map::Entry::Occupied(e) => *e.get(),
-            std::collections::hash_map::Entry::Vacant(e) => {
-                *e.insert(walker.importance_weight(v)?)
-            }
+            std::collections::hash_map::Entry::Vacant(e) => *e.insert(walker.importance_weight(v)?),
         };
         samples.push((StepSample { node: v, value, weight }, cost));
     }
 
-    Ok(ConvergedRun {
-        converged_at,
-        burn_in_cost,
-        samples,
-        total_cost: walker.query_cost(),
-    })
+    Ok(ConvergedRun { converged_at, burn_in_cost, samples, total_cost: walker.query_cost() })
 }
 
 /// Evaluates `f(v)` against ground truth (the walker has already queried
@@ -292,13 +285,9 @@ mod tests {
     fn converged_run_produces_samples_and_costs() {
         let service = mini_service();
         let mut w = Algorithm::Srw.build(service.clone(), NodeId(0), 1).unwrap();
-        let protocol = RunProtocol {
-            geweke_threshold: 0.3,
-            max_burn_in_steps: 5_000,
-            sample_steps: 500,
-        };
-        let run =
-            run_converged(w.as_mut(), &service, Aggregate::AverageDegree, protocol).unwrap();
+        let protocol =
+            RunProtocol { geweke_threshold: 0.3, max_burn_in_steps: 5_000, sample_steps: 500 };
+        let run = run_converged(w.as_mut(), &service, Aggregate::AverageDegree, protocol).unwrap();
         assert_eq!(run.samples.len(), 500);
         assert!(run.total_cost >= run.burn_in_cost);
         // Costs are monotone along the run.
@@ -312,13 +301,9 @@ mod tests {
         let service = mini_service();
         let truth = service.true_average_degree();
         let mut w = Algorithm::Srw.build(service.clone(), NodeId(0), 3).unwrap();
-        let protocol = RunProtocol {
-            geweke_threshold: 0.2,
-            max_burn_in_steps: 20_000,
-            sample_steps: 8_000,
-        };
-        let run =
-            run_converged(w.as_mut(), &service, Aggregate::AverageDegree, protocol).unwrap();
+        let protocol =
+            RunProtocol { geweke_threshold: 0.2, max_burn_in_steps: 20_000, sample_steps: 8_000 };
+        let run = run_converged(w.as_mut(), &service, Aggregate::AverageDegree, protocol).unwrap();
         let est = run.final_estimate().unwrap();
         let err = (est - truth).abs() / truth;
         assert!(err < 0.25, "estimate {est} vs truth {truth} (err {err:.3})");
@@ -329,13 +314,9 @@ mod tests {
         let service = mini_service();
         let truth = service.true_average_degree();
         let mut w = Algorithm::Mto.build(service.clone(), NodeId(0), 3).unwrap();
-        let protocol = RunProtocol {
-            geweke_threshold: 0.2,
-            max_burn_in_steps: 20_000,
-            sample_steps: 8_000,
-        };
-        let run =
-            run_converged(w.as_mut(), &service, Aggregate::AverageDegree, protocol).unwrap();
+        let protocol =
+            RunProtocol { geweke_threshold: 0.2, max_burn_in_steps: 20_000, sample_steps: 8_000 };
+        let run = run_converged(w.as_mut(), &service, Aggregate::AverageDegree, protocol).unwrap();
         let est = run.final_estimate().unwrap();
         let err = (est - truth).abs() / truth;
         assert!(err < 0.3, "estimate {est} vs truth {truth} (err {err:.3})");

@@ -79,8 +79,8 @@ fn mixing_time(g: &Graph) -> f64 {
 /// time.
 fn overlay_mixing(g: &Graph, config: MtoConfig, budget: usize) -> f64 {
     let service = OsnService::with_defaults(g);
-    let mut sampler = MtoSampler::new(CachedClient::new(service), NodeId(0), config)
-        .expect("node 0 exists");
+    let mut sampler =
+        MtoSampler::new(CachedClient::new(service), NodeId(0), config).expect("node 0 exists");
     let mut seen = std::collections::HashSet::new();
     seen.insert(NodeId(0));
     let mut steps = 0usize;
@@ -130,9 +130,7 @@ pub fn run(config: &Fig10Config) -> (Vec<Fig10Point>, ExperimentReport) {
         let mut attempt = 0u64;
         while produced < config.graphs_per_size && attempt < 50 {
             attempt += 1;
-            let mut rng = StdRng::seed_from_u64(
-                config.seed ^ (n as u64) << 8 ^ attempt,
-            );
+            let mut rng = StdRng::seed_from_u64(config.seed ^ (n as u64) << 8 ^ attempt);
             let sample = latent_space_graph(&model, n, &mut rng);
             let (g, _) = largest_component(&sample.graph);
             // Reject degenerate draws: too small a component distorts the

@@ -88,13 +88,17 @@ pub struct Fig11Curves {
     pub descr_cost: Vec<(f64, f64)>,
 }
 
+/// `(error grid curve, converged value, first-run trace)` for one
+/// algorithm/aggregate pair.
+type ErrorCurve = (Vec<(f64, f64)>, f64, Vec<(u64, f64)>);
+
 fn error_curve(
     alg: Algorithm,
     service: &Arc<OsnService>,
     aggregate: Aggregate,
     config: &Fig11Config,
     n: usize,
-) -> (Vec<(f64, f64)>, f64, Vec<(u64, f64)>) {
+) -> ErrorCurve {
     let mut rng = StdRng::seed_from_u64(config.seed ^ aggregate.label().len() as u64);
     let mut per_eps: Vec<Vec<f64>> = vec![Vec::new(); config.error_grid.len()];
     let mut converged_values = Vec::new();
@@ -140,9 +144,7 @@ fn downsample(trace: &[(u64, f64)], max_points: usize) -> Vec<(u64, f64)> {
         return trace.to_vec();
     }
     let stride = trace.len() as f64 / max_points as f64;
-    (0..max_points)
-        .map(|i| trace[(i as f64 * stride) as usize])
-        .collect()
+    (0..max_points).map(|i| trace[(i as f64 * stride) as usize]).collect()
 }
 
 /// Runs Fig 11 (SRW vs MTO on the Google-Plus-like service).
@@ -170,7 +172,13 @@ pub fn run(config: &Fig11Config) -> (Vec<Fig11Curves>, ExperimentReport) {
     let mut curves = Vec::new();
     let mut table = Table::new(
         "Fig 11 — converged values and cost to reach 10% error",
-        &["algorithm", "avg degree (converged)", "cost@ε=0.1 degree", "avg descr len", "cost@ε=0.1 descr"],
+        &[
+            "algorithm",
+            "avg degree (converged)",
+            "cost@ε=0.1 degree",
+            "avg descr len",
+            "cost@ε=0.1 descr",
+        ],
     );
 
     for alg in [Algorithm::Srw, Algorithm::Mto] {

@@ -47,7 +47,7 @@ impl Fig7Config {
             geweke_threshold: 0.1,
             sample_steps: 4_000,
             max_burn_in_steps: 60_000,
-            seed: 0xF16_7,
+            seed: 0xF167,
         }
     }
 
@@ -101,7 +101,8 @@ pub fn run_dataset(spec: &DatasetSpec, config: &Fig7Config) -> (Vec<Fig7Curve>, 
         let mut burn_costs = Vec::new();
         for run_idx in 0..config.runs {
             let start = NodeId(seed_rng.gen_range(0..graph.num_nodes() as u32));
-            let seed = config.seed
+            let seed = config
+                .seed
                 .wrapping_mul(0x9E37_79B9)
                 .wrapping_add(run_idx as u64 * 101 + alg.label().len() as u64);
             let mut walker = alg
@@ -195,9 +196,8 @@ mod tests {
         let cost = |alg: Algorithm| -> f64 {
             curves.iter().find(|c| c.algorithm == alg).unwrap().points[0].1
         };
-        let best_baseline = cost(Algorithm::Srw)
-            .min(cost(Algorithm::Mhrw))
-            .min(cost(Algorithm::Rj));
+        let best_baseline =
+            cost(Algorithm::Srw).min(cost(Algorithm::Mhrw)).min(cost(Algorithm::Rj));
         assert!(
             cost(Algorithm::Mto) < best_baseline * 4.0,
             "MTO {} vs best baseline {best_baseline}",

@@ -109,8 +109,7 @@ fn measure(
         }
         let overlay = sampler.overlay().materialize(graph);
         let vol = overlay.volume() as f64;
-        let pi_star: Vec<f64> =
-            overlay.nodes().map(|v| overlay.degree(v) as f64 / vol).collect();
+        let pi_star: Vec<f64> = overlay.nodes().map(|v| overlay.degree(v) as f64 / vol).collect();
         return (
             symmetric_kl(&pi_star, &counter.distribution(), DEFAULT_SMOOTHING),
             run.total_cost,
@@ -192,9 +191,6 @@ mod tests {
         let pi = stationary_distribution(&graph);
         let (kl_small, _) = measure(Algorithm::Srw, &graph, &service, &pi, NodeId(0), &small);
         let (kl_large, _) = measure(Algorithm::Srw, &graph, &service, &pi, NodeId(0), &large);
-        assert!(
-            kl_large < kl_small,
-            "more samples must shrink KL: {kl_small} → {kl_large}"
-        );
+        assert!(kl_large < kl_small, "more samples must shrink KL: {kl_small} → {kl_large}");
     }
 }

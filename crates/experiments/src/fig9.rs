@@ -97,9 +97,8 @@ fn sweep(
                     crate::driver::mto_config(seed),
                 )
                 .expect("valid start");
-                let run =
-                    run_converged(&mut sampler, service, Aggregate::AverageDegree, protocol)
-                        .expect("simulated interface cannot fail");
+                let run = run_converged(&mut sampler, service, Aggregate::AverageDegree, protocol)
+                    .expect("simulated interface cannot fail");
                 let mut counter = VisitCounter::new(pi.len());
                 for (s, _) in &run.samples {
                     counter.record(s.node);
@@ -108,13 +107,9 @@ fn sweep(
                 let vol = overlay.volume() as f64;
                 let pi_star: Vec<f64> =
                     overlay.nodes().map(|v| overlay.degree(v) as f64 / vol).collect();
-                (
-                    symmetric_kl(&pi_star, &counter.distribution(), DEFAULT_SMOOTHING),
-                    run.total_cost,
-                )
+                (symmetric_kl(&pi_star, &counter.distribution(), DEFAULT_SMOOTHING), run.total_cost)
             } else {
-                let mut walker =
-                    alg.build(service.clone(), start, seed).expect("valid start");
+                let mut walker = alg.build(service.clone(), start, seed).expect("valid start");
                 let run =
                     run_converged(walker.as_mut(), service, Aggregate::AverageDegree, protocol)
                         .expect("simulated interface cannot fail");
@@ -122,10 +117,7 @@ fn sweep(
                 for (s, _) in &run.samples {
                     counter.record(s.node);
                 }
-                (
-                    symmetric_kl(pi, &counter.distribution(), DEFAULT_SMOOTHING),
-                    run.total_cost,
-                )
+                (symmetric_kl(pi, &counter.distribution(), DEFAULT_SMOOTHING), run.total_cost)
             };
             Fig9Point { threshold, kl, cost }
         })

@@ -265,7 +265,10 @@ mod tests {
     fn ascii_chart_handles_empty_and_regular() {
         let empty = Series { label: "e".into(), points: vec![] };
         assert!(ascii_chart(&empty, 10, 4).contains("empty"));
-        let s = Series { label: "s".into(), points: (0..10).map(|i| (i as f64, (i * i) as f64)).collect() };
+        let s = Series {
+            label: "s".into(),
+            points: (0..10).map(|i| (i as f64, (i * i) as f64)).collect(),
+        };
         let chart = ascii_chart(&s, 20, 8);
         assert!(chart.contains('*'));
         assert!(chart.contains("x ∈"));

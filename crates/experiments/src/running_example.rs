@@ -12,9 +12,9 @@
 //! walk-dependent — the experiment runs the full MTO-Sampler to coverage
 //! and reports the realized conductance.
 
+use mto_core::materialize_removal_overlay;
 use mto_core::mto::{MtoConfig, MtoSampler};
 use mto_core::walk::Walker;
-use mto_core::materialize_removal_overlay;
 use mto_graph::generators::paper_barbell;
 use mto_graph::NodeId;
 use mto_osn::{CachedClient, OsnService};
@@ -108,10 +108,8 @@ pub fn run(seed: u64) -> (RunningExampleResult, ExperimentReport) {
     ]);
     report.tables.push(t);
 
-    let mut t2 = Table::new(
-        "Mixing bound coefficients (×log10(c/ε))",
-        &["stage", "paper", "measured"],
-    );
+    let mut t2 =
+        Table::new("Mixing bound coefficients (×log10(c/ε))", &["stage", "paper", "measured"]);
     t2.push_row(vec!["original".into(), "14212.3".into(), fmt(coeff(phi_original))]);
     t2.push_row(vec!["removal".into(), "1638.3".into(), fmt(coeff(phi_removal))]);
     t2.push_row(vec!["both".into(), "416.6".into(), fmt(coeff(phi_both))]);
@@ -140,11 +138,7 @@ mod tests {
         assert!((r.phi_original - 1.0 / 56.0).abs() < 1e-12);
         // Removal overlay lands in the paper's neighborhood of 0.053
         // (we measure 1/18 ≈ 0.0556; the paper reports 1/19 ≈ 0.053).
-        assert!(
-            r.phi_removal > 0.04 && r.phi_removal < 0.07,
-            "Φ(G*) = {}",
-            r.phi_removal
-        );
+        assert!(r.phi_removal > 0.04 && r.phi_removal < 0.07, "Φ(G*) = {}", r.phi_removal);
         // Replacement pushes further up, toward the paper's 0.105.
         assert!(
             r.phi_both > r.phi_removal * 0.9,

@@ -74,9 +74,7 @@ pub fn run(scale: usize) -> (Vec<DatasetRow>, ExperimentReport) {
             // Sampled clustering on big graphs: first 10k nodes is plenty
             // for a summary statistic.
             let sum: f64 = (0..10_000u32)
-                .map(|v| {
-                    mto_graph::algo::local_clustering_coefficient(&g, mto_graph::NodeId(v))
-                })
+                .map(|v| mto_graph::algo::local_clustering_coefficient(&g, mto_graph::NodeId(v)))
                 .sum();
             sum / 10_000.0
         };

@@ -38,12 +38,7 @@ pub struct Theorem6Config {
 impl Theorem6Config {
     /// Paper-scale configuration.
     pub fn full() -> Self {
-        Theorem6Config {
-            mc_pairs: 20_000,
-            sizes: vec![24, 60, 90],
-            graphs_per_size: 5,
-            seed: 0x76,
-        }
+        Theorem6Config { mc_pairs: 20_000, sizes: vec![24, 60, 90], graphs_per_size: 5, seed: 0x76 }
     }
 
     /// Reduced configuration.
@@ -111,20 +106,10 @@ pub fn run(config: &Theorem6Config) -> (Theorem6Result, ExperimentReport) {
         "Monte-Carlo bound from {} point pairs; paper's Eq (13) constant is 1.052.",
         config.mc_pairs
     ));
-    let mut t = Table::new(
-        "Theorem 6 — bound vs realized",
-        &["quantity", "paper / bound", "measured"],
-    );
-    t.push_row(vec![
-        "P(d <= sqrt(0.75) r)".into(),
-        "~0.049".into(),
-        fmt(p),
-    ]);
-    t.push_row(vec![
-        "E[Phi(G*)]/Phi(G) lower bound".into(),
-        "1.052".into(),
-        fmt(bound_uplift),
-    ]);
+    let mut t =
+        Table::new("Theorem 6 — bound vs realized", &["quantity", "paper / bound", "measured"]);
+    t.push_row(vec!["P(d <= sqrt(0.75) r)".into(), "~0.049".into(), fmt(p)]);
+    t.push_row(vec!["E[Phi(G*)]/Phi(G) lower bound".into(), "1.052".into(), fmt(bound_uplift)]);
     report.tables.push(t);
 
     let mut t2 = Table::new(
@@ -137,7 +122,12 @@ pub fn run(config: &Theorem6Config) -> (Theorem6Result, ExperimentReport) {
     report.tables.push(t2);
 
     (
-        Theorem6Result { p_removable_bound: p, bound_uplift, removable_fraction, conductance_uplift },
+        Theorem6Result {
+            p_removable_bound: p,
+            bound_uplift,
+            removable_fraction,
+            conductance_uplift,
+        },
         report,
     )
 }

@@ -80,10 +80,7 @@ mod tests {
     #[test]
     fn bfs_order_visits_component_breadth_first() {
         let g = path_graph(4);
-        assert_eq!(
-            bfs_order(&g, NodeId(1)),
-            vec![NodeId(1), NodeId(0), NodeId(2), NodeId(3)]
-        );
+        assert_eq!(bfs_order(&g, NodeId(1)), vec![NodeId(1), NodeId(0), NodeId(2), NodeId(3)]);
     }
 
     #[test]

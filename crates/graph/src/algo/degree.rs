@@ -29,8 +29,7 @@ impl DegreeStats {
         degs.sort_unstable();
         let n = degs.len();
         let mean = degs.iter().sum::<usize>() as f64 / n as f64;
-        let variance =
-            degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let variance = degs.iter().map(|&d| (d as f64 - mean).powi(2)).sum::<f64>() / n as f64;
         let median = if n % 2 == 1 {
             degs[n / 2] as f64
         } else {

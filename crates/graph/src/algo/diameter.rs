@@ -162,10 +162,7 @@ mod tests {
             EffectiveDiameterOptions { quantile: 0.9, num_sources: 150 },
             &mut StdRng::seed_from_u64(4),
         );
-        assert!(
-            (exact - sampled).abs() < 0.3,
-            "exact={exact}, sampled={sampled}"
-        );
+        assert!((exact - sampled).abs() < 0.3, "exact={exact}, sampled={sampled}");
     }
 
     #[test]

@@ -9,7 +9,10 @@ mod degree;
 mod diameter;
 
 pub use bfs::{bfs_distances, bfs_order, UNREACHABLE};
-pub use clustering::{average_clustering_coefficient, global_clustering_coefficient, local_clustering_coefficient, triangle_count};
+pub use clustering::{
+    average_clustering_coefficient, global_clustering_coefficient, local_clustering_coefficient,
+    triangle_count,
+};
 pub use components::{connected_components, largest_component, Components};
-pub use degree::{degree_histogram, degree_distribution_distance, DegreeStats};
+pub use degree::{degree_distribution_distance, degree_histogram, DegreeStats};
 pub use diameter::{effective_diameter, exact_effective_diameter, EffectiveDiameterOptions};

@@ -78,12 +78,7 @@ impl GraphBuilder {
         self.edges.sort_unstable();
         self.edges.dedup();
 
-        let max_node = self
-            .edges
-            .iter()
-            .map(|e| e.large().index() + 1)
-            .max()
-            .unwrap_or(0);
+        let max_node = self.edges.iter().map(|e| e.large().index() + 1).max().unwrap_or(0);
         let n = max_node.max(self.min_nodes);
 
         // Two-pass CSR-style fill so each adjacency vector is allocated once
@@ -93,8 +88,7 @@ impl GraphBuilder {
             degree[e.small().index()] += 1;
             degree[e.large().index()] += 1;
         }
-        let mut adj: Vec<Vec<NodeId>> =
-            degree.iter().map(|&d| Vec::with_capacity(d)).collect();
+        let mut adj: Vec<Vec<NodeId>> = degree.iter().map(|&d| Vec::with_capacity(d)).collect();
         for e in &self.edges {
             adj[e.small().index()].push(e.large());
             adj[e.large().index()].push(e.small());

@@ -72,10 +72,7 @@ impl CsrGraph {
     /// Iterates each undirected edge once, canonically oriented.
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         self.nodes().flat_map(move |u| {
-            self.neighbors(u)
-                .iter()
-                .filter(move |&&v| u < v)
-                .map(move |&v| Edge::new(u, v))
+            self.neighbors(u).iter().filter(move |&&v| u < v).map(move |&v| Edge::new(u, v))
         })
     }
 
@@ -87,8 +84,7 @@ impl CsrGraph {
 
     /// Thaws back into a mutable [`Graph`].
     pub fn to_graph(&self) -> Graph {
-        let adj: Vec<Vec<NodeId>> =
-            self.nodes().map(|v| self.neighbors(v).to_vec()).collect();
+        let adj: Vec<Vec<NodeId>> = self.nodes().map(|v| self.neighbors(v).to_vec()).collect();
         Graph::assemble(adj, self.num_edges)
     }
 }

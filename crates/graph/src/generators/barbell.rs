@@ -60,11 +60,7 @@ impl BarbellSpec {
 pub fn barbell_graph(spec: BarbellSpec) -> Graph {
     let c = spec.clique_size;
     assert!(c >= 2, "barbell cliques need at least 2 nodes, got {c}");
-    assert!(
-        (1..=c).contains(&spec.bridges),
-        "bridges must be in 1..={c}, got {}",
-        spec.bridges
-    );
+    assert!((1..=c).contains(&spec.bridges), "bridges must be in 1..={c}, got {}", spec.bridges);
     let mut g = Graph::with_nodes(2 * c);
     for offset in [0, c] {
         for i in 0..c {

@@ -75,9 +75,7 @@ pub fn chung_lu_graph<R: Rng + ?Sized>(weights: &[f64], rng: &mut R) -> Graph {
     // Sort node indices by descending weight.
     let mut order: Vec<u32> = (0..n as u32).collect();
     order.sort_unstable_by(|&a, &b| {
-        weights[b as usize]
-            .partial_cmp(&weights[a as usize])
-            .expect("weights must not be NaN")
+        weights[b as usize].partial_cmp(&weights[a as usize]).expect("weights must not be NaN")
     });
     let sorted_w: Vec<f64> = order.iter().map(|&i| weights[i as usize]).collect();
 
@@ -151,10 +149,7 @@ mod tests {
         // Expected degree of node i is roughly w_i (up to the min(1,·) cap),
         // so the realized average should be near mean_w; generous tolerance
         // to keep the test robust across seeds.
-        assert!(
-            (avg - mean_w).abs() / mean_w < 0.25,
-            "avg degree {avg} vs mean weight {mean_w}"
-        );
+        assert!((avg - mean_w).abs() / mean_w < 0.25, "avg degree {avg} vs mean weight {mean_w}");
         g.validate().unwrap();
     }
 

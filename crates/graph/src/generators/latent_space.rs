@@ -25,12 +25,7 @@ impl LatentPoint {
     /// Panics if dimensions disagree.
     pub fn distance(&self, other: &LatentPoint) -> f64 {
         assert_eq!(self.coords.len(), other.coords.len(), "dimension mismatch");
-        self.coords
-            .iter()
-            .zip(&other.coords)
-            .map(|(a, b)| (a - b) * (a - b))
-            .sum::<f64>()
-            .sqrt()
+        self.coords.iter().zip(&other.coords).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt()
     }
 }
 
@@ -150,10 +145,7 @@ mod tests {
         for i in 0..60 {
             for j in (i + 1)..60 {
                 let d = s.points[i].distance(&s.points[j]);
-                let has = s.graph.has_edge(
-                    crate::NodeId(i as u32),
-                    crate::NodeId(j as u32),
-                );
+                let has = s.graph.has_edge(crate::NodeId(i as u32), crate::NodeId(j as u32));
                 assert_eq!(has, d < model.r, "pair ({i},{j}) at distance {d}");
             }
         }

@@ -89,10 +89,7 @@ pub fn planted_partition_graph<R: Rng + ?Sized>(
     p_out: f64,
     rng: &mut R,
 ) -> Graph {
-    sbm_graph(
-        &SbmSpec { block_sizes: vec![nodes_per_block, nodes_per_block], p_in, p_out },
-        rng,
-    )
+    sbm_graph(&SbmSpec { block_sizes: vec![nodes_per_block, nodes_per_block], p_in, p_out }, rng)
 }
 
 /// Bernoulli(p) sampling over unordered pairs inside `[lo, hi)` via

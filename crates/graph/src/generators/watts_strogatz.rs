@@ -22,12 +22,7 @@ use crate::graph::Graph;
 ///
 /// # Panics
 /// Panics if `k` is odd, `k >= n`, or `beta` is outside `[0, 1]`.
-pub fn watts_strogatz_graph<R: Rng + ?Sized>(
-    n: usize,
-    k: usize,
-    beta: f64,
-    rng: &mut R,
-) -> Graph {
+pub fn watts_strogatz_graph<R: Rng + ?Sized>(n: usize, k: usize, beta: f64, rng: &mut R) -> Graph {
     assert!(k % 2 == 0, "lattice degree k={k} must be even");
     assert!(k < n, "lattice degree k={k} must be below n={n}");
     assert!((0.0..=1.0).contains(&beta), "beta={beta} outside [0,1]");

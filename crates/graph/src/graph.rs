@@ -136,9 +136,8 @@ impl Graph {
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> Result<()> {
         self.check_node(u)?;
         self.check_node(v)?;
-        let pos_u = self.adj[u.index()]
-            .binary_search(&v)
-            .map_err(|_| GraphError::MissingEdge(u, v))?;
+        let pos_u =
+            self.adj[u.index()].binary_search(&v).map_err(|_| GraphError::MissingEdge(u, v))?;
         self.adj[u.index()].remove(pos_u);
         let pos_v = self.adj[v.index()]
             .binary_search(&u)
@@ -387,10 +386,7 @@ mod tests {
     fn duplicate_and_self_loop_rejected() {
         let mut g = Graph::with_nodes(3);
         g.add_edge(NodeId(0), NodeId(1)).unwrap();
-        assert!(matches!(
-            g.add_edge(NodeId(1), NodeId(0)),
-            Err(GraphError::DuplicateEdge(..))
-        ));
+        assert!(matches!(g.add_edge(NodeId(1), NodeId(0)), Err(GraphError::DuplicateEdge(..))));
         assert!(matches!(g.add_edge(NodeId(2), NodeId(2)), Err(GraphError::SelfLoop(_))));
         assert!(matches!(
             g.add_edge(NodeId(0), NodeId(9)),
@@ -409,10 +405,7 @@ mod tests {
     #[test]
     fn remove_missing_edge_errors() {
         let mut g = Graph::with_nodes(2);
-        assert!(matches!(
-            g.remove_edge(NodeId(0), NodeId(1)),
-            Err(GraphError::MissingEdge(..))
-        ));
+        assert!(matches!(g.remove_edge(NodeId(0), NodeId(1)), Err(GraphError::MissingEdge(..))));
     }
 
     #[test]
@@ -425,8 +418,7 @@ mod tests {
     #[test]
     fn edges_iterates_each_once_canonically() {
         let g = triangle();
-        let mut edges: Vec<(u32, u32)> =
-            g.edges().map(|e| (e.small().0, e.large().0)).collect();
+        let mut edges: Vec<(u32, u32)> = g.edges().map(|e| (e.small().0, e.large().0)).collect();
         edges.sort_unstable();
         assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
     }
@@ -479,10 +471,7 @@ mod tests {
         let a: Vec<NodeId> = [1u32, 3, 5, 7, 9, 11].into_iter().map(NodeId).collect();
         let b: Vec<NodeId> = [2u32, 3, 5, 8, 11, 20].into_iter().map(NodeId).collect();
         assert_eq!(sorted_intersection_count(&a, &b), 3);
-        assert_eq!(
-            sorted_intersection(&a, &b),
-            vec![NodeId(3), NodeId(5), NodeId(11)]
-        );
+        assert_eq!(sorted_intersection(&a, &b), vec![NodeId(3), NodeId(5), NodeId(11)]);
         // Galloping path: long list >> short list.
         let long: Vec<NodeId> = (0u32..1000).map(NodeId).collect();
         let short = vec![NodeId(5), NodeId(999), NodeId(1001)];

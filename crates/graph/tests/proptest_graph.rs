@@ -16,13 +16,15 @@ enum Edit {
 }
 
 fn edit_strategy(n: u32) -> impl Strategy<Value = Edit> {
-    (0..n, 0..n, any::<bool>()).prop_map(|(u, v, add)| {
-        if add {
-            Edit::Add(u, v)
-        } else {
-            Edit::Remove(u, v)
-        }
-    })
+    (0..n, 0..n, any::<bool>()).prop_map(
+        |(u, v, add)| {
+            if add {
+                Edit::Add(u, v)
+            } else {
+                Edit::Remove(u, v)
+            }
+        },
+    )
 }
 
 proptest! {

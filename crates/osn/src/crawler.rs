@@ -159,7 +159,7 @@ mod tests {
         let mut c = client_for(&g);
         let r = crawl(&mut c, NodeId(0), 6, CrawlStrategy::Bfs).unwrap();
         let est = r.average_visited_degree(&c);
-        assert!(est >= 10.0 && est <= 11.0, "got {est}");
+        assert!((10.0..=11.0).contains(&est), "got {est}");
     }
 
     #[test]

@@ -36,9 +36,7 @@ impl UserProfile {
     /// itself is immaterial to every experiment).
     pub fn synthesize_description(&self) -> String {
         const CORPUS: &[u8] = b"social graphs mix slowly without rewiring ";
-        (0..self.self_description_len as usize)
-            .map(|i| CORPUS[i % CORPUS.len()] as char)
-            .collect()
+        (0..self.self_description_len as usize).map(|i| CORPUS[i % CORPUS.len()] as char).collect()
     }
 }
 
@@ -149,10 +147,7 @@ mod tests {
     fn description_length_grows_with_degree() {
         let g = ProfileGenerator::new(11);
         let mean = |deg: usize| -> f64 {
-            (0..3000)
-                .map(|i| g.generate(i, deg).self_description_len as f64)
-                .sum::<f64>()
-                / 3000.0
+            (0..3000).map(|i| g.generate(i, deg).self_description_len as f64).sum::<f64>() / 3000.0
         };
         let low = mean(2);
         let high = mean(200);
@@ -176,8 +171,7 @@ mod tests {
     fn synthesize_description_has_requested_length() {
         let p = UserProfile { age: 30, self_description_len: 57, num_posts: 3, is_public: true };
         assert_eq!(p.synthesize_description().len(), 57);
-        let empty =
-            UserProfile { age: 30, self_description_len: 0, num_posts: 3, is_public: true };
+        let empty = UserProfile { age: 30, self_description_len: 0, num_posts: 3, is_public: true };
         assert!(empty.synthesize_description().is_empty());
     }
 

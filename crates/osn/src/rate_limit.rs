@@ -146,9 +146,7 @@ impl<I: SocialNetworkInterface> SocialNetworkInterface for RateLimitedInterface<
             Ok(()) => {}
             Err(wait) => {
                 if self.fail_when_limited {
-                    return Err(OsnError::RateLimited {
-                        retry_after_secs: wait.ceil() as u64,
-                    });
+                    return Err(OsnError::RateLimited { retry_after_secs: wait.ceil() as u64 });
                 }
                 self.stalls.fetch_add(1, Ordering::Relaxed);
                 let later = self.advance(wait);
@@ -213,10 +211,8 @@ mod tests {
     #[test]
     fn limited_interface_stalls_and_advances_clock() {
         let svc = OsnService::with_defaults(&paper_barbell());
-        let limited = RateLimitedInterface::new(
-            svc,
-            RateLimitPolicy { burst: 5, refill_per_sec: 1.0 },
-        );
+        let limited =
+            RateLimitedInterface::new(svc, RateLimitPolicy { burst: 5, refill_per_sec: 1.0 });
         for i in 0..10u32 {
             limited.query(NodeId(i % 22)).unwrap();
         }
@@ -228,10 +224,8 @@ mod tests {
     #[test]
     fn limited_interface_can_fail_fast() {
         let svc = OsnService::with_defaults(&paper_barbell());
-        let mut limited = RateLimitedInterface::new(
-            svc,
-            RateLimitPolicy { burst: 1, refill_per_sec: 0.001 },
-        );
+        let mut limited =
+            RateLimitedInterface::new(svc, RateLimitPolicy { burst: 1, refill_per_sec: 0.001 });
         limited.fail_when_limited = true;
         limited.query(NodeId(0)).unwrap();
         match limited.query(NodeId(1)) {

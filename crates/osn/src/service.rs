@@ -100,8 +100,7 @@ impl OsnService {
     /// Ground-truth average self-description length, the Fig 11(c)
     /// aggregate.
     pub fn true_average_description_len(&self) -> f64 {
-        let total: u64 =
-            self.profiles.iter().map(|p| p.self_description_len as u64).sum();
+        let total: u64 = self.profiles.iter().map(|p| p.self_description_len as u64).sum();
         total as f64 / self.profiles.len() as f64
     }
 

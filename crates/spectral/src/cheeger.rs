@@ -141,15 +141,10 @@ mod tests {
     #[test]
     fn cheeger_inequality_holds_on_samples() {
         use rand::{rngs::StdRng, SeedableRng};
-        let graphs: Vec<Graph> = vec![
-            paper_barbell(),
-            complete_graph(10),
-            cycle_graph(12),
-            {
-                let g = mto_graph::generators::gnp_graph(16, 0.3, &mut StdRng::seed_from_u64(3));
-                mto_graph::algo::largest_component(&g).0
-            },
-        ];
+        let graphs: Vec<Graph> = vec![paper_barbell(), complete_graph(10), cycle_graph(12), {
+            let g = mto_graph::generators::gnp_graph(16, 0.3, &mut StdRng::seed_from_u64(3));
+            mto_graph::algo::largest_component(&g).0
+        }];
         for g in &graphs {
             if g.num_nodes() < 3 || g.min_degree() == 0 {
                 continue;

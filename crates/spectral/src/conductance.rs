@@ -433,8 +433,8 @@ mod tests {
     #[test]
     fn phi_comparisons_are_exact() {
         let a = CutMetrics { cut: 1, within_s: 55, within_t: 55 }; // 1/56
-        let b = CutMetrics { cut: 2, within_s: 110, within_t: 0 }; // 2/2=1.0 vs denominator min..
-        // b: touching_s = 112, touching_t = 2 ⇒ 2/2 = 1.
+                                                                   // b: touching_s = 112, touching_t = 2 ⇒ Φ = 2/2 = 1.
+        let b = CutMetrics { cut: 2, within_s: 110, within_t: 0 };
         assert!(a.phi_less_than(&b));
         assert!(!b.phi_less_than(&a));
         let c = CutMetrics { cut: 2, within_s: 110, within_t: 110 }; // 2/112 = 1/56
@@ -465,10 +465,7 @@ mod tests {
             }
             let exact = exact_conductance(&g).phi;
             let (sweep, _) = sweep_conductance(&g);
-            assert!(
-                sweep >= exact - 1e-9,
-                "sweep {sweep} below exact {exact} (seed {seed})"
-            );
+            assert!(sweep >= exact - 1e-9, "sweep {sweep} below exact {exact} (seed {seed})");
         }
     }
 

@@ -105,8 +105,7 @@ impl DenseMatrix {
                     continue;
                 }
                 let other_row = other.row(k);
-                let out_row =
-                    &mut out.data[i * other.cols..(i + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
                 for (o, &b) in out_row.iter_mut().zip(other_row) {
                     *o += a * b;
                 }
@@ -121,9 +120,7 @@ impl DenseMatrix {
     /// Panics on shape mismatch.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "shape mismatch in matvec");
-        (0..self.rows)
-            .map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum())
-            .collect()
+        (0..self.rows).map(|i| self.row(i).iter().zip(x).map(|(a, b)| a * b).sum()).collect()
     }
 
     /// Transposed copy.
@@ -167,11 +164,7 @@ impl DenseMatrix {
     /// Panics on shape mismatch.
     pub fn max_abs_diff(&self, other: &DenseMatrix) -> f64 {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols), "shape mismatch");
-        self.data
-            .iter()
-            .zip(&other.data)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(&other.data).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// Sum of each row; a stochastic matrix has all row sums equal to 1.

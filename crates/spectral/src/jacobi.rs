@@ -92,14 +92,10 @@ pub fn jacobi_eigen(matrix: &DenseMatrix, opts: JacobiOptions) -> EigenDecomposi
 
     // Extract and sort.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| {
-        a.get(j, j).partial_cmp(&a.get(i, i)).expect("eigenvalue NaN")
-    });
+    order.sort_by(|&i, &j| a.get(j, j).partial_cmp(&a.get(i, i)).expect("eigenvalue NaN"));
     let values: Vec<f64> = order.iter().map(|&i| a.get(i, i)).collect();
-    let vectors: Vec<Vec<f64>> = order
-        .iter()
-        .map(|&k| (0..n).map(|i| v.get(i, k)).collect())
-        .collect();
+    let vectors: Vec<Vec<f64>> =
+        order.iter().map(|&k| (0..n).map(|i| v.get(i, k)).collect()).collect();
     EigenDecomposition { values, vectors }
 }
 
@@ -152,11 +148,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues_are_its_diagonal() {
-        let e = decompose(&[
-            vec![3.0, 0.0, 0.0],
-            vec![0.0, -1.0, 0.0],
-            vec![0.0, 0.0, 2.0],
-        ]);
+        let e = decompose(&[vec![3.0, 0.0, 0.0], vec![0.0, -1.0, 0.0], vec![0.0, 0.0, 2.0]]);
         assert_eq!(e.values, vec![3.0, 2.0, -1.0]);
         assert_eq!(e.lambda_max(), 3.0);
         assert_eq!(e.lambda_min(), -1.0);
@@ -199,8 +191,7 @@ mod tests {
         let e = jacobi_eigen(&m, JacobiOptions::default());
         for i in 0..4 {
             for j in (i + 1)..4 {
-                let dot: f64 =
-                    e.vectors[i].iter().zip(&e.vectors[j]).map(|(a, b)| a * b).sum();
+                let dot: f64 = e.vectors[i].iter().zip(&e.vectors[j]).map(|(a, b)| a * b).sum();
                 assert!(dot.abs() < 1e-9, "vectors {i},{j} not orthogonal: {dot}");
             }
         }
@@ -222,11 +213,7 @@ mod tests {
     #[test]
     fn slem_picks_largest_modulus_after_perron() {
         // Stochastic-like spectrum {1, 0.3, -0.8}: SLEM is 0.8.
-        let e = decompose(&[
-            vec![1.0, 0.0, 0.0],
-            vec![0.0, 0.3, 0.0],
-            vec![0.0, 0.0, -0.8],
-        ]);
+        let e = decompose(&[vec![1.0, 0.0, 0.0], vec![0.0, 0.3, 0.0], vec![0.0, 0.0, -0.8]]);
         assert!((e.slem() - 0.8).abs() < 1e-12);
     }
 
@@ -269,8 +256,7 @@ mod tests {
         for k in 0..n {
             for i in 0..n {
                 for j in 0..n {
-                    let v = recon.get(i, j)
-                        + e.values[k] * e.vectors[k][i] * e.vectors[k][j];
+                    let v = recon.get(i, j) + e.values[k] * e.vectors[k][i] * e.vectors[k][j];
                     recon.set(i, j, v);
                 }
             }

@@ -85,9 +85,7 @@ impl MixingAnalysis {
                 let mut dev = 0.0;
                 for k in 1..n {
                     let lam = self.eigen.values[k];
-                    dev += lam.powi(t as i32)
-                        * self.eigen.vectors[k][u]
-                        * self.eigen.vectors[k][v];
+                    dev += lam.powi(t as i32) * self.eigen.vectors[k][u] * self.eigen.vectors[k][v];
                 }
                 dev *= self.sqrt_deg[v] / self.sqrt_deg[u];
                 let rel = dev.abs() / self.pi[v];
@@ -155,12 +153,7 @@ pub fn upper_bound_distance(phi: f64, t: u32, num_edges: usize, min_degree: usiz
 /// Mixing-time upper bound from Eq. (5): smallest `t` guaranteeing
 /// `Δ(t) <= ε`, i.e. `t >= ln(c/ε) / −ln(1 − Φ²/2)` with
 /// `c = 2|E|/min_k`.
-pub fn mixing_time_upper_bound(
-    phi: f64,
-    epsilon: f64,
-    num_edges: usize,
-    min_degree: usize,
-) -> f64 {
+pub fn mixing_time_upper_bound(phi: f64, epsilon: f64, num_edges: usize, min_degree: usize) -> f64 {
     assert!(phi > 0.0 && phi <= 1.0, "need 0 < Φ <= 1, got {phi}");
     assert!(epsilon > 0.0, "epsilon must be positive");
     let c = 2.0 * num_edges as f64 / min_degree as f64;
@@ -227,10 +220,7 @@ mod tests {
         }
         let direct = relative_pointwise_distance(&pt, &pi);
         let spectral = analysis.delta(4);
-        assert!(
-            (direct - spectral).abs() < 1e-8,
-            "direct {direct} vs spectral {spectral}"
-        );
+        assert!((direct - spectral).abs() < 1e-8, "direct {direct} vs spectral {spectral}");
     }
 
     #[test]
@@ -257,16 +247,12 @@ mod tests {
         let analysis = MixingAnalysis::new(&g, true);
         let t_barbell = analysis.mixing_time(0.25, 100_000).expect("mixes eventually");
         let k = complete_graph(22);
-        let t_complete =
-            MixingAnalysis::new(&k, true).mixing_time(0.25, 100_000).expect("mixes");
-        assert!(
-            t_barbell > 20 * t_complete,
-            "barbell {t_barbell} vs complete {t_complete}"
-        );
+        let t_complete = MixingAnalysis::new(&k, true).mixing_time(0.25, 100_000).expect("mixes");
+        assert!(t_barbell > 20 * t_complete, "barbell {t_barbell} vs complete {t_complete}");
     }
 
     #[test]
-    fn mixing_time_is_minimal(){
+    fn mixing_time_is_minimal() {
         let g = cycle_graph(9);
         let analysis = MixingAnalysis::new(&g, true);
         let t = analysis.mixing_time(0.2, 10_000).unwrap();

@@ -210,11 +210,7 @@ mod tests {
         let est = slem_power_iteration(&g, PowerIterationOptions::default());
         assert!(est.converged);
         let exact = jacobi_slem(&g);
-        assert!(
-            (est.slem - exact).abs() < 1e-6,
-            "power {} vs jacobi {exact}",
-            est.slem
-        );
+        assert!((est.slem - exact).abs() < 1e-6, "power {} vs jacobi {exact}", est.slem);
         // The barbell mixes terribly: SLEM very close to 1 (Cheeger with
         // volume conductance 1/111 guarantees λ₂ ≥ 1 − 2/111 ≈ 0.982).
         assert!(est.slem > 0.98, "got {}", est.slem);
@@ -243,11 +239,7 @@ mod tests {
         let (g, _) = mto_graph::algo::largest_component(&g);
         let est = slem_power_iteration(&g, PowerIterationOptions::default());
         let exact = jacobi_slem(&g);
-        assert!(
-            (est.slem - exact).abs() < 1e-6,
-            "power {} vs jacobi {exact}",
-            est.slem
-        );
+        assert!((est.slem - exact).abs() < 1e-6, "power {} vs jacobi {exact}", est.slem);
     }
 
     #[test]
@@ -273,18 +265,9 @@ mod tests {
         let (lambda, x) = second_eigenvector_lazy(&g, PowerIterationOptions::default());
         let lazy = crate::transition::symmetrized_lazy_transition(&g);
         let e = jacobi_eigen(&lazy, JacobiOptions::default());
-        assert!(
-            (lambda - e.values[1]).abs() < 1e-6,
-            "power λ2 {lambda} vs jacobi {}",
-            e.values[1]
-        );
+        assert!((lambda - e.values[1]).abs() < 1e-6, "power λ2 {lambda} vs jacobi {}", e.values[1]);
         // Vector should be the λ2 eigenvector up to sign.
-        let dot_abs: f64 = x
-            .iter()
-            .zip(&e.vectors[1])
-            .map(|(a, b)| a * b)
-            .sum::<f64>()
-            .abs();
+        let dot_abs: f64 = x.iter().zip(&e.vectors[1]).map(|(a, b)| a * b).sum::<f64>().abs();
         assert!(dot_abs > 1.0 - 1e-4, "vectors misaligned: |<x, v2>| = {dot_abs}");
     }
 

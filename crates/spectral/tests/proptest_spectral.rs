@@ -7,9 +7,7 @@ use mto_spectral::conductance::{
     cut_metrics, exact_conductance, mask_to_membership, sweep_conductance,
 };
 use mto_spectral::jacobi::{jacobi_eigen, JacobiOptions};
-use mto_spectral::mixing::{
-    mixing_bound_log10_coefficient, upper_bound_distance, MixingAnalysis,
-};
+use mto_spectral::mixing::{mixing_bound_log10_coefficient, upper_bound_distance, MixingAnalysis};
 use mto_spectral::power::{slem_power_iteration, PowerIterationOptions};
 use mto_spectral::transition::{stationary_distribution, symmetrized_transition};
 use proptest::prelude::*;

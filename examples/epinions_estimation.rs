@@ -36,14 +36,9 @@ fn main() {
         "algo", "estimate", "rel. error", "burn-in", "queries"
     );
     for alg in Algorithm::all() {
-        let mut walker = alg
-            .build(service.clone(), NodeId(0), 2024)
-            .expect("start node exists");
-        let protocol = RunProtocol {
-            geweke_threshold: 0.1,
-            max_burn_in_steps: 30_000,
-            sample_steps: 6_000,
-        };
+        let mut walker = alg.build(service.clone(), NodeId(0), 2024).expect("start node exists");
+        let protocol =
+            RunProtocol { geweke_threshold: 0.1, max_burn_in_steps: 30_000, sample_steps: 6_000 };
         let run = run_converged(walker.as_mut(), &service, Aggregate::AverageDegree, protocol)
             .expect("simulated interface cannot fail");
         let estimate = run.final_estimate().unwrap_or(f64::NAN);

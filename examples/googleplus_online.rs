@@ -83,9 +83,7 @@ fn main() {
     let mut mto_estimate = ImportanceEstimator::new();
     let mut weight_of = std::collections::HashMap::new();
     for v in visits {
-        let w = *weight_of
-            .entry(v)
-            .or_insert_with(|| mto.importance_weight(v).expect("cached"));
+        let w = *weight_of.entry(v).or_insert_with(|| mto.importance_weight(v).expect("cached"));
         let deg = mto.client().inner().inner().ground_truth().degree(v) as f64;
         mto_estimate.push(deg, w);
     }

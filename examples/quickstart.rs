@@ -25,12 +25,8 @@ fn main() {
     // Put it behind the restrictive per-user interface and walk it with
     // the MTO-Sampler.
     let service = OsnService::with_defaults(&graph);
-    let mut sampler = MtoSampler::new(
-        CachedClient::new(service),
-        NodeId(0),
-        MtoConfig::default(),
-    )
-    .expect("start node exists");
+    let mut sampler = MtoSampler::new(CachedClient::new(service), NodeId(0), MtoConfig::default())
+        .expect("start node exists");
 
     for _ in 0..20_000 {
         sampler.step().expect("simulated interface cannot fail");
@@ -47,18 +43,11 @@ fn main() {
     // Materialize the overlay the walk effectively followed and compare.
     let overlay = sampler.overlay().materialize(&graph);
     let phi_after = exact_conductance(&overlay).phi;
-    println!(
-        "overlay graph:  {} nodes, {} edges",
-        overlay.num_nodes(),
-        overlay.num_edges()
-    );
+    println!("overlay graph:  {} nodes, {} edges", overlay.num_nodes(), overlay.num_edges());
     println!("conductance Φ(G**)      = {phi_after:.4}  (paper: 0.105)");
 
     let coeff = mixing_bound_log10_coefficient;
     let reduction = coeff(phi_after) / coeff(phi_before);
-    println!(
-        "mixing-time bound drops to {:.1}% of the original (paper: ~3%)",
-        100.0 * reduction
-    );
+    println!("mixing-time bound drops to {:.1}% of the original (paper: ~3%)", 100.0 * reduction);
     assert!(phi_after > phi_before, "rewiring must raise conductance");
 }

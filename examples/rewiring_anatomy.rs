@@ -13,7 +13,7 @@
 use mto_sampler::core::mto::{CriterionView, MtoConfig, MtoSampler, OverlayDegreeMode};
 use mto_sampler::core::rewire::removal_criterion;
 use mto_sampler::core::walk::Walker;
-use mto_sampler::graph::generators::{planted_partition_graph, paper_barbell};
+use mto_sampler::graph::generators::{paper_barbell, planted_partition_graph};
 use mto_sampler::graph::NodeId;
 use mto_sampler::osn::{CachedClient, OsnService};
 use mto_sampler::spectral::conductance::exact_conductance;
@@ -63,8 +63,7 @@ fn main() {
     let mut last = sampler.stats();
     let mut seen_removed: std::collections::BTreeSet<_> =
         sampler.overlay().removed_edges().collect();
-    let mut seen_added: std::collections::BTreeSet<_> =
-        sampler.overlay().added_edges().collect();
+    let mut seen_added: std::collections::BTreeSet<_> = sampler.overlay().added_edges().collect();
     for step in 1..=4000 {
         sampler.step().expect("simulated interface cannot fail");
         let now = sampler.stats();
@@ -86,17 +85,16 @@ fn main() {
     }
 
     let overlay = sampler.overlay().materialize(&g);
-    let phi1 = if overlay.num_nodes() <= 26 {
-        exact_conductance(&overlay).phi
-    } else {
-        f64::NAN
-    };
+    let phi1 = if overlay.num_nodes() <= 26 { exact_conductance(&overlay).phi } else { f64::NAN };
     println!(
         "\nafter 4000 steps: {} removals, {} replacements ({} rejected)",
         last.removals, last.replacements, last.replacement_rejections
     );
-    println!("overlay: {} edges (was {}), Φ = {phi1:.4} (was {phi0:.4})",
-        overlay.num_edges(), g.num_edges());
+    println!(
+        "overlay: {} edges (was {}), Φ = {phi1:.4} (was {phi0:.4})",
+        overlay.num_edges(),
+        g.num_edges()
+    );
 
     // Part 3: the three k* estimation modes -------------------------------
     println!("\n== Overlay-degree estimation modes for importance weights ==");
@@ -106,9 +104,7 @@ fn main() {
         ("ExactRemoval", OverlayDegreeMode::ExactRemoval),
         ("Sampled(4)", OverlayDegreeMode::SampledRemoval(4)),
     ] {
-        let k = sampler
-            .overlay_degree_estimate(v, mode)
-            .expect("simulated interface cannot fail");
+        let k = sampler.overlay_degree_estimate(v, mode).expect("simulated interface cannot fail");
         println!("k*({v}) via {name:<13} = {k:.2}");
     }
 }

@@ -53,6 +53,9 @@
 //!
 //! Run the paper's experiments with
 //! `cargo run --release -p mto-experiments --bin mto-lab -- all`.
+//!
+//! See the repository `README.md` for the workspace layout, the crate
+//! dependency DAG, and how to regenerate each paper figure.
 
 #![warn(missing_docs)]
 

@@ -22,14 +22,10 @@ fn every_sampler_estimates_average_degree_within_tolerance() {
     let (service, truth) = mini_service();
     for alg in Algorithm::all() {
         let mut walker = alg.build(service.clone(), NodeId(0), 99).unwrap();
-        let protocol = RunProtocol {
-            geweke_threshold: 0.15,
-            max_burn_in_steps: 25_000,
-            sample_steps: 10_000,
-        };
+        let protocol =
+            RunProtocol { geweke_threshold: 0.15, max_burn_in_steps: 25_000, sample_steps: 10_000 };
         let run =
-            run_converged(walker.as_mut(), &service, Aggregate::AverageDegree, protocol)
-                .unwrap();
+            run_converged(walker.as_mut(), &service, Aggregate::AverageDegree, protocol).unwrap();
         let est = run.final_estimate().expect("nonzero weight mass");
         let err = (est - truth).abs() / truth;
         assert!(
@@ -46,22 +42,15 @@ fn unweighted_srw_overestimates_degree_weighted_does_not() {
     // a plain mean of sampled degrees lands near E[k²]/E[k] > E[k].
     let (service, truth) = mini_service();
     let mut walker = Algorithm::Srw.build(service.clone(), NodeId(0), 4).unwrap();
-    let protocol = RunProtocol {
-        geweke_threshold: 0.2,
-        max_burn_in_steps: 20_000,
-        sample_steps: 12_000,
-    };
-    let run =
-        run_converged(walker.as_mut(), &service, Aggregate::AverageDegree, protocol).unwrap();
+    let protocol =
+        RunProtocol { geweke_threshold: 0.2, max_burn_in_steps: 20_000, sample_steps: 12_000 };
+    let run = run_converged(walker.as_mut(), &service, Aggregate::AverageDegree, protocol).unwrap();
 
     let plain: f64 =
         run.samples.iter().map(|(s, _)| s.value).sum::<f64>() / run.samples.len() as f64;
     let weighted = run.final_estimate().unwrap();
 
-    assert!(
-        plain > truth * 1.3,
-        "plain mean {plain:.3} should exceed truth {truth:.3} markedly"
-    );
+    assert!(plain > truth * 1.3, "plain mean {plain:.3} should exceed truth {truth:.3} markedly");
     let err = (weighted - truth).abs() / truth;
     assert!(err < 0.3, "weighted estimate {weighted:.3} vs {truth:.3}");
 }
@@ -71,13 +60,9 @@ fn profile_aggregates_are_estimable_too() {
     let (service, _) = mini_service();
     let truth_age = Aggregate::AverageAge.ground_truth(&service);
     let mut walker = Algorithm::Mto.build(service.clone(), NodeId(0), 11).unwrap();
-    let protocol = RunProtocol {
-        geweke_threshold: 0.2,
-        max_burn_in_steps: 20_000,
-        sample_steps: 10_000,
-    };
-    let run =
-        run_converged(walker.as_mut(), &service, Aggregate::AverageAge, protocol).unwrap();
+    let protocol =
+        RunProtocol { geweke_threshold: 0.2, max_burn_in_steps: 20_000, sample_steps: 10_000 };
+    let run = run_converged(walker.as_mut(), &service, Aggregate::AverageAge, protocol).unwrap();
     let est = run.final_estimate().unwrap();
     let err = (est - truth_age).abs() / truth_age;
     assert!(err < 0.2, "age estimate {est:.2} vs truth {truth_age:.2} (err {err:.3})");
@@ -91,21 +76,14 @@ fn count_estimates_need_published_population() {
     let truth_public = Aggregate::PublicProportion.ground_truth(&service) * n as f64;
 
     let mut walker = Algorithm::Rj.build(service.clone(), NodeId(0), 5).unwrap();
-    let protocol = RunProtocol {
-        geweke_threshold: 0.2,
-        max_burn_in_steps: 15_000,
-        sample_steps: 10_000,
-    };
+    let protocol =
+        RunProtocol { geweke_threshold: 0.2, max_burn_in_steps: 15_000, sample_steps: 10_000 };
     let run =
-        run_converged(walker.as_mut(), &service, Aggregate::PublicProportion, protocol)
-            .unwrap();
+        run_converged(walker.as_mut(), &service, Aggregate::PublicProportion, protocol).unwrap();
     let samples: Vec<_> = run.samples.iter().map(|(s, _)| *s).collect();
     let est = count_estimate(&samples, n).unwrap();
     let err = (est - truth_public).abs() / truth_public;
-    assert!(
-        err < 0.2,
-        "COUNT(public) estimate {est:.0} vs truth {truth_public:.0} (err {err:.3})"
-    );
+    assert!(err < 0.2, "COUNT(public) estimate {est:.0} vs truth {truth_public:.0} (err {err:.3})");
 }
 
 #[test]

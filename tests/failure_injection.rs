@@ -33,12 +33,9 @@ fn srw_completes_through_transient_failures() {
 
 #[test]
 fn mto_completes_through_transient_failures() {
-    let mut sampler = MtoSampler::new(
-        CachedClient::new(flaky_service(0.3)),
-        NodeId(0),
-        MtoConfig::default(),
-    )
-    .expect("retries hide the failures");
+    let mut sampler =
+        MtoSampler::new(CachedClient::new(flaky_service(0.3)), NodeId(0), MtoConfig::default())
+            .expect("retries hide the failures");
     for _ in 0..3_000 {
         sampler.step().expect("cached client retries transient failures");
     }

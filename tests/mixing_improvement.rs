@@ -68,10 +68,7 @@ fn barbell_slem_tradeoff_is_bounded() {
     let before = MixingAnalysis::new(&g, true).theoretical_mixing_time();
     let after = MixingAnalysis::new(&overlay, true).theoretical_mixing_time();
     assert!(after.is_finite() && after > 0.0);
-    assert!(
-        after < 4.0 * before,
-        "overlay mixing must stay comparable: {before:.1} → {after:.1}"
-    );
+    assert!(after < 4.0 * before, "overlay mixing must stay comparable: {before:.1} → {after:.1}");
 }
 
 #[test]

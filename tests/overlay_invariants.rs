@@ -27,8 +27,8 @@ fn families(seed: u64) -> Vec<(&'static str, Graph)> {
 
 fn run_sampler(g: &Graph, config: MtoConfig, steps: usize) -> MtoSampler<CachedClient<OsnService>> {
     let service = OsnService::with_defaults(g);
-    let mut s = MtoSampler::new(CachedClient::new(service), NodeId(0), config)
-        .expect("node 0 exists");
+    let mut s =
+        MtoSampler::new(CachedClient::new(service), NodeId(0), config).expect("node 0 exists");
     for _ in 0..steps {
         s.step().expect("simulated interface cannot fail");
     }
@@ -141,8 +141,10 @@ fn extension_discovers_at_least_as_many_removals() {
     // edges. Run on a sparse graph where the margin matters.
     let mut rng = StdRng::seed_from_u64(21);
     let g = watts_strogatz_graph(80, 6, 0.05, &mut rng);
-    let plain = run_sampler(&g, MtoConfig { seed: 5, extension: false, ..Default::default() }, 10_000);
-    let extended = run_sampler(&g, MtoConfig { seed: 5, extension: true, ..Default::default() }, 10_000);
+    let plain =
+        run_sampler(&g, MtoConfig { seed: 5, extension: false, ..Default::default() }, 10_000);
+    let extended =
+        run_sampler(&g, MtoConfig { seed: 5, extension: true, ..Default::default() }, 10_000);
     // Paths diverge once criteria differ, so compare totals, not sets.
     assert!(
         extended.stats().removals + 5 >= plain.stats().removals,

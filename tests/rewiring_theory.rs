@@ -191,10 +191,7 @@ fn corollary2_counterexample_for_degree4_pivot() {
     let mut worse = g.clone();
     worse.remove_edge(NodeId(10), NodeId(5)).unwrap();
     let after = exact_conductance(&worse).phi;
-    assert!(
-        after < before,
-        "losing one pivot cross-edge must hurt: {after} vs {before}"
-    );
+    assert!(after < before, "losing one pivot cross-edge must hurt: {after} vs {before}");
 }
 
 #[test]
@@ -211,9 +208,7 @@ fn theorem2_indistinguishability_construction() {
     for e in g.edges() {
         let (u, v) = e.endpoints();
         clone.add_edge(u, v).unwrap();
-        clone
-            .add_edge(NodeId((u.index() + n) as u32), NodeId((v.index() + n) as u32))
-            .unwrap();
+        clone.add_edge(NodeId((u.index() + n) as u32), NodeId((v.index() + n) as u32)).unwrap();
     }
     clone.add_edge(NodeId(3), NodeId((3 + n) as u32)).unwrap();
 

@@ -1,0 +1,53 @@
+//! Workspace smoke canary: the cheapest end-to-end proof that the whole
+//! stack still works — graph generator → OSN interface → MTO sampler →
+//! overlay materialization → spectral conductance.
+//!
+//! Kept deliberately fast (a short walk on the 22-node barbell) so future
+//! PRs get a sub-second tier-1 signal before the heavier suites run.
+
+use mto_sampler::core::mto::{MtoConfig, MtoSampler};
+use mto_sampler::core::walk::Walker;
+use mto_sampler::graph::generators::paper_barbell;
+use mto_sampler::graph::NodeId;
+use mto_sampler::osn::{CachedClient, OsnService};
+use mto_sampler::spectral::conductance::exact_conductance;
+
+#[test]
+fn mto_walk_on_barbell_strictly_improves_conductance() {
+    // The paper's running example: two 11-cliques and one bridge,
+    // Φ(G) = 1/56 ≈ 0.018.
+    let graph = paper_barbell();
+    let phi_before = exact_conductance(&graph).phi;
+    assert!((phi_before - 1.0 / 56.0).abs() < 1e-12, "seed barbell changed: Φ = {phi_before}");
+
+    let service = OsnService::with_defaults(&graph);
+    let mut sampler = MtoSampler::new(CachedClient::new(service), NodeId(0), MtoConfig::default())
+        .expect("node 0 exists");
+
+    // Short walk — enough for Theorem 3 removals to fire inside the
+    // cliques, far below the experiment-scale step counts.
+    for _ in 0..3_000 {
+        sampler.step().expect("simulated interface cannot fail");
+    }
+
+    let stats = sampler.stats();
+    assert!(stats.removals > 0, "the dense cliques must shed edges");
+
+    // The virtual overlay the walk follows must be strictly
+    // better-conducting than the original graph — the paper's core claim.
+    let overlay = sampler.overlay().materialize(&graph);
+    let phi_after = exact_conductance(&overlay).phi;
+    assert!(
+        phi_after > phi_before,
+        "overlay conductance must strictly improve: {phi_after} vs {phi_before}"
+    );
+
+    // Cost model sanity: duplicate queries are free, so the budget is
+    // bounded by the node count.
+    assert!(
+        sampler.query_cost() <= graph.num_nodes() as u64,
+        "query cost {} exceeds |V| = {}",
+        sampler.query_cost(),
+        graph.num_nodes()
+    );
+}

@@ -1,0 +1,58 @@
+//! `any::<T>()` — canonical whole-domain strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy `any::<Self>()` returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Returns the canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Whole-domain strategy for a primitive type.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AnyPrimitive<T>(std::marker::PhantomData<T>);
+
+macro_rules! arbitrary_prim {
+    ($($t:ty => |$rng:ident| $sample:expr),* $(,)?) => {$(
+        impl Strategy for AnyPrimitive<$t> {
+            type Value = $t;
+
+            fn new_value(&self, $rng: &mut TestRng) -> $t {
+                $sample
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyPrimitive<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                AnyPrimitive(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+arbitrary_prim!(
+    bool => |rng| rng.next_u64() >> 63 == 1,
+    u8 => |rng| rng.next_u64() as u8,
+    u16 => |rng| rng.next_u64() as u16,
+    u32 => |rng| rng.next_u64() as u32,
+    u64 => |rng| rng.next_u64(),
+    usize => |rng| rng.next_u64() as usize,
+    i8 => |rng| rng.next_u64() as i8,
+    i16 => |rng| rng.next_u64() as i16,
+    i32 => |rng| rng.next_u64() as i32,
+    i64 => |rng| rng.next_u64() as i64,
+    isize => |rng| rng.next_u64() as isize,
+    f64 => |rng| rng.unit_f64(),
+    f32 => |rng| rng.unit_f64() as f32,
+);

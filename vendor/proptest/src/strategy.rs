@@ -1,0 +1,199 @@
+//! The [`Strategy`] trait and its combinators.
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy is
+/// just a deterministic function of the RNG stream.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+
+    /// Maps generated values through a partial function, retrying (up to an
+    /// internal bound) whenever `f` returns `None`.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap { base: self, f, reason }
+    }
+
+    /// Boxes the strategy, erasing its concrete type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.0.new_value(rng)
+    }
+}
+
+/// Always yields a clone of the same value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.base.new_value(rng))
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    base: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn new_value(&self, rng: &mut TestRng) -> O {
+        for _ in 0..10_000 {
+            if let Some(v) = (self.f)(self.base.new_value(rng)) {
+                return v;
+            }
+        }
+        panic!("prop_filter_map rejected 10000 consecutive candidates: {}", self.reason)
+    }
+}
+
+/// Primitive types that can be drawn uniformly from a range strategy.
+pub trait RangeSample: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn closed(lo: Self, hi: Self, rng: &mut TestRng) -> Self;
+}
+
+macro_rules! range_sample_int {
+    ($($t:ty => $unsigned:ty),*) => {$(
+        impl RangeSample for $t {
+            fn half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range strategy");
+                let span = (hi as $unsigned).wrapping_sub(lo as $unsigned) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+
+            fn closed(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty range strategy");
+                let span =
+                    ((hi as $unsigned).wrapping_sub(lo as $unsigned) as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full 2^64 domain.
+                    rng.next_u64() as $t
+                } else {
+                    lo.wrapping_add(rng.below(span) as $t)
+                }
+            }
+        }
+    )*};
+}
+range_sample_int!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize
+);
+
+macro_rules! range_sample_float {
+    ($($t:ty),*) => {$(
+        impl RangeSample for $t {
+            fn half_open(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo < hi, "empty range strategy");
+                let v = lo as f64 + (hi as f64 - lo as f64) * rng.unit_f64();
+                if v as $t >= hi { lo } else { v as $t }
+            }
+
+            fn closed(lo: Self, hi: Self, rng: &mut TestRng) -> Self {
+                assert!(lo <= hi, "empty range strategy");
+                (lo as f64 + (hi as f64 - lo as f64) * rng.unit_f64()) as $t
+            }
+        }
+    )*};
+}
+range_sample_float!(f32, f64);
+
+impl<T: RangeSample> Strategy for Range<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: RangeSample> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        T::closed(*self.start(), *self.end(), rng)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.new_value(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);

@@ -1,0 +1,129 @@
+//! Configuration, RNG, and the case-execution loop.
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A failed property case.
+#[derive(Clone, Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Creates a failure with the given message.
+    pub fn fail<S: Into<String>>(message: S) -> Self {
+        TestCaseError(message.into())
+    }
+
+    /// The failure message.
+    pub fn message(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Result of one property case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The deterministic generator strategies sample from (xorshift64*).
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the generator; a zero seed is remapped to a fixed constant.
+    pub fn new(seed: u64) -> Self {
+        TestRng { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        // xorshift64* — tiny, full-period, plenty for test-case generation.
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform draw from `[0, span)`; `span` must be nonzero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        ((self.next_u64() as u128 * span as u128) >> 64) as u64
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Runs a strategy against a property closure for the configured number of
+/// cases, panicking (like a failed `assert!`) on the first failing case.
+pub struct TestRunner {
+    config: ProptestConfig,
+    name: &'static str,
+}
+
+/// Base seed shared by every runner; the per-test name hash and case index
+/// decorrelate the streams. Fixed so failures reproduce without state.
+const BASE_SEED: u64 = 0xB5AD_4ECE_DA1C_E2A9;
+
+impl TestRunner {
+    /// Creates a runner for the named property.
+    pub fn new(config: ProptestConfig, name: &'static str) -> Self {
+        TestRunner { config, name }
+    }
+
+    /// Executes the property over `config.cases` generated inputs.
+    pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+    where
+        S: Strategy,
+        S::Value: std::fmt::Debug,
+        F: FnMut(S::Value) -> TestCaseResult,
+    {
+        // FNV-1a over the test name, mixed into the base seed.
+        let mut name_hash = 0xcbf2_9ce4_8422_2325u64;
+        for b in self.name.bytes() {
+            name_hash = (name_hash ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+        }
+        for case in 0..self.config.cases as u64 {
+            let mut rng =
+                TestRng::new(BASE_SEED ^ name_hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let value = strategy.new_value(&mut rng);
+            let rendered = format!("{value:?}");
+            if let Err(e) = test(value) {
+                panic!(
+                    "proptest property `{}` failed at case #{case}:\n  {}\n  input: {}",
+                    self.name,
+                    e.message(),
+                    rendered
+                );
+            }
+        }
+    }
+}
