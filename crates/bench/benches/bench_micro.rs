@@ -1,7 +1,9 @@
 //! Micro-benchmarks of the hot kernels: walker steps, the removal
-//! criterion, common-neighbor intersection, overlay operations, and the
-//! spectral solvers.
+//! criterion, common-neighbor intersection, overlay operations, the
+//! client cache's slot-map lookup, the history codec, and the spectral
+//! solvers.
 
+use std::collections::HashMap;
 use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -10,7 +12,8 @@ use mto_core::rewire::{removal_criterion, OverlayDelta};
 use mto_core::walk::{MetropolisHastingsWalk, MhrwConfig, SimpleRandomWalk, SrwConfig, Walker};
 use mto_graph::generators::paper_barbell;
 use mto_graph::{CsrGraph, NodeId};
-use mto_osn::{CachedClient, OsnService};
+use mto_osn::{CachedClient, OsnService, QueryResponse};
+use mto_serve::history::HistoryStore;
 use mto_spectral::jacobi::{jacobi_eigen, JacobiOptions};
 use mto_spectral::power::{slem_power_iteration, PowerIterationOptions};
 use mto_spectral::transition::symmetrized_transition;
@@ -125,6 +128,74 @@ fn bench_kernels(c: &mut Criterion) {
     group.finish();
 }
 
+/// The ISSUE 2 satellite benchmark: the `CachedClient` hot path is a
+/// dense `Vec`-indexed slot-map lookup; the baseline is the
+/// `HashMap<NodeId, QueryResponse>` layout it replaced. Both serve the
+/// same fully-warmed 650-node cache and the same cyclic lookup pattern.
+fn bench_cache_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/cache");
+    group.sample_size(50);
+    group.measurement_time(Duration::from_secs(2));
+    group.throughput(Throughput::Elements(4_096));
+
+    let graph = mto_bench::mini_epinions_graph(40);
+    let n = graph.num_nodes() as u32;
+    let mut client = CachedClient::new(OsnService::with_defaults(&graph));
+    for v in 0..n {
+        client.query(NodeId(v)).unwrap();
+    }
+    let baseline: HashMap<NodeId, QueryResponse> =
+        (0..n).map(|v| (NodeId(v), client.cached(NodeId(v)).unwrap().clone())).collect();
+
+    group.bench_function("slotmap-cached-degree-4k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..4_096u32 {
+                let v = NodeId((i.wrapping_mul(2_654_435_761)) % n);
+                acc += client.known_degree(std::hint::black_box(v)).unwrap();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.bench_function("hashmap-baseline-degree-4k", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for i in 0..4_096u32 {
+                let v = NodeId((i.wrapping_mul(2_654_435_761)) % n);
+                acc += baseline.get(&std::hint::black_box(v)).unwrap().neighbors.len();
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_history_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/history-codec");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+
+    let graph = mto_bench::mini_epinions_graph(40);
+    let mut client = CachedClient::new(OsnService::with_defaults(&graph));
+    for v in 0..graph.num_nodes() as u32 {
+        client.query(NodeId(v)).unwrap();
+    }
+    let store = HistoryStore::from_client(&client);
+    let encoded = store.encode();
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+
+    group.bench_function("encode-650-node-store", |b| {
+        b.iter(|| std::hint::black_box(store.encode().len()))
+    });
+    group.bench_function("decode-650-node-store", |b| {
+        b.iter(|| std::hint::black_box(HistoryStore::decode(&encoded).unwrap().num_responses()))
+    });
+
+    group.finish();
+}
+
 fn bench_spectral(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/spectral");
     group.sample_size(10);
@@ -153,5 +224,12 @@ fn bench_spectral(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_walk_steps, bench_kernels, bench_spectral);
+criterion_group!(
+    benches,
+    bench_walk_steps,
+    bench_kernels,
+    bench_cache_lookup,
+    bench_history_codec,
+    bench_spectral
+);
 criterion_main!(benches);

@@ -141,6 +141,14 @@ pub struct RewireStats {
     pub replacement_rejections: u64,
 }
 
+impl std::ops::AddAssign for RewireStats {
+    fn add_assign(&mut self, rhs: RewireStats) {
+        self.removals += rhs.removals;
+        self.replacements += rhs.replacements;
+        self.replacement_rejections += rhs.replacement_rejections;
+    }
+}
+
 /// The MTO sampler.
 pub struct MtoSampler<C> {
     client: C,
@@ -172,6 +180,26 @@ impl<C: QueryClient> MtoSampler<C> {
             stats: RewireStats::default(),
             weight_mode: OverlayDegreeMode::Discovered,
         })
+    }
+
+    /// Rebuilds a sampler that had already taken `steps_taken` steps — the
+    /// event-sourced resumable-walker state contract.
+    ///
+    /// An `MtoSampler` is a pure function of `(config, start, interface
+    /// responses)`: its RNG is seeded from the config and every decision
+    /// depends only on drawn randomness plus the (immutable) responses. So
+    /// a walker needs no serialized RNG or overlay state to be resumable —
+    /// replaying `steps_taken` steps reproduces position, history, overlay
+    /// and stats exactly. Replay against a warm [`QueryClient`] cache (the
+    /// `mto-serve` `HistoryStore` path) issues **zero** new unique queries,
+    /// because the original run already paid for every node the prefix
+    /// visits.
+    pub fn resume(client: C, start: NodeId, config: MtoConfig, steps_taken: usize) -> Result<Self> {
+        let mut sampler = Self::new(client, start, config)?;
+        for _ in 0..steps_taken {
+            sampler.step()?;
+        }
+        Ok(sampler)
     }
 
     /// Selects the `k*` estimation mode used by importance weights.
@@ -559,6 +587,30 @@ mod tests {
             assert_eq!(a.step().unwrap(), b.step().unwrap());
         }
         assert_eq!(a.stats(), b.stats());
+    }
+
+    #[test]
+    fn resume_replays_to_identical_state() {
+        let g = paper_barbell();
+        let cfg = MtoConfig { seed: 5, ..Default::default() };
+        let mut full = sampler_on(&g, NodeId(0), cfg);
+        for _ in 0..400 {
+            full.step().unwrap();
+        }
+        let mut resumed = MtoSampler::resume(
+            CachedClient::new(OsnService::with_defaults(&g)),
+            NodeId(0),
+            cfg,
+            250,
+        )
+        .unwrap();
+        for _ in 0..150 {
+            resumed.step().unwrap();
+        }
+        assert_eq!(resumed.history(), full.history());
+        assert_eq!(resumed.stats(), full.stats());
+        assert_eq!(resumed.current(), full.current());
+        assert_eq!(resumed.overlay(), full.overlay());
     }
 
     #[test]

@@ -147,6 +147,29 @@ mod tests {
     }
 
     #[test]
+    fn parallel_runs_are_deterministic_across_interleavings() {
+        // Regression guard for the per-walker-overlay design note above:
+        // thread scheduling must never leak into results. Two runs with the
+        // same seeds produce byte-identical histories and stats even though
+        // the cache-fill interleaving differs between them.
+        let g = paper_barbell();
+        let starts: Vec<NodeId> = (0..8u32).map(|i| NodeId(i % 22)).collect();
+        let config = MtoConfig { seed: 42, ..Default::default() };
+        let run = || {
+            let service = OsnService::with_defaults(&g);
+            run_parallel_mto(service, &starts, 500, config).unwrap()
+        };
+        let (a, cost_a) = run();
+        let (b, cost_b) = run();
+        assert_eq!(cost_a, cost_b);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.walker_id, rb.walker_id);
+            assert_eq!(ra.history, rb.history, "walker {} diverged", ra.walker_id);
+            assert_eq!(ra.stats, rb.stats, "walker {} stats diverged", ra.walker_id);
+        }
+    }
+
+    #[test]
     fn empty_start_list_is_a_noop() {
         let g = paper_barbell();
         let service = OsnService::with_defaults(&g);

@@ -11,6 +11,10 @@ use std::collections::{BTreeSet, HashMap};
 use mto_graph::{Edge, Graph, NodeId};
 
 /// Removed/added edge sets with per-endpoint indexes.
+///
+/// Equality compares the removed/added *sets* (the per-endpoint indexes
+/// are derived data) — `mto-serve` uses it to verify that a resumed
+/// session replayed its way back to exactly the snapshotted overlay.
 #[derive(Clone, Debug, Default)]
 pub struct OverlayDelta {
     removed: BTreeSet<Edge>,
@@ -132,6 +136,16 @@ impl OverlayDelta {
         g
     }
 }
+
+impl PartialEq for OverlayDelta {
+    fn eq(&self, other: &Self) -> bool {
+        // Compare the canonical edge sets only: the per-endpoint indexes
+        // may hold empty leftovers after cancellations.
+        self.removed == other.removed && self.added == other.added
+    }
+}
+
+impl Eq for OverlayDelta {}
 
 fn attach(index: &mut HashMap<NodeId, BTreeSet<NodeId>>, u: NodeId, v: NodeId) {
     index.entry(u).or_default().insert(v);
@@ -257,6 +271,20 @@ mod tests {
         let mut d = OverlayDelta::new();
         d.remove_edge(NodeId(0), NodeId(21)); // not an edge of the barbell
         let _ = d.materialize(&g);
+    }
+
+    #[test]
+    fn equality_ignores_cancelled_index_leftovers() {
+        let mut a = OverlayDelta::new();
+        a.remove_edge(NodeId(0), NodeId(1));
+        // `b` records and then cancels an unrelated edge: logically equal.
+        let mut b = OverlayDelta::new();
+        b.remove_edge(NodeId(0), NodeId(1));
+        b.add_edge(NodeId(5), NodeId(6));
+        b.remove_edge(NodeId(5), NodeId(6));
+        assert_eq!(a, b);
+        b.add_edge(NodeId(2), NodeId(3));
+        assert_ne!(a, b);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use crate::walk::walker::Walker;
 
 /// Configuration of a [`MetropolisHastingsWalk`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct MhrwConfig {
     /// RNG seed.
     pub seed: u64,

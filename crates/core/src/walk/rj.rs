@@ -18,7 +18,7 @@ use rand::{Rng, SeedableRng};
 use crate::walk::walker::Walker;
 
 /// Configuration of a [`RandomJumpWalk`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct RjConfig {
     /// RNG seed.
     pub seed: u64,

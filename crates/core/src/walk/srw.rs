@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use crate::walk::walker::Walker;
 
 /// Configuration of a [`SimpleRandomWalk`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct SrwConfig {
     /// RNG seed (every run is deterministic given the seed).
     pub seed: u64,

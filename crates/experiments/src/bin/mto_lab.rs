@@ -14,10 +14,21 @@
 use std::path::PathBuf;
 
 use mto_experiments::report::ExperimentReport;
-use mto_experiments::{fig10, fig11, fig7, fig8, fig9, running_example, table1, theorem6};
+use mto_experiments::{
+    fig10, fig11, fig7, fig8, fig9, running_example, table1, theorem6, warm_start,
+};
 
-const EXPERIMENTS: &[&str] =
-    &["running-example", "table1", "fig7", "fig8", "fig9", "fig10", "fig11", "theorem6"];
+const EXPERIMENTS: &[&str] = &[
+    "running-example",
+    "table1",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "theorem6",
+    "warm-start",
+];
 
 struct Options {
     reduced: bool,
@@ -100,6 +111,14 @@ fn run_experiment(name: &str, reduced: bool) -> ExperimentReport {
                 theorem6::Theorem6Config::full()
             };
             theorem6::run(&config).1
+        }
+        "warm-start" => {
+            let config = if reduced {
+                warm_start::WarmStartConfig::reduced()
+            } else {
+                warm_start::WarmStartConfig::full()
+            };
+            warm_start::run(&config).1
         }
         other => unreachable!("experiment {other} validated during arg parsing"),
     }

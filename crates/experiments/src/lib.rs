@@ -13,6 +13,7 @@
 //! | [`fig10`] | Fig 10: latent-space mixing times with RM/RP ablation + Theorem 6 bound |
 //! | [`fig11`] | Fig 11(a–c): Google-Plus-like online network |
 //! | [`theorem6`] | §IV-B / Eq (13): latent-space removal bound |
+//! | [`warm_start`] | service layer: cross-run history reuse (`mto-serve`) |
 //!
 //! Each module exposes a `Config` with `full()` (paper-scale) and
 //! `reduced()` (CI-scale) presets and returns structured results plus an
@@ -32,7 +33,9 @@ pub mod report;
 pub mod running_example;
 pub mod table1;
 pub mod theorem6;
+pub mod warm_start;
 
 pub use datasets::{build_dataset, DatasetSpec};
 pub use driver::{run_converged, Algorithm, ConvergedRun, RunProtocol};
 pub use report::{ExperimentReport, Series, Table};
+pub use warm_start::{WarmStartConfig, WarmStartResult};

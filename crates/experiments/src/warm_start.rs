@@ -1,0 +1,222 @@
+//! Warm start: quantifying the cross-run history win of `mto-serve`.
+//!
+//! The paper's cost model counts only *unique* queries (Section II-B), and
+//! its Section III-D local database already hints that crawl history is an
+//! asset that should outlive a single run. This experiment measures
+//! exactly that, end to end through the service layer:
+//!
+//! 1. **Job A** (an MTO estimation run) crawls the network; its client
+//!    cache and overlay are exported as a [`HistoryStore`] and persisted
+//!    to disk — the full codec round trip, not an in-memory shortcut.
+//! 2. **Job B** (a different seed over the same network) runs twice: once
+//!    **cold** (fresh client, every visited node billed) and once
+//!    **warm** (client rebuilt from the persisted store, only
+//!    never-visited nodes billed).
+//!
+//! Because a walker is a pure function of `(config, responses)`, the warm
+//! and cold runs of job B take the *same path* — the warm start changes
+//! only the bill. The win is `cold − warm` unique queries; it is strictly
+//! positive whenever job B touches at least one node job A already paid
+//! for (guaranteed here: both jobs start at the same node).
+
+use std::path::PathBuf;
+
+use mto_core::mto::MtoConfig;
+use mto_core::walk::Walker;
+use mto_graph::NodeId;
+use mto_osn::{CachedClient, OsnService, SharedClient};
+use mto_serve::history::HistoryStore;
+use mto_serve::session::{AlgoSpec, JobSpec, SamplerSession};
+
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::report::{ExperimentReport, Table};
+
+/// Parameters of the warm-start experiment.
+#[derive(Clone, Debug)]
+pub struct WarmStartConfig {
+    /// Scale-down divisor for the Epinions stand-in.
+    pub scale: usize,
+    /// Steps per job.
+    pub steps: usize,
+    /// Seed of the history-producing job A.
+    pub seed_first: u64,
+    /// Seed of the measured job B.
+    pub seed_second: u64,
+    /// Where to persist the history store (`None` = a temp file).
+    pub store_path: Option<PathBuf>,
+}
+
+impl WarmStartConfig {
+    /// Paper-scale configuration.
+    pub fn full() -> Self {
+        WarmStartConfig {
+            scale: 10,
+            steps: 20_000,
+            seed_first: 0x11A7,
+            seed_second: 0x22B8,
+            store_path: None,
+        }
+    }
+
+    /// Reduced (CI-scale) configuration.
+    pub fn reduced() -> Self {
+        WarmStartConfig { scale: 40, steps: 4_000, ..WarmStartConfig::full() }
+    }
+}
+
+/// Measured costs of the warm-start protocol.
+#[derive(Clone, Debug)]
+pub struct WarmStartResult {
+    /// Unique queries job A spent building the history.
+    pub first_job_cost: u64,
+    /// Unique queries of job B from a cold client.
+    pub cold_cost: u64,
+    /// Unique queries of job B warm-started from the persisted store.
+    pub warm_cost: u64,
+    /// Cached responses in the persisted store.
+    pub store_responses: usize,
+    /// Bytes of the persisted store on disk.
+    pub store_bytes: usize,
+    /// `1 − warm/cold`: the fraction of job B's bill the history paid.
+    pub saved_fraction: f64,
+    /// Whether warm and cold runs of job B walked the same path (they
+    /// must — the warm start may only change the bill).
+    pub paths_identical: bool,
+}
+
+fn job(id: &str, seed: u64, steps: usize) -> JobSpec {
+    JobSpec {
+        id: id.into(),
+        algo: AlgoSpec::Mto(MtoConfig { seed, ..Default::default() }),
+        start: NodeId(0),
+        step_budget: steps,
+    }
+}
+
+fn run_session(
+    client: SharedClient<std::sync::Arc<OsnService>>,
+    spec: JobSpec,
+) -> SamplerSession<std::sync::Arc<OsnService>> {
+    let mut session = SamplerSession::create(client, spec).expect("session creation");
+    session.run_to_completion().expect("session run");
+    session
+}
+
+/// Runs the experiment, returning the measured costs and a report.
+pub fn run(config: &WarmStartConfig) -> (WarmStartResult, ExperimentReport) {
+    let graph = build_dataset(&DatasetSpec::epinions().scaled_down(config.scale));
+    let service = std::sync::Arc::new(OsnService::with_defaults(&graph));
+    let path = config.store_path.clone().unwrap_or_else(|| {
+        // Unique per invocation: tests in one process run concurrently and
+        // must not race on save/load/remove of a shared path.
+        static INVOCATION: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let invocation = INVOCATION.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        std::env::temp_dir()
+            .join(format!("mto-warm-start-{}-{invocation}.hist", std::process::id()))
+    });
+
+    // Job A: crawl and persist.
+    let first = {
+        let client = SharedClient::new(CachedClient::new(service.clone()));
+        let session = run_session(client.clone(), job("first", config.seed_first, config.steps));
+        let store = client.with(|c| HistoryStore::from_parts(c, session.walker().overlay()));
+        store.save(&path).expect("persist history store");
+        session.unique_queries()
+    };
+    let encoded_len = std::fs::metadata(&path).map(|m| m.len() as usize).unwrap_or(0);
+    let store = HistoryStore::load(&path).expect("reload history store");
+    if config.store_path.is_none() {
+        std::fs::remove_file(&path).ok();
+    }
+
+    // Job B, cold: fresh client.
+    let spec_b = job("second", config.seed_second, config.steps);
+    let cold_client = SharedClient::new(CachedClient::new(service.clone()));
+    let cold = run_session(cold_client, spec_b.clone());
+
+    // Job B, warm: client rebuilt from the persisted store, bill at zero.
+    let warm_client =
+        SharedClient::new(store.warm_start(service.clone()).expect("history matches network"));
+    let warm = run_session(warm_client, spec_b);
+
+    let cold_cost = cold.unique_queries();
+    let warm_cost = warm.unique_queries();
+    let result = WarmStartResult {
+        first_job_cost: first,
+        cold_cost,
+        warm_cost,
+        store_responses: store.num_responses(),
+        store_bytes: encoded_len,
+        saved_fraction: if cold_cost > 0 { 1.0 - warm_cost as f64 / cold_cost as f64 } else { 0.0 },
+        paths_identical: cold.walker().history() == warm.walker().history(),
+    };
+
+    let mut report = ExperimentReport::new("warm_start");
+    report.note(format!(
+        "Epinions stand-in /{} ({} nodes), MTO jobs of {} steps; history persisted through \
+         the mto-serve HistoryStore codec ({} bytes on disk).",
+        config.scale,
+        graph.num_nodes(),
+        config.steps,
+        result.store_bytes
+    ));
+    report.note(format!(
+        "Warm start saves {:.1}% of the second job's unique-query bill ({} cold → {} warm).",
+        100.0 * result.saved_fraction,
+        result.cold_cost,
+        result.warm_cost
+    ));
+    let mut table = Table::new(
+        "Second-job unique-query cost, cold vs warm-started",
+        &["job", "unique queries", "notes"],
+    );
+    table.push_row(vec![
+        "A (history producer)".into(),
+        result.first_job_cost.to_string(),
+        format!("{} responses persisted", result.store_responses),
+    ]);
+    table.push_row(vec!["B cold".into(), result.cold_cost.to_string(), "fresh client".into()]);
+    table.push_row(vec![
+        "B warm".into(),
+        result.warm_cost.to_string(),
+        format!("{:.1}% saved", 100.0 * result.saved_fraction),
+    ]);
+    report.tables.push(table);
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_start_strictly_reduces_unique_queries() {
+        // The acceptance criterion of ISSUE 2: a second estimation job over
+        // the same service, started from a *persisted* HistoryStore,
+        // spends strictly fewer unique queries than a cold run.
+        let (result, report) = run(&WarmStartConfig::reduced());
+        assert!(
+            result.warm_cost < result.cold_cost,
+            "warm {} must be strictly below cold {}",
+            result.warm_cost,
+            result.cold_cost
+        );
+        assert!(result.paths_identical, "warm start may only change the bill, not the walk");
+        assert!(result.store_responses > 0);
+        assert!(result.store_bytes > 0, "store really went through disk");
+        assert!(result.saved_fraction > 0.0 && result.saved_fraction <= 1.0);
+        assert!(!report.tables.is_empty());
+    }
+
+    #[test]
+    fn deeper_history_saves_more() {
+        // A longer first job caches more of the graph, so the warm second
+        // job gets (weakly) cheaper.
+        let shallow = run(&WarmStartConfig { steps: 800, ..WarmStartConfig::reduced() }).0;
+        let deep = run(&WarmStartConfig { steps: 6_000, ..WarmStartConfig::reduced() }).0;
+        assert!(
+            deep.store_responses >= shallow.store_responses,
+            "deeper crawl must cache at least as many nodes"
+        );
+    }
+}

@@ -6,6 +6,17 @@
 //! query limit"*. [`CachedClient`] is that local cache — it also doubles as
 //! the "local database" of Section III-D whose remembered degrees power the
 //! Theorem 5 extension.
+//!
+//! Storage layout: node ids are dense (`OsnService` assigns `0..n`), so the
+//! cache is a `Vec`-indexed slot map rather than a hash map — the hot-path
+//! lookup is one bounds check plus an indexed load, with no hashing
+//! (`bench_micro`'s `micro/cache` group measures the win). Degrees
+//! remembered *without* a full neighborhood (e.g. imported from an older
+//! crawl whose responses were discarded) live in a sparse side table.
+//!
+//! The whole history is exportable as a [`CacheSnapshot`] and re-importable
+//! into a fresh client — the hook `mto-serve`'s persistent `HistoryStore`
+//! builds on for cross-run warm starts.
 
 use std::collections::HashMap;
 
@@ -17,7 +28,13 @@ use crate::interface::{QueryResponse, SocialNetworkInterface};
 /// Caching wrapper around any [`SocialNetworkInterface`].
 pub struct CachedClient<I> {
     inner: I,
-    cache: HashMap<NodeId, QueryResponse>,
+    /// Dense slot map: `slots[v.index()]` holds the cached response for `v`.
+    slots: Vec<Option<QueryResponse>>,
+    /// Number of filled slots.
+    cached_count: usize,
+    /// Degrees known *without* a cached neighborhood (sparse; a full
+    /// response in `slots` always takes precedence).
+    degree_hints: HashMap<NodeId, usize>,
     /// Requests that reached the backing interface (unique query cost).
     unique_queries: u64,
     /// All `query` calls, including cache hits.
@@ -28,12 +45,35 @@ pub struct CachedClient<I> {
     max_retries: u32,
 }
 
+/// A portable export of everything a [`CachedClient`] has learned: the
+/// cached responses, the remembered degrees, and the cost counters.
+///
+/// Snapshots are deterministic (responses sorted by node id, hints sorted
+/// by node id) so two clients with the same history export byte-identical
+/// snapshots — which is what makes the `mto-serve` history codec's
+/// round-trip guarantees testable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CacheSnapshot {
+    /// Cached responses, ascending node id.
+    pub responses: Vec<QueryResponse>,
+    /// Degrees remembered without a neighborhood, ascending node id.
+    pub degree_hints: Vec<(NodeId, usize)>,
+    /// Unique queries charged when the snapshot was taken.
+    pub unique_queries: u64,
+    /// Total lookups (including cache hits) when the snapshot was taken.
+    pub total_lookups: u64,
+    /// Transient retries performed when the snapshot was taken.
+    pub transient_retries: u64,
+}
+
 impl<I: SocialNetworkInterface> CachedClient<I> {
     /// Wraps an interface.
     pub fn new(inner: I) -> Self {
         CachedClient {
             inner,
-            cache: HashMap::new(),
+            slots: Vec::new(),
+            cached_count: 0,
+            degree_hints: HashMap::new(),
             unique_queries: 0,
             total_lookups: 0,
             transient_retries: 0,
@@ -41,13 +81,26 @@ impl<I: SocialNetworkInterface> CachedClient<I> {
         }
     }
 
+    fn slot(&self, v: NodeId) -> Option<&QueryResponse> {
+        self.slots.get(v.index()).and_then(Option::as_ref)
+    }
+
+    fn insert_response(&mut self, v: NodeId, response: QueryResponse) {
+        let i = v.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        if self.slots[i].is_none() {
+            self.cached_count += 1;
+        }
+        self.slots[i] = Some(response);
+    }
+
     /// Issues `q(v)`, served from cache when possible. Transient failures
     /// are retried up to the configured cap.
     pub fn query(&mut self, v: NodeId) -> Result<&QueryResponse> {
         self.total_lookups += 1;
-        // Borrow-checker friendly double lookup: entry API would hold a
-        // mutable borrow across the network call.
-        if !self.cache.contains_key(&v) {
+        if self.slot(v).is_none() {
             let mut attempt = 0u32;
             let response = loop {
                 match self.inner.query(v) {
@@ -60,9 +113,9 @@ impl<I: SocialNetworkInterface> CachedClient<I> {
                 }
             };
             self.unique_queries += 1;
-            self.cache.insert(v, response);
+            self.insert_response(v, response);
         }
-        Ok(&self.cache[&v])
+        Ok(self.slots[v.index()].as_ref().expect("slot filled above"))
     }
 
     /// The paper's query cost: unique queries issued so far.
@@ -83,23 +136,82 @@ impl<I: SocialNetworkInterface> CachedClient<I> {
     /// Whether `v` has been queried (and thus its full neighborhood and
     /// degree are known locally).
     pub fn is_cached(&self, v: NodeId) -> bool {
-        self.cache.contains_key(&v)
+        self.slot(v).is_some()
+    }
+
+    /// Number of users whose neighborhoods are cached.
+    pub fn num_cached(&self) -> usize {
+        self.cached_count
     }
 
     /// Degree of `v` **if known from history** — the Theorem 5 `N*`
-    /// lookup. Free: no request is issued.
+    /// lookup. Free: no request is issued. A cached neighborhood wins over
+    /// a remembered degree hint.
     pub fn known_degree(&self, v: NodeId) -> Option<usize> {
-        self.cache.get(&v).map(|r| r.neighbors.len())
+        match self.slot(v) {
+            Some(r) => Some(r.neighbors.len()),
+            None => self.degree_hints.get(&v).copied(),
+        }
+    }
+
+    /// Records that `v` has degree `degree` without a cached neighborhood —
+    /// the Section III-D "local database" entry an older crawl may have
+    /// left behind. A no-op when the full response is already cached.
+    pub fn remember_degree(&mut self, v: NodeId, degree: usize) {
+        if self.slot(v).is_none() {
+            self.degree_hints.insert(v, degree);
+        }
     }
 
     /// Cached response for `v`, if any (free).
     pub fn cached(&self, v: NodeId) -> Option<&QueryResponse> {
-        self.cache.get(&v)
+        self.slot(v)
     }
 
-    /// Nodes whose neighborhoods are known.
+    /// Nodes whose neighborhoods are known, ascending id.
     pub fn cached_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.cache.keys().copied()
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Exports everything learned so far (see [`CacheSnapshot`]).
+    pub fn export_snapshot(&self) -> CacheSnapshot {
+        let responses: Vec<QueryResponse> = self.slots.iter().flatten().cloned().collect();
+        let mut degree_hints: Vec<(NodeId, usize)> =
+            self.degree_hints.iter().map(|(&v, &d)| (v, d)).collect();
+        degree_hints.sort_unstable_by_key(|&(v, _)| v);
+        CacheSnapshot {
+            responses,
+            degree_hints,
+            unique_queries: self.unique_queries,
+            total_lookups: self.total_lookups,
+            transient_retries: self.transient_retries,
+        }
+    }
+
+    /// Imports the cache *contents* (responses and degree hints) of a
+    /// snapshot. Counters are untouched: a warm-started client begins with
+    /// the knowledge paid for by an earlier run but its own bill at zero.
+    /// Use [`CachedClient::restore_counters`] to also resume the bill.
+    pub fn import_entries(&mut self, snapshot: &CacheSnapshot) {
+        for r in &snapshot.responses {
+            self.insert_response(r.user, r.clone());
+        }
+        for &(v, d) in &snapshot.degree_hints {
+            self.remember_degree(v, d);
+        }
+    }
+
+    /// Restores the cost counters of a snapshot — the session-resume path,
+    /// where the client must account as if the original run had never
+    /// stopped.
+    pub fn restore_counters(&mut self, snapshot: &CacheSnapshot) {
+        self.unique_queries = snapshot.unique_queries;
+        self.total_lookups = snapshot.total_lookups;
+        self.transient_retries = snapshot.transient_retries;
     }
 
     /// Access to the wrapped interface.
@@ -141,6 +253,7 @@ mod tests {
             c.query(NodeId(v)).unwrap();
         }
         assert_eq!(c.unique_queries(), 4);
+        assert_eq!(c.num_cached(), 4);
     }
 
     #[test]
@@ -191,10 +304,66 @@ mod tests {
     #[test]
     fn cached_nodes_enumerates_history() {
         let mut c = client();
-        c.query(NodeId(2)).unwrap();
         c.query(NodeId(7)).unwrap();
-        let mut nodes: Vec<u32> = c.cached_nodes().map(|n| n.0).collect();
-        nodes.sort_unstable();
-        assert_eq!(nodes, vec![2, 7]);
+        c.query(NodeId(2)).unwrap();
+        let nodes: Vec<u32> = c.cached_nodes().map(|n| n.0).collect();
+        assert_eq!(nodes, vec![2, 7], "slot map yields ascending ids");
+    }
+
+    #[test]
+    fn out_of_order_inserts_grow_the_slot_map() {
+        let mut c = client();
+        c.query(NodeId(21)).unwrap();
+        c.query(NodeId(0)).unwrap();
+        assert_eq!(c.num_cached(), 2);
+        assert!(c.is_cached(NodeId(21)) && c.is_cached(NodeId(0)));
+        assert!(!c.is_cached(NodeId(10)), "hole in the slot map stays empty");
+    }
+
+    #[test]
+    fn degree_hints_answer_without_a_cached_neighborhood() {
+        let mut c = client();
+        c.remember_degree(NodeId(4), 9);
+        assert_eq!(c.known_degree(NodeId(4)), Some(9));
+        assert!(!c.is_cached(NodeId(4)), "a hint is not a cached response");
+        // The real response supersedes the hint.
+        c.query(NodeId(4)).unwrap();
+        assert_eq!(c.known_degree(NodeId(4)), Some(10));
+        // Hints never overwrite a cached response.
+        c.remember_degree(NodeId(4), 1);
+        assert_eq!(c.known_degree(NodeId(4)), Some(10));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_a_fresh_client() {
+        let mut a = client();
+        for v in [3u32, 0, 9, 15] {
+            a.query(NodeId(v)).unwrap();
+        }
+        a.remember_degree(NodeId(20), 11);
+        let snap = a.export_snapshot();
+        assert_eq!(snap.responses.len(), 4);
+        assert_eq!(snap.unique_queries, 4);
+
+        let mut b = client();
+        b.import_entries(&snap);
+        b.restore_counters(&snap);
+        assert_eq!(b.export_snapshot(), snap, "import → export is the identity");
+    }
+
+    #[test]
+    fn warm_started_client_pays_nothing_for_imported_nodes() {
+        let mut a = client();
+        for v in 0..22u32 {
+            a.query(NodeId(v)).unwrap();
+        }
+        let snap = a.export_snapshot();
+
+        let mut warm = client();
+        warm.import_entries(&snap);
+        assert_eq!(warm.unique_queries(), 0, "warm start begins with a zero bill");
+        warm.query(NodeId(11)).unwrap();
+        assert_eq!(warm.unique_queries(), 0, "imported node is a cache hit");
+        assert_eq!(warm.inner().requests_served(), 0, "backend never touched");
     }
 }

@@ -44,7 +44,7 @@ pub mod profile;
 pub mod rate_limit;
 pub mod service;
 
-pub use cache::CachedClient;
+pub use cache::{CacheSnapshot, CachedClient};
 pub use client::{QueryClient, SharedClient};
 pub use error::{OsnError, Result};
 pub use interface::{QueryResponse, SocialNetworkInterface};

@@ -1,0 +1,249 @@
+//! `mto_serve` — the sampling service front-end: request file in, results
+//! out.
+//!
+//! ```text
+//! mto_serve run <request-file> [--out FILE]
+//! mto_serve snapshot <request-file> --at STEPS --to FILE
+//! mto_serve resume <snapshot-file> [--out FILE]
+//! ```
+//!
+//! * `run` executes every job of a request file on the [`JobScheduler`],
+//!   honoring its `warm-start` / `save-history` directives.
+//! * `snapshot` runs the request's **first** job for `--at` steps as a
+//!   [`SamplerSession`], then freezes it (network spec included) to
+//!   `--to`.
+//! * `resume` thaws a snapshot, replays it against a freshly built
+//!   instance of the recorded network, finishes the remaining budget, and
+//!   reports — the cross-process half of the snapshot → resume lifecycle.
+
+use std::path::{Path, PathBuf};
+
+use mto_core::walk::Walker;
+use mto_osn::{CachedClient, OsnService, SharedClient};
+use mto_serve::error::ServeError;
+use mto_serve::history::HistoryStore;
+use mto_serve::request::{NetworkSpec, ServeRequest};
+use mto_serve::scheduler::{JobScheduler, ServeReport};
+use mto_serve::session::{SamplerSession, SessionSnapshot};
+
+const USAGE: &str = "usage:
+  mto_serve run <request-file> [--out FILE]
+  mto_serve snapshot <request-file> --at STEPS --to FILE
+  mto_serve resume <snapshot-file> [--out FILE]";
+
+/// Metadata key under which snapshots record their network spec.
+const NETWORK_META: &str = "network";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match dispatch(&args) {
+        Ok(()) => 0,
+        Err(Invocation::Usage(msg)) => {
+            eprintln!("{msg}\n{USAGE}");
+            2
+        }
+        Err(Invocation::Failed(e)) => {
+            eprintln!("error: {e}");
+            1
+        }
+    };
+    std::process::exit(code);
+}
+
+enum Invocation {
+    Usage(String),
+    Failed(ServeError),
+}
+
+impl From<ServeError> for Invocation {
+    fn from(e: ServeError) -> Self {
+        Invocation::Failed(e)
+    }
+}
+
+fn dispatch(args: &[String]) -> Result<(), Invocation> {
+    let (command, rest) =
+        args.split_first().ok_or_else(|| Invocation::Usage("no command given".into()))?;
+    match command.as_str() {
+        "run" => cmd_run(rest),
+        "snapshot" => cmd_snapshot(rest),
+        "resume" => cmd_resume(rest),
+        other => Err(Invocation::Usage(format!("unknown command {other:?}"))),
+    }
+}
+
+/// Pulls `<positional> [--flag value]...` out of `args`.
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+) -> Result<(PathBuf, std::collections::HashMap<String, PathBuf>), Invocation> {
+    let mut positional = None;
+    let mut flags = std::collections::HashMap::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if let Some(name) = arg.strip_prefix("--") {
+            if !allowed.contains(&name) {
+                return Err(Invocation::Usage(format!("unknown flag --{name}")));
+            }
+            let value =
+                it.next().ok_or_else(|| Invocation::Usage(format!("--{name} needs a value")))?;
+            flags.insert(name.to_string(), PathBuf::from(value));
+        } else if positional.is_none() {
+            positional = Some(PathBuf::from(arg));
+        } else {
+            return Err(Invocation::Usage(format!("unexpected argument {arg:?}")));
+        }
+    }
+    let positional = positional.ok_or_else(|| Invocation::Usage("missing input file".into()))?;
+    Ok((positional, flags))
+}
+
+fn read_request(path: &Path) -> Result<ServeRequest, ServeError> {
+    let text = std::fs::read_to_string(path)?;
+    ServeRequest::parse(&text)
+}
+
+fn emit(report: &str, out: Option<&PathBuf>) -> Result<(), ServeError> {
+    println!("{report}");
+    if let Some(path) = out {
+        std::fs::write(path, report)?;
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), Invocation> {
+    let (request_path, flags) = parse_flags(args, &["out"])?;
+    let request = read_request(&request_path)?;
+    let service = OsnService::with_defaults(&request.network.build());
+
+    let scheduler = match &request.warm_start {
+        Some(path) => {
+            let store = HistoryStore::load(path)?;
+            eprintln!(
+                "warm-starting from {} ({} cached responses)",
+                path.display(),
+                store.num_responses()
+            );
+            JobScheduler::warm_start(service, &store, request.scheduler)?
+        }
+        None => JobScheduler::new(service, request.scheduler),
+    };
+    let report = scheduler.run(request.jobs.clone())?;
+
+    if let Some(path) = &request.save_history {
+        let store = scheduler.client().with(|c| HistoryStore::from_client(c));
+        store.save(path)?;
+        eprintln!(
+            "saved history ({} cached responses) to {}",
+            store.num_responses(),
+            path.display()
+        );
+    }
+    emit(&render_report(&request.network, &report), flags.get("out"))?;
+    Ok(())
+}
+
+fn render_report(network: &NetworkSpec, report: &ServeReport) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "# mto-serve results").expect("string write");
+    writeln!(out, "network {}", network.to_line()).expect("string write");
+    writeln!(out, "jobs {}", report.outcomes.len()).expect("string write");
+    writeln!(out, "total-unique-queries {}", report.total_unique_queries).expect("string write");
+    writeln!(
+        out,
+        "aggregate-rewiring removals={} replacements={} rejections={}",
+        report.aggregate_stats.removals,
+        report.aggregate_stats.replacements,
+        report.aggregate_stats.replacement_rejections
+    )
+    .expect("string write");
+    for o in &report.outcomes {
+        write!(
+            out,
+            "job {} algo={} steps={} completed={} final={} visits={}",
+            o.id,
+            o.algorithm,
+            o.steps,
+            u8::from(o.completed),
+            o.final_node,
+            o.history.len()
+        )
+        .expect("string write");
+        if let Some(est) = o.avg_degree_estimate {
+            write!(out, " est-avg-degree={est:.4}").expect("string write");
+        }
+        if let Some(s) = o.stats {
+            write!(out, " removals={} replacements={}", s.removals, s.replacements)
+                .expect("string write");
+        }
+        writeln!(out).expect("string write");
+    }
+    out
+}
+
+fn cmd_snapshot(args: &[String]) -> Result<(), Invocation> {
+    let (request_path, flags) = parse_flags(args, &["at", "to"])?;
+    let at: usize = flags
+        .get("at")
+        .ok_or_else(|| Invocation::Usage("snapshot needs --at STEPS".into()))?
+        .to_string_lossy()
+        .parse()
+        .map_err(|e| Invocation::Usage(format!("bad --at value: {e}")))?;
+    let to = flags.get("to").ok_or_else(|| Invocation::Usage("snapshot needs --to FILE".into()))?;
+
+    let request = read_request(&request_path)?;
+    let job = request.jobs[0].clone(); // parse guarantees ≥ 1 job
+    let client =
+        SharedClient::new(CachedClient::new(OsnService::with_defaults(&request.network.build())));
+    let mut session = SamplerSession::create(client, job)?;
+    session.set_meta(NETWORK_META, request.network.to_line());
+    let taken = session.advance(at)?;
+    session.pause();
+    session.snapshot().save(to)?;
+    println!(
+        "snapshotted job {} after {} steps ({} unique queries) to {}",
+        session.spec().id,
+        taken,
+        session.unique_queries(),
+        to.display()
+    );
+    Ok(())
+}
+
+fn cmd_resume(args: &[String]) -> Result<(), Invocation> {
+    let (snapshot_path, flags) = parse_flags(args, &["out"])?;
+    let snapshot = SessionSnapshot::load(&snapshot_path)?;
+    let network_line = snapshot
+        .meta_value(NETWORK_META)
+        .ok_or_else(|| ServeError::SnapshotMismatch("snapshot records no network spec".into()))?
+        .to_string();
+    let network = NetworkSpec::parse(&network_line)
+        .map_err(|m| ServeError::SnapshotMismatch(format!("bad network meta: {m}")))?;
+
+    let client = SharedClient::new(CachedClient::new(OsnService::with_defaults(&network.build())));
+    let mut session = SamplerSession::restore(client, &snapshot)?;
+    let resumed_at = session.steps_taken();
+    session.run_to_completion()?;
+    let estimate = session.average_degree_estimate()?;
+
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "# mto-serve resumed session").expect("string write");
+    writeln!(out, "network {network_line}").expect("string write");
+    writeln!(
+        out,
+        "job {} resumed-at={} steps={} final={} unique-queries={}",
+        session.spec().id,
+        resumed_at,
+        session.steps_taken(),
+        session.walker().current(),
+        session.unique_queries()
+    )
+    .expect("string write");
+    if let Some(est) = estimate {
+        writeln!(out, "est-avg-degree {est:.4}").expect("string write");
+    }
+    emit(&out, flags.get("out"))?;
+    Ok(())
+}

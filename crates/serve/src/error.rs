@@ -1,0 +1,132 @@
+//! Error type for the sampling service layer.
+
+use std::fmt;
+
+use mto_osn::OsnError;
+
+/// Everything the service layer can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// A query against the underlying interface failed.
+    Osn(OsnError),
+    /// A history/session file could not be decoded.
+    Codec(HistoryCodecError),
+    /// A filesystem operation on a store or snapshot failed.
+    Io(std::io::Error),
+    /// A request file is malformed.
+    Request {
+        /// 1-based line number of the offending directive (0 = file-level).
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// A restored session replayed to a state that contradicts its
+    /// snapshot — the history store and the network disagree.
+    SnapshotMismatch(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Osn(e) => write!(f, "interface error: {e}"),
+            ServeError::Codec(e) => write!(f, "codec error: {e}"),
+            ServeError::Io(e) => write!(f, "io error: {e}"),
+            ServeError::Request { line, message } => {
+                write!(f, "request error at line {line}: {message}")
+            }
+            ServeError::SnapshotMismatch(msg) => write!(f, "snapshot mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<OsnError> for ServeError {
+    fn from(e: OsnError) -> Self {
+        ServeError::Osn(e)
+    }
+}
+
+impl From<HistoryCodecError> for ServeError {
+    fn from(e: HistoryCodecError) -> Self {
+        ServeError::Codec(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Result alias for service operations.
+pub type Result<T> = std::result::Result<T, ServeError>;
+
+/// Decode failures of the history/session codec. Every malformed input —
+/// truncated, bit-flipped, or plain garbage — maps to one of these; the
+/// decoder never panics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum HistoryCodecError {
+    /// The first line is not the expected `<magic> v<version>` header.
+    BadHeader(String),
+    /// The header names a format version this build cannot read.
+    UnsupportedVersion(u32),
+    /// A record line failed to parse.
+    BadRecord {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+    /// The trailing `checksum` line is missing — truncated input.
+    Truncated,
+    /// The checksum does not match the body — corrupted input.
+    ChecksumMismatch {
+        /// Checksum recomputed over the received body.
+        computed: u64,
+        /// Checksum the trailer claims.
+        stored: u64,
+    },
+}
+
+impl fmt::Display for HistoryCodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryCodecError::BadHeader(h) => write!(f, "unrecognized header {h:?}"),
+            HistoryCodecError::UnsupportedVersion(v) => {
+                write!(f, "unsupported format version {v}")
+            }
+            HistoryCodecError::BadRecord { line, message } => {
+                write!(f, "bad record at line {line}: {message}")
+            }
+            HistoryCodecError::Truncated => write!(f, "input truncated (no checksum trailer)"),
+            HistoryCodecError::ChecksumMismatch { computed, stored } => {
+                write!(f, "checksum mismatch: computed {computed:016x}, stored {stored:016x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryCodecError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_graph::NodeId;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(ServeError::Osn(OsnError::UnknownUser(NodeId(3))).to_string().contains("3"));
+        assert!(ServeError::Request { line: 4, message: "nope".into() }
+            .to_string()
+            .contains("line 4"));
+        assert!(ServeError::SnapshotMismatch("overlay".into()).to_string().contains("overlay"));
+        assert!(HistoryCodecError::Truncated.to_string().contains("truncated"));
+        let mismatch = HistoryCodecError::ChecksumMismatch { computed: 0xab, stored: 0xcd };
+        assert!(mismatch.to_string().contains("00000000000000ab"));
+        assert!(HistoryCodecError::UnsupportedVersion(9).to_string().contains("9"));
+        assert!(HistoryCodecError::BadHeader("x".into()).to_string().contains("x"));
+        let bad = HistoryCodecError::BadRecord { line: 7, message: "m".into() };
+        assert!(bad.to_string().contains("line 7"));
+    }
+}

@@ -1,0 +1,577 @@
+//! The persistent crawl-history store and its hand-rolled codec.
+//!
+//! The paper's cost model makes every *unique* query precious, and its
+//! Section III-D "local database" of remembered degrees is the seed of
+//! this module: a [`HistoryStore`] persists everything a sampling run
+//! learned — the full query cache, the degree hints, and the overlay
+//! delta — so a *later* run against the same network can warm-start from
+//! it and pay only for nodes nobody has visited before (the dominant cost
+//! lever identified by "Leveraging History for Faster Sampling of Online
+//! Social Networks", arXiv:1505.00079).
+//!
+//! ## On-disk format
+//!
+//! The build environment is offline (no serde), so the codec is a
+//! hand-rolled, versioned, line-oriented text format — debuggable with
+//! `cat`, strict to parse, and integrity-checked end to end:
+//!
+//! ```text
+//! mto-history v1
+//! users 22
+//! unique 5
+//! lookups 12
+//! retries 0
+//! node 3 34 120 7 1 1,2,5
+//! degree 9 14
+//! removed 1 2
+//! added 0 12
+//! checksum 91b0f3e86e6f35e6
+//! ```
+//!
+//! * `users <n>` — the provider-published user count (when available;
+//!   verified before any import);
+//! * `node <id> <age> <desc-len> <posts> <public> <neighbors>` — one cached
+//!   [`QueryResponse`] (`-` encodes an empty neighbor list);
+//! * `degree <id> <k>` — a remembered degree without a neighborhood;
+//! * `removed` / `added <u> <v>` — one overlay-delta edge;
+//! * the trailing `checksum` line is an FNV-1a 64 hash of every preceding
+//!   byte. Truncated input loses the trailer and decodes to
+//!   [`HistoryCodecError::Truncated`]; a flipped byte decodes to
+//!   [`HistoryCodecError::ChecksumMismatch`]. The decoder never panics.
+
+use std::path::Path;
+
+use mto_core::rewire::OverlayDelta;
+use mto_graph::NodeId;
+use mto_osn::{CacheSnapshot, CachedClient, QueryResponse, SocialNetworkInterface, UserProfile};
+
+use crate::error::{HistoryCodecError, Result};
+
+/// Magic of standalone history files.
+pub const HISTORY_MAGIC: &str = "mto-history";
+/// Magic of session-snapshot files (see [`crate::session::SessionSnapshot`]).
+pub const SESSION_MAGIC: &str = "mto-session";
+/// The format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Everything a sampling run learned about one network, in persistable
+/// form: the query cache, the remembered degrees, and the overlay delta.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct HistoryStore {
+    /// The client cache: responses, degree hints, and cost counters.
+    pub cache: CacheSnapshot,
+    /// Overlay edges removed by rewiring, as `(u, v)` pairs.
+    pub removed: Vec<(NodeId, NodeId)>,
+    /// Overlay edges added by rewiring, as `(u, v)` pairs.
+    pub added: Vec<(NodeId, NodeId)>,
+    /// The provider-published user count of the network the history was
+    /// crawled from, when available. Checked on import so a history is
+    /// never silently applied to the wrong network.
+    pub num_users: Option<usize>,
+}
+
+impl HistoryStore {
+    /// Captures a client's cache, with no overlay.
+    pub fn from_client<I: SocialNetworkInterface>(client: &CachedClient<I>) -> Self {
+        HistoryStore {
+            cache: client.export_snapshot(),
+            removed: Vec::new(),
+            added: Vec::new(),
+            num_users: client.num_users_hint(),
+        }
+    }
+
+    /// Captures a client's cache plus a walker's overlay delta.
+    pub fn from_parts<I: SocialNetworkInterface>(
+        client: &CachedClient<I>,
+        overlay: Option<&OverlayDelta>,
+    ) -> Self {
+        let mut store = Self::from_client(client);
+        if let Some(delta) = overlay {
+            store.removed = delta.removed_edges().map(|e| (e.small(), e.large())).collect();
+            store.added = delta.added_edges().map(|e| (e.small(), e.large())).collect();
+        }
+        store
+    }
+
+    /// Rebuilds the overlay delta recorded in this store.
+    pub fn overlay_delta(&self) -> OverlayDelta {
+        let mut delta = OverlayDelta::new();
+        for &(u, v) in &self.removed {
+            delta.remove_edge(u, v);
+        }
+        for &(u, v) in &self.added {
+            delta.add_edge(u, v);
+        }
+        delta
+    }
+
+    /// Checks that this history is plausibly a crawl of the network behind
+    /// `inner_hint` (its published user count, when available): recorded
+    /// and published counts must agree, and every recorded node id must be
+    /// in range. Imported responses *shadow* the backing interface, so a
+    /// mismatched history would silently poison every later walk — and an
+    /// out-of-range id in a hand-edited file would make the dense slot map
+    /// attempt an enormous allocation. `Err` carries a description.
+    pub fn validate_against(&self, inner_hint: Option<usize>) -> std::result::Result<(), String> {
+        if let (Some(recorded), Some(published)) = (self.num_users, inner_hint) {
+            if recorded != published {
+                return Err(format!(
+                    "history was crawled from a {recorded}-user network, \
+                     this provider publishes {published}"
+                ));
+            }
+        }
+        if let Some(n) = inner_hint.or(self.num_users) {
+            for r in &self.cache.responses {
+                if r.user.index() >= n {
+                    return Err(format!(
+                        "cached response for node {} outside the {n}-user id space",
+                        r.user
+                    ));
+                }
+            }
+            if let Some(&(v, _)) = self.cache.degree_hints.iter().find(|&&(v, _)| v.index() >= n) {
+                return Err(format!("degree hint for node {v} outside the {n}-user id space"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Builds a **warm-started** client over `inner`: all cached knowledge
+    /// imported, cost counters at zero — the cross-run reuse path, where
+    /// the new job only pays for nodes the history has never seen. Fails
+    /// with [`ServeError::SnapshotMismatch`] when the history does not
+    /// belong to this network (see [`HistoryStore::validate_against`]).
+    pub fn warm_start<I: SocialNetworkInterface>(&self, inner: I) -> Result<CachedClient<I>> {
+        self.validate_against(inner.num_users_hint())
+            .map_err(crate::error::ServeError::SnapshotMismatch)?;
+        let mut client = CachedClient::new(inner);
+        client.import_entries(&self.cache);
+        Ok(client)
+    }
+
+    /// Builds a **restored** client over `inner`: cached knowledge *and*
+    /// cost counters imported — the session-resume path, accounting as if
+    /// the original run had never stopped.
+    pub fn restore_client<I: SocialNetworkInterface>(&self, inner: I) -> Result<CachedClient<I>> {
+        let mut client = self.warm_start(inner)?;
+        client.restore_counters(&self.cache);
+        Ok(client)
+    }
+
+    /// Number of cached responses.
+    pub fn num_responses(&self) -> usize {
+        self.cache.responses.len()
+    }
+
+    /// Serializes to the versioned text format, checksum trailer included.
+    pub fn encode(&self) -> String {
+        let mut body = format!("{HISTORY_MAGIC} v{FORMAT_VERSION}\n");
+        write_history_body(self, &mut body);
+        seal(body)
+    }
+
+    /// Parses the text format produced by [`HistoryStore::encode`].
+    pub fn decode(text: &str) -> std::result::Result<Self, HistoryCodecError> {
+        let body = verify_checksum(text)?;
+        let mut lines = body.lines().enumerate();
+        expect_header(lines.next(), HISTORY_MAGIC)?;
+        let mut acc = HistoryAccumulator::default();
+        for (idx, line) in lines {
+            let lineno = idx + 1;
+            let (keyword, rest) = split_keyword(line, lineno)?;
+            if !acc.consume(keyword, rest, lineno)? {
+                return Err(HistoryCodecError::BadRecord {
+                    line: lineno,
+                    message: format!("unknown record keyword {keyword:?}"),
+                });
+            }
+        }
+        Ok(acc.store)
+    }
+
+    /// Writes the encoded store to `path`.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.encode())?;
+        Ok(())
+    }
+
+    /// Reads and decodes a store from `path`.
+    pub fn load(path: &Path) -> Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Ok(Self::decode(&text)?)
+    }
+}
+
+/// FNV-1a 64-bit hash — the integrity check of the codec.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Appends the checksum trailer (no trailing newline, so *any* strict
+/// prefix of the output is detectably damaged).
+pub(crate) fn seal(body: String) -> String {
+    let checksum = fnv1a64(body.as_bytes());
+    format!("{body}checksum {checksum:016x}")
+}
+
+/// Splits off and verifies the checksum trailer, returning the body.
+pub(crate) fn verify_checksum(text: &str) -> std::result::Result<&str, HistoryCodecError> {
+    let pos = text.rfind("\nchecksum ").ok_or(HistoryCodecError::Truncated)?;
+    let body = &text[..pos + 1];
+    let trailer = text[pos + 1..].trim_end_matches('\n');
+    let lineno = body.lines().count() + 1;
+    if trailer.contains('\n') {
+        return Err(HistoryCodecError::BadRecord {
+            line: lineno,
+            message: "data after the checksum trailer".into(),
+        });
+    }
+    let hex = trailer.strip_prefix("checksum ").expect("rfind matched this prefix");
+    let stored = u64::from_str_radix(hex, 16).map_err(|e| HistoryCodecError::BadRecord {
+        line: lineno,
+        message: format!("bad checksum literal {hex:?}: {e}"),
+    })?;
+    let computed = fnv1a64(body.as_bytes());
+    if computed != stored {
+        return Err(HistoryCodecError::ChecksumMismatch { computed, stored });
+    }
+    Ok(body)
+}
+
+/// Validates the `<magic> v<version>` header line.
+pub(crate) fn expect_header(
+    first: Option<(usize, &str)>,
+    magic: &str,
+) -> std::result::Result<(), HistoryCodecError> {
+    let (_, line) = first.ok_or_else(|| HistoryCodecError::BadHeader(String::new()))?;
+    let version = line
+        .strip_prefix(magic)
+        .and_then(|rest| rest.strip_prefix(" v"))
+        .ok_or_else(|| HistoryCodecError::BadHeader(line.to_string()))?;
+    let version: u32 =
+        version.parse().map_err(|_| HistoryCodecError::BadHeader(line.to_string()))?;
+    if version != FORMAT_VERSION {
+        return Err(HistoryCodecError::UnsupportedVersion(version));
+    }
+    Ok(())
+}
+
+/// Splits a record line into its keyword and payload.
+pub(crate) fn split_keyword(
+    line: &str,
+    lineno: usize,
+) -> std::result::Result<(&str, &str), HistoryCodecError> {
+    let line = line.trim_end_matches('\r');
+    match line.split_once(' ') {
+        Some((k, rest)) if !k.is_empty() => Ok((k, rest)),
+        _ => Err(HistoryCodecError::BadRecord {
+            line: lineno,
+            message: format!("expected `<keyword> <payload>`, got {line:?}"),
+        }),
+    }
+}
+
+pub(crate) fn bad_record(lineno: usize, message: impl Into<String>) -> HistoryCodecError {
+    HistoryCodecError::BadRecord { line: lineno, message: message.into() }
+}
+
+pub(crate) fn parse_num<T: std::str::FromStr>(
+    token: &str,
+    what: &str,
+    lineno: usize,
+) -> std::result::Result<T, HistoryCodecError>
+where
+    T::Err: std::fmt::Display,
+{
+    token.parse().map_err(|e| bad_record(lineno, format!("bad {what} {token:?}: {e}")))
+}
+
+/// Serializes the record body shared by history and session files.
+pub(crate) fn write_history_body(store: &HistoryStore, out: &mut String) {
+    use std::fmt::Write;
+    let c = &store.cache;
+    if let Some(n) = store.num_users {
+        writeln!(out, "users {n}").expect("string write");
+    }
+    writeln!(out, "unique {}", c.unique_queries).expect("string write");
+    writeln!(out, "lookups {}", c.total_lookups).expect("string write");
+    writeln!(out, "retries {}", c.transient_retries).expect("string write");
+    for r in &c.responses {
+        let nbrs = if r.neighbors.is_empty() {
+            "-".to_string()
+        } else {
+            r.neighbors.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join(",")
+        };
+        writeln!(
+            out,
+            "node {} {} {} {} {} {}",
+            r.user.0,
+            r.profile.age,
+            r.profile.self_description_len,
+            r.profile.num_posts,
+            u8::from(r.profile.is_public),
+            nbrs
+        )
+        .expect("string write");
+    }
+    for &(v, d) in &c.degree_hints {
+        writeln!(out, "degree {} {}", v.0, d).expect("string write");
+    }
+    for &(u, v) in &store.removed {
+        writeln!(out, "removed {} {}", u.0, v.0).expect("string write");
+    }
+    for &(u, v) in &store.added {
+        writeln!(out, "added {} {}", u.0, v.0).expect("string write");
+    }
+}
+
+/// Incremental parser for the shared history records; session decoding
+/// feeds it the lines its own vocabulary does not claim.
+#[derive(Default)]
+pub(crate) struct HistoryAccumulator {
+    pub(crate) store: HistoryStore,
+    seen_nodes: std::collections::HashSet<u32>,
+    seen_hints: std::collections::HashSet<u32>,
+}
+
+impl HistoryAccumulator {
+    /// Tries to consume one record line; `Ok(false)` means the keyword is
+    /// not part of the history vocabulary.
+    pub(crate) fn consume(
+        &mut self,
+        keyword: &str,
+        rest: &str,
+        lineno: usize,
+    ) -> std::result::Result<bool, HistoryCodecError> {
+        match keyword {
+            "users" => self.store.num_users = Some(parse_num(rest, "user count", lineno)?),
+            "unique" => self.store.cache.unique_queries = parse_num(rest, "counter", lineno)?,
+            "lookups" => self.store.cache.total_lookups = parse_num(rest, "counter", lineno)?,
+            "retries" => self.store.cache.transient_retries = parse_num(rest, "counter", lineno)?,
+            "node" => {
+                let mut tok = rest.split(' ');
+                let mut next = |what: &str| {
+                    tok.next().ok_or_else(|| bad_record(lineno, format!("missing {what}")))
+                };
+                let user: u32 = parse_num(next("user id")?, "user id", lineno)?;
+                let age: u32 = parse_num(next("age")?, "age", lineno)?;
+                let desc: u32 = parse_num(next("description length")?, "length", lineno)?;
+                let posts: u32 = parse_num(next("post count")?, "count", lineno)?;
+                let is_public = match next("public flag")? {
+                    "0" => false,
+                    "1" => true,
+                    other => return Err(bad_record(lineno, format!("bad public flag {other:?}"))),
+                };
+                let nbr_field = next("neighbor list")?;
+                if tok.next().is_some() {
+                    return Err(bad_record(lineno, "trailing tokens on node record"));
+                }
+                let neighbors = if nbr_field == "-" {
+                    Vec::new()
+                } else {
+                    nbr_field
+                        .split(',')
+                        .map(|t| parse_num::<u32>(t, "neighbor id", lineno).map(NodeId))
+                        .collect::<std::result::Result<Vec<_>, _>>()?
+                };
+                if !self.seen_nodes.insert(user) {
+                    return Err(bad_record(lineno, format!("duplicate node record for {user}")));
+                }
+                self.store.cache.responses.push(QueryResponse {
+                    user: NodeId(user),
+                    neighbors,
+                    profile: UserProfile {
+                        age,
+                        self_description_len: desc,
+                        num_posts: posts,
+                        is_public,
+                    },
+                });
+            }
+            "degree" => {
+                let (v, d) = parse_pair::<usize>(rest, lineno)?;
+                if !self.seen_hints.insert(v) {
+                    return Err(bad_record(lineno, format!("duplicate degree hint for {v}")));
+                }
+                self.store.cache.degree_hints.push((NodeId(v), d));
+            }
+            "removed" => {
+                let (u, v) = parse_pair::<u32>(rest, lineno)?;
+                self.store.removed.push((NodeId(u), NodeId(v)));
+            }
+            "added" => {
+                let (u, v) = parse_pair::<u32>(rest, lineno)?;
+                self.store.added.push((NodeId(u), NodeId(v)));
+            }
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+}
+
+fn parse_pair<B: std::str::FromStr>(
+    rest: &str,
+    lineno: usize,
+) -> std::result::Result<(u32, B), HistoryCodecError>
+where
+    B::Err: std::fmt::Display,
+{
+    let (a, b) = rest
+        .split_once(' ')
+        .ok_or_else(|| bad_record(lineno, format!("expected two fields, got {rest:?}")))?;
+    if b.contains(' ') {
+        return Err(bad_record(lineno, "trailing tokens on record"));
+    }
+    Ok((parse_num(a, "id", lineno)?, parse_num(b, "value", lineno)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_graph::generators::paper_barbell;
+    use mto_osn::OsnService;
+
+    fn sample_store() -> HistoryStore {
+        let mut client = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        for v in [0u32, 5, 11, 21] {
+            client.query(NodeId(v)).unwrap();
+        }
+        client.remember_degree(NodeId(7), 10);
+        let mut delta = OverlayDelta::new();
+        delta.remove_edge(NodeId(0), NodeId(5));
+        delta.add_edge(NodeId(0), NodeId(12));
+        HistoryStore::from_parts(&client, Some(&delta))
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let store = sample_store();
+        let text = store.encode();
+        assert!(text.starts_with("mto-history v1\n"));
+        assert_eq!(HistoryStore::decode(&text).unwrap(), store);
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = HistoryStore::default();
+        assert_eq!(HistoryStore::decode(&store.encode()).unwrap(), store);
+    }
+
+    #[test]
+    fn save_load_round_trips_through_disk() {
+        let store = sample_store();
+        let path = std::env::temp_dir()
+            .join(format!("mto-serve-history-test-{}.hist", std::process::id()));
+        store.save(&path).unwrap();
+        let loaded = HistoryStore::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded, store);
+    }
+
+    #[test]
+    fn truncated_input_is_a_clean_error() {
+        let text = sample_store().encode();
+        for cut in [0, 1, 14, text.len() / 2, text.len() - 1] {
+            let err = HistoryStore::decode(&text[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    HistoryCodecError::Truncated
+                        | HistoryCodecError::ChecksumMismatch { .. }
+                        | HistoryCodecError::BadRecord { .. }
+                ),
+                "cut at {cut}: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_byte_is_detected() {
+        let text = sample_store().encode();
+        let mut bytes = text.clone().into_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        let corrupt = String::from_utf8(bytes).unwrap();
+        assert!(HistoryStore::decode(&corrupt).is_err());
+    }
+
+    #[test]
+    fn wrong_magic_and_version_are_rejected() {
+        let other = seal("mto-nonsense v1\n".to_string());
+        assert!(matches!(
+            HistoryStore::decode(&other).unwrap_err(),
+            HistoryCodecError::BadHeader(_)
+        ));
+        let future = seal(format!("{HISTORY_MAGIC} v99\n"));
+        assert_eq!(
+            HistoryStore::decode(&future).unwrap_err(),
+            HistoryCodecError::UnsupportedVersion(99)
+        );
+    }
+
+    #[test]
+    fn garbage_inputs_never_panic() {
+        for garbage in ["", "\n\n\n", "checksum zz", "mto-history v1", "node", "\u{1F980}"] {
+            assert!(HistoryStore::decode(garbage).is_err(), "accepted {garbage:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_node_records_are_rejected() {
+        let body =
+            format!("{HISTORY_MAGIC} v{FORMAT_VERSION}\nnode 1 20 0 0 1 -\nnode 1 20 0 0 1 -\n");
+        let err = HistoryStore::decode(&seal(body)).unwrap_err();
+        assert!(matches!(err, HistoryCodecError::BadRecord { line: 3, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn overlay_delta_round_trips() {
+        let store = sample_store();
+        let delta = store.overlay_delta();
+        assert!(delta.is_removed(NodeId(0), NodeId(5)));
+        assert!(delta.is_added(NodeId(0), NodeId(12)));
+        let again = HistoryStore::from_parts(
+            &store.restore_client(OsnService::with_defaults(&paper_barbell())).unwrap(),
+            Some(&delta),
+        );
+        assert_eq!(again, store);
+    }
+
+    #[test]
+    fn warm_start_rejects_history_from_another_network() {
+        let store = sample_store(); // crawled from the 22-user barbell
+        let other = OsnService::with_defaults(&mto_graph::generators::complete_graph(5));
+        assert!(store.warm_start(other).is_err(), "user counts 22 vs 5 must not mix");
+    }
+
+    #[test]
+    fn warm_start_rejects_out_of_range_ids() {
+        // A hand-edited store claiming a node outside the id space would
+        // make the dense slot map allocate past the network size.
+        let mut store = sample_store();
+        store.cache.degree_hints.push((NodeId(400), 3));
+        assert!(store.warm_start(OsnService::with_defaults(&paper_barbell())).is_err());
+        store.cache.degree_hints.clear();
+        store.cache.responses[0].user = NodeId(4_000_000);
+        assert!(store.warm_start(OsnService::with_defaults(&paper_barbell())).is_err());
+    }
+
+    #[test]
+    fn warm_start_zeroes_the_bill_and_restore_resumes_it() {
+        let store = sample_store();
+        let g = paper_barbell();
+        let warm = store.warm_start(OsnService::with_defaults(&g)).unwrap();
+        assert_eq!(warm.unique_queries(), 0);
+        assert_eq!(warm.num_cached(), 4);
+        assert_eq!(warm.known_degree(NodeId(7)), Some(10), "degree hint survived");
+        let restored = store.restore_client(OsnService::with_defaults(&g)).unwrap();
+        assert_eq!(restored.unique_queries(), store.cache.unique_queries);
+    }
+}

@@ -1,0 +1,355 @@
+//! Request files: the `mto_serve` binary's input format.
+//!
+//! A request file is line-oriented: blank lines and `#` comments are
+//! ignored, every other line is a directive.
+//!
+//! ```text
+//! # which simulated network to build (mto-graph generators)
+//! network barbell
+//! # optional persistent history
+//! warm-start crawl.hist
+//! save-history crawl.hist
+//! # scheduler knobs
+//! workers 4
+//! quantum 32
+//! budget 5000
+//! # one line per job (same syntax as session snapshots)
+//! job id=a algo=mto start=0 steps=500 seed=7
+//! job id=b algo=srw start=3 steps=500 seed=9
+//! ```
+
+use std::path::PathBuf;
+
+use mto_graph::{generators, Graph};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::error::ServeError;
+use crate::scheduler::SchedulerConfig;
+use crate::session::{parse_job_line, JobSpec};
+
+/// A buildable simulated-network description. Every variant maps to an
+/// `mto_graph::generators` call, so the service layer stays below
+/// `mto-experiments` in the crate DAG.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NetworkSpec {
+    /// The paper's 22-node barbell running example.
+    Barbell,
+    /// Complete graph `K_n`.
+    Complete {
+        /// Node count.
+        n: usize,
+    },
+    /// Cycle graph `C_n`.
+    Cycle {
+        /// Node count (≥ 3).
+        n: usize,
+    },
+    /// Erdős–Rényi `G(n, p)`.
+    Gnp {
+        /// Node count.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Planted-partition stochastic block model.
+    Sbm {
+        /// Number of blocks.
+        blocks: usize,
+        /// Nodes per block.
+        block_size: usize,
+        /// Intra-block edge probability.
+        p_in: f64,
+        /// Inter-block edge probability.
+        p_out: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Watts–Strogatz small world.
+    WattsStrogatz {
+        /// Node count.
+        n: usize,
+        /// Ring degree (even).
+        k: usize,
+        /// Rewiring probability.
+        beta: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl NetworkSpec {
+    /// Parses the payload of a `network` directive.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut tokens = text.split_whitespace();
+        let name = tokens.next().ok_or("empty network spec")?;
+        let mut fields = std::collections::HashMap::new();
+        for token in tokens {
+            let (k, v) = token
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got {token:?}"))?;
+            if fields.insert(k, v).is_some() {
+                return Err(format!("duplicate field {k:?}"));
+            }
+        }
+        fn field<T: std::str::FromStr>(
+            fields: &mut std::collections::HashMap<&str, &str>,
+            key: &str,
+        ) -> Result<T, String>
+        where
+            T::Err: std::fmt::Display,
+        {
+            let v = fields.remove(key).ok_or_else(|| format!("missing {key}="))?;
+            v.parse().map_err(|e| format!("bad {key} {v:?}: {e}"))
+        }
+        let spec = match name {
+            "barbell" => NetworkSpec::Barbell,
+            "complete" => NetworkSpec::Complete { n: field(&mut fields, "n")? },
+            "cycle" => NetworkSpec::Cycle { n: field(&mut fields, "n")? },
+            "gnp" => NetworkSpec::Gnp {
+                n: field(&mut fields, "n")?,
+                p: field(&mut fields, "p")?,
+                seed: field(&mut fields, "seed")?,
+            },
+            "sbm" => NetworkSpec::Sbm {
+                blocks: field(&mut fields, "blocks")?,
+                block_size: field(&mut fields, "block-size")?,
+                p_in: field(&mut fields, "p-in")?,
+                p_out: field(&mut fields, "p-out")?,
+                seed: field(&mut fields, "seed")?,
+            },
+            "ws" => NetworkSpec::WattsStrogatz {
+                n: field(&mut fields, "n")?,
+                k: field(&mut fields, "k")?,
+                beta: field(&mut fields, "beta")?,
+                seed: field(&mut fields, "seed")?,
+            },
+            other => return Err(format!("unknown network kind {other:?}")),
+        };
+        if let Some(k) = fields.keys().next() {
+            return Err(format!("unknown field {k:?} for network {name}"));
+        }
+        Ok(spec)
+    }
+
+    /// The directive payload [`NetworkSpec::parse`] accepts back.
+    pub fn to_line(&self) -> String {
+        match self {
+            NetworkSpec::Barbell => "barbell".to_string(),
+            NetworkSpec::Complete { n } => format!("complete n={n}"),
+            NetworkSpec::Cycle { n } => format!("cycle n={n}"),
+            NetworkSpec::Gnp { n, p, seed } => format!("gnp n={n} p={p:?} seed={seed}"),
+            NetworkSpec::Sbm { blocks, block_size, p_in, p_out, seed } => format!(
+                "sbm blocks={blocks} block-size={block_size} p-in={p_in:?} p-out={p_out:?} \
+                 seed={seed}"
+            ),
+            NetworkSpec::WattsStrogatz { n, k, beta, seed } => {
+                format!("ws n={n} k={k} beta={beta:?} seed={seed}")
+            }
+        }
+    }
+
+    /// Node count of the network this spec builds — derivable without
+    /// constructing the (possibly large random) graph, so request
+    /// validation stays O(1).
+    pub fn num_nodes(&self) -> usize {
+        match *self {
+            NetworkSpec::Barbell => generators::BarbellSpec::paper().num_nodes(),
+            NetworkSpec::Complete { n }
+            | NetworkSpec::Cycle { n }
+            | NetworkSpec::Gnp { n, .. }
+            | NetworkSpec::WattsStrogatz { n, .. } => n,
+            NetworkSpec::Sbm { blocks, block_size, .. } => blocks * block_size,
+        }
+    }
+
+    /// Builds the topology (deterministic given the spec).
+    pub fn build(&self) -> Graph {
+        match *self {
+            NetworkSpec::Barbell => generators::paper_barbell(),
+            NetworkSpec::Complete { n } => generators::complete_graph(n),
+            NetworkSpec::Cycle { n } => generators::cycle_graph(n),
+            NetworkSpec::Gnp { n, p, seed } => {
+                generators::gnp_graph(n, p, &mut StdRng::seed_from_u64(seed))
+            }
+            NetworkSpec::Sbm { blocks, block_size, p_in, p_out, seed } => generators::sbm_graph(
+                &generators::SbmSpec { block_sizes: vec![block_size; blocks], p_in, p_out },
+                &mut StdRng::seed_from_u64(seed),
+            ),
+            NetworkSpec::WattsStrogatz { n, k, beta, seed } => {
+                generators::watts_strogatz_graph(n, k, beta, &mut StdRng::seed_from_u64(seed))
+            }
+        }
+    }
+}
+
+/// A parsed request file.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ServeRequest {
+    /// The network every job samples.
+    pub network: NetworkSpec,
+    /// Warm-start the shared client from this history file.
+    pub warm_start: Option<PathBuf>,
+    /// After the run, persist the shared client's history here.
+    pub save_history: Option<PathBuf>,
+    /// Scheduler knobs (`workers`, `quantum`, `budget` directives).
+    pub scheduler: SchedulerConfig,
+    /// The jobs, in file order.
+    pub jobs: Vec<JobSpec>,
+}
+
+impl ServeRequest {
+    /// Parses a request file.
+    pub fn parse(text: &str) -> Result<Self, ServeError> {
+        let mut network = None;
+        let mut warm_start = None;
+        let mut save_history = None;
+        let mut scheduler = SchedulerConfig::default();
+        let mut jobs: Vec<JobSpec> = Vec::new();
+        let err = |line: usize, message: String| ServeError::Request { line, message };
+
+        for (idx, raw) in text.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (keyword, rest) = match line.split_once(char::is_whitespace) {
+                Some((k, r)) => (k, r.trim()),
+                None => return Err(err(lineno, format!("directive {line:?} has no payload"))),
+            };
+            match keyword {
+                "network" => {
+                    if network.is_some() {
+                        return Err(err(lineno, "duplicate network directive".into()));
+                    }
+                    network = Some(NetworkSpec::parse(rest).map_err(|m| err(lineno, m))?);
+                }
+                "warm-start" => warm_start = Some(PathBuf::from(rest)),
+                "save-history" => save_history = Some(PathBuf::from(rest)),
+                "workers" => {
+                    scheduler.workers =
+                        rest.parse().map_err(|e| err(lineno, format!("bad workers: {e}")))?;
+                }
+                "quantum" => {
+                    scheduler.quantum =
+                        rest.parse().map_err(|e| err(lineno, format!("bad quantum: {e}")))?;
+                }
+                "budget" => {
+                    scheduler.global_query_budget =
+                        Some(rest.parse().map_err(|e| err(lineno, format!("bad budget: {e}")))?);
+                }
+                "job" => {
+                    let job = parse_job_line(rest).map_err(|m| err(lineno, m))?;
+                    if jobs.iter().any(|j| j.id == job.id) {
+                        return Err(err(lineno, format!("duplicate job id {:?}", job.id)));
+                    }
+                    jobs.push(job);
+                }
+                other => return Err(err(lineno, format!("unknown directive {other:?}"))),
+            }
+        }
+
+        let network = network.ok_or_else(|| err(0, "missing `network` directive".into()))?;
+        if jobs.is_empty() {
+            return Err(err(0, "request names no jobs".into()));
+        }
+        let num_nodes = network.num_nodes();
+        for job in &jobs {
+            if job.start.index() >= num_nodes {
+                return Err(err(
+                    0,
+                    format!(
+                        "job {:?} starts at {} but the network has {num_nodes} nodes",
+                        job.id, job.start,
+                    ),
+                ));
+            }
+        }
+        Ok(ServeRequest { network, warm_start, save_history, scheduler, jobs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::AlgoSpec;
+
+    const SMOKE: &str = "\
+# a comment
+network barbell
+
+workers 2
+quantum 32
+budget 100
+warm-start in.hist
+save-history out.hist
+job id=a algo=mto start=0 steps=400 seed=7
+job id=b algo=srw start=3 steps=400 seed=9
+";
+
+    #[test]
+    fn request_file_parses() {
+        let req = ServeRequest::parse(SMOKE).unwrap();
+        assert_eq!(req.network, NetworkSpec::Barbell);
+        assert_eq!(req.scheduler.workers, 2);
+        assert_eq!(req.scheduler.quantum, 32);
+        assert_eq!(req.scheduler.global_query_budget, Some(100));
+        assert_eq!(req.warm_start, Some(PathBuf::from("in.hist")));
+        assert_eq!(req.save_history, Some(PathBuf::from("out.hist")));
+        assert_eq!(req.jobs.len(), 2);
+        assert!(matches!(req.jobs[0].algo, AlgoSpec::Mto(_)));
+        assert_eq!(req.jobs[1].id, "b");
+    }
+
+    #[test]
+    fn request_file_rejections_carry_line_numbers() {
+        for (text, needle) in [
+            ("job id=a algo=mto start=0 steps=1", "missing `network`"),
+            ("network barbell\n", "no jobs"),
+            ("network barbell\nnetwork barbell\njob id=a algo=mto start=0 steps=1", "duplicate"),
+            ("network barbell\nfrobnicate 3\njob id=a algo=mto start=0 steps=1", "frobnicate"),
+            (
+                "network barbell\njob id=a algo=mto start=0 steps=1\n\
+                 job id=a algo=srw start=0 steps=1",
+                "duplicate job id",
+            ),
+            ("network barbell\njob id=a algo=mto start=999 steps=1", "999"),
+            ("network nope\njob id=a algo=mto start=0 steps=1", "unknown network"),
+        ] {
+            let e = ServeRequest::parse(text).unwrap_err();
+            assert!(e.to_string().contains(needle), "{text:?} → {e}");
+        }
+    }
+
+    #[test]
+    fn network_specs_round_trip_and_build() {
+        let specs = vec![
+            NetworkSpec::Barbell,
+            NetworkSpec::Complete { n: 6 },
+            NetworkSpec::Cycle { n: 9 },
+            NetworkSpec::Gnp { n: 30, p: 0.2, seed: 5 },
+            NetworkSpec::Sbm { blocks: 3, block_size: 10, p_in: 0.5, p_out: 0.05, seed: 7 },
+            NetworkSpec::WattsStrogatz { n: 24, k: 4, beta: 0.1, seed: 3 },
+        ];
+        for spec in specs {
+            let line = spec.to_line();
+            assert_eq!(NetworkSpec::parse(&line).unwrap(), spec, "line {line:?}");
+            let g = spec.build();
+            assert!(g.num_nodes() > 0);
+            assert_eq!(g.num_nodes(), spec.num_nodes(), "cheap node count must match the build");
+            // Deterministic rebuild.
+            assert_eq!(g.num_edges(), spec.build().num_edges());
+        }
+    }
+
+    #[test]
+    fn job_start_bounds_are_checked_against_the_network() {
+        let ok = "network complete n=5\njob id=a algo=mto start=4 steps=10";
+        assert!(ServeRequest::parse(ok).is_ok());
+        let bad = "network complete n=5\njob id=a algo=mto start=5 steps=10";
+        assert!(ServeRequest::parse(bad).is_err());
+    }
+}

@@ -1,0 +1,343 @@
+//! The multi-job scheduler: many sessions, one cache, one budget.
+//!
+//! Generalizes `mto_core::parallel::run_parallel_mto` — which runs `k`
+//! *identical-length MTO walks* to completion — into a service-shaped
+//! component: heterogeneous jobs (any algorithm, any per-job step budget),
+//! **fair round-robin stepping** in fixed quanta so no job starves while a
+//! long one burns in, an optional **global unique-query budget** that
+//! stops admission when the provider's quota is spent, and aggregated
+//! [`RewireStats`] across every rewiring job.
+//!
+//! Workers run on [`std::thread::scope`] threads over one
+//! [`SharedClient`], so a neighborhood paid for by one job is free for
+//! all. Results are deterministic regardless of thread interleaving for
+//! the same reason `run_parallel_mto`'s are: walkers keep private
+//! overlays and RNGs, and cached responses are identical no matter which
+//! job paid for them first. (The one exception: *which* job a global
+//! query budget interrupts first can vary with scheduling; per-job step
+//! budgets are always deterministic.)
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use mto_core::mto::RewireStats;
+use mto_core::walk::Walker;
+use mto_graph::NodeId;
+use mto_osn::{CachedClient, QueryClient, SharedClient, SocialNetworkInterface};
+use parking_lot::Mutex;
+
+use crate::error::{Result, ServeError};
+use crate::history::HistoryStore;
+use crate::session::{JobSpec, SamplerSession, SessionState};
+
+/// Scheduler tuning knobs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SchedulerConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Steps one session takes before yielding its worker — the fairness
+    /// quantum of the round-robin.
+    pub quantum: usize,
+    /// Optional cap on total unique queries across all jobs; jobs caught
+    /// over the cap are finalized early with `completed = false`.
+    pub global_query_budget: Option<u64>,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig { workers: 4, quantum: 64, global_query_budget: None }
+    }
+}
+
+/// What one job produced.
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// The job's identifier.
+    pub id: String,
+    /// Algorithm display name (`"MTO"`, `"SRW"`, …).
+    pub algorithm: &'static str,
+    /// Steps actually taken.
+    pub steps: usize,
+    /// Whether the full step budget ran (false = stopped by the global
+    /// query budget).
+    pub completed: bool,
+    /// Final position.
+    pub final_node: NodeId,
+    /// Every visited position, seed first.
+    pub history: Vec<NodeId>,
+    /// Rewiring counters, for rewiring samplers.
+    pub stats: Option<RewireStats>,
+    /// Self-normalized average-degree estimate over the visit history.
+    pub avg_degree_estimate: Option<f64>,
+}
+
+/// Aggregate result of one scheduler run.
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Per-job outcomes, in submission order.
+    pub outcomes: Vec<JobOutcome>,
+    /// Unique queries charged to the shared client, total.
+    pub total_unique_queries: u64,
+    /// Sum of the rewiring counters across all rewiring jobs.
+    pub aggregate_stats: RewireStats,
+}
+
+/// Runs many [`SamplerSession`]s concurrently over one shared client.
+pub struct JobScheduler<I: SocialNetworkInterface> {
+    client: SharedClient<I>,
+    config: SchedulerConfig,
+}
+
+impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
+    /// A scheduler over a fresh (cold) client wrapping `interface`.
+    pub fn new(interface: I, config: SchedulerConfig) -> Self {
+        Self::with_client(SharedClient::new(CachedClient::new(interface)), config)
+    }
+
+    /// A scheduler over an existing client (e.g. one that already served
+    /// earlier jobs this process).
+    pub fn with_client(client: SharedClient<I>, config: SchedulerConfig) -> Self {
+        JobScheduler { client, config }
+    }
+
+    /// A scheduler warm-started from a persisted [`HistoryStore`]: jobs
+    /// only pay for nodes the history has never seen. Fails when the
+    /// history does not belong to this network (see
+    /// [`HistoryStore::validate_against`]).
+    pub fn warm_start(interface: I, store: &HistoryStore, config: SchedulerConfig) -> Result<Self> {
+        Ok(Self::with_client(SharedClient::new(store.warm_start(interface)?), config))
+    }
+
+    /// The shared client (e.g. to export history after a run).
+    pub fn client(&self) -> &SharedClient<I> {
+        &self.client
+    }
+
+    /// Runs `jobs` to completion (or to the global query budget) and
+    /// collects their outcomes in submission order.
+    pub fn run(&self, jobs: Vec<JobSpec>) -> Result<ServeReport> {
+        let total = jobs.len();
+        // Create sessions up front, in submission order, so start-node
+        // queries are charged deterministically.
+        let mut sessions = Vec::with_capacity(total);
+        for (index, spec) in jobs.into_iter().enumerate() {
+            sessions.push((index, SamplerSession::create(self.client.clone(), spec)?));
+        }
+
+        let queue: Mutex<VecDeque<(usize, SamplerSession<I>)>> =
+            Mutex::new(sessions.into_iter().collect());
+        let done: Mutex<Vec<(usize, JobOutcome)>> = Mutex::new(Vec::with_capacity(total));
+        let first_error: Mutex<Option<ServeError>> = Mutex::new(None);
+        let finished = AtomicUsize::new(0);
+        let quantum = self.config.quantum.max(1);
+        let budget = self.config.global_query_budget;
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.config.workers.max(1) {
+                scope.spawn(|| loop {
+                    if first_error.lock().is_some() {
+                        break;
+                    }
+                    let item = queue.lock().pop_front();
+                    let (index, mut session) = match item {
+                        Some(s) => s,
+                        None => {
+                            if finished.load(Ordering::Acquire) >= total {
+                                break;
+                            }
+                            // Jobs are in flight on other workers and may
+                            // be re-enqueued; don't exit, but also don't
+                            // spin against the queue lock while we wait.
+                            std::thread::sleep(std::time::Duration::from_micros(200));
+                            continue;
+                        }
+                    };
+                    let over_budget = budget.is_some_and(|b| self.client.unique_queries() >= b);
+                    if !over_budget {
+                        if let Err(e) = session.advance(quantum) {
+                            *first_error.lock() = Some(e);
+                            finished.fetch_add(1, Ordering::Release);
+                            continue;
+                        }
+                    }
+                    if over_budget || session.state() == SessionState::Completed {
+                        match finalize(&mut session, !over_budget) {
+                            Ok(outcome) => done.lock().push((index, outcome)),
+                            Err(e) => *first_error.lock() = Some(e),
+                        }
+                        finished.fetch_add(1, Ordering::Release);
+                    } else {
+                        queue.lock().push_back((index, session));
+                    }
+                });
+            }
+        });
+
+        if let Some(e) = first_error.lock().take() {
+            return Err(e);
+        }
+        let mut outcomes = done.into_inner();
+        outcomes.sort_unstable_by_key(|(index, _)| *index);
+        let outcomes: Vec<JobOutcome> = outcomes.into_iter().map(|(_, o)| o).collect();
+        let mut aggregate_stats = RewireStats::default();
+        for o in &outcomes {
+            if let Some(s) = o.stats {
+                aggregate_stats += s;
+            }
+        }
+        Ok(ServeReport {
+            outcomes,
+            total_unique_queries: self.client.unique_queries(),
+            aggregate_stats,
+        })
+    }
+}
+
+fn finalize<I: SocialNetworkInterface>(
+    session: &mut SamplerSession<I>,
+    completed: bool,
+) -> Result<JobOutcome> {
+    let estimate = session.average_degree_estimate()?;
+    let walker = session.walker();
+    Ok(JobOutcome {
+        id: session.spec().id.clone(),
+        algorithm: walker.name(),
+        steps: session.steps_taken(),
+        completed: completed && session.state() == SessionState::Completed,
+        final_node: walker.current(),
+        history: walker.history().to_vec(),
+        stats: walker.rewire_stats(),
+        avg_degree_estimate: estimate,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::AlgoSpec;
+    use mto_core::mto::MtoConfig;
+    use mto_core::walk::{MhrwConfig, SrwConfig};
+    use mto_graph::generators::paper_barbell;
+    use mto_osn::OsnService;
+
+    fn mixed_jobs() -> Vec<JobSpec> {
+        vec![
+            JobSpec {
+                id: "mto-a".into(),
+                algo: AlgoSpec::Mto(MtoConfig { seed: 1, ..Default::default() }),
+                start: NodeId(0),
+                step_budget: 400,
+            },
+            JobSpec {
+                id: "mto-b".into(),
+                algo: AlgoSpec::Mto(MtoConfig { seed: 2, ..Default::default() }),
+                start: NodeId(11),
+                step_budget: 300,
+            },
+            JobSpec {
+                id: "srw".into(),
+                algo: AlgoSpec::Srw(SrwConfig { seed: 3, lazy: false }),
+                start: NodeId(5),
+                step_budget: 250,
+            },
+            JobSpec {
+                id: "mhrw".into(),
+                algo: AlgoSpec::Mhrw(MhrwConfig { seed: 4 }),
+                start: NodeId(16),
+                step_budget: 200,
+            },
+        ]
+    }
+
+    #[test]
+    fn scheduler_runs_heterogeneous_jobs_to_their_budgets() {
+        let scheduler = JobScheduler::new(
+            OsnService::with_defaults(&paper_barbell()),
+            SchedulerConfig { workers: 3, quantum: 32, global_query_budget: None },
+        );
+        let report = scheduler.run(mixed_jobs()).unwrap();
+        assert_eq!(report.outcomes.len(), 4);
+        let by_id: Vec<(&str, usize, bool)> =
+            report.outcomes.iter().map(|o| (o.id.as_str(), o.steps, o.completed)).collect();
+        assert_eq!(
+            by_id,
+            vec![
+                ("mto-a", 400, true),
+                ("mto-b", 300, true),
+                ("srw", 250, true),
+                ("mhrw", 200, true)
+            ]
+        );
+        assert!(report.total_unique_queries <= 22, "shared cache bounds cost at |V|");
+        let sum: u64 = report.outcomes.iter().filter_map(|o| o.stats.map(|s| s.removals)).sum();
+        assert_eq!(report.aggregate_stats.removals, sum);
+        assert!(report.aggregate_stats.removals > 0, "MTO jobs rewire");
+    }
+
+    #[test]
+    fn scheduler_results_are_deterministic_across_interleavings() {
+        let run = |workers| {
+            let scheduler = JobScheduler::new(
+                OsnService::with_defaults(&paper_barbell()),
+                SchedulerConfig { workers, quantum: 16, global_query_budget: None },
+            );
+            scheduler.run(mixed_jobs()).unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.total_unique_queries, b.total_unique_queries);
+        for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(oa.id, ob.id);
+            assert_eq!(oa.history, ob.history, "job {} diverged across worker counts", oa.id);
+            assert_eq!(oa.stats, ob.stats);
+            assert_eq!(oa.avg_degree_estimate, ob.avg_degree_estimate);
+        }
+    }
+
+    #[test]
+    fn global_query_budget_stops_jobs_early() {
+        // Budget of 3 unique queries on a 22-node graph: jobs cannot all
+        // finish their walks' discovery phase.
+        let scheduler = JobScheduler::new(
+            OsnService::with_defaults(&paper_barbell()),
+            SchedulerConfig { workers: 2, quantum: 8, global_query_budget: Some(3) },
+        );
+        let report = scheduler.run(mixed_jobs()).unwrap();
+        assert!(
+            report.outcomes.iter().any(|o| !o.completed),
+            "some job must be cut off by the query budget"
+        );
+    }
+
+    #[test]
+    fn empty_job_list_is_a_noop() {
+        let scheduler =
+            JobScheduler::new(OsnService::with_defaults(&paper_barbell()), Default::default());
+        let report = scheduler.run(Vec::new()).unwrap();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.total_unique_queries, 0);
+    }
+
+    #[test]
+    fn warm_started_scheduler_reuses_history() {
+        let g = paper_barbell();
+        let cold = JobScheduler::new(OsnService::with_defaults(&g), Default::default());
+        let cold_report = cold.run(mixed_jobs()).unwrap();
+        let store = cold.client().with(|c| HistoryStore::from_client(c));
+
+        let warm =
+            JobScheduler::warm_start(OsnService::with_defaults(&g), &store, Default::default())
+                .unwrap();
+        let warm_report = warm.run(mixed_jobs()).unwrap();
+        assert!(
+            warm_report.total_unique_queries < cold_report.total_unique_queries,
+            "warm {} vs cold {}",
+            warm_report.total_unique_queries,
+            cold_report.total_unique_queries
+        );
+        // Same seeds, same responses → identical walks either way.
+        for (c, w) in cold_report.outcomes.iter().zip(&warm_report.outcomes) {
+            assert_eq!(c.history, w.history);
+        }
+    }
+}

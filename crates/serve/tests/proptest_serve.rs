@@ -1,0 +1,209 @@
+//! Property suite for the `mto-serve` history/session codec.
+//!
+//! The contract under test (ISSUE 2, satellite 3):
+//!
+//! * encode → decode is the identity for cache contents, remembered
+//!   degrees, and overlay deltas — for arbitrary stores, not just ones a
+//!   real crawl produced;
+//! * corrupt or truncated input decodes to a clean error — never a panic,
+//!   never a silently wrong store.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use proptest::strategy::BoxedStrategy;
+
+use mto_core::mto::{CriterionView, MtoConfig, RewireStats};
+use mto_core::walk::{MhrwConfig, RjConfig, SrwConfig};
+use mto_graph::NodeId;
+use mto_osn::{CacheSnapshot, QueryResponse, UserProfile};
+use mto_serve::history::HistoryStore;
+use mto_serve::session::{format_job_line, parse_job_line, AlgoSpec, JobSpec, SessionSnapshot};
+
+/// Raw material for one cached response.
+type RawResponse = (u32, (u32, u32, u32, bool), Vec<u32>);
+
+fn response_strategy() -> BoxedStrategy<RawResponse> {
+    (0u32..400, (13u32..91, 0u32..5000, 0u32..1000, any::<bool>()), vec(0u32..400, 0..8)).boxed()
+}
+
+/// Builds a canonical store (unique node ids ascending, unique hint ids
+/// ascending) from raw generated parts — the invariant `export_snapshot`
+/// guarantees and the codec round-trips.
+fn build_store(
+    responses: Vec<RawResponse>,
+    hints: Vec<(u32, u16)>,
+    removed: Vec<(u32, u32)>,
+    added: Vec<(u32, u32)>,
+    counters: (u64, u64, u64),
+) -> HistoryStore {
+    let responses: BTreeMap<u32, RawResponse> = responses.into_iter().map(|r| (r.0, r)).collect();
+    let hints: BTreeMap<u32, u16> = hints.into_iter().collect();
+    HistoryStore {
+        cache: CacheSnapshot {
+            responses: responses
+                .into_values()
+                .map(|(user, (age, desc, posts, is_public), nbrs)| QueryResponse {
+                    user: NodeId(user),
+                    neighbors: nbrs.into_iter().map(NodeId).collect(),
+                    profile: UserProfile {
+                        age,
+                        self_description_len: desc,
+                        num_posts: posts,
+                        is_public,
+                    },
+                })
+                .collect(),
+            degree_hints: hints.into_iter().map(|(v, d)| (NodeId(v), d as usize)).collect(),
+            unique_queries: counters.0,
+            total_lookups: counters.1,
+            transient_retries: counters.2,
+        },
+        removed: removed.into_iter().map(|(u, v)| (NodeId(u), NodeId(v))).collect(),
+        added: added.into_iter().map(|(u, v)| (NodeId(u), NodeId(v))).collect(),
+        // Present on roughly half the stores, so both the `users` record
+        // and its absence round-trip.
+        num_users: (counters.0 % 2 == 0).then_some((counters.1 % 100_000) as usize),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn history_round_trips(
+        responses in vec(response_strategy(), 0..14),
+        hints in vec((0u32..400, any::<u16>()), 0..8),
+        removed in vec((0u32..200, 0u32..200), 0..10),
+        added in vec((0u32..200, 0u32..200), 0..10),
+        counters in (any::<u64>(), any::<u64>(), any::<u64>()),
+    ) {
+        let store = build_store(responses, hints, removed, added, counters);
+        let decoded = HistoryStore::decode(&store.encode());
+        prop_assert_eq!(decoded.as_ref(), Ok(&store));
+    }
+
+    #[test]
+    fn corrupted_history_is_rejected_without_panicking(
+        responses in vec(response_strategy(), 1..10),
+        removed in vec((0u32..200, 0u32..200), 0..6),
+        position in any::<usize>(),
+        flip in 1u8..=255,
+    ) {
+        let store = build_store(responses, Vec::new(), removed, Vec::new(), (7, 9, 0));
+        let mut bytes = store.encode().into_bytes();
+        let at = position % bytes.len();
+        bytes[at] ^= flip;
+        // The mutated byte stream may no longer be UTF-8 (then it is
+        // unrepresentable as input and trivially rejected upstream).
+        if let Ok(text) = String::from_utf8(bytes) {
+            prop_assert!(
+                HistoryStore::decode(&text).is_err(),
+                "accepted input with byte {} xored by {}", at, flip
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_history_is_rejected_without_panicking(
+        responses in vec(response_strategy(), 1..10),
+        hints in vec((0u32..400, any::<u16>()), 0..5),
+        cut in any::<usize>(),
+    ) {
+        let store = build_store(responses, hints, Vec::new(), Vec::new(), (1, 2, 3));
+        let text = store.encode();
+        let cut = cut % text.len(); // strict prefix
+        let prefix: String = text.chars().take(cut).collect();
+        prop_assert!(
+            HistoryStore::decode(&prefix).is_err(),
+            "accepted a {}-char prefix of a {}-char store", prefix.chars().count(), text.len()
+        );
+    }
+
+    #[test]
+    fn arbitrary_byte_soup_never_panics(bytes in vec(any::<u8>(), 0..300)) {
+        if let Ok(text) = String::from_utf8(bytes) {
+            // Any outcome is fine except a panic; genuine random soup
+            // essentially never carries a valid checksum trailer.
+            let _ = HistoryStore::decode(&text);
+            let _ = SessionSnapshot::decode(&text);
+        }
+    }
+
+    #[test]
+    fn job_lines_round_trip(
+        algo_pick in 0u8..4,
+        seed in any::<u64>(),
+        start in 0u32..10_000,
+        steps in 0usize..1_000_000,
+        probs in (any::<f64>(), any::<f64>()),
+        mto_bits in (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>(), 0usize..9),
+    ) {
+        let (replace_prob, jump_probability) = probs;
+        let (removal, replacement, extension, lazy, min_overlay_degree) = mto_bits;
+        let algo = match algo_pick {
+            0 => AlgoSpec::Mto(MtoConfig {
+                seed,
+                removal,
+                replacement,
+                extension,
+                replace_prob,
+                lazy,
+                criterion_view: if removal {
+                    CriterionView::Original
+                } else {
+                    CriterionView::Overlay
+                },
+                min_overlay_degree,
+            }),
+            1 => AlgoSpec::Srw(SrwConfig { seed, lazy }),
+            2 => AlgoSpec::Mhrw(MhrwConfig { seed }),
+            _ => AlgoSpec::Rj(RjConfig { seed, jump_probability }),
+        };
+        let spec = JobSpec {
+            id: format!("job-{seed}"),
+            algo,
+            start: NodeId(start),
+            step_budget: steps,
+        };
+        let line = format_job_line(&spec);
+        let parsed = parse_job_line(&line);
+        prop_assert_eq!(parsed.as_ref(), Ok(&spec), "line {}", line);
+    }
+
+    #[test]
+    fn session_snapshots_round_trip(
+        responses in vec(response_strategy(), 0..10),
+        removed in vec((0u32..200, 0u32..200), 0..8),
+        steps in (0usize..5_000, 0usize..5_000),
+        current in 0u32..400,
+        stats in (any::<u64>(), any::<u64>(), any::<u64>()),
+        seed in any::<u64>(),
+    ) {
+        let (a, b) = steps;
+        let (steps_taken, step_budget) = (a.min(b), a.max(b));
+        let snapshot = SessionSnapshot {
+            spec: JobSpec {
+                id: format!("s{seed}"),
+                algo: AlgoSpec::Mto(MtoConfig { seed, ..Default::default() }),
+                start: NodeId(current % 10),
+                step_budget,
+            },
+            steps_taken,
+            current: NodeId(current),
+            stats: RewireStats {
+                removals: stats.0,
+                replacements: stats.1,
+                replacement_rejections: stats.2,
+            },
+            meta: vec![
+                ("network".to_string(), "sbm blocks=2 block-size=30".to_string()),
+                ("note".to_string(), "value with spaces".to_string()),
+            ],
+            history: build_store(responses, Vec::new(), removed, Vec::new(), (5, 6, 7)),
+        };
+        let decoded = SessionSnapshot::decode(&snapshot.encode());
+        prop_assert_eq!(decoded.as_ref(), Ok(&snapshot));
+    }
+}

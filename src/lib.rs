@@ -23,6 +23,9 @@
 //!   caching, rate limits and profiles;
 //! * [`core`] (`mto-core`) — the samplers: MTO plus the SRW/MHRW/RJ
 //!   baselines, estimators and diagnostics;
+//! * [`serve`] (`mto-serve`) — the service layer: resumable sampler
+//!   sessions, the persistent crawl-history store with cross-run warm
+//!   starts, and the multi-job scheduler (plus the `mto_serve` binary);
 //! * [`experiments`] (`mto-experiments`) — regenerates every table and
 //!   figure of the paper's evaluation (see EXPERIMENTS.md).
 //!
@@ -63,6 +66,7 @@ pub use mto_core as core;
 pub use mto_experiments as experiments;
 pub use mto_graph as graph;
 pub use mto_osn as osn;
+pub use mto_serve as serve;
 pub use mto_spectral as spectral;
 
 /// The most commonly used items across all layers.
@@ -74,5 +78,6 @@ pub mod prelude {
     };
     pub use mto_graph::{Edge, Graph, GraphBuilder, NodeId};
     pub use mto_osn::{CachedClient, OsnService, QueryClient, SocialNetworkInterface};
+    pub use mto_serve::{HistoryStore, JobScheduler, JobSpec, SamplerSession};
     pub use mto_spectral::conductance::exact_conductance;
 }
