@@ -1,6 +1,7 @@
 //! Micro-benchmarks of the hot kernels: walker steps, the removal
 //! criterion, common-neighbor intersection, overlay operations, the
-//! client cache's slot-map lookup, the history codec, and the spectral
+//! client cache's slot-map lookup, the history codec, the discrete-event
+//! query pipeline (and the full walk-not-wait driver), and the spectral
 //! solvers.
 
 use std::collections::HashMap;
@@ -196,6 +197,70 @@ fn bench_history_codec(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_pipeline(c: &mut Criterion) {
+    use mto_net::driver::{replay_pool, DriverConfig, DriverMode};
+    use mto_net::latency::LatencyModel;
+    use mto_net::pipeline::{PipelineConfig, QueryPipeline};
+    use mto_net::trace::{record_traces, PoolJob, WalkerSpec};
+
+    let mut group = c.benchmark_group("micro/pipeline");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(2));
+
+    let graph = mto_bench::mini_epinions_graph(40);
+    let n = graph.num_nodes() as u32;
+
+    // Raw engine throughput: submit + drain one request per node.
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("submit-drain-650", |b| {
+        b.iter(|| {
+            let mut p = QueryPipeline::new(
+                OsnService::with_defaults(&graph),
+                PipelineConfig {
+                    max_in_flight: 8,
+                    latency: LatencyModel::LogNormal { median_secs: 0.28, sigma: 0.4 },
+                    ..Default::default()
+                },
+            );
+            for v in 0..n {
+                p.submit(NodeId(v));
+            }
+            std::hint::black_box(p.drain().len())
+        })
+    });
+
+    // The walk-not-wait replay over a 4-walker pool (traces recorded
+    // once outside the measurement — recording is an oracle pass whose
+    // cost is amortized across regimes in real use).
+    group.throughput(Throughput::Elements(4 * 100));
+    group.bench_function("walk-not-wait-replay-4x100", |b| {
+        let jobs: Vec<PoolJob> = (0..4u64)
+            .map(|i| PoolJob {
+                spec: WalkerSpec::Mto(MtoConfig { seed: 20 + i, ..Default::default() }),
+                start: NodeId((i as u32 * n) / 4),
+                steps: 100,
+            })
+            .collect();
+        let config = DriverConfig {
+            mode: DriverMode::WalkNotWait,
+            pipeline: PipelineConfig {
+                max_in_flight: 8,
+                latency: LatencyModel::LogNormal { median_secs: 0.28, sigma: 0.4 },
+                ..Default::default()
+            },
+            unique_query_budget: None,
+        };
+        let service = OsnService::with_defaults(&graph);
+        let traces = record_traces(&service, &jobs).unwrap();
+        b.iter(|| {
+            let report = replay_pool(&service, &traces, &config).unwrap();
+            std::hint::black_box(report.virtual_secs)
+        })
+    });
+
+    group.finish();
+}
+
 fn bench_spectral(c: &mut Criterion) {
     let mut group = c.benchmark_group("micro/spectral");
     group.sample_size(10);
@@ -230,6 +295,7 @@ criterion_group!(
     bench_kernels,
     bench_cache_lookup,
     bench_history_codec,
+    bench_pipeline,
     bench_spectral
 );
 criterion_main!(benches);

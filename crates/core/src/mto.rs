@@ -456,6 +456,17 @@ impl<C: QueryClient> Walker for MtoSampler<C> {
         let k_star = self.overlay_degree_estimate(v, mode)?;
         Ok(1.0 / k_star)
     }
+
+    fn prefetch_candidates(&self) -> Vec<NodeId> {
+        // Candidate selection draws from N*(u): the overlay-adjusted
+        // neighborhood of the current node. Both the removal criterion
+        // (which needs N*(v) of the pick) and the arrival query land
+        // there, so those nodes are the highest-value speculation.
+        match self.client.cached_neighbors(self.current) {
+            Some(base) => self.overlay.adjust_neighbors(self.current, &base),
+            None => Vec::new(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -489,6 +500,25 @@ mod tests {
             }
             prev = next;
         }
+    }
+
+    #[test]
+    fn prefetch_candidates_track_the_overlay_neighborhood() {
+        let g = paper_barbell();
+        let mut s = sampler_on(&g, NodeId(0), MtoConfig::default());
+        for _ in 0..500 {
+            s.step().unwrap();
+        }
+        let candidates = s.prefetch_candidates();
+        assert!(!candidates.is_empty(), "current node is cached, so candidates exist");
+        // Candidates are exactly N*(current): the overlay view, not the
+        // base neighborhood.
+        let base = s.client().cached(s.current()).unwrap().neighbors.clone();
+        assert_eq!(candidates, s.overlay().adjust_neighbors(s.current(), &base));
+        // Free: enumerating candidates never issues queries.
+        let before = s.query_cost();
+        let _ = s.prefetch_candidates();
+        assert_eq!(s.query_cost(), before);
     }
 
     #[test]

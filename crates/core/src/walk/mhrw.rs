@@ -105,6 +105,11 @@ impl<C: QueryClient> Walker for MetropolisHastingsWalk<C> {
         // Uniform stationary distribution: already unbiased.
         Ok(1.0)
     }
+
+    fn prefetch_candidates(&self) -> Vec<NodeId> {
+        // The next step must learn k_v of a uniform neighbor proposal.
+        self.client.cached_neighbors(self.current).unwrap_or_default()
+    }
 }
 
 #[cfg(test)]

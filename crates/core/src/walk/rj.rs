@@ -133,6 +133,12 @@ impl<C: QueryClient> Walker for RandomJumpWalk<C> {
         // Uniform stationary distribution.
         Ok(1.0)
     }
+
+    fn prefetch_candidates(&self) -> Vec<NodeId> {
+        // Teleport targets are unpredictable; the walk branch proposes a
+        // uniform neighbor of the current node, so speculate on those.
+        self.client.cached_neighbors(self.current).unwrap_or_default()
+    }
 }
 
 #[cfg(test)]

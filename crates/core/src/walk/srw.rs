@@ -102,6 +102,11 @@ impl<C: QueryClient> Walker for SimpleRandomWalk<C> {
         // π(v) ∝ k_v ⇒ w(v) ∝ 1/k_v. Degree 0 cannot be visited.
         Ok(1.0 / resp.neighbors.len().max(1) as f64)
     }
+
+    fn prefetch_candidates(&self) -> Vec<NodeId> {
+        // The next step queries a uniform neighbor of the current node.
+        self.client.cached_neighbors(self.current).unwrap_or_default()
+    }
 }
 
 #[cfg(test)]

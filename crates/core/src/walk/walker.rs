@@ -35,6 +35,17 @@ pub trait Walker {
     /// the self-normalized estimator, so any consistent scaling is fine.
     fn importance_weight(&mut self, v: NodeId) -> Result<f64>;
 
+    /// Speculative prefetch targets for the **walk-not-wait** driver
+    /// (`mto-net`): the nodes the next step is most likely to query,
+    /// derived *only* from free local knowledge — the cached neighborhood
+    /// of the current position (overlay-adjusted for rewiring samplers) —
+    /// never from new queries. Likelihood order, most likely first; the
+    /// list may include already-cached nodes (callers filter against
+    /// their own cache/in-flight state). The default is no speculation.
+    fn prefetch_candidates(&self) -> Vec<NodeId> {
+        Vec::new()
+    }
+
     /// Runs `n` steps, returning the final position.
     fn run(&mut self, n: usize) -> Result<NodeId> {
         let mut last = self.current();

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 
 use mto_experiments::report::ExperimentReport;
 use mto_experiments::{
-    fig10, fig11, fig7, fig8, fig9, running_example, table1, theorem6, warm_start,
+    fig10, fig11, fig7, fig8, fig9, latency, running_example, table1, theorem6, warm_start,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -28,6 +28,7 @@ const EXPERIMENTS: &[&str] = &[
     "fig11",
     "theorem6",
     "warm-start",
+    "latency",
 ];
 
 struct Options {
@@ -119,6 +120,14 @@ fn run_experiment(name: &str, reduced: bool) -> ExperimentReport {
                 warm_start::WarmStartConfig::full()
             };
             warm_start::run(&config).1
+        }
+        "latency" => {
+            let config = if reduced {
+                latency::LatencyConfig::reduced()
+            } else {
+                latency::LatencyConfig::full()
+            };
+            latency::run(&config).1
         }
         other => unreachable!("experiment {other} validated during arg parsing"),
     }

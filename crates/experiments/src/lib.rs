@@ -14,6 +14,7 @@
 //! | [`fig11`] | Fig 11(a–c): Google-Plus-like online network |
 //! | [`theorem6`] | §IV-B / Eq (13): latent-space removal bound |
 //! | [`warm_start`] | service layer: cross-run history reuse (`mto-serve`) |
+//! | [`latency`] | network layer: serial vs pipelined vs walk-not-wait (`mto-net`) |
 //!
 //! Each module exposes a `Config` with `full()` (paper-scale) and
 //! `reduced()` (CI-scale) presets and returns structured results plus an
@@ -29,6 +30,7 @@ pub mod fig11;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod latency;
 pub mod report;
 pub mod running_example;
 pub mod table1;
@@ -37,5 +39,6 @@ pub mod warm_start;
 
 pub use datasets::{build_dataset, DatasetSpec};
 pub use driver::{run_converged, Algorithm, ConvergedRun, RunProtocol};
+pub use latency::{LatencyConfig, LatencyResult};
 pub use report::{ExperimentReport, Series, Table};
 pub use warm_start::{WarmStartConfig, WarmStartResult};

@@ -1,0 +1,139 @@
+//! The discrete-event queue: a binary heap with a deterministic total
+//! order.
+//!
+//! Simulated events are ordered by `(time, sequence)`: earliest virtual
+//! time first, and FIFO among events scheduled for the same instant (the
+//! sequence number is assigned at push). The order is therefore *total* —
+//! no two events ever compare equal — which is what makes every consumer
+//! of the queue reproducible: the pop order depends only on the push
+//! history, never on heap internals or host scheduling.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A scheduled event: when it fires, its tie-breaking sequence number,
+/// and an arbitrary payload.
+#[derive(Clone, Debug)]
+pub struct Event<T> {
+    /// Virtual firing time in microseconds.
+    pub time_us: u64,
+    /// Push-order sequence number (unique per queue; breaks time ties
+    /// FIFO).
+    pub seq: u64,
+    /// The scheduled work.
+    pub payload: T,
+}
+
+// Ordering ignores the payload entirely: `(time_us, seq)` is unique, so
+// the derived-looking equivalence below is a genuine total order.
+impl<T> PartialEq for Event<T> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time_us, self.seq) == (other.time_us, other.seq)
+    }
+}
+impl<T> Eq for Event<T> {}
+impl<T> PartialOrd for Event<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<T> Ord for Event<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap and we want the *earliest*
+        // event on top.
+        (other.time_us, other.seq).cmp(&(self.time_us, self.seq))
+    }
+}
+
+/// Min-heap of [`Event`]s with queue-assigned sequence numbers.
+#[derive(Clone, Debug)]
+pub struct EventQueue<T> {
+    heap: BinaryHeap<Event<T>>,
+    next_seq: u64,
+}
+
+impl<T> Default for EventQueue<T> {
+    fn default() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+}
+
+impl<T> EventQueue<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `payload` at `time_us`, returning its sequence number.
+    pub fn push(&mut self, time_us: u64, payload: T) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time_us, seq, payload });
+        seq
+    }
+
+    /// Removes and returns the earliest event (`(time, seq)` order).
+    pub fn pop(&mut self) -> Option<Event<T>> {
+        self.heap.pop()
+    }
+
+    /// Firing time of the earliest event without removing it.
+    pub fn peek_time_us(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.time_us)
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(30, "c");
+        q.push(10, "a");
+        q.push(20, "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_break_fifo_by_sequence() {
+        let mut q = EventQueue::new();
+        for i in 0..16 {
+            q.push(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..16).collect::<Vec<_>>(), "same-time events pop FIFO");
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_monotone() {
+        let mut q = EventQueue::new();
+        let s0 = q.push(9, ());
+        let s1 = q.push(3, ());
+        let s2 = q.push(9, ());
+        assert_eq!((s0, s1, s2), (0, 1, 2));
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(42, 'x');
+        q.push(7, 'y');
+        assert_eq!(q.peek_time_us(), Some(7));
+        assert_eq!(q.pop().unwrap().time_us, 7);
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+}

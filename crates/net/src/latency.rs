@@ -1,0 +1,232 @@
+//! Latency and failure models for simulated provider traffic.
+//!
+//! The paper's cost model counts unique queries, but against a live
+//! provider the real bill is *wall-clock time*: per-request latency plus
+//! rate-limit stalls ("Walk, Not Wait", arXiv:1410.7833, measures
+//! hundreds of milliseconds per OSN API round trip). [`LatencyModel`]
+//! generates those per-request service times deterministically from a
+//! seeded RNG; [`FaultModel`] layers timeout injection on top; and
+//! [`ProviderProfile`] bundles a latency model, a fault model, and a
+//! published [`RateLimitPolicy`] into the named presets the latency
+//! experiment sweeps.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use mto_osn::RateLimitPolicy;
+
+/// Distribution of one request's service time, in virtual seconds.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum LatencyModel {
+    /// Every request takes exactly this long.
+    Constant {
+        /// Service time in seconds.
+        secs: f64,
+    },
+    /// Uniform over `[lo, hi)` seconds.
+    Uniform {
+        /// Lower bound (inclusive), seconds.
+        lo: f64,
+        /// Upper bound (exclusive; must be ≥ `lo`), seconds.
+        hi: f64,
+    },
+    /// Log-normal — the heavy-tailed shape real API latencies follow.
+    /// Parameterized by the median (`exp(μ)`) because that is what
+    /// latency measurements report.
+    LogNormal {
+        /// Median service time in seconds (`exp(μ)` of the underlying
+        /// normal).
+        median_secs: f64,
+        /// Shape parameter σ of the underlying normal (0 degenerates to
+        /// constant `median_secs`).
+        sigma: f64,
+    },
+}
+
+impl LatencyModel {
+    /// Draws one service time. Always finite and `> 0` for positive
+    /// parameters.
+    pub fn sample(&self, rng: &mut StdRng) -> f64 {
+        match *self {
+            LatencyModel::Constant { secs } => secs,
+            LatencyModel::Uniform { lo, hi } => {
+                debug_assert!(hi >= lo, "uniform bounds inverted: [{lo}, {hi})");
+                lo + (hi - lo) * rng.gen::<f64>()
+            }
+            LatencyModel::LogNormal { median_secs, sigma } => {
+                median_secs * (sigma * standard_normal(rng)).exp()
+            }
+        }
+    }
+
+    /// The distribution mean, used for capacity estimates in reports.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            LatencyModel::Constant { secs } => secs,
+            LatencyModel::Uniform { lo, hi } => 0.5 * (lo + hi),
+            LatencyModel::LogNormal { median_secs, sigma } => {
+                median_secs * (0.5 * sigma * sigma).exp()
+            }
+        }
+    }
+}
+
+/// One standard-normal draw via Box–Muller (the vendored `rand` has no
+/// `rand_distr`). Uses `1 − U` so the logarithm argument is in `(0, 1]`.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Timeout injection: a request attempt may hang for the provider's
+/// timeout window and have to be retried, consuming quota each time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultModel {
+    /// Probability that any given attempt times out.
+    pub timeout_prob: f64,
+    /// Virtual seconds a timed-out attempt burns before the client gives
+    /// up on it.
+    pub timeout_secs: f64,
+    /// Hard cap on attempts per request (≥ 1); the final attempt always
+    /// succeeds so simulations terminate.
+    pub max_attempts: u32,
+}
+
+impl FaultModel {
+    /// No injected faults.
+    pub fn none() -> Self {
+        FaultModel { timeout_prob: 0.0, timeout_secs: 0.0, max_attempts: 1 }
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// A named provider preset: rate-limit policy + latency + faults.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ProviderProfile {
+    /// Display name (`"facebook"`, …).
+    pub name: &'static str,
+    /// The published request quota.
+    pub policy: RateLimitPolicy,
+    /// Per-request service-time distribution.
+    pub latency: LatencyModel,
+    /// Timeout injection.
+    pub faults: FaultModel,
+}
+
+impl ProviderProfile {
+    /// Facebook circa the paper: 600 requests / 600 s, a few hundred ms
+    /// median latency with a heavy tail.
+    pub fn facebook() -> Self {
+        ProviderProfile {
+            name: "facebook",
+            policy: RateLimitPolicy::facebook(),
+            latency: LatencyModel::LogNormal { median_secs: 0.28, sigma: 0.4 },
+            faults: FaultModel::none(),
+        }
+    }
+
+    /// Twitter circa the paper: 350 requests / hour, slightly slower
+    /// responses.
+    pub fn twitter() -> Self {
+        ProviderProfile {
+            name: "twitter",
+            policy: RateLimitPolicy::twitter(),
+            latency: LatencyModel::LogNormal { median_secs: 0.35, sigma: 0.5 },
+            faults: FaultModel::none(),
+        }
+    }
+
+    /// Google Plus developer quota: generous daily allowance, fast and
+    /// steady responses.
+    pub fn google_plus() -> Self {
+        ProviderProfile {
+            name: "google-plus",
+            policy: RateLimitPolicy::google_plus(),
+            latency: LatencyModel::Uniform { lo: 0.04, hi: 0.09 },
+            faults: FaultModel::none(),
+        }
+    }
+
+    /// Looks a preset up by name (`facebook` / `twitter` / `google-plus`).
+    pub fn by_name(name: &str) -> Option<Self> {
+        match name {
+            "facebook" => Some(Self::facebook()),
+            "twitter" => Some(Self::twitter()),
+            "google-plus" => Some(Self::google_plus()),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_is_exact() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let m = LatencyModel::Constant { secs: 0.25 };
+        for _ in 0..10 {
+            assert_eq!(m.sample(&mut rng), 0.25);
+        }
+        assert_eq!(m.mean(), 0.25);
+    }
+
+    #[test]
+    fn uniform_respects_bounds_and_spreads() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LatencyModel::Uniform { lo: 0.1, hi: 0.3 };
+        let samples: Vec<f64> = (0..2000).map(|_| m.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| (0.1..0.3).contains(&s)));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.2).abs() < 0.01, "empirical mean {mean}");
+    }
+
+    #[test]
+    fn lognormal_median_and_positivity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = LatencyModel::LogNormal { median_secs: 0.28, sigma: 0.4 };
+        let mut samples: Vec<f64> = (0..4001).map(|_| m.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&s| s > 0.0 && s.is_finite()));
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = samples[samples.len() / 2];
+        assert!((median - 0.28).abs() < 0.03, "empirical median {median}");
+        assert!(m.mean() > 0.28, "log-normal mean exceeds the median");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let m = LatencyModel::LogNormal { median_secs: 0.3, sigma: 0.6 };
+        let draw = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| m.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(9), draw(9));
+        assert_ne!(draw(9), draw(10));
+    }
+
+    #[test]
+    fn presets_resolve_by_name() {
+        for name in ["facebook", "twitter", "google-plus"] {
+            let p = ProviderProfile::by_name(name).unwrap();
+            assert_eq!(p.name, name);
+            assert!(p.latency.mean() > 0.0);
+        }
+        assert!(ProviderProfile::by_name("myspace").is_none());
+    }
+
+    #[test]
+    fn facebook_is_faster_but_tighter_than_twitter() {
+        let fb = ProviderProfile::facebook();
+        let tw = ProviderProfile::twitter();
+        assert!(fb.latency.mean() < tw.latency.mean());
+        assert!(fb.policy.refill_per_sec > tw.policy.refill_per_sec);
+    }
+}

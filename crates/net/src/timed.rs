@@ -1,0 +1,183 @@
+//! Synchronous provider simulation for blocking clients.
+//!
+//! The [`crate::pipeline::QueryPipeline`] models *overlapped* traffic;
+//! this wrapper models the **serial** deployment — the `mto-serve`
+//! scheduler and any other blocking [`SocialNetworkInterface`] consumer —
+//! where every `q(v)` pays its full sampled latency (plus rate-limit
+//! stalls) on the shared [`VirtualClock`] before returning. Sessions run
+//! over a [`TimedInterface`] therefore report an honest virtual
+//! wall-clock alongside their unique-query bill.
+//!
+//! It generalizes `mto-osn`'s [`mto_osn::RateLimitedInterface`] (fixed
+//! 50 ms per request) to a full [`ProviderProfile`]: sampled latency
+//! distribution, timeout injection, and the provider's token bucket, all
+//! against the one unified clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use mto_graph::NodeId;
+use mto_osn::{QueryResponse, Result, SocialNetworkInterface, TokenBucket, VirtualClock};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::latency::ProviderProfile;
+
+/// Blocking provider simulation: latency + quota + timeouts, virtually.
+pub struct TimedInterface<I> {
+    inner: I,
+    profile: ProviderProfile,
+    clock: VirtualClock,
+    bucket: Mutex<TokenBucket>,
+    rng: Mutex<StdRng>,
+    stalls: AtomicU64,
+    timeouts: AtomicU64,
+}
+
+impl<I: SocialNetworkInterface> TimedInterface<I> {
+    /// Wraps `inner` under a provider profile on a fresh clock.
+    pub fn new(inner: I, profile: ProviderProfile, seed: u64) -> Self {
+        Self::with_clock(inner, profile, seed, VirtualClock::new())
+    }
+
+    /// Wraps `inner` on an externally shared clock.
+    pub fn with_clock(inner: I, profile: ProviderProfile, seed: u64, clock: VirtualClock) -> Self {
+        TimedInterface {
+            inner,
+            clock,
+            bucket: Mutex::new(TokenBucket::new(profile.policy)),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            stalls: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            profile,
+        }
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Current virtual time in seconds.
+    pub fn virtual_now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Requests that stalled on the token bucket.
+    pub fn stalls(&self) -> u64 {
+        self.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Injected attempt timeouts suffered.
+    pub fn timeouts(&self) -> u64 {
+        self.timeouts.load(Ordering::Relaxed)
+    }
+
+    /// The wrapped interface.
+    pub fn inner(&self) -> &I {
+        &self.inner
+    }
+
+    fn take_token(&self) {
+        let mut bucket = self.bucket.lock();
+        if let Err(wait) = bucket.try_acquire(self.clock.now()) {
+            self.stalls.fetch_add(1, Ordering::Relaxed);
+            let mut later = self.clock.advance(wait);
+            // Rounding in the refill can leave the bucket a hair short
+            // at the computed instant; nudge forward until it lands.
+            while let Err(more) = bucket.try_acquire(later) {
+                later = self.clock.advance(more.max(1e-6));
+            }
+        }
+    }
+}
+
+impl<I: SocialNetworkInterface> SocialNetworkInterface for TimedInterface<I> {
+    fn query(&self, v: NodeId) -> Result<QueryResponse> {
+        let faults = self.profile.faults;
+        let mut attempts = 1u32;
+        self.take_token();
+        while attempts < faults.max_attempts
+            && faults.timeout_prob > 0.0
+            && self.rng.lock().gen::<f64>() < faults.timeout_prob
+        {
+            self.timeouts.fetch_add(1, Ordering::Relaxed);
+            attempts += 1;
+            self.clock.advance(faults.timeout_secs);
+            self.take_token();
+        }
+        let latency = self.profile.latency.sample(&mut self.rng.lock()).max(0.0);
+        self.clock.advance(latency);
+        self.inner.query(v)
+    }
+
+    fn num_users_hint(&self) -> Option<usize> {
+        self.inner.num_users_hint()
+    }
+
+    fn requests_served(&self) -> u64 {
+        self.inner.requests_served()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{FaultModel, LatencyModel};
+    use mto_graph::generators::paper_barbell;
+    use mto_osn::{OsnService, RateLimitPolicy};
+
+    fn profile(latency: LatencyModel, policy: RateLimitPolicy) -> ProviderProfile {
+        ProviderProfile { name: "test", policy, latency, faults: FaultModel::none() }
+    }
+
+    #[test]
+    fn every_query_pays_its_latency() {
+        let p = profile(LatencyModel::Constant { secs: 0.2 }, RateLimitPolicy::facebook());
+        let t = TimedInterface::new(OsnService::with_defaults(&paper_barbell()), p, 1);
+        for v in 0..10u32 {
+            t.query(NodeId(v)).unwrap();
+        }
+        assert!((t.virtual_now() - 2.0).abs() < 1e-5, "10 × 200 ms serial");
+        assert_eq!(t.stalls(), 0);
+    }
+
+    #[test]
+    fn quota_exhaustion_stalls_the_clock() {
+        let p = profile(
+            LatencyModel::Constant { secs: 0.0 },
+            RateLimitPolicy { burst: 3, refill_per_sec: 1.0 },
+        );
+        let t = TimedInterface::new(OsnService::with_defaults(&paper_barbell()), p, 1);
+        for v in 0..6u32 {
+            t.query(NodeId(v)).unwrap();
+        }
+        assert_eq!(t.stalls(), 3);
+        assert!(t.virtual_now() >= 3.0, "three refill waits at 1 rps");
+    }
+
+    #[test]
+    fn timeouts_burn_time_and_tokens() {
+        let mut p = profile(LatencyModel::Constant { secs: 0.1 }, RateLimitPolicy::facebook());
+        p.faults = FaultModel { timeout_prob: 1.0, timeout_secs: 5.0, max_attempts: 2 };
+        let t = TimedInterface::new(OsnService::with_defaults(&paper_barbell()), p, 1);
+        t.query(NodeId(0)).unwrap();
+        assert_eq!(t.timeouts(), 1);
+        assert!((t.virtual_now() - 5.1).abs() < 1e-5, "one timeout window + one latency");
+    }
+
+    #[test]
+    fn shares_a_clock_with_other_components() {
+        let clock = VirtualClock::new();
+        let p = profile(LatencyModel::Constant { secs: 0.5 }, RateLimitPolicy::facebook());
+        let t = TimedInterface::with_clock(
+            OsnService::with_defaults(&paper_barbell()),
+            p,
+            1,
+            clock.clone(),
+        );
+        clock.advance(100.0);
+        t.query(NodeId(0)).unwrap();
+        assert!((clock.now() - 100.5).abs() < 1e-5, "latency lands on the shared timeline");
+    }
+}

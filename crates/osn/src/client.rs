@@ -31,6 +31,20 @@ pub trait QueryClient {
 
     /// Provider-published total user count, when available.
     fn num_users_hint(&self) -> Option<usize>;
+
+    /// Neighbor list of `v` **if its full response is cached locally**
+    /// (free — no request is issued). `None` when only a degree hint or
+    /// nothing is known. This is the read the walk-not-wait prefetcher
+    /// uses to enumerate speculative targets without spending queries.
+    fn cached_neighbors(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        let _ = v;
+        None
+    }
+
+    /// Whether a full response for `v` is cached locally (free).
+    fn is_cached(&self, v: NodeId) -> bool {
+        self.cached_neighbors(v).is_some()
+    }
 }
 
 impl<I: SocialNetworkInterface> QueryClient for CachedClient<I> {
@@ -48,6 +62,14 @@ impl<I: SocialNetworkInterface> QueryClient for CachedClient<I> {
 
     fn num_users_hint(&self) -> Option<usize> {
         CachedClient::num_users_hint(self)
+    }
+
+    fn cached_neighbors(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.cached(v).map(|r| r.neighbors.clone())
+    }
+
+    fn is_cached(&self, v: NodeId) -> bool {
+        CachedClient::is_cached(self, v)
     }
 }
 
@@ -90,6 +112,14 @@ impl<I: SocialNetworkInterface> QueryClient for SharedClient<I> {
     fn num_users_hint(&self) -> Option<usize> {
         self.inner.lock().num_users_hint()
     }
+
+    fn cached_neighbors(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        self.inner.lock().cached(v).map(|r| r.neighbors.clone())
+    }
+
+    fn is_cached(&self, v: NodeId) -> bool {
+        self.inner.lock().is_cached(v)
+    }
 }
 
 #[cfg(test)]
@@ -106,6 +136,9 @@ mod tests {
         assert_eq!(QueryClient::unique_queries(&c), 1);
         assert_eq!(QueryClient::known_degree(&c, NodeId(0)), Some(11));
         assert_eq!(QueryClient::num_users_hint(&c), Some(22));
+        assert!(QueryClient::is_cached(&c, NodeId(0)));
+        assert_eq!(QueryClient::cached_neighbors(&c, NodeId(0)), Some(r.neighbors));
+        assert_eq!(QueryClient::cached_neighbors(&c, NodeId(9)), None, "unqueried node");
     }
 
     #[test]

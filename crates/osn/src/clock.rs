@@ -1,0 +1,114 @@
+//! The shared virtual clock of the simulation stack.
+//!
+//! Rate limiting ([`crate::rate_limit::RateLimitedInterface`]) and the
+//! discrete-event network engine (`mto-net`) both reason about *virtual*
+//! time: experiments report "this sampling run would have taken N hours
+//! against the live API" without ever sleeping. They must agree on what
+//! time it is — a token bucket refilling on one clock while the event
+//! queue advances another would silently decouple quota from latency — so
+//! there is exactly one clock type, defined here (the lowest layer that
+//! needs it) and re-exported by `mto-net` as its event clock.
+//!
+//! The clock is a cheap cloneable handle (`Arc<AtomicU64>` microseconds):
+//! every wrapper that shares a handle sees every advance, and reads never
+//! take a lock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Monotone virtual time in microseconds, shared across clones.
+///
+/// All arithmetic is on integer microseconds so concurrent advances
+/// cannot lose precision; the public API speaks `f64` seconds, matching
+/// the token bucket and latency models.
+#[derive(Clone, Debug, Default)]
+pub struct VirtualClock {
+    now_us: Arc<AtomicU64>,
+}
+
+impl VirtualClock {
+    /// A fresh clock at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now_us() as f64 / 1e6
+    }
+
+    /// Current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.now_us.load(Ordering::Relaxed)
+    }
+
+    /// Advances by `seconds` (rounded up to a whole microsecond so every
+    /// positive advance is visible) and returns the new time in seconds.
+    pub fn advance(&self, seconds: f64) -> f64 {
+        let us = Self::secs_to_us(seconds);
+        let prev = self.now_us.fetch_add(us, Ordering::Relaxed);
+        (prev + us) as f64 / 1e6
+    }
+
+    /// Moves the clock forward to `target_us` if it is ahead of now
+    /// (monotone — a target in the past is a no-op), returning the
+    /// resulting time in microseconds.
+    pub fn advance_to_us(&self, target_us: u64) -> u64 {
+        self.now_us.fetch_max(target_us, Ordering::Relaxed).max(target_us)
+    }
+
+    /// Seconds rounded up to whole microseconds (the clock's resolution).
+    pub fn secs_to_us(seconds: f64) -> u64 {
+        (seconds * 1e6).ceil() as u64
+    }
+
+    /// Microseconds as seconds.
+    pub fn us_to_secs(us: u64) -> f64 {
+        us as f64 / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = VirtualClock::new();
+        assert_eq!(c.now_us(), 0);
+        let t = c.advance(1.5);
+        assert!((t - 1.5).abs() < 1e-9);
+        assert_eq!(c.now_us(), 1_500_000);
+    }
+
+    #[test]
+    fn clones_share_one_timeline() {
+        let a = VirtualClock::new();
+        let b = a.clone();
+        a.advance(2.0);
+        assert_eq!(b.now_us(), 2_000_000);
+        b.advance(0.5);
+        assert_eq!(a.now_us(), 2_500_000);
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = VirtualClock::new();
+        assert_eq!(c.advance_to_us(300), 300);
+        assert_eq!(c.advance_to_us(100), 300, "moving backwards is a no-op");
+        assert_eq!(c.now_us(), 300);
+    }
+
+    #[test]
+    fn sub_microsecond_advances_are_never_lost() {
+        let c = VirtualClock::new();
+        c.advance(1e-9);
+        assert!(c.now_us() >= 1, "positive advances round up to one tick");
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(VirtualClock::secs_to_us(0.05), 50_000);
+        assert!((VirtualClock::us_to_secs(50_000) - 0.05).abs() < 1e-12);
+    }
+}

@@ -15,6 +15,8 @@
 //!   degree history that powers Theorem 5;
 //! * [`rate_limit`] — token-bucket quotas over a virtual clock, with the
 //!   Facebook/Twitter policies the paper quotes;
+//! * [`clock`] — the one shared [`clock::VirtualClock`] that rate limiting
+//!   and the `mto-net` discrete-event engine both advance;
 //! * [`crawler`] — budgeted BFS/DFS baselines.
 //!
 //! ## Example
@@ -37,6 +39,7 @@
 
 pub mod cache;
 pub mod client;
+pub mod clock;
 pub mod crawler;
 pub mod error;
 pub mod interface;
@@ -46,6 +49,7 @@ pub mod service;
 
 pub use cache::{CacheSnapshot, CachedClient};
 pub use client::{QueryClient, SharedClient};
+pub use clock::VirtualClock;
 pub use error::{OsnError, Result};
 pub use interface::{QueryResponse, SocialNetworkInterface};
 pub use profile::{ProfileGenerator, UserProfile};

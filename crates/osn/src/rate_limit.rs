@@ -11,6 +11,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use mto_graph::NodeId;
 use parking_lot::Mutex;
 
+use crate::clock::VirtualClock;
 use crate::error::{OsnError, Result};
 use crate::interface::{QueryResponse, SocialNetworkInterface};
 
@@ -92,8 +93,9 @@ impl TokenBucket {
 pub struct RateLimitedInterface<I> {
     inner: I,
     bucket: Mutex<TokenBucket>,
-    /// Virtual now, in microseconds (atomic for cheap shared reads).
-    virtual_now_us: AtomicU64,
+    /// The shared virtual clock this wrapper advances (see
+    /// [`VirtualClock`] — one timeline for quota *and* latency).
+    clock: VirtualClock,
     /// Virtual seconds each request costs even when tokens are available
     /// (network latency).
     request_latency: f64,
@@ -104,12 +106,19 @@ pub struct RateLimitedInterface<I> {
 
 impl<I: SocialNetworkInterface> RateLimitedInterface<I> {
     /// Wraps an interface with a policy; default per-request virtual
-    /// latency of 50 ms.
+    /// latency of 50 ms, on a fresh private clock.
     pub fn new(inner: I, policy: RateLimitPolicy) -> Self {
+        Self::with_clock(inner, policy, VirtualClock::new())
+    }
+
+    /// Wraps an interface with a policy on an externally shared
+    /// [`VirtualClock`], so rate-limit stalls and event-engine latency
+    /// (the `mto-net` pipeline) advance one common timeline.
+    pub fn with_clock(inner: I, policy: RateLimitPolicy, clock: VirtualClock) -> Self {
         RateLimitedInterface {
             inner,
             bucket: Mutex::new(TokenBucket::new(policy)),
-            virtual_now_us: AtomicU64::new(0),
+            clock,
             request_latency: 0.05,
             fail_when_limited: false,
             stalls: AtomicU64::new(0),
@@ -118,18 +127,17 @@ impl<I: SocialNetworkInterface> RateLimitedInterface<I> {
 
     /// Current virtual time in seconds.
     pub fn virtual_now(&self) -> f64 {
-        self.virtual_now_us.load(Ordering::Relaxed) as f64 / 1e6
+        self.clock.now()
+    }
+
+    /// The clock this wrapper advances (cloneable shared handle).
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
     }
 
     /// Number of requests that had to stall for tokens.
     pub fn stalls(&self) -> u64 {
         self.stalls.load(Ordering::Relaxed)
-    }
-
-    fn advance(&self, seconds: f64) -> f64 {
-        let us = (seconds * 1e6).ceil() as u64;
-        let prev = self.virtual_now_us.fetch_add(us, Ordering::Relaxed);
-        (prev + us) as f64 / 1e6
     }
 
     /// Access to the wrapped interface.
@@ -140,7 +148,7 @@ impl<I: SocialNetworkInterface> RateLimitedInterface<I> {
 
 impl<I: SocialNetworkInterface> SocialNetworkInterface for RateLimitedInterface<I> {
     fn query(&self, v: NodeId) -> Result<QueryResponse> {
-        let now = self.advance(self.request_latency);
+        let now = self.clock.advance(self.request_latency);
         let mut bucket = self.bucket.lock();
         match bucket.try_acquire(now) {
             Ok(()) => {}
@@ -149,10 +157,14 @@ impl<I: SocialNetworkInterface> SocialNetworkInterface for RateLimitedInterface<
                     return Err(OsnError::RateLimited { retry_after_secs: wait.ceil() as u64 });
                 }
                 self.stalls.fetch_add(1, Ordering::Relaxed);
-                let later = self.advance(wait);
-                bucket
-                    .try_acquire(later)
-                    .expect("token must be available after stalling for refill");
+                let mut later = self.clock.advance(wait);
+                // Rounding in the refill can leave the bucket a hair
+                // short at the computed instant (especially when another
+                // clock sharer moved time between our reads); nudge
+                // forward until the token really lands.
+                while let Err(more) = bucket.try_acquire(later) {
+                    later = self.clock.advance(more.max(1e-6));
+                }
             }
         }
         drop(bucket);
@@ -234,6 +246,24 @@ mod tests {
             }
             other => panic!("expected RateLimited, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn shared_clock_unifies_external_advances_with_refill() {
+        // A clock advanced by some *other* component (e.g. the mto-net
+        // event engine) must refill this wrapper's bucket: one timeline.
+        let svc = OsnService::with_defaults(&paper_barbell());
+        let clock = VirtualClock::new();
+        let limited = RateLimitedInterface::with_clock(
+            svc,
+            RateLimitPolicy { burst: 1, refill_per_sec: 1.0 },
+            clock.clone(),
+        );
+        limited.query(NodeId(0)).unwrap(); // bucket now empty
+        clock.advance(10.0); // latency elapsing elsewhere refills it
+        limited.query(NodeId(1)).unwrap();
+        assert_eq!(limited.stalls(), 0, "externally elapsed time covered the refill");
+        assert!(limited.virtual_now() >= 10.0);
     }
 
     #[test]

@@ -19,7 +19,8 @@
 use std::path::{Path, PathBuf};
 
 use mto_core::walk::Walker;
-use mto_osn::{CachedClient, OsnService, SharedClient};
+use mto_net::TimedInterface;
+use mto_osn::{CachedClient, OsnService, SharedClient, SocialNetworkInterface, VirtualClock};
 use mto_serve::error::ServeError;
 use mto_serve::history::HistoryStore;
 use mto_serve::request::{NetworkSpec, ServeRequest};
@@ -33,6 +34,8 @@ const USAGE: &str = "usage:
 
 /// Metadata key under which snapshots record their network spec.
 const NETWORK_META: &str = "network";
+/// Metadata key under which snapshots record their provider preset.
+const PROVIDER_META: &str = "provider";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -116,7 +119,29 @@ fn cmd_run(args: &[String]) -> Result<(), Invocation> {
     let request = read_request(&request_path)?;
     let service = OsnService::with_defaults(&request.network.build());
 
-    let scheduler = match &request.warm_start {
+    // The provider directive wraps the service in mto-net's simulated
+    // latency + quota on a virtual clock, so the report can say what the
+    // run would have cost in wall-clock time against the live API.
+    let report = match request.provider {
+        Some(profile) => {
+            let timed = TimedInterface::new(service, profile, 0x5EED);
+            let clock = timed.clock().clone();
+            execute(timed, &request, Some(clock))?
+        }
+        None => execute(service, &request, None)?,
+    };
+    emit(&render_report(&request, &report), flags.get("out"))?;
+    Ok(())
+}
+
+/// Builds the scheduler (cold or warm-started), runs the jobs, and
+/// honors `save-history` — generic over however the service is wrapped.
+fn execute<I: SocialNetworkInterface + Send + Sync>(
+    service: I,
+    request: &ServeRequest,
+    clock: Option<VirtualClock>,
+) -> Result<ServeReport, ServeError> {
+    let mut scheduler = match &request.warm_start {
         Some(path) => {
             let store = HistoryStore::load(path)?;
             eprintln!(
@@ -128,6 +153,9 @@ fn cmd_run(args: &[String]) -> Result<(), Invocation> {
         }
         None => JobScheduler::new(service, request.scheduler),
     };
+    if let Some(clock) = clock {
+        scheduler = scheduler.with_virtual_clock(clock);
+    }
     let report = scheduler.run(request.jobs.clone())?;
 
     if let Some(path) = &request.save_history {
@@ -139,17 +167,19 @@ fn cmd_run(args: &[String]) -> Result<(), Invocation> {
             path.display()
         );
     }
-    emit(&render_report(&request.network, &report), flags.get("out"))?;
-    Ok(())
+    Ok(report)
 }
 
-fn render_report(network: &NetworkSpec, report: &ServeReport) -> String {
+fn render_report(request: &ServeRequest, report: &ServeReport) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     writeln!(out, "# mto-serve results").expect("string write");
-    writeln!(out, "network {}", network.to_line()).expect("string write");
+    writeln!(out, "network {}", request.network.to_line()).expect("string write");
     writeln!(out, "jobs {}", report.outcomes.len()).expect("string write");
     writeln!(out, "total-unique-queries {}", report.total_unique_queries).expect("string write");
+    if let (Some(profile), Some(secs)) = (&request.provider, report.virtual_secs) {
+        writeln!(out, "provider {} virtual-secs {secs:.3}", profile.name).expect("string write");
+    }
     writeln!(
         out,
         "aggregate-rewiring removals={} replacements={} rejections={}",
@@ -193,11 +223,31 @@ fn cmd_snapshot(args: &[String]) -> Result<(), Invocation> {
     let to = flags.get("to").ok_or_else(|| Invocation::Usage("snapshot needs --to FILE".into()))?;
 
     let request = read_request(&request_path)?;
+    let service = OsnService::with_defaults(&request.network.build());
+    // Honor the provider directive exactly like `run` does, so one
+    // request file means the same thing under every subcommand; the
+    // provider travels in the snapshot meta for `resume` to rebuild.
+    match request.provider {
+        Some(profile) => {
+            snapshot_session(TimedInterface::new(service, profile, 0x5EED), &request, at, to)
+        }
+        None => snapshot_session(service, &request, at, to),
+    }
+}
+
+fn snapshot_session<I: SocialNetworkInterface>(
+    service: I,
+    request: &ServeRequest,
+    at: usize,
+    to: &Path,
+) -> Result<(), Invocation> {
     let job = request.jobs[0].clone(); // parse guarantees ≥ 1 job
-    let client =
-        SharedClient::new(CachedClient::new(OsnService::with_defaults(&request.network.build())));
+    let client = SharedClient::new(CachedClient::new(service));
     let mut session = SamplerSession::create(client, job)?;
     session.set_meta(NETWORK_META, request.network.to_line());
+    if let Some(profile) = &request.provider {
+        session.set_meta(PROVIDER_META, profile.name);
+    }
     let taken = session.advance(at)?;
     session.pause();
     session.snapshot().save(to)?;
@@ -220,9 +270,37 @@ fn cmd_resume(args: &[String]) -> Result<(), Invocation> {
         .to_string();
     let network = NetworkSpec::parse(&network_line)
         .map_err(|m| ServeError::SnapshotMismatch(format!("bad network meta: {m}")))?;
+    let provider = match snapshot.meta_value(PROVIDER_META) {
+        Some(name) => Some(mto_net::ProviderProfile::by_name(name).ok_or_else(|| {
+            ServeError::SnapshotMismatch(format!("unknown provider meta {name:?}"))
+        })?),
+        None => None,
+    };
 
-    let client = SharedClient::new(CachedClient::new(OsnService::with_defaults(&network.build())));
-    let mut session = SamplerSession::restore(client, &snapshot)?;
+    let service = OsnService::with_defaults(&network.build());
+    // Replaying the frozen prefix is pure cache hits, so the virtual
+    // clock only charges the *remaining* steps — exactly what resuming
+    // against the live provider would cost.
+    let out = match provider {
+        Some(profile) => {
+            let timed = TimedInterface::new(service, profile, 0x5EED);
+            let clock = timed.clock().clone();
+            resume_session(timed, &snapshot, &network_line, Some((profile.name, clock)))?
+        }
+        None => resume_session(service, &snapshot, &network_line, None)?,
+    };
+    emit(&out, flags.get("out"))?;
+    Ok(())
+}
+
+fn resume_session<I: SocialNetworkInterface>(
+    service: I,
+    snapshot: &SessionSnapshot,
+    network_line: &str,
+    provider_clock: Option<(&str, VirtualClock)>,
+) -> Result<String, Invocation> {
+    let client = SharedClient::new(CachedClient::new(service));
+    let mut session = SamplerSession::restore(client, snapshot)?;
     let resumed_at = session.steps_taken();
     session.run_to_completion()?;
     let estimate = session.average_degree_estimate()?;
@@ -241,9 +319,11 @@ fn cmd_resume(args: &[String]) -> Result<(), Invocation> {
         session.unique_queries()
     )
     .expect("string write");
+    if let Some((name, clock)) = provider_clock {
+        writeln!(out, "provider {name} virtual-secs {:.3}", clock.now()).expect("string write");
+    }
     if let Some(est) = estimate {
         writeln!(out, "est-avg-degree {est:.4}").expect("string write");
     }
-    emit(&out, flags.get("out"))?;
-    Ok(())
+    Ok(out)
 }

@@ -165,6 +165,127 @@ impl HistoryStore {
         self.cache.responses.len()
     }
 
+    /// Merges `other` into `self`: the **union of two persisted crawls**
+    /// of the same network (the compaction path — many incremental crawl
+    /// stores folded into one master store). Policy:
+    ///
+    /// * cache entries and degree hints: union, **keep-first** on
+    ///   conflict (an entry present in both with *different* content
+    ///   keeps `self`'s version and bumps the conflict count; identical
+    ///   duplicates are not conflicts);
+    /// * a degree hint shadowed by a full response (either side) is
+    ///   dropped — the response supersedes it, hint mismatches against a
+    ///   response's true degree count as conflicts;
+    /// * overlay deltas: union of removed/added edge sets; an edge
+    ///   `removed` on one side and `added` on the other keeps `self`'s
+    ///   disposition and counts as a conflict;
+    /// * cost counters: summed — the merged store documents the combined
+    ///   bill both crawls paid;
+    /// * `num_users`: must agree when both sides recorded it (`Err`
+    ///   otherwise — unions across different networks would poison every
+    ///   later warm start).
+    ///
+    /// Returns how much was merged and how many conflicts were resolved
+    /// keep-first.
+    pub fn merge(&mut self, other: &HistoryStore) -> std::result::Result<MergeOutcome, String> {
+        if let (Some(a), Some(b)) = (self.num_users, other.num_users) {
+            if a != b {
+                return Err(format!(
+                    "cannot merge: this store was crawled from a {a}-user network, \
+                     the other from a {b}-user network"
+                ));
+            }
+        }
+        self.num_users = self.num_users.or(other.num_users);
+        let mut outcome = MergeOutcome::default();
+
+        // Responses: keep-first union by node id.
+        let known: std::collections::HashMap<NodeId, &QueryResponse> =
+            self.cache.responses.iter().map(|r| (r.user, r)).collect();
+        let mut adopted: Vec<QueryResponse> = Vec::new();
+        for r in &other.cache.responses {
+            match known.get(&r.user) {
+                Some(mine) => {
+                    if *mine != r {
+                        outcome.conflicts += 1;
+                    }
+                }
+                None => adopted.push(r.clone()),
+            }
+        }
+        outcome.merged_responses = adopted.len();
+        self.cache.responses.extend(adopted);
+        self.cache.responses.sort_unstable_by_key(|r| r.user);
+
+        // Degree hints: keep-first union; responses supersede hints.
+        let degrees: std::collections::HashMap<NodeId, usize> =
+            self.cache.responses.iter().map(|r| (r.user, r.neighbors.len())).collect();
+        let mine: std::collections::HashMap<NodeId, usize> =
+            self.cache.degree_hints.iter().copied().collect();
+        self.cache.degree_hints.retain(|(v, d)| {
+            // A response adopted from `other` may shadow one of our hints.
+            match degrees.get(v) {
+                Some(&true_degree) => {
+                    if *d != true_degree {
+                        outcome.conflicts += 1;
+                    }
+                    false
+                }
+                None => true,
+            }
+        });
+        for &(v, d) in &other.cache.degree_hints {
+            match (degrees.get(&v), mine.get(&v)) {
+                (Some(&true_degree), _) => {
+                    if d != true_degree {
+                        outcome.conflicts += 1;
+                    }
+                }
+                (None, Some(&have)) => {
+                    if have != d {
+                        outcome.conflicts += 1;
+                    }
+                }
+                (None, None) => {
+                    outcome.merged_hints += 1;
+                    self.cache.degree_hints.push((v, d));
+                }
+            }
+        }
+        self.cache.degree_hints.sort_unstable_by_key(|&(v, _)| v);
+
+        // Overlay deltas: union of edge sets; keep-first on a
+        // removed-vs-added disagreement.
+        let my_removed: std::collections::HashSet<(NodeId, NodeId)> =
+            self.removed.iter().copied().collect();
+        let my_added: std::collections::HashSet<(NodeId, NodeId)> =
+            self.added.iter().copied().collect();
+        for &e in &other.removed {
+            if my_added.contains(&e) {
+                outcome.conflicts += 1;
+            } else if !my_removed.contains(&e) {
+                outcome.merged_overlay_edges += 1;
+                self.removed.push(e);
+            }
+        }
+        for &e in &other.added {
+            if my_removed.contains(&e) {
+                outcome.conflicts += 1;
+            } else if !my_added.contains(&e) {
+                outcome.merged_overlay_edges += 1;
+                self.added.push(e);
+            }
+        }
+        self.removed.sort_unstable();
+        self.added.sort_unstable();
+
+        // Counters: the combined bill of both crawls.
+        self.cache.unique_queries += other.cache.unique_queries;
+        self.cache.total_lookups += other.cache.total_lookups;
+        self.cache.transient_retries += other.cache.transient_retries;
+        Ok(outcome)
+    }
+
     /// Serializes to the versioned text format, checksum trailer included.
     pub fn encode(&self) -> String {
         let mut body = format!("{HISTORY_MAGIC} v{FORMAT_VERSION}\n");
@@ -202,6 +323,21 @@ impl HistoryStore {
         let text = std::fs::read_to_string(path)?;
         Ok(Self::decode(&text)?)
     }
+}
+
+/// What a [`HistoryStore::merge`] accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// Entries present in both stores with *different* content, resolved
+    /// keep-first (a warning count — a nonzero value means the two
+    /// crawls disagreed about the network).
+    pub conflicts: u64,
+    /// Responses adopted from the other store.
+    pub merged_responses: usize,
+    /// Degree hints adopted from the other store.
+    pub merged_hints: usize,
+    /// Overlay edges (removed + added) adopted from the other store.
+    pub merged_overlay_edges: usize,
 }
 
 /// FNV-1a 64-bit hash — the integrity check of the codec.
@@ -542,6 +678,107 @@ mod tests {
             Some(&delta),
         );
         assert_eq!(again, store);
+    }
+
+    /// A store from a crawl of `nodes`, with one degree hint and a small
+    /// overlay delta.
+    fn crawl(nodes: &[u32], hint: (u32, usize), removed: (u32, u32)) -> HistoryStore {
+        let mut client = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        for &v in nodes {
+            client.query(NodeId(v)).unwrap();
+        }
+        client.remember_degree(NodeId(hint.0), hint.1);
+        let mut delta = OverlayDelta::new();
+        delta.remove_edge(NodeId(removed.0), NodeId(removed.1));
+        HistoryStore::from_parts(&client, Some(&delta))
+    }
+
+    #[test]
+    fn merge_unions_two_crawls_and_round_trips() {
+        // Two crawls of the same barbell touching overlapping node sets.
+        let mut a = crawl(&[0, 1, 2, 5], (20, 11), (0, 5));
+        let b = crawl(&[2, 3, 11], (19, 10), (1, 2));
+        let (ua, ub) = (a.cache.unique_queries, b.cache.unique_queries);
+
+        let outcome = a.merge(&b).unwrap();
+        assert_eq!(outcome.conflicts, 0, "honest crawls of one network never conflict");
+        assert_eq!(outcome.merged_responses, 2, "nodes 3 and 11 adopted");
+        assert_eq!(outcome.merged_hints, 1);
+        assert_eq!(outcome.merged_overlay_edges, 1);
+        let ids: Vec<u32> = a.cache.responses.iter().map(|r| r.user.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 5, 11], "union, ascending");
+        assert_eq!(a.cache.unique_queries, ua + ub, "combined bill");
+        assert!(a.overlay_delta().is_removed(NodeId(0), NodeId(5)));
+        assert!(a.overlay_delta().is_removed(NodeId(1), NodeId(2)));
+
+        // The merged store round-trips through the codec…
+        let decoded = HistoryStore::decode(&a.encode()).unwrap();
+        assert_eq!(decoded, a);
+        // …and warm-starts a client that knows the union for free.
+        let warm = decoded.warm_start(OsnService::with_defaults(&paper_barbell())).unwrap();
+        assert_eq!(warm.num_cached(), 6);
+        assert_eq!(warm.known_degree(NodeId(19)), Some(10), "hint adopted from b");
+        assert_eq!(warm.known_degree(NodeId(20)), Some(11), "own hint kept");
+    }
+
+    #[test]
+    fn merge_conflicts_keep_first_and_are_counted() {
+        let mut a = crawl(&[0, 1], (20, 9), (0, 5));
+        let mut b = crawl(&[1], (20, 7), (0, 3));
+        // Sabotage b: same node id, different content; and an overlay
+        // disagreement (a removed (0,5), b *added* it).
+        b.cache.responses[0].profile.age += 1;
+        b.removed.clear();
+        b.added = vec![(NodeId(0), NodeId(5))];
+
+        let outcome = a.merge(&b).unwrap();
+        assert_eq!(
+            outcome.conflicts, 3,
+            "response content, degree hint, and overlay disposition all disagreed"
+        );
+        assert_eq!(outcome.merged_responses, 0);
+        // Keep-first: a's versions survive everywhere.
+        let node1 = a.cache.responses.iter().find(|r| r.user == NodeId(1)).unwrap();
+        assert_eq!(node1.profile, crawl(&[1], (0, 0), (2, 3)).cache.responses[0].profile);
+        assert_eq!(a.cache.degree_hints, vec![(NodeId(20), 9)]);
+        assert!(a.overlay_delta().is_removed(NodeId(0), NodeId(5)));
+        assert!(!a.overlay_delta().is_added(NodeId(0), NodeId(5)));
+    }
+
+    #[test]
+    fn merge_drops_hints_shadowed_by_responses() {
+        // a knows node 5's degree only as a (wrong) hint; b cached the
+        // full response. The response wins, the wrong hint is a conflict.
+        let mut a = crawl(&[0], (5, 3), (0, 1));
+        let b = crawl(&[5], (20, 11), (0, 1));
+        let outcome = a.merge(&b).unwrap();
+        assert_eq!(outcome.conflicts, 1, "hint 3 contradicts true degree 10");
+        assert!(a.cache.degree_hints.iter().all(|&(v, _)| v != NodeId(5)));
+        let warm = a.warm_start(OsnService::with_defaults(&paper_barbell())).unwrap();
+        assert_eq!(warm.known_degree(NodeId(5)), Some(10), "true degree from the response");
+    }
+
+    #[test]
+    fn merge_is_idempotent() {
+        let mut a = crawl(&[0, 1, 7], (20, 11), (0, 5));
+        let snapshot = a.clone();
+        let outcome = a.merge(&snapshot).unwrap();
+        assert_eq!(outcome, MergeOutcome::default(), "self-merge adopts nothing");
+        // Counters double (both "crawls" paid), content is unchanged.
+        assert_eq!(a.cache.unique_queries, 2 * snapshot.cache.unique_queries);
+        assert_eq!(a.cache.responses, snapshot.cache.responses);
+        assert_eq!(a.removed, snapshot.removed);
+    }
+
+    #[test]
+    fn merge_refuses_stores_from_different_networks() {
+        let mut a = crawl(&[0], (20, 11), (0, 5));
+        let mut client =
+            CachedClient::new(OsnService::with_defaults(&mto_graph::generators::complete_graph(5)));
+        client.query(NodeId(0)).unwrap();
+        let b = HistoryStore::from_client(&client);
+        let err = a.merge(&b).unwrap_err();
+        assert!(err.contains("22") && err.contains("5"), "{err}");
     }
 
     #[test]

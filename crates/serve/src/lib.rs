@@ -59,9 +59,9 @@ pub mod scheduler;
 pub mod session;
 
 pub use error::{HistoryCodecError, Result, ServeError};
-pub use history::HistoryStore;
+pub use history::{HistoryStore, MergeOutcome};
 pub use request::{NetworkSpec, ServeRequest};
-pub use scheduler::{JobOutcome, JobScheduler, SchedulerConfig, ServeReport};
+pub use scheduler::{JobOutcome, JobScheduler, SchedulePolicy, SchedulerConfig, ServeReport};
 pub use session::{
     format_job_line, parse_job_line, AlgoSpec, JobSpec, SamplerSession, SessionSnapshot,
     SessionState, SessionWalker,

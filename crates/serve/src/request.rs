@@ -6,6 +6,9 @@
 //! ```text
 //! # which simulated network to build (mto-graph generators)
 //! network barbell
+//! # optional provider simulation: rate limit + latency on the virtual
+//! # clock (mto-net presets: facebook / twitter / google-plus)
+//! provider facebook
 //! # optional persistent history
 //! warm-start crawl.hist
 //! save-history crawl.hist
@@ -13,6 +16,7 @@
 //! workers 4
 //! quantum 32
 //! budget 5000
+//! policy budget-proportional
 //! # one line per job (same syntax as session snapshots)
 //! job id=a algo=mto start=0 steps=500 seed=7
 //! job id=b algo=srw start=3 steps=500 seed=9
@@ -21,11 +25,12 @@
 use std::path::PathBuf;
 
 use mto_graph::{generators, Graph};
+use mto_net::ProviderProfile;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::error::ServeError;
-use crate::scheduler::SchedulerConfig;
+use crate::scheduler::{SchedulePolicy, SchedulerConfig};
 use crate::session::{parse_job_line, JobSpec};
 
 /// A buildable simulated-network description. Every variant maps to an
@@ -190,11 +195,15 @@ impl NetworkSpec {
 pub struct ServeRequest {
     /// The network every job samples.
     pub network: NetworkSpec,
+    /// Simulate this provider's rate limit and latency on the virtual
+    /// clock (`provider` directive; reports then carry `virtual-secs`).
+    pub provider: Option<ProviderProfile>,
     /// Warm-start the shared client from this history file.
     pub warm_start: Option<PathBuf>,
     /// After the run, persist the shared client's history here.
     pub save_history: Option<PathBuf>,
-    /// Scheduler knobs (`workers`, `quantum`, `budget` directives).
+    /// Scheduler knobs (`workers`, `quantum`, `budget`, `policy`
+    /// directives).
     pub scheduler: SchedulerConfig,
     /// The jobs, in file order.
     pub jobs: Vec<JobSpec>,
@@ -204,6 +213,8 @@ impl ServeRequest {
     /// Parses a request file.
     pub fn parse(text: &str) -> Result<Self, ServeError> {
         let mut network = None;
+        let mut provider = None;
+        let mut policy_seen = false;
         let mut warm_start = None;
         let mut save_history = None;
         let mut scheduler = SchedulerConfig::default();
@@ -226,6 +237,22 @@ impl ServeRequest {
                         return Err(err(lineno, "duplicate network directive".into()));
                     }
                     network = Some(NetworkSpec::parse(rest).map_err(|m| err(lineno, m))?);
+                }
+                "provider" => {
+                    if provider.is_some() {
+                        return Err(err(lineno, "duplicate provider directive".into()));
+                    }
+                    provider =
+                        Some(ProviderProfile::by_name(rest).ok_or_else(|| {
+                            err(lineno, format!("unknown provider preset {rest:?}"))
+                        })?);
+                }
+                "policy" => {
+                    if policy_seen {
+                        return Err(err(lineno, "duplicate policy directive".into()));
+                    }
+                    policy_seen = true;
+                    scheduler.policy = SchedulePolicy::parse(rest).map_err(|m| err(lineno, m))?;
                 }
                 "warm-start" => warm_start = Some(PathBuf::from(rest)),
                 "save-history" => save_history = Some(PathBuf::from(rest)),
@@ -268,7 +295,7 @@ impl ServeRequest {
                 ));
             }
         }
-        Ok(ServeRequest { network, warm_start, save_history, scheduler, jobs })
+        Ok(ServeRequest { network, provider, warm_start, save_history, scheduler, jobs })
     }
 }
 
@@ -280,10 +307,12 @@ mod tests {
     const SMOKE: &str = "\
 # a comment
 network barbell
+provider facebook
 
 workers 2
 quantum 32
 budget 100
+policy budget-proportional
 warm-start in.hist
 save-history out.hist
 job id=a algo=mto start=0 steps=400 seed=7
@@ -294,14 +323,41 @@ job id=b algo=srw start=3 steps=400 seed=9
     fn request_file_parses() {
         let req = ServeRequest::parse(SMOKE).unwrap();
         assert_eq!(req.network, NetworkSpec::Barbell);
+        assert_eq!(req.provider, Some(ProviderProfile::facebook()));
         assert_eq!(req.scheduler.workers, 2);
         assert_eq!(req.scheduler.quantum, 32);
         assert_eq!(req.scheduler.global_query_budget, Some(100));
+        assert_eq!(req.scheduler.policy, crate::scheduler::SchedulePolicy::BudgetProportional);
         assert_eq!(req.warm_start, Some(PathBuf::from("in.hist")));
         assert_eq!(req.save_history, Some(PathBuf::from("out.hist")));
         assert_eq!(req.jobs.len(), 2);
         assert!(matches!(req.jobs[0].algo, AlgoSpec::Mto(_)));
         assert_eq!(req.jobs[1].id, "b");
+    }
+
+    #[test]
+    fn provider_and_policy_directives_default_off_and_reject_garbage() {
+        let plain = "network barbell\njob id=a algo=mto start=0 steps=1";
+        let req = ServeRequest::parse(plain).unwrap();
+        assert_eq!(req.provider, None);
+        assert_eq!(req.scheduler.policy, crate::scheduler::SchedulePolicy::RoundRobin);
+        for (text, needle) in [
+            ("network barbell\nprovider myspace\njob id=a algo=mto start=0 steps=1", "myspace"),
+            (
+                "network barbell\nprovider facebook\nprovider twitter\n\
+                 job id=a algo=mto start=0 steps=1",
+                "duplicate provider",
+            ),
+            ("network barbell\npolicy lottery\njob id=a algo=mto start=0 steps=1", "lottery"),
+            (
+                "network barbell\npolicy round-robin\npolicy budget-proportional\n\
+                 job id=a algo=mto start=0 steps=1",
+                "duplicate policy",
+            ),
+        ] {
+            let e = ServeRequest::parse(text).unwrap_err();
+            assert!(e.to_string().contains(needle), "{text:?} → {e}");
+        }
     }
 
     #[test]

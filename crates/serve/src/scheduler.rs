@@ -23,12 +23,47 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use mto_core::mto::RewireStats;
 use mto_core::walk::Walker;
 use mto_graph::NodeId;
-use mto_osn::{CachedClient, QueryClient, SharedClient, SocialNetworkInterface};
+use mto_osn::{CachedClient, QueryClient, SharedClient, SocialNetworkInterface, VirtualClock};
 use parking_lot::Mutex;
 
 use crate::error::{Result, ServeError};
 use crate::history::HistoryStore;
 use crate::session::{JobSpec, SamplerSession, SessionState};
+
+/// How the scheduler divides stepping quanta among jobs.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SchedulePolicy {
+    /// Every job gets the same quantum per turn — strict fairness.
+    #[default]
+    RoundRobin,
+    /// A job's quantum scales with its share of the total step budget:
+    /// heavyweight jobs take proportionally longer turns, so all jobs
+    /// need roughly the *same number of turns* and finish together
+    /// instead of the light ones idling while the heavy one burns in
+    /// alone. Results are identical to round-robin (walkers are
+    /// deterministic regardless of stepping pattern); only turn
+    /// granularity changes.
+    BudgetProportional,
+}
+
+impl SchedulePolicy {
+    /// Wire name (`round-robin` / `budget-proportional`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchedulePolicy::RoundRobin => "round-robin",
+            SchedulePolicy::BudgetProportional => "budget-proportional",
+        }
+    }
+
+    /// Parses the wire name.
+    pub fn parse(text: &str) -> std::result::Result<Self, String> {
+        match text {
+            "round-robin" => Ok(SchedulePolicy::RoundRobin),
+            "budget-proportional" => Ok(SchedulePolicy::BudgetProportional),
+            other => Err(format!("unknown schedule policy {other:?}")),
+        }
+    }
+}
 
 /// Scheduler tuning knobs.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -36,16 +71,52 @@ pub struct SchedulerConfig {
     /// Worker threads (clamped to at least 1).
     pub workers: usize,
     /// Steps one session takes before yielding its worker — the fairness
-    /// quantum of the round-robin.
+    /// quantum of the round-robin (the *base* quantum under
+    /// [`SchedulePolicy::BudgetProportional`]).
     pub quantum: usize,
     /// Optional cap on total unique queries across all jobs; jobs caught
     /// over the cap are finalized early with `completed = false`.
     pub global_query_budget: Option<u64>,
+    /// How quanta are apportioned among heterogeneous jobs.
+    pub policy: SchedulePolicy,
 }
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig { workers: 4, quantum: 64, global_query_budget: None }
+        SchedulerConfig {
+            workers: 4,
+            quantum: 64,
+            global_query_budget: None,
+            policy: SchedulePolicy::RoundRobin,
+        }
+    }
+}
+
+/// The per-job quantum under a policy: the base quantum, scaled by the
+/// job's share of the total step budget for
+/// [`SchedulePolicy::BudgetProportional`] (never below 1 so every job
+/// keeps making progress).
+fn effective_quantum(
+    policy: SchedulePolicy,
+    base: usize,
+    job_budget: usize,
+    total_budget: usize,
+    jobs: usize,
+) -> usize {
+    match policy {
+        SchedulePolicy::RoundRobin => base.max(1),
+        SchedulePolicy::BudgetProportional => {
+            if total_budget == 0 {
+                return base.max(1); // degenerate all-zero-budget pool
+            }
+            // Saturating u128 intermediates: step budgets come straight
+            // from request files, so no product may be allowed to
+            // overflow.
+            let scaled =
+                (base as u128).saturating_mul(job_budget as u128).saturating_mul(jobs as u128)
+                    / (total_budget as u128);
+            usize::try_from(scaled).unwrap_or(usize::MAX).max(1)
+        }
     }
 }
 
@@ -78,6 +149,12 @@ pub struct ServeReport {
     pub outcomes: Vec<JobOutcome>,
     /// Unique queries charged to the shared client, total.
     pub total_unique_queries: u64,
+    /// Virtual wall-clock seconds elapsed on the scheduler's
+    /// [`VirtualClock`] (when one is attached — i.e. the interface
+    /// simulates latency/rate limits through `mto-net` or
+    /// [`mto_osn::RateLimitedInterface`]): the run's *time* bill
+    /// alongside its unique-query bill.
+    pub virtual_secs: Option<f64>,
     /// Sum of the rewiring counters across all rewiring jobs.
     pub aggregate_stats: RewireStats,
 }
@@ -86,6 +163,7 @@ pub struct ServeReport {
 pub struct JobScheduler<I: SocialNetworkInterface> {
     client: SharedClient<I>,
     config: SchedulerConfig,
+    clock: Option<VirtualClock>,
 }
 
 impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
@@ -97,7 +175,14 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
     /// A scheduler over an existing client (e.g. one that already served
     /// earlier jobs this process).
     pub fn with_client(client: SharedClient<I>, config: SchedulerConfig) -> Self {
-        JobScheduler { client, config }
+        JobScheduler { client, config, clock: None }
+    }
+
+    /// Attaches the [`VirtualClock`] the wrapped interface advances, so
+    /// reports carry virtual wall-clock alongside unique queries.
+    pub fn with_virtual_clock(mut self, clock: VirtualClock) -> Self {
+        self.clock = Some(clock);
+        self
     }
 
     /// A scheduler warm-started from a persisted [`HistoryStore`]: jobs
@@ -117,19 +202,29 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
     /// collects their outcomes in submission order.
     pub fn run(&self, jobs: Vec<JobSpec>) -> Result<ServeReport> {
         let total = jobs.len();
+        // Saturating: step budgets are user input and may sum past usize.
+        let total_budget: usize =
+            jobs.iter().fold(0usize, |acc, j| acc.saturating_add(j.step_budget));
         // Create sessions up front, in submission order, so start-node
-        // queries are charged deterministically.
+        // queries are charged deterministically. Each job carries its
+        // policy-assigned quantum through the queue.
         let mut sessions = Vec::with_capacity(total);
         for (index, spec) in jobs.into_iter().enumerate() {
-            sessions.push((index, SamplerSession::create(self.client.clone(), spec)?));
+            let quantum = effective_quantum(
+                self.config.policy,
+                self.config.quantum,
+                spec.step_budget,
+                total_budget,
+                total,
+            );
+            sessions.push((index, quantum, SamplerSession::create(self.client.clone(), spec)?));
         }
 
-        let queue: Mutex<VecDeque<(usize, SamplerSession<I>)>> =
+        let queue: Mutex<VecDeque<(usize, usize, SamplerSession<I>)>> =
             Mutex::new(sessions.into_iter().collect());
         let done: Mutex<Vec<(usize, JobOutcome)>> = Mutex::new(Vec::with_capacity(total));
         let first_error: Mutex<Option<ServeError>> = Mutex::new(None);
         let finished = AtomicUsize::new(0);
-        let quantum = self.config.quantum.max(1);
         let budget = self.config.global_query_budget;
 
         std::thread::scope(|scope| {
@@ -139,7 +234,7 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
                         break;
                     }
                     let item = queue.lock().pop_front();
-                    let (index, mut session) = match item {
+                    let (index, quantum, mut session) = match item {
                         Some(s) => s,
                         None => {
                             if finished.load(Ordering::Acquire) >= total {
@@ -167,7 +262,7 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
                         }
                         finished.fetch_add(1, Ordering::Release);
                     } else {
-                        queue.lock().push_back((index, session));
+                        queue.lock().push_back((index, quantum, session));
                     }
                 });
             }
@@ -188,6 +283,7 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
         Ok(ServeReport {
             outcomes,
             total_unique_queries: self.client.unique_queries(),
+            virtual_secs: self.clock.as_ref().map(|c| c.now()),
             aggregate_stats,
         })
     }
@@ -253,7 +349,7 @@ mod tests {
     fn scheduler_runs_heterogeneous_jobs_to_their_budgets() {
         let scheduler = JobScheduler::new(
             OsnService::with_defaults(&paper_barbell()),
-            SchedulerConfig { workers: 3, quantum: 32, global_query_budget: None },
+            SchedulerConfig { workers: 3, quantum: 32, ..Default::default() },
         );
         let report = scheduler.run(mixed_jobs()).unwrap();
         assert_eq!(report.outcomes.len(), 4);
@@ -279,7 +375,7 @@ mod tests {
         let run = |workers| {
             let scheduler = JobScheduler::new(
                 OsnService::with_defaults(&paper_barbell()),
-                SchedulerConfig { workers, quantum: 16, global_query_budget: None },
+                SchedulerConfig { workers, quantum: 16, ..Default::default() },
             );
             scheduler.run(mixed_jobs()).unwrap()
         };
@@ -300,13 +396,95 @@ mod tests {
         // finish their walks' discovery phase.
         let scheduler = JobScheduler::new(
             OsnService::with_defaults(&paper_barbell()),
-            SchedulerConfig { workers: 2, quantum: 8, global_query_budget: Some(3) },
+            SchedulerConfig {
+                workers: 2,
+                quantum: 8,
+                global_query_budget: Some(3),
+                ..Default::default()
+            },
         );
         let report = scheduler.run(mixed_jobs()).unwrap();
         assert!(
             report.outcomes.iter().any(|o| !o.completed),
             "some job must be cut off by the query budget"
         );
+    }
+
+    #[test]
+    fn effective_quantum_scales_with_budget_share() {
+        use SchedulePolicy::*;
+        assert_eq!(effective_quantum(RoundRobin, 64, 10, 1000, 4), 64);
+        assert_eq!(effective_quantum(RoundRobin, 0, 10, 1000, 4), 1, "clamped");
+        // Equal budgets → the base quantum.
+        assert_eq!(effective_quantum(BudgetProportional, 64, 250, 1000, 4), 64);
+        // A job holding half the total budget of 4 jobs gets 2× base.
+        assert_eq!(effective_quantum(BudgetProportional, 64, 500, 1000, 4), 128);
+        // Tiny jobs never stall out entirely.
+        assert_eq!(effective_quantum(BudgetProportional, 64, 1, 1_000_000, 4), 1);
+        // Degenerate all-zero-budget pool falls back to the base.
+        assert_eq!(effective_quantum(BudgetProportional, 64, 0, 0, 4), 64);
+        // Request files can carry absurd step budgets; the quantum math
+        // must saturate, not overflow.
+        assert_eq!(effective_quantum(BudgetProportional, 64, usize::MAX, usize::MAX, 4), 256);
+        assert_eq!(
+            effective_quantum(BudgetProportional, usize::MAX, usize::MAX, usize::MAX, 2),
+            usize::MAX
+        );
+    }
+
+    #[test]
+    fn budget_proportional_policy_reproduces_round_robin_results() {
+        let run = |policy| {
+            let scheduler = JobScheduler::new(
+                OsnService::with_defaults(&paper_barbell()),
+                SchedulerConfig { workers: 3, quantum: 16, policy, ..Default::default() },
+            );
+            scheduler.run(mixed_jobs()).unwrap()
+        };
+        let rr = run(SchedulePolicy::RoundRobin);
+        let bp = run(SchedulePolicy::BudgetProportional);
+        assert_eq!(rr.total_unique_queries, bp.total_unique_queries);
+        for (a, b) in rr.outcomes.iter().zip(&bp.outcomes) {
+            assert_eq!(a.history, b.history, "policy changed job {}", a.id);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!((a.steps, a.completed), (b.steps, b.completed));
+        }
+    }
+
+    #[test]
+    fn schedule_policy_round_trips_its_wire_name() {
+        for p in [SchedulePolicy::RoundRobin, SchedulePolicy::BudgetProportional] {
+            assert_eq!(SchedulePolicy::parse(p.name()), Ok(p));
+        }
+        assert!(SchedulePolicy::parse("lottery").is_err());
+    }
+
+    #[test]
+    fn attached_clock_reports_virtual_wall_time() {
+        use mto_osn::{RateLimitPolicy, RateLimitedInterface};
+        let limited = RateLimitedInterface::new(
+            OsnService::with_defaults(&paper_barbell()),
+            RateLimitPolicy::facebook(),
+        );
+        let clock = limited.clock().clone();
+        let scheduler = JobScheduler::new(limited, Default::default()).with_virtual_clock(clock);
+        let report = scheduler.run(mixed_jobs()).unwrap();
+        let secs = report.virtual_secs.expect("clock attached");
+        // 22 unique queries at 50 ms each, serially accounted.
+        assert!(secs > 0.0, "latency must show up in the report");
+        assert!(
+            (secs - 0.05 * report.total_unique_queries as f64).abs() < 1e-6,
+            "virtual {secs} vs {} unique queries",
+            report.total_unique_queries
+        );
+    }
+
+    #[test]
+    fn reports_without_a_clock_carry_no_virtual_time() {
+        let scheduler =
+            JobScheduler::new(OsnService::with_defaults(&paper_barbell()), Default::default());
+        let report = scheduler.run(mixed_jobs()).unwrap();
+        assert_eq!(report.virtual_secs, None);
     }
 
     #[test]

@@ -310,6 +310,15 @@ impl<I: SocialNetworkInterface> Walker for SessionWalker<I> {
             SessionWalker::Rj(w) => w.importance_weight(v),
         }
     }
+
+    fn prefetch_candidates(&self) -> Vec<NodeId> {
+        match self {
+            SessionWalker::Mto(w) => w.prefetch_candidates(),
+            SessionWalker::Srw(w) => w.prefetch_candidates(),
+            SessionWalker::Mhrw(w) => w.prefetch_candidates(),
+            SessionWalker::Rj(w) => w.prefetch_candidates(),
+        }
+    }
 }
 
 /// Where a session is in its lifecycle.

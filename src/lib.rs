@@ -23,6 +23,10 @@
 //!   caching, rate limits and profiles;
 //! * [`core`] (`mto-core`) — the samplers: MTO plus the SRW/MHRW/RJ
 //!   baselines, estimators and diagnostics;
+//! * [`net`] (`mto-net`) — the deterministic discrete-event network
+//!   engine: latency models with provider presets, the K-in-flight query
+//!   pipeline over a virtual clock, and the walk-not-wait driver that
+//!   multiplexes walker pools and prefetches speculatively;
 //! * [`serve`] (`mto-serve`) — the service layer: resumable sampler
 //!   sessions, the persistent crawl-history store with cross-run warm
 //!   starts, and the multi-job scheduler (plus the `mto_serve` binary);
@@ -65,6 +69,7 @@
 pub use mto_core as core;
 pub use mto_experiments as experiments;
 pub use mto_graph as graph;
+pub use mto_net as net;
 pub use mto_osn as osn;
 pub use mto_serve as serve;
 pub use mto_spectral as spectral;
@@ -77,6 +82,7 @@ pub mod prelude {
         MetropolisHastingsWalk, RandomJumpWalk, SimpleRandomWalk, SrwConfig, Walker,
     };
     pub use mto_graph::{Edge, Graph, GraphBuilder, NodeId};
+    pub use mto_net::{LatencyModel, ProviderProfile, QueryPipeline, VirtualClock};
     pub use mto_osn::{CachedClient, OsnService, QueryClient, SocialNetworkInterface};
     pub use mto_serve::{HistoryStore, JobScheduler, JobSpec, SamplerSession};
     pub use mto_spectral::conductance::exact_conductance;

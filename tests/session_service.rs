@@ -103,7 +103,7 @@ fn scheduler_shares_budget_and_is_deterministic() {
     let run = |workers| {
         let scheduler = JobScheduler::new(
             mini_service(),
-            SchedulerConfig { workers, quantum: 37, global_query_budget: None },
+            SchedulerConfig { workers, quantum: 37, ..Default::default() },
         );
         scheduler.run(jobs()).unwrap()
     };
@@ -167,7 +167,12 @@ fn warm_started_scheduler_is_strictly_cheaper() {
 fn global_query_budget_interrupts_cleanly() {
     let scheduler = JobScheduler::new(
         mini_service(),
-        SchedulerConfig { workers: 2, quantum: 16, global_query_budget: Some(25) },
+        SchedulerConfig {
+            workers: 2,
+            quantum: 16,
+            global_query_budget: Some(25),
+            ..Default::default()
+        },
     );
     let report = scheduler.run(vec![mto_job("a", 0, 3_000, 5), mto_job("b", 1, 3_000, 6)]).unwrap();
     assert_eq!(report.outcomes.len(), 2, "interrupted jobs still report");
