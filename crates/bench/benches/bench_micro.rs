@@ -1,6 +1,7 @@
 //! Micro-benchmarks of the hot kernels: walker steps, the removal
 //! criterion, common-neighbor intersection, overlay operations, the
-//! client cache's slot-map lookup, the history codec, the discrete-event
+//! client cache's slot-map lookup, the history codec, the history-store
+//! merge the fleet's gossip folds at every barrier, the discrete-event
 //! query pipeline (and the full walk-not-wait driver), and the spectral
 //! solvers.
 
@@ -197,6 +198,49 @@ fn bench_history_codec(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("micro/merge");
+    group.sample_size(30);
+    group.measurement_time(Duration::from_secs(2));
+
+    // Two overlapping crawls of the mini-Epinions stand-in: the shape
+    // the fleet's epoch gossip folds at every barrier.
+    let graph = mto_bench::mini_epinions_graph(40);
+    let n = graph.num_nodes() as u32;
+    let crawl = |lo: u32, hi: u32| {
+        let mut client = CachedClient::new(OsnService::with_defaults(&graph));
+        for v in lo..hi {
+            client.query(NodeId(v)).unwrap();
+        }
+        HistoryStore::from_client(&client)
+    };
+    let a = crawl(0, 2 * n / 3);
+    let b = crawl(n / 3, n);
+    group.throughput(Throughput::Elements((a.num_responses() + b.num_responses()) as u64));
+
+    group.bench_function("merge-two-overlapping-crawls", |bch| {
+        bch.iter(|| {
+            let mut acc = a.clone();
+            let outcome = acc.merge(&b).unwrap();
+            std::hint::black_box((acc.num_responses(), outcome.merged_responses))
+        })
+    });
+    group.bench_function("fold-four-shard-gossip-round", |bch| {
+        let shards: Vec<HistoryStore> =
+            (0..4).map(|s| crawl(s * n / 6, s * n / 6 + n / 2)).collect();
+        bch.iter(|| {
+            let mut union = HistoryStore::default();
+            let mut conflicts = 0u64;
+            for shard in &shards {
+                conflicts += union.merge(shard).unwrap().conflicts;
+            }
+            std::hint::black_box((union.num_responses(), conflicts))
+        })
+    });
+
+    group.finish();
+}
+
 fn bench_pipeline(c: &mut Criterion) {
     use mto_net::driver::{replay_pool, DriverConfig, DriverMode};
     use mto_net::latency::LatencyModel;
@@ -295,6 +339,7 @@ criterion_group!(
     bench_kernels,
     bench_cache_lookup,
     bench_history_codec,
+    bench_merge,
     bench_pipeline,
     bench_spectral
 );

@@ -15,7 +15,7 @@ use std::path::PathBuf;
 
 use mto_experiments::report::ExperimentReport;
 use mto_experiments::{
-    fig10, fig11, fig7, fig8, fig9, latency, running_example, table1, theorem6, warm_start,
+    fig10, fig11, fig7, fig8, fig9, fleet, latency, running_example, table1, theorem6, warm_start,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -29,6 +29,7 @@ const EXPERIMENTS: &[&str] = &[
     "theorem6",
     "warm-start",
     "latency",
+    "fleet",
 ];
 
 struct Options {
@@ -128,6 +129,14 @@ fn run_experiment(name: &str, reduced: bool) -> ExperimentReport {
                 latency::LatencyConfig::full()
             };
             latency::run(&config).1
+        }
+        "fleet" => {
+            let config = if reduced {
+                fleet::FleetSweepConfig::reduced()
+            } else {
+                fleet::FleetSweepConfig::full()
+            };
+            fleet::run(&config).1
         }
         other => unreachable!("experiment {other} validated during arg parsing"),
     }

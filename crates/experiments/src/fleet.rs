@@ -1,0 +1,270 @@
+//! Fleet sweep: does epoch gossip pay, and is the fleet deterministic?
+//!
+//! The paper's cost model (Section II-B) bills *unique* queries, and
+//! PR 2/3 taught one process to stop re-paying them (shared client,
+//! persisted history). A sharded fleet re-opens the question: `W`
+//! workers with private caches re-pay each other's queries unless the
+//! epoch gossip of `mto-fleet` redistributes history at barriers. This
+//! experiment measures exactly that, on the Epinions stand-in:
+//!
+//! 1. A fixed pool of MTO jobs (so per-shard sample counts are equal
+//!    across arms) runs at `W ∈ {1, 2, 4, 8}` shards, once with gossip
+//!    and once isolated;
+//! 2. the **savings** is `1 − gossiped/isolated` fleet-wide unique
+//!    queries — the acceptance bar is ≥ 30% at `W = 4`;
+//! 3. every run's [`FleetReport::results_digest`] must be
+//!    byte-identical — across `W`, across gossip on/off, and across
+//!    both gossip merge orders — the fleet determinism contract.
+//!
+//! Verdict lines (grepped by CI's `fleet-smoke` job):
+//! `gossip-beats-isolated: PASS` and `fleet-deterministic: PASS`.
+
+use std::sync::Arc;
+
+use mto_core::mto::MtoConfig;
+use mto_fleet::{FleetConfig, FleetCoordinator, FleetReport, MergeOrder};
+use mto_graph::NodeId;
+use mto_osn::OsnService;
+use mto_serve::session::{AlgoSpec, JobSpec};
+
+use crate::datasets::{build_dataset, DatasetSpec};
+use crate::report::{ExperimentReport, Table};
+
+/// Parameters of the fleet sweep.
+#[derive(Clone, Debug)]
+pub struct FleetSweepConfig {
+    /// Scale-down divisor for the Epinions stand-in.
+    pub scale: usize,
+    /// Jobs in the (fixed) pool.
+    pub jobs: usize,
+    /// Steps per job.
+    pub steps: usize,
+    /// Target gossip barriers per run.
+    pub epochs: usize,
+    /// Shard counts to sweep.
+    pub shard_counts: Vec<usize>,
+    /// The shard count the ≥ 30% acceptance bar applies to.
+    pub verdict_shards: usize,
+    /// Base seed of the job pool.
+    pub seed: u64,
+}
+
+impl FleetSweepConfig {
+    /// Paper-scale configuration.
+    pub fn full() -> Self {
+        FleetSweepConfig {
+            scale: 10,
+            jobs: 8,
+            steps: 4_000,
+            epochs: 8,
+            shard_counts: vec![1, 2, 4, 8],
+            verdict_shards: 4,
+            seed: 0xF1EE7,
+        }
+    }
+
+    /// Reduced (CI-scale) configuration.
+    pub fn reduced() -> Self {
+        FleetSweepConfig { scale: 40, steps: 1_200, ..FleetSweepConfig::full() }
+    }
+}
+
+/// One shard count's measurements.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetSweepRow {
+    /// Shards `W`.
+    pub shards: usize,
+    /// Fleet-wide unique queries with epoch gossip.
+    pub gossiped_cost: u64,
+    /// Fleet-wide unique queries with isolated shards.
+    pub isolated_cost: u64,
+    /// `1 − gossiped/isolated`.
+    pub saved_fraction: f64,
+    /// Responses shards adopted from each other (gossip arm).
+    pub adopted: u64,
+    /// Keep-first merge conflicts (must be 0 for honest shards).
+    pub conflicts: u64,
+    /// Makespan (max per-shard virtual seconds) of the gossip arm.
+    pub makespan_secs: f64,
+}
+
+/// Everything the sweep measured.
+#[derive(Clone, Debug)]
+pub struct FleetSweepResult {
+    /// One row per shard count.
+    pub rows: Vec<FleetSweepRow>,
+    /// The savings at [`FleetSweepConfig::verdict_shards`].
+    pub verdict_savings: f64,
+    /// Whether every run (every `W`, both arms, both merge orders)
+    /// produced a byte-identical results digest.
+    pub deterministic: bool,
+    /// The acceptance verdict: ≥ 30% savings at the verdict shard count
+    /// **and** determinism held.
+    pub gossip_beats_isolated: bool,
+}
+
+fn job_pool(config: &FleetSweepConfig) -> Vec<JobSpec> {
+    // All jobs start at node 0 — the deployment the history literature
+    // studies (crawlers launched from one seed account), and the case
+    // where isolated shards re-pay each other the most.
+    (0..config.jobs)
+        .map(|i| JobSpec {
+            id: format!("walker-{i}"),
+            algo: AlgoSpec::Mto(MtoConfig { seed: config.seed + i as u64, ..Default::default() }),
+            start: NodeId(0),
+            step_budget: config.steps,
+        })
+        .collect()
+}
+
+/// Runs the sweep, returning measurements and a report.
+pub fn run(config: &FleetSweepConfig) -> (FleetSweepResult, ExperimentReport) {
+    let graph = build_dataset(&DatasetSpec::epinions().scaled_down(config.scale));
+    let service = Arc::new(OsnService::with_defaults(&graph));
+    let jobs = job_pool(config);
+    let epoch_quantum = config.steps.div_ceil(config.epochs).max(1);
+
+    let run_one = |shards: usize, gossip: bool, merge_order: MergeOrder| -> FleetReport {
+        let service = service.clone();
+        FleetCoordinator::new(
+            move |_| service.clone(),
+            FleetConfig { shards, epoch_quantum, gossip, merge_order, ..Default::default() },
+        )
+        .run(jobs.clone())
+        .expect("fleet run")
+    };
+
+    let mut rows = Vec::new();
+    let mut digests: Vec<(String, String)> = Vec::new();
+    for &w in &config.shard_counts {
+        let gossiped = run_one(w, true, MergeOrder::Forward);
+        let isolated = run_one(w, false, MergeOrder::Forward);
+        digests.push((format!("W={w} gossip"), gossiped.results_digest()));
+        digests.push((format!("W={w} isolated"), isolated.results_digest()));
+        rows.push(FleetSweepRow {
+            shards: w,
+            gossiped_cost: gossiped.total_unique_queries,
+            isolated_cost: isolated.total_unique_queries,
+            saved_fraction: if isolated.total_unique_queries > 0 {
+                1.0 - gossiped.total_unique_queries as f64 / isolated.total_unique_queries as f64
+            } else {
+                0.0
+            },
+            adopted: gossiped.gossip_adopted_responses,
+            conflicts: gossiped.merge_conflicts,
+            makespan_secs: gossiped.makespan_secs,
+        });
+    }
+    // Merge-order invariance, checked at the verdict shard count.
+    let reversed = run_one(config.verdict_shards, true, MergeOrder::Reverse);
+    digests.push((
+        format!("W={} gossip reverse-merge", config.verdict_shards),
+        reversed.results_digest(),
+    ));
+
+    let reference = &digests[0].1;
+    let deterministic = digests.iter().all(|(_, d)| d == reference);
+    let verdict_savings = rows
+        .iter()
+        .find(|r| r.shards == config.verdict_shards)
+        .map(|r| r.saved_fraction)
+        .unwrap_or(0.0);
+    let gossip_beats_isolated = deterministic && verdict_savings >= 0.30;
+    let result = FleetSweepResult { rows, verdict_savings, deterministic, gossip_beats_isolated };
+
+    let mut report = ExperimentReport::new("fleet");
+    report.note(format!(
+        "Epinions stand-in /{} ({} nodes); {} MTO jobs x {} steps from one seed node, \
+         {} gossip barriers per run (epoch quantum {}).",
+        config.scale,
+        graph.num_nodes(),
+        config.jobs,
+        config.steps,
+        config.epochs,
+        epoch_quantum
+    ));
+    let mut table = Table::new(
+        "Fleet-wide unique-query bill, epoch gossip vs isolated shards",
+        &["W", "isolated", "gossiped", "saved", "adopted", "conflicts", "makespan (s)"],
+    );
+    for r in &result.rows {
+        table.push_row(vec![
+            r.shards.to_string(),
+            r.isolated_cost.to_string(),
+            r.gossiped_cost.to_string(),
+            format!("{:.1}%", 100.0 * r.saved_fraction),
+            r.adopted.to_string(),
+            r.conflicts.to_string(),
+            format!("{:.1}", r.makespan_secs),
+        ]);
+    }
+    report.tables.push(table);
+    report.note(format!(
+        "At W={} shards, epoch gossip cuts the fleet-wide unique-query bill by {:.1}% \
+         versus isolated shards at equal per-shard sample counts.",
+        config.verdict_shards,
+        100.0 * result.verdict_savings
+    ));
+    report.note(format!(
+        "Results digest byte-identical across W, gossip arms, and merge orders: {}.",
+        result.deterministic
+    ));
+    report.note(format!(
+        "gossip-beats-isolated: {}",
+        if result.gossip_beats_isolated { "PASS" } else { "FAIL" }
+    ));
+    report.note(format!(
+        "fleet-deterministic: {}",
+        if result.deterministic { "PASS" } else { "FAIL" }
+    ));
+    (result, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gossip_beats_isolated_at_reduced_scale() {
+        // The acceptance criterion of ISSUE 4: ≥ 30% fewer fleet-wide
+        // unique queries at W=4 with gossip, byte-identical results
+        // across W and merge orders.
+        let (result, report) = run(&FleetSweepConfig::reduced());
+        assert!(result.deterministic, "fleet results diverged");
+        assert!(
+            result.verdict_savings >= 0.30,
+            "gossip saved only {:.1}%",
+            100.0 * result.verdict_savings
+        );
+        assert!(result.gossip_beats_isolated);
+        let text = report.to_markdown();
+        assert!(text.contains("gossip-beats-isolated: PASS"), "{text}");
+        assert!(text.contains("fleet-deterministic: PASS"), "{text}");
+        // Sanity on the sweep shape: W=1 saves nothing; savings at the
+        // verdict W comes with actual adoption and zero conflicts.
+        let w1 = result.rows.iter().find(|r| r.shards == 1).unwrap();
+        assert_eq!(w1.gossiped_cost, w1.isolated_cost, "one shard has nobody to gossip with");
+        let w4 = result.rows.iter().find(|r| r.shards == 4).unwrap();
+        assert!(w4.adopted > 0);
+        assert_eq!(w4.conflicts, 0);
+    }
+
+    #[test]
+    fn deeper_sharding_shrinks_the_makespan() {
+        // More shards = more parallel pipelines: the gossip arm's
+        // makespan must not grow with W (it should shrink markedly).
+        let (result, _) = run(&FleetSweepConfig {
+            steps: 600,
+            shard_counts: vec![1, 4],
+            ..FleetSweepConfig::reduced()
+        });
+        let w1 = result.rows.iter().find(|r| r.shards == 1).unwrap();
+        let w4 = result.rows.iter().find(|r| r.shards == 4).unwrap();
+        assert!(
+            w4.makespan_secs < w1.makespan_secs,
+            "W=4 makespan {} should beat W=1 {}",
+            w4.makespan_secs,
+            w1.makespan_secs
+        );
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`theorem6`] | §IV-B / Eq (13): latent-space removal bound |
 //! | [`warm_start`] | service layer: cross-run history reuse (`mto-serve`) |
 //! | [`latency`] | network layer: serial vs pipelined vs walk-not-wait (`mto-net`) |
+//! | [`fleet`] | fleet layer: epoch gossip vs isolated shards (`mto-fleet`) |
 //!
 //! Each module exposes a `Config` with `full()` (paper-scale) and
 //! `reduced()` (CI-scale) presets and returns structured results plus an
@@ -30,6 +31,7 @@ pub mod fig11;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod fleet;
 pub mod latency;
 pub mod report;
 pub mod running_example;
@@ -39,6 +41,7 @@ pub mod warm_start;
 
 pub use datasets::{build_dataset, DatasetSpec};
 pub use driver::{run_converged, Algorithm, ConvergedRun, RunProtocol};
+pub use fleet::{FleetSweepConfig, FleetSweepResult};
 pub use latency::{LatencyConfig, LatencyResult};
 pub use report::{ExperimentReport, Series, Table};
 pub use warm_start::{WarmStartConfig, WarmStartResult};

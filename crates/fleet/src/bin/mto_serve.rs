@@ -7,24 +7,37 @@
 //! mto_serve resume <snapshot-file> [--out FILE]
 //! ```
 //!
-//! * `run` executes every job of a request file on the [`JobScheduler`],
-//!   honoring its `warm-start` / `save-history` directives.
+//! * `run` executes every job of a request file — on the single-client
+//!   [`JobScheduler`] by default, or as a sharded
+//!   [`mto_fleet::FleetCoordinator`] when the request says `shards W`
+//!   (with `epochs N` gossip barriers) — honoring its `warm-start` /
+//!   `save-history` / `journal` directives. Fleet runs additionally
+//!   report per-epoch gossip savings, keep-first `merge-conflicts`, and
+//!   the makespan (max per-shard virtual seconds).
 //! * `snapshot` runs the request's **first** job for `--at` steps as a
 //!   [`SamplerSession`], then freezes it (network spec included) to
-//!   `--to`.
+//!   `--to`. (Fleet directives do not apply to a single frozen session
+//!   and are ignored here.)
 //! * `resume` thaws a snapshot, replays it against a freshly built
 //!   instance of the recorded network, finishes the remaining budget, and
 //!   reports — the cross-process half of the snapshot → resume lifecycle.
+//!
+//! The binary lives in `mto-fleet` (not `mto-serve`) because the crate
+//! DAG is `serve ← fleet`: the front-end must sit at or above every
+//! layer it drives.
 
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use mto_core::walk::Walker;
+use mto_fleet::{FleetConfig, FleetCoordinator, FleetReport};
 use mto_net::TimedInterface;
 use mto_osn::{CachedClient, OsnService, SharedClient, SocialNetworkInterface, VirtualClock};
 use mto_serve::error::ServeError;
 use mto_serve::history::HistoryStore;
+use mto_serve::journal::{HistoryJournal, JournalRecovery};
 use mto_serve::request::{NetworkSpec, ServeRequest};
-use mto_serve::scheduler::{JobScheduler, ServeReport};
+use mto_serve::scheduler::{JobOutcome, JobScheduler, ServeReport};
 use mto_serve::session::{SamplerSession, SessionSnapshot};
 
 const USAGE: &str = "usage:
@@ -117,57 +130,167 @@ fn emit(report: &str, out: Option<&PathBuf>) -> Result<(), ServeError> {
 fn cmd_run(args: &[String]) -> Result<(), Invocation> {
     let (request_path, flags) = parse_flags(args, &["out"])?;
     let request = read_request(&request_path)?;
-    let service = OsnService::with_defaults(&request.network.build());
 
-    // The provider directive wraps the service in mto-net's simulated
-    // latency + quota on a virtual clock, so the report can say what the
-    // run would have cost in wall-clock time against the live API.
-    let report = match request.provider {
-        Some(profile) => {
-            let timed = TimedInterface::new(service, profile, 0x5EED);
-            let clock = timed.clock().clone();
-            execute(timed, &request, Some(clock))?
-        }
-        None => execute(service, &request, None)?,
+    // Prior history: a warm-start snapshot, or the journal's replayed
+    // state (the request parser guarantees at most one of the two).
+    let mut journal: Option<(HistoryJournal, JournalRecovery)> = match &request.journal {
+        Some(path) => Some(open_journal(path)?),
+        None => None,
     };
-    emit(&render_report(&request, &report), flags.get("out"))?;
+    let prior: Option<HistoryStore> = if let Some(path) = &request.warm_start {
+        let store = HistoryStore::load(path)?;
+        eprintln!(
+            "warm-starting from {} ({} cached responses)",
+            path.display(),
+            store.num_responses()
+        );
+        Some(store)
+    } else {
+        journal.as_ref().and_then(|(j, recovery)| {
+            (j.records() > 0).then(|| {
+                eprintln!(
+                    "journal {}: replayed {} records{}",
+                    j.path().display(),
+                    recovery.replayed_records,
+                    if recovery.recovered {
+                        format!(" (recovered; dropped a {}-byte torn tail)", recovery.dropped_bytes)
+                    } else {
+                        String::new()
+                    }
+                );
+                j.store().clone()
+            })
+        })
+    };
+
+    let (mut body, final_store) = match request.shards {
+        Some(shards) => run_fleet(&request, shards, prior)?,
+        None => run_scheduler(&request, prior)?,
+    };
+
+    if let Some(path) = &request.save_history {
+        final_store.save(path)?;
+        eprintln!(
+            "saved history ({} cached responses) to {}",
+            final_store.num_responses(),
+            path.display()
+        );
+    }
+    if let Some((mut j, recovery)) = journal.take() {
+        let appended = j.absorb(&final_store)?;
+        j.sync()?;
+        use std::fmt::Write;
+        writeln!(
+            body,
+            "journal {} replayed={} appended={} recovered={}",
+            j.path().display(),
+            recovery.replayed_records,
+            appended,
+            u8::from(recovery.recovered)
+        )
+        .expect("string write");
+    }
+    emit(&body, flags.get("out"))?;
     Ok(())
 }
 
+/// Opens an existing journal (replaying it, tolerating a torn tail) or
+/// creates a fresh one.
+fn open_journal(path: &Path) -> Result<(HistoryJournal, JournalRecovery), ServeError> {
+    if path.exists() {
+        HistoryJournal::open(path)
+    } else {
+        Ok((HistoryJournal::create(path)?, JournalRecovery::default()))
+    }
+}
+
+/// The single-client path: every job on one [`JobScheduler`]. The
+/// provider directive wraps the service in mto-net's simulated latency +
+/// quota on a virtual clock, so the report can say what the run would
+/// have cost in wall-clock time against the live API.
+fn run_scheduler(
+    request: &ServeRequest,
+    prior: Option<HistoryStore>,
+) -> Result<(String, HistoryStore), ServeError> {
+    let service = OsnService::with_defaults(&request.network.build());
+    let (report, store) = match request.provider {
+        Some(profile) => {
+            let timed = TimedInterface::new(service, profile, 0x5EED);
+            let clock = timed.clock().clone();
+            execute(timed, request, prior, Some(clock))?
+        }
+        None => execute(service, request, prior, None)?,
+    };
+    Ok((render_report(request, &report), store))
+}
+
 /// Builds the scheduler (cold or warm-started), runs the jobs, and
-/// honors `save-history` — generic over however the service is wrapped.
+/// exports the client's final history — generic over however the
+/// service is wrapped.
 fn execute<I: SocialNetworkInterface + Send + Sync>(
     service: I,
     request: &ServeRequest,
+    prior: Option<HistoryStore>,
     clock: Option<VirtualClock>,
-) -> Result<ServeReport, ServeError> {
-    let mut scheduler = match &request.warm_start {
-        Some(path) => {
-            let store = HistoryStore::load(path)?;
-            eprintln!(
-                "warm-starting from {} ({} cached responses)",
-                path.display(),
-                store.num_responses()
-            );
-            JobScheduler::warm_start(service, &store, request.scheduler)?
-        }
+) -> Result<(ServeReport, HistoryStore), ServeError> {
+    let mut scheduler = match &prior {
+        Some(store) => JobScheduler::warm_start(service, store, request.scheduler)?,
         None => JobScheduler::new(service, request.scheduler),
     };
     if let Some(clock) = clock {
         scheduler = scheduler.with_virtual_clock(clock);
     }
     let report = scheduler.run(request.jobs.clone())?;
+    let store = scheduler.client().with(|c| HistoryStore::from_client(c));
+    Ok((report, store))
+}
 
-    if let Some(path) = &request.save_history {
-        let store = scheduler.client().with(|c| HistoryStore::from_client(c));
-        store.save(path)?;
-        eprintln!(
-            "saved history ({} cached responses) to {}",
-            store.num_responses(),
-            path.display()
-        );
+/// The fleet path: jobs sharded across `W` workers with epoch-barrier
+/// history gossip (see `mto_fleet::FleetCoordinator`). The `epochs N`
+/// directive is a *target barrier count*: the per-epoch quantum is the
+/// longest job budget divided across `N` epochs.
+fn run_fleet(
+    request: &ServeRequest,
+    shards: usize,
+    prior: Option<HistoryStore>,
+) -> Result<(String, HistoryStore), ServeError> {
+    let service = Arc::new(OsnService::with_defaults(&request.network.build()));
+    let max_budget = request.jobs.iter().map(|j| j.step_budget).max().unwrap_or(0);
+    let target_epochs = request.epochs.unwrap_or(4).max(1);
+    let epoch_quantum = max_budget.div_ceil(target_epochs).max(1);
+    let config =
+        FleetConfig { shards, epoch_quantum, provider: request.provider, ..Default::default() };
+    let mut fleet = FleetCoordinator::new(move |_| service.clone(), config);
+    if let Some(store) = prior {
+        fleet = fleet.with_warm_start(store);
     }
-    Ok(report)
+    let report = fleet.run(request.jobs.clone())?;
+    let body = render_fleet_report(request, &report, epoch_quantum);
+    let store = report.union_store;
+    Ok((body, store))
+}
+
+fn render_job_line(out: &mut String, o: &JobOutcome) {
+    use std::fmt::Write;
+    write!(
+        out,
+        "job {} algo={} steps={} completed={} final={} visits={}",
+        o.id,
+        o.algorithm,
+        o.steps,
+        u8::from(o.completed),
+        o.final_node,
+        o.history.len()
+    )
+    .expect("string write");
+    if let Some(est) = o.avg_degree_estimate {
+        write!(out, " est-avg-degree={est:.4}").expect("string write");
+    }
+    if let Some(s) = o.stats {
+        write!(out, " removals={} replacements={}", s.removals, s.replacements)
+            .expect("string write");
+    }
+    out.push('\n');
 }
 
 fn render_report(request: &ServeRequest, report: &ServeReport) -> String {
@@ -189,25 +312,53 @@ fn render_report(request: &ServeRequest, report: &ServeReport) -> String {
     )
     .expect("string write");
     for o in &report.outcomes {
-        write!(
+        render_job_line(&mut out, o);
+    }
+    out
+}
+
+fn render_fleet_report(request: &ServeRequest, report: &FleetReport, quantum: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    writeln!(out, "# mto-serve results (fleet)").expect("string write");
+    writeln!(out, "network {}", request.network.to_line()).expect("string write");
+    writeln!(
+        out,
+        "fleet shards={} epochs={} quantum={quantum}",
+        report.shards,
+        report.epochs.len()
+    )
+    .expect("string write");
+    writeln!(out, "jobs {}", report.outcomes.len()).expect("string write");
+    writeln!(out, "total-unique-queries {}", report.total_unique_queries).expect("string write");
+    writeln!(out, "gossip-saved {}", report.gossip_adopted_responses).expect("string write");
+    writeln!(out, "merge-conflicts {}", report.merge_conflicts).expect("string write");
+    writeln!(out, "makespan-secs {:.3}", report.makespan_secs).expect("string write");
+    if let Some(profile) = &request.provider {
+        writeln!(out, "provider {}", profile.name).expect("string write");
+    }
+    writeln!(
+        out,
+        "aggregate-rewiring removals={} replacements={} rejections={}",
+        report.aggregate_stats.removals,
+        report.aggregate_stats.replacements,
+        report.aggregate_stats.replacement_rejections
+    )
+    .expect("string write");
+    for e in &report.epochs {
+        writeln!(
             out,
-            "job {} algo={} steps={} completed={} final={} visits={}",
-            o.id,
-            o.algorithm,
-            o.steps,
-            u8::from(o.completed),
-            o.final_node,
-            o.history.len()
+            "epoch {} unique={} adopted={} conflicts={} makespan-secs={:.3}",
+            e.epoch,
+            e.fleet_unique_queries,
+            e.adopted_responses,
+            e.merge_conflicts,
+            e.makespan_secs
         )
         .expect("string write");
-        if let Some(est) = o.avg_degree_estimate {
-            write!(out, " est-avg-degree={est:.4}").expect("string write");
-        }
-        if let Some(s) = o.stats {
-            write!(out, " removals={} replacements={}", s.removals, s.replacements)
-                .expect("string write");
-        }
-        writeln!(out).expect("string write");
+    }
+    for o in &report.outcomes {
+        render_job_line(&mut out, o);
     }
     out
 }

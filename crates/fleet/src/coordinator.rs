@@ -1,0 +1,577 @@
+//! The fleet coordinator: shard workers in lockstep epochs, history
+//! gossip at every barrier.
+//!
+//! A [`crate::ShardPlan`] gives each of `W` shard workers its own slice
+//! of the job list. Each shard owns a **private** [`CachedClient`] over
+//! its own interface instance, its own [`QueryPipeline`] on its own
+//! [`VirtualClock`] (the shard's wall-clock model: every unique query
+//! the shard pays is replayed through the pipeline with up to `K` — or
+//! adaptively fewer/more — requests in flight), and its sessions'
+//! private overlays. Shards therefore never contend on a lock; the price
+//! is that two shards can *re-pay* for the same node.
+//!
+//! That price is what the **epoch gossip** recovers: the coordinator
+//! steps every shard `epoch_quantum` steps per job on
+//! [`std::thread::scope`] workers, and at the barrier folds every
+//! shard's [`HistoryStore`] into a fleet-wide union (pairwise
+//! [`HistoryStore::merge`], keep-first, conflicts counted) that is
+//! redistributed to every shard — so from the next epoch on, nobody
+//! re-pays for a node any shard has already bought ("Leveraging History
+//! for Faster Sampling of Online Social Networks", arXiv:1505.00079,
+//! applied *between* concurrent crawlers instead of between runs).
+//!
+//! **Determinism contract.** Walkers are pure functions of
+//! `(config, responses)` and responses are pure functions of the
+//! network, so per-job results — walks, estimates, rewire stats — are
+//! bit-identical regardless of shard count, worker interleaving, and
+//! gossip merge order; `W = 1` reproduces the single-client
+//! [`mto_serve::scheduler::JobScheduler`] outcomes exactly. Only the
+//! *bill* (unique queries) and the *makespan* (virtual seconds) depend
+//! on `W` and gossip — that is the whole point of measuring them.
+
+use mto_core::mto::RewireStats;
+use mto_graph::NodeId;
+use mto_net::{Concurrency, PipelineConfig, ProviderProfile, QueryPipeline};
+use mto_osn::{CachedClient, SharedClient, SocialNetworkInterface, VirtualClock};
+use mto_serve::error::{Result, ServeError};
+use mto_serve::history::HistoryStore;
+use mto_serve::scheduler::finalize_session;
+use mto_serve::session::{JobSpec, SamplerSession, SessionState};
+
+use crate::plan::ShardPlan;
+use crate::report::{EpochReport, FleetReport};
+
+/// The order in which per-shard stores are folded into the gossip
+/// union. Merge is keep-first, so the order could only matter when
+/// shards *disagree* about the network — the determinism proptests run
+/// both orders to witness that results never depend on it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum MergeOrder {
+    /// Fold shard 0 first.
+    #[default]
+    Forward,
+    /// Fold shard `W−1` first.
+    Reverse,
+}
+
+/// Tuning of a [`FleetCoordinator`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetConfig {
+    /// Shard workers `W` (clamped to the job count; ≥ 1).
+    pub shards: usize,
+    /// Steps each job takes between gossip barriers (≥ 1).
+    pub epoch_quantum: usize,
+    /// Whether the epoch barrier gossips history (disable to measure the
+    /// isolated-shards baseline the `fleet` experiment compares against).
+    pub gossip: bool,
+    /// Gossip fold order (see [`MergeOrder`]).
+    pub merge_order: MergeOrder,
+    /// Provider preset for the per-shard pipelines (latency + quota +
+    /// faults); `None` models a plain 50 ms constant-latency provider
+    /// with no quota.
+    pub provider: Option<ProviderProfile>,
+    /// Per-shard pipeline lanes (max requests in flight).
+    pub max_in_flight: usize,
+    /// Fixed or adaptive in-flight control for the per-shard pipelines.
+    pub concurrency: Concurrency,
+    /// Base seed of the per-shard latency RNGs (shard `s` uses
+    /// `seed + s`).
+    pub seed: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            epoch_quantum: 64,
+            gossip: true,
+            merge_order: MergeOrder::Forward,
+            provider: None,
+            max_in_flight: 8,
+            concurrency: Concurrency::Fixed,
+            seed: 0xF1EE7,
+        }
+    }
+}
+
+impl FleetConfig {
+    fn pipeline_config(&self, shard: usize) -> PipelineConfig {
+        let base = PipelineConfig {
+            max_in_flight: self.max_in_flight.max(1),
+            concurrency: self.concurrency,
+            seed: self.seed.wrapping_add(shard as u64),
+            ..Default::default()
+        };
+        match self.provider {
+            Some(p) => PipelineConfig {
+                latency: p.latency,
+                faults: p.faults,
+                rate_limit: Some(p.policy),
+                ..base
+            },
+            None => base,
+        }
+    }
+}
+
+/// One shard worker: private client, private pipeline, private clock,
+/// and the sessions of its assigned jobs.
+struct Shard<I: SocialNetworkInterface> {
+    client: SharedClient<I>,
+    pipeline: QueryPipeline<I>,
+    /// `(job index, session)` in ascending job order.
+    sessions: Vec<(usize, SamplerSession<I>)>,
+    /// Cached node ids at the last barrier (ascending) — the diff basis
+    /// for "which nodes did *this shard pay for* this epoch".
+    known: Vec<NodeId>,
+    error: Option<ServeError>,
+}
+
+impl<I: SocialNetworkInterface> Shard<I> {
+    fn live(&self) -> bool {
+        self.sessions.iter().any(|(_, s)| s.state() != SessionState::Completed)
+    }
+
+    fn refresh_known(&mut self) {
+        self.known = self.client.with(|c| c.cached_nodes().collect());
+    }
+
+    /// Advances every session one epoch quantum, then replays the nodes
+    /// this shard newly paid for through its pipeline — the shard's
+    /// wall-clock bill for the epoch. Gossip-imported nodes are already
+    /// in `known` and cost no virtual time here: nobody re-pays them.
+    fn run_epoch(&mut self, quantum: usize) {
+        for (_, session) in &mut self.sessions {
+            if let Err(e) = session.advance(quantum) {
+                self.error = Some(e);
+                return;
+            }
+        }
+        let now: Vec<NodeId> = self.client.with(|c| c.cached_nodes().collect());
+        // Ascending-sorted set difference: nodes cached now but unknown
+        // at the last barrier.
+        let mut old = self.known.iter().peekable();
+        for &v in &now {
+            while old.peek().is_some_and(|&&o| o < v) {
+                old.next();
+            }
+            if old.peek() != Some(&&v) {
+                self.pipeline.submit(v);
+            }
+        }
+        self.pipeline.drain();
+        self.known = now;
+    }
+}
+
+/// Runs a job list as a sharded fleet (see the module docs).
+pub struct FleetCoordinator<I, F> {
+    factory: F,
+    config: FleetConfig,
+    warm_start: Option<HistoryStore>,
+    _marker: std::marker::PhantomData<fn() -> I>,
+}
+
+impl<I, F> FleetCoordinator<I, F>
+where
+    I: SocialNetworkInterface + Send + Sync,
+    F: Fn(usize) -> I,
+{
+    /// A coordinator whose shard `s` crawls through `factory(s)`. The
+    /// factory must be deterministic — every shard must see the *same
+    /// network* (instances may differ, answers may not).
+    pub fn new(factory: F, config: FleetConfig) -> Self {
+        FleetCoordinator { factory, config, warm_start: None, _marker: std::marker::PhantomData }
+    }
+
+    /// Warm-starts every shard from a persisted history: imported nodes
+    /// are free for all shards from step one.
+    pub fn with_warm_start(mut self, store: HistoryStore) -> Self {
+        self.warm_start = Some(store);
+        self
+    }
+
+    /// Runs `jobs` to completion and reports per-epoch gossip
+    /// accounting alongside the per-job outcomes.
+    pub fn run(&self, jobs: Vec<JobSpec>) -> Result<FleetReport> {
+        if jobs.is_empty() {
+            return Ok(FleetReport { shards: 0, ..Default::default() });
+        }
+        let plan = ShardPlan::round_robin(jobs.len(), self.config.shards);
+        let quantum = self.config.epoch_quantum.max(1);
+
+        // Build shards up front, in shard order, sessions in ascending
+        // job order — start-node queries charge deterministically.
+        let mut shards: Vec<Shard<I>> = Vec::with_capacity(plan.num_shards());
+        for (s, job_indices) in plan.iter() {
+            let inner = (self.factory)(s);
+            let client = match &self.warm_start {
+                Some(store) => SharedClient::new(store.warm_start(inner)?),
+                None => SharedClient::new(CachedClient::new(inner)),
+            };
+            let pipeline = QueryPipeline::with_clock(
+                (self.factory)(s),
+                self.config.pipeline_config(s),
+                VirtualClock::new(),
+            );
+            let mut sessions = Vec::with_capacity(job_indices.len());
+            for &j in job_indices {
+                sessions.push((j, SamplerSession::create(client.clone(), jobs[j].clone())?));
+            }
+            let mut shard = Shard { client, pipeline, sessions, known: Vec::new(), error: None };
+            shard.refresh_known();
+            shards.push(shard);
+        }
+
+        // Epoch loop: parallel stepping, serial gossip at the barrier.
+        let mut epochs = Vec::new();
+        let mut total_adopted = 0u64;
+        let mut total_conflicts = 0u64;
+        let mut epoch = 0usize;
+        while shards.iter().any(Shard::live) {
+            std::thread::scope(|scope| {
+                for shard in shards.iter_mut() {
+                    scope.spawn(move || shard.run_epoch(quantum));
+                }
+            });
+            for shard in &mut shards {
+                if let Some(e) = shard.error.take() {
+                    return Err(e);
+                }
+            }
+
+            let mut report = EpochReport {
+                epoch,
+                fleet_unique_queries: shards
+                    .iter()
+                    .map(|s| s.client.with(|c| c.unique_queries()))
+                    .sum(),
+                makespan_secs: shards.iter().map(|s| s.pipeline.clock().now()).fold(0.0, f64::max),
+                ..Default::default()
+            };
+            if self.config.gossip && shards.len() > 1 {
+                let stores: Vec<HistoryStore> = shards
+                    .iter()
+                    .map(|s| s.client.with(|c| HistoryStore::from_client(c)))
+                    .collect();
+                let (union, conflicts) = fold_stores(&stores, self.config.merge_order)?;
+                for (shard, store) in shards.iter_mut().zip(&stores) {
+                    let adopted = union.num_responses() - store.num_responses();
+                    report.adopted_responses += adopted as u64;
+                    if adopted > 0 {
+                        shard.client.with(|c| c.import_entries(&union.cache));
+                        shard.refresh_known();
+                    }
+                }
+                report.merge_conflicts = conflicts;
+                total_adopted += report.adopted_responses;
+                total_conflicts += conflicts;
+            }
+            epochs.push(report);
+            epoch += 1;
+        }
+
+        // Finalize outcomes in submission order.
+        let mut indexed: Vec<(usize, _)> = Vec::with_capacity(jobs.len());
+        let mut aggregate_stats = RewireStats::default();
+        for shard in &mut shards {
+            for (j, session) in &mut shard.sessions {
+                let outcome = finalize_session(session, true)?;
+                if let Some(s) = outcome.stats {
+                    aggregate_stats += s;
+                }
+                indexed.push((*j, outcome));
+            }
+        }
+        indexed.sort_unstable_by_key(|(j, _)| *j);
+
+        // The fleet-wide union store: every shard's cache plus every
+        // rewiring walker's overlay delta (in submission order).
+        let stores: Vec<HistoryStore> =
+            shards.iter().map(|s| s.client.with(|c| HistoryStore::from_client(c))).collect();
+        let (mut union, fold_conflicts) = fold_stores(&stores, self.config.merge_order)?;
+        total_conflicts += fold_conflicts;
+        for shard in &shards {
+            for (_, session) in &shard.sessions {
+                if let Some(delta) = session.walker().overlay() {
+                    let overlay_only = HistoryStore {
+                        removed: delta.removed_edges().map(|e| (e.small(), e.large())).collect(),
+                        added: delta.added_edges().map(|e| (e.small(), e.large())).collect(),
+                        ..Default::default()
+                    };
+                    let outcome =
+                        union.merge(&overlay_only).map_err(ServeError::SnapshotMismatch)?;
+                    total_conflicts += outcome.conflicts;
+                }
+            }
+        }
+
+        Ok(FleetReport {
+            outcomes: indexed.into_iter().map(|(_, o)| o).collect(),
+            shards: shards.len(),
+            total_unique_queries: shards
+                .iter()
+                .map(|s| s.client.with(|c| c.unique_queries()))
+                .sum(),
+            gossip_adopted_responses: total_adopted,
+            merge_conflicts: total_conflicts,
+            makespan_secs: shards.iter().map(|s| s.pipeline.clock().now()).fold(0.0, f64::max),
+            aggregate_stats,
+            union_store: union,
+            epochs,
+        })
+    }
+}
+
+/// Folds per-shard stores into one union in the configured order,
+/// returning the union and the keep-first conflict count.
+fn fold_stores(stores: &[HistoryStore], order: MergeOrder) -> Result<(HistoryStore, u64)> {
+    let mut union = HistoryStore::default();
+    let mut conflicts = 0u64;
+    let indices: Vec<usize> = match order {
+        MergeOrder::Forward => (0..stores.len()).collect(),
+        MergeOrder::Reverse => (0..stores.len()).rev().collect(),
+    };
+    for i in indices {
+        let outcome = union.merge(&stores[i]).map_err(ServeError::SnapshotMismatch)?;
+        conflicts += outcome.conflicts;
+    }
+    Ok((union, conflicts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_core::mto::MtoConfig;
+    use mto_core::walk::{MhrwConfig, SrwConfig};
+    use mto_graph::generators::paper_barbell;
+    use mto_osn::OsnService;
+    use mto_serve::scheduler::{JobScheduler, SchedulerConfig};
+    use mto_serve::session::AlgoSpec;
+
+    fn barbell_fleet(
+        config: FleetConfig,
+    ) -> FleetCoordinator<OsnService, impl Fn(usize) -> OsnService> {
+        FleetCoordinator::new(|_| OsnService::with_defaults(&paper_barbell()), config)
+    }
+
+    fn mixed_jobs() -> Vec<JobSpec> {
+        vec![
+            JobSpec {
+                id: "mto-a".into(),
+                algo: AlgoSpec::Mto(MtoConfig { seed: 1, ..Default::default() }),
+                start: NodeId(0),
+                step_budget: 400,
+            },
+            JobSpec {
+                id: "mto-b".into(),
+                algo: AlgoSpec::Mto(MtoConfig { seed: 2, ..Default::default() }),
+                start: NodeId(11),
+                step_budget: 300,
+            },
+            JobSpec {
+                id: "srw".into(),
+                algo: AlgoSpec::Srw(SrwConfig { seed: 3, lazy: false }),
+                start: NodeId(5),
+                step_budget: 250,
+            },
+            JobSpec {
+                id: "mhrw".into(),
+                algo: AlgoSpec::Mhrw(MhrwConfig { seed: 4 }),
+                start: NodeId(16),
+                step_budget: 200,
+            },
+        ]
+    }
+
+    #[test]
+    fn fleet_runs_jobs_to_their_budgets_and_reports_epochs() {
+        let fleet =
+            barbell_fleet(FleetConfig { shards: 4, epoch_quantum: 50, ..Default::default() });
+        let report = fleet.run(mixed_jobs()).unwrap();
+        assert_eq!(report.shards, 4);
+        let by_id: Vec<(&str, usize, bool)> =
+            report.outcomes.iter().map(|o| (o.id.as_str(), o.steps, o.completed)).collect();
+        assert_eq!(
+            by_id,
+            vec![
+                ("mto-a", 400, true),
+                ("mto-b", 300, true),
+                ("srw", 250, true),
+                ("mhrw", 200, true)
+            ]
+        );
+        assert_eq!(report.epochs.len(), 8, "longest job (400) at quantum 50");
+        assert!(report.makespan_secs > 0.0, "pipelines must bill virtual time");
+        assert!(report.aggregate_stats.removals > 0, "MTO jobs rewire");
+        // Honest shards crawling one network never conflict.
+        assert_eq!(report.epochs.iter().map(|e| e.merge_conflicts).sum::<u64>(), 0);
+        // The union store holds every node anyone paid for.
+        assert!(report.union_store.num_responses() >= 20, "barbell is nearly fully crawled");
+    }
+
+    #[test]
+    fn results_are_invariant_to_shard_count_and_merge_order() {
+        let digest = |shards, merge_order, gossip| {
+            barbell_fleet(FleetConfig {
+                shards,
+                merge_order,
+                gossip,
+                epoch_quantum: 32,
+                ..Default::default()
+            })
+            .run(mixed_jobs())
+            .unwrap()
+            .results_digest()
+        };
+        let reference = digest(1, MergeOrder::Forward, true);
+        assert!(!reference.is_empty());
+        for shards in [2, 3, 4] {
+            for order in [MergeOrder::Forward, MergeOrder::Reverse] {
+                for gossip in [true, false] {
+                    assert_eq!(
+                        digest(shards, order, gossip),
+                        reference,
+                        "W={shards} {order:?} gossip={gossip} diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_fleet_matches_the_job_scheduler_exactly() {
+        let fleet =
+            barbell_fleet(FleetConfig { shards: 1, epoch_quantum: 64, ..Default::default() });
+        let fleet_report = fleet.run(mixed_jobs()).unwrap();
+
+        let scheduler = JobScheduler::new(
+            OsnService::with_defaults(&paper_barbell()),
+            SchedulerConfig { workers: 3, quantum: 16, ..Default::default() },
+        );
+        let serve_report = scheduler.run(mixed_jobs()).unwrap();
+
+        assert_eq!(fleet_report.outcomes.len(), serve_report.outcomes.len());
+        for (f, s) in fleet_report.outcomes.iter().zip(&serve_report.outcomes) {
+            assert_eq!(f.id, s.id);
+            assert_eq!(f.history, s.history, "job {} diverged from the scheduler", f.id);
+            assert_eq!(f.stats, s.stats);
+            assert_eq!(f.avg_degree_estimate, s.avg_degree_estimate);
+            assert_eq!((f.steps, f.completed), (s.steps, s.completed));
+        }
+        assert_eq!(
+            fleet_report.total_unique_queries, serve_report.total_unique_queries,
+            "one shard, one client: the same bill"
+        );
+    }
+
+    #[test]
+    fn gossip_cuts_the_fleet_bill_versus_isolated_shards() {
+        let bill = |gossip| {
+            barbell_fleet(FleetConfig {
+                shards: 4,
+                gossip,
+                epoch_quantum: 25,
+                ..Default::default()
+            })
+            .run(mixed_jobs())
+            .unwrap()
+            .total_unique_queries
+        };
+        let (gossiped, isolated) = (bill(true), bill(false));
+        assert!(
+            gossiped < isolated,
+            "gossip {gossiped} must beat isolated {isolated} on overlapping crawls"
+        );
+    }
+
+    #[test]
+    fn gossip_adoption_is_visible_in_epoch_reports() {
+        let report =
+            barbell_fleet(FleetConfig { shards: 4, epoch_quantum: 25, ..Default::default() })
+                .run(mixed_jobs())
+                .unwrap();
+        assert!(report.gossip_adopted_responses > 0, "shards must trade history");
+        assert_eq!(
+            report.gossip_adopted_responses,
+            report.epochs.iter().map(|e| e.adopted_responses).sum::<u64>()
+        );
+        for w in report.epochs.windows(2) {
+            assert!(
+                w[1].fleet_unique_queries >= w[0].fleet_unique_queries,
+                "the bill is cumulative"
+            );
+            assert!(w[1].makespan_secs >= w[0].makespan_secs, "makespan is monotone");
+        }
+    }
+
+    #[test]
+    fn warm_started_fleet_pays_less() {
+        let cold = barbell_fleet(FleetConfig { shards: 2, ..Default::default() });
+        let cold_report = cold.run(mixed_jobs()).unwrap();
+        let warm = barbell_fleet(FleetConfig { shards: 2, ..Default::default() })
+            .with_warm_start(cold_report.union_store.clone());
+        let warm_report = warm.run(mixed_jobs()).unwrap();
+        assert!(
+            warm_report.total_unique_queries < cold_report.total_unique_queries,
+            "warm {} vs cold {}",
+            warm_report.total_unique_queries,
+            cold_report.total_unique_queries
+        );
+        assert_eq!(warm_report.results_digest(), cold_report.results_digest());
+    }
+
+    #[test]
+    fn empty_job_list_is_a_noop() {
+        let report = barbell_fleet(FleetConfig::default()).run(Vec::new()).unwrap();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.total_unique_queries, 0);
+        assert_eq!(report.shards, 0);
+    }
+
+    #[test]
+    fn provider_profiles_shape_the_makespan() {
+        let makespan = |provider| {
+            barbell_fleet(FleetConfig { shards: 2, provider, ..Default::default() })
+                .run(mixed_jobs())
+                .unwrap()
+                .makespan_secs
+        };
+        let plain = makespan(None);
+        let twitter = makespan(Some(ProviderProfile::twitter()));
+        assert!(plain > 0.0);
+        assert!(twitter > plain, "twitter's quota must dominate a plain 50 ms provider");
+    }
+
+    #[test]
+    fn fleet_refuses_mismatched_shard_networks() {
+        // Shard 1 sees a different network: the gossip merge must refuse
+        // the union instead of poisoning every shard's cache.
+        let fleet = FleetCoordinator::new(
+            |s| {
+                if s == 0 {
+                    OsnService::with_defaults(&paper_barbell())
+                } else {
+                    OsnService::with_defaults(&mto_graph::generators::complete_graph(5))
+                }
+            },
+            FleetConfig { shards: 2, epoch_quantum: 16, ..Default::default() },
+        );
+        let jobs = vec![
+            JobSpec {
+                id: "a".into(),
+                algo: AlgoSpec::Srw(SrwConfig { seed: 1, lazy: false }),
+                start: NodeId(0),
+                step_budget: 64,
+            },
+            JobSpec {
+                id: "b".into(),
+                algo: AlgoSpec::Srw(SrwConfig { seed: 2, lazy: false }),
+                start: NodeId(1),
+                step_budget: 64,
+            },
+        ];
+        let err = fleet.run(jobs).unwrap_err();
+        assert!(matches!(err, ServeError::SnapshotMismatch(_)), "{err:?}");
+    }
+}

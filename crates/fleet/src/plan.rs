@@ -1,0 +1,94 @@
+//! Deterministic partitioning of a job list across shard workers.
+//!
+//! The fleet's determinism contract starts here: which shard owns which
+//! job is a pure function of `(job count, shard count)` — round-robin by
+//! submission index — so a request replayed with the same `shards W`
+//! always lands the same jobs on the same workers, and results can be
+//! compared bit-for-bit across runs.
+
+/// A partition of `num_jobs` jobs across `num_shards` shard workers.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardPlan {
+    assignments: Vec<Vec<usize>>,
+}
+
+impl ShardPlan {
+    /// Round-robin partition: job `i` goes to shard `i % num_shards`.
+    /// Shards never exceed the job count (trailing empty shards are
+    /// dropped), so every planned shard has work.
+    pub fn round_robin(num_jobs: usize, num_shards: usize) -> Self {
+        let shards = num_shards.max(1).min(num_jobs.max(1));
+        let mut assignments = vec![Vec::new(); shards];
+        for job in 0..num_jobs {
+            assignments[job % shards].push(job);
+        }
+        ShardPlan { assignments }
+    }
+
+    /// Number of shards in the plan.
+    pub fn num_shards(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Job indices owned by shard `s`, ascending.
+    pub fn jobs_of(&self, s: usize) -> &[usize] {
+        &self.assignments[s]
+    }
+
+    /// The shard owning job `job`.
+    pub fn shard_of(&self, job: usize) -> usize {
+        job % self.assignments.len()
+    }
+
+    /// Iterates `(shard, jobs)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &[usize])> {
+        self.assignments.iter().enumerate().map(|(s, jobs)| (s, jobs.as_slice()))
+    }
+
+    /// Largest shard minus smallest shard — at most 1 for round-robin.
+    pub fn imbalance(&self) -> usize {
+        let sizes: Vec<usize> = self.assignments.iter().map(Vec::len).collect();
+        let max = sizes.iter().copied().max().unwrap_or(0);
+        let min = sizes.iter().copied().min().unwrap_or(0);
+        max - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_covers_every_job_exactly_once() {
+        let plan = ShardPlan::round_robin(10, 4);
+        assert_eq!(plan.num_shards(), 4);
+        let mut all: Vec<usize> = plan.iter().flat_map(|(_, jobs)| jobs.to_vec()).collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert!(plan.imbalance() <= 1);
+        for (s, jobs) in plan.iter() {
+            for &j in jobs {
+                assert_eq!(plan.shard_of(j), s);
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_jobs_collapses_to_one_job_per_shard() {
+        let plan = ShardPlan::round_robin(3, 8);
+        assert_eq!(plan.num_shards(), 3, "empty shards are dropped");
+        assert!(plan.iter().all(|(_, jobs)| jobs.len() == 1));
+    }
+
+    #[test]
+    fn degenerate_inputs_stay_well_formed() {
+        assert_eq!(ShardPlan::round_robin(0, 4).num_shards(), 1);
+        assert_eq!(ShardPlan::round_robin(5, 0).num_shards(), 1, "shards clamp to 1");
+        assert_eq!(ShardPlan::round_robin(5, 1).jobs_of(0), &[0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn plans_are_pure_functions_of_their_inputs() {
+        assert_eq!(ShardPlan::round_robin(7, 3), ShardPlan::round_robin(7, 3));
+    }
+}

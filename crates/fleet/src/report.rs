@@ -1,0 +1,144 @@
+//! What a fleet run produced: per-epoch gossip accounting plus the same
+//! per-job outcomes the single-client scheduler reports.
+
+use mto_core::mto::RewireStats;
+use mto_serve::history::{fnv1a64, HistoryStore};
+use mto_serve::scheduler::JobOutcome;
+
+/// Accounting of one epoch barrier.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EpochReport {
+    /// Epoch index (0-based).
+    pub epoch: usize,
+    /// Fleet-wide unique queries (sum over shard clients) at the
+    /// barrier.
+    pub fleet_unique_queries: u64,
+    /// Responses shards adopted from each other's crawls at this
+    /// barrier — queries nobody has to re-pay: the gossip dedup saving.
+    pub adopted_responses: u64,
+    /// Conflicts the gossip merges resolved keep-first at this barrier
+    /// (nonzero means two shards disagreed about the network).
+    pub merge_conflicts: u64,
+    /// Max per-shard virtual seconds at the barrier — the fleet's
+    /// makespan so far.
+    pub makespan_secs: f64,
+}
+
+/// Aggregate result of one [`crate::FleetCoordinator::run`].
+#[derive(Clone, Debug, Default)]
+pub struct FleetReport {
+    /// Per-job outcomes, in submission order — the same shape (and, for
+    /// equal inputs, the same *content*) as
+    /// [`mto_serve::scheduler::ServeReport::outcomes`].
+    pub outcomes: Vec<JobOutcome>,
+    /// Shards that ran.
+    pub shards: usize,
+    /// Epoch barriers crossed.
+    pub epochs: Vec<EpochReport>,
+    /// Fleet-wide unique-query bill: the sum over shard clients.
+    pub total_unique_queries: u64,
+    /// Responses adopted through gossip, total.
+    pub gossip_adopted_responses: u64,
+    /// Keep-first merge conflicts, total (epoch gossip plus the final
+    /// union fold).
+    pub merge_conflicts: u64,
+    /// Max per-shard virtual seconds at the end of the run.
+    pub makespan_secs: f64,
+    /// Sum of rewiring counters across all rewiring jobs.
+    pub aggregate_stats: RewireStats,
+    /// The fleet-wide union history (cache union of every shard plus the
+    /// walkers' overlay deltas) — what `save-history` persists and what
+    /// a journal absorbs.
+    pub union_store: HistoryStore,
+}
+
+impl FleetReport {
+    /// A canonical digest of the fleet's *results* — everything the
+    /// determinism contract covers (samples, estimates, rewire stats),
+    /// and nothing it does not (bills and timing legitimately vary with
+    /// `W` and gossip). Two runs are result-identical iff their digests
+    /// are byte-identical.
+    pub fn results_digest(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for o in &self.outcomes {
+            let mut walk = String::new();
+            for v in &o.history {
+                write!(walk, "{},", v.0).expect("string write");
+            }
+            write!(
+                out,
+                "job={} algo={} steps={} completed={} final={} visits={} walk-fnv={:016x}",
+                o.id,
+                o.algorithm,
+                o.steps,
+                u8::from(o.completed),
+                o.final_node.0,
+                o.history.len(),
+                fnv1a64(walk.as_bytes())
+            )
+            .expect("string write");
+            if let Some(est) = o.avg_degree_estimate {
+                // Exact bit pattern, not a rounded rendering: the
+                // contract is bit-identical estimates.
+                write!(out, " est-bits={:016x}", est.to_bits()).expect("string write");
+            }
+            if let Some(s) = o.stats {
+                write!(
+                    out,
+                    " removals={} replacements={} rejections={}",
+                    s.removals, s.replacements, s.replacement_rejections
+                )
+                .expect("string write");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mto_graph::NodeId;
+
+    fn outcome(id: &str, est: Option<f64>) -> JobOutcome {
+        JobOutcome {
+            id: id.into(),
+            algorithm: "MTO",
+            steps: 10,
+            completed: true,
+            final_node: NodeId(3),
+            history: vec![NodeId(0), NodeId(1), NodeId(3)],
+            stats: Some(RewireStats { removals: 2, replacements: 1, replacement_rejections: 0 }),
+            avg_degree_estimate: est,
+        }
+    }
+
+    #[test]
+    fn digest_reflects_results_not_bills() {
+        let mut a = FleetReport {
+            outcomes: vec![outcome("x", Some(4.25))],
+            total_unique_queries: 10,
+            ..Default::default()
+        };
+        let b = FleetReport {
+            outcomes: vec![outcome("x", Some(4.25))],
+            total_unique_queries: 99, // different bill, same results
+            shards: 8,
+            makespan_secs: 123.0,
+            ..Default::default()
+        };
+        assert_eq!(a.results_digest(), b.results_digest());
+        a.outcomes[0].history.push(NodeId(5));
+        assert_ne!(a.results_digest(), b.results_digest(), "walks are covered by the digest");
+    }
+
+    #[test]
+    fn digest_distinguishes_estimates_at_full_precision() {
+        let a = FleetReport { outcomes: vec![outcome("x", Some(4.25))], ..Default::default() };
+        let b =
+            FleetReport { outcomes: vec![outcome("x", Some(4.25 + 1e-15))], ..Default::default() };
+        assert_ne!(a.results_digest(), b.results_digest(), "bit-level estimate fidelity");
+    }
+}

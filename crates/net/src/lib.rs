@@ -72,7 +72,9 @@ pub mod trace;
 
 pub use event::{Event, EventQueue};
 pub use latency::{FaultModel, LatencyModel, ProviderProfile};
-pub use pipeline::{Completion, PipelineConfig, PipelineStats, QueryPipeline, RequestId};
+pub use pipeline::{
+    Completion, Concurrency, PipelineConfig, PipelineStats, QueryPipeline, RequestId,
+};
 pub use timed::TimedInterface;
 
 // One clock for the whole stack: defined in mto-osn (the lowest layer

@@ -19,7 +19,7 @@ use mto_graph::generators::paper_barbell;
 use mto_graph::NodeId;
 use mto_net::event::EventQueue;
 use mto_net::latency::{FaultModel, LatencyModel};
-use mto_net::pipeline::{PipelineConfig, QueryPipeline};
+use mto_net::pipeline::{Concurrency, PipelineConfig, QueryPipeline};
 use mto_osn::{OsnService, RateLimitPolicy};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -70,6 +70,7 @@ proptest! {
             faults: FaultModel { timeout_prob: 0.1, timeout_secs: 1.0, max_attempts: 3 },
             rate_limit: Some(RateLimitPolicy { burst: 10, refill_per_sec: 2.0 }),
             seed,
+            ..Default::default()
         };
         // Run 1: drain in event order.
         let mut a = pipeline_on_barbell(config);
@@ -117,6 +118,42 @@ proptest! {
             prop_assert!(c.submitted_at <= c.started_at, "started before submission");
             prop_assert!(c.started_at < c.completed_at, "zero/negative service time");
         }
+    }
+
+    #[test]
+    fn adaptive_concurrency_is_bounded_deterministic_and_lossless(
+        nodes in vec(0u32..22, 1..40),
+        seed in any::<u64>(),
+        max_k in 2usize..9,
+        min_k in 1usize..4,
+        burst in 2u64..12,
+    ) {
+        let config = PipelineConfig {
+            max_in_flight: max_k,
+            concurrency: Concurrency::Adaptive { min_in_flight: min_k },
+            latency: LatencyModel::LogNormal { median_secs: 0.15, sigma: 0.8 },
+            rate_limit: Some(RateLimitPolicy { burst, refill_per_sec: 1.5 }),
+            seed,
+            ..Default::default()
+        };
+        let run = || {
+            let mut p = pipeline_on_barbell(config);
+            let mut limits = Vec::new();
+            for &v in &nodes {
+                p.submit(NodeId(v));
+                limits.push(p.in_flight_limit());
+            }
+            let done = p.drain().len();
+            (limits, done, p.log_text(), p.clock().now_us())
+        };
+        let (limits, done, log, t) = run();
+        let floor = min_k.clamp(1, max_k);
+        prop_assert!(
+            limits.iter().all(|&k| (floor..=max_k).contains(&k)),
+            "limit escaped [{}, {}]: {:?}", floor, max_k, limits
+        );
+        prop_assert_eq!(done, nodes.len(), "adaptive ramping lost a completion");
+        prop_assert_eq!(run(), (limits, done, log, t), "adaptive run not reproducible");
     }
 
     #[test]

@@ -340,8 +340,10 @@ pub struct MergeOutcome {
     pub merged_overlay_edges: usize,
 }
 
-/// FNV-1a 64-bit hash — the integrity check of the codec.
-pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+/// FNV-1a 64-bit hash — the integrity check of the history codec, the
+/// per-record seal of [`crate::journal::HistoryJournal`], and the digest
+/// primitive fleet determinism checks build on.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= b as u64;
@@ -429,6 +431,36 @@ where
     token.parse().map_err(|e| bad_record(lineno, format!("bad {what} {token:?}: {e}")))
 }
 
+/// One `node` record line (no newline) — shared by the snapshot body
+/// writer and the append-only journal.
+pub(crate) fn node_record(r: &QueryResponse) -> String {
+    let nbrs = if r.neighbors.is_empty() {
+        "-".to_string()
+    } else {
+        r.neighbors.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join(",")
+    };
+    format!(
+        "node {} {} {} {} {} {}",
+        r.user.0,
+        r.profile.age,
+        r.profile.self_description_len,
+        r.profile.num_posts,
+        u8::from(r.profile.is_public),
+        nbrs
+    )
+}
+
+/// One `degree` record line (no newline).
+pub(crate) fn degree_record(v: NodeId, d: usize) -> String {
+    format!("degree {} {}", v.0, d)
+}
+
+/// One overlay-edge record line (no newline); `keyword` is `removed` or
+/// `added`.
+pub(crate) fn overlay_record(keyword: &str, u: NodeId, v: NodeId) -> String {
+    format!("{keyword} {} {}", u.0, v.0)
+}
+
 /// Serializes the record body shared by history and session files.
 pub(crate) fn write_history_body(store: &HistoryStore, out: &mut String) {
     use std::fmt::Write;
@@ -440,31 +472,16 @@ pub(crate) fn write_history_body(store: &HistoryStore, out: &mut String) {
     writeln!(out, "lookups {}", c.total_lookups).expect("string write");
     writeln!(out, "retries {}", c.transient_retries).expect("string write");
     for r in &c.responses {
-        let nbrs = if r.neighbors.is_empty() {
-            "-".to_string()
-        } else {
-            r.neighbors.iter().map(|n| n.0.to_string()).collect::<Vec<_>>().join(",")
-        };
-        writeln!(
-            out,
-            "node {} {} {} {} {} {}",
-            r.user.0,
-            r.profile.age,
-            r.profile.self_description_len,
-            r.profile.num_posts,
-            u8::from(r.profile.is_public),
-            nbrs
-        )
-        .expect("string write");
+        writeln!(out, "{}", node_record(r)).expect("string write");
     }
     for &(v, d) in &c.degree_hints {
-        writeln!(out, "degree {} {}", v.0, d).expect("string write");
+        writeln!(out, "{}", degree_record(v, d)).expect("string write");
     }
     for &(u, v) in &store.removed {
-        writeln!(out, "removed {} {}", u.0, v.0).expect("string write");
+        writeln!(out, "{}", overlay_record("removed", u, v)).expect("string write");
     }
     for &(u, v) in &store.added {
-        writeln!(out, "added {} {}", u.0, v.0).expect("string write");
+        writeln!(out, "{}", overlay_record("added", u, v)).expect("string write");
     }
 }
 

@@ -54,14 +54,18 @@
 
 pub mod error;
 pub mod history;
+pub mod journal;
 pub mod request;
 pub mod scheduler;
 pub mod session;
 
 pub use error::{HistoryCodecError, Result, ServeError};
 pub use history::{HistoryStore, MergeOutcome};
+pub use journal::{HistoryJournal, JournalRecovery};
 pub use request::{NetworkSpec, ServeRequest};
-pub use scheduler::{JobOutcome, JobScheduler, SchedulePolicy, SchedulerConfig, ServeReport};
+pub use scheduler::{
+    finalize_session, JobOutcome, JobScheduler, SchedulePolicy, SchedulerConfig, ServeReport,
+};
 pub use session::{
     format_job_line, parse_job_line, AlgoSpec, JobSpec, SamplerSession, SessionSnapshot,
     SessionState, SessionWalker,

@@ -17,6 +17,14 @@
 //! quantum 32
 //! budget 5000
 //! policy budget-proportional
+//! # crash-safe append-only history (mto-serve journal format; replays
+//! # on open, tolerates a torn tail)
+//! journal crawl.journal
+//! # fleet mode (mto-fleet): shard the jobs across W workers and gossip
+//! # history at N epoch barriers. Replaces the scheduler: `workers` /
+//! # `quantum` / `budget` are rejected together with `shards`.
+//! #shards 4
+//! #epochs 8
 //! # one line per job (same syntax as session snapshots)
 //! job id=a algo=mto start=0 steps=500 seed=7
 //! job id=b algo=srw start=3 steps=500 seed=9
@@ -202,6 +210,18 @@ pub struct ServeRequest {
     pub warm_start: Option<PathBuf>,
     /// After the run, persist the shared client's history here.
     pub save_history: Option<PathBuf>,
+    /// Crash-safe append-only history journal (`journal` directive):
+    /// warm-start from it when it exists, append the run's new knowledge
+    /// afterwards. Mutually exclusive with `warm-start` (one source of
+    /// prior truth per run).
+    pub journal: Option<PathBuf>,
+    /// Shard the jobs across this many fleet workers (`shards`
+    /// directive); `None` runs the plain single-client scheduler. The
+    /// fleet path lives in `mto-fleet`.
+    pub shards: Option<usize>,
+    /// Target number of epoch barriers for the fleet's history gossip
+    /// (`epochs` directive; only meaningful with `shards`).
+    pub epochs: Option<usize>,
     /// Scheduler knobs (`workers`, `quantum`, `budget`, `policy`
     /// directives).
     pub scheduler: SchedulerConfig,
@@ -217,6 +237,11 @@ impl ServeRequest {
         let mut policy_seen = false;
         let mut warm_start = None;
         let mut save_history = None;
+        let mut journal = None;
+        let mut shards = None;
+        let mut epochs = None;
+        let mut workers_seen = false;
+        let mut quantum_seen = false;
         let mut scheduler = SchedulerConfig::default();
         let mut jobs: Vec<JobSpec> = Vec::new();
         let err = |line: usize, message: String| ServeError::Request { line, message };
@@ -256,11 +281,36 @@ impl ServeRequest {
                 }
                 "warm-start" => warm_start = Some(PathBuf::from(rest)),
                 "save-history" => save_history = Some(PathBuf::from(rest)),
+                "journal" => journal = Some(PathBuf::from(rest)),
+                "shards" => {
+                    if shards.is_some() {
+                        return Err(err(lineno, "duplicate shards directive".into()));
+                    }
+                    let n: usize =
+                        rest.parse().map_err(|e| err(lineno, format!("bad shards: {e}")))?;
+                    if n == 0 {
+                        return Err(err(lineno, "shards must be at least 1".into()));
+                    }
+                    shards = Some(n);
+                }
+                "epochs" => {
+                    if epochs.is_some() {
+                        return Err(err(lineno, "duplicate epochs directive".into()));
+                    }
+                    let n: usize =
+                        rest.parse().map_err(|e| err(lineno, format!("bad epochs: {e}")))?;
+                    if n == 0 {
+                        return Err(err(lineno, "epochs must be at least 1".into()));
+                    }
+                    epochs = Some(n);
+                }
                 "workers" => {
+                    workers_seen = true;
                     scheduler.workers =
                         rest.parse().map_err(|e| err(lineno, format!("bad workers: {e}")))?;
                 }
                 "quantum" => {
+                    quantum_seen = true;
                     scheduler.quantum =
                         rest.parse().map_err(|e| err(lineno, format!("bad quantum: {e}")))?;
                 }
@@ -283,6 +333,35 @@ impl ServeRequest {
         if jobs.is_empty() {
             return Err(err(0, "request names no jobs".into()));
         }
+        if epochs.is_some() && shards.is_none() {
+            return Err(err(0, "`epochs` requires a `shards` directive".into()));
+        }
+        if shards.is_some() && scheduler.global_query_budget.is_some() {
+            // A fleet-wide query budget would make which job is cut
+            // depend on shard placement, breaking the determinism
+            // contract; reject it until budgeted fleets are designed
+            // (see ROADMAP open items).
+            return Err(err(0, "`budget` is not supported together with `shards`".into()));
+        }
+        if shards.is_some() && (workers_seen || quantum_seen) {
+            // Fleet parallelism is `shards`, fleet stepping granularity
+            // is `epochs` — silently dropping the scheduler knobs would
+            // let a request claim tuning it never gets.
+            return Err(err(
+                0,
+                "`workers`/`quantum` tune the single-client scheduler and have no effect \
+                 with `shards`; use `shards`/`epochs` instead"
+                    .into(),
+            ));
+        }
+        if journal.is_some() && warm_start.is_some() {
+            return Err(err(
+                0,
+                "`journal` and `warm-start` are mutually exclusive (one source of prior \
+                 history per run)"
+                    .into(),
+            ));
+        }
         let num_nodes = network.num_nodes();
         for job in &jobs {
             if job.start.index() >= num_nodes {
@@ -295,7 +374,17 @@ impl ServeRequest {
                 ));
             }
         }
-        Ok(ServeRequest { network, provider, warm_start, save_history, scheduler, jobs })
+        Ok(ServeRequest {
+            network,
+            provider,
+            warm_start,
+            save_history,
+            journal,
+            shards,
+            epochs,
+            scheduler,
+            jobs,
+        })
     }
 }
 
@@ -353,6 +442,51 @@ job id=b algo=srw start=3 steps=400 seed=9
                 "network barbell\npolicy round-robin\npolicy budget-proportional\n\
                  job id=a algo=mto start=0 steps=1",
                 "duplicate policy",
+            ),
+        ] {
+            let e = ServeRequest::parse(text).unwrap_err();
+            assert!(e.to_string().contains(needle), "{text:?} → {e}");
+        }
+    }
+
+    #[test]
+    fn fleet_and_journal_directives_parse_and_validate() {
+        let req = ServeRequest::parse(
+            "network barbell\nshards 4\nepochs 8\njournal crawl.journal\n\
+             job id=a algo=mto start=0 steps=100",
+        )
+        .unwrap();
+        assert_eq!(req.shards, Some(4));
+        assert_eq!(req.epochs, Some(8));
+        assert_eq!(req.journal, Some(PathBuf::from("crawl.journal")));
+
+        let plain = ServeRequest::parse("network barbell\njob id=a algo=mto start=0 steps=1");
+        let plain = plain.unwrap();
+        assert_eq!(plain.shards, None);
+        assert_eq!(plain.epochs, None);
+        assert_eq!(plain.journal, None);
+
+        for (text, needle) in [
+            ("network barbell\nshards 0\njob id=a algo=mto start=0 steps=1", "at least 1"),
+            ("network barbell\nepochs 0\nshards 2\njob id=a algo=mto start=0 steps=1", "at least"),
+            ("network barbell\nshards 2\nshards 4\njob id=a algo=mto start=0 steps=1", "duplicate"),
+            ("network barbell\nepochs 3\njob id=a algo=mto start=0 steps=1", "requires"),
+            (
+                "network barbell\nshards 2\nbudget 50\njob id=a algo=mto start=0 steps=1",
+                "not supported",
+            ),
+            (
+                "network barbell\nshards 2\nworkers 8\njob id=a algo=mto start=0 steps=1",
+                "no effect",
+            ),
+            (
+                "network barbell\nshards 2\nquantum 16\njob id=a algo=mto start=0 steps=1",
+                "no effect",
+            ),
+            (
+                "network barbell\njournal a.j\nwarm-start b.hist\n\
+                 job id=a algo=mto start=0 steps=1",
+                "mutually exclusive",
             ),
         ] {
             let e = ServeRequest::parse(text).unwrap_err();

@@ -256,7 +256,7 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
                         }
                     }
                     if over_budget || session.state() == SessionState::Completed {
-                        match finalize(&mut session, !over_budget) {
+                        match finalize_session(&mut session, !over_budget) {
                             Ok(outcome) => done.lock().push((index, outcome)),
                             Err(e) => *first_error.lock() = Some(e),
                         }
@@ -289,7 +289,10 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
     }
 }
 
-fn finalize<I: SocialNetworkInterface>(
+/// Collapses a finished (or budget-interrupted) session into its
+/// [`JobOutcome`] — shared by this scheduler and the `mto-fleet`
+/// coordinator so both report jobs identically.
+pub fn finalize_session<I: SocialNetworkInterface>(
     session: &mut SamplerSession<I>,
     completed: bool,
 ) -> Result<JobOutcome> {

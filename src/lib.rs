@@ -28,8 +28,13 @@
 //!   pipeline over a virtual clock, and the walk-not-wait driver that
 //!   multiplexes walker pools and prefetches speculatively;
 //! * [`serve`] (`mto-serve`) — the service layer: resumable sampler
-//!   sessions, the persistent crawl-history store with cross-run warm
-//!   starts, and the multi-job scheduler (plus the `mto_serve` binary);
+//!   sessions, the persistent crawl-history store (with a crash-safe
+//!   append-only journal) and cross-run warm starts, and the multi-job
+//!   scheduler;
+//! * [`fleet`] (`mto-fleet`) — the deterministic sharded crawl fleet:
+//!   epoch-based history gossip between shard workers, per-shard query
+//!   pipelines on virtual clocks, crash-safe journaling, and the
+//!   `mto_serve` front-end binary;
 //! * [`experiments`] (`mto-experiments`) — regenerates every table and
 //!   figure of the paper's evaluation (see EXPERIMENTS.md).
 //!
@@ -68,6 +73,7 @@
 
 pub use mto_core as core;
 pub use mto_experiments as experiments;
+pub use mto_fleet as fleet;
 pub use mto_graph as graph;
 pub use mto_net as net;
 pub use mto_osn as osn;
@@ -81,9 +87,10 @@ pub mod prelude {
     pub use mto_core::walk::{
         MetropolisHastingsWalk, RandomJumpWalk, SimpleRandomWalk, SrwConfig, Walker,
     };
+    pub use mto_fleet::{FleetConfig, FleetCoordinator, FleetReport};
     pub use mto_graph::{Edge, Graph, GraphBuilder, NodeId};
     pub use mto_net::{LatencyModel, ProviderProfile, QueryPipeline, VirtualClock};
     pub use mto_osn::{CachedClient, OsnService, QueryClient, SocialNetworkInterface};
-    pub use mto_serve::{HistoryStore, JobScheduler, JobSpec, SamplerSession};
+    pub use mto_serve::{HistoryJournal, HistoryStore, JobScheduler, JobSpec, SamplerSession};
     pub use mto_spectral::conductance::exact_conductance;
 }

@@ -1,0 +1,112 @@
+//! Cross-crate integration of the fleet layer through the umbrella
+//! crate: sharded crawling with epoch gossip, journal-backed crash
+//! safety, and the W=1 ↔ scheduler equivalence — everything wired
+//! together the way a consumer of `mto_sampler` sees it.
+
+use mto_sampler::core::mto::MtoConfig;
+use mto_sampler::fleet::{FleetConfig, FleetCoordinator, MergeOrder};
+use mto_sampler::graph::generators::gnp_graph;
+use mto_sampler::graph::{Graph, NodeId};
+use mto_sampler::osn::OsnService;
+use mto_sampler::serve::journal::HistoryJournal;
+use mto_sampler::serve::scheduler::{JobScheduler, SchedulerConfig};
+use mto_sampler::serve::session::{AlgoSpec, JobSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A 200-node sparse network: big enough that no shard can crawl it all
+/// before the first gossip barrier (the paper barbell's 22 nodes would
+/// be fully cached in a handful of MTO steps).
+fn network() -> Graph {
+    gnp_graph(200, 0.04, &mut StdRng::seed_from_u64(7))
+}
+
+fn jobs() -> Vec<JobSpec> {
+    (0..6u64)
+        .map(|i| JobSpec {
+            id: format!("w{i}"),
+            algo: AlgoSpec::Mto(MtoConfig { seed: i + 1, ..Default::default() }),
+            start: NodeId((17 * i as u32) % 200),
+            step_budget: 400,
+        })
+        .collect()
+}
+
+fn fleet(config: FleetConfig) -> impl FnOnce(Vec<JobSpec>) -> mto_sampler::fleet::FleetReport {
+    move |jobs| {
+        let graph = network();
+        FleetCoordinator::new(|_| OsnService::with_defaults(&graph), config)
+            .run(jobs)
+            .expect("fleet run")
+    }
+}
+
+#[test]
+fn gossip_cuts_the_bill_without_touching_results() {
+    let gossiped =
+        fleet(FleetConfig { shards: 3, epoch_quantum: 25, ..Default::default() })(jobs());
+    let isolated =
+        fleet(FleetConfig { shards: 3, epoch_quantum: 25, gossip: false, ..Default::default() })(
+            jobs(),
+        );
+    assert!(
+        gossiped.total_unique_queries < isolated.total_unique_queries,
+        "gossip {} vs isolated {}",
+        gossiped.total_unique_queries,
+        isolated.total_unique_queries
+    );
+    assert_eq!(gossiped.results_digest(), isolated.results_digest());
+    assert!(gossiped.gossip_adopted_responses > 0);
+    assert_eq!(gossiped.merge_conflicts, 0, "honest shards never conflict");
+}
+
+#[test]
+fn fleet_results_survive_every_knob() {
+    let reference = fleet(FleetConfig { shards: 1, ..Default::default() })(jobs());
+    let scheduler =
+        JobScheduler::new(OsnService::with_defaults(&network()), SchedulerConfig::default())
+            .run(jobs())
+            .unwrap();
+    for (f, s) in reference.outcomes.iter().zip(&scheduler.outcomes) {
+        assert_eq!(f.history, s.history, "W=1 must be the scheduler, exactly");
+        assert_eq!(f.avg_degree_estimate, s.avg_degree_estimate);
+    }
+    for shards in [2, 4, 6] {
+        for order in [MergeOrder::Forward, MergeOrder::Reverse] {
+            let report = fleet(FleetConfig {
+                shards,
+                merge_order: order,
+                epoch_quantum: 45,
+                ..Default::default()
+            })(jobs());
+            assert_eq!(report.results_digest(), reference.results_digest(), "W={shards} {order:?}");
+        }
+    }
+}
+
+#[test]
+fn union_store_journals_and_warm_starts_the_next_fleet() {
+    let path =
+        std::env::temp_dir().join(format!("mto-fleet-integration-{}.journal", std::process::id()));
+    let first = fleet(FleetConfig { shards: 4, epoch_quantum: 40, ..Default::default() })(jobs());
+
+    let mut journal = HistoryJournal::create(&path).unwrap();
+    journal.absorb(&first.union_store).unwrap();
+    journal.sync().unwrap();
+    drop(journal);
+
+    let (journal, recovery) = HistoryJournal::open(&path).unwrap();
+    assert!(!recovery.recovered);
+    let graph = network();
+    let warm = FleetCoordinator::new(
+        |_| OsnService::with_defaults(&graph),
+        FleetConfig { shards: 4, epoch_quantum: 40, ..Default::default() },
+    )
+    .with_warm_start(journal.store().clone())
+    .run(jobs())
+    .unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(warm.total_unique_queries, 0, "the union store covers every node the jobs visit");
+    assert_eq!(warm.results_digest(), first.results_digest());
+}
