@@ -2,8 +2,9 @@
 //! criterion, common-neighbor intersection, overlay operations, the
 //! client cache's slot-map lookup, the history codec, the history-store
 //! merge the fleet's gossip folds at every barrier, the discrete-event
-//! query pipeline (and the full walk-not-wait driver), and the spectral
-//! solvers.
+//! query pipeline (and the full walk-not-wait driver), the QoS layer's
+//! cost prediction / budget ledger / EDF epoch planning, and the
+//! spectral solvers.
 
 use std::collections::HashMap;
 use std::time::Duration;
@@ -333,6 +334,76 @@ fn bench_spectral(c: &mut Criterion) {
     group.finish();
 }
 
+/// The QoS hot path: admission-time cost prediction over a warm store,
+/// and a full ledger split → charge → rebalance barrier cycle — both run
+/// at every fleet epoch, so they must stay cheap next to the walking.
+fn bench_qos(c: &mut Criterion) {
+    use mto_qos::{plan_epoch, BudgetLedger, CostPredictor, LiveJob, PlannerConfig};
+    use mto_serve::scheduler::SchedulePolicy;
+    use mto_serve::session::{AlgoSpec, JobSpec};
+
+    let mut group = c.benchmark_group("micro/qos");
+    group.sample_size(50);
+    group.measurement_time(Duration::from_secs(2));
+
+    // A warm store over the mini-Epinions graph for coverage lookups.
+    let graph = mto_bench::mini_epinions_graph(40);
+    let mut client = CachedClient::new(OsnService::with_defaults(&graph));
+    for v in 0..(graph.num_nodes() as u32 / 2) {
+        client.query(NodeId(v)).expect("node exists");
+    }
+    let store = HistoryStore::from_client(&client);
+    let jobs: Vec<JobSpec> = (0..64)
+        .map(|i: u32| JobSpec {
+            id: format!("j{i}"),
+            algo: AlgoSpec::Mto(MtoConfig { seed: i as u64 + 1, ..Default::default() }),
+            start: NodeId(i % graph.num_nodes() as u32),
+            step_budget: 1_000 + i as usize * 17,
+            deadline: (i % 3 == 0).then_some(30.0 + i as f64),
+        })
+        .collect();
+
+    group.throughput(Throughput::Elements(jobs.len() as u64));
+    group.bench_function("predict-64-jobs-warm", |b| {
+        let predictor = CostPredictor::new(Some(graph.num_nodes()));
+        b.iter(|| {
+            let total: u64 = jobs.iter().map(|j| predictor.predict_queries(j, Some(&store))).sum();
+            std::hint::black_box(total)
+        })
+    });
+
+    let predictor = CostPredictor::new(Some(graph.num_nodes()));
+    let predicted: Vec<u64> = jobs.iter().map(|j| predictor.predict_queries(j, None)).collect();
+    group.bench_function("ledger-split-charge-rebalance-64", |b| {
+        b.iter(|| {
+            let mut ledger = BudgetLedger::split(50_000, &predicted);
+            for (i, &p) in predicted.iter().enumerate() {
+                ledger.charge(i, p / 2 + i as u64);
+            }
+            let claims: Vec<(usize, u64)> = (0..8).map(|i| (i * 7, 40)).collect();
+            std::hint::black_box(ledger.rebalance(&[1, 3, 5], &claims))
+        })
+    });
+
+    let live: Vec<LiveJob> = jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| LiveJob {
+            remaining_steps: j.step_budget / 2,
+            deadline: j.deadline,
+            starved_epochs: (i % 6) as u32,
+            suspended: i % 11 == 0,
+        })
+        .collect();
+    group.bench_function("edf-plan-epoch-64", |b| {
+        let config = PlannerConfig { quantum: 64, ..Default::default() };
+        b.iter(|| {
+            std::hint::black_box(plan_epoch(SchedulePolicy::EarliestDeadlineFirst, &config, &live))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_walk_steps,
@@ -341,6 +412,7 @@ criterion_group!(
     bench_history_codec,
     bench_merge,
     bench_pipeline,
+    bench_qos,
     bench_spectral
 );
 criterion_main!(benches);

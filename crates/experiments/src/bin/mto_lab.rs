@@ -15,7 +15,8 @@ use std::path::PathBuf;
 
 use mto_experiments::report::ExperimentReport;
 use mto_experiments::{
-    fig10, fig11, fig7, fig8, fig9, fleet, latency, running_example, table1, theorem6, warm_start,
+    deadline, fig10, fig11, fig7, fig8, fig9, fleet, latency, running_example, table1, theorem6,
+    warm_start,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -30,6 +31,7 @@ const EXPERIMENTS: &[&str] = &[
     "warm-start",
     "latency",
     "fleet",
+    "deadline",
 ];
 
 struct Options {
@@ -137,6 +139,14 @@ fn run_experiment(name: &str, reduced: bool) -> ExperimentReport {
                 fleet::FleetSweepConfig::full()
             };
             fleet::run(&config).1
+        }
+        "deadline" => {
+            let config = if reduced {
+                deadline::DeadlineConfig::reduced()
+            } else {
+                deadline::DeadlineConfig::full()
+            };
+            deadline::run(&config).1
         }
         other => unreachable!("experiment {other} validated during arg parsing"),
     }

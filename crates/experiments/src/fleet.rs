@@ -113,6 +113,7 @@ fn job_pool(config: &FleetSweepConfig) -> Vec<JobSpec> {
             algo: AlgoSpec::Mto(MtoConfig { seed: config.seed + i as u64, ..Default::default() }),
             start: NodeId(0),
             step_budget: config.steps,
+            deadline: None,
         })
         .collect()
 }

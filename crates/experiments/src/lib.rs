@@ -16,6 +16,7 @@
 //! | [`warm_start`] | service layer: cross-run history reuse (`mto-serve`) |
 //! | [`latency`] | network layer: serial vs pipelined vs walk-not-wait (`mto-net`) |
 //! | [`fleet`] | fleet layer: epoch gossip vs isolated shards (`mto-fleet`) |
+//! | [`deadline`] | QoS layer: EDF vs round-robin deadline hits at equal budget (`mto-qos`) |
 //!
 //! Each module exposes a `Config` with `full()` (paper-scale) and
 //! `reduced()` (CI-scale) presets and returns structured results plus an
@@ -25,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod datasets;
+pub mod deadline;
 pub mod driver;
 pub mod fig10;
 pub mod fig11;
@@ -40,6 +42,7 @@ pub mod theorem6;
 pub mod warm_start;
 
 pub use datasets::{build_dataset, DatasetSpec};
+pub use deadline::{DeadlineConfig, DeadlineResult};
 pub use driver::{run_converged, Algorithm, ConvergedRun, RunProtocol};
 pub use fleet::{FleetSweepConfig, FleetSweepResult};
 pub use latency::{LatencyConfig, LatencyResult};

@@ -90,6 +90,7 @@ fn job(id: &str, seed: u64, steps: usize) -> JobSpec {
         algo: AlgoSpec::Mto(MtoConfig { seed, ..Default::default() }),
         start: NodeId(0),
         step_budget: steps,
+        deadline: None,
     }
 }
 

@@ -12,12 +12,18 @@
 //!   [`mto_fleet::FleetCoordinator`] when the request says `shards W`
 //!   (with `epochs N` gossip barriers) — honoring its `warm-start` /
 //!   `save-history` / `journal` directives. Fleet runs additionally
-//!   report per-epoch gossip savings, keep-first `merge-conflicts`, and
-//!   the makespan (max per-shard virtual seconds).
+//!   report per-epoch gossip savings, keep-first `merge-conflicts`, the
+//!   makespan (max per-shard virtual seconds), and — when the request
+//!   carries `budget N` and/or per-job `deadline=` fields — the QoS
+//!   surface: admission verdicts, the budget-ledger split/rebalance
+//!   accounting, and per-job `deadline-met` flags (`policy edf`
+//!   schedules quanta earliest-deadline-first).
 //! * `snapshot` runs the request's **first** job for `--at` steps as a
 //!   [`SamplerSession`], then freezes it (network spec included) to
-//!   `--to`. (Fleet directives do not apply to a single frozen session
-//!   and are ignored here.)
+//!   `--to`. Fleet directives (`shards` / `epochs`) describe a whole
+//!   fleet, not one frozen session: `snapshot` (and therefore the
+//!   `resume` of anything it wrote) **fails fast** on them, naming the
+//!   unsupported directive, instead of silently ignoring them.
 //! * `resume` thaws a snapshot, replays it against a freshly built
 //!   instance of the recorded network, finishes the remaining budget, and
 //!   reports — the cross-process half of the snapshot → resume lifecycle.
@@ -248,7 +254,9 @@ fn execute<I: SocialNetworkInterface + Send + Sync>(
 /// The fleet path: jobs sharded across `W` workers with epoch-barrier
 /// history gossip (see `mto_fleet::FleetCoordinator`). The `epochs N`
 /// directive is a *target barrier count*: the per-epoch quantum is the
-/// longest job budget divided across `N` epochs.
+/// longest job budget divided across `N` epochs. A `budget N` directive
+/// becomes the fleet-wide unique-query budget of the QoS ledger, and
+/// the `policy` directive selects the epoch planner.
 fn run_fleet(
     request: &ServeRequest,
     shards: usize,
@@ -258,8 +266,14 @@ fn run_fleet(
     let max_budget = request.jobs.iter().map(|j| j.step_budget).max().unwrap_or(0);
     let target_epochs = request.epochs.unwrap_or(4).max(1);
     let epoch_quantum = max_budget.div_ceil(target_epochs).max(1);
-    let config =
-        FleetConfig { shards, epoch_quantum, provider: request.provider, ..Default::default() };
+    let config = FleetConfig {
+        shards,
+        epoch_quantum,
+        provider: request.provider,
+        policy: request.scheduler.policy,
+        fleet_budget: request.scheduler.global_query_budget,
+        ..Default::default()
+    };
     let mut fleet = FleetCoordinator::new(move |_| service.clone(), config);
     if let Some(store) = prior {
         fleet = fleet.with_warm_start(store);
@@ -270,7 +284,7 @@ fn run_fleet(
     Ok((body, store))
 }
 
-fn render_job_line(out: &mut String, o: &JobOutcome) {
+fn render_job_line(out: &mut String, o: &JobOutcome, deadline: Option<f64>) {
     use std::fmt::Write;
     write!(
         out,
@@ -289,6 +303,22 @@ fn render_job_line(out: &mut String, o: &JobOutcome) {
     if let Some(s) = o.stats {
         write!(out, " removals={} replacements={}", s.removals, s.replacements)
             .expect("string write");
+    }
+    // Timing fields appear only for deadline jobs: deadline-free job
+    // lines stay byte-stable across warm starts and shard counts.
+    if let Some(d) = deadline {
+        if let Some(t) = o.finished_secs {
+            write!(out, " finished-at={t:.3}").expect("string write");
+        }
+        write!(out, " deadline={d:.3}").expect("string write");
+        // The met flag needs a finish instant to judge against — the
+        // fleet stamps one; the plain scheduler does not, and a job that
+        // never ran (deferred/rejected/cut) has verifiably missed. A
+        // completed job with no timestamp reports no verdict rather than
+        // a false miss.
+        if o.finished_secs.is_some() || !o.completed {
+            write!(out, " deadline-met={}", u8::from(o.deadline_met(d))).expect("string write");
+        }
     }
     out.push('\n');
 }
@@ -311,8 +341,8 @@ fn render_report(request: &ServeRequest, report: &ServeReport) -> String {
         report.aggregate_stats.replacement_rejections
     )
     .expect("string write");
-    for o in &report.outcomes {
-        render_job_line(&mut out, o);
+    for (o, spec) in report.outcomes.iter().zip(&request.jobs) {
+        render_job_line(&mut out, o, spec.deadline);
     }
     out
 }
@@ -337,6 +367,32 @@ fn render_fleet_report(request: &ServeRequest, report: &FleetReport, quantum: us
     if let Some(profile) = &request.provider {
         writeln!(out, "provider {}", profile.name).expect("string write");
     }
+    if let Some(ledger) = &report.ledger {
+        // The ledger figures are shard-invariant: identical lines at
+        // every W (the qos-smoke CI job diffs them).
+        writeln!(
+            out,
+            "ledger total={} spent={} pool={} cut-jobs={}",
+            ledger.total, ledger.spent, ledger.pool, ledger.cut_jobs
+        )
+        .expect("string write");
+        writeln!(out, "ledger-rebalance reclaimed={} granted={}", ledger.reclaimed, ledger.granted)
+            .expect("string write");
+    }
+    for d in &report.admission {
+        if let Some(reason) = &d.reason {
+            writeln!(
+                out,
+                "admission job={} verdict={} predicted-queries={} predicted-secs={:.3} # {}",
+                d.id,
+                d.verdict.name(),
+                d.predicted_queries,
+                d.predicted_secs,
+                reason
+            )
+            .expect("string write");
+        }
+    }
     writeln!(
         out,
         "aggregate-rewiring removals={} replacements={} rejections={}",
@@ -357,8 +413,8 @@ fn render_fleet_report(request: &ServeRequest, report: &FleetReport, quantum: us
         )
         .expect("string write");
     }
-    for o in &report.outcomes {
-        render_job_line(&mut out, o);
+    for (o, spec) in report.outcomes.iter().zip(&request.jobs) {
+        render_job_line(&mut out, o, spec.deadline);
     }
     out
 }
@@ -374,6 +430,23 @@ fn cmd_snapshot(args: &[String]) -> Result<(), Invocation> {
     let to = flags.get("to").ok_or_else(|| Invocation::Usage("snapshot needs --to FILE".into()))?;
 
     let request = read_request(&request_path)?;
+    // A snapshot freezes ONE session; a request that asks for a fleet
+    // cannot be honored by silently ignoring its fleet directives (the
+    // resumed run would quietly drop the sharding the user asked for).
+    // Fail fast, naming the unsupported directive.
+    for (present, directive) in
+        [(request.shards.is_some(), "shards"), (request.epochs.is_some(), "epochs")]
+    {
+        if present {
+            return Err(Invocation::Failed(ServeError::Request {
+                line: 0,
+                message: format!(
+                    "`snapshot`/`resume` operate on a single session; the fleet directive \
+                     `{directive}` is not supported here — drop it or use `run`"
+                ),
+            }));
+        }
+    }
     let service = OsnService::with_defaults(&request.network.build());
     // Honor the provider directive exactly like `run` does, so one
     // request file means the same thing under every subcommand; the

@@ -1,5 +1,5 @@
 //! The fleet coordinator: shard workers in lockstep epochs, history
-//! gossip at every barrier.
+//! gossip at every barrier — now with a QoS brain above the shards.
 //!
 //! A [`crate::ShardPlan`] gives each of `W` shard workers its own slice
 //! of the job list. Each shard owns a **private** [`CachedClient`] over
@@ -11,7 +11,7 @@
 //! is that two shards can *re-pay* for the same node.
 //!
 //! That price is what the **epoch gossip** recovers: the coordinator
-//! steps every shard `epoch_quantum` steps per job on
+//! steps every shard through its epoch grants on
 //! [`std::thread::scope`] workers, and at the barrier folds every
 //! shard's [`HistoryStore`] into a fleet-wide union (pairwise
 //! [`HistoryStore::merge`], keep-first, conflicts counted) that is
@@ -20,26 +20,57 @@
 //! for Faster Sampling of Online Social Networks", arXiv:1505.00079,
 //! applied *between* concurrent crawlers instead of between runs).
 //!
+//! The **QoS layer** (`mto-qos`) decides which work deserves those
+//! epochs and budgets, through three shard-invariant mechanisms:
+//!
+//! * **admission** — before any shard is built, every job is reviewed
+//!   against its deadline and the fleet budget
+//!   ([`AdmissionController`]); rejected and deferred jobs never run and
+//!   report placeholder outcomes;
+//! * **EDF planning** — under
+//!   [`SchedulePolicy::EarliestDeadlineFirst`] each epoch's fleet-wide
+//!   step capacity is dealt out earliest-deadline-first with aging
+//!   ([`mto_qos::plan_epoch`]), so urgent jobs finish in earlier epochs
+//!   (at earlier virtual times) while the fair policies keep the
+//!   historical lockstep grants;
+//! * **the budget ledger** — `fleet_budget` is split per job at
+//!   admission, spent against each job's *unique demand* (distinct
+//!   nodes its own walk requested — a pure function of the walk, no
+//!   matter which shard runs it), and rebalanced at every barrier
+//!   (releases to the pool, proportional grants to dry jobs). A job
+//!   whose slice runs dry suspends until a rebalance refills it, or is
+//!   cut (`completed = false`) when the pool cannot.
+//!
 //! **Determinism contract.** Walkers are pure functions of
 //! `(config, responses)` and responses are pure functions of the
-//! network, so per-job results — walks, estimates, rewire stats — are
-//! bit-identical regardless of shard count, worker interleaving, and
-//! gossip merge order; `W = 1` reproduces the single-client
-//! [`mto_serve::scheduler::JobScheduler`] outcomes exactly. Only the
-//! *bill* (unique queries) and the *makespan* (virtual seconds) depend
-//! on `W` and gossip — that is the whole point of measuring them.
+//! network; admission, planning, and the ledger are pure functions of
+//! job-local state. So per-job results — walks, estimates, rewire
+//! stats, budget cut points — are bit-identical regardless of shard
+//! count, worker interleaving, and gossip merge order; `W = 1`
+//! reproduces the single-client
+//! [`mto_serve::scheduler::JobScheduler`] outcomes exactly (under the
+//! fair policies with no budget). Only the *bill* (unique queries) and
+//! the *timing* (virtual seconds) depend on `W` and gossip — that is
+//! the whole point of measuring them.
+
+use std::collections::HashSet;
 
 use mto_core::mto::RewireStats;
+use mto_core::walk::Walker;
 use mto_graph::NodeId;
 use mto_net::{Concurrency, PipelineConfig, ProviderProfile, QueryPipeline};
 use mto_osn::{CachedClient, SharedClient, SocialNetworkInterface, VirtualClock};
+use mto_qos::{
+    plan_epoch, AdmissionController, BudgetLedger, CostPredictor, DeadlinePolicy, LiveJob,
+    PlannerConfig,
+};
 use mto_serve::error::{Result, ServeError};
 use mto_serve::history::HistoryStore;
-use mto_serve::scheduler::finalize_session;
+use mto_serve::scheduler::{finalize_session, JobOutcome, SchedulePolicy};
 use mto_serve::session::{JobSpec, SamplerSession, SessionState};
 
 use crate::plan::ShardPlan;
-use crate::report::{EpochReport, FleetReport};
+use crate::report::{EpochReport, FleetReport, LedgerSummary};
 
 /// The order in which per-shard stores are folded into the gossip
 /// union. Merge is keep-first, so the order could only matter when
@@ -59,7 +90,8 @@ pub enum MergeOrder {
 pub struct FleetConfig {
     /// Shard workers `W` (clamped to the job count; ≥ 1).
     pub shards: usize,
-    /// Steps each job takes between gossip barriers (≥ 1).
+    /// Steps each job takes between gossip barriers (≥ 1) — the base
+    /// quantum the epoch planner deals out.
     pub epoch_quantum: usize,
     /// Whether the epoch barrier gossips history (disable to measure the
     /// isolated-shards baseline the `fleet` experiment compares against).
@@ -77,6 +109,17 @@ pub struct FleetConfig {
     /// Base seed of the per-shard latency RNGs (shard `s` uses
     /// `seed + s`).
     pub seed: u64,
+    /// How epoch step capacity is allocated among live jobs:
+    /// the fair policies grant lockstep quanta (the historical
+    /// behavior), [`SchedulePolicy::EarliestDeadlineFirst`] front-loads
+    /// deadline jobs (see [`mto_qos::plan_epoch`]).
+    pub policy: SchedulePolicy,
+    /// Fleet-wide unique-query budget, split per job at admission by
+    /// the [`BudgetLedger`] and rebalanced at epoch barriers. `None`
+    /// runs unbudgeted.
+    pub fleet_budget: Option<u64>,
+    /// How admission treats predicted-unmeetable deadlines.
+    pub deadline_policy: DeadlinePolicy,
 }
 
 impl Default for FleetConfig {
@@ -90,6 +133,9 @@ impl Default for FleetConfig {
             max_in_flight: 8,
             concurrency: Concurrency::Fixed,
             seed: 0xF1EE7,
+            policy: SchedulePolicy::RoundRobin,
+            fleet_budget: None,
+            deadline_policy: DeadlinePolicy::Optimistic,
         }
     }
 }
@@ -114,13 +160,52 @@ impl FleetConfig {
     }
 }
 
+/// One admitted job's session plus its QoS bookkeeping.
+struct Slot<I: SocialNetworkInterface> {
+    /// Index into the *submitted* job list (outcome ordering).
+    orig: usize,
+    /// Index into the *admitted* job list (ledger/planner accounts).
+    account: usize,
+    session: SamplerSession<I>,
+    /// Distinct nodes this job's walk has visited — the shard-invariant
+    /// spend metric of the budget ledger (tracked only when budgeted).
+    demand: HashSet<NodeId>,
+    /// History prefix already folded into `demand`.
+    processed: usize,
+    /// Steps taken as of the last barrier (for calibration deltas).
+    steps_seen: usize,
+    /// Suspended by an exhausted ledger slice (resumes on re-grant).
+    suspended: bool,
+    /// Terminated by the budget: the pool could not refill its slice.
+    cut: bool,
+    /// Shard-clock time at the barrier after the job's last step.
+    finished_secs: Option<f64>,
+}
+
+impl<I: SocialNetworkInterface> Slot<I> {
+    /// Folds newly visited history into the demand set, returning the
+    /// cumulative unique demand.
+    fn refresh_demand(&mut self) -> u64 {
+        let history = self.session.walker().history();
+        for &v in &history[self.processed.min(history.len())..] {
+            self.demand.insert(v);
+        }
+        self.processed = history.len();
+        self.demand.len() as u64
+    }
+
+    fn done(&self) -> bool {
+        self.cut || self.session.state() == SessionState::Completed
+    }
+}
+
 /// One shard worker: private client, private pipeline, private clock,
-/// and the sessions of its assigned jobs.
+/// and the slots of its assigned jobs.
 struct Shard<I: SocialNetworkInterface> {
     client: SharedClient<I>,
     pipeline: QueryPipeline<I>,
-    /// `(job index, session)` in ascending job order.
-    sessions: Vec<(usize, SamplerSession<I>)>,
+    /// Slots in ascending original-job order.
+    slots: Vec<Slot<I>>,
     /// Cached node ids at the last barrier (ascending) — the diff basis
     /// for "which nodes did *this shard pay for* this epoch".
     known: Vec<NodeId>,
@@ -128,21 +213,22 @@ struct Shard<I: SocialNetworkInterface> {
 }
 
 impl<I: SocialNetworkInterface> Shard<I> {
-    fn live(&self) -> bool {
-        self.sessions.iter().any(|(_, s)| s.state() != SessionState::Completed)
-    }
-
     fn refresh_known(&mut self) {
         self.known = self.client.with(|c| c.cached_nodes().collect());
     }
 
-    /// Advances every session one epoch quantum, then replays the nodes
+    /// Advances every slot by its epoch grant, then replays the nodes
     /// this shard newly paid for through its pipeline — the shard's
     /// wall-clock bill for the epoch. Gossip-imported nodes are already
     /// in `known` and cost no virtual time here: nobody re-pays them.
-    fn run_epoch(&mut self, quantum: usize) {
-        for (_, session) in &mut self.sessions {
-            if let Err(e) = session.advance(quantum) {
+    /// `grants` is indexed by ledger account.
+    fn run_epoch(&mut self, grants: &[usize]) {
+        for slot in &mut self.slots {
+            let steps = grants[slot.account];
+            if steps == 0 {
+                continue;
+            }
+            if let Err(e) = slot.session.advance(steps) {
                 self.error = Some(e);
                 return;
             }
@@ -185,53 +271,166 @@ where
     }
 
     /// Warm-starts every shard from a persisted history: imported nodes
-    /// are free for all shards from step one.
+    /// are free for all shards from step one (and discount every
+    /// admission-time cost prediction).
     pub fn with_warm_start(mut self, store: HistoryStore) -> Self {
         self.warm_start = Some(store);
         self
     }
 
-    /// Runs `jobs` to completion and reports per-epoch gossip
-    /// accounting alongside the per-job outcomes.
+    /// Runs `jobs` to completion (or to their budget slices) and reports
+    /// per-epoch gossip and ledger accounting alongside the per-job
+    /// outcomes.
     pub fn run(&self, jobs: Vec<JobSpec>) -> Result<FleetReport> {
         if jobs.is_empty() {
             return Ok(FleetReport { shards: 0, ..Default::default() });
         }
-        let plan = ShardPlan::round_robin(jobs.len(), self.config.shards);
-        let quantum = self.config.epoch_quantum.max(1);
-
-        // Build shards up front, in shard order, sessions in ascending
-        // job order — start-node queries charge deterministically.
-        let mut shards: Vec<Shard<I>> = Vec::with_capacity(plan.num_shards());
-        for (s, job_indices) in plan.iter() {
-            let inner = (self.factory)(s);
-            let client = match &self.warm_start {
-                Some(store) => SharedClient::new(store.warm_start(inner)?),
-                None => SharedClient::new(CachedClient::new(inner)),
-            };
-            let pipeline = QueryPipeline::with_clock(
-                (self.factory)(s),
-                self.config.pipeline_config(s),
-                VirtualClock::new(),
-            );
-            let mut sessions = Vec::with_capacity(job_indices.len());
-            for &j in job_indices {
-                sessions.push((j, SamplerSession::create(client.clone(), jobs[j].clone())?));
-            }
-            let mut shard = Shard { client, pipeline, sessions, known: Vec::new(), error: None };
-            shard.refresh_known();
-            shards.push(shard);
+        // Validate up front: admission and planning consume specs before
+        // any `SamplerSession::create` would (sessions validate on
+        // creation, but rejected/deferred jobs never reach one).
+        for spec in &jobs {
+            spec.validate().map_err(|message| ServeError::Request { line: 0, message })?;
         }
 
-        // Epoch loop: parallel stepping, serial gossip at the barrier.
+        // ── Admission: a pure function of (jobs, history, budget), so it
+        // commutes with sharding — every W sees the same admitted set.
+        let mut predictor = CostPredictor::new((self.factory)(0).num_users_hint());
+        if let Some(p) = &self.config.provider {
+            predictor = predictor.with_provider(p);
+        }
+        let decisions = AdmissionController::new(self.config.deadline_policy).review(
+            &predictor,
+            &jobs,
+            self.warm_start.as_ref(),
+            self.config.fleet_budget,
+        );
+        let admitted: Vec<usize> =
+            decisions.iter().filter(|d| d.verdict.admitted()).map(|d| d.job_index).collect();
+        let mut ledger = self.config.fleet_budget.map(|budget| {
+            let predicted: Vec<u64> =
+                admitted.iter().map(|&i| decisions[i].predicted_queries).collect();
+            BudgetLedger::split(budget, &predicted)
+        });
+        let budgeted = ledger.is_some();
+
+        let plan = ShardPlan::round_robin(admitted.len(), self.config.shards);
+        let quantum = self.config.epoch_quantum.max(1);
+        let planner = PlannerConfig { quantum, ..Default::default() };
+
+        // Build shards up front, in shard order, slots in ascending
+        // admitted order — start-node queries charge deterministically.
+        let mut shards: Vec<Shard<I>> = Vec::with_capacity(plan.num_shards());
+        let mut slot_of_account: Vec<(usize, usize)> = vec![(0, 0); admitted.len()];
+        if !admitted.is_empty() {
+            for (s, positions) in plan.iter() {
+                let inner = (self.factory)(s);
+                let client = match &self.warm_start {
+                    Some(store) => SharedClient::new(store.warm_start(inner)?),
+                    None => SharedClient::new(CachedClient::new(inner)),
+                };
+                let pipeline = QueryPipeline::with_clock(
+                    (self.factory)(s),
+                    self.config.pipeline_config(s),
+                    VirtualClock::new(),
+                );
+                let mut slots = Vec::with_capacity(positions.len());
+                for &account in positions {
+                    let orig = admitted[account];
+                    slot_of_account[account] = (s, slots.len());
+                    slots.push(Slot {
+                        orig,
+                        account,
+                        session: SamplerSession::create(client.clone(), jobs[orig].clone())?,
+                        demand: HashSet::new(),
+                        processed: 0,
+                        steps_seen: 0,
+                        suspended: false,
+                        cut: false,
+                        finished_secs: None,
+                    });
+                }
+                let mut shard = Shard { client, pipeline, slots, known: Vec::new(), error: None };
+                shard.refresh_known();
+                // The seed position is demand too: charge it before the
+                // first epoch so a zero-step job still bills its start.
+                if budgeted {
+                    for slot in &mut shard.slots {
+                        slot.refresh_demand();
+                    }
+                }
+                shards.push(shard);
+            }
+        }
+        if let Some(ledger) = ledger.as_mut() {
+            for &(s, pos) in &slot_of_account {
+                let slot = &mut shards[s].slots[pos];
+                let demand = slot.demand.len() as u64;
+                if ledger.charge(slot.account, demand)
+                    && slot.session.state() != SessionState::Completed
+                {
+                    slot.suspended = true;
+                    slot.session.pause();
+                }
+            }
+        }
+
+        // ── Epoch loop: planned grants, parallel stepping, serial QoS
+        // accounting and gossip at the barrier.
         let mut epochs = Vec::new();
         let mut total_adopted = 0u64;
         let mut total_conflicts = 0u64;
+        let mut total_reclaimed = 0u64;
+        let mut total_granted = 0u64;
+        let mut starved: Vec<u32> = vec![0; admitted.len()];
+        let mut released: Vec<bool> = vec![false; admitted.len()];
         let mut epoch = 0usize;
-        while shards.iter().any(Shard::live) {
+        loop {
+            // The planner's view of every admitted job, by account.
+            let live: Vec<LiveJob> = slot_of_account
+                .iter()
+                .map(|&(s, pos)| {
+                    let slot = &shards[s].slots[pos];
+                    LiveJob {
+                        remaining_steps: if slot.done() {
+                            0
+                        } else {
+                            slot.session.steps_remaining()
+                        },
+                        deadline: slot.session.spec().deadline,
+                        starved_epochs: starved[slot.account],
+                        suspended: slot.suspended,
+                    }
+                })
+                .collect();
+            let any_open = live.iter().any(|j| j.remaining_steps > 0);
+            if !any_open {
+                break;
+            }
+            let any_runnable = live.iter().any(|j| !j.suspended && j.remaining_steps > 0);
+            if !any_runnable {
+                // Every remaining job is suspended on an empty pool (a
+                // rebalance ran at the last barrier): cut them.
+                for &(s, pos) in &slot_of_account {
+                    let cut_at = shards[s].pipeline.clock().now();
+                    let slot = &mut shards[s].slots[pos];
+                    if slot.suspended && !slot.done() {
+                        slot.cut = true;
+                        slot.finished_secs = Some(cut_at);
+                    }
+                }
+                break;
+            }
+            let grants = plan_epoch(self.config.policy, &planner, &live);
+            for (account, job) in live.iter().enumerate() {
+                if !job.suspended && job.remaining_steps > 0 {
+                    starved[account] = if grants[account] == 0 { starved[account] + 1 } else { 0 };
+                }
+            }
+
             std::thread::scope(|scope| {
                 for shard in shards.iter_mut() {
-                    scope.spawn(move || shard.run_epoch(quantum));
+                    let grants = &grants;
+                    scope.spawn(move || shard.run_epoch(grants));
                 }
             });
             for shard in &mut shards {
@@ -249,6 +448,78 @@ where
                 makespan_secs: shards.iter().map(|s| s.pipeline.clock().now()).fold(0.0, f64::max),
                 ..Default::default()
             };
+
+            // ── Barrier QoS accounting, in account order (serial, and a
+            // pure function of job-local state — shard-invariant).
+            if let Some(ledger) = ledger.as_mut() {
+                let mut finished: Vec<usize> = Vec::new();
+                let mut claims: Vec<(usize, u64)> = Vec::new();
+                for &(s, pos) in &slot_of_account {
+                    let now_secs = shards[s].pipeline.clock().now();
+                    let slot = &mut shards[s].slots[pos];
+                    let demand = slot.refresh_demand();
+                    let steps_now = slot.session.steps_taken();
+                    let demand_before = ledger.account(slot.account).spent;
+                    let exhausted = ledger.charge(slot.account, demand);
+                    predictor.observe(
+                        slot.session.spec().algo.name(),
+                        (steps_now - slot.steps_seen) as u64,
+                        demand.saturating_sub(demand_before),
+                    );
+                    slot.steps_seen = steps_now;
+                    if slot.session.state() == SessionState::Completed {
+                        if !released[slot.account] {
+                            released[slot.account] = true;
+                            finished.push(slot.account);
+                            slot.finished_secs.get_or_insert(now_secs);
+                        }
+                    } else if exhausted && !slot.suspended {
+                        slot.suspended = true;
+                        slot.session.pause();
+                    }
+                    if slot.suspended && !slot.cut {
+                        // Claim what the rest of the walk is predicted to
+                        // demand, judged against the *static* warm store
+                        // so the claim is shard-invariant — PLUS the
+                        // overshoot already spent past the allowance: a
+                        // grant that ignored it could cover the predicted
+                        // remainder yet leave the account exhausted, and
+                        // the job would be cut with budget still pooled.
+                        let account = ledger.account(slot.account);
+                        let overshoot = account.spent.saturating_sub(account.allowance);
+                        let want = predictor.predict_remaining_queries(
+                            slot.session.spec(),
+                            slot.session.steps_remaining(),
+                            self.warm_start.as_ref(),
+                        );
+                        claims.push((slot.account, overshoot + want.max(1)));
+                    }
+                }
+                let outcome = ledger.rebalance(&finished, &claims);
+                report.ledger_reclaimed = outcome.reclaimed;
+                report.ledger_granted = outcome.granted;
+                total_reclaimed += outcome.reclaimed;
+                total_granted += outcome.granted;
+                // Re-granted slices resume their jobs.
+                for &(account, _) in &claims {
+                    let (s, pos) = slot_of_account[account];
+                    let slot = &mut shards[s].slots[pos];
+                    if slot.suspended && !ledger.account(account).exhausted() {
+                        slot.suspended = false;
+                        slot.session.resume_stepping();
+                    }
+                }
+            } else {
+                // Unbudgeted: only completion times need recording.
+                for &(s, pos) in &slot_of_account {
+                    let now_secs = shards[s].pipeline.clock().now();
+                    let slot = &mut shards[s].slots[pos];
+                    if slot.session.state() == SessionState::Completed {
+                        slot.finished_secs.get_or_insert(now_secs);
+                    }
+                }
+            }
+
             if self.config.gossip && shards.len() > 1 {
                 let stores: Vec<HistoryStore> = shards
                     .iter()
@@ -271,16 +542,41 @@ where
             epoch += 1;
         }
 
-        // Finalize outcomes in submission order.
-        let mut indexed: Vec<(usize, _)> = Vec::with_capacity(jobs.len());
+        // ── Finalize outcomes in submission order: run slots first, then
+        // placeholders for jobs admission kept off the fleet.
+        let mut indexed: Vec<(usize, JobOutcome)> = Vec::with_capacity(jobs.len());
         let mut aggregate_stats = RewireStats::default();
+        let mut cut_jobs = 0u64;
         for shard in &mut shards {
-            for (j, session) in &mut shard.sessions {
-                let outcome = finalize_session(session, true)?;
+            for slot in &mut shard.slots {
+                let mut outcome = finalize_session(&mut slot.session, !slot.cut)?;
+                outcome.finished_secs = slot.finished_secs;
+                if slot.cut {
+                    cut_jobs += 1;
+                }
                 if let Some(s) = outcome.stats {
                     aggregate_stats += s;
                 }
-                indexed.push((*j, outcome));
+                indexed.push((slot.orig, outcome));
+            }
+        }
+        for d in &decisions {
+            if !d.verdict.admitted() {
+                let spec = &jobs[d.job_index];
+                indexed.push((
+                    d.job_index,
+                    JobOutcome {
+                        id: spec.id.clone(),
+                        algorithm: spec.algo.name(),
+                        steps: 0,
+                        completed: false,
+                        final_node: spec.start,
+                        history: Vec::new(),
+                        stats: None,
+                        avg_degree_estimate: None,
+                        finished_secs: None,
+                    },
+                ));
             }
         }
         indexed.sort_unstable_by_key(|(j, _)| *j);
@@ -292,8 +588,8 @@ where
         let (mut union, fold_conflicts) = fold_stores(&stores, self.config.merge_order)?;
         total_conflicts += fold_conflicts;
         for shard in &shards {
-            for (_, session) in &shard.sessions {
-                if let Some(delta) = session.walker().overlay() {
+            for slot in &shard.slots {
+                if let Some(delta) = slot.session.walker().overlay() {
                     let overlay_only = HistoryStore {
                         removed: delta.removed_edges().map(|e| (e.small(), e.large())).collect(),
                         added: delta.added_edges().map(|e| (e.small(), e.large())).collect(),
@@ -318,6 +614,15 @@ where
             makespan_secs: shards.iter().map(|s| s.pipeline.clock().now()).fold(0.0, f64::max),
             aggregate_stats,
             union_store: union,
+            ledger: ledger.map(|l| LedgerSummary {
+                total: l.total(),
+                spent: l.total_spent(),
+                reclaimed: total_reclaimed,
+                granted: total_granted,
+                pool: l.pool(),
+                cut_jobs,
+            }),
+            admission: decisions,
             epochs,
         })
     }
@@ -346,6 +651,7 @@ mod tests {
     use mto_core::walk::{MhrwConfig, SrwConfig};
     use mto_graph::generators::paper_barbell;
     use mto_osn::OsnService;
+    use mto_qos::AdmissionVerdict;
     use mto_serve::scheduler::{JobScheduler, SchedulerConfig};
     use mto_serve::session::AlgoSpec;
 
@@ -362,26 +668,38 @@ mod tests {
                 algo: AlgoSpec::Mto(MtoConfig { seed: 1, ..Default::default() }),
                 start: NodeId(0),
                 step_budget: 400,
+                deadline: None,
             },
             JobSpec {
                 id: "mto-b".into(),
                 algo: AlgoSpec::Mto(MtoConfig { seed: 2, ..Default::default() }),
                 start: NodeId(11),
                 step_budget: 300,
+                deadline: None,
             },
             JobSpec {
                 id: "srw".into(),
                 algo: AlgoSpec::Srw(SrwConfig { seed: 3, lazy: false }),
                 start: NodeId(5),
                 step_budget: 250,
+                deadline: None,
             },
             JobSpec {
                 id: "mhrw".into(),
                 algo: AlgoSpec::Mhrw(MhrwConfig { seed: 4 }),
                 start: NodeId(16),
                 step_budget: 200,
+                deadline: None,
             },
         ]
+    }
+
+    /// The mixed pool with deadlines on two jobs.
+    fn deadline_jobs() -> Vec<JobSpec> {
+        let mut jobs = mixed_jobs();
+        jobs[1].deadline = Some(2.0);
+        jobs[3].deadline = Some(5.0);
+        jobs
     }
 
     #[test]
@@ -408,6 +726,10 @@ mod tests {
         assert_eq!(report.epochs.iter().map(|e| e.merge_conflicts).sum::<u64>(), 0);
         // The union store holds every node anyone paid for.
         assert!(report.union_store.num_responses() >= 20, "barbell is nearly fully crawled");
+        // Unbudgeted run: no ledger; every job admitted; finish times set.
+        assert!(report.ledger.is_none());
+        assert!(report.admission.iter().all(|d| d.verdict == AdmissionVerdict::Admit));
+        assert!(report.outcomes.iter().all(|o| o.finished_secs.is_some()));
     }
 
     #[test]
@@ -544,6 +866,133 @@ mod tests {
     }
 
     #[test]
+    fn edf_policy_preserves_results_but_front_loads_deadline_finishes() {
+        // A 200-node G(n, p) keeps walks discovering (and the shard
+        // clocks advancing) for the whole run, so finish times resolve
+        // finer than the tiny barbell's fully-crawled plateau.
+        use rand::SeedableRng;
+        let run = |policy, shards| {
+            FleetCoordinator::new(
+                |_| {
+                    OsnService::with_defaults(&mto_graph::generators::gnp_graph(
+                        200,
+                        0.04,
+                        &mut rand::rngs::StdRng::seed_from_u64(7),
+                    ))
+                },
+                FleetConfig { shards, epoch_quantum: 25, policy, ..Default::default() },
+            )
+            .run(deadline_jobs())
+            .unwrap()
+        };
+        let rr = run(SchedulePolicy::RoundRobin, 2);
+        for shards in [1, 2, 4] {
+            let edf = run(SchedulePolicy::EarliestDeadlineFirst, shards);
+            assert_eq!(
+                edf.results_digest(),
+                rr.results_digest(),
+                "policy/W must never change results (W={shards})"
+            );
+        }
+        // Timing is what EDF changes: on a one-shard fleet (all four
+        // jobs contending), the deadline jobs must finish no later than
+        // under round-robin — and strictly earlier than the best-effort
+        // hog that shares their shard.
+        let rr1 = run(SchedulePolicy::RoundRobin, 1);
+        let edf1 = run(SchedulePolicy::EarliestDeadlineFirst, 1);
+        let finish = |r: &FleetReport, id: &str| -> f64 {
+            r.outcomes.iter().find(|o| o.id == id).unwrap().finished_secs.unwrap()
+        };
+        assert!(
+            finish(&edf1, "mto-b") <= finish(&rr1, "mto-b"),
+            "EDF must not delay a deadline job"
+        );
+        assert!(
+            finish(&edf1, "mto-b") < finish(&edf1, "mto-a"),
+            "the deadline job outruns the best-effort hog under EDF"
+        );
+    }
+
+    #[test]
+    fn budgeted_fleet_is_bit_identical_across_shard_counts() {
+        // The acceptance criterion of ISSUE 5: budget + shards composes,
+        // with identical results and identical ledger spend across W.
+        let run = |shards| {
+            barbell_fleet(FleetConfig {
+                shards,
+                epoch_quantum: 25,
+                fleet_budget: Some(30),
+                ..Default::default()
+            })
+            .run(mixed_jobs())
+            .unwrap()
+        };
+        let reference = run(1);
+        let ref_ledger = reference.ledger.expect("budgeted run carries a ledger");
+        assert!(ref_ledger.spent > 0);
+        for shards in [2, 3, 4] {
+            let report = run(shards);
+            assert_eq!(
+                report.results_digest(),
+                reference.results_digest(),
+                "budget cuts diverged at W={shards}"
+            );
+            let ledger = report.ledger.unwrap();
+            assert_eq!(ledger.spent, ref_ledger.spent, "ledger spend diverged at W={shards}");
+            assert_eq!(ledger.reclaimed, ref_ledger.reclaimed);
+            assert_eq!(ledger.granted, ref_ledger.granted);
+            assert_eq!(ledger.cut_jobs, ref_ledger.cut_jobs);
+        }
+    }
+
+    #[test]
+    fn tight_budgets_cut_jobs_and_generous_budgets_do_not() {
+        let run = |budget| {
+            barbell_fleet(FleetConfig {
+                shards: 2,
+                epoch_quantum: 25,
+                fleet_budget: Some(budget),
+                ..Default::default()
+            })
+            .run(mixed_jobs())
+            .unwrap()
+        };
+        let tight = run(6);
+        assert!(
+            tight.outcomes.iter().any(|o| !o.completed),
+            "a 6-unit budget cannot cover four walks of the barbell"
+        );
+        assert!(tight.ledger.unwrap().cut_jobs > 0);
+        let generous = run(10_000);
+        assert!(generous.outcomes.iter().all(|o| o.completed));
+        assert_eq!(generous.ledger.unwrap().cut_jobs, 0);
+        // The ledger never lets total spend sail past budget + one
+        // quantum's overshoot per job.
+        let spent = tight.ledger.unwrap().spent;
+        assert!(spent >= 6, "the budget itself is spendable");
+    }
+
+    #[test]
+    fn strict_deadline_policy_rejects_hopeless_jobs_up_front() {
+        let mut jobs = mixed_jobs();
+        // 400 steps at ≥ 50 ms per predicted query cannot finish in 1 ms.
+        jobs[0].deadline = Some(0.001);
+        let report = barbell_fleet(FleetConfig {
+            shards: 2,
+            deadline_policy: DeadlinePolicy::Strict,
+            ..Default::default()
+        })
+        .run(jobs)
+        .unwrap();
+        assert_eq!(report.admission[0].verdict, AdmissionVerdict::Reject);
+        let rejected = &report.outcomes[0];
+        assert_eq!((rejected.steps, rejected.completed), (0, false), "never ran");
+        assert!(rejected.history.is_empty());
+        // The other three ran normally.
+        assert!(report.outcomes[1..].iter().all(|o| o.completed));
+    }
+
+    #[test]
     fn fleet_refuses_mismatched_shard_networks() {
         // Shard 1 sees a different network: the gossip merge must refuse
         // the union instead of poisoning every shard's cache.
@@ -563,12 +1012,14 @@ mod tests {
                 algo: AlgoSpec::Srw(SrwConfig { seed: 1, lazy: false }),
                 start: NodeId(0),
                 step_budget: 64,
+                deadline: None,
             },
             JobSpec {
                 id: "b".into(),
                 algo: AlgoSpec::Srw(SrwConfig { seed: 2, lazy: false }),
                 start: NodeId(1),
                 step_budget: 64,
+                deadline: None,
             },
         ];
         let err = fleet.run(jobs).unwrap_err();

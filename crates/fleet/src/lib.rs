@@ -54,6 +54,7 @@
 //!         algo: AlgoSpec::Mto(MtoConfig { seed: i as u64 + 1, ..Default::default() }),
 //!         start: NodeId(5 * i),
 //!         step_budget: 200,
+//!         deadline: None,
 //!     })
 //!     .collect();
 //! let fleet = FleetCoordinator::new(
@@ -76,4 +77,4 @@ pub mod report;
 
 pub use coordinator::{FleetConfig, FleetCoordinator, MergeOrder};
 pub use plan::ShardPlan;
-pub use report::{EpochReport, FleetReport};
+pub use report::{EpochReport, FleetReport, LedgerSummary};

@@ -2,6 +2,7 @@
 //! per-job outcomes the single-client scheduler reports.
 
 use mto_core::mto::RewireStats;
+use mto_qos::AdmissionDecision;
 use mto_serve::history::{fnv1a64, HistoryStore};
 use mto_serve::scheduler::JobOutcome;
 
@@ -22,6 +23,31 @@ pub struct EpochReport {
     /// Max per-shard virtual seconds at the barrier — the fleet's
     /// makespan so far.
     pub makespan_secs: f64,
+    /// Budget units finished jobs returned to the ledger pool at this
+    /// barrier (budgeted runs only).
+    pub ledger_reclaimed: u64,
+    /// Budget units the ledger granted from the pool to dry jobs at
+    /// this barrier (budgeted runs only).
+    pub ledger_granted: u64,
+}
+
+/// Aggregate [`mto_qos::BudgetLedger`] accounting of a budgeted run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LedgerSummary {
+    /// The fleet-wide budget the request asked for.
+    pub total: u64,
+    /// Units spent across every job account — each job's unique demand,
+    /// a shard-invariant figure (identical across `W`).
+    pub spent: u64,
+    /// Units returned to the pool by finished jobs, total.
+    pub reclaimed: u64,
+    /// Units re-granted from the pool to dry jobs, total.
+    pub granted: u64,
+    /// Units left in the pool at the end of the run.
+    pub pool: u64,
+    /// Jobs terminated early because their slice ran dry on an empty
+    /// pool.
+    pub cut_jobs: u64,
 }
 
 /// Aggregate result of one [`crate::FleetCoordinator::run`].
@@ -50,6 +76,11 @@ pub struct FleetReport {
     /// walkers' overlay deltas) — what `save-history` persists and what
     /// a journal absorbs.
     pub union_store: HistoryStore,
+    /// Budget-ledger accounting (`Some` iff the run was budgeted).
+    pub ledger: Option<LedgerSummary>,
+    /// The QoS admission review of every submitted job, in submission
+    /// order (non-admitted jobs report placeholder outcomes).
+    pub admission: Vec<AdmissionDecision>,
 }
 
 impl FleetReport {
@@ -112,6 +143,7 @@ mod tests {
             history: vec![NodeId(0), NodeId(1), NodeId(3)],
             stats: Some(RewireStats { removals: 2, replacements: 1, replacement_rejections: 0 }),
             avg_degree_estimate: est,
+            finished_secs: Some(1.25),
         }
     }
 

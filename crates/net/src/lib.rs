@@ -74,6 +74,7 @@ pub use event::{Event, EventQueue};
 pub use latency::{FaultModel, LatencyModel, ProviderProfile};
 pub use pipeline::{
     Completion, Concurrency, PipelineConfig, PipelineStats, QueryPipeline, RequestId,
+    LATENCY_WINDOW,
 };
 pub use timed::TimedInterface;
 

@@ -70,9 +70,21 @@ pub struct PipelineConfig {
     /// Provider quota enforced at request *start* time (`None` = no
     /// limit).
     pub rate_limit: Option<RateLimitPolicy>,
+    /// Latency-aware back-off for [`Concurrency::Adaptive`]: when the
+    /// rolling mean completion latency (over the last
+    /// [`LATENCY_WINDOW`] completions) exceeds this factor times the
+    /// latency model's expectation ([`LatencyModel::mean`]), the
+    /// controller sheds one lane — a slow provider is a signal to ease
+    /// off, independent of token headroom. `None` disables the rule;
+    /// fixed-K pipelines ignore it entirely.
+    pub latency_backoff: Option<f64>,
     /// Seed of the latency/fault RNG.
     pub seed: u64,
 }
+
+/// Completions the latency-aware ramp averages over (and the minimum
+/// sample count before it may trigger).
+pub const LATENCY_WINDOW: usize = 8;
 
 impl Default for PipelineConfig {
     fn default() -> Self {
@@ -82,6 +94,7 @@ impl Default for PipelineConfig {
             latency: LatencyModel::Constant { secs: 0.05 },
             faults: FaultModel::none(),
             rate_limit: None,
+            latency_backoff: None,
             seed: 0x7E7,
         }
     }
@@ -124,6 +137,9 @@ pub struct PipelineStats {
     pub ramp_ups: u64,
     /// Times the adaptive controller lowered the in-flight limit.
     pub ramp_downs: u64,
+    /// Ramp-downs forced by the latency rule alone (slow completions,
+    /// token headroom notwithstanding); a subset of `ramp_downs`.
+    pub latency_backoffs: u64,
 }
 
 /// What one in-flight event carries until it fires.
@@ -160,6 +176,10 @@ pub struct QueryPipeline<I> {
     /// Tokens are granted in submission order: no acquisition may be
     /// backdated before an earlier one (the bucket refills monotonically).
     token_cursor_us: u64,
+    /// Service times (started → completed, virtual secs) of the last
+    /// [`LATENCY_WINDOW`] completions — the rolling sample the
+    /// latency-aware ramp judges against the model's expectation.
+    recent_latency: std::collections::VecDeque<f64>,
     /// One line per completion, appended strictly in event order — the
     /// determinism witness.
     log: Vec<String>,
@@ -191,6 +211,7 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
             events: EventQueue::new(),
             ready: BTreeMap::new(),
             token_cursor_us: 0,
+            recent_latency: std::collections::VecDeque::with_capacity(LATENCY_WINDOW),
             log: Vec::new(),
             next_id: 0,
             stats: PipelineStats::default(),
@@ -238,8 +259,12 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
     /// Re-evaluates the in-flight limit before a submission (a no-op
     /// under [`Concurrency::Fixed`]). Policy: one more lane whenever the
     /// bucket holds enough tokens to feed every live lane plus one; one
-    /// fewer when the bucket cannot even cover a single request. Every
-    /// input is virtual state, so the ramp is deterministic.
+    /// fewer when the bucket cannot even cover a single request — or,
+    /// with [`PipelineConfig::latency_backoff`] set, when the rolling
+    /// mean completion latency exceeds that factor of the model's
+    /// expectation (a slow provider sheds a lane even with token
+    /// headroom to spare). Every input is virtual state, so the ramp is
+    /// deterministic.
     fn adapt_limit(&mut self) {
         let Concurrency::Adaptive { min_in_flight } = self.config.concurrency else {
             return;
@@ -247,13 +272,27 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
         let max = self.config.max_in_flight;
         let min = min_in_flight.clamp(1, max);
         let headroom = self.tokens_available();
-        let want = if headroom >= (self.current_limit + 1) as f64 {
+        let mut want = if headroom >= (self.current_limit + 1) as f64 {
             self.current_limit + 1
         } else if headroom < 1.0 {
             self.current_limit.saturating_sub(1)
         } else {
             self.current_limit
         };
+        if let Some(factor) = self.config.latency_backoff {
+            let expected = self.config.latency.mean();
+            if self.recent_latency.len() >= LATENCY_WINDOW && expected > 0.0 {
+                let mean: f64 =
+                    self.recent_latency.iter().sum::<f64>() / self.recent_latency.len() as f64;
+                if mean > factor * expected {
+                    let slowed = self.current_limit.saturating_sub(1);
+                    if slowed < want && slowed.clamp(min, max) < self.current_limit {
+                        self.stats.latency_backoffs += 1;
+                    }
+                    want = want.min(slowed);
+                }
+            }
+        }
         let want = want.clamp(min, max);
         match want.cmp(&self.current_limit) {
             std::cmp::Ordering::Greater => self.stats.ramp_ups += 1,
@@ -375,6 +414,11 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
             }
         };
         self.stats.completed += 1;
+        if self.recent_latency.len() == LATENCY_WINDOW {
+            self.recent_latency.pop_front();
+        }
+        self.recent_latency
+            .push_back(VirtualClock::us_to_secs(event.time_us.saturating_sub(p.started_us)));
         let summary = match &response {
             Ok(r) => format!("ok degree={}", r.degree()),
             Err(e) => format!("err {e}"),
@@ -716,6 +760,74 @@ mod tests {
         let (limits, log) = run();
         assert!(limits.iter().all(|&k| (2..=5).contains(&k)), "limits {limits:?}");
         assert_eq!((limits, log), run(), "adaptive control must stay deterministic");
+    }
+
+    #[test]
+    fn latency_backoff_sheds_lanes_when_completions_run_slow() {
+        // Injected timeouts make the measured service time (~2.05 s)
+        // dwarf the model's 50 ms expectation, so the latency rule must
+        // shed lanes down to the floor even though tokens are unlimited
+        // (the old headroom-only rule would have ramped to max).
+        let mut p = pipeline(PipelineConfig {
+            max_in_flight: 6,
+            concurrency: Concurrency::Adaptive { min_in_flight: 2 },
+            latency: LatencyModel::Constant { secs: 0.05 },
+            faults: FaultModel { timeout_prob: 1.0, timeout_secs: 2.0, max_attempts: 2 },
+            latency_backoff: Some(2.0),
+            ..Default::default()
+        });
+        for v in 0..40u32 {
+            p.submit(NodeId(v % 22));
+            // Interleave retrieval so completions feed the rolling window.
+            p.next_completion();
+        }
+        p.drain();
+        assert!(p.stats().latency_backoffs > 0, "slow completions must trigger the rule");
+        assert_eq!(p.in_flight_limit(), 2, "settles at the floor while the provider is slow");
+    }
+
+    #[test]
+    fn latency_backoff_stays_quiet_when_completions_match_the_model() {
+        let run = |backoff| {
+            let mut p = pipeline(PipelineConfig {
+                max_in_flight: 6,
+                concurrency: Concurrency::Adaptive { min_in_flight: 1 },
+                latency: LatencyModel::Constant { secs: 0.05 },
+                latency_backoff: backoff,
+                ..Default::default()
+            });
+            for v in 0..30u32 {
+                p.submit(NodeId(v % 22));
+                p.next_completion();
+            }
+            p.drain();
+            (p.log_text(), p.stats())
+        };
+        let (log_on, stats_on) = run(Some(1.5));
+        let (log_off, stats_off) = run(None);
+        assert_eq!(stats_on.latency_backoffs, 0, "on-model completions never back off");
+        assert_eq!(log_on, log_off, "an idle rule must not perturb the stream");
+        assert_eq!(stats_on, stats_off);
+    }
+
+    #[test]
+    fn fixed_k_ignores_the_latency_backoff_knob() {
+        let run = |backoff| {
+            let mut p = pipeline(PipelineConfig {
+                max_in_flight: 4,
+                latency: LatencyModel::LogNormal { median_secs: 0.2, sigma: 0.9 },
+                faults: FaultModel { timeout_prob: 0.3, timeout_secs: 1.0, max_attempts: 3 },
+                latency_backoff: backoff,
+                seed: 41,
+                ..Default::default()
+            });
+            for v in 0..20u32 {
+                p.submit(NodeId(v % 22));
+            }
+            p.drain();
+            (p.log_text(), p.stats())
+        };
+        assert_eq!(run(Some(0.01)), run(None), "fixed-K must stay byte-identical");
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! The fleet-wide unique-query budget ledger.
+//!
+//! `budget N` + `shards W` used to be rejected: with one live counter
+//! shared across shards, *which* job a global budget cuts depends on
+//! shard placement and thread timing, and the fleet's bit-identical
+//! determinism contract dies. The ledger resolves that open item by
+//! making every budget decision a function of **shard-invariant** state:
+//!
+//! * the budget is **split at admission** across jobs proportional to
+//!   their predicted cost (largest-remainder rounding, ties to the
+//!   earlier job) — a pure function of the admission-time predictions;
+//! * each job **spends against its own slice**, where spend is the
+//!   job's *unique demand* (distinct nodes its own walk has requested) —
+//!   a pure function of the walk, identical no matter which shard runs
+//!   it or who else shares the cache;
+//! * at every epoch barrier the ledger **rebalances**: slices released
+//!   by finished jobs return to the pool, and the pool is re-granted to
+//!   jobs that ran dry, proportional to their predicted remaining
+//!   demand (largest remainder again, ties to the earlier job). When
+//!   demand exceeds the pool, every claim is cut by the same
+//!   proportional rule — never first-come-first-served.
+//!
+//! Conservation is the load-bearing invariant: **no operation mints or
+//! leaks budget** — the pool plus every account's allowance always sums
+//! to the initial total (`debug_assert`ed on every mutation, and the
+//! `proptest_qos` suite hammers it).
+
+/// One job's slice of the fleet budget.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LedgerAccount {
+    /// Budget units currently allocated to the job.
+    pub allowance: u64,
+    /// Units the job has spent (its unique demand so far). May exceed
+    /// the allowance by at most one quantum's discoveries — the
+    /// overshoot of the quantum that exhausted it.
+    pub spent: u64,
+    /// Whether the job has finished and returned its unspent allowance.
+    pub released: bool,
+}
+
+impl LedgerAccount {
+    /// Unspent allowance.
+    pub fn remaining(&self) -> u64 {
+        self.allowance.saturating_sub(self.spent)
+    }
+
+    /// Whether the job has spent its whole slice.
+    pub fn exhausted(&self) -> bool {
+        self.spent >= self.allowance
+    }
+}
+
+/// What one [`BudgetLedger::rebalance`] moved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RebalanceOutcome {
+    /// Units returned to the pool by released accounts.
+    pub reclaimed: u64,
+    /// Units granted from the pool to dry accounts.
+    pub granted: u64,
+    /// Pool balance after the rebalance.
+    pub pool: u64,
+}
+
+/// A fleet-wide budget split across per-job accounts plus a shared pool.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BudgetLedger {
+    total: u64,
+    pool: u64,
+    accounts: Vec<LedgerAccount>,
+}
+
+/// Splits `amount` across `weights` proportionally with largest-remainder
+/// rounding (ties to the earlier index), never exceeding `cap[i]` when
+/// given. All-zero weights share equally. Returns exactly `amount` in
+/// total unless the caps bind first.
+fn apportion(amount: u64, weights: &[u64], caps: Option<&[u64]>) -> Vec<u64> {
+    let n = weights.len();
+    if n == 0 || amount == 0 {
+        return vec![0; n];
+    }
+    let weight_sum: u128 = weights.iter().map(|&w| w as u128).sum();
+    let weights: Vec<u128> = if weight_sum == 0 {
+        vec![1; n] // equal shares for an all-zero demand vector
+    } else {
+        weights.iter().map(|&w| w as u128).collect()
+    };
+    let weight_sum: u128 = weights.iter().sum();
+    let mut shares: Vec<u64> = Vec::with_capacity(n);
+    let mut remainders: Vec<(u128, usize)> = Vec::with_capacity(n);
+    let mut allotted: u64 = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        let exact = amount as u128 * w;
+        let floor = (exact / weight_sum) as u64;
+        shares.push(floor);
+        allotted += floor;
+        remainders.push((exact % weight_sum, i));
+    }
+    // Largest remainder first; equal remainders go to the earlier job.
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    let mut leftover = amount - allotted;
+    for &(_, i) in &remainders {
+        if leftover == 0 {
+            break;
+        }
+        shares[i] += 1;
+        leftover -= 1;
+    }
+    // Enforce caps, returning the excess by another largest-remainder
+    // pass over the uncapped accounts (iterated to a fixed point; each
+    // round either places everything or caps at least one more account,
+    // so it terminates).
+    if let Some(caps) = caps {
+        let mut excess: u64 = 0;
+        for (s, &c) in shares.iter_mut().zip(caps) {
+            if *s > c {
+                excess += *s - c;
+                *s = c;
+            }
+        }
+        while excess > 0 {
+            let open: Vec<usize> =
+                (0..n).filter(|&i| shares[i] < caps[i] && weights[i] > 0).collect();
+            if open.is_empty() {
+                break; // caps bind: the rest stays unplaced
+            }
+            let mut placed_any = false;
+            for &i in &open {
+                if excess == 0 {
+                    break;
+                }
+                let headroom = caps[i] - shares[i];
+                let take = headroom.min(excess.div_ceil(open.len() as u64)).min(excess);
+                if take > 0 {
+                    shares[i] += take;
+                    excess -= take;
+                    placed_any = true;
+                }
+            }
+            if !placed_any {
+                break;
+            }
+        }
+    }
+    shares
+}
+
+impl BudgetLedger {
+    /// Splits `total` budget units across jobs proportional to their
+    /// `predicted` costs (largest remainder, ties to the earlier job;
+    /// all-zero predictions share equally). The whole budget lands in
+    /// accounts — the pool starts empty and only fills as jobs release.
+    pub fn split(total: u64, predicted: &[u64]) -> Self {
+        if predicted.is_empty() {
+            // No jobs: the whole budget sits in the pool.
+            return BudgetLedger { total, pool: total, accounts: Vec::new() };
+        }
+        let shares = apportion(total, predicted, None);
+        let ledger = BudgetLedger {
+            total,
+            pool: 0,
+            accounts: shares
+                .into_iter()
+                .map(|allowance| LedgerAccount { allowance, spent: 0, released: false })
+                .collect(),
+        };
+        debug_assert!(ledger.conserves());
+        ledger
+    }
+
+    /// The initial fleet-wide budget.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Units currently in the shared pool.
+    pub fn pool(&self) -> u64 {
+        self.pool
+    }
+
+    /// Number of accounts.
+    pub fn len(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Whether the ledger tracks no accounts.
+    pub fn is_empty(&self) -> bool {
+        self.accounts.is_empty()
+    }
+
+    /// Account `i`'s state.
+    pub fn account(&self, i: usize) -> &LedgerAccount {
+        &self.accounts[i]
+    }
+
+    /// Total units spent across every account — the fleet's ledger bill.
+    /// Shard-invariant by construction: spend is per-job unique demand.
+    pub fn total_spent(&self) -> u64 {
+        self.accounts.iter().map(|a| a.spent).sum()
+    }
+
+    /// Records job `i`'s cumulative spend (monotone — a stale lower
+    /// reading never rolls an account back). Returns `true` when the
+    /// account is now exhausted and the job must suspend until a
+    /// rebalance re-grants it.
+    pub fn charge(&mut self, i: usize, cumulative_spent: u64) -> bool {
+        let account = &mut self.accounts[i];
+        account.spent = account.spent.max(cumulative_spent);
+        debug_assert!(self.conserves());
+        self.accounts[i].exhausted()
+    }
+
+    /// Job `i` finished (or was cut): its unspent allowance returns to
+    /// the pool. Idempotent. Returns the reclaimed units.
+    pub fn release(&mut self, i: usize) -> u64 {
+        let account = &mut self.accounts[i];
+        if account.released {
+            return 0;
+        }
+        account.released = true;
+        let unspent = account.remaining();
+        account.allowance -= unspent;
+        self.pool += unspent;
+        debug_assert!(self.conserves());
+        unspent
+    }
+
+    /// Epoch-barrier rebalance: releases every account named in
+    /// `finished`, then grants the pool to the `claims` —
+    /// `(account, predicted additional demand)` pairs — proportional to
+    /// their claims with largest-remainder rounding (ties to the earlier
+    /// account). When the pool cannot cover the claims, every claim is
+    /// cut by the same proportional rule (the fixed over-demand rule);
+    /// no account receives more than it claimed.
+    pub fn rebalance(&mut self, finished: &[usize], claims: &[(usize, u64)]) -> RebalanceOutcome {
+        let mut outcome = RebalanceOutcome::default();
+        for &i in finished {
+            outcome.reclaimed += self.release(i);
+        }
+        // Released accounts take no further grants; drop their claims
+        // before apportioning so they cannot eat anyone's pool share.
+        let claims: Vec<(usize, u64)> =
+            claims.iter().copied().filter(|&(i, _)| !self.accounts[i].released).collect();
+        let weights: Vec<u64> = claims.iter().map(|&(_, want)| want).collect();
+        let grantable = self.pool.min(weights.iter().sum());
+        let grants = apportion(grantable, &weights, Some(&weights));
+        for (&(i, _), &g) in claims.iter().zip(&grants) {
+            if g > 0 {
+                self.accounts[i].allowance += g;
+                self.pool -= g;
+                outcome.granted += g;
+            }
+        }
+        outcome.pool = self.pool;
+        debug_assert!(self.conserves());
+        outcome
+    }
+
+    /// The conservation invariant: pool plus allowances equals the
+    /// initial total. (Released accounts keep `allowance == spent`
+    /// capped at what they were ever granted.)
+    pub fn conserves(&self) -> bool {
+        self.pool + self.accounts.iter().map(|a| a.allowance).sum::<u64>() == self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_is_proportional_exact_and_tie_broken_to_the_earlier_job() {
+        let ledger = BudgetLedger::split(100, &[10, 10, 20]);
+        assert_eq!(
+            (0..3).map(|i| ledger.account(i).allowance).collect::<Vec<_>>(),
+            vec![25, 25, 50]
+        );
+        assert!(ledger.conserves());
+
+        // 10 into three equal claims: 4/3/3, the earlier jobs take the
+        // remainder units.
+        let ledger = BudgetLedger::split(10, &[5, 5, 5]);
+        assert_eq!((0..3).map(|i| ledger.account(i).allowance).collect::<Vec<_>>(), vec![4, 3, 3]);
+        assert!(ledger.conserves());
+
+        // All-zero predictions share equally instead of dividing by zero.
+        let ledger = BudgetLedger::split(9, &[0, 0, 0]);
+        assert_eq!((0..3).map(|i| ledger.account(i).allowance).collect::<Vec<_>>(), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn charge_is_monotone_and_flags_exhaustion() {
+        let mut ledger = BudgetLedger::split(20, &[1, 1]);
+        assert!(!ledger.charge(0, 5));
+        assert!(!ledger.charge(0, 3), "stale lower reading cannot roll back");
+        assert_eq!(ledger.account(0).spent, 5);
+        assert!(ledger.charge(0, 10), "spent == allowance is exhausted");
+        assert!(ledger.charge(0, 12), "overshoot stays exhausted");
+        assert_eq!(ledger.total_spent(), 12);
+        assert!(ledger.conserves());
+    }
+
+    #[test]
+    fn release_returns_unspent_to_the_pool_idempotently() {
+        let mut ledger = BudgetLedger::split(100, &[1, 1]);
+        ledger.charge(0, 30);
+        assert_eq!(ledger.release(0), 20);
+        assert_eq!(ledger.release(0), 0, "idempotent");
+        assert_eq!(ledger.pool(), 20);
+        assert!(ledger.conserves());
+    }
+
+    #[test]
+    fn rebalance_grants_claims_and_cuts_over_demand_proportionally() {
+        let mut ledger = BudgetLedger::split(90, &[1, 1, 1]);
+        // Job 0 finishes having spent 10 of its 30: the pool gets 20.
+        ledger.charge(0, 10);
+        ledger.charge(1, 30);
+        ledger.charge(2, 30);
+        let outcome = ledger.rebalance(&[0], &[(1, 30), (2, 10)]);
+        assert_eq!(outcome.reclaimed, 20);
+        assert_eq!(outcome.granted, 20, "over-demand (40 > 20) is cut, not queued");
+        // Proportional cut: 30:10 of 20 → 15 and 5.
+        assert_eq!(ledger.account(1).allowance, 45);
+        assert_eq!(ledger.account(2).allowance, 35);
+        assert_eq!(outcome.pool, 0);
+        assert!(ledger.conserves());
+
+        // A pool that covers the claims grants them exactly.
+        let mut ledger = BudgetLedger::split(100, &[1, 1]);
+        ledger.charge(0, 0);
+        let outcome = ledger.rebalance(&[0], &[(1, 30)]);
+        assert_eq!(outcome.reclaimed, 50);
+        assert_eq!(outcome.granted, 30, "no account receives more than it claimed");
+        assert_eq!(outcome.pool, 20);
+        assert!(ledger.conserves());
+    }
+
+    #[test]
+    fn released_accounts_never_receive_grants() {
+        let mut ledger = BudgetLedger::split(40, &[1, 1]);
+        ledger.release(0);
+        let outcome = ledger.rebalance(&[], &[(0, 100), (1, 5)]);
+        assert_eq!(ledger.account(0).allowance, 0, "released stays released");
+        assert_eq!(outcome.granted, 5, "the live claim is served in full");
+        assert!(ledger.conserves());
+    }
+
+    #[test]
+    fn empty_and_degenerate_ledgers_stay_well_formed() {
+        let mut ledger = BudgetLedger::split(0, &[3, 4]);
+        assert!(ledger.account(0).exhausted(), "zero budget is born exhausted");
+        assert!(ledger.conserves());
+        let outcome = ledger.rebalance(&[], &[]);
+        assert_eq!(outcome, RebalanceOutcome::default());
+        let ledger = BudgetLedger::split(7, &[]);
+        assert!(ledger.is_empty());
+        assert_eq!(ledger.pool(), 7, "no jobs: the budget sits in the pool");
+        assert!(ledger.conserves());
+    }
+}

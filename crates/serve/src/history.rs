@@ -34,6 +34,9 @@
 //!   [`QueryResponse`] (`-` encodes an empty neighbor list);
 //! * `degree <id> <k>` — a remembered degree without a neighborhood;
 //! * `removed` / `added <u> <v>` — one overlay-delta edge;
+//! * `crawl <unique> <lookups> <retries>` — one entry of the per-crawl
+//!   accounting ledger (see [`CrawlCounters`]): how much of the store's
+//!   total bill one distinct absorbing run contributed;
 //! * the trailing `checksum` line is an FNV-1a 64 hash of every preceding
 //!   byte. Truncated input loses the trailer and decodes to
 //!   [`HistoryCodecError::Truncated`]; a flipped byte decodes to
@@ -68,6 +71,58 @@ pub struct HistoryStore {
     /// crawled from, when available. Checked on import so a history is
     /// never silently applied to the wrong network.
     pub num_users: Option<usize>,
+    /// The per-crawl accounting ledger: one [`CrawlCounters`] entry per
+    /// distinct absorbing run (maintained by
+    /// [`crate::journal::HistoryJournal`]; empty for stores captured
+    /// straight from a client). When non-empty, the entries sum to the
+    /// cache counters minus any legacy pre-ledger base — the breakdown
+    /// that lets counters *sum* per crawl instead of collapsing max-wise.
+    pub crawls: Vec<CrawlCounters>,
+}
+
+/// The cost counters one distinct crawl contributed to a shared journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CrawlCounters {
+    /// Unique queries the crawl paid.
+    pub unique_queries: u64,
+    /// Total lookups (cache hits included) the crawl performed.
+    pub total_lookups: u64,
+    /// Transient failures the crawl retried.
+    pub transient_retries: u64,
+}
+
+impl CrawlCounters {
+    /// Captures a cache snapshot's counters.
+    pub fn of(cache: &CacheSnapshot) -> Self {
+        CrawlCounters {
+            unique_queries: cache.unique_queries,
+            total_lookups: cache.total_lookups,
+            transient_retries: cache.transient_retries,
+        }
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == CrawlCounters::default()
+    }
+
+    /// Field-wise saturating difference (`self − other`).
+    pub fn saturating_sub(&self, other: &CrawlCounters) -> CrawlCounters {
+        CrawlCounters {
+            unique_queries: self.unique_queries.saturating_sub(other.unique_queries),
+            total_lookups: self.total_lookups.saturating_sub(other.total_lookups),
+            transient_retries: self.transient_retries.saturating_sub(other.transient_retries),
+        }
+    }
+
+    /// Field-wise maximum.
+    pub fn max(&self, other: &CrawlCounters) -> CrawlCounters {
+        CrawlCounters {
+            unique_queries: self.unique_queries.max(other.unique_queries),
+            total_lookups: self.total_lookups.max(other.total_lookups),
+            transient_retries: self.transient_retries.max(other.transient_retries),
+        }
+    }
 }
 
 impl HistoryStore {
@@ -78,6 +133,7 @@ impl HistoryStore {
             removed: Vec::new(),
             added: Vec::new(),
             num_users: client.num_users_hint(),
+            crawls: Vec::new(),
         }
     }
 
@@ -279,10 +335,12 @@ impl HistoryStore {
         self.removed.sort_unstable();
         self.added.sort_unstable();
 
-        // Counters: the combined bill of both crawls.
+        // Counters: the combined bill of both crawls. The per-crawl
+        // ledgers concatenate — each entry still describes one run.
         self.cache.unique_queries += other.cache.unique_queries;
         self.cache.total_lookups += other.cache.total_lookups;
         self.cache.transient_retries += other.cache.transient_retries;
+        self.crawls.extend(other.crawls.iter().copied());
         Ok(outcome)
     }
 
@@ -461,6 +519,27 @@ pub(crate) fn overlay_record(keyword: &str, u: NodeId, v: NodeId) -> String {
     format!("{keyword} {} {}", u.0, v.0)
 }
 
+/// One per-crawl ledger record line (no newline).
+pub(crate) fn crawl_record(c: &CrawlCounters) -> String {
+    format!("crawl {} {} {}", c.unique_queries, c.total_lookups, c.transient_retries)
+}
+
+/// Parses the payload of a `crawl` record.
+pub(crate) fn parse_crawl_record(
+    rest: &str,
+    lineno: usize,
+) -> std::result::Result<CrawlCounters, HistoryCodecError> {
+    let parts: Vec<&str> = rest.split(' ').collect();
+    if parts.len() != 3 {
+        return Err(bad_record(lineno, "crawl record needs three counters"));
+    }
+    Ok(CrawlCounters {
+        unique_queries: parse_num(parts[0], "unique counter", lineno)?,
+        total_lookups: parse_num(parts[1], "lookup counter", lineno)?,
+        transient_retries: parse_num(parts[2], "retry counter", lineno)?,
+    })
+}
+
 /// Serializes the record body shared by history and session files.
 pub(crate) fn write_history_body(store: &HistoryStore, out: &mut String) {
     use std::fmt::Write;
@@ -482,6 +561,9 @@ pub(crate) fn write_history_body(store: &HistoryStore, out: &mut String) {
     }
     for &(u, v) in &store.added {
         writeln!(out, "{}", overlay_record("added", u, v)).expect("string write");
+    }
+    for c in &store.crawls {
+        writeln!(out, "{}", crawl_record(c)).expect("string write");
     }
 }
 
@@ -562,6 +644,13 @@ impl HistoryAccumulator {
             "added" => {
                 let (u, v) = parse_pair::<u32>(rest, lineno)?;
                 self.store.added.push((NodeId(u), NodeId(v)));
+            }
+            "crawl" => {
+                // Snapshot semantics: the `unique`/`lookups`/`retries`
+                // records already carry the totals, so a crawl line only
+                // records the breakdown. (The journal replay path adds to
+                // the totals itself — see `HistoryJournal::open`.)
+                self.store.crawls.push(parse_crawl_record(rest, lineno)?);
             }
             _ => return Ok(false),
         }

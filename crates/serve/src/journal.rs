@@ -22,15 +22,20 @@
 //! users 22 ~<fnv64>
 //! node 3 34 120 7 1 1,2,5 ~<fnv64>
 //! degree 9 14 ~<fnv64>
-//! unique 5 ~<fnv64>
+//! crawl 5 12 0 ~<fnv64>
 //! ```
 //!
 //! Records reuse the snapshot vocabulary (`users`, `node`, `degree`,
-//! `removed`, `added`, plus the `unique`/`lookups`/`retries` counters,
-//! where the *last* occurrence wins on replay — counters are re-appended
-//! whenever they grow). Each line carries a trailing ` ~<hex>` FNV-1a 64
-//! seal over the record text; a torn write fails its seal and marks the
-//! damaged tail.
+//! `removed`, `added`). Cost accounting is **per crawl**: every
+//! absorbing run appends one `crawl <unique> <lookups> <retries>` record
+//! with the counters *that run* contributed, and replay *sums* the crawl
+//! records — so several distinct crawls absorbing into one journal bill
+//! correctly instead of collapsing max-wise (the pre-ledger undercount).
+//! Legacy journals' `unique`/`lookups`/`retries` records still replay
+//! last-write-wins as the pre-ledger base, and new crawl records add on
+//! top of it. Each line carries a trailing ` ~<hex>` FNV-1a 64 seal over
+//! the record text; a torn write fails its seal and marks the damaged
+//! tail.
 
 use std::collections::HashSet;
 use std::io::Write;
@@ -40,8 +45,9 @@ use mto_graph::NodeId;
 
 use crate::error::{HistoryCodecError, Result, ServeError};
 use crate::history::{
-    degree_record, expect_header, fnv1a64, node_record, overlay_record, split_keyword,
-    HistoryAccumulator, HistoryStore, FORMAT_VERSION, HISTORY_MAGIC,
+    crawl_record, degree_record, expect_header, fnv1a64, node_record, overlay_record,
+    parse_crawl_record, split_keyword, CrawlCounters, HistoryAccumulator, HistoryStore,
+    FORMAT_VERSION, HISTORY_MAGIC,
 };
 
 /// Magic of append-only journal files.
@@ -70,6 +76,12 @@ pub struct HistoryJournal {
     seen_hints: HashSet<u32>,
     seen_removed: HashSet<(NodeId, NodeId)>,
     seen_added: HashSet<(NodeId, NodeId)>,
+    /// The highest counters this *instance* has absorbed so far — the
+    /// baseline its next `crawl` delta record is computed against. A
+    /// fresh instance starts at zero, so each journal session (one
+    /// absorbing run) bills as its own crawl; repeated absorbs of one
+    /// growing client within a session append only the growth.
+    absorbed: CrawlCounters,
     records: u64,
 }
 
@@ -99,6 +111,7 @@ impl HistoryJournal {
             seen_hints: HashSet::new(),
             seen_removed: HashSet::new(),
             seen_added: HashSet::new(),
+            absorbed: CrawlCounters::default(),
             records: 0,
         })
     }
@@ -128,10 +141,14 @@ impl HistoryJournal {
             // keeps the open handle valid (same inode, new name).
             let tmp = path.with_extension("journal-tmp");
             let mut journal = Self::create(&tmp)?;
-            journal.absorb(&store)?;
+            journal.absorb_preserving_ledger(&store)?;
             journal.sync()?;
             std::fs::rename(&tmp, path)?;
             journal.path = path.to_path_buf();
+            // The converted journal starts a *new* crawl session: its
+            // next absorb must bill from zero, not from the snapshot's
+            // historical totals.
+            journal.absorbed = CrawlCounters::default();
             return Ok((
                 journal,
                 JournalRecovery { replayed_records: records, ..Default::default() },
@@ -153,7 +170,18 @@ impl HistoryJournal {
             lineno = idx + 1;
             let parsed = unseal(line).and_then(|record| {
                 let (keyword, rest) = split_keyword(record, lineno).ok()?;
-                acc.consume(keyword, rest, lineno).ok().filter(|&known| known)
+                if keyword == "crawl" {
+                    // Journal semantics: every crawl record is one run's
+                    // *increment*, so the totals are the ledger's sum
+                    // (plus any legacy last-write-wins base records).
+                    let c = parse_crawl_record(rest, lineno).ok()?;
+                    acc.store.crawls.push(c);
+                    acc.store.cache.unique_queries += c.unique_queries;
+                    acc.store.cache.total_lookups += c.total_lookups;
+                    acc.store.cache.transient_retries += c.transient_retries;
+                    return Some(());
+                }
+                acc.consume(keyword, rest, lineno).ok().filter(|&known| known).map(|_| ())
             });
             if parsed.is_none() {
                 damaged_at = Some((lineno, valid_bytes));
@@ -196,6 +224,9 @@ impl HistoryJournal {
             seen_hints: store.cache.degree_hints.iter().map(|&(v, _)| v.0).collect(),
             seen_removed: store.removed.iter().copied().collect(),
             seen_added: store.added.iter().copied().collect(),
+            // A reopened journal is a *new* crawl: its first absorb
+            // starts billing from zero, summing onto the replayed ledger.
+            absorbed: CrawlCounters::default(),
             records: replayed,
             store,
         };
@@ -232,10 +263,65 @@ impl HistoryJournal {
     }
 
     /// Appends everything `other` knows that the journal does not:
-    /// responses, degree hints, overlay edges, the user count, and grown
-    /// counters (recorded as last-write-wins updates). Returns how many
-    /// records were appended. Refuses stores from a different network.
+    /// responses, degree hints, overlay edges, the user count — plus one
+    /// `crawl` ledger record carrying the counters this absorbing run
+    /// contributed, so distinct crawls **sum** into the journal's bill.
+    /// Repeated absorbs of one *growing* crawl (counters field-wise ≥
+    /// the previous absorb's) append only their growth; a store whose
+    /// counters regressed cannot be the same crawl and bills in full.
+    /// (A distinct crawl whose counters happen to dominate the previous
+    /// absorb's is indistinguishable from growth — reopen the journal,
+    /// or use one instance per crawl as the `mto_serve` binary does, to
+    /// bill it exactly.) Returns how many records were appended.
+    /// Refuses stores from a different network.
     pub fn absorb(&mut self, other: &HistoryStore) -> Result<u64> {
+        let before = self.records;
+        self.absorb_content(other)?;
+        let counters = CrawlCounters::of(&other.cache);
+        let grown = counters.max(&self.absorbed) == counters;
+        let delta = if grown {
+            // The same crawl, further along: bill the growth.
+            counters.saturating_sub(&self.absorbed)
+        } else {
+            // Counters regressed somewhere: a distinct crawl, billed in
+            // full (the fix for the max-wise undercount).
+            counters
+        };
+        if !delta.is_zero() {
+            self.append_crawl(delta)?;
+        }
+        self.absorbed = counters;
+        self.sort_store();
+        Ok(self.records - before)
+    }
+
+    /// The snapshot → journal conversion path: absorbs `other`'s content
+    /// and re-appends its **existing per-crawl ledger** entry by entry
+    /// (plus one entry for any pre-ledger remainder), so compaction does
+    /// not collapse the breakdown.
+    fn absorb_preserving_ledger(&mut self, other: &HistoryStore) -> Result<u64> {
+        let before = self.records;
+        self.absorb_content(other)?;
+        let mut carried = CrawlCounters::default();
+        for &c in &other.crawls {
+            self.append_crawl(c)?;
+            carried.unique_queries += c.unique_queries;
+            carried.total_lookups += c.total_lookups;
+            carried.transient_retries += c.transient_retries;
+        }
+        // Counters beyond the ledger sum (a plain snapshot with no
+        // ledger, or a legacy base) become one more crawl entry.
+        let remainder = CrawlCounters::of(&other.cache).saturating_sub(&carried);
+        if !remainder.is_zero() {
+            self.append_crawl(remainder)?;
+        }
+        self.absorbed = self.absorbed.max(&CrawlCounters::of(&other.cache));
+        self.sort_store();
+        Ok(self.records - before)
+    }
+
+    /// Appends the content records (everything except the cost ledger).
+    fn absorb_content(&mut self, other: &HistoryStore) -> Result<()> {
         if let (Some(mine), Some(theirs)) = (self.store.num_users, other.num_users) {
             if mine != theirs {
                 return Err(ServeError::SnapshotMismatch(format!(
@@ -244,7 +330,6 @@ impl HistoryJournal {
                 )));
             }
         }
-        let before = self.records;
         if self.store.num_users.is_none() {
             if let Some(n) = other.num_users {
                 self.append_record(&format!("users {n}"))?;
@@ -275,27 +360,26 @@ impl HistoryJournal {
                 self.store.added.push((u, v));
             }
         }
-        // Counters: last-write-wins records, re-appended only on growth.
-        // Repeated absorbs of one growing crawl must not sum into a
-        // double-counted bill, so the journal keeps the maximum.
-        let c = &mut self.store.cache;
-        for (name, mine, theirs) in [
-            ("unique", &mut c.unique_queries, other.cache.unique_queries),
-            ("lookups", &mut c.total_lookups, other.cache.total_lookups),
-            ("retries", &mut c.transient_retries, other.cache.transient_retries),
-        ] {
-            if theirs > *mine {
-                *mine = theirs;
-                let record = format!("{name} {theirs}");
-                self.file.write_all(seal_record(&record).as_bytes())?;
-                self.records += 1;
-            }
-        }
+        Ok(())
+    }
+
+    /// Appends one per-crawl ledger record and folds it into the totals.
+    fn append_crawl(&mut self, c: CrawlCounters) -> Result<()> {
+        self.append_record(&crawl_record(&c))?;
+        self.store.crawls.push(c);
+        self.store.cache.unique_queries += c.unique_queries;
+        self.store.cache.total_lookups += c.total_lookups;
+        self.store.cache.transient_retries += c.transient_retries;
+        Ok(())
+    }
+
+    /// Canonical in-memory order (crawl ledger entries keep arrival
+    /// order — they are a log, not a set).
+    fn sort_store(&mut self) {
         self.store.cache.responses.sort_unstable_by_key(|r| r.user);
         self.store.cache.degree_hints.sort_unstable_by_key(|&(v, _)| v);
         self.store.removed.sort_unstable();
         self.store.added.sort_unstable();
-        Ok(self.records - before)
     }
 
     /// Flushes appended records to stable storage.
@@ -324,6 +408,7 @@ fn count_records(store: &HistoryStore) -> u64 {
         + store.cache.degree_hints.len()
         + store.removed.len()
         + store.added.len()
+        + store.crawls.len()
         + usize::from(store.num_users.is_some())) as u64
 }
 
@@ -367,6 +452,8 @@ mod tests {
         assert_eq!(reopened.store(), &{
             let mut expect = store.clone();
             expect.cache.responses.sort_unstable_by_key(|r| r.user);
+            // One absorbing run = one per-crawl ledger entry.
+            expect.crawls = vec![CrawlCounters::of(&store.cache)];
             expect
         });
         std::fs::remove_file(&path).ok();
@@ -419,9 +506,76 @@ mod tests {
         client.query(NodeId(1)).unwrap();
         client.query(NodeId(2)).unwrap();
         j.absorb(&HistoryStore::from_client(&client)).unwrap();
-        assert_eq!(j.store().cache.unique_queries, 3, "max, not sum");
+        assert_eq!(
+            j.store().cache.unique_queries,
+            3,
+            "one growing crawl bills only its growth, never double"
+        );
         let (reopened, _) = HistoryJournal::open(&path).unwrap();
-        assert_eq!(reopened.store().cache.unique_queries, 3, "last counter record wins");
+        assert_eq!(reopened.store().cache.unique_queries, 3, "ledger entries sum to the bill");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn distinct_crawls_sum_within_one_instance_too() {
+        // Two distinct stores absorbed through ONE journal instance: the
+        // second store's smaller counters prove it is not the first
+        // crawl grown further, so it must bill in full (3 + 2 = 5), not
+        // delta-against-a-max (which would bill 0).
+        let path = temp("oneinstance");
+        let mut j = HistoryJournal::create(&path).unwrap();
+        let mut a = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        for v in [0u32, 1, 2] {
+            a.query(NodeId(v)).unwrap();
+        }
+        let mut b = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        for v in [11u32, 12] {
+            b.query(NodeId(v)).unwrap();
+        }
+        j.absorb(&HistoryStore::from_client(&a)).unwrap();
+        j.absorb(&HistoryStore::from_client(&b)).unwrap();
+        assert_eq!(j.store().cache.unique_queries, 5, "3 + 2 within one instance");
+        // And crawl B growing afterwards bills only its growth.
+        b.query(NodeId(13)).unwrap();
+        j.absorb(&HistoryStore::from_client(&b)).unwrap();
+        assert_eq!(j.store().cache.unique_queries, 6, "B's growth is 1, not re-billed");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn distinct_crawls_sum_into_the_ledger_instead_of_collapsing_max_wise() {
+        // The pre-ledger undercount (ROADMAP open item): two *distinct*
+        // runs paying 3 and 2 unique queries used to collapse to
+        // max(3, 2) = 3. With per-crawl records they must sum to 5.
+        let path = temp("percrawl");
+        let mut j = HistoryJournal::create(&path).unwrap();
+        let mut first = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        for v in [0u32, 1, 2] {
+            first.query(NodeId(v)).unwrap();
+        }
+        j.absorb(&HistoryStore::from_client(&first)).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        // A second run in a fresh process: its client was warm-started,
+        // so its final store carries only its own (smaller) bill.
+        let (mut j2, _) = HistoryJournal::open(&path).unwrap();
+        let mut second = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        for v in [11u32, 12] {
+            second.query(NodeId(v)).unwrap();
+        }
+        j2.absorb(&HistoryStore::from_client(&second)).unwrap();
+        assert_eq!(j2.store().cache.unique_queries, 5, "3 + 2, not max(3, 2)");
+        assert_eq!(
+            j2.store().crawls.iter().map(|c| c.unique_queries).collect::<Vec<_>>(),
+            vec![3, 2],
+            "one ledger entry per absorbing run"
+        );
+        j2.sync().unwrap();
+        drop(j2);
+        let (reopened, _) = HistoryJournal::open(&path).unwrap();
+        assert_eq!(reopened.store().cache.unique_queries, 5, "the sum survives replay");
+        assert_eq!(reopened.store().crawls.len(), 2);
         std::fs::remove_file(&path).ok();
     }
 
@@ -488,10 +642,18 @@ mod tests {
         assert_eq!(j2.store(), &expected);
         let text = std::fs::read_to_string(&path).unwrap();
         assert!(text.starts_with("mto-journal v1\n"), "rewritten as a journal");
-        // The counters survive the cycle and further absorbs still work.
+        // The counters and the per-crawl ledger survive the cycle…
         assert_eq!(j2.store().cache.unique_queries, expected.cache.unique_queries);
+        assert_eq!(j2.store().crawls, expected.crawls, "compact preserves the ledger");
+        // …and a further absorb bills as its own crawl on top.
+        let before = j2.store().cache.unique_queries;
         j2.absorb(&crawl_store(&[7])).unwrap();
         assert!(j2.store().cache.responses.iter().any(|r| r.user == NodeId(7)));
+        assert!(
+            j2.store().cache.unique_queries > before,
+            "a distinct run after compaction must add to the bill"
+        );
+        assert_eq!(j2.store().crawls.len(), expected.crawls.len() + 1);
         std::fs::remove_file(&path).ok();
     }
 

@@ -39,6 +39,7 @@
 //!     algo: AlgoSpec::Mto(MtoConfig::default()),
 //!     start: NodeId(0),
 //!     step_budget: 200,
+//!     deadline: None,
 //! };
 //! let mut session = SamplerSession::create(client(), job).unwrap();
 //! session.advance(80).unwrap();
@@ -60,7 +61,7 @@ pub mod scheduler;
 pub mod session;
 
 pub use error::{HistoryCodecError, Result, ServeError};
-pub use history::{HistoryStore, MergeOutcome};
+pub use history::{CrawlCounters, HistoryStore, MergeOutcome};
 pub use journal::{HistoryJournal, JournalRecovery};
 pub use request::{NetworkSpec, ServeRequest};
 pub use scheduler::{

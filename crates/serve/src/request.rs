@@ -22,11 +22,14 @@
 //! journal crawl.journal
 //! # fleet mode (mto-fleet): shard the jobs across W workers and gossip
 //! # history at N epoch barriers. Replaces the scheduler: `workers` /
-//! # `quantum` / `budget` are rejected together with `shards`.
+//! # `quantum` are rejected together with `shards`; `budget` becomes the
+//! # fleet-wide unique-query budget split by the mto-qos ledger, and
+//! # `policy edf` schedules quanta earliest-deadline-first.
 //! #shards 4
 //! #epochs 8
-//! # one line per job (same syntax as session snapshots)
-//! job id=a algo=mto start=0 steps=500 seed=7
+//! # one line per job (same syntax as session snapshots); `deadline=` is
+//! # an optional per-job completion deadline in virtual seconds
+//! job id=a algo=mto start=0 steps=500 seed=7 deadline=45.0
 //! job id=b algo=srw start=3 steps=500 seed=9
 //! ```
 
@@ -336,12 +339,20 @@ impl ServeRequest {
         if epochs.is_some() && shards.is_none() {
             return Err(err(0, "`epochs` requires a `shards` directive".into()));
         }
-        if shards.is_some() && scheduler.global_query_budget.is_some() {
-            // A fleet-wide query budget would make which job is cut
-            // depend on shard placement, breaking the determinism
-            // contract; reject it until budgeted fleets are designed
-            // (see ROADMAP open items).
-            return Err(err(0, "`budget` is not supported together with `shards`".into()));
+        // `budget` + `shards` is legal since the mto-qos ledger: the
+        // fleet-wide budget is split per job at admission and rebalanced
+        // at epoch barriers, so cuts no longer depend on shard placement.
+        if shards.is_some() && scheduler.policy == SchedulePolicy::BudgetProportional {
+            // The fleet's epoch planner implements round-robin and EDF;
+            // silently running the proportional policy as round-robin
+            // would drop a directive the user asked for.
+            return Err(err(
+                0,
+                "`policy budget-proportional` tunes the single-client scheduler and is \
+                 not implemented by the fleet planner; use `round-robin` or `edf` with \
+                 `shards`"
+                    .into(),
+            ));
         }
         if shards.is_some() && (workers_seen || quantum_seen) {
             // Fleet parallelism is `shards`, fleet stepping granularity
@@ -472,8 +483,9 @@ job id=b algo=srw start=3 steps=400 seed=9
             ("network barbell\nshards 2\nshards 4\njob id=a algo=mto start=0 steps=1", "duplicate"),
             ("network barbell\nepochs 3\njob id=a algo=mto start=0 steps=1", "requires"),
             (
-                "network barbell\nshards 2\nbudget 50\njob id=a algo=mto start=0 steps=1",
-                "not supported",
+                "network barbell\nshards 2\npolicy budget-proportional\n\
+                 job id=a algo=mto start=0 steps=1",
+                "not implemented by the fleet planner",
             ),
             (
                 "network barbell\nshards 2\nworkers 8\njob id=a algo=mto start=0 steps=1",
@@ -492,6 +504,23 @@ job id=b algo=srw start=3 steps=400 seed=9
             let e = ServeRequest::parse(text).unwrap_err();
             assert!(e.to_string().contains(needle), "{text:?} → {e}");
         }
+    }
+
+    #[test]
+    fn budgeted_fleet_requests_with_deadlines_parse() {
+        // `budget` + `shards` is legal since the QoS ledger (ROADMAP open
+        // item resolved): the fleet budget is split per job at admission.
+        let req = ServeRequest::parse(
+            "network barbell\nshards 4\nepochs 6\nbudget 500\npolicy edf\n\
+             job id=a algo=mto start=0 steps=100 deadline=12.5\n\
+             job id=b algo=srw start=3 steps=100",
+        )
+        .unwrap();
+        assert_eq!(req.shards, Some(4));
+        assert_eq!(req.scheduler.global_query_budget, Some(500));
+        assert_eq!(req.scheduler.policy, crate::scheduler::SchedulePolicy::EarliestDeadlineFirst);
+        assert_eq!(req.jobs[0].deadline, Some(12.5));
+        assert_eq!(req.jobs[1].deadline, None);
     }
 
     #[test]

@@ -44,22 +44,39 @@ pub enum SchedulePolicy {
     /// deterministic regardless of stepping pattern); only turn
     /// granularity changes.
     BudgetProportional,
+    /// Earliest-deadline-first with aging: the next quantum always goes
+    /// to the queued job with the smallest [`JobSpec::deadline`]
+    /// (best-effort jobs, with no deadline, run after every deadline
+    /// job), ties broken by submission index. A job passed over
+    /// [`EDF_AGING_TURNS`] times is promoted ahead of every deadline so
+    /// best-effort work cannot starve. Results are identical to
+    /// round-robin (walkers are deterministic regardless of stepping
+    /// pattern); only *when* each job's steps happen — and therefore its
+    /// virtual finish time — changes.
+    EarliestDeadlineFirst,
 }
 
+/// How many times an EDF-queued job may be passed over before aging
+/// promotes it ahead of every deadline (the starvation guard of
+/// [`SchedulePolicy::EarliestDeadlineFirst`]).
+pub const EDF_AGING_TURNS: u32 = 16;
+
 impl SchedulePolicy {
-    /// Wire name (`round-robin` / `budget-proportional`).
+    /// Wire name (`round-robin` / `budget-proportional` / `edf`).
     pub fn name(&self) -> &'static str {
         match self {
             SchedulePolicy::RoundRobin => "round-robin",
             SchedulePolicy::BudgetProportional => "budget-proportional",
+            SchedulePolicy::EarliestDeadlineFirst => "edf",
         }
     }
 
-    /// Parses the wire name.
+    /// Parses the wire name (`edf` also answers to its long form).
     pub fn parse(text: &str) -> std::result::Result<Self, String> {
         match text {
             "round-robin" => Ok(SchedulePolicy::RoundRobin),
             "budget-proportional" => Ok(SchedulePolicy::BudgetProportional),
+            "edf" | "earliest-deadline-first" => Ok(SchedulePolicy::EarliestDeadlineFirst),
             other => Err(format!("unknown schedule policy {other:?}")),
         }
     }
@@ -104,7 +121,7 @@ fn effective_quantum(
     jobs: usize,
 ) -> usize {
     match policy {
-        SchedulePolicy::RoundRobin => base.max(1),
+        SchedulePolicy::RoundRobin | SchedulePolicy::EarliestDeadlineFirst => base.max(1),
         SchedulePolicy::BudgetProportional => {
             if total_budget == 0 {
                 return base.max(1); // degenerate all-zero-budget pool
@@ -140,6 +157,21 @@ pub struct JobOutcome {
     pub stats: Option<RewireStats>,
     /// Self-normalized average-degree estimate over the visit history.
     pub avg_degree_estimate: Option<f64>,
+    /// Virtual-clock instant (in the job's shard) at the barrier after
+    /// its last step — the figure a [`JobSpec::deadline`] is judged
+    /// against. Filled by the `mto-fleet` coordinator; `None` under the
+    /// plain scheduler.
+    pub finished_secs: Option<f64>,
+}
+
+impl JobOutcome {
+    /// The one definition of "deadline met" (the CLI's `deadline-met=`
+    /// flag and the `deadline` experiment's verdict counts both use it):
+    /// the job completed, with a recorded finish instant at or before
+    /// `deadline` virtual seconds.
+    pub fn deadline_met(&self, deadline: f64) -> bool {
+        self.completed && self.finished_secs.is_some_and(|t| t <= deadline)
+    }
 }
 
 /// Aggregate result of one scheduler run.
@@ -217,11 +249,18 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
                 total_budget,
                 total,
             );
-            sessions.push((index, quantum, SamplerSession::create(self.client.clone(), spec)?));
+            let deadline = spec.deadline;
+            sessions.push(QueueEntry {
+                index,
+                quantum,
+                deadline,
+                skips: 0,
+                session: SamplerSession::create(self.client.clone(), spec)?,
+            });
         }
 
-        let queue: Mutex<VecDeque<(usize, usize, SamplerSession<I>)>> =
-            Mutex::new(sessions.into_iter().collect());
+        let queue: Mutex<VecDeque<QueueEntry<I>>> = Mutex::new(sessions.into_iter().collect());
+        let policy = self.config.policy;
         let done: Mutex<Vec<(usize, JobOutcome)>> = Mutex::new(Vec::with_capacity(total));
         let first_error: Mutex<Option<ServeError>> = Mutex::new(None);
         let finished = AtomicUsize::new(0);
@@ -233,8 +272,9 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
                     if first_error.lock().is_some() {
                         break;
                     }
-                    let item = queue.lock().pop_front();
-                    let (index, quantum, mut session) = match item {
+                    let item = pop_next(&mut queue.lock(), policy);
+                    let QueueEntry { index, quantum, deadline, skips: _, mut session } = match item
+                    {
                         Some(s) => s,
                         None => {
                             if finished.load(Ordering::Acquire) >= total {
@@ -262,7 +302,14 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
                         }
                         finished.fetch_add(1, Ordering::Release);
                     } else {
-                        queue.lock().push_back((index, quantum, session));
+                        // A job that just ran re-enters the queue un-aged.
+                        queue.lock().push_back(QueueEntry {
+                            index,
+                            quantum,
+                            deadline,
+                            skips: 0,
+                            session,
+                        });
                     }
                 });
             }
@@ -289,6 +336,53 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
     }
 }
 
+/// One queued job between turns: its session plus the state the pop
+/// policy keys on.
+struct QueueEntry<I: SocialNetworkInterface> {
+    index: usize,
+    quantum: usize,
+    deadline: Option<f64>,
+    /// Turns this entry was passed over since it last ran (EDF aging).
+    skips: u32,
+    session: SamplerSession<I>,
+}
+
+/// Takes the next job off the queue under `policy`. FIFO for the fair
+/// policies; for [`SchedulePolicy::EarliestDeadlineFirst`] the entry
+/// with the smallest deadline wins (best-effort last, ties by
+/// submission index), except that entries passed over
+/// [`EDF_AGING_TURNS`] times are promoted ahead of every deadline.
+/// Every entry passed over by an EDF pop ages by one turn.
+fn pop_next<I: SocialNetworkInterface>(
+    queue: &mut VecDeque<QueueEntry<I>>,
+    policy: SchedulePolicy,
+) -> Option<QueueEntry<I>> {
+    if policy != SchedulePolicy::EarliestDeadlineFirst {
+        return queue.pop_front();
+    }
+    // (aged?, deadline with None last, submission index): a total order
+    // (f64::total_cmp — even a NaN deadline, rejected by JobSpec
+    // validation but representable via the pub fields, cannot panic the
+    // pick), so the choice is deterministic for any queue content.
+    let best = (0..queue.len()).min_by(|&a, &b| {
+        let (ea, eb) = (&queue[a], &queue[b]);
+        (ea.skips < EDF_AGING_TURNS)
+            .cmp(&(eb.skips < EDF_AGING_TURNS))
+            .then(
+                ea.deadline
+                    .unwrap_or(f64::INFINITY)
+                    .total_cmp(&eb.deadline.unwrap_or(f64::INFINITY)),
+            )
+            .then(ea.index.cmp(&eb.index))
+    })?;
+    for (i, e) in queue.iter_mut().enumerate() {
+        if i != best {
+            e.skips = e.skips.saturating_add(1);
+        }
+    }
+    queue.remove(best)
+}
+
 /// Collapses a finished (or budget-interrupted) session into its
 /// [`JobOutcome`] — shared by this scheduler and the `mto-fleet`
 /// coordinator so both report jobs identically.
@@ -307,6 +401,7 @@ pub fn finalize_session<I: SocialNetworkInterface>(
         history: walker.history().to_vec(),
         stats: walker.rewire_stats(),
         avg_degree_estimate: estimate,
+        finished_secs: None,
     })
 }
 
@@ -326,24 +421,28 @@ mod tests {
                 algo: AlgoSpec::Mto(MtoConfig { seed: 1, ..Default::default() }),
                 start: NodeId(0),
                 step_budget: 400,
+                deadline: None,
             },
             JobSpec {
                 id: "mto-b".into(),
                 algo: AlgoSpec::Mto(MtoConfig { seed: 2, ..Default::default() }),
                 start: NodeId(11),
                 step_budget: 300,
+                deadline: Some(30.0),
             },
             JobSpec {
                 id: "srw".into(),
                 algo: AlgoSpec::Srw(SrwConfig { seed: 3, lazy: false }),
                 start: NodeId(5),
                 step_budget: 250,
+                deadline: None,
             },
             JobSpec {
                 id: "mhrw".into(),
                 algo: AlgoSpec::Mhrw(MhrwConfig { seed: 4 }),
                 start: NodeId(16),
                 step_budget: 200,
+                deadline: Some(10.0),
             },
         ]
     }
@@ -456,10 +555,88 @@ mod tests {
 
     #[test]
     fn schedule_policy_round_trips_its_wire_name() {
-        for p in [SchedulePolicy::RoundRobin, SchedulePolicy::BudgetProportional] {
+        for p in [
+            SchedulePolicy::RoundRobin,
+            SchedulePolicy::BudgetProportional,
+            SchedulePolicy::EarliestDeadlineFirst,
+        ] {
             assert_eq!(SchedulePolicy::parse(p.name()), Ok(p));
         }
+        assert_eq!(
+            SchedulePolicy::parse("earliest-deadline-first"),
+            Ok(SchedulePolicy::EarliestDeadlineFirst),
+            "the long form is an accepted alias"
+        );
         assert!(SchedulePolicy::parse("lottery").is_err());
+    }
+
+    #[test]
+    fn edf_policy_reproduces_round_robin_results_across_worker_counts() {
+        let run = |policy, workers| {
+            let scheduler = JobScheduler::new(
+                OsnService::with_defaults(&paper_barbell()),
+                SchedulerConfig { workers, quantum: 16, policy, ..Default::default() },
+            );
+            scheduler.run(mixed_jobs()).unwrap()
+        };
+        let rr = run(SchedulePolicy::RoundRobin, 3);
+        for workers in [1, 4] {
+            let edf = run(SchedulePolicy::EarliestDeadlineFirst, workers);
+            assert_eq!(rr.total_unique_queries, edf.total_unique_queries);
+            for (a, b) in rr.outcomes.iter().zip(&edf.outcomes) {
+                assert_eq!(a.history, b.history, "EDF changed job {} at W={workers}", a.id);
+                assert_eq!(a.stats, b.stats);
+                assert_eq!((a.steps, a.completed), (b.steps, b.completed));
+            }
+        }
+    }
+
+    #[test]
+    fn edf_pop_orders_by_deadline_with_aging_and_index_ties() {
+        let client =
+            SharedClient::new(CachedClient::new(OsnService::with_defaults(&paper_barbell())));
+        let entry = |index: usize, deadline: Option<f64>, skips: u32| QueueEntry {
+            index,
+            quantum: 8,
+            deadline,
+            skips,
+            session: SamplerSession::create(
+                client.clone(),
+                JobSpec {
+                    id: format!("j{index}"),
+                    algo: AlgoSpec::Srw(SrwConfig { seed: index as u64 + 1, lazy: false }),
+                    start: NodeId(0),
+                    step_budget: 10,
+                    deadline,
+                },
+            )
+            .unwrap(),
+        };
+        // Deadlines first (smallest wins), best-effort last, index ties.
+        let mut q: VecDeque<_> =
+            vec![entry(0, None, 0), entry(1, Some(9.0), 0), entry(2, Some(4.0), 0)].into();
+        let popped = pop_next(&mut q, SchedulePolicy::EarliestDeadlineFirst).unwrap();
+        assert_eq!(popped.index, 2, "earliest deadline wins");
+        assert!(q.iter().all(|e| e.skips == 1), "passed-over entries age");
+        assert_eq!(pop_next(&mut q, SchedulePolicy::EarliestDeadlineFirst).unwrap().index, 1);
+        assert_eq!(pop_next(&mut q, SchedulePolicy::EarliestDeadlineFirst).unwrap().index, 0);
+
+        // A starved best-effort entry is promoted ahead of every deadline.
+        let mut q: VecDeque<_> =
+            vec![entry(0, Some(1.0), 0), entry(1, None, EDF_AGING_TURNS)].into();
+        assert_eq!(
+            pop_next(&mut q, SchedulePolicy::EarliestDeadlineFirst).unwrap().index,
+            1,
+            "aging beats deadlines"
+        );
+
+        // Equal deadlines: the smaller submission index wins.
+        let mut q: VecDeque<_> = vec![entry(1, Some(2.0), 0), entry(0, Some(2.0), 0)].into();
+        assert_eq!(pop_next(&mut q, SchedulePolicy::EarliestDeadlineFirst).unwrap().index, 0);
+
+        // The fair policies stay strictly FIFO.
+        let mut q: VecDeque<_> = vec![entry(1, Some(2.0), 0), entry(0, Some(1.0), 0)].into();
+        assert_eq!(pop_next(&mut q, SchedulePolicy::RoundRobin).unwrap().index, 1);
     }
 
     #[test]

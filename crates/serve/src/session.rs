@@ -69,6 +69,12 @@ pub struct JobSpec {
     pub start: NodeId,
     /// Per-job step budget.
     pub step_budget: usize,
+    /// Optional completion deadline in *virtual seconds* (`deadline=`
+    /// field). Deadlines drive the QoS layer: admission control rejects
+    /// provably unmeetable ones, and
+    /// [`crate::scheduler::SchedulePolicy::EarliestDeadlineFirst`]
+    /// prioritizes quanta by them. `None` means best-effort.
+    pub deadline: Option<f64>,
 }
 
 impl JobSpec {
@@ -79,6 +85,14 @@ impl JobSpec {
         }
         if self.id.chars().any(|c| c.is_whitespace() || c == '=') {
             return Err(format!("job id {:?} contains whitespace or '='", self.id));
+        }
+        if let Some(d) = self.deadline {
+            if !d.is_finite() || d <= 0.0 {
+                return Err(format!(
+                    "job {:?} deadline {d} must be a positive number of virtual seconds",
+                    self.id
+                ));
+            }
         }
         Ok(())
     }
@@ -96,6 +110,9 @@ pub fn format_job_line(spec: &JobSpec) -> String {
         spec.step_budget
     );
     use std::fmt::Write;
+    if let Some(d) = spec.deadline {
+        write!(line, " deadline={d:?}").expect("string write");
+    }
     match &spec.algo {
         AlgoSpec::Mto(c) => {
             let view = match c.criterion_view {
@@ -144,6 +161,10 @@ pub fn parse_job_line(line: &str) -> std::result::Result<JobSpec, String> {
     let algo_name = take("algo").ok_or("missing algo=")?.to_string();
     let start = NodeId(parse_field(take("start").ok_or("missing start=")?, "start")?);
     let step_budget: usize = parse_field(take("steps").ok_or("missing steps=")?, "steps")?;
+    let deadline: Option<f64> = match take("deadline") {
+        Some(v) => Some(parse_field(v, "deadline")?),
+        None => None,
+    };
     let seed: u64 = match take("seed") {
         Some(v) => parse_field(v, "seed")?,
         None => 1,
@@ -190,7 +211,7 @@ pub fn parse_job_line(line: &str) -> std::result::Result<JobSpec, String> {
     if let Some(k) = fields.keys().next() {
         return Err(format!("unknown field {k:?} for algo {algo_name}"));
     }
-    let spec = JobSpec { id, algo, start, step_budget };
+    let spec = JobSpec { id, algo, start, step_budget, deadline };
     spec.validate()?;
     Ok(spec)
 }
@@ -694,6 +715,7 @@ mod tests {
             algo: AlgoSpec::Mto(MtoConfig { seed, ..Default::default() }),
             start: NodeId(0),
             step_budget: steps,
+            deadline: None,
         }
     }
 
@@ -733,24 +755,28 @@ mod tests {
                 }),
                 start: NodeId(7),
                 step_budget: 10,
+                deadline: None,
             },
             JobSpec {
                 id: "s".into(),
                 algo: AlgoSpec::Srw(SrwConfig { seed: 4, lazy: true }),
                 start: NodeId(1),
                 step_budget: 20,
+                deadline: Some(12.5),
             },
             JobSpec {
                 id: "h".into(),
                 algo: AlgoSpec::Mhrw(MhrwConfig { seed: 5 }),
                 start: NodeId(2),
                 step_budget: 30,
+                deadline: Some(0.125),
             },
             JobSpec {
                 id: "r".into(),
                 algo: AlgoSpec::Rj(RjConfig { seed: 6, jump_probability: 0.25 }),
                 start: NodeId(3),
                 step_budget: 40,
+                deadline: None,
             },
         ];
         for spec in specs {
@@ -769,6 +795,10 @@ mod tests {
             "id=a algo=mto start=x steps=1",
             "id=a algo=mto start=0 steps=1 lazy=maybe",
             "id=a id=b algo=mto start=0 steps=1",
+            "id=a algo=mto start=0 steps=1 deadline=soon",
+            "id=a algo=mto start=0 steps=1 deadline=-4.0",
+            "id=a algo=mto start=0 steps=1 deadline=0",
+            "id=a algo=mto start=0 steps=1 deadline=inf",
         ] {
             assert!(parse_job_line(bad).is_err(), "accepted {bad:?}");
         }

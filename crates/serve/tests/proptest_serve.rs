@@ -18,7 +18,7 @@ use mto_core::mto::{CriterionView, MtoConfig, RewireStats};
 use mto_core::walk::{MhrwConfig, RjConfig, SrwConfig};
 use mto_graph::NodeId;
 use mto_osn::{CacheSnapshot, QueryResponse, UserProfile};
-use mto_serve::history::HistoryStore;
+use mto_serve::history::{CrawlCounters, HistoryStore};
 use mto_serve::session::{format_job_line, parse_job_line, AlgoSpec, JobSpec, SessionSnapshot};
 
 /// Raw material for one cached response.
@@ -65,6 +65,17 @@ fn build_store(
         // Present on roughly half the stores, so both the `users` record
         // and its absence round-trip.
         num_users: (counters.0 % 2 == 0).then_some((counters.1 % 100_000) as usize),
+        // A small per-crawl ledger on roughly a third of the stores, so
+        // `crawl` records round-trip alongside their absence.
+        crawls: if counters.2 % 3 == 0 {
+            vec![CrawlCounters {
+                unique_queries: counters.0 / 2,
+                total_lookups: counters.1 / 2,
+                transient_retries: counters.2 / 2,
+            }]
+        } else {
+            Vec::new()
+        },
     }
 }
 
@@ -166,6 +177,7 @@ proptest! {
             algo,
             start: NodeId(start),
             step_budget: steps,
+            deadline: None,
         };
         let line = format_job_line(&spec);
         let parsed = parse_job_line(&line);
@@ -189,6 +201,7 @@ proptest! {
                 algo: AlgoSpec::Mto(MtoConfig { seed, ..Default::default() }),
                 start: NodeId(current % 10),
                 step_budget,
+                deadline: (seed % 2 == 0).then_some((seed % 977 + 1) as f64 / 8.0),
             },
             steps_taken,
             current: NodeId(current),

@@ -31,10 +31,13 @@
 //!   sessions, the persistent crawl-history store (with a crash-safe
 //!   append-only journal) and cross-run warm starts, and the multi-job
 //!   scheduler;
+//! * [`qos`] (`mto-qos`) — the quality-of-service layer: history-
+//!   calibrated cost prediction, deadline-aware admission control,
+//!   EDF-with-aging quantum planning, and the fleet-wide budget ledger;
 //! * [`fleet`] (`mto-fleet`) — the deterministic sharded crawl fleet:
 //!   epoch-based history gossip between shard workers, per-shard query
-//!   pipelines on virtual clocks, crash-safe journaling, and the
-//!   `mto_serve` front-end binary;
+//!   pipelines on virtual clocks, crash-safe journaling, QoS-governed
+//!   budgets and deadlines, and the `mto_serve` front-end binary;
 //! * [`experiments`] (`mto-experiments`) — regenerates every table and
 //!   figure of the paper's evaluation (see EXPERIMENTS.md).
 //!
@@ -77,6 +80,7 @@ pub use mto_fleet as fleet;
 pub use mto_graph as graph;
 pub use mto_net as net;
 pub use mto_osn as osn;
+pub use mto_qos as qos;
 pub use mto_serve as serve;
 pub use mto_spectral as spectral;
 
@@ -91,6 +95,7 @@ pub mod prelude {
     pub use mto_graph::{Edge, Graph, GraphBuilder, NodeId};
     pub use mto_net::{LatencyModel, ProviderProfile, QueryPipeline, VirtualClock};
     pub use mto_osn::{CachedClient, OsnService, QueryClient, SocialNetworkInterface};
+    pub use mto_qos::{AdmissionController, BudgetLedger, CostPredictor, DeadlinePolicy};
     pub use mto_serve::{HistoryJournal, HistoryStore, JobScheduler, JobSpec, SamplerSession};
     pub use mto_spectral::conductance::exact_conductance;
 }

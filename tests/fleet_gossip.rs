@@ -28,6 +28,7 @@ fn jobs() -> Vec<JobSpec> {
             algo: AlgoSpec::Mto(MtoConfig { seed: i + 1, ..Default::default() }),
             start: NodeId((17 * i as u32) % 200),
             step_budget: 400,
+            deadline: None,
         })
         .collect()
 }

@@ -101,12 +101,14 @@ fn scheduler_reports_virtual_wall_clock_through_the_timed_interface() {
             algo: AlgoSpec::Mto(MtoConfig { seed: 1, ..Default::default() }),
             start: NodeId(0),
             step_budget: 600,
+            deadline: None,
         },
         JobSpec {
             id: "small".into(),
             algo: AlgoSpec::Mto(MtoConfig { seed: 2, ..Default::default() }),
             start: NodeId(11),
             step_budget: 100,
+            deadline: None,
         },
     ];
     let report = scheduler.run(jobs).unwrap();

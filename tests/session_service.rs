@@ -25,6 +25,7 @@ fn mto_job(id: &str, start: u32, steps: usize, seed: u64) -> JobSpec {
         algo: AlgoSpec::Mto(MtoConfig { seed, ..Default::default() }),
         start: NodeId(start),
         step_budget: steps,
+        deadline: None,
     }
 }
 
@@ -97,6 +98,7 @@ fn scheduler_shares_budget_and_is_deterministic() {
                 algo: AlgoSpec::Srw(SrwConfig { seed: 3, lazy: false }),
                 start: NodeId(4),
                 step_budget: 300,
+                deadline: None,
             },
         ]
     };
