@@ -1,0 +1,179 @@
+//! The committed perf ledger: serialized criterion estimates.
+//!
+//! The vendored criterion shim records every `bench_function` run in a
+//! process-wide registry; a bench binary drains it after its groups ran
+//! and hands the estimates here to be rendered as a `BENCH_<pr>.json`
+//! committed at the repository root. Re-anchoring sessions read the
+//! ledger to see the perf trajectory without re-running anything.
+//!
+//! The renderer is hand-rolled: the workspace vendors no JSON crate, and
+//! the schema is flat enough that escaping bench ids (plain
+//! `group/name-with-dashes` strings) is the only subtlety.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// One measured benchmark, as drained from the criterion registry.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LedgerEntry {
+    /// Full `group/benchmark` id.
+    pub id: String,
+    /// Mean nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Timed iterations behind the mean.
+    pub iters: u64,
+}
+
+/// The assembled ledger for one PR.
+#[derive(Clone, Debug)]
+pub struct Ledger {
+    /// PR number the ledger belongs to (`BENCH_<pr>.json`).
+    pub pr: u32,
+    /// Free-text provenance note (what machine/commit the baseline
+    /// numbers were measured at).
+    pub note: String,
+    /// Pre-PR baseline, `id → ns_per_iter`, for benches that already
+    /// existed before the PR. Benches absent here serialize a `null`
+    /// baseline and speedup.
+    pub baseline: BTreeMap<String, f64>,
+}
+
+impl Ledger {
+    /// Renders the ledger with `current` measurements as a JSON document.
+    ///
+    /// Keys are emitted in sorted order so the output is deterministic
+    /// for a given set of estimates.
+    pub fn render(&self, current: &[LedgerEntry]) -> String {
+        let mut sorted: BTreeMap<&str, &LedgerEntry> = BTreeMap::new();
+        for e in current {
+            sorted.insert(&e.id, e);
+        }
+        let mut out = String::with_capacity(256 + 160 * sorted.len());
+        out.push_str("{\n");
+        writeln!(out, "  \"schema\": \"mto-perf-ledger/v1\",").unwrap();
+        writeln!(out, "  \"pr\": {},", self.pr).unwrap();
+        writeln!(out, "  \"note\": \"{}\",", escape(&self.note)).unwrap();
+        out.push_str("  \"benches\": {\n");
+        let last = sorted.len().saturating_sub(1);
+        for (i, (id, e)) in sorted.iter().enumerate() {
+            write!(
+                out,
+                "    \"{}\": {{\"baseline_ns_per_iter\": {}, \"ns_per_iter\": {}, \
+                 \"iters\": {}, \"speedup\": {}}}",
+                escape(id),
+                self.baseline.get(*id).map_or("null".into(), |b| format_f64(*b)),
+                format_f64(e.ns_per_iter),
+                e.iters,
+                self.baseline
+                    .get(*id)
+                    .filter(|_| e.ns_per_iter > 0.0)
+                    .map_or("null".into(), |b| format_f64(b / e.ns_per_iter)),
+            )
+            .unwrap();
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Renders and writes the ledger to `path`.
+    pub fn write(&self, path: &Path, current: &[LedgerEntry]) -> io::Result<()> {
+        std::fs::write(path, self.render(current))
+    }
+}
+
+/// JSON number formatting: finite, no exponent, enough precision for
+/// nanosecond means (two decimals) without trailing noise.
+fn format_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".into();
+    }
+    let s = format!("{x:.2}");
+    s.strip_suffix(".00").map_or(s.clone(), str::to_owned)
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).unwrap();
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (Ledger, Vec<LedgerEntry>) {
+        let mut baseline = BTreeMap::new();
+        baseline.insert("g/walk".to_owned(), 500.0);
+        let ledger = Ledger { pr: 6, note: "unit \"test\"".to_owned(), baseline };
+        let current = vec![
+            LedgerEntry { id: "g/walk".into(), ns_per_iter: 125.0, iters: 25 },
+            LedgerEntry { id: "g/new".into(), ns_per_iter: 7.5, iters: 10 },
+        ];
+        (ledger, current)
+    }
+
+    #[test]
+    fn renders_speedup_against_the_baseline() {
+        let (ledger, current) = sample();
+        let json = ledger.render(&current);
+        assert!(json.contains("\"g/walk\": {\"baseline_ns_per_iter\": 500, \"ns_per_iter\": 125, \"iters\": 25, \"speedup\": 4}"), "{json}");
+        assert!(
+            json.contains("\"g/new\": {\"baseline_ns_per_iter\": null, \"ns_per_iter\": 7.50, \"iters\": 10, \"speedup\": null}"),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn output_is_valid_json_shape() {
+        // No JSON parser is vendored; check the structural invariants a
+        // parser would: balanced braces outside strings, escaped quotes,
+        // sorted deterministic key order.
+        let (ledger, current) = sample();
+        let json = ledger.render(&current);
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut prev = '\0';
+        for c in json.chars() {
+            if in_string {
+                if c == '"' && prev != '\\' {
+                    in_string = false;
+                }
+            } else {
+                match c {
+                    '"' => in_string = true,
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            prev = if prev == '\\' && c == '\\' { '\0' } else { c };
+        }
+        assert_eq!(depth, 0, "unbalanced braces:\n{json}");
+        assert!(!in_string, "unterminated string:\n{json}");
+        assert!(json.contains(r#"unit \"test\""#), "note not escaped: {json}");
+        let walk = json.find("g/walk").unwrap();
+        let new = json.find("g/new").unwrap();
+        assert!(new < walk, "keys not sorted");
+    }
+
+    #[test]
+    fn render_is_deterministic_across_input_order() {
+        let (ledger, mut current) = sample();
+        let a = ledger.render(&current);
+        current.reverse();
+        assert_eq!(a, ledger.render(&current));
+    }
+}

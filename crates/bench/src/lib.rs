@@ -6,6 +6,8 @@
 //! micro (`bench_micro`) and ablation (`bench_ablations`) targets profile
 //! the individual moving parts.
 
+pub mod ledger;
+
 /// A tiny deterministic service for walker benches.
 pub fn mini_epinions_service(scale: usize) -> mto_osn::OsnService {
     let spec = mto_experiments::DatasetSpec::epinions().scaled_down(scale);

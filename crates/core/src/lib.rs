@@ -44,10 +44,12 @@ pub mod estimate;
 pub mod mto;
 pub mod parallel;
 pub mod rewire;
+pub mod rng;
 pub mod walk;
 
 pub use mto::{CriterionView, MtoConfig, MtoSampler, OverlayDegreeMode, RewireStats};
 pub use rewire::{materialize_removal_overlay, materialize_removal_overlay_with, OverlayDelta};
+pub use rng::RngBlock;
 pub use walk::{
     MetropolisHastingsWalk, MhrwConfig, RandomJumpWalk, RjConfig, SimpleRandomWalk, SrwConfig,
     Walker,

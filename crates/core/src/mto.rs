@@ -23,12 +23,12 @@
 
 use mto_graph::NodeId;
 use mto_osn::{QueryClient, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
 use crate::rewire::overlay::OverlayDelta;
 use crate::rewire::removal::{is_removable_from_neighborhoods, is_removable_with_history};
 use crate::rewire::replacement::{plan_replacement, PIVOT_DEGREE};
+use crate::rng::RngBlock;
 use crate::walk::walker::Walker;
 
 /// Which neighborhood counts feed the Theorem 3/5 criterion.
@@ -155,10 +155,23 @@ pub struct MtoSampler<C> {
     overlay: OverlayDelta,
     config: MtoConfig,
     current: NodeId,
-    rng: StdRng,
+    rng: RngBlock,
     history: Vec<NodeId>,
     stats: RewireStats,
     weight_mode: OverlayDegreeMode,
+    // Reusable scratch buffers: steady-state stepping fills these in place
+    // instead of allocating fresh neighbor lists. Each is mem::take'n out
+    // for the duration of the call that uses it (the borrow checker cannot
+    // see that `self.client` and a buffer field are disjoint through a
+    // `&mut self` method call) and restored afterwards, so capacity is
+    // retained across steps.
+    buf_u: Vec<NodeId>,
+    buf_v: Vec<NodeId>,
+    buf_a: Vec<NodeId>,
+    buf_b: Vec<NodeId>,
+    buf_probe: Vec<NodeId>,
+    buf_deg: Vec<NodeId>,
+    eligible: Vec<NodeId>,
 }
 
 impl<C: QueryClient> MtoSampler<C> {
@@ -169,16 +182,23 @@ impl<C: QueryClient> MtoSampler<C> {
             "replace_prob {} outside [0, 1]",
             config.replace_prob
         );
-        client.fetch(start)?;
+        client.fetch_degree(start)?;
         Ok(MtoSampler {
             client,
             overlay: OverlayDelta::new(),
             config,
             current: start,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: RngBlock::seed_from_u64(config.seed),
             history: vec![start],
             stats: RewireStats::default(),
             weight_mode: OverlayDegreeMode::Discovered,
+            buf_u: Vec::new(),
+            buf_v: Vec::new(),
+            buf_a: Vec::new(),
+            buf_b: Vec::new(),
+            buf_probe: Vec::new(),
+            buf_deg: Vec::new(),
+            eligible: Vec::new(),
         })
     }
 
@@ -229,23 +249,43 @@ impl<C: QueryClient> MtoSampler<C> {
 
     /// Overlay neighborhood `N*(v)`; queries `v` if unseen.
     pub fn overlay_neighbors(&mut self, v: NodeId) -> Result<Vec<NodeId>> {
-        let resp = self.client.fetch(v)?;
-        Ok(self.overlay.adjust_neighbors(v, &resp.neighbors))
+        let mut out = Vec::new();
+        self.overlay_neighbors_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Fills `out` with `N*(v)` without allocating (given grown capacity):
+    /// the base neighborhood lands in `out` via the client's zero-copy
+    /// path, then the overlay delta is applied in place.
+    fn overlay_neighbors_into(&mut self, v: NodeId, out: &mut Vec<NodeId>) -> Result<()> {
+        self.client.fetch_neighbors_into(v, out)?;
+        self.overlay.adjust_neighbors_in_place(v, out);
+        Ok(())
     }
 
     /// Whether the overlay currently contains the edge `(a, b)`; both
     /// endpoints may be unqueried (falls back to the delta plus a base
     /// lookup through `a` if cached, else through `b`, else queries `a`).
     fn overlay_has_edge(&mut self, a: NodeId, b: NodeId) -> Result<bool> {
-        let base_has = if self.client.known_degree(a).is_some() {
-            let resp = self.client.fetch(a)?;
-            resp.neighbors.binary_search(&b).is_ok()
-        } else if self.client.known_degree(b).is_some() {
-            let resp = self.client.fetch(b)?;
-            resp.neighbors.binary_search(&a).is_ok()
+        // Probe through the endpoint most likely cached, preserving the
+        // historical preference order: a if known, else b if known, else a.
+        let (through, target) =
+            if self.client.known_degree(a).is_some() || self.client.known_degree(b).is_none() {
+                (a, b)
+            } else {
+                (b, a)
+            };
+        // Bill the probe lookup, then search the cached list — borrowed
+        // from the arena when possible, via the scratch buffer otherwise.
+        self.client.fetch_degree(through)?;
+        let base_has = if let Some(base) = self.client.known_neighbors(through) {
+            base.binary_search(&target).is_ok()
         } else {
-            let resp = self.client.fetch(a)?;
-            resp.neighbors.binary_search(&b).is_ok()
+            let mut probe = std::mem::take(&mut self.buf_probe);
+            self.client.cached_neighbors_into(through, &mut probe);
+            let has = probe.binary_search(&target).is_ok();
+            self.buf_probe = probe;
+            has
         };
         Ok(self.overlay.has_edge(base_has, a, b))
     }
@@ -271,29 +311,47 @@ impl<C: QueryClient> MtoSampler<C> {
     /// configured view (no min-degree guard — that is a walk-safety
     /// concern, not part of the criterion).
     fn edge_removable_in_view(&mut self, a: NodeId, b: NodeId) -> Result<bool> {
-        match self.config.criterion_view {
-            CriterionView::Overlay => {
-                let na = self.overlay_neighbors(a)?;
-                let nb = self.overlay_neighbors(b)?;
-                Ok(self.edge_is_removable(&na, &nb))
-            }
-            CriterionView::Original => {
-                let na = self.client.fetch(a)?.neighbors;
-                let nb = self.client.fetch(b)?.neighbors;
-                Ok(self.edge_is_removable(&na, &nb))
-            }
-        }
+        // Bill both endpoints up front (same lookup order as materializing
+        // each neighborhood would); afterwards both are cached and the
+        // criterion can usually run on borrowed arena slices with zero
+        // copies — only an overlay-touched endpoint, or a client that
+        // cannot hand out borrows, goes through the scratch buffers.
+        self.client.fetch_degree(a)?;
+        self.client.fetch_degree(b)?;
+        let mut na = std::mem::take(&mut self.buf_a);
+        let mut nb = std::mem::take(&mut self.buf_b);
+        let view = self.config.criterion_view;
+        let removable = {
+            let sa = criterion_slice(&self.client, &self.overlay, view, a, &mut na);
+            let sb = criterion_slice(&self.client, &self.overlay, view, b, &mut nb);
+            self.edge_is_removable(sa, sb)
+        };
+        self.buf_a = na;
+        self.buf_b = nb;
+        Ok(removable)
     }
 
     /// Estimates `k*_v` under the configured [`OverlayDegreeMode`].
     pub fn overlay_degree_estimate(&mut self, v: NodeId, mode: OverlayDegreeMode) -> Result<f64> {
-        let nv = self.overlay_neighbors(v)?;
+        let mut nv = std::mem::take(&mut self.buf_deg);
+        let estimate = self.degree_estimate_with(v, mode, &mut nv);
+        self.buf_deg = nv;
+        estimate
+    }
+
+    fn degree_estimate_with(
+        &mut self,
+        v: NodeId,
+        mode: OverlayDegreeMode,
+        nv: &mut Vec<NodeId>,
+    ) -> Result<f64> {
+        self.overlay_neighbors_into(v, nv)?;
         let discovered = nv.len() as f64;
         match mode {
             OverlayDegreeMode::Discovered => Ok(discovered.max(1.0)),
             OverlayDegreeMode::ExactRemoval => {
                 let mut kept = 0usize;
-                for &w in &nv {
+                for &w in nv.iter() {
                     if self.overlay.is_added(v, w) {
                         kept += 1; // replacement edges are never removable
                         continue;
@@ -333,15 +391,28 @@ impl<C: QueryClient> MtoSampler<C> {
     /// replacement, and returns the surviving candidate (`None` when every
     /// pick was removed and `N*(u)` emptied — a degenerate graph).
     fn select_candidate(&mut self) -> Result<Option<NodeId>> {
+        let mut nbrs_u = std::mem::take(&mut self.buf_u);
+        let mut nbrs_v = std::mem::take(&mut self.buf_v);
+        let picked = self.select_candidate_with(&mut nbrs_u, &mut nbrs_v);
+        self.buf_u = nbrs_u;
+        self.buf_v = nbrs_v;
+        picked
+    }
+
+    fn select_candidate_with(
+        &mut self,
+        nbrs_u: &mut Vec<NodeId>,
+        nbrs_v: &mut Vec<NodeId>,
+    ) -> Result<Option<NodeId>> {
         // Bounded by the overlay degree of `u`: each removal strictly
         // shrinks N*(u). A defensive cap guards against logic errors.
         for _ in 0..10_000 {
-            let nbrs_u = self.overlay_neighbors(self.current)?;
+            self.overlay_neighbors_into(self.current, nbrs_u)?;
             if nbrs_u.is_empty() {
                 return Ok(None);
             }
             let v = nbrs_u[self.rng.gen_range(0..nbrs_u.len())];
-            let nbrs_v = self.overlay_neighbors(v)?;
+            self.overlay_neighbors_into(v, nbrs_v)?;
 
             // Step 1: removal. Replacement-created edges are exempt —
             // Theorem 3 reasons about the original common-neighbor
@@ -354,7 +425,7 @@ impl<C: QueryClient> MtoSampler<C> {
             //    shatter a clique into disjoint cycles).
             let guard_ok = nbrs_u.len() > self.config.min_overlay_degree
                 && nbrs_v.len() > self.config.min_overlay_degree
-                && sorted_common_count(&nbrs_u, &nbrs_v) >= 1;
+                && sorted_lists_intersect(nbrs_u, nbrs_v);
             if self.config.removal
                 && guard_ok
                 && !self.overlay.is_added(self.current, v)
@@ -372,21 +443,24 @@ impl<C: QueryClient> MtoSampler<C> {
             {
                 // Collect eligibility before borrowing `self` mutably in
                 // the closure: check overlay adjacency of u to each target.
-                let mut eligible = Vec::new();
-                for &w in &nbrs_v {
+                self.eligible.clear();
+                for i in 0..nbrs_v.len() {
+                    let w = nbrs_v[i];
                     if w != self.current && !self.overlay_has_edge(self.current, w)? {
-                        eligible.push(w);
+                        self.eligible.push(w);
                     }
                 }
-                if eligible.is_empty() {
+                if self.eligible.is_empty() {
                     self.stats.replacement_rejections += 1;
                 } else {
-                    let pick = eligible[self.rng.gen_range(0..eligible.len())];
+                    let pick = self.eligible[self.rng.gen_range(0..self.eligible.len())];
+                    let eligible = &self.eligible;
+                    let current = self.current;
                     let plan = plan_replacement(
-                        self.current,
+                        current,
                         v,
-                        &nbrs_v,
-                        |w| !eligible.contains(&w) && w != self.current,
+                        nbrs_v,
+                        |w| !eligible.contains(&w) && w != current,
                         |_| pick,
                     )
                     .expect("eligibility already established");
@@ -403,21 +477,46 @@ impl<C: QueryClient> MtoSampler<C> {
     }
 }
 
-/// Intersection size of two sorted neighbor lists.
-fn sorted_common_count(a: &[NodeId], b: &[NodeId]) -> usize {
-    let (mut i, mut j, mut n) = (0, 0, 0);
+/// Neighborhood of `v` in the requested criterion view, assuming `v` is
+/// already cached (billed by the caller). Returns a borrowed arena slice
+/// whenever possible; falls back to filling `buf` when the overlay has
+/// touched `v` or the client cannot expose borrows (e.g. lock-guarded).
+fn criterion_slice<'a, C: QueryClient>(
+    client: &'a C,
+    overlay: &OverlayDelta,
+    view: CriterionView,
+    v: NodeId,
+    buf: &'a mut Vec<NodeId>,
+) -> &'a [NodeId] {
+    if let Some(base) = client.known_neighbors(v) {
+        match view {
+            CriterionView::Original => return base,
+            CriterionView::Overlay if !overlay.touches(v) => return base,
+            CriterionView::Overlay => {
+                overlay.adjust_neighbors_into(v, base, buf);
+                return buf;
+            }
+        }
+    }
+    client.cached_neighbors_into(v, buf);
+    if matches!(view, CriterionView::Overlay) {
+        overlay.adjust_neighbors_in_place(v, buf);
+    }
+    buf
+}
+
+/// Whether two sorted neighbor lists share at least one element
+/// (early-exit — the connectivity guard only needs existence).
+fn sorted_lists_intersect(a: &[NodeId], b: &[NodeId]) -> bool {
+    let (mut i, mut j) = (0, 0);
     while i < a.len() && j < b.len() {
         match a[i].cmp(&b[j]) {
             std::cmp::Ordering::Less => i += 1,
             std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                n += 1;
-                i += 1;
-                j += 1;
-            }
+            std::cmp::Ordering::Equal => return true,
         }
     }
-    n
+    false
 }
 
 impl<C: QueryClient> Walker for MtoSampler<C> {
@@ -434,8 +533,8 @@ impl<C: QueryClient> Walker for MtoSampler<C> {
             // Lazy coin: move or stay.
             if !self.config.lazy || self.rng.gen_bool(0.5) {
                 // Arrival query keeps the invariant that the current node
-                // is always cached.
-                self.client.fetch(candidate)?;
+                // is always cached; degree-only, so nothing is copied.
+                self.client.fetch_degree(candidate)?;
                 self.current = candidate;
             }
         }

@@ -7,8 +7,36 @@
 //! delta onto the base topology.
 
 use std::collections::{BTreeSet, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use mto_graph::{Edge, Graph, NodeId};
+
+/// Multiplicative hasher for `NodeId` keys. The per-endpoint indexes are
+/// read several times per walker step; SipHash dominates those lookups
+/// while a Fibonacci multiply is enough for non-adversarial 4-byte keys.
+#[derive(Clone, Copy, Default)]
+pub struct NodeIdHasher(u64);
+
+impl Hasher for NodeIdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(5) ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, n: u32) {
+        self.0 = u64::from(n).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+/// Per-endpoint index: node → sorted list of delta-affected neighbors.
+/// Sorted `Vec`s beat `BTreeSet`s here — reads (merge scans, binary
+/// searches) vastly outnumber the rare rewiring writes.
+type EndpointIndex = HashMap<NodeId, Vec<NodeId>, BuildHasherDefault<NodeIdHasher>>;
 
 /// Removed/added edge sets with per-endpoint indexes.
 ///
@@ -19,8 +47,8 @@ use mto_graph::{Edge, Graph, NodeId};
 pub struct OverlayDelta {
     removed: BTreeSet<Edge>,
     added: BTreeSet<Edge>,
-    removed_at: HashMap<NodeId, BTreeSet<NodeId>>,
-    added_at: HashMap<NodeId, BTreeSet<NodeId>>,
+    removed_at: EndpointIndex,
+    added_at: EndpointIndex,
 }
 
 impl OverlayDelta {
@@ -53,12 +81,14 @@ impl OverlayDelta {
 
     /// Whether the delta marks `(u, v)` removed.
     pub fn is_removed(&self, u: NodeId, v: NodeId) -> bool {
-        self.removed.contains(&Edge::new(u, v))
+        // The index mirrors the canonical set exactly; one hash probe and
+        // a binary search beat the edge-set B-tree walk.
+        self.removed_at.get(&u).is_some_and(|s| s.binary_search(&v).is_ok())
     }
 
     /// Whether the delta marks `(u, v)` added.
     pub fn is_added(&self, u: NodeId, v: NodeId) -> bool {
-        self.added.contains(&Edge::new(u, v))
+        self.added_at.get(&u).is_some_and(|s| s.binary_search(&v).is_ok())
     }
 
     /// Whether the overlay contains `(u, v)` given that the base graph
@@ -91,30 +121,108 @@ impl OverlayDelta {
         self.added.iter().copied()
     }
 
+    /// Whether the delta touches `v`'s neighborhood at all — the fast-path
+    /// test for borrowing the base list unmodified. Leftover empty index
+    /// entries (from cancelled edits) count as untouched.
+    #[inline]
+    pub fn touches(&self, v: NodeId) -> bool {
+        self.removed_at.get(&v).is_some_and(|s| !s.is_empty())
+            || self.added_at.get(&v).is_some_and(|s| !s.is_empty())
+    }
+
     /// Overlay neighborhood `N*(v)`: the base neighborhood minus removed
     /// plus added, sorted.
     pub fn adjust_neighbors(&self, v: NodeId, base: &[NodeId]) -> Vec<NodeId> {
-        let removed = self.removed_at.get(&v);
-        let added = self.added_at.get(&v);
-        if removed.is_none() && added.is_none() {
+        if !self.touches(v) {
             return base.to_vec();
         }
-        let mut out: Vec<NodeId> =
-            base.iter().copied().filter(|&u| !removed.is_some_and(|r| r.contains(&u))).collect();
-        if let Some(add) = added {
+        let mut out = Vec::with_capacity(base.len());
+        self.adjust_neighbors_into(v, base, &mut out);
+        out
+    }
+
+    /// Allocation-free variant of [`OverlayDelta::adjust_neighbors`]:
+    /// writes `N*(v)` into `out` (cleared first). With a pre-grown `out`
+    /// this performs no allocation; the output is identical to
+    /// `adjust_neighbors` on every `(v, base)` pair.
+    pub fn adjust_neighbors_into(&self, v: NodeId, base: &[NodeId], out: &mut Vec<NodeId>) {
+        out.clear();
+        match self.removed_at.get(&v) {
+            // Both lists are sorted: a merge scan filters the removed
+            // neighbors in O(|base| + |removed|).
+            Some(removed) if !removed.is_empty() => {
+                let mut r = 0;
+                for &u in base {
+                    while r < removed.len() && removed[r] < u {
+                        r += 1;
+                    }
+                    if r < removed.len() && removed[r] == u {
+                        continue;
+                    }
+                    out.push(u);
+                }
+            }
+            _ => out.extend_from_slice(base),
+        }
+        if let Some(add) = self.added_at.get(&v) {
             for &u in add {
                 if let Err(pos) = out.binary_search(&u) {
                     out.insert(pos, u);
                 }
             }
         }
-        out
+    }
+
+    /// In-place variant: rewrites `list` — already holding the sorted base
+    /// neighborhood of `v` — into `N*(v)`. Output is identical to
+    /// [`OverlayDelta::adjust_neighbors_into`], but only one buffer is
+    /// needed, which is the shape the walkers' fetch-then-adjust hot loops
+    /// use.
+    pub fn adjust_neighbors_in_place(&self, v: NodeId, list: &mut Vec<NodeId>) {
+        if let Some(removed) = self.removed_at.get(&v) {
+            if !removed.is_empty() {
+                // Merge scan over two sorted lists; `retain` keeps order.
+                let mut r = 0;
+                list.retain(|&u| {
+                    while r < removed.len() && removed[r] < u {
+                        r += 1;
+                    }
+                    !(r < removed.len() && removed[r] == u)
+                });
+            }
+        }
+        if let Some(add) = self.added_at.get(&v) {
+            for &u in add {
+                if let Err(pos) = list.binary_search(&u) {
+                    list.insert(pos, u);
+                }
+            }
+        }
+    }
+
+    /// `Cow`-style overlay view: borrows `base` unmodified when the delta
+    /// does not touch `v` (the common case in steady-state walking),
+    /// otherwise materializes `N*(v)` into `scratch` and borrows that.
+    /// Zero allocations either way once `scratch` has grown.
+    #[inline]
+    pub fn neighbors_view<'a>(
+        &self,
+        v: NodeId,
+        base: &'a [NodeId],
+        scratch: &'a mut Vec<NodeId>,
+    ) -> &'a [NodeId] {
+        if self.touches(v) {
+            self.adjust_neighbors_into(v, base, scratch);
+            scratch
+        } else {
+            base
+        }
     }
 
     /// Overlay degree `k*_v` given the base degree.
     pub fn adjust_degree(&self, v: NodeId, base_degree: usize) -> usize {
-        let removed = self.removed_at.get(&v).map_or(0, BTreeSet::len);
-        let added = self.added_at.get(&v).map_or(0, BTreeSet::len);
+        let removed = self.removed_at.get(&v).map_or(0, Vec::len);
+        let added = self.added_at.get(&v).map_or(0, Vec::len);
         base_degree + added - removed
     }
 
@@ -147,17 +255,27 @@ impl PartialEq for OverlayDelta {
 
 impl Eq for OverlayDelta {}
 
-fn attach(index: &mut HashMap<NodeId, BTreeSet<NodeId>>, u: NodeId, v: NodeId) {
-    index.entry(u).or_default().insert(v);
-    index.entry(v).or_default().insert(u);
+fn attach(index: &mut EndpointIndex, u: NodeId, v: NodeId) {
+    sorted_insert(index.entry(u).or_default(), v);
+    sorted_insert(index.entry(v).or_default(), u);
 }
 
-fn detach(index: &mut HashMap<NodeId, BTreeSet<NodeId>>, u: NodeId, v: NodeId) {
-    if let Some(s) = index.get_mut(&u) {
-        s.remove(&v);
+fn detach(index: &mut EndpointIndex, u: NodeId, v: NodeId) {
+    sorted_remove(index.get_mut(&u), v);
+    sorted_remove(index.get_mut(&v), u);
+}
+
+fn sorted_insert(list: &mut Vec<NodeId>, v: NodeId) {
+    if let Err(pos) = list.binary_search(&v) {
+        list.insert(pos, v);
     }
-    if let Some(s) = index.get_mut(&v) {
-        s.remove(&u);
+}
+
+fn sorted_remove(list: Option<&mut Vec<NodeId>>, v: NodeId) {
+    if let Some(list) = list {
+        if let Ok(pos) = list.binary_search(&v) {
+            list.remove(pos);
+        }
     }
 }
 

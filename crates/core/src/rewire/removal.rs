@@ -61,9 +61,41 @@ pub fn removal_criterion_extended(
 
 /// Evaluates Theorem 3 directly on neighbor lists (both sorted). Intended
 /// for callers holding raw interface responses.
+///
+/// Exploits monotonicity: the criterion only improves as `common` grows,
+/// so the intersection scan stops as soon as the outcome is decided —
+/// either the needed count is reached (removable) or not enough elements
+/// remain to reach it (not removable). The answer is identical to counting
+/// the full intersection first.
 pub fn is_removable_from_neighborhoods(nu: &[mto_graph::NodeId], nv: &[mto_graph::NodeId]) -> bool {
-    let common = sorted_intersection_count(nu, nv);
-    removal_criterion(common, nu.len(), nv.len())
+    let max = nu.len().max(nv.len());
+    // Smallest intersection size satisfying 2(⌈c/2⌉+1) > max.
+    let needed = if max / 2 == 0 { 0 } else { 2 * (max / 2) - 1 };
+    if needed == 0 {
+        return true;
+    }
+    if nu.len().min(nv.len()) < needed {
+        return false;
+    }
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < nu.len() && j < nv.len() {
+        if n + (nu.len() - i).min(nv.len() - j) < needed {
+            return false;
+        }
+        match nu[i].cmp(&nv[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                if n >= needed {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    false
 }
 
 /// Theorem 5 with the *optimal choice of `N*`*: given `common` total
@@ -116,22 +148,6 @@ pub fn is_removable_with_history(
         }
     }
     best_extended_criterion(common, s2, s3, nu.len(), nv.len())
-}
-
-fn sorted_intersection_count(a: &[mto_graph::NodeId], b: &[mto_graph::NodeId]) -> usize {
-    let (mut i, mut j, mut n) = (0, 0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                n += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    n
 }
 
 #[cfg(test)]
@@ -276,6 +292,35 @@ mod tests {
     #[should_panic(expected = "|N*| <= common")]
     fn extended_rejects_oversized_nstar() {
         let _ = removal_criterion_extended(1, &[2, 2], 5, 5);
+    }
+
+    #[test]
+    fn early_exit_wrapper_matches_the_naive_count() {
+        // The early-exit scan must agree with "count fully, then test" on
+        // every list shape, including the threshold boundaries.
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..2_000 {
+            let ku = (next() % 14) as usize;
+            let kv = (next() % 14) as usize;
+            let mut nu: Vec<NodeId> = (0..ku).map(|_| NodeId((next() % 24) as u32)).collect();
+            let mut nv: Vec<NodeId> = (0..kv).map(|_| NodeId((next() % 24) as u32)).collect();
+            nu.sort_unstable();
+            nu.dedup();
+            nv.sort_unstable();
+            nv.dedup();
+            let common = nu.iter().filter(|u| nv.contains(u)).count();
+            assert_eq!(
+                is_removable_from_neighborhoods(&nu, &nv),
+                removal_criterion(common, nu.len(), nv.len()),
+                "mismatch at nu={nu:?} nv={nv:?}"
+            );
+        }
     }
 
     #[test]

@@ -8,9 +8,9 @@
 
 use mto_graph::NodeId;
 use mto_osn::{QueryClient, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
+use crate::rng::RngBlock;
 use crate::walk::walker::Walker;
 
 /// Configuration of a [`MetropolisHastingsWalk`].
@@ -30,23 +30,26 @@ impl Default for MhrwConfig {
 pub struct MetropolisHastingsWalk<C> {
     client: C,
     current: NodeId,
-    rng: StdRng,
+    rng: RngBlock,
     history: Vec<NodeId>,
     accepted: u64,
     proposed: u64,
+    /// Reusable neighbor scratch — warm-cache stepping allocates nothing.
+    buf: Vec<NodeId>,
 }
 
 impl<C: QueryClient> MetropolisHastingsWalk<C> {
     /// Starts at `start` (queried immediately).
     pub fn new(mut client: C, start: NodeId, config: MhrwConfig) -> Result<Self> {
-        client.fetch(start)?;
+        client.fetch_degree(start)?;
         Ok(MetropolisHastingsWalk {
             client,
             current: start,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: RngBlock::seed_from_u64(config.seed),
             history: vec![start],
             accepted: 0,
             proposed: 0,
+            buf: Vec::new(),
         })
     }
 
@@ -74,14 +77,21 @@ impl<C: QueryClient> Walker for MetropolisHastingsWalk<C> {
     }
 
     fn step(&mut self) -> Result<NodeId> {
-        let resp = self.client.fetch(self.current)?;
-        if !resp.neighbors.is_empty() {
-            let ku = resp.neighbors.len();
-            let pick = self.rng.gen_range(0..ku);
-            let proposal = resp.neighbors[pick];
+        let mut nbrs = std::mem::take(&mut self.buf);
+        let fetched = self.client.fetch_neighbors_into(self.current, &mut nbrs);
+        let pick = match &fetched {
+            Ok(()) if !nbrs.is_empty() => {
+                let ku = nbrs.len();
+                Some((ku, nbrs[self.rng.gen_range(0..ku)]))
+            }
+            _ => None,
+        };
+        self.buf = nbrs;
+        fetched?;
+        if let Some((ku, proposal)) = pick {
             // Learning k_v requires querying the proposal — this is the
             // query MHRW "wastes" on rejections.
-            let kv = self.client.fetch(proposal)?.neighbors.len();
+            let kv = self.client.fetch_degree(proposal)?;
             self.proposed += 1;
             let accept = ku as f64 / kv.max(1) as f64;
             if self.rng.gen::<f64>() < accept {

@@ -12,9 +12,9 @@
 
 use mto_graph::NodeId;
 use mto_osn::{OsnError, QueryClient, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
+use crate::rng::RngBlock;
 use crate::walk::walker::Walker;
 
 /// Configuration of a [`RandomJumpWalk`].
@@ -37,11 +37,13 @@ impl Default for RjConfig {
 pub struct RandomJumpWalk<C> {
     client: C,
     current: NodeId,
-    rng: StdRng,
+    rng: RngBlock,
     history: Vec<NodeId>,
     jump_probability: f64,
     id_space: usize,
     jumps: u64,
+    /// Reusable neighbor scratch — warm-cache stepping allocates nothing.
+    buf: Vec<NodeId>,
 }
 
 impl<C: QueryClient> RandomJumpWalk<C> {
@@ -59,15 +61,16 @@ impl<C: QueryClient> RandomJumpWalk<C> {
         let id_space = client
             .num_users_hint()
             .expect("Random Jump requires the provider-published user-id space (paper footnote 5)");
-        client.fetch(start)?;
+        client.fetch_degree(start)?;
         Ok(RandomJumpWalk {
             client,
             current: start,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: RngBlock::seed_from_u64(config.seed),
             history: vec![start],
             jump_probability: config.jump_probability,
             id_space,
             jumps: 0,
+            buf: Vec::new(),
         })
     }
 
@@ -95,7 +98,7 @@ impl<C: QueryClient> Walker for RandomJumpWalk<C> {
         if self.rng.gen::<f64>() < self.jump_probability {
             // Uniform teleport over the advertised id space.
             let target = NodeId(self.rng.gen_range(0..self.id_space as u32));
-            match self.client.fetch(target) {
+            match self.client.fetch_degree(target) {
                 Ok(_) => {
                     self.jumps += 1;
                     self.current = target;
@@ -107,11 +110,19 @@ impl<C: QueryClient> Walker for RandomJumpWalk<C> {
             }
         } else {
             // MHRW step toward the uniform target.
-            let resp = self.client.fetch(self.current)?;
-            if !resp.neighbors.is_empty() {
-                let ku = resp.neighbors.len();
-                let proposal = resp.neighbors[self.rng.gen_range(0..ku)];
-                let kv = self.client.fetch(proposal)?.neighbors.len();
+            let mut nbrs = std::mem::take(&mut self.buf);
+            let fetched = self.client.fetch_neighbors_into(self.current, &mut nbrs);
+            let pick = match &fetched {
+                Ok(()) if !nbrs.is_empty() => {
+                    let ku = nbrs.len();
+                    Some((ku, nbrs[self.rng.gen_range(0..ku)]))
+                }
+                _ => None,
+            };
+            self.buf = nbrs;
+            fetched?;
+            if let Some((ku, proposal)) = pick {
+                let kv = self.client.fetch_degree(proposal)?;
                 if self.rng.gen::<f64>() < ku as f64 / kv.max(1) as f64 {
                     self.current = proposal;
                 }

@@ -8,9 +8,9 @@
 
 use mto_graph::NodeId;
 use mto_osn::{QueryClient, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use rand::Rng;
 
+use crate::rng::RngBlock;
 use crate::walk::walker::Walker;
 
 /// Configuration of a [`SimpleRandomWalk`].
@@ -33,22 +33,25 @@ impl Default for SrwConfig {
 pub struct SimpleRandomWalk<C> {
     client: C,
     current: NodeId,
-    rng: StdRng,
+    rng: RngBlock,
     history: Vec<NodeId>,
     lazy: bool,
+    /// Reusable neighbor scratch — warm-cache stepping allocates nothing.
+    buf: Vec<NodeId>,
 }
 
 impl<C: QueryClient> SimpleRandomWalk<C> {
     /// Starts a walk at `start` (queried immediately — the walk needs its
     /// neighborhood to move).
     pub fn new(mut client: C, start: NodeId, config: SrwConfig) -> Result<Self> {
-        client.fetch(start)?;
+        client.fetch_degree(start)?;
         Ok(SimpleRandomWalk {
             client,
             current: start,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: RngBlock::seed_from_u64(config.seed),
             history: vec![start],
             lazy: config.lazy,
+            buf: Vec::new(),
         })
     }
 
@@ -75,13 +78,18 @@ impl<C: QueryClient> Walker for SimpleRandomWalk<C> {
 
     fn step(&mut self) -> Result<NodeId> {
         if !self.lazy || self.rng.gen_bool(0.5) {
-            let resp = self.client.fetch(self.current)?;
-            if !resp.neighbors.is_empty() {
-                let pick = self.rng.gen_range(0..resp.neighbors.len());
-                let next = resp.neighbors[pick];
+            let mut nbrs = std::mem::take(&mut self.buf);
+            let fetched = self.client.fetch_neighbors_into(self.current, &mut nbrs);
+            let next = match &fetched {
+                Ok(()) if !nbrs.is_empty() => Some(nbrs[self.rng.gen_range(0..nbrs.len())]),
+                _ => None,
+            };
+            self.buf = nbrs;
+            fetched?;
+            if let Some(next) = next {
                 // Arrival query: ensures the node's degree is known for
                 // weighting and the next transition.
-                self.client.fetch(next)?;
+                self.client.fetch_degree(next)?;
                 self.current = next;
             }
         }
@@ -98,9 +106,9 @@ impl<C: QueryClient> Walker for SimpleRandomWalk<C> {
     }
 
     fn importance_weight(&mut self, v: NodeId) -> Result<f64> {
-        let resp = self.client.fetch(v)?;
+        let k = self.client.fetch_degree(v)?;
         // π(v) ∝ k_v ⇒ w(v) ∝ 1/k_v. Degree 0 cannot be visited.
-        Ok(1.0 / resp.neighbors.len().max(1) as f64)
+        Ok(1.0 / k.max(1) as f64)
     }
 
     fn prefetch_candidates(&self) -> Vec<NodeId> {

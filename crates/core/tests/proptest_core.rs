@@ -31,6 +31,36 @@ fn delta_ops(n: u32) -> impl Strategy<Value = DeltaOp> {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
+    /// The zero-alloc adjustment paths (`adjust_neighbors_into` and
+    /// `adjust_neighbors_in_place`) produce exactly the allocating
+    /// `adjust_neighbors` result for any (base, delta) pair — the hot
+    /// walker loops use them interchangeably.
+    #[test]
+    fn adjust_into_and_in_place_match_adjust(
+        seed in 0u64..500,
+        ops in proptest::collection::vec(delta_ops(10), 0..80)
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let base_graph = gnp_graph(10, 0.4, &mut rng);
+        let mut delta = OverlayDelta::new();
+        for op in ops {
+            match op {
+                DeltaOp::Remove(u, v) => { delta.remove_edge(NodeId(u), NodeId(v)); }
+                DeltaOp::Add(u, v) => { delta.add_edge(NodeId(u), NodeId(v)); }
+            }
+        }
+        let mut buf = Vec::new();
+        for v in base_graph.nodes() {
+            let base = base_graph.neighbors(v);
+            let reference = delta.adjust_neighbors(v, base);
+            delta.adjust_neighbors_into(v, base, &mut buf);
+            prop_assert_eq!(&buf, &reference, "adjust_neighbors_into diverged at {}", v);
+            let mut in_place = base.to_vec();
+            delta.adjust_neighbors_in_place(v, &mut in_place);
+            prop_assert_eq!(&in_place, &reference, "adjust_neighbors_in_place diverged at {}", v);
+        }
+    }
+
     /// The overlay delta's derived views (adjusted neighbors, adjusted
     /// degree, has_edge) always match a shadow graph maintained by direct
     /// mutation.

@@ -109,7 +109,9 @@ impl<I: SocialNetworkInterface> QueryClient for RecordingClient<I> {
 
 /// The concrete walker behind a [`WalkerSpec`], generic over the client.
 enum AnyWalker<C: QueryClient> {
-    Mto(MtoSampler<C>),
+    // Boxed: the sampler carries its scratch buffers inline, dwarfing
+    // the other variants.
+    Mto(Box<MtoSampler<C>>),
     Srw(SimpleRandomWalk<C>),
     Mhrw(MetropolisHastingsWalk<C>),
     Rj(RandomJumpWalk<C>),
@@ -118,7 +120,9 @@ enum AnyWalker<C: QueryClient> {
 impl<C: QueryClient> AnyWalker<C> {
     fn build(client: C, job: &PoolJob) -> Result<Self> {
         Ok(match job.spec {
-            WalkerSpec::Mto(cfg) => AnyWalker::Mto(MtoSampler::new(client, job.start, cfg)?),
+            WalkerSpec::Mto(cfg) => {
+                AnyWalker::Mto(Box::new(MtoSampler::new(client, job.start, cfg)?))
+            }
             WalkerSpec::Srw(cfg) => AnyWalker::Srw(SimpleRandomWalk::new(client, job.start, cfg)?),
             WalkerSpec::Mhrw(cfg) => {
                 AnyWalker::Mhrw(MetropolisHastingsWalk::new(client, job.start, cfg)?)

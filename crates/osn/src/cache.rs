@@ -8,11 +8,15 @@
 //! Theorem 5 extension.
 //!
 //! Storage layout: node ids are dense (`OsnService` assigns `0..n`), so the
-//! cache is a `Vec`-indexed slot map rather than a hash map — the hot-path
-//! lookup is one bounds check plus an indexed load, with no hashing
-//! (`bench_micro`'s `micro/cache` group measures the win). Degrees
-//! remembered *without* a full neighborhood (e.g. imported from an older
-//! crawl whose responses were discarded) live in a sparse side table.
+//! cache is a [`NeighborArena`] — a CSR-style flat store holding **every**
+//! cached neighbor list in one contiguous `Vec<NodeId>`, with a dense
+//! per-node `(offset, len)` span table beside it. The hot-path lookup is
+//! one bounds check plus an indexed load yielding a *borrowed*
+//! `&[NodeId]`, with no hashing, no per-node heap allocation, and no
+//! response clone (`bench_hotpath`'s `hotpath/arena` group measures the
+//! win over the previous one-`Vec`-per-node slot map). Degrees remembered
+//! *without* a full neighborhood (e.g. imported from an older crawl whose
+//! responses were discarded) live in a sparse side table.
 //!
 //! The whole history is exportable as a [`CacheSnapshot`] and re-importable
 //! into a fresh client — the hook `mto-serve`'s persistent `HistoryStore`
@@ -24,16 +28,128 @@ use mto_graph::NodeId;
 
 use crate::error::Result;
 use crate::interface::{QueryResponse, SocialNetworkInterface};
+use crate::profile::UserProfile;
+
+/// Location of one cached neighbor list inside the arena's flat data.
+#[derive(Clone, Copy, Debug)]
+struct Span {
+    offset: usize,
+    len: u32,
+}
+
+/// CSR-style flat neighborhood storage: all cached neighbor lists live
+/// concatenated in one contiguous `Vec<NodeId>`, addressed by a dense
+/// per-node span table. Reads borrow straight out of the arena —
+/// steady-state walking never clones a neighbor list.
+///
+/// Re-inserting a node whose new list fits its old span overwrites in
+/// place; a longer list is appended and the old span becomes garbage
+/// (bounded by re-import churn, which honest workloads do at most once
+/// per node — [`NeighborArena::data_len`] exposes the raw size so tests
+/// can watch for pathological growth).
+#[derive(Debug, Default)]
+pub struct NeighborArena {
+    /// Every cached neighbor list, concatenated in first-insertion order.
+    data: Vec<NodeId>,
+    /// Dense slot map: `slots[v.index()]` locates `v`'s list and profile.
+    slots: Vec<Option<(Span, UserProfile)>>,
+    /// Number of occupied slots.
+    cached: usize,
+}
+
+impl NeighborArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        NeighborArena::default()
+    }
+
+    /// Borrowed neighbor list of `v`, if cached.
+    #[inline]
+    pub fn neighbors_of(&self, v: NodeId) -> Option<&[NodeId]> {
+        let (span, _) = self.slots.get(v.index())?.as_ref()?;
+        Some(&self.data[span.offset..span.offset + span.len as usize])
+    }
+
+    /// Borrowed profile of `v`, if cached.
+    #[inline]
+    pub fn profile_of(&self, v: NodeId) -> Option<&UserProfile> {
+        let (_, profile) = self.slots.get(v.index())?.as_ref()?;
+        Some(profile)
+    }
+
+    /// Degree of `v`, if cached (no slice construction).
+    #[inline]
+    pub fn degree_of(&self, v: NodeId) -> Option<usize> {
+        let (span, _) = self.slots.get(v.index())?.as_ref()?;
+        Some(span.len as usize)
+    }
+
+    /// Whether `v` has a cached neighborhood.
+    #[inline]
+    pub fn contains(&self, v: NodeId) -> bool {
+        self.slots.get(v.index()).is_some_and(Option::is_some)
+    }
+
+    /// Number of cached nodes.
+    pub fn len(&self) -> usize {
+        self.cached
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.cached == 0
+    }
+
+    /// Total `NodeId`s in the flat store, including any leaked spans.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Cached nodes, ascending id.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| NodeId::from_index(i))
+    }
+
+    /// Inserts (or replaces) `v`'s neighborhood and profile.
+    pub fn insert(&mut self, v: NodeId, neighbors: &[NodeId], profile: UserProfile) {
+        let i = v.index();
+        if i >= self.slots.len() {
+            self.slots.resize_with(i + 1, || None);
+        }
+        let span = match self.slots[i].take() {
+            // Overwrite in place when the replacement fits the old span.
+            Some((old, _)) if neighbors.len() <= old.len as usize => {
+                let dst = &mut self.data[old.offset..old.offset + neighbors.len()];
+                dst.copy_from_slice(neighbors);
+                Span { offset: old.offset, len: neighbors.len() as u32 }
+            }
+            existing => {
+                // First insert, or a longer replacement: append. A
+                // replaced node's old span is leaked (bounded by re-import
+                // churn; `data_len` keeps it visible to tests).
+                if existing.is_none() {
+                    self.cached += 1;
+                }
+                let offset = self.data.len();
+                self.data.extend_from_slice(neighbors);
+                Span { offset, len: neighbors.len() as u32 }
+            }
+        };
+        self.slots[i] = Some((span, profile));
+    }
+}
 
 /// Caching wrapper around any [`SocialNetworkInterface`].
 pub struct CachedClient<I> {
     inner: I,
-    /// Dense slot map: `slots[v.index()]` holds the cached response for `v`.
-    slots: Vec<Option<QueryResponse>>,
-    /// Number of filled slots.
-    cached_count: usize,
+    /// Flat CSR-style neighborhood store (see [`NeighborArena`]).
+    arena: NeighborArena,
     /// Degrees known *without* a cached neighborhood (sparse; a full
-    /// response in `slots` always takes precedence).
+    /// response in the arena always takes precedence).
     degree_hints: HashMap<NodeId, usize>,
     /// Requests that reached the backing interface (unique query cost).
     unique_queries: u64,
@@ -71,8 +187,7 @@ impl<I: SocialNetworkInterface> CachedClient<I> {
     pub fn new(inner: I) -> Self {
         CachedClient {
             inner,
-            slots: Vec::new(),
-            cached_count: 0,
+            arena: NeighborArena::new(),
             degree_hints: HashMap::new(),
             unique_queries: 0,
             total_lookups: 0,
@@ -81,26 +196,13 @@ impl<I: SocialNetworkInterface> CachedClient<I> {
         }
     }
 
-    fn slot(&self, v: NodeId) -> Option<&QueryResponse> {
-        self.slots.get(v.index()).and_then(Option::as_ref)
-    }
-
-    fn insert_response(&mut self, v: NodeId, response: QueryResponse) {
-        let i = v.index();
-        if i >= self.slots.len() {
-            self.slots.resize_with(i + 1, || None);
-        }
-        if self.slots[i].is_none() {
-            self.cached_count += 1;
-        }
-        self.slots[i] = Some(response);
-    }
-
-    /// Issues `q(v)`, served from cache when possible. Transient failures
-    /// are retried up to the configured cap.
-    pub fn query(&mut self, v: NodeId) -> Result<&QueryResponse> {
+    /// One billed lookup: makes sure `v` is cached, retrying transient
+    /// failures up to the configured cap. Every `query*` accessor funnels
+    /// through here so the lookup accounting is identical regardless of
+    /// which shape of answer the caller wants.
+    fn ensure(&mut self, v: NodeId) -> Result<()> {
         self.total_lookups += 1;
-        if self.slot(v).is_none() {
+        if !self.arena.contains(v) {
             let mut attempt = 0u32;
             let response = loop {
                 match self.inner.query(v) {
@@ -113,9 +215,36 @@ impl<I: SocialNetworkInterface> CachedClient<I> {
                 }
             };
             self.unique_queries += 1;
-            self.insert_response(v, response);
+            self.arena.insert(v, &response.neighbors, response.profile);
         }
-        Ok(self.slots[v.index()].as_ref().expect("slot filled above"))
+        Ok(())
+    }
+
+    /// Issues `q(v)`, served from cache when possible, returning an owned
+    /// response materialized from the arena. Transient failures are
+    /// retried up to the configured cap. Hot paths should prefer the
+    /// borrowing [`CachedClient::query_neighbors`] /
+    /// [`CachedClient::query_degree`], which never allocate.
+    pub fn query(&mut self, v: NodeId) -> Result<QueryResponse> {
+        self.ensure(v)?;
+        Ok(QueryResponse {
+            user: v,
+            neighbors: self.arena.neighbors_of(v).expect("ensured above").to_vec(),
+            profile: self.arena.profile_of(v).expect("ensured above").clone(),
+        })
+    }
+
+    /// Issues `q(v)` (cached) and returns the neighbor list **borrowed
+    /// from the arena** — the zero-allocation hot path.
+    pub fn query_neighbors(&mut self, v: NodeId) -> Result<&[NodeId]> {
+        self.ensure(v)?;
+        Ok(self.arena.neighbors_of(v).expect("ensured above"))
+    }
+
+    /// Issues `q(v)` (cached) and returns only the degree.
+    pub fn query_degree(&mut self, v: NodeId) -> Result<usize> {
+        self.ensure(v)?;
+        Ok(self.arena.degree_of(v).expect("ensured above"))
     }
 
     /// The paper's query cost: unique queries issued so far.
@@ -136,20 +265,20 @@ impl<I: SocialNetworkInterface> CachedClient<I> {
     /// Whether `v` has been queried (and thus its full neighborhood and
     /// degree are known locally).
     pub fn is_cached(&self, v: NodeId) -> bool {
-        self.slot(v).is_some()
+        self.arena.contains(v)
     }
 
     /// Number of users whose neighborhoods are cached.
     pub fn num_cached(&self) -> usize {
-        self.cached_count
+        self.arena.len()
     }
 
     /// Degree of `v` **if known from history** — the Theorem 5 `N*`
     /// lookup. Free: no request is issued. A cached neighborhood wins over
     /// a remembered degree hint.
     pub fn known_degree(&self, v: NodeId) -> Option<usize> {
-        match self.slot(v) {
-            Some(r) => Some(r.neighbors.len()),
+        match self.arena.degree_of(v) {
+            Some(d) => Some(d),
             None => self.degree_hints.get(&v).copied(),
         }
     }
@@ -158,28 +287,57 @@ impl<I: SocialNetworkInterface> CachedClient<I> {
     /// the Section III-D "local database" entry an older crawl may have
     /// left behind. A no-op when the full response is already cached.
     pub fn remember_degree(&mut self, v: NodeId, degree: usize) {
-        if self.slot(v).is_none() {
+        if !self.arena.contains(v) {
             self.degree_hints.insert(v, degree);
         }
     }
 
-    /// Cached response for `v`, if any (free).
-    pub fn cached(&self, v: NodeId) -> Option<&QueryResponse> {
-        self.slot(v)
+    /// Cached neighbor list of `v`, borrowed from the arena (free).
+    #[inline]
+    pub fn neighbors_of(&self, v: NodeId) -> Option<&[NodeId]> {
+        self.arena.neighbors_of(v)
+    }
+
+    /// Cached profile of `v`, borrowed from the arena (free).
+    #[inline]
+    pub fn profile_of(&self, v: NodeId) -> Option<&UserProfile> {
+        self.arena.profile_of(v)
+    }
+
+    /// Cached response for `v`, if any, materialized from the arena
+    /// (free of queries, but allocates; prefer
+    /// [`CachedClient::neighbors_of`] on hot paths).
+    pub fn cached(&self, v: NodeId) -> Option<QueryResponse> {
+        Some(QueryResponse {
+            user: v,
+            neighbors: self.arena.neighbors_of(v)?.to_vec(),
+            profile: self.arena.profile_of(v)?.clone(),
+        })
     }
 
     /// Nodes whose neighborhoods are known, ascending id.
     pub fn cached_nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        self.slots
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.is_some())
-            .map(|(i, _)| NodeId::from_index(i))
+        self.arena.nodes()
+    }
+
+    /// Read access to the flat neighborhood store.
+    pub fn arena(&self) -> &NeighborArena {
+        &self.arena
     }
 
     /// Exports everything learned so far (see [`CacheSnapshot`]).
+    /// Responses are built straight from the arena spans — no
+    /// intermediate response clone.
     pub fn export_snapshot(&self) -> CacheSnapshot {
-        let responses: Vec<QueryResponse> = self.slots.iter().flatten().cloned().collect();
+        let responses: Vec<QueryResponse> = self
+            .arena
+            .nodes()
+            .map(|v| QueryResponse {
+                user: v,
+                neighbors: self.arena.neighbors_of(v).expect("enumerated node").to_vec(),
+                profile: self.arena.profile_of(v).expect("enumerated node").clone(),
+            })
+            .collect();
         let mut degree_hints: Vec<(NodeId, usize)> =
             self.degree_hints.iter().map(|(&v, &d)| (v, d)).collect();
         degree_hints.sort_unstable_by_key(|&(v, _)| v);
@@ -198,7 +356,7 @@ impl<I: SocialNetworkInterface> CachedClient<I> {
     /// Use [`CachedClient::restore_counters`] to also resume the bill.
     pub fn import_entries(&mut self, snapshot: &CacheSnapshot) {
         for r in &snapshot.responses {
-            self.insert_response(r.user, r.clone());
+            self.arena.insert(r.user, &r.neighbors, r.profile.clone());
         }
         for &(v, d) in &snapshot.degree_hints {
             self.remember_degree(v, d);
@@ -278,6 +436,28 @@ mod tests {
     }
 
     #[test]
+    fn borrowing_accessors_match_the_owned_response() {
+        let mut c = client();
+        let owned = c.query(NodeId(3)).unwrap();
+        assert_eq!(c.neighbors_of(NodeId(3)).unwrap(), owned.neighbors.as_slice());
+        assert_eq!(c.profile_of(NodeId(3)).unwrap(), &owned.profile);
+        assert_eq!(c.query_degree(NodeId(3)).unwrap(), owned.degree());
+        assert_eq!(c.query_neighbors(NodeId(3)).unwrap(), owned.neighbors.as_slice());
+        assert_eq!(c.neighbors_of(NodeId(4)), None, "unqueried node stays unknown");
+    }
+
+    #[test]
+    fn query_shapes_share_one_lookup_accounting() {
+        let mut c = client();
+        c.query(NodeId(0)).unwrap();
+        c.query_neighbors(NodeId(0)).unwrap();
+        c.query_degree(NodeId(0)).unwrap();
+        c.query_degree(NodeId(1)).unwrap();
+        assert_eq!(c.unique_queries(), 2);
+        assert_eq!(c.total_lookups(), 4, "each accessor shape bills one lookup");
+    }
+
+    #[test]
     fn unknown_user_error_propagates() {
         let mut c = client();
         assert!(c.query(NodeId(404)).is_err());
@@ -307,7 +487,7 @@ mod tests {
         c.query(NodeId(7)).unwrap();
         c.query(NodeId(2)).unwrap();
         let nodes: Vec<u32> = c.cached_nodes().map(|n| n.0).collect();
-        assert_eq!(nodes, vec![2, 7], "slot map yields ascending ids");
+        assert_eq!(nodes, vec![2, 7], "span table yields ascending ids");
     }
 
     #[test]
@@ -317,7 +497,25 @@ mod tests {
         c.query(NodeId(0)).unwrap();
         assert_eq!(c.num_cached(), 2);
         assert!(c.is_cached(NodeId(21)) && c.is_cached(NodeId(0)));
-        assert!(!c.is_cached(NodeId(10)), "hole in the slot map stays empty");
+        assert!(!c.is_cached(NodeId(10)), "hole in the span table stays empty");
+    }
+
+    #[test]
+    fn arena_reinsert_in_place_and_append() {
+        let mut arena = NeighborArena::new();
+        let p = UserProfile { age: 30, self_description_len: 0, num_posts: 0, is_public: true };
+        arena.insert(NodeId(0), &[NodeId(1), NodeId(2), NodeId(3)], p.clone());
+        let base = arena.data_len();
+        // Shorter replacement reuses the span: no arena growth.
+        arena.insert(NodeId(0), &[NodeId(4)], p.clone());
+        assert_eq!(arena.neighbors_of(NodeId(0)).unwrap(), &[NodeId(4)]);
+        assert_eq!(arena.data_len(), base, "in-place overwrite does not grow the arena");
+        assert_eq!(arena.len(), 1);
+        // Longer replacement appends; the old span is leaked but visible.
+        arena.insert(NodeId(0), &[NodeId(5); 7], p);
+        assert_eq!(arena.neighbors_of(NodeId(0)).unwrap().len(), 7);
+        assert_eq!(arena.data_len(), base + 7);
+        assert_eq!(arena.len(), 1, "still one cached node");
     }
 
     #[test]

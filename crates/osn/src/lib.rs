@@ -47,7 +47,7 @@ pub mod profile;
 pub mod rate_limit;
 pub mod service;
 
-pub use cache::{CacheSnapshot, CachedClient};
+pub use cache::{CacheSnapshot, CachedClient, NeighborArena};
 pub use client::{QueryClient, SharedClient};
 pub use clock::VirtualClock;
 pub use error::{OsnError, Result};

@@ -236,8 +236,9 @@ fn parse_flag_or(v: Option<&str>, default: bool) -> std::result::Result<bool, St
 /// so the session can reach algorithm-specific state: the MTO overlay for
 /// snapshots and the rewiring counters for aggregation.
 pub enum SessionWalker<I: SocialNetworkInterface> {
-    /// MTO-Sampler.
-    Mto(MtoSampler<SharedClient<I>>),
+    /// MTO-Sampler. Boxed: the sampler carries its scratch buffers
+    /// inline, dwarfing the other variants.
+    Mto(Box<MtoSampler<SharedClient<I>>>),
     /// Simple random walk.
     Srw(SimpleRandomWalk<SharedClient<I>>),
     /// Metropolis–Hastings.
@@ -249,7 +250,9 @@ pub enum SessionWalker<I: SocialNetworkInterface> {
 impl<I: SocialNetworkInterface> SessionWalker<I> {
     fn build(client: SharedClient<I>, spec: &JobSpec) -> Result<Self> {
         Ok(match spec.algo {
-            AlgoSpec::Mto(cfg) => SessionWalker::Mto(MtoSampler::new(client, spec.start, cfg)?),
+            AlgoSpec::Mto(cfg) => {
+                SessionWalker::Mto(Box::new(MtoSampler::new(client, spec.start, cfg)?))
+            }
             AlgoSpec::Srw(cfg) => {
                 SessionWalker::Srw(SimpleRandomWalk::new(client, spec.start, cfg)?)
             }

@@ -1,0 +1,116 @@
+//! Determinism regression witnesses for the hot-path rework (ISSUE 6).
+//!
+//! The CSR neighborhood arena, the zero-alloc overlay views, and the
+//! batched RNG may not move a single sample: every walker remains a pure
+//! function of `(config, seed, responses)`, and the RNG stream must stay
+//! bit-identical to call-by-call draws. These tests pin end-to-end run
+//! digests — walk history, estimate bits, rewiring counters, and the
+//! unique-query bill — captured on the pre-arena implementation (the
+//! PR 5 tree). If any hot-path change shifts a draw, a neighbor order,
+//! or an estimate ULP, the digest moves and this fails loudly.
+
+use mto_core::mto::{MtoConfig, MtoSampler};
+use mto_core::walk::{RandomJumpWalk, RjConfig, SimpleRandomWalk, SrwConfig, Walker};
+use mto_experiments::{build_dataset, DatasetSpec};
+use mto_graph::NodeId;
+use mto_osn::{CachedClient, OsnService, QueryClient};
+
+/// FNV-1a 64 over a byte stream (same constants as the serve codec).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x1_0000_01b3);
+    }
+    hash
+}
+
+/// Digests one finished walk: every visited node, the self-normalized
+/// average-degree estimate's exact bits, and the unique-query bill.
+fn digest_run<W: Walker>(w: &mut W, degrees: &[usize], unique_queries: u64) -> u64 {
+    let history = w.history().to_vec();
+    assert_eq!(history.len(), degrees.len());
+    let (mut num, mut den) = (0.0f64, 0.0f64);
+    let mut bytes = Vec::new();
+    for (&v, &deg) in history.iter().zip(degrees) {
+        bytes.extend_from_slice(&v.0.to_le_bytes());
+        let weight = w.importance_weight(v).expect("visited node is cached");
+        num += weight * deg as f64;
+        den += weight;
+    }
+    let est = num / den;
+    bytes.extend_from_slice(&est.to_bits().to_le_bytes());
+    bytes.extend_from_slice(&unique_queries.to_le_bytes());
+    fnv1a64(&bytes)
+}
+
+/// True degrees of every visited node, read from the walker's own cache.
+fn visited_degrees<W: Walker, C: QueryClient>(w: &W, client: &C) -> Vec<usize> {
+    w.history().iter().map(|&v| client.known_degree(v).expect("visited node is cached")).collect()
+}
+
+fn epinions_standin() -> mto_graph::Graph {
+    build_dataset(&DatasetSpec::epinions().scaled_down(40))
+}
+
+#[test]
+fn mto_run_digest_is_frozen() {
+    let graph = epinions_standin();
+    let mut s = MtoSampler::new(
+        CachedClient::new(OsnService::with_defaults(&graph)),
+        NodeId(0),
+        MtoConfig { seed: 0xD16E57, ..Default::default() },
+    )
+    .unwrap();
+    for _ in 0..4_000 {
+        s.step().unwrap();
+    }
+    let stats = s.stats();
+    let unique = s.client().unique_queries();
+    let degrees = visited_degrees(&s, s.client());
+    let mut digest = digest_run(&mut s, &degrees, unique);
+    // Fold the rewiring counters in too: the overlay trajectory is part
+    // of the witness, not just the walk.
+    let mut tail = Vec::new();
+    tail.extend_from_slice(&digest.to_le_bytes());
+    tail.extend_from_slice(&stats.removals.to_le_bytes());
+    tail.extend_from_slice(&stats.replacements.to_le_bytes());
+    digest = fnv1a64(&tail);
+    assert_eq!(digest, 0xf99e_606b_e21e_b1d6, "MTO end-to-end digest moved: got {digest:#018x}");
+}
+
+#[test]
+fn srw_run_digest_is_frozen() {
+    let graph = epinions_standin();
+    let mut w = SimpleRandomWalk::new(
+        CachedClient::new(OsnService::with_defaults(&graph)),
+        NodeId(0),
+        SrwConfig { seed: 0xD16E57, lazy: true },
+    )
+    .unwrap();
+    for _ in 0..4_000 {
+        w.step().unwrap();
+    }
+    let unique = w.client().unique_queries();
+    let degrees = visited_degrees(&w, w.client());
+    let digest = digest_run(&mut w, &degrees, unique);
+    assert_eq!(digest, 0xd7de_8ae2_4cc5_a545, "SRW end-to-end digest moved: got {digest:#018x}");
+}
+
+#[test]
+fn rj_run_digest_is_frozen() {
+    let graph = epinions_standin();
+    let mut w = RandomJumpWalk::new(
+        CachedClient::new(OsnService::with_defaults(&graph)),
+        NodeId(0),
+        RjConfig { seed: 0xD16E57, ..Default::default() },
+    )
+    .unwrap();
+    for _ in 0..4_000 {
+        w.step().unwrap();
+    }
+    let unique = w.client().unique_queries();
+    let degrees = visited_degrees(&w, w.client());
+    let digest = digest_run(&mut w, &degrees, unique);
+    assert_eq!(digest, 0x2cf8_db71_c6ec_092a, "RJ end-to-end digest moved: got {digest:#018x}");
+}
