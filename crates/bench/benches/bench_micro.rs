@@ -404,6 +404,73 @@ fn bench_qos(c: &mut Criterion) {
     group.finish();
 }
 
+/// The observability primitives, one at a time: what a single counter
+/// bump, histogram record, span enter/exit, and disabled-sink check
+/// cost. These are the per-event prices behind the BENCH_7 claim that
+/// instrumentation is hot-path-safe.
+fn bench_obs(c: &mut Criterion) {
+    use mto_obs::{Histogram, MetricsRegistry, TraceSink};
+
+    let mut group = c.benchmark_group("micro/obs");
+    group.sample_size(50);
+    group.measurement_time(Duration::from_secs(2));
+    const OPS: usize = 1_024;
+    group.throughput(Throughput::Elements(OPS as u64));
+
+    group.bench_function("counter-bump-1k", |b| {
+        let mut reg = MetricsRegistry::new();
+        b.iter(|| {
+            for i in 0..OPS as u64 {
+                reg.inc("steps", i & 7);
+            }
+            std::hint::black_box(reg.counter("steps"))
+        })
+    });
+
+    group.bench_function("histogram-record-1k", |b| {
+        let mut hist = Histogram::new();
+        b.iter(|| {
+            for i in 0..OPS as u64 {
+                hist.record(i.wrapping_mul(2_654_435_761) & 0xFFFF);
+            }
+            std::hint::black_box(hist.count())
+        })
+    });
+
+    // Span pairs on a fresh sink each iteration: the sink grows by one
+    // record per event, so reuse across iterations would measure a
+    // reallocating Vec, not the enter/exit path.
+    group.bench_function("span-enter-exit-1k", |b| {
+        b.iter(|| {
+            let mut sink = TraceSink::new();
+            for i in 0..(OPS as u64 / 2) {
+                sink.enter(i, "span");
+                sink.exit(i, 1);
+            }
+            std::hint::black_box(sink.len())
+        })
+    });
+
+    // The disabled configuration every hot path actually runs: an
+    // `Option<&mut TraceSink>` that is `None`, checked per event.
+    group.bench_function("no-op-sink-1k", |b| {
+        let mut sink: Option<TraceSink> = None;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..OPS as u64 {
+                if let Some(s) = sink.as_mut() {
+                    s.point(i, "step", i);
+                } else {
+                    acc = acc.wrapping_add(i);
+                }
+            }
+            std::hint::black_box(acc)
+        })
+    });
+
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_walk_steps,
@@ -413,6 +480,7 @@ criterion_group!(
     bench_merge,
     bench_pipeline,
     bench_qos,
+    bench_obs,
     bench_spectral
 );
 criterion_main!(benches);

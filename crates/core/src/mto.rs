@@ -149,6 +149,51 @@ impl std::ops::AddAssign for RewireStats {
     }
 }
 
+/// Always-on hot-path probe: Theorem 3/5 criterion scan effort.
+///
+/// Kept outside [`RewireStats`] so the session-snapshot codec (which
+/// persists and replay-checks the rewiring counters) is untouched: the
+/// probe is derived telemetry, recomputed for free by any replay. The
+/// per-scan cost is three integer updates — cheap enough to leave on in
+/// the hottest path (the `micro/obs` bench group and the `BENCH_7.json`
+/// instrumented-vs-disabled comparison keep that claim honest).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanProbe {
+    /// Criterion evaluations (one per candidate edge checked).
+    pub criterion_scans: u64,
+    /// Total neighbor-list entries walked by those evaluations — the
+    /// "eligibility-scan length" bill of the sorted-list intersections.
+    pub criterion_scanned: u64,
+    /// Longest single scan (`|N(u)| + |N(v)|` of the worst edge).
+    pub max_scan: u64,
+}
+
+impl ScanProbe {
+    /// Records one criterion evaluation that walked `scanned` entries.
+    #[inline]
+    fn record(&mut self, scanned: u64) {
+        self.criterion_scans += 1;
+        self.criterion_scanned += scanned;
+        self.max_scan = self.max_scan.max(scanned);
+    }
+
+    /// Mean entries walked per criterion evaluation.
+    pub fn mean_scan(&self) -> f64 {
+        if self.criterion_scans == 0 {
+            return 0.0;
+        }
+        self.criterion_scanned as f64 / self.criterion_scans as f64
+    }
+}
+
+impl std::ops::AddAssign for ScanProbe {
+    fn add_assign(&mut self, rhs: ScanProbe) {
+        self.criterion_scans += rhs.criterion_scans;
+        self.criterion_scanned += rhs.criterion_scanned;
+        self.max_scan = self.max_scan.max(rhs.max_scan);
+    }
+}
+
 /// The MTO sampler.
 pub struct MtoSampler<C> {
     client: C,
@@ -158,6 +203,7 @@ pub struct MtoSampler<C> {
     rng: RngBlock,
     history: Vec<NodeId>,
     stats: RewireStats,
+    probe: ScanProbe,
     weight_mode: OverlayDegreeMode,
     // Reusable scratch buffers: steady-state stepping fills these in place
     // instead of allocating fresh neighbor lists. Each is mem::take'n out
@@ -191,6 +237,7 @@ impl<C: QueryClient> MtoSampler<C> {
             rng: RngBlock::seed_from_u64(config.seed),
             history: vec![start],
             stats: RewireStats::default(),
+            probe: ScanProbe::default(),
             weight_mode: OverlayDegreeMode::Discovered,
             buf_u: Vec::new(),
             buf_v: Vec::new(),
@@ -230,6 +277,11 @@ impl<C: QueryClient> MtoSampler<C> {
     /// Rewiring counters.
     pub fn stats(&self) -> RewireStats {
         self.stats
+    }
+
+    /// Criterion scan-effort probe counters.
+    pub fn probe(&self) -> ScanProbe {
+        self.probe
     }
 
     /// The overlay delta accumulated so far.
@@ -321,11 +373,13 @@ impl<C: QueryClient> MtoSampler<C> {
         let mut na = std::mem::take(&mut self.buf_a);
         let mut nb = std::mem::take(&mut self.buf_b);
         let view = self.config.criterion_view;
-        let removable = {
+        let (removable, scanned) = {
             let sa = criterion_slice(&self.client, &self.overlay, view, a, &mut na);
             let sb = criterion_slice(&self.client, &self.overlay, view, b, &mut nb);
-            self.edge_is_removable(sa, sb)
+            let scanned = (sa.len() + sb.len()) as u64;
+            (self.edge_is_removable(sa, sb), scanned)
         };
+        self.probe.record(scanned);
         self.buf_a = na;
         self.buf_b = nb;
         Ok(removable)

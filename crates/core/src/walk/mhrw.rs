@@ -53,6 +53,16 @@ impl<C: QueryClient> MetropolisHastingsWalk<C> {
         })
     }
 
+    /// Proposals drawn so far (each cost a degree query).
+    pub fn proposals(&self) -> u64 {
+        self.proposed
+    }
+
+    /// Proposals rejected so far — the MH queries "wasted" on staying put.
+    pub fn rejections(&self) -> u64 {
+        self.proposed - self.accepted
+    }
+
     /// Fraction of proposals accepted so far.
     pub fn acceptance_rate(&self) -> f64 {
         if self.proposed == 0 {

@@ -17,7 +17,11 @@
 //!   carries `budget N` and/or per-job `deadline=` fields — the QoS
 //!   surface: admission verdicts, the budget-ledger split/rebalance
 //!   accounting, and per-job `deadline-met` flags (`policy edf`
-//!   schedules quanta earliest-deadline-first).
+//!   schedules quanta earliest-deadline-first). A `metrics` directive
+//!   appends the mto-obs summary (shard-invariant `metric` lines plus
+//!   `timing` lines), and `trace FILE` writes the deterministic
+//!   `mto-trace/v1` span/point record — feed it to `trace2flame` for a
+//!   collapsed-stack profile over virtual time.
 //! * `snapshot` runs the request's **first** job for `--at` steps as a
 //!   [`SamplerSession`], then freezes it (network spec included) to
 //!   `--to`. Fleet directives (`shards` / `epochs`) describe a whole
@@ -38,6 +42,7 @@ use std::sync::Arc;
 use mto_core::walk::Walker;
 use mto_fleet::{FleetConfig, FleetCoordinator, FleetReport};
 use mto_net::TimedInterface;
+use mto_obs::{encode_trace, percent, TraceSink};
 use mto_osn::{CachedClient, OsnService, SharedClient, SocialNetworkInterface, VirtualClock};
 use mto_serve::error::ServeError;
 use mto_serve::history::HistoryStore;
@@ -219,7 +224,7 @@ fn run_scheduler(
     prior: Option<HistoryStore>,
 ) -> Result<(String, HistoryStore), ServeError> {
     let service = OsnService::with_defaults(&request.network.build());
-    let (report, store) = match request.provider {
+    let (report, store, obs) = match request.provider {
         Some(profile) => {
             let timed = TimedInterface::new(service, profile, 0x5EED);
             let clock = timed.clock().clone();
@@ -227,7 +232,26 @@ fn run_scheduler(
         }
         None => execute(service, request, prior, None)?,
     };
-    Ok((render_report(request, &report), store))
+    let mut body = render_report(request, &report);
+    if request.metrics {
+        render_scheduler_metrics(&mut body, &report, &obs);
+    }
+    if let Some(path) = &request.trace {
+        write_trace(path, &scheduler_trace(&report, &obs.quanta))?;
+    }
+    Ok((body, store))
+}
+
+/// Client counters and planner quanta the single-client path surfaces
+/// in its metrics/trace output (the fleet path reads the equivalents
+/// out of its coordinator's merged registry).
+struct SchedulerObs {
+    quanta: Vec<usize>,
+    unique_queries: u64,
+    total_lookups: u64,
+    transient_retries: u64,
+    arena_rewrites_in_place: u64,
+    arena_leaked_ids: u64,
 }
 
 /// Builds the scheduler (cold or warm-started), runs the jobs, and
@@ -238,7 +262,7 @@ fn execute<I: SocialNetworkInterface + Send + Sync>(
     request: &ServeRequest,
     prior: Option<HistoryStore>,
     clock: Option<VirtualClock>,
-) -> Result<(ServeReport, HistoryStore), ServeError> {
+) -> Result<(ServeReport, HistoryStore, SchedulerObs), ServeError> {
     let mut scheduler = match &prior {
         Some(store) => JobScheduler::warm_start(service, store, request.scheduler)?,
         None => JobScheduler::new(service, request.scheduler),
@@ -246,9 +270,97 @@ fn execute<I: SocialNetworkInterface + Send + Sync>(
     if let Some(clock) = clock {
         scheduler = scheduler.with_virtual_clock(clock);
     }
+    let quanta = scheduler.planned_quanta(&request.jobs);
     let report = scheduler.run(request.jobs.clone())?;
-    let store = scheduler.client().with(|c| HistoryStore::from_client(c));
-    Ok((report, store))
+    let (store, obs) = scheduler.client().with(|c| {
+        (
+            HistoryStore::from_client(c),
+            SchedulerObs {
+                quanta,
+                unique_queries: c.unique_queries(),
+                total_lookups: c.total_lookups(),
+                transient_retries: c.transient_retries(),
+                arena_rewrites_in_place: c.arena().rewrites_in_place(),
+                arena_leaked_ids: c.arena().leaked_ids(),
+            },
+        )
+    });
+    Ok((report, store, obs))
+}
+
+/// Encodes `trace` as `mto-trace/v1` to `path`, noting the write on
+/// stderr so report bodies (and their CI diffs) stay unchanged.
+fn write_trace(path: &Path, trace: &TraceSink) -> Result<(), ServeError> {
+    std::fs::write(path, encode_trace(trace))?;
+    eprintln!("wrote trace ({} events) to {}", trace.len(), path.display());
+    Ok(())
+}
+
+/// The single-client path has no epoch clock, so its trace is a flat
+/// plan→run record at `t = 0`: one point per planned quantum, one span
+/// per job weighted by the steps it actually took. Deterministic for
+/// the same reason the report body is.
+fn scheduler_trace(report: &ServeReport, quanta: &[usize]) -> TraceSink {
+    let mut sink = TraceSink::new();
+    sink.enter(0, "serve");
+    for (o, q) in report.outcomes.iter().zip(quanta) {
+        sink.point(0, &format!("quantum-{}", o.id), *q as u64);
+    }
+    for o in &report.outcomes {
+        sink.enter(0, &format!("job-{}", o.id));
+        sink.exit(0, o.steps as u64);
+    }
+    sink.exit(0, 0);
+    sink
+}
+
+/// Walker-internal telemetry summed over outcomes: Metropolis–Hastings
+/// proposal/rejection counts and Theorem-3 criterion-scan lengths. All
+/// deterministic-plane figures (walkers are pure functions of their
+/// configs and the network's responses).
+fn render_walker_metrics(out: &mut String, outcomes: &[JobOutcome]) {
+    use std::fmt::Write;
+    let (mut proposals, mut rejections) = (0u64, 0u64);
+    let (mut scans, mut scanned, mut max_scan) = (0u64, 0u64, 0u64);
+    for o in outcomes {
+        if let Some((p, r)) = o.mh {
+            proposals += p;
+            rejections += r;
+        }
+        if let Some(s) = o.scan {
+            scans += s.criterion_scans;
+            scanned += s.criterion_scanned;
+            max_scan = max_scan.max(s.max_scan);
+        }
+    }
+    writeln!(out, "metric mh-proposals {proposals}").expect("string write");
+    writeln!(out, "metric mh-rejections {rejections}").expect("string write");
+    writeln!(out, "metric criterion-scans {scans}").expect("string write");
+    writeln!(out, "metric criterion-scanned {scanned}").expect("string write");
+    writeln!(out, "metric max-scan-len {max_scan}").expect("string write");
+}
+
+/// Metrics summary of a single-client run (`metrics` directive). One
+/// client means one plane: every line is deterministic.
+fn render_scheduler_metrics(out: &mut String, report: &ServeReport, obs: &SchedulerObs) {
+    use std::fmt::Write;
+    let steps: u64 = report.outcomes.iter().map(|o| o.steps as u64).sum();
+    writeln!(out, "# metrics").expect("string write");
+    writeln!(out, "metric jobs {}", report.outcomes.len()).expect("string write");
+    writeln!(out, "metric walk-steps {steps}").expect("string write");
+    writeln!(out, "metric unique-queries {}", obs.unique_queries).expect("string write");
+    writeln!(out, "metric total-lookups {}", obs.total_lookups).expect("string write");
+    writeln!(
+        out,
+        "metric cache-hit-rate {}",
+        percent(obs.total_lookups.saturating_sub(obs.unique_queries), obs.total_lookups)
+    )
+    .expect("string write");
+    writeln!(out, "metric transient-retries {}", obs.transient_retries).expect("string write");
+    writeln!(out, "metric arena-rewrites-in-place {}", obs.arena_rewrites_in_place)
+        .expect("string write");
+    writeln!(out, "metric arena-leaked-ids {}", obs.arena_leaked_ids).expect("string write");
+    render_walker_metrics(out, &report.outcomes);
 }
 
 /// The fleet path: jobs sharded across `W` workers with epoch-barrier
@@ -272,6 +384,7 @@ fn run_fleet(
         provider: request.provider,
         policy: request.scheduler.policy,
         fleet_budget: request.scheduler.global_query_budget,
+        obs: request.trace.is_some() || request.metrics,
         ..Default::default()
     };
     let mut fleet = FleetCoordinator::new(move |_| service.clone(), config);
@@ -279,9 +392,75 @@ fn run_fleet(
         fleet = fleet.with_warm_start(store);
     }
     let report = fleet.run(request.jobs.clone())?;
-    let body = render_fleet_report(request, &report, epoch_quantum);
+    let mut body = render_fleet_report(request, &report, epoch_quantum);
+    if request.metrics {
+        render_fleet_metrics(&mut body, request, &report);
+    }
+    if let Some(path) = &request.trace {
+        let fallback = TraceSink::new();
+        write_trace(path, report.obs.as_ref().map_or(&fallback, |o| &o.trace))?;
+    }
     let store = report.union_store;
     Ok((body, store))
+}
+
+/// Metrics summary of a fleet run (`metrics` directive), in two planes:
+/// `metric` lines are shard-invariant — byte-identical at every `W`
+/// (the obs-smoke CI job diffs them) — while `timing` lines carry the
+/// figures sharding legitimately changes: bills, queue waits, gossip
+/// yield, per-job finish instants.
+fn render_fleet_metrics(out: &mut String, request: &ServeRequest, report: &FleetReport) {
+    use std::fmt::Write;
+    let Some(obs) = &report.obs else { return };
+    let reg = &obs.registry;
+    writeln!(out, "# metrics (shard-invariant)").expect("string write");
+    writeln!(out, "metric jobs {}", report.outcomes.len()).expect("string write");
+    writeln!(out, "metric epochs {}", report.epochs.len()).expect("string write");
+    writeln!(out, "metric walk-steps {}", reg.counter("walk-steps")).expect("string write");
+    // The shard-invariant cache accounting: `unique-queries` is the
+    // *union* of what the fleet learned (gossip makes it W-invariant),
+    // `total-lookups` is the sum of every walker's fetch calls (each
+    // walk is deterministic). The W-dependent bill — what the shards
+    // actually re-paid — is `timing fleet-bill-unique-queries` below.
+    let unique = reg.counter("unique-nodes-crawled");
+    let lookups = reg.counter("total-lookups");
+    writeln!(out, "metric unique-queries {unique}").expect("string write");
+    writeln!(out, "metric total-lookups {lookups}").expect("string write");
+    writeln!(out, "metric cache-hit-rate {}", percent(lookups.saturating_sub(unique), lookups))
+        .expect("string write");
+    render_walker_metrics(out, &report.outcomes);
+    writeln!(out, "# timing (varies with shard count)").expect("string write");
+    writeln!(out, "timing fleet-bill-unique-queries {}", report.total_unique_queries)
+        .expect("string write");
+    writeln!(out, "timing gossip-adopted {}", report.gossip_adopted_responses)
+        .expect("string write");
+    writeln!(out, "timing merge-conflicts {}", report.merge_conflicts).expect("string write");
+    writeln!(out, "timing makespan-secs {:.3}", report.makespan_secs).expect("string write");
+    writeln!(out, "timing pipeline-completions {}", reg.counter("pipeline-completions"))
+        .expect("string write");
+    writeln!(out, "timing transient-retries {}", reg.counter("transient-retries"))
+        .expect("string write");
+    writeln!(out, "timing arena-rewrites-in-place {}", reg.counter("arena-rewrites-in-place"))
+        .expect("string write");
+    writeln!(out, "timing arena-leaked-ids {}", reg.counter("arena-leaked-ids"))
+        .expect("string write");
+    for name in ["queue-wait-us", "service-time-us"] {
+        if let Some(h) = reg.histogram(name) {
+            writeln!(out, "timing p50-{name} {}", h.p50()).expect("string write");
+            writeln!(out, "timing p99-{name} {}", h.p99()).expect("string write");
+        }
+    }
+    for (o, spec) in report.outcomes.iter().zip(&request.jobs) {
+        if let (Some(d), Some(t)) = (spec.deadline, o.finished_secs) {
+            writeln!(
+                out,
+                "timing deadline-slack job={} deadline={d:.3} finished-at={t:.3} slack-secs={:.3}",
+                o.id,
+                d - t
+            )
+            .expect("string write");
+        }
+    }
 }
 
 fn render_job_line(out: &mut String, o: &JobOutcome, deadline: Option<f64>) {
@@ -365,7 +544,16 @@ fn render_fleet_report(request: &ServeRequest, report: &FleetReport, quantum: us
     writeln!(out, "merge-conflicts {}", report.merge_conflicts).expect("string write");
     writeln!(out, "makespan-secs {:.3}", report.makespan_secs).expect("string write");
     if let Some(profile) = &request.provider {
-        writeln!(out, "provider {}", profile.name).expect("string write");
+        // The fleet line carries the pipeline's adaptation counters
+        // (summed over shards); the single-client line keeps its
+        // frozen `provider NAME virtual-secs T` shape — CI greps it.
+        let ps = &report.pipeline_stats;
+        writeln!(
+            out,
+            "provider {} ramp-ups={} ramp-downs={} latency-backoffs={} rate-limit-stalls={}",
+            profile.name, ps.ramp_ups, ps.ramp_downs, ps.latency_backoffs, ps.rate_limit_stalls
+        )
+        .expect("string write");
     }
     if let Some(ledger) = &report.ledger {
         // The ledger figures are shard-invariant: identical lines at

@@ -69,8 +69,11 @@ use mto_serve::history::HistoryStore;
 use mto_serve::scheduler::{finalize_session, JobOutcome, SchedulePolicy};
 use mto_serve::session::{JobSpec, SamplerSession, SessionState};
 
+use mto_net::PipelineStats;
+use mto_obs::MetricsRegistry;
+
 use crate::plan::ShardPlan;
-use crate::report::{EpochReport, FleetReport, LedgerSummary};
+use crate::report::{EpochReport, FleetObsData, FleetReport, LedgerSummary};
 
 /// The order in which per-shard stores are folded into the gossip
 /// union. Merge is keep-first, so the order could only matter when
@@ -120,6 +123,11 @@ pub struct FleetConfig {
     pub fleet_budget: Option<u64>,
     /// How admission treats predicted-unmeetable deadlines.
     pub deadline_policy: DeadlinePolicy,
+    /// Collect observability: per-shard metrics registries merged at
+    /// every epoch barrier, pipeline queue-wait/service-time histograms,
+    /// and the deterministic `mto-trace/v1` trace. Off by default — the
+    /// disabled configuration adds no work to the epoch loop.
+    pub obs: bool,
 }
 
 impl Default for FleetConfig {
@@ -136,8 +144,16 @@ impl Default for FleetConfig {
             policy: SchedulePolicy::RoundRobin,
             fleet_budget: None,
             deadline_policy: DeadlinePolicy::Optimistic,
+            obs: false,
         }
     }
+}
+
+/// The trace stamp of epoch `e`: the epoch ordinal is the finest
+/// shard-invariant clock the lockstep fleet has, scaled so the timeline
+/// reads as one virtual second per epoch.
+fn epoch_t_us(epoch: usize) -> u64 {
+    (epoch as u64).saturating_mul(1_000_000)
 }
 
 impl FleetConfig {
@@ -313,6 +329,34 @@ where
         });
         let budgeted = ledger.is_some();
 
+        // ── Observability. Every trace event below is emitted from this
+        // serial control path, stamped with epoch-ordinal virtual time,
+        // and derived from shard-invariant state only (grants, demand,
+        // ledger moves, step counts) — so encoded traces are
+        // byte-identical across shard counts. The registry additionally
+        // absorbs timing-plane figures (queue-wait/service-time
+        // histograms, gossip savings) that legitimately vary with `W`.
+        let mut obs = if self.config.obs { Some(FleetObsData::default()) } else { None };
+        if let Some(obs) = obs.as_mut() {
+            for d in &decisions {
+                obs.trace.point(
+                    0,
+                    &format!("admission-{}-{}", d.id, d.verdict.name()),
+                    d.predicted_queries,
+                );
+            }
+            if let Some(ledger) = ledger.as_ref() {
+                obs.trace.point(0, "ledger-split", ledger.total());
+                for (account, &orig) in admitted.iter().enumerate() {
+                    obs.trace.point(
+                        0,
+                        &format!("ledger-allowance-{}", jobs[orig].id),
+                        ledger.account(account).allowance,
+                    );
+                }
+            }
+        }
+
         let plan = ShardPlan::round_robin(admitted.len(), self.config.shards);
         let quantum = self.config.epoch_quantum.max(1);
         let planner = PlannerConfig { quantum, ..Default::default() };
@@ -328,11 +372,14 @@ where
                     Some(store) => SharedClient::new(store.warm_start(inner)?),
                     None => SharedClient::new(CachedClient::new(inner)),
                 };
-                let pipeline = QueryPipeline::with_clock(
+                let mut pipeline = QueryPipeline::with_clock(
                     (self.factory)(s),
                     self.config.pipeline_config(s),
                     VirtualClock::new(),
                 );
+                if self.config.obs {
+                    pipeline.enable_obs();
+                }
                 let mut slots = Vec::with_capacity(positions.len());
                 for &account in positions {
                     let orig = admitted[account];
@@ -365,11 +412,23 @@ where
             for &(s, pos) in &slot_of_account {
                 let slot = &mut shards[s].slots[pos];
                 let demand = slot.demand.len() as u64;
+                if let Some(obs) = obs.as_mut() {
+                    if demand > 0 {
+                        obs.trace.point(
+                            0,
+                            &format!("ledger-charge-{}", slot.session.spec().id),
+                            demand,
+                        );
+                    }
+                }
                 if ledger.charge(slot.account, demand)
                     && slot.session.state() != SessionState::Completed
                 {
                     slot.suspended = true;
                     slot.session.pause();
+                    if let Some(obs) = obs.as_mut() {
+                        obs.trace.point(0, &format!("suspend-{}", slot.session.spec().id), demand);
+                    }
                 }
             }
         }
@@ -416,6 +475,13 @@ where
                     if slot.suspended && !slot.done() {
                         slot.cut = true;
                         slot.finished_secs = Some(cut_at);
+                        if let Some(obs) = obs.as_mut() {
+                            obs.trace.point(
+                                epoch_t_us(epoch),
+                                &format!("cut-{}", slot.session.spec().id),
+                                slot.session.steps_taken() as u64,
+                            );
+                        }
                     }
                 }
                 break;
@@ -427,6 +493,38 @@ where
                 }
             }
 
+            let mut steps_before: Vec<usize> = Vec::new();
+            let mut epoch_steps = 0u64;
+            if let Some(obs) = obs.as_mut() {
+                let t = epoch_t_us(epoch);
+                obs.trace.enter(t, &format!("epoch-{epoch}"));
+                for (account, job) in live.iter().enumerate() {
+                    if grants[account] == 0 {
+                        continue;
+                    }
+                    let (s, pos) = slot_of_account[account];
+                    let id = &shards[s].slots[pos].session.spec().id;
+                    obs.trace.point(t, &format!("grant-{id}"), grants[account] as u64);
+                    // An EDF aging promotion is visible in the plan's own
+                    // inputs: a job starved past the threshold that got a
+                    // grant this epoch was promoted ahead of every
+                    // deadline.
+                    if self.config.policy == SchedulePolicy::EarliestDeadlineFirst
+                        && job.starved_epochs >= planner.aging_epochs
+                    {
+                        obs.trace.point(
+                            t,
+                            &format!("aging-promotion-{id}"),
+                            u64::from(job.starved_epochs),
+                        );
+                    }
+                }
+                steps_before = slot_of_account
+                    .iter()
+                    .map(|&(s, pos)| shards[s].slots[pos].session.steps_taken())
+                    .collect();
+            }
+
             std::thread::scope(|scope| {
                 for shard in shards.iter_mut() {
                     let grants = &grants;
@@ -436,6 +534,36 @@ where
             for shard in &mut shards {
                 if let Some(e) = shard.error.take() {
                     return Err(e);
+                }
+            }
+
+            if let Some(obs) = obs.as_mut() {
+                let t = epoch_t_us(epoch);
+                // One span per job that ran, nested under the epoch span,
+                // weighted by the steps it actually took — the virtual
+                // work `trace2flame` folds into `epoch-N;job-id` rows.
+                for (account, &(s, pos)) in slot_of_account.iter().enumerate() {
+                    let slot = &shards[s].slots[pos];
+                    let delta = (slot.session.steps_taken() - steps_before[account]) as u64;
+                    if delta > 0 {
+                        epoch_steps += delta;
+                        obs.trace.enter(t, &format!("job-{}", slot.session.spec().id));
+                        obs.trace.exit(t, delta);
+                    }
+                }
+                // Per-shard epoch registries folded into the fleet
+                // registry at the barrier — the metrics analogue of the
+                // history gossip (merge is associative and commutative,
+                // so the fold order cannot matter).
+                for shard in shards.iter_mut() {
+                    let mut shard_reg = MetricsRegistry::new();
+                    if let Some(po) = shard.pipeline.take_obs() {
+                        shard_reg.inc("pipeline-completions", po.service_time_us.count());
+                        shard_reg.merge_histogram("queue-wait-us", &po.queue_wait_us);
+                        shard_reg.merge_histogram("service-time-us", &po.service_time_us);
+                        shard.pipeline.enable_obs();
+                    }
+                    obs.registry.merge(&shard_reg);
                 }
             }
 
@@ -467,15 +595,39 @@ where
                         demand.saturating_sub(demand_before),
                     );
                     slot.steps_seen = steps_now;
+                    if let Some(obs) = obs.as_mut() {
+                        let charged = demand.saturating_sub(demand_before);
+                        if charged > 0 {
+                            obs.trace.point(
+                                epoch_t_us(epoch),
+                                &format!("ledger-charge-{}", slot.session.spec().id),
+                                charged,
+                            );
+                        }
+                    }
                     if slot.session.state() == SessionState::Completed {
                         if !released[slot.account] {
                             released[slot.account] = true;
                             finished.push(slot.account);
                             slot.finished_secs.get_or_insert(now_secs);
+                            if let Some(obs) = obs.as_mut() {
+                                obs.trace.point(
+                                    epoch_t_us(epoch),
+                                    &format!("finish-{}", slot.session.spec().id),
+                                    steps_now as u64,
+                                );
+                            }
                         }
                     } else if exhausted && !slot.suspended {
                         slot.suspended = true;
                         slot.session.pause();
+                        if let Some(obs) = obs.as_mut() {
+                            obs.trace.point(
+                                epoch_t_us(epoch),
+                                &format!("suspend-{}", slot.session.spec().id),
+                                demand,
+                            );
+                        }
                     }
                     if slot.suspended && !slot.cut {
                         // Claim what the rest of the walk is predicted to
@@ -500,6 +652,14 @@ where
                 report.ledger_granted = outcome.granted;
                 total_reclaimed += outcome.reclaimed;
                 total_granted += outcome.granted;
+                if let Some(obs) = obs.as_mut() {
+                    if outcome.reclaimed > 0 {
+                        obs.trace.point(epoch_t_us(epoch), "ledger-reclaimed", outcome.reclaimed);
+                    }
+                    if outcome.granted > 0 {
+                        obs.trace.point(epoch_t_us(epoch), "ledger-granted", outcome.granted);
+                    }
+                }
                 // Re-granted slices resume their jobs.
                 for &(account, _) in &claims {
                     let (s, pos) = slot_of_account[account];
@@ -507,6 +667,13 @@ where
                     if slot.suspended && !ledger.account(account).exhausted() {
                         slot.suspended = false;
                         slot.session.resume_stepping();
+                        if let Some(obs) = obs.as_mut() {
+                            obs.trace.point(
+                                epoch_t_us(epoch),
+                                &format!("resume-{}", slot.session.spec().id),
+                                ledger.account(account).allowance,
+                            );
+                        }
                     }
                 }
             } else {
@@ -515,6 +682,15 @@ where
                     let now_secs = shards[s].pipeline.clock().now();
                     let slot = &mut shards[s].slots[pos];
                     if slot.session.state() == SessionState::Completed {
+                        if slot.finished_secs.is_none() {
+                            if let Some(obs) = obs.as_mut() {
+                                obs.trace.point(
+                                    epoch_t_us(epoch),
+                                    &format!("finish-{}", slot.session.spec().id),
+                                    slot.session.steps_taken() as u64,
+                                );
+                            }
+                        }
                         slot.finished_secs.get_or_insert(now_secs);
                     }
                 }
@@ -537,6 +713,18 @@ where
                 report.merge_conflicts = conflicts;
                 total_adopted += report.adopted_responses;
                 total_conflicts += conflicts;
+            }
+            if let Some(obs) = obs.as_mut() {
+                // Gossip savings are a W-dependent figure: registry only,
+                // never the trace.
+                obs.registry.inc("gossip-adopted-responses", report.adopted_responses);
+                obs.registry.inc("gossip-merge-conflicts", report.merge_conflicts);
+                obs.registry.inc("walk-steps", epoch_steps);
+                // Exit cost 0: the epoch's work is already attributed to
+                // the nested job spans (the fold treats exit cost as
+                // *self* weight, so a nonzero epoch cost would double
+                // count).
+                obs.trace.exit(epoch_t_us(epoch), 0);
             }
             epochs.push(report);
             epoch += 1;
@@ -573,6 +761,8 @@ where
                         final_node: spec.start,
                         history: Vec::new(),
                         stats: None,
+                        scan: None,
+                        mh: None,
                         avg_degree_estimate: None,
                         finished_secs: None,
                     },
@@ -602,6 +792,54 @@ where
             }
         }
 
+        // Fleet-wide pipeline counters (satellite surface for the
+        // adaptive-concurrency ramps and token-bucket stalls).
+        let mut pipeline_stats = PipelineStats::default();
+        for shard in &shards {
+            let s = shard.pipeline.stats();
+            pipeline_stats.submitted += s.submitted;
+            pipeline_stats.completed += s.completed;
+            pipeline_stats.timeouts += s.timeouts;
+            pipeline_stats.rate_limit_stalls += s.rate_limit_stalls;
+            pipeline_stats.transient_retries += s.transient_retries;
+            pipeline_stats.ramp_ups += s.ramp_ups;
+            pipeline_stats.ramp_downs += s.ramp_downs;
+            pipeline_stats.latency_backoffs += s.latency_backoffs;
+        }
+
+        // Final registry fill: walker telemetry (deterministic plane,
+        // summed over jobs in submission order) plus cache/arena figures
+        // (W-dependent: per-shard caches diverge with the shard count).
+        if let Some(obs) = obs.as_mut() {
+            let reg = &mut obs.registry;
+            reg.inc("unique-nodes-crawled", union.num_responses() as u64);
+            for shard in &shards {
+                reg.inc("total-lookups", shard.client.with(|c| c.total_lookups()));
+                reg.inc("transient-retries", shard.client.with(|c| c.transient_retries()));
+                reg.inc(
+                    "arena-rewrites-in-place",
+                    shard.client.with(|c| c.arena().rewrites_in_place()),
+                );
+                reg.inc("arena-leaked-ids", shard.client.with(|c| c.arena().leaked_ids()));
+            }
+            for (_, o) in &indexed {
+                if let Some((proposals, rejections)) = o.mh {
+                    reg.inc("mh-proposals", proposals);
+                    reg.inc("mh-rejections", rejections);
+                }
+                if let Some(scan) = o.scan {
+                    reg.inc("criterion-scans", scan.criterion_scans);
+                    reg.inc("criterion-scanned", scan.criterion_scanned);
+                    reg.gauge_max("max-scan-len", scan.max_scan);
+                }
+                if let Some(s) = o.stats {
+                    reg.inc("rewire-removals", s.removals);
+                    reg.inc("rewire-replacements", s.replacements);
+                    reg.inc("rewire-replacement-rejections", s.replacement_rejections);
+                }
+            }
+        }
+
         Ok(FleetReport {
             outcomes: indexed.into_iter().map(|(_, o)| o).collect(),
             shards: shards.len(),
@@ -624,6 +862,8 @@ where
             }),
             admission: decisions,
             epochs,
+            pipeline_stats,
+            obs,
         })
     }
 }
@@ -1024,5 +1264,66 @@ mod tests {
         ];
         let err = fleet.run(jobs).unwrap_err();
         assert!(matches!(err, ServeError::SnapshotMismatch(_)), "{err:?}");
+    }
+
+    #[test]
+    fn observed_traces_are_byte_identical_across_shard_counts() {
+        let observe = |shards| {
+            barbell_fleet(FleetConfig {
+                shards,
+                epoch_quantum: 32,
+                fleet_budget: Some(10_000),
+                obs: true,
+                ..Default::default()
+            })
+            .run(deadline_jobs())
+            .unwrap()
+            .obs
+            .expect("obs was requested")
+        };
+        let reference = observe(1);
+        let encoded = mto_obs::encode_trace(&reference.trace);
+        assert!(!reference.trace.is_empty(), "an observed run records events");
+        assert_eq!(reference.trace.open_spans(), 0, "every epoch span closed");
+        for shards in [2, 4] {
+            let other = observe(shards);
+            assert_eq!(
+                mto_obs::encode_trace(&other.trace),
+                encoded,
+                "trace diverged at W={shards}"
+            );
+            // Deterministic-plane registry figures are W-invariant too;
+            // the timing histograms legitimately are not.
+            for name in ["walk-steps", "unique-nodes-crawled", "total-lookups", "mh-proposals"] {
+                assert_eq!(
+                    other.registry.counter(name),
+                    reference.registry.counter(name),
+                    "{name} diverged at W={shards}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unobserved_runs_collect_nothing_and_observed_runs_match_results() {
+        let run = |obs| {
+            barbell_fleet(FleetConfig { shards: 2, epoch_quantum: 32, obs, ..Default::default() })
+                .run(mixed_jobs())
+                .unwrap()
+        };
+        let plain = run(false);
+        assert!(plain.obs.is_none(), "obs is strictly opt-in");
+        let observed = run(true);
+        let data = observed.obs.as_ref().expect("obs was requested");
+        // Observation is read-only: results and bills are untouched.
+        assert_eq!(observed.results_digest(), plain.results_digest());
+        assert_eq!(observed.total_unique_queries, plain.total_unique_queries);
+        // The registry cross-checks the outcomes it was derived from.
+        let steps: u64 = observed.outcomes.iter().map(|o| o.steps as u64).sum();
+        assert_eq!(data.registry.counter("walk-steps"), steps);
+        assert_eq!(
+            data.registry.counter("unique-nodes-crawled"),
+            observed.union_store.num_responses() as u64
+        );
     }
 }

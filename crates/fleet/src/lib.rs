@@ -77,4 +77,4 @@ pub mod report;
 
 pub use coordinator::{FleetConfig, FleetCoordinator, MergeOrder};
 pub use plan::ShardPlan;
-pub use report::{EpochReport, FleetReport, LedgerSummary};
+pub use report::{EpochReport, FleetObsData, FleetReport, LedgerSummary};

@@ -2,6 +2,8 @@
 //! per-job outcomes the single-client scheduler reports.
 
 use mto_core::mto::RewireStats;
+use mto_net::PipelineStats;
+use mto_obs::{MetricsRegistry, TraceSink};
 use mto_qos::AdmissionDecision;
 use mto_serve::history::{fnv1a64, HistoryStore};
 use mto_serve::scheduler::JobOutcome;
@@ -50,6 +52,22 @@ pub struct LedgerSummary {
     pub cut_jobs: u64,
 }
 
+/// Observability the coordinator collected when
+/// [`crate::FleetConfig::obs`] is on: the fleet-wide metrics registry
+/// (per-shard registries merged at every epoch barrier, like the
+/// history gossip) and the deterministic trace.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FleetObsData {
+    /// Counters, gauges, and histograms merged across shards. Timing
+    /// histograms (queue wait, service time) legitimately vary with the
+    /// shard count; the deterministic-plane figures do not.
+    pub registry: MetricsRegistry,
+    /// Span/point events of the deterministic plane, stamped with
+    /// epoch-ordinal virtual time — byte-identical across shard counts
+    /// once encoded (`mto-trace/v1`).
+    pub trace: TraceSink,
+}
+
 /// Aggregate result of one [`crate::FleetCoordinator::run`].
 #[derive(Clone, Debug, Default)]
 pub struct FleetReport {
@@ -81,6 +99,12 @@ pub struct FleetReport {
     /// The QoS admission review of every submitted job, in submission
     /// order (non-admitted jobs report placeholder outcomes).
     pub admission: Vec<AdmissionDecision>,
+    /// Per-shard pipeline counters summed fleet-wide: ramp-ups/downs,
+    /// latency backoffs, token-bucket stalls, retries, timeouts.
+    pub pipeline_stats: PipelineStats,
+    /// Metrics and trace, when the run was observed
+    /// ([`crate::FleetConfig::obs`]).
+    pub obs: Option<FleetObsData>,
 }
 
 impl FleetReport {
@@ -142,6 +166,8 @@ mod tests {
             final_node: NodeId(3),
             history: vec![NodeId(0), NodeId(1), NodeId(3)],
             stats: Some(RewireStats { removals: 2, replacements: 1, replacement_rejections: 0 }),
+            scan: None,
+            mh: None,
             avg_degree_estimate: est,
             finished_secs: Some(1.25),
         }

@@ -66,6 +66,8 @@ pub mod pipeline;
 pub mod timed;
 
 #[cfg(feature = "walkers")]
+pub mod demand;
+#[cfg(feature = "walkers")]
 pub mod driver;
 #[cfg(feature = "walkers")]
 pub mod trace;
@@ -73,7 +75,7 @@ pub mod trace;
 pub use event::{Event, EventQueue};
 pub use latency::{FaultModel, LatencyModel, ProviderProfile};
 pub use pipeline::{
-    Completion, Concurrency, PipelineConfig, PipelineStats, QueryPipeline, RequestId,
+    Completion, Concurrency, PipelineConfig, PipelineObs, PipelineStats, QueryPipeline, RequestId,
     LATENCY_WINDOW,
 };
 pub use timed::TimedInterface;
@@ -84,6 +86,6 @@ pub use timed::TimedInterface;
 pub use mto_osn::VirtualClock;
 
 #[cfg(feature = "walkers")]
-pub use driver::{replay_pool, run_pool, DriverConfig, DriverMode, PoolReport, WalkerOutcome};
+pub use demand::{record_traces, PoolJob, WalkTrace, WalkerSpec};
 #[cfg(feature = "walkers")]
-pub use trace::{record_traces, PoolJob, WalkTrace, WalkerSpec};
+pub use driver::{replay_pool, run_pool, DriverConfig, DriverMode, PoolReport, WalkerOutcome};

@@ -142,6 +142,22 @@ pub struct PipelineStats {
     pub latency_backoffs: u64,
 }
 
+/// Optional pipeline observability: queue-wait and service-time
+/// distributions in integer virtual microseconds, recorded at the
+/// moment each completion fires. Off (`None`) by default — the hot path
+/// pays one `Option` branch per completion, nothing per step — and
+/// harvested into a [`mto_obs::MetricsRegistry`] by whoever owns the
+/// pipeline (the fleet does it per shard, merging at epoch barriers).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PipelineObs {
+    /// `started − submitted` per completion: virtual µs spent queueing
+    /// for a connection slot and a rate-limit token.
+    pub queue_wait_us: mto_obs::Histogram,
+    /// `completed − started` per completion: virtual µs of provider
+    /// service time including injected timeout retries.
+    pub service_time_us: mto_obs::Histogram,
+}
+
 /// What one in-flight event carries until it fires.
 #[derive(Clone, Debug)]
 struct Pending {
@@ -185,6 +201,8 @@ pub struct QueryPipeline<I> {
     log: Vec<String>,
     next_id: RequestId,
     stats: PipelineStats,
+    /// Latency histograms, recorded per completion when enabled.
+    obs: Option<PipelineObs>,
 }
 
 impl<I: SocialNetworkInterface> QueryPipeline<I> {
@@ -215,8 +233,27 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
             log: Vec::new(),
             next_id: 0,
             stats: PipelineStats::default(),
+            obs: None,
             config,
         }
+    }
+
+    /// Starts recording per-completion latency histograms (idempotent;
+    /// already-recorded samples are kept).
+    pub fn enable_obs(&mut self) {
+        if self.obs.is_none() {
+            self.obs = Some(PipelineObs::default());
+        }
+    }
+
+    /// The recorded latency histograms, when enabled.
+    pub fn obs(&self) -> Option<&PipelineObs> {
+        self.obs.as_ref()
+    }
+
+    /// Detaches and returns the recorded latency histograms.
+    pub fn take_obs(&mut self) -> Option<PipelineObs> {
+        self.obs.take()
     }
 
     /// The clock this pipeline advances.
@@ -414,6 +451,10 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
             }
         };
         self.stats.completed += 1;
+        if let Some(obs) = self.obs.as_mut() {
+            obs.queue_wait_us.record(p.started_us.saturating_sub(p.submitted_us));
+            obs.service_time_us.record(event.time_us.saturating_sub(p.started_us));
+        }
         if self.recent_latency.len() == LATENCY_WINDOW {
             self.recent_latency.pop_front();
         }

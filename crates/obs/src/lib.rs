@@ -1,0 +1,59 @@
+//! Deterministic observability for the MTO serving stack.
+//!
+//! Every layer above this crate answers "where did the query bill and the
+//! virtual time go?" through two primitives, both engineered so that the
+//! repo's bit-identical determinism contract extends to the telemetry
+//! itself:
+//!
+//! * [`MetricsRegistry`] — hand-rolled counters, gauges, and fixed
+//!   log-bucket [`Histogram`]s whose p50/p90/p99 summaries are *exact
+//!   integers* derived from bucket bounds (no floating-point
+//!   interpolation, so a summary is a pure function of the recorded
+//!   multiset). Per-shard registries [`MetricsRegistry::merge`] at fleet
+//!   epoch barriers exactly like `HistoryStore` gossip: merging is
+//!   associative and commutative, so the folded registry is invariant
+//!   under merge order.
+//! * [`TraceSink`] — a structured span/point event recorder stamped with
+//!   **virtual** time and submission order only, never wall-clock.
+//!   Serialized through the FNV-checksummed [`codec`] (`mto-trace/v1`,
+//!   the same line-oriented style as the history codec) and folded into
+//!   collapsed flamegraph stacks by [`flame::fold`] / the `trace2flame`
+//!   binary.
+//!
+//! This crate sits below `mto-osn` in the workspace DAG and depends on
+//! nothing internal: timestamps are plain `u64` microseconds supplied by
+//! callers (the serving layers own the virtual clocks).
+
+pub mod codec;
+pub mod flame;
+pub mod metrics;
+pub mod trace;
+
+pub use codec::{decode_trace, encode_trace, TraceCodecError, TRACE_MAGIC, TRACE_VERSION};
+pub use metrics::{percent, Histogram, MetricsRegistry};
+pub use trace::{TraceRecord, TraceSink};
+
+/// FNV-1a 64-bit hash — the integrity primitive of the trace codec,
+/// identical to the history codec's (the constant pair is the standard
+/// FNV offset basis and prime).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,393 @@
+//! Hand-rolled metrics: counters, gauges, and log-bucket histograms with
+//! exact-integer quantiles.
+//!
+//! Nothing here floats except nothing: every stored value, every bucket
+//! count, and every reported quantile is a `u64`. Quantiles are derived
+//! from fixed power-of-two bucket bounds, so a summary is a deterministic
+//! pure function of the recorded multiset — two registries that saw the
+//! same values render byte-identical summaries regardless of insertion
+//! or merge order. That property is what lets the fleet commit its
+//! metrics output to the same bit-identical-across-shard-counts contract
+//! as its results digests.
+//!
+//! Metric names are `&'static str`: the instrumentation vocabulary is
+//! closed at compile time, lookups never allocate, and merged registries
+//! can share keys without cloning.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Number of histogram buckets: one per possible `u64` bit width, plus a
+/// dedicated zero bucket at index 0.
+const BUCKETS: usize = 65;
+
+/// A fixed log-2-bucket histogram over `u64` values.
+///
+/// Bucket `0` holds exactly the value `0`; bucket `i ≥ 1` holds values of
+/// bit width `i`, i.e. the range `[2^(i-1), 2^i - 1]`. A quantile is
+/// reported as the **upper bound of the bucket containing the rank** —
+/// an exact integer, never interpolated — except when the rank lands in
+/// the top non-empty bucket, where the tracked exact maximum is tighter
+/// and is reported instead.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { buckets: [0; BUCKETS], count: 0, total: 0, max: 0 }
+    }
+}
+
+/// Index of the bucket holding `v`.
+fn bucket_index(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i`.
+fn bucket_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest recorded value (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `i` (test and merge-invariance hook).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// The `num/den` quantile as an exact integer: the upper bound of
+    /// the bucket containing the rank-`ceil(count · num / den)` value
+    /// (clamped to the exact maximum). Returns 0 for an empty histogram.
+    pub fn quantile(&self, num: u64, den: u64) -> u64 {
+        assert!(den > 0 && num <= den, "quantile {num}/{den} outside [0, 1]");
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as u128 * num as u128).div_ceil(den as u128) as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median (upper bucket bound).
+    pub fn p50(&self) -> u64 {
+        self.quantile(1, 2)
+    }
+
+    /// 90th percentile (upper bucket bound).
+    pub fn p90(&self) -> u64 {
+        self.quantile(9, 10)
+    }
+
+    /// 99th percentile (upper bucket bound).
+    pub fn p99(&self) -> u64 {
+        self.quantile(99, 100)
+    }
+
+    /// Folds `other` into `self` bucket-wise. Associative and
+    /// commutative: bucket counts, count, total, and max are all
+    /// order-invariant reductions.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A named bundle of counters, gauges, and histograms.
+///
+/// All maps are `BTreeMap`s so iteration — and therefore every rendered
+/// summary — is deterministically ordered by metric name.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `n` to counter `name` (creating it at zero).
+    pub fn inc(&mut self, name: &'static str, n: u64) {
+        *self.counters.entry(name).or_insert(0) += n;
+    }
+
+    /// Raises gauge `name` to `v` if `v` is higher (high-water-mark
+    /// semantics — the only gauge combine that merges commutatively).
+    pub fn gauge_max(&mut self, name: &'static str, v: u64) {
+        let g = self.gauges.entry(name).or_insert(0);
+        *g = (*g).max(v);
+    }
+
+    /// Records `v` into histogram `name` (creating it empty).
+    pub fn observe(&mut self, name: &'static str, v: u64) {
+        self.histograms.entry(name).or_default().record(v);
+    }
+
+    /// Folds an externally accumulated histogram into histogram `name`
+    /// (bucket-wise, like [`MetricsRegistry::merge`]) — how layers that
+    /// keep their own hot-path [`Histogram`] hand it to a registry at a
+    /// barrier.
+    pub fn merge_histogram(&mut self, name: &'static str, h: &Histogram) {
+        self.histograms.entry(name).or_default().merge(h);
+    }
+
+    /// Current value of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of gauge `name` (0 when absent).
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram `name`, when it has recorded anything.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Folds `other` into `self`: counters add, gauges take the max,
+    /// histograms merge bucket-wise. Every combine is associative and
+    /// commutative, so folding per-shard registries at an epoch barrier
+    /// yields the same registry in any merge order — the property
+    /// `proptest_metrics` pins down.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (&name, &v) in &other.counters {
+            *self.counters.entry(name).or_insert(0) += v;
+        }
+        for (&name, &v) in &other.gauges {
+            let g = self.gauges.entry(name).or_insert(0);
+            *g = (*g).max(v);
+        }
+        for (&name, h) in &other.histograms {
+            self.histograms.entry(name).or_default().merge(h);
+        }
+    }
+
+    /// Renders the registry as deterministic summary lines, each
+    /// prefixed with `prefix`:
+    ///
+    /// ```text
+    /// <prefix>counter <name> <value>
+    /// <prefix>gauge <name> <value>
+    /// <prefix>hist <name> count=<c> total=<t> p50=<a> p90=<b> p99=<c> max=<m>
+    /// ```
+    pub fn render_into(&self, out: &mut String, prefix: &str) {
+        for (name, v) in &self.counters {
+            writeln!(out, "{prefix}counter {name} {v}").expect("string write");
+        }
+        for (name, v) in &self.gauges {
+            writeln!(out, "{prefix}gauge {name} {v}").expect("string write");
+        }
+        for (name, h) in &self.histograms {
+            writeln!(
+                out,
+                "{prefix}hist {name} count={} total={} p50={} p90={} p99={} max={}",
+                h.count(),
+                h.total(),
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.max()
+            )
+            .expect("string write");
+        }
+    }
+
+    /// [`MetricsRegistry::render_into`] as an owned string.
+    pub fn render(&self, prefix: &str) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, prefix);
+        out
+    }
+}
+
+/// Formats `num / den` as a fixed two-decimal percentage using integer
+/// arithmetic only (round-half-up), so derived ratio lines are as
+/// deterministic as the counters they come from. Returns `"0.00%"` for a
+/// zero denominator.
+pub fn percent(num: u64, den: u64) -> String {
+    if den == 0 {
+        return "0.00%".to_owned();
+    }
+    // Basis points, rounded half-up: num/den * 10000.
+    let bp = (num as u128 * 10_000 + den as u128 / 2) / den as u128;
+    format!("{}.{:02}%", bp / 100, bp % 100)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        assert_eq!(bucket_bound(0), 0);
+        assert_eq!(bucket_bound(1), 1);
+        assert_eq!(bucket_bound(2), 3);
+        assert_eq!(bucket_bound(64), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_are_exact_bucket_bounds_clamped_to_max() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100, 200, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.total(), 1306);
+        // rank ceil(6*1/2)=3 → the third smallest (3) lives in bucket 2,
+        // bound 3.
+        assert_eq!(h.p50(), 3);
+        // p99 rank 6 → top value's bucket [512, 1023], clamped to max.
+        assert_eq!(h.p99(), 1000);
+        assert_eq!(h.max(), 1000);
+    }
+
+    #[test]
+    fn empty_and_single_value_histograms() {
+        let mut h = Histogram::new();
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+        h.record(0);
+        assert_eq!(h.p50(), 0, "zero bucket");
+        h.record(7);
+        assert_eq!(h.p99(), 7);
+    }
+
+    #[test]
+    fn merge_is_bucketwise_and_order_invariant() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in 0..100u64 {
+            if v % 2 == 0 {
+                a.record(v * 3);
+            } else {
+                b.record(v * 3);
+            }
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), 100);
+
+        let mut all = Histogram::new();
+        for v in 0..100u64 {
+            all.record(v * 3);
+        }
+        assert_eq!(ab, all, "merged halves equal the single-pass histogram");
+    }
+
+    #[test]
+    fn registry_counters_gauges_and_render_are_deterministic() {
+        let mut r = MetricsRegistry::new();
+        r.inc("walk-steps", 10);
+        r.inc("walk-steps", 5);
+        r.gauge_max("arena-bytes", 100);
+        r.gauge_max("arena-bytes", 40);
+        r.observe("queue-wait-us", 3);
+        assert_eq!(r.counter("walk-steps"), 15);
+        assert_eq!(r.gauge("arena-bytes"), 100);
+        let text = r.render("metrics ");
+        assert_eq!(
+            text,
+            "metrics counter walk-steps 15\nmetrics gauge arena-bytes 100\n\
+             metrics hist queue-wait-us count=1 total=3 p50=3 p90=3 p99=3 max=3\n"
+        );
+    }
+
+    #[test]
+    fn registry_merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.inc("x", 2);
+        b.inc("x", 3);
+        b.inc("y", 1);
+        a.gauge_max("g", 9);
+        b.gauge_max("g", 11);
+        a.observe("h", 1);
+        b.observe("h", 1000);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.counter("x"), 5);
+        assert_eq!(ab.counter("y"), 1);
+        assert_eq!(ab.gauge("g"), 11);
+        assert_eq!(ab.histogram("h").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn percent_is_integer_exact() {
+        assert_eq!(percent(0, 0), "0.00%");
+        assert_eq!(percent(1, 2), "50.00%");
+        assert_eq!(percent(9180, 10000), "91.80%");
+        assert_eq!(percent(1, 3), "33.33%");
+        assert_eq!(percent(2, 3), "66.67%", "round half up");
+        assert_eq!(percent(5, 4), "125.00%", "ratios above one are legal");
+    }
+}

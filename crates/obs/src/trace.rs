@@ -1,0 +1,189 @@
+//! The structured trace sink: span enter/exit and point events on a
+//! virtual timeline.
+//!
+//! A [`TraceSink`] records three kinds of events, each stamped with a
+//! caller-supplied **virtual-time** microsecond instant and an
+//! automatically assigned submission ordinal (`seq`). Wall-clock never
+//! appears: two runs of the same deterministic workload produce
+//! byte-identical traces. The lockstep fleet stamps events with the
+//! finest shard-invariant clock it has — the epoch ordinal — so its
+//! traces are byte-identical across shard counts too.
+//!
+//! Spans carry an **explicit cost** at exit (steps, microseconds —
+//! whatever the instrumented layer meters) instead of deriving cost from
+//! timestamp deltas; that keeps coarse-clocked span nests meaningful and
+//! is what [`crate::flame::fold`] attributes to collapsed stacks.
+
+/// One recorded trace event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A span opened.
+    Enter {
+        /// Submission ordinal (process-wide, monotonically increasing).
+        seq: u64,
+        /// Virtual-time stamp in microseconds.
+        t_us: u64,
+        /// Span name (whitespace-free).
+        name: String,
+    },
+    /// The innermost open span closed.
+    Exit {
+        /// Submission ordinal.
+        seq: u64,
+        /// Virtual-time stamp in microseconds.
+        t_us: u64,
+        /// Explicit cost attributed to the span (the flamegraph weight).
+        cost: u64,
+    },
+    /// An instantaneous event with a value.
+    Point {
+        /// Submission ordinal.
+        seq: u64,
+        /// Virtual-time stamp in microseconds.
+        t_us: u64,
+        /// Event name (whitespace-free).
+        name: String,
+        /// Event payload value.
+        value: u64,
+    },
+}
+
+impl TraceRecord {
+    /// The record's submission ordinal.
+    pub fn seq(&self) -> u64 {
+        match self {
+            TraceRecord::Enter { seq, .. }
+            | TraceRecord::Exit { seq, .. }
+            | TraceRecord::Point { seq, .. } => *seq,
+        }
+    }
+
+    /// The record's virtual-time stamp.
+    pub fn t_us(&self) -> u64 {
+        match self {
+            TraceRecord::Enter { t_us, .. }
+            | TraceRecord::Exit { t_us, .. }
+            | TraceRecord::Point { t_us, .. } => *t_us,
+        }
+    }
+}
+
+/// Replaces whitespace so names stay single-token in the line codec.
+fn sanitize(name: &str) -> String {
+    name.chars().map(|c| if c.is_whitespace() { '-' } else { c }).collect()
+}
+
+/// An in-memory recorder of [`TraceRecord`]s.
+///
+/// The sink is intentionally not thread-safe: deterministic layers emit
+/// events from their single-threaded control points (epoch barriers, job
+/// finalization), never from racing workers. Hot paths hold an
+/// `Option<&mut TraceSink>` (or no sink at all) so the disabled
+/// configuration costs nothing.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSink {
+    events: Vec<TraceRecord>,
+    next_seq: u64,
+    depth: usize,
+}
+
+impl TraceSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        TraceSink::default()
+    }
+
+    /// Opens a span named `name` at virtual time `t_us`.
+    pub fn enter(&mut self, t_us: u64, name: &str) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.depth += 1;
+        self.events.push(TraceRecord::Enter { seq, t_us, name: sanitize(name) });
+    }
+
+    /// Closes the innermost open span at `t_us`, attributing `cost` to
+    /// it. An exit with no open span is ignored (defensive: a damaged
+    /// caller cannot poison the recording).
+    pub fn exit(&mut self, t_us: u64, cost: u64) {
+        if self.depth == 0 {
+            debug_assert!(false, "TraceSink::exit with no open span");
+            return;
+        }
+        self.depth -= 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(TraceRecord::Exit { seq, t_us, cost });
+    }
+
+    /// Records an instantaneous `name = value` event at `t_us`.
+    pub fn point(&mut self, t_us: u64, name: &str, value: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.events.push(TraceRecord::Point { seq, t_us, name: sanitize(name), value });
+    }
+
+    /// Number of open spans.
+    pub fn open_spans(&self) -> usize {
+        self.depth
+    }
+
+    /// The recorded events, in submission order.
+    pub fn events(&self) -> &[TraceRecord] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_are_stamped_in_submission_order() {
+        let mut sink = TraceSink::new();
+        sink.enter(0, "epoch-0");
+        sink.point(0, "grant job-a", 64);
+        sink.enter(0, "job-a");
+        sink.exit(0, 64);
+        sink.exit(0, 64);
+        assert_eq!(sink.len(), 5);
+        assert_eq!(sink.open_spans(), 0);
+        let seqs: Vec<u64> = sink.events().iter().map(TraceRecord::seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            sink.events()[1],
+            TraceRecord::Point { seq: 1, t_us: 0, name: "grant-job-a".into(), value: 64 },
+            "whitespace in names is sanitized"
+        );
+    }
+
+    #[test]
+    fn recording_is_deterministic() {
+        let run = || {
+            let mut sink = TraceSink::new();
+            for e in 0..3u64 {
+                sink.enter(e * 1_000_000, "epoch");
+                sink.point(e * 1_000_000, "ledger-pool", 100 - e);
+                sink.exit(e * 1_000_000, 128);
+            }
+            sink
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "no open span")]
+    fn unbalanced_exit_is_caught_in_debug() {
+        TraceSink::new().exit(0, 1);
+    }
+}

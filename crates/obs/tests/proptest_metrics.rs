@@ -1,0 +1,132 @@
+//! Property suite for the metrics merge algebra (ISSUE 7, satellite 3):
+//!
+//! * `MetricsRegistry::merge` is **associative** and **commutative** —
+//!   the exact property the fleet leans on when it folds per-shard
+//!   registries at an epoch barrier in a configured merge order;
+//! * histogram **bucket counts are invariant** across merge order and
+//!   across how the same value stream is partitioned into W per-shard
+//!   registries — the metrics analogue of "results bit-identical across
+//!   shard counts";
+//! * rendered summaries (the byte-level witness) are identical whenever
+//!   the underlying registries are.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mto_obs::{Histogram, MetricsRegistry};
+
+const COUNTERS: [&str; 3] = ["walk-steps", "cache-lookups", "mh-rejections"];
+const GAUGES: [&str; 2] = ["arena-bytes", "in-flight"];
+const HISTS: [&str; 2] = ["queue-wait-us", "scan-len"];
+
+/// One proptest-generated metric operation:
+/// `(kind % 3, name selector, value)`.
+fn op_strategy() -> impl Strategy<Value = (u8, u8, u64)> {
+    (0u8..3, 0u8..6, 0u64..1u64 << 48)
+}
+
+fn apply(registry: &mut MetricsRegistry, &(kind, name, value): &(u8, u8, u64)) {
+    match kind {
+        0 => registry.inc(COUNTERS[name as usize % COUNTERS.len()], value),
+        1 => registry.gauge_max(GAUGES[name as usize % GAUGES.len()], value),
+        _ => registry.observe(HISTS[name as usize % HISTS.len()], value),
+    }
+}
+
+fn build(ops: &[(u8, u8, u64)]) -> MetricsRegistry {
+    let mut registry = MetricsRegistry::new();
+    for op in ops {
+        apply(&mut registry, op);
+    }
+    registry
+}
+
+fn merged(a: &MetricsRegistry, b: &MetricsRegistry) -> MetricsRegistry {
+    let mut out = a.clone();
+    out.merge(b);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_commutative(
+        ops_a in vec(op_strategy(), 0..40),
+        ops_b in vec(op_strategy(), 0..40),
+    ) {
+        let (a, b) = (build(&ops_a), build(&ops_b));
+        let ab = merged(&a, &b);
+        let ba = merged(&b, &a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert_eq!(ab.render("metrics "), ba.render("metrics "));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        ops_a in vec(op_strategy(), 0..30),
+        ops_b in vec(op_strategy(), 0..30),
+        ops_c in vec(op_strategy(), 0..30),
+    ) {
+        let (a, b, c) = (build(&ops_a), build(&ops_b), build(&ops_c));
+        let left = merged(&merged(&a, &b), &c);
+        let right = merged(&a, &merged(&b, &c));
+        prop_assert_eq!(&left, &right);
+        prop_assert_eq!(left.render("metrics "), right.render("metrics "));
+    }
+
+    #[test]
+    fn histogram_buckets_are_invariant_across_partitioning_and_w(
+        values in vec(0u64..1u64 << 52, 1..120),
+        w in 1usize..8,
+    ) {
+        // One reference histogram fed the whole stream…
+        let mut reference = Histogram::new();
+        for &v in &values {
+            reference.record(v);
+        }
+        // …versus W per-shard histograms fed round-robin, folded in
+        // forward and reverse merge order (the fleet's two orders).
+        let mut shards = vec![Histogram::new(); w];
+        for (i, &v) in values.iter().enumerate() {
+            shards[i % w].record(v);
+        }
+        let mut forward = Histogram::new();
+        for shard in &shards {
+            forward.merge(shard);
+        }
+        let mut reverse = Histogram::new();
+        for shard in shards.iter().rev() {
+            reverse.merge(shard);
+        }
+        prop_assert_eq!(&forward, &reference);
+        prop_assert_eq!(&reverse, &reference);
+        for i in 0..65 {
+            prop_assert_eq!(forward.bucket(i), reference.bucket(i));
+        }
+        // The derived summary integers are therefore identical too.
+        prop_assert_eq!(
+            (forward.p50(), forward.p90(), forward.p99(), forward.max()),
+            (reference.p50(), reference.p90(), reference.p99(), reference.max())
+        );
+    }
+
+    #[test]
+    fn quantiles_bound_the_true_order_statistics(values in vec(0u64..1u64 << 40, 1..80)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for (num, den) in [(1u64, 2u64), (9, 10), (99, 100)] {
+            let rank = ((sorted.len() as u64 * num).div_ceil(den)).max(1) as usize;
+            let truth = sorted[rank - 1];
+            let reported = h.quantile(num, den);
+            // The report is the bucket's upper bound clamped to the max:
+            // never below the true order statistic, at most 2x above it.
+            prop_assert!(reported >= truth);
+            prop_assert!(reported <= truth.saturating_mul(2).max(truth));
+        }
+    }
+}

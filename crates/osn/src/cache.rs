@@ -55,6 +55,11 @@ pub struct NeighborArena {
     slots: Vec<Option<(Span, UserProfile)>>,
     /// Number of occupied slots.
     cached: usize,
+    /// Re-inserts that fit their old span and overwrote in place.
+    rewrites_in_place: u64,
+    /// `NodeId`s orphaned by append-and-leak replacements — the churn
+    /// signal the observability layer reports as arena compaction debt.
+    leaked_ids: u64,
 }
 
 impl NeighborArena {
@@ -105,6 +110,16 @@ impl NeighborArena {
         self.data.len()
     }
 
+    /// Re-inserts that overwrote their old span in place.
+    pub fn rewrites_in_place(&self) -> u64 {
+        self.rewrites_in_place
+    }
+
+    /// `NodeId`s orphaned by append-and-leak replacements.
+    pub fn leaked_ids(&self) -> u64 {
+        self.leaked_ids
+    }
+
     /// Cached nodes, ascending id.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
         self.slots
@@ -125,14 +140,16 @@ impl NeighborArena {
             Some((old, _)) if neighbors.len() <= old.len as usize => {
                 let dst = &mut self.data[old.offset..old.offset + neighbors.len()];
                 dst.copy_from_slice(neighbors);
+                self.rewrites_in_place += 1;
                 Span { offset: old.offset, len: neighbors.len() as u32 }
             }
             existing => {
                 // First insert, or a longer replacement: append. A
                 // replaced node's old span is leaked (bounded by re-import
                 // churn; `data_len` keeps it visible to tests).
-                if existing.is_none() {
-                    self.cached += 1;
+                match existing {
+                    None => self.cached += 1,
+                    Some((old, _)) => self.leaked_ids += u64::from(old.len),
                 }
                 let offset = self.data.len();
                 self.data.extend_from_slice(neighbors);

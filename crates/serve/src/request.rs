@@ -20,6 +20,11 @@
 //! # crash-safe append-only history (mto-serve journal format; replays
 //! # on open, tolerates a torn tail)
 //! journal crawl.journal
+//! # observability: write the run's deterministic `mto-trace/v1` trace
+//! # to a file, and append the metrics summary to the report (`metrics`
+//! # is the one directive with no payload)
+//! trace run.trace
+//! metrics
 //! # fleet mode (mto-fleet): shard the jobs across W workers and gossip
 //! # history at N epoch barriers. Replaces the scheduler: `workers` /
 //! # `quantum` are rejected together with `shards`; `budget` becomes the
@@ -228,6 +233,14 @@ pub struct ServeRequest {
     /// Scheduler knobs (`workers`, `quantum`, `budget`, `policy`
     /// directives).
     pub scheduler: SchedulerConfig,
+    /// Write the run's deterministic `mto-trace/v1` trace here (`trace`
+    /// directive). Trace contents cover only the deterministic plane —
+    /// virtual-time span/point events that are byte-identical across
+    /// shard and worker counts.
+    pub trace: Option<PathBuf>,
+    /// Append the metrics summary to the report (`metrics` directive,
+    /// no payload).
+    pub metrics: bool,
     /// The jobs, in file order.
     pub jobs: Vec<JobSpec>,
 }
@@ -246,6 +259,8 @@ impl ServeRequest {
         let mut workers_seen = false;
         let mut quantum_seen = false;
         let mut scheduler = SchedulerConfig::default();
+        let mut trace = None;
+        let mut metrics = false;
         let mut jobs: Vec<JobSpec> = Vec::new();
         let err = |line: usize, message: String| ServeError::Request { line, message };
 
@@ -253,6 +268,14 @@ impl ServeRequest {
             let lineno = idx + 1;
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // `metrics` is the one flag directive: no payload to parse.
+            if line == "metrics" {
+                if metrics {
+                    return Err(err(lineno, "duplicate metrics directive".into()));
+                }
+                metrics = true;
                 continue;
             }
             let (keyword, rest) = match line.split_once(char::is_whitespace) {
@@ -281,6 +304,12 @@ impl ServeRequest {
                     }
                     policy_seen = true;
                     scheduler.policy = SchedulePolicy::parse(rest).map_err(|m| err(lineno, m))?;
+                }
+                "trace" => {
+                    if trace.is_some() {
+                        return Err(err(lineno, "duplicate trace directive".into()));
+                    }
+                    trace = Some(PathBuf::from(rest));
                 }
                 "warm-start" => warm_start = Some(PathBuf::from(rest)),
                 "save-history" => save_history = Some(PathBuf::from(rest)),
@@ -394,6 +423,8 @@ impl ServeRequest {
             shards,
             epochs,
             scheduler,
+            trace,
+            metrics,
             jobs,
         })
     }
@@ -521,6 +552,36 @@ job id=b algo=srw start=3 steps=400 seed=9
         assert_eq!(req.scheduler.policy, crate::scheduler::SchedulePolicy::EarliestDeadlineFirst);
         assert_eq!(req.jobs[0].deadline, Some(12.5));
         assert_eq!(req.jobs[1].deadline, None);
+    }
+
+    #[test]
+    fn trace_and_metrics_directives_parse_and_reject_duplicates() {
+        let req = ServeRequest::parse(
+            "network barbell\ntrace run.trace\nmetrics\njob id=a algo=mto start=0 steps=1",
+        )
+        .unwrap();
+        assert_eq!(req.trace, Some(PathBuf::from("run.trace")));
+        assert!(req.metrics);
+
+        let plain = ServeRequest::parse("network barbell\njob id=a algo=mto start=0 steps=1");
+        let plain = plain.unwrap();
+        assert_eq!(plain.trace, None);
+        assert!(!plain.metrics, "observability defaults off");
+
+        for (text, needle) in [
+            (
+                "network barbell\ntrace a.t\ntrace b.t\njob id=a algo=mto start=0 steps=1",
+                "duplicate trace",
+            ),
+            (
+                "network barbell\nmetrics\nmetrics\njob id=a algo=mto start=0 steps=1",
+                "duplicate metrics",
+            ),
+            ("network barbell\ntrace\njob id=a algo=mto start=0 steps=1", "no payload"),
+        ] {
+            let e = ServeRequest::parse(text).unwrap_err();
+            assert!(e.to_string().contains(needle), "{text:?} → {e}");
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
-use mto_core::mto::RewireStats;
+use mto_core::mto::{RewireStats, ScanProbe};
 use mto_core::walk::Walker;
 use mto_graph::NodeId;
 use mto_osn::{CachedClient, QueryClient, SharedClient, SocialNetworkInterface, VirtualClock};
@@ -155,6 +155,11 @@ pub struct JobOutcome {
     pub history: Vec<NodeId>,
     /// Rewiring counters, for rewiring samplers.
     pub stats: Option<RewireStats>,
+    /// Theorem-3 criterion-scan telemetry, for rewiring samplers
+    /// (derived observability — not part of the results contract).
+    pub scan: Option<ScanProbe>,
+    /// `(proposals, rejections)` for Metropolis–Hastings jobs.
+    pub mh: Option<(u64, u64)>,
     /// Self-normalized average-degree estimate over the visit history.
     pub avg_degree_estimate: Option<f64>,
     /// Virtual-clock instant (in the job's shard) at the barrier after
@@ -228,6 +233,26 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
     /// The shared client (e.g. to export history after a run).
     pub fn client(&self) -> &SharedClient<I> {
         &self.client
+    }
+
+    /// The per-job quantum this scheduler's policy would assign each of
+    /// `jobs` — the same figures [`JobScheduler::run`] uses, exposed so
+    /// observability layers can report them without re-deriving policy
+    /// math.
+    pub fn planned_quanta(&self, jobs: &[JobSpec]) -> Vec<usize> {
+        let total_budget: usize =
+            jobs.iter().fold(0usize, |acc, j| acc.saturating_add(j.step_budget));
+        jobs.iter()
+            .map(|j| {
+                effective_quantum(
+                    self.config.policy,
+                    self.config.quantum,
+                    j.step_budget,
+                    total_budget,
+                    jobs.len(),
+                )
+            })
+            .collect()
     }
 
     /// Runs `jobs` to completion (or to the global query budget) and
@@ -400,6 +425,8 @@ pub fn finalize_session<I: SocialNetworkInterface>(
         final_node: walker.current(),
         history: walker.history().to_vec(),
         stats: walker.rewire_stats(),
+        scan: walker.scan_probe(),
+        mh: walker.mh_counters(),
         avg_degree_estimate: estimate,
         finished_secs: None,
     })

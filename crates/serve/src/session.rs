@@ -278,6 +278,22 @@ impl<I: SocialNetworkInterface> SessionWalker<I> {
             _ => None,
         }
     }
+
+    /// Theorem-3 criterion-scan telemetry, for samplers that rewire.
+    pub fn scan_probe(&self) -> Option<mto_core::mto::ScanProbe> {
+        match self {
+            SessionWalker::Mto(s) => Some(s.probe()),
+            _ => None,
+        }
+    }
+
+    /// `(proposals, rejections)` for Metropolis–Hastings walkers.
+    pub fn mh_counters(&self) -> Option<(u64, u64)> {
+        match self {
+            SessionWalker::Mhrw(w) => Some((w.proposals(), w.rejections())),
+            _ => None,
+        }
+    }
 }
 
 impl<I: SocialNetworkInterface> Walker for SessionWalker<I> {

@@ -79,6 +79,7 @@ pub use mto_experiments as experiments;
 pub use mto_fleet as fleet;
 pub use mto_graph as graph;
 pub use mto_net as net;
+pub use mto_obs as obs;
 pub use mto_osn as osn;
 pub use mto_qos as qos;
 pub use mto_serve as serve;
@@ -94,6 +95,7 @@ pub mod prelude {
     pub use mto_fleet::{FleetConfig, FleetCoordinator, FleetReport};
     pub use mto_graph::{Edge, Graph, GraphBuilder, NodeId};
     pub use mto_net::{LatencyModel, ProviderProfile, QueryPipeline, VirtualClock};
+    pub use mto_obs::{Histogram, MetricsRegistry, TraceSink};
     pub use mto_osn::{CachedClient, OsnService, QueryClient, SocialNetworkInterface};
     pub use mto_qos::{AdmissionController, BudgetLedger, CostPredictor, DeadlinePolicy};
     pub use mto_serve::{HistoryJournal, HistoryStore, JobScheduler, JobSpec, SamplerSession};
