@@ -243,10 +243,10 @@ fn bench_merge(c: &mut Criterion) {
 }
 
 fn bench_pipeline(c: &mut Criterion) {
+    use mto_net::demand::{record_traces, PoolJob, WalkerSpec};
     use mto_net::driver::{replay_pool, DriverConfig, DriverMode};
     use mto_net::latency::LatencyModel;
     use mto_net::pipeline::{PipelineConfig, QueryPipeline};
-    use mto_net::trace::{record_traces, PoolJob, WalkerSpec};
 
     let mut group = c.benchmark_group("micro/pipeline");
     group.sample_size(20);

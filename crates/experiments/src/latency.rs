@@ -23,9 +23,9 @@
 
 use mto_core::mto::MtoConfig;
 use mto_graph::NodeId;
+use mto_net::demand::{record_traces, PoolJob, WalkerSpec};
 use mto_net::driver::{replay_pool, DriverConfig, DriverMode, PoolReport};
 use mto_net::pipeline::PipelineConfig;
-use mto_net::trace::{record_traces, PoolJob, WalkerSpec};
 use mto_net::ProviderProfile;
 use mto_osn::OsnService;
 

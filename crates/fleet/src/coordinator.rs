@@ -53,7 +53,8 @@
 //! the *timing* (virtual seconds) depend on `W` and gossip — that is
 //! the whole point of measuring them.
 
-use std::collections::HashSet;
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use mto_core::mto::RewireStats;
 use mto_core::walk::Walker;
@@ -125,7 +126,7 @@ pub struct FleetConfig {
     pub deadline_policy: DeadlinePolicy,
     /// Collect observability: per-shard metrics registries merged at
     /// every epoch barrier, pipeline queue-wait/service-time histograms,
-    /// and the deterministic `mto-trace/v1` trace. Off by default — the
+    /// and the deterministic `mto-trace/v2` trace. Off by default — the
     /// disabled configuration adds no work to the epoch loop.
     pub obs: bool,
 }
@@ -212,6 +213,68 @@ impl<I: SocialNetworkInterface> Slot<I> {
 
     fn done(&self) -> bool {
         self.cut || self.session.state() == SessionState::Completed
+    }
+}
+
+/// Derives the causal cross-job adoption edges carried by the trace's
+/// `gossip` records: job *B* adopted node `v` at a barrier if *B*'s walk
+/// visited `v` after some job *A*'s walk had already paid for it.
+///
+/// The per-shard cache adoption counts gossiped at the same barrier are
+/// a `W`-dependent figure (which shard paid first depends on the job
+/// placement), so they live in the registry's timing plane. These edges
+/// instead are a pure function of the walk histories — themselves
+/// byte-identical across shard counts — folded in ascending account
+/// order, so the traced edge multiset is shard-invariant and safe for
+/// the byte-identity contract.
+struct CausalGossip {
+    /// First account whose walk visited each node.
+    first_owner: HashMap<NodeId, usize>,
+    /// Nodes each account's own walk already visited (revisits and
+    /// self-adoptions are never edges).
+    seen: Vec<HashSet<NodeId>>,
+    /// History prefix already folded, per account.
+    cursors: Vec<usize>,
+    /// Total adoptions across all barriers.
+    total: u64,
+}
+
+impl CausalGossip {
+    fn new(accounts: usize) -> Self {
+        CausalGossip {
+            first_owner: HashMap::new(),
+            seen: vec![HashSet::new(); accounts],
+            cursors: vec![0; accounts],
+            total: 0,
+        }
+    }
+
+    /// Folds every account's new history suffix (ascending account
+    /// order) and returns this barrier's adoption edges
+    /// `(owner, adopter, count)`, sorted by `(owner, adopter)`.
+    fn barrier(&mut self, histories: &[&[NodeId]]) -> Vec<(usize, usize, u64)> {
+        let mut edges: BTreeMap<(usize, usize), u64> = BTreeMap::new();
+        for (account, history) in histories.iter().enumerate() {
+            for &v in &history[self.cursors[account].min(history.len())..] {
+                if !self.seen[account].insert(v) {
+                    continue;
+                }
+                match self.first_owner.entry(v) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(account);
+                    }
+                    Entry::Occupied(owner) => {
+                        let owner = *owner.get();
+                        if owner != account {
+                            *edges.entry((owner, account)).or_insert(0) += 1;
+                            self.total += 1;
+                        }
+                    }
+                }
+            }
+            self.cursors[account] = history.len();
+        }
+        edges.into_iter().map(|((from, to), count)| (from, to, count)).collect()
     }
 }
 
@@ -357,6 +420,17 @@ where
             }
         }
 
+        // Causal gossip edges are derived from walk histories (pure
+        // functions of the jobs), so they are W-invariant and safe to
+        // trace even though per-shard cache adoption counts are not.
+        // `gossip = false` runs isolated shards: nothing is adopted, so
+        // no edges are traced either — on any W.
+        let mut causal = if self.config.obs && self.config.gossip {
+            Some(CausalGossip::new(admitted.len()))
+        } else {
+            None
+        };
+
         let plan = ShardPlan::round_robin(admitted.len(), self.config.shards);
         let quantum = self.config.epoch_quantum.max(1);
         let planner = PlannerConfig { quantum, ..Default::default() };
@@ -430,6 +504,24 @@ where
                         obs.trace.point(0, &format!("suspend-{}", slot.session.spec().id), demand);
                     }
                 }
+            }
+        }
+
+        // Seed positions are causal demand too: a job starting on (or
+        // instantly revisiting) a node another walk already owns adopts
+        // it from epoch zero, before any span opens.
+        if let (Some(obs), Some(causal)) = (obs.as_mut(), causal.as_mut()) {
+            let histories: Vec<&[NodeId]> = slot_of_account
+                .iter()
+                .map(|&(s, pos)| shards[s].slots[pos].session.walker().history())
+                .collect();
+            for (from, to, count) in causal.barrier(&histories) {
+                obs.trace.gossip(
+                    0,
+                    &format!("job-{}", jobs[admitted[from]].id),
+                    &format!("job-{}", jobs[admitted[to]].id),
+                    count,
+                );
             }
         }
 
@@ -720,6 +812,24 @@ where
                 obs.registry.inc("gossip-adopted-responses", report.adopted_responses);
                 obs.registry.inc("gossip-merge-conflicts", report.merge_conflicts);
                 obs.registry.inc("walk-steps", epoch_steps);
+                // The causal (W-invariant) face of the same barrier:
+                // which job's walk adopted nodes first paid for by
+                // another job's walk, emitted inside the epoch span so
+                // the analysis layer can stamp the edge with its epoch.
+                if let Some(causal) = causal.as_mut() {
+                    let histories: Vec<&[NodeId]> = slot_of_account
+                        .iter()
+                        .map(|&(s, pos)| shards[s].slots[pos].session.walker().history())
+                        .collect();
+                    for (from, to, count) in causal.barrier(&histories) {
+                        obs.trace.gossip(
+                            epoch_t_us(epoch),
+                            &format!("job-{}", jobs[admitted[from]].id),
+                            &format!("job-{}", jobs[admitted[to]].id),
+                            count,
+                        );
+                    }
+                }
                 // Exit cost 0: the epoch's work is already attributed to
                 // the nested job spans (the fold treats exit cost as
                 // *self* weight, so a nonzero epoch cost would double
@@ -728,6 +838,11 @@ where
             }
             epochs.push(report);
             epoch += 1;
+        }
+        if let Some(obs) = obs.as_mut() {
+            // In-trace self-check: `trace2critpath` cross-checks the
+            // epoch count it reconstructs against this final point.
+            obs.trace.point(epoch_t_us(epochs.len()), "fleet-epochs", epochs.len() as u64);
         }
 
         // ── Finalize outcomes in submission order: run slots first, then
@@ -811,7 +926,13 @@ where
         // summed over jobs in submission order) plus cache/arena figures
         // (W-dependent: per-shard caches diverge with the shard count).
         if let Some(obs) = obs.as_mut() {
+            // A nonzero underflow count means an exit was submitted with
+            // no open span — an instrumentation bug the metrics surface
+            // must report rather than silently drop.
+            let underflows = obs.trace.underflows();
             let reg = &mut obs.registry;
+            reg.inc("trace-underflows", underflows);
+            reg.inc("gossip-causal-adoptions", causal.as_ref().map_or(0, |c| c.total));
             reg.inc("unique-nodes-crawled", union.num_responses() as u64);
             for shard in &shards {
                 reg.inc("total-lookups", shard.client.with(|c| c.total_lookups()));
@@ -1285,6 +1406,25 @@ mod tests {
         let encoded = mto_obs::encode_trace(&reference.trace);
         assert!(!reference.trace.is_empty(), "an observed run records events");
         assert_eq!(reference.trace.open_spans(), 0, "every epoch span closed");
+        assert_eq!(reference.trace.underflows(), 0, "every exit had an open span");
+        // The causal records are part of the byte-identical plane: the
+        // W=1 trace already carries gossip edges and the epoch-count
+        // self-check, so cross-W equality covers them too.
+        assert!(
+            reference
+                .trace
+                .events()
+                .iter()
+                .any(|e| matches!(e, mto_obs::TraceRecord::Gossip { .. })),
+            "deadline jobs on one barbell share nodes: adoption edges must appear"
+        );
+        assert!(
+            reference.trace.events().iter().any(|e| matches!(
+                e,
+                mto_obs::TraceRecord::Point { name, .. } if name == "fleet-epochs"
+            )),
+            "the trace must close with its epoch-count self-check"
+        );
         for shards in [2, 4] {
             let other = observe(shards);
             assert_eq!(
@@ -1301,6 +1441,43 @@ mod tests {
                     "{name} diverged at W={shards}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn the_critical_path_spans_the_makespan_and_is_shard_invariant() {
+        let run = |shards| {
+            barbell_fleet(FleetConfig {
+                shards,
+                epoch_quantum: 32,
+                fleet_budget: Some(10_000),
+                obs: true,
+                ..Default::default()
+            })
+            .run(deadline_jobs())
+            .unwrap()
+        };
+        let reference = run(1);
+        let data = reference.obs.as_ref().expect("obs was requested");
+        let model = mto_obs::critpath::FleetModel::from_records(data.trace.events())
+            .expect("fleet traces parse into the epoch/job model");
+        let path = mto_obs::critpath::critical_path(&model).expect("the run has epochs");
+        // The path is an unbroken causal chain through every epoch: its
+        // virtual-time total *is* the makespan, in epochs — the trace's
+        // own `fleet-epochs` self-check already pinned that count to the
+        // model during parsing.
+        assert_eq!(path.epochs, reference.epochs.len());
+        let report = mto_obs::critpath::render(&path);
+        let lanes = mto_obs::timeline::render(&model).expect("fleet traces have epoch lanes");
+        for shards in [2, 4] {
+            let other = run(shards);
+            let other_data = other.obs.as_ref().expect("obs was requested");
+            let other_model =
+                mto_obs::critpath::FleetModel::from_records(other_data.trace.events())
+                    .expect("fleet traces parse into the epoch/job model");
+            let other_path = mto_obs::critpath::critical_path(&other_model).unwrap();
+            assert_eq!(mto_obs::critpath::render(&other_path), report, "W={shards}");
+            assert_eq!(mto_obs::timeline::render(&other_model).unwrap(), lanes, "W={shards}");
         }
     }
 

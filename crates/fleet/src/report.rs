@@ -62,9 +62,11 @@ pub struct FleetObsData {
     /// histograms (queue wait, service time) legitimately vary with the
     /// shard count; the deterministic-plane figures do not.
     pub registry: MetricsRegistry,
-    /// Span/point events of the deterministic plane, stamped with
-    /// epoch-ordinal virtual time — byte-identical across shard counts
-    /// once encoded (`mto-trace/v1`).
+    /// Span/point/gossip events of the deterministic plane, stamped
+    /// with epoch-ordinal virtual time and threaded with causal
+    /// structure (span ids, parent links, cross-job adoption edges) —
+    /// byte-identical across shard counts once encoded
+    /// (`mto-trace/v2`).
     pub trace: TraceSink,
 }
 

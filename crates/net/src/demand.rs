@@ -1,5 +1,5 @@
 //! Demand-trace recording: phase one of the walk-not-wait driver
-//! (formerly `mto_net::trace`; see the [`crate::trace`] shim).
+//! (formerly `mto_net::trace`).
 //!
 //! A walker's *path* is a pure function of `(config, responses)` — timing
 //! never changes where it goes, only how long it takes (the same argument

@@ -30,8 +30,8 @@ use std::collections::HashSet;
 use mto_graph::NodeId;
 use mto_osn::{Result, SocialNetworkInterface, VirtualClock};
 
+use crate::demand::{record_traces, PoolJob, TraceEvent, WalkTrace};
 use crate::pipeline::{PipelineConfig, PipelineStats, QueryPipeline};
-use crate::trace::{record_traces, PoolJob, TraceEvent, WalkTrace};
 
 /// Concurrency regime of one pool run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -300,8 +300,8 @@ pub fn replay_pool<I: SocialNetworkInterface>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::demand::WalkerSpec;
     use crate::latency::{LatencyModel, ProviderProfile};
-    use crate::trace::WalkerSpec;
     use mto_core::mto::MtoConfig;
     use mto_core::walk::SrwConfig;
     use mto_graph::generators::paper_barbell;
@@ -413,7 +413,7 @@ mod tests {
     #[test]
     fn replay_reuses_traces_across_regimes() {
         let svc = OsnService::with_defaults(&paper_barbell());
-        let traces = crate::trace::record_traces(&svc, &pool()).unwrap();
+        let traces = crate::demand::record_traces(&svc, &pool()).unwrap();
         let serial = replay_pool(&svc, &traces, &config(DriverMode::Serial)).unwrap();
         let wnw = replay_pool(&svc, &traces, &config(DriverMode::WalkNotWait)).unwrap();
         // One oracle pass, two regimes — same results as the coupled path.

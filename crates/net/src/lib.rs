@@ -69,8 +69,6 @@ pub mod timed;
 pub mod demand;
 #[cfg(feature = "walkers")]
 pub mod driver;
-#[cfg(feature = "walkers")]
-pub mod trace;
 
 pub use event::{Event, EventQueue};
 pub use latency::{FaultModel, LatencyModel, ProviderProfile};

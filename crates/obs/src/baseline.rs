@@ -1,0 +1,396 @@
+//! The committed metrics baseline: `OBS_BASELINE.json`.
+//!
+//! The fleet's `metric` report lines are shard-invariant by contract —
+//! the same figures at every `W`. This module pins them to a committed
+//! ledger (same sorted-key hand-rolled JSON style as the
+//! `mto-bench::ledger` perf ledger) so CI fails when a change drifts a
+//! deterministic figure (unique queries, cache hit rate, gossip
+//! adoption) outside its declared tolerance, instead of the drift
+//! sailing through unnoticed:
+//!
+//! ```json
+//! {
+//!   "schema": "mto-obs-baseline/v1",
+//!   "request": "obs-smoke reference fleet (gnp-200 ...)",
+//!   "metrics": {
+//!     "cache-hit-rate-bp": {"tolerance-pct": 0, "value": 9180},
+//!     "unique-queries": {"tolerance-pct": 0, "value": 200}
+//!   }
+//! }
+//! ```
+//!
+//! Percentages in report lines (`91.80%`) are pinned in basis points
+//! under a `-bp` key suffix so the whole ledger stays integer-exact.
+//! The parser is a minimal strict reader for exactly this shape (the
+//! workspace vendors no JSON crate).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// The schema tag written and required on read.
+pub const BASELINE_SCHEMA: &str = "mto-obs-baseline/v1";
+
+/// One pinned metric.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Pinned value (basis points for `-bp` keys).
+    pub value: u64,
+    /// Allowed relative drift, percent of the pinned value. 0 = exact —
+    /// the right default for figures under the determinism contract.
+    pub tolerance_pct: u64,
+}
+
+/// The committed baseline ledger.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Provenance: the request the figures were measured on.
+    pub request: String,
+    /// Pinned metrics, sorted by name.
+    pub metrics: BTreeMap<String, BaselineEntry>,
+}
+
+/// One metric outside its tolerance (or missing from the report).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Drift {
+    /// Metric name.
+    pub metric: String,
+    /// Pinned value.
+    pub expected: u64,
+    /// Observed value (`None`: the report has no such metric line).
+    pub actual: Option<u64>,
+    /// The declared tolerance.
+    pub tolerance_pct: u64,
+}
+
+impl std::fmt::Display for Drift {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.actual {
+            Some(a) => write!(
+                f,
+                "drift metric={} expected={} actual={} tolerance-pct={}",
+                self.metric, self.expected, a, self.tolerance_pct
+            ),
+            None => write!(
+                f,
+                "drift metric={} expected={} actual=(missing) tolerance-pct={}",
+                self.metric, self.expected, self.tolerance_pct
+            ),
+        }
+    }
+}
+
+impl Baseline {
+    /// Renders the ledger as its deterministic JSON document.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(128 + 64 * self.metrics.len());
+        out.push_str("{\n");
+        writeln!(out, "  \"schema\": \"{BASELINE_SCHEMA}\",").expect("string write");
+        writeln!(out, "  \"request\": \"{}\",", escape(&self.request)).expect("string write");
+        out.push_str("  \"metrics\": {\n");
+        let last = self.metrics.len().saturating_sub(1);
+        for (i, (name, e)) in self.metrics.iter().enumerate() {
+            write!(
+                out,
+                "    \"{}\": {{\"tolerance-pct\": {}, \"value\": {}}}",
+                escape(name),
+                e.tolerance_pct,
+                e.value
+            )
+            .expect("string write");
+            out.push_str(if i == last { "\n" } else { ",\n" });
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses a baseline document. Strict: exactly the shape
+    /// [`Baseline::render`] emits (whitespace-insensitive), with the
+    /// schema tag required.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+        let mut schema = None;
+        let mut request = None;
+        let mut metrics = BTreeMap::new();
+        p.expect(b'{')?;
+        loop {
+            let key = p.string()?;
+            p.expect(b':')?;
+            match key.as_str() {
+                "schema" => schema = Some(p.string()?),
+                "request" => request = Some(p.string()?),
+                "metrics" => {
+                    p.expect(b'{')?;
+                    if !p.try_expect(b'}') {
+                        loop {
+                            let name = p.string()?;
+                            p.expect(b':')?;
+                            p.expect(b'{')?;
+                            let mut value = None;
+                            let mut tolerance = None;
+                            loop {
+                                let field = p.string()?;
+                                p.expect(b':')?;
+                                let n = p.number()?;
+                                match field.as_str() {
+                                    "value" => value = Some(n),
+                                    "tolerance-pct" => tolerance = Some(n),
+                                    other => return Err(format!("unknown metric field {other:?}")),
+                                }
+                                if !p.try_expect(b',') {
+                                    break;
+                                }
+                            }
+                            p.expect(b'}')?;
+                            let value = value.ok_or(format!("metric {name:?} missing value"))?;
+                            metrics.insert(
+                                name,
+                                BaselineEntry { value, tolerance_pct: tolerance.unwrap_or(0) },
+                            );
+                            if !p.try_expect(b',') {
+                                break;
+                            }
+                        }
+                        p.expect(b'}')?;
+                    }
+                }
+                other => return Err(format!("unknown baseline field {other:?}")),
+            }
+            if !p.try_expect(b',') {
+                break;
+            }
+        }
+        p.expect(b'}')?;
+        p.end()?;
+        match schema.as_deref() {
+            Some(BASELINE_SCHEMA) => {}
+            Some(other) => return Err(format!("unknown schema {other:?}")),
+            None => return Err("missing schema field".to_string()),
+        }
+        Ok(Baseline { request: request.unwrap_or_default(), metrics })
+    }
+
+    /// Compares the baseline against observed figures, returning every
+    /// metric outside its tolerance. Empty result: the gate passes.
+    /// Metrics present in `actual` but not pinned are ignored (adding a
+    /// new metric line is not a regression).
+    pub fn compare(&self, actual: &BTreeMap<String, u64>) -> Vec<Drift> {
+        let mut drifts = Vec::new();
+        for (name, e) in &self.metrics {
+            let drift = match actual.get(name) {
+                Some(&a) => {
+                    let delta = a.abs_diff(e.value);
+                    // delta / expected > tolerance / 100, integer-exact.
+                    delta * 100 > e.tolerance_pct * e.value
+                }
+                None => true,
+            };
+            if drift {
+                drifts.push(Drift {
+                    metric: name.clone(),
+                    expected: e.value,
+                    actual: actual.get(name).copied(),
+                    tolerance_pct: e.tolerance_pct,
+                });
+            }
+        }
+        drifts
+    }
+}
+
+/// Extracts the shard-invariant figures from a rendered report: every
+/// `metric <name> <value>` line. Percent values (`91.80%`) become basis
+/// points under `<name>-bp`.
+pub fn parse_metric_lines(report: &str) -> BTreeMap<String, u64> {
+    let mut out = BTreeMap::new();
+    for line in report.lines() {
+        let Some(rest) = line.strip_prefix("metric ") else { continue };
+        let Some((name, value)) = rest.rsplit_once(' ') else { continue };
+        if let Some(pct) = value.strip_suffix('%') {
+            if let Some((int, frac)) = pct.split_once('.') {
+                if frac.len() == 2 {
+                    if let (Ok(i), Ok(f)) = (int.parse::<u64>(), frac.parse::<u64>()) {
+                        out.insert(format!("{name}-bp"), i * 100 + f);
+                    }
+                }
+            } else if let Ok(i) = pct.parse::<u64>() {
+                out.insert(format!("{name}-bp"), i * 100);
+            }
+        } else if let Ok(v) = value.parse::<u64>() {
+            out.insert(name.to_string(), v);
+        }
+    }
+    out
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("string write");
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Minimal strict reader for the baseline's JSON subset: objects,
+/// strings without escapes beyond `\"`/`\\`/`\n`, unsigned integers.
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(&got) if got == b => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(&got) => Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char, self.pos, got as char
+            )),
+            None => Err(format!("expected {:?}, found end of input", b as char)),
+        }
+    }
+
+    fn try_expect(&mut self, b: u8) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    let esc = self.bytes.get(self.pos + 1);
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 2;
+                }
+                Some(&b) => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected a number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse()
+            .map_err(|e| format!("bad number at byte {start}: {e}"))
+    }
+
+    fn end(&mut self) -> Result<(), String> {
+        self.skip_ws();
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!("trailing data at byte {}", self.pos))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Baseline {
+        let mut metrics = BTreeMap::new();
+        metrics.insert("unique-queries".into(), BaselineEntry { value: 200, tolerance_pct: 0 });
+        metrics.insert("cache-hit-rate-bp".into(), BaselineEntry { value: 9180, tolerance_pct: 1 });
+        Baseline { request: "ref \"fleet\"".into(), metrics }
+    }
+
+    #[test]
+    fn render_parse_round_trip() {
+        let b = sample();
+        let text = b.render();
+        assert!(text.contains("\"schema\": \"mto-obs-baseline/v1\""), "{text}");
+        assert_eq!(Baseline::parse(&text).unwrap(), b);
+        assert_eq!(b.render(), text, "render is deterministic");
+    }
+
+    #[test]
+    fn parse_rejects_garbage_and_wrong_schema() {
+        assert!(Baseline::parse("").is_err());
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse("{\"schema\": \"mto-obs-baseline/v9\", \"metrics\": {}}").is_err());
+        let truncated = sample().render();
+        assert!(Baseline::parse(&truncated[..truncated.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn compare_flags_exact_and_tolerated_drift() {
+        let b = sample();
+        let mut actual = BTreeMap::new();
+        actual.insert("unique-queries".to_string(), 200u64);
+        actual.insert("cache-hit-rate-bp".to_string(), 9250u64);
+        actual.insert("unpinned-extra".to_string(), 1u64);
+        let drifts = b.compare(&actual);
+        // 9250 vs 9180 drifts 0.76%, inside the declared 1% tolerance.
+        assert!(drifts.is_empty(), "{drifts:?}");
+
+        actual.insert("cache-hit-rate-bp".to_string(), 9300u64);
+        let drifts = b.compare(&actual);
+        assert_eq!(drifts.len(), 1, "120 bp off on a 1% tolerance must drift");
+        assert_eq!(drifts[0].metric, "cache-hit-rate-bp");
+
+        actual.remove("unique-queries");
+        let drifts = b.compare(&actual);
+        assert_eq!(drifts.len(), 2, "a missing pinned metric is a drift");
+        assert!(drifts.iter().any(|d| d.actual.is_none()));
+        assert!(drifts[0].to_string().starts_with("drift metric="));
+    }
+
+    #[test]
+    fn metric_lines_parse_including_percentages() {
+        let report = "fleet shards=4\nmetric jobs 4\nmetric cache-hit-rate 91.80%\n\
+                      metric whole-rate 7%\ntiming makespan-secs 3.000\nmetric odd last 12\n";
+        let m = parse_metric_lines(report);
+        assert_eq!(m.get("jobs"), Some(&4));
+        assert_eq!(m.get("cache-hit-rate-bp"), Some(&9180));
+        assert_eq!(m.get("whole-rate-bp"), Some(&700));
+        assert_eq!(m.get("odd last"), Some(&12), "rsplit keeps multi-word names");
+        assert!(!m.contains_key("makespan-secs"), "timing lines are never pinned");
+    }
+}

@@ -1,0 +1,84 @@
+//! `obs_baseline` — the committed metrics baseline gate.
+//!
+//! ```text
+//! obs_baseline check <baseline.json> <report.txt>
+//! obs_baseline write <baseline.json> <report.txt> <request note…>
+//! ```
+//!
+//! `check` compares the shard-invariant `metric` lines of a rendered
+//! report against the committed `OBS_BASELINE.json`, exiting 1 with one
+//! `drift metric=…` line per figure outside its declared tolerance.
+//! `write` regenerates the baseline from a report (tolerances default
+//! to 0 — the determinism contract — and can be relaxed by hand).
+
+use std::process::ExitCode;
+
+use mto_obs::baseline::{parse_metric_lines, Baseline, BaselineEntry};
+
+const USAGE: &str = "obs_baseline check <baseline.json> <report.txt>\n       \
+                     obs_baseline write <baseline.json> <report.txt> <request note...>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") if args.len() == 3 => check(&args[1], &args[2]),
+        Some("write") if args.len() >= 4 => write(&args[1], &args[2], &args[3..].join(" ")),
+        _ => mto_obs::cli::usage(USAGE),
+    }
+}
+
+fn check(baseline_path: &str, report_path: &str) -> ExitCode {
+    let baseline_text = match mto_obs::cli::read_file("obs_baseline", baseline_path) {
+        Ok(text) => text,
+        Err(e) => return mto_obs::cli::fail(&e),
+    };
+    let baseline = match Baseline::parse(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => return mto_obs::cli::fail(&format!("obs_baseline: {baseline_path}: {e}")),
+    };
+    let report = match mto_obs::cli::read_file("obs_baseline", report_path) {
+        Ok(text) => text,
+        Err(e) => return mto_obs::cli::fail(&e),
+    };
+    let actual = parse_metric_lines(&report);
+    let drifts = baseline.compare(&actual);
+    if drifts.is_empty() {
+        println!("obs-baseline: {} pinned metrics within tolerance", baseline.metrics.len());
+        ExitCode::SUCCESS
+    } else {
+        for d in &drifts {
+            println!("{d}");
+        }
+        eprintln!(
+            "obs_baseline: {report_path}: {} of {} pinned metrics drifted",
+            drifts.len(),
+            baseline.metrics.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+fn write(baseline_path: &str, report_path: &str, request: &str) -> ExitCode {
+    let report = match mto_obs::cli::read_file("obs_baseline", report_path) {
+        Ok(text) => text,
+        Err(e) => return mto_obs::cli::fail(&e),
+    };
+    let metrics = parse_metric_lines(&report);
+    if metrics.is_empty() {
+        return mto_obs::cli::fail(&format!(
+            "obs_baseline: {report_path}: no `metric` lines to pin"
+        ));
+    }
+    let baseline = Baseline {
+        request: request.to_string(),
+        metrics: metrics
+            .into_iter()
+            .map(|(name, value)| (name, BaselineEntry { value, tolerance_pct: 0 }))
+            .collect(),
+    };
+    if let Err(e) = std::fs::write(baseline_path, baseline.render()) {
+        return mto_obs::cli::fail(&format!("obs_baseline: cannot write {baseline_path}: {e}"));
+    }
+    println!("obs-baseline: pinned {} metrics to {baseline_path}", baseline.metrics.len());
+    ExitCode::SUCCESS
+}

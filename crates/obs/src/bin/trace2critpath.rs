@@ -1,0 +1,44 @@
+//! `trace2critpath <trace-file>` — extract the critical path bounding a
+//! fleet trace's virtual-time makespan.
+//!
+//! Prints the deterministic line report of `mto_obs::critpath::render`:
+//! the terminal job, each path segment with its phase attribution
+//! (service / queue-wait / budget-stall), and the totals. On a flat
+//! (non-fleet) trace the path degenerates to the heaviest span. Exits
+//! non-zero with a one-line diagnostic on unreadable input or a trace
+//! that fails the fleet-model self-checks.
+
+use std::process::ExitCode;
+
+use mto_obs::critpath::{critical_path, flat_fallback, FleetModel};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        return mto_obs::cli::usage("trace2critpath <trace-file>");
+    };
+    let records = match mto_obs::cli::load_trace("trace2critpath", &path) {
+        Ok(records) => records,
+        Err(e) => return mto_obs::cli::fail(&e),
+    };
+    let model = match FleetModel::from_records(&records) {
+        Ok(model) => model,
+        Err(e) => return mto_obs::cli::fail(&format!("trace2critpath: {path}: {e}")),
+    };
+    match critical_path(&model) {
+        Some(cp) => print!("{}", mto_obs::critpath::render(&cp)),
+        None => match flat_fallback(&records) {
+            Some((name, weight)) => {
+                println!("# flat trace: no epochs, the heaviest span is the path");
+                println!("makespan-epochs 0");
+                println!("path span={name} weight={weight}");
+            }
+            None => {
+                return mto_obs::cli::fail(&format!(
+                    "trace2critpath: {path}: no spans to extract a path from"
+                ))
+            }
+        },
+    }
+    ExitCode::SUCCESS
+}

@@ -1,32 +1,23 @@
-//! `trace2flame <trace-file>` — fold an `mto-trace/v1` file into
-//! collapsed flamegraph stacks on stdout.
+//! `trace2flame <trace-file>` — fold an `mto-trace` file into collapsed
+//! flamegraph stacks on stdout.
 //!
 //! The output is the standard `path;to;span weight` format consumed by
 //! `flamegraph.pl` and compatible renderers. Exits non-zero with a
-//! diagnostic on a missing, truncated, or corrupted trace.
+//! one-line diagnostic on a missing, empty, truncated, or corrupted
+//! trace (shared shell: `mto_obs::cli`).
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let (Some(path), None) = (args.next(), args.next()) else {
-        eprintln!("usage: trace2flame <trace-file>");
-        return ExitCode::from(2);
+        return mto_obs::cli::usage("trace2flame <trace-file>");
     };
-    let text = match std::fs::read_to_string(&path) {
-        Ok(text) => text,
-        Err(e) => {
-            eprintln!("trace2flame: cannot read {path}: {e}");
-            return ExitCode::FAILURE;
+    match mto_obs::cli::load_trace("trace2flame", &path) {
+        Ok(records) => {
+            print!("{}", mto_obs::flame::fold(&records));
+            ExitCode::SUCCESS
         }
-    };
-    let records = match mto_obs::decode_trace(&text) {
-        Ok(records) => records,
-        Err(e) => {
-            eprintln!("trace2flame: {path}: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    print!("{}", mto_obs::flame::fold(&records));
-    ExitCode::SUCCESS
+        Err(e) => mto_obs::cli::fail(&e),
+    }
 }

@@ -1,0 +1,34 @@
+//! `trace2timeline <trace-file>` — render a fleet trace as fixed-width
+//! ASCII epoch lanes, one row per job.
+//!
+//! See `mto_obs::timeline` for the cell legend. Exits non-zero with a
+//! one-line diagnostic on unreadable input, an inconsistent fleet
+//! model, or a flat trace with no epoch lanes to draw.
+
+use std::process::ExitCode;
+
+use mto_obs::critpath::FleetModel;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        return mto_obs::cli::usage("trace2timeline <trace-file>");
+    };
+    let records = match mto_obs::cli::load_trace("trace2timeline", &path) {
+        Ok(records) => records,
+        Err(e) => return mto_obs::cli::fail(&e),
+    };
+    let model = match FleetModel::from_records(&records) {
+        Ok(model) => model,
+        Err(e) => return mto_obs::cli::fail(&format!("trace2timeline: {path}: {e}")),
+    };
+    match mto_obs::timeline::render(&model) {
+        Some(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        None => mto_obs::cli::fail(&format!(
+            "trace2timeline: {path}: flat trace (no epoch spans), nothing to draw"
+        )),
+    }
+}

@@ -1,0 +1,69 @@
+//! Shared arg/IO/error shell of the trace tools.
+//!
+//! All four trace binaries (`trace2flame`, `trace2critpath`,
+//! `trace2timeline`, `trace2diff`) and `obs_baseline` funnel their file
+//! handling through here so every failure mode — missing file, empty
+//! file, truncated or corrupt trace — produces one clear
+//! `tool: path: what went wrong` diagnostic line and a nonzero exit,
+//! never a bare decode error or a panic.
+
+use crate::codec::decode_trace;
+use crate::trace::TraceRecord;
+
+/// Reads and decodes a trace file, mapping every failure to the
+/// one-line `tool: path: message` diagnostic the bins print.
+pub fn load_trace(tool: &str, path: &str) -> Result<Vec<TraceRecord>, String> {
+    let text = read_file(tool, path)?;
+    decode_trace(&text).map_err(|e| format!("{tool}: {path}: {e}"))
+}
+
+/// Reads a text file with the shared diagnostics (used for report files
+/// too, where trace decoding does not apply). Empty files are called
+/// out explicitly — a 0-byte trace is the most common symptom of a run
+/// that died before writing, and "checksum trailer missing" buries it.
+pub fn read_file(tool: &str, path: &str) -> Result<String, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{tool}: cannot read {path}: {e}"))?;
+    if text.is_empty() {
+        return Err(format!("{tool}: {path}: empty file (expected an mto-trace document)"));
+    }
+    Ok(text)
+}
+
+/// Prints the usage line to stderr and returns the conventional usage
+/// exit code (2).
+pub fn usage(usage: &str) -> std::process::ExitCode {
+    eprintln!("usage: {usage}");
+    std::process::ExitCode::from(2)
+}
+
+/// Prints a diagnostic (already `tool: …`-prefixed) and returns the
+/// failure exit code.
+pub fn fail(message: &str) -> std::process::ExitCode {
+    eprintln!("{message}");
+    std::process::ExitCode::FAILURE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_empty_and_corrupt_files_get_one_line_diagnostics() {
+        let err = load_trace("t2x", "/nonexistent/trace").unwrap_err();
+        assert!(err.starts_with("t2x: cannot read /nonexistent/trace:"), "{err}");
+
+        let dir = std::env::temp_dir().join(format!("mto-obs-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let empty = dir.join("empty.trace");
+        std::fs::write(&empty, "").unwrap();
+        let err = load_trace("t2x", empty.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("empty file"), "{err}");
+
+        let torn = dir.join("torn.trace");
+        std::fs::write(&torn, "mto-trace v2\nevents 0\n").unwrap();
+        let err = load_trace("t2x", torn.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("trace truncated"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

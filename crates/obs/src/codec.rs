@@ -1,33 +1,46 @@
-//! The `mto-trace/v1` codec: FNV-checksummed, line-oriented, versioned.
+//! The `mto-trace/v2` codec: FNV-checksummed, line-oriented, versioned.
 //!
 //! Same engineering as the history codec: a text format debuggable with
 //! `cat`, strict to parse, integrity-checked end to end:
 //!
 //! ```text
-//! mto-trace v1
-//! events 4
-//! enter 0 0 epoch-0
-//! point 1 0 ledger-pool 320
-//! exit 2 0 128
-//! point 3 1000000 job-finished:a 400
+//! mto-trace v2
+//! events 5
+//! enter 0 0 1 0 epoch-0
+//! point 1 0 1 ledger-pool 320
+//! gossip 2 0 1 job-a job-b 12
+//! exit 3 0 1 128
+//! point 4 1000000 0 job-finished:a 400
 //! checksum 8d4f0a1b2c3d4e5f
 //! ```
 //!
 //! * `events <n>` — declared record count, cross-checked on decode;
-//! * `enter <seq> <t_us> <name>` / `exit <seq> <t_us> <cost>` /
-//!   `point <seq> <t_us> <name> <value>` — one [`TraceRecord`] each;
+//! * `enter <seq> <t_us> <span> <parent> <name>` /
+//!   `exit <seq> <t_us> <span> <cost>` /
+//!   `point <seq> <t_us> <span> <name> <value>` /
+//!   `gossip <seq> <t_us> <span> <from> <to> <count>` — one
+//!   [`TraceRecord`] each, carrying the causal structure (stable span
+//!   ids, parent links) introduced in v2;
 //! * the trailing `checksum` is an FNV-1a 64 hash of every preceding
 //!   byte, with no newline after it, so any strict prefix is detectably
 //!   truncated and any flipped byte is a mismatch. The decoder never
 //!   panics.
+//!
+//! The decoder still reads `mto-trace/v1` files (PR 7's format, no span
+//! ids, no gossip records): span ids and parent links are reconstructed
+//! by replaying the stack discipline the v1 sink enforced, so a v1 trace
+//! decodes to exactly the records the v2 sink would have produced for
+//! the same calls.
 
 use crate::fnv1a64;
-use crate::trace::{TraceRecord, TraceSink};
+use crate::trace::{TraceRecord, TraceSink, NO_SPAN};
 
 /// Magic of trace files.
 pub const TRACE_MAGIC: &str = "mto-trace";
-/// The format version this build reads and writes.
-pub const TRACE_VERSION: u32 = 1;
+/// The format version this build writes.
+pub const TRACE_VERSION: u32 = 2;
+/// The oldest format version this build still reads.
+pub const TRACE_MIN_VERSION: u32 = 1;
 
 /// Decode failures of the trace codec.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -43,7 +56,7 @@ pub enum TraceCodecError {
     },
     /// The first line is not `mto-trace v<version>`.
     BadHeader(String),
-    /// The file is a later format version than this build understands.
+    /// The file is a format version outside this build's v1..=v2 range.
     UnsupportedVersion(u32),
     /// A record line failed to parse.
     BadRecord {
@@ -89,10 +102,66 @@ fn push_u64(out: &mut String, mut v: u64) {
     out.push_str(std::str::from_utf8(&buf[i..]).expect("decimal digits are ASCII"));
 }
 
-/// Serializes a sink's events as an `mto-trace/v1` document.
+/// Appends one record as its `mto-trace/v2` line (no trailing newline).
+/// This is the display form the divergence auditor prints, so it is
+/// public alongside the whole-document [`encode_trace`].
+pub fn render_record(out: &mut String, e: &TraceRecord) {
+    match e {
+        TraceRecord::Enter { seq, t_us, span, parent, name } => {
+            out.push_str("enter ");
+            push_u64(out, *seq);
+            out.push(' ');
+            push_u64(out, *t_us);
+            out.push(' ');
+            push_u64(out, *span);
+            out.push(' ');
+            push_u64(out, *parent);
+            out.push(' ');
+            out.push_str(name);
+        }
+        TraceRecord::Exit { seq, t_us, span, cost } => {
+            out.push_str("exit ");
+            push_u64(out, *seq);
+            out.push(' ');
+            push_u64(out, *t_us);
+            out.push(' ');
+            push_u64(out, *span);
+            out.push(' ');
+            push_u64(out, *cost);
+        }
+        TraceRecord::Point { seq, t_us, span, name, value } => {
+            out.push_str("point ");
+            push_u64(out, *seq);
+            out.push(' ');
+            push_u64(out, *t_us);
+            out.push(' ');
+            push_u64(out, *span);
+            out.push(' ');
+            out.push_str(name);
+            out.push(' ');
+            push_u64(out, *value);
+        }
+        TraceRecord::Gossip { seq, t_us, span, from, to, count } => {
+            out.push_str("gossip ");
+            push_u64(out, *seq);
+            out.push(' ');
+            push_u64(out, *t_us);
+            out.push(' ');
+            push_u64(out, *span);
+            out.push(' ');
+            out.push_str(from);
+            out.push(' ');
+            out.push_str(to);
+            out.push(' ');
+            push_u64(out, *count);
+        }
+    }
+}
+
+/// Serializes a sink's events as an `mto-trace/v2` document.
 pub fn encode_trace(sink: &TraceSink) -> String {
     let events = sink.events();
-    let mut out = String::with_capacity(64 + 32 * events.len());
+    let mut out = String::with_capacity(64 + 40 * events.len());
     out.push_str(TRACE_MAGIC);
     out.push_str(" v");
     push_u64(&mut out, u64::from(TRACE_VERSION));
@@ -100,34 +169,7 @@ pub fn encode_trace(sink: &TraceSink) -> String {
     push_u64(&mut out, events.len() as u64);
     out.push('\n');
     for e in events {
-        match e {
-            TraceRecord::Enter { seq, t_us, name } => {
-                out.push_str("enter ");
-                push_u64(&mut out, *seq);
-                out.push(' ');
-                push_u64(&mut out, *t_us);
-                out.push(' ');
-                out.push_str(name);
-            }
-            TraceRecord::Exit { seq, t_us, cost } => {
-                out.push_str("exit ");
-                push_u64(&mut out, *seq);
-                out.push(' ');
-                push_u64(&mut out, *t_us);
-                out.push(' ');
-                push_u64(&mut out, *cost);
-            }
-            TraceRecord::Point { seq, t_us, name, value } => {
-                out.push_str("point ");
-                push_u64(&mut out, *seq);
-                out.push(' ');
-                push_u64(&mut out, *t_us);
-                out.push(' ');
-                out.push_str(name);
-                out.push(' ');
-                push_u64(&mut out, *value);
-            }
-        }
+        render_record(&mut out, e);
         out.push('\n');
     }
     let checksum = fnv1a64(out.as_bytes());
@@ -176,7 +218,39 @@ where
     token.parse().map_err(|e| bad_record(lineno, format!("bad {what} {token:?}: {e}")))
 }
 
-/// Decodes an `mto-trace/v1` document into its records.
+/// Replays the v1 stack discipline to reconstruct the span ids and
+/// parent links v2 records carry explicitly.
+#[derive(Default)]
+struct SpanRebuilder {
+    next_span: u64,
+    open: Vec<u64>,
+}
+
+impl SpanRebuilder {
+    fn new() -> Self {
+        SpanRebuilder { next_span: 1, open: Vec::new() }
+    }
+
+    fn enter(&mut self) -> (u64, u64) {
+        let span = self.next_span;
+        self.next_span += 1;
+        let parent = self.open.last().copied().unwrap_or(NO_SPAN);
+        self.open.push(span);
+        (span, parent)
+    }
+
+    fn exit(&mut self) -> u64 {
+        // A v1 sink could not record an unbalanced exit; a hand-edited
+        // file can, and gets the "outside any span" id.
+        self.open.pop().unwrap_or(NO_SPAN)
+    }
+
+    fn current(&self) -> u64 {
+        self.open.last().copied().unwrap_or(NO_SPAN)
+    }
+}
+
+/// Decodes an `mto-trace/v1` or `/v2` document into its records.
 pub fn decode_trace(text: &str) -> Result<Vec<TraceRecord>, TraceCodecError> {
     let body = verify_checksum(text)?;
     let mut lines = body.lines().enumerate();
@@ -188,12 +262,13 @@ pub fn decode_trace(text: &str) -> Result<Vec<TraceRecord>, TraceCodecError> {
         .ok_or_else(|| TraceCodecError::BadHeader(header.to_string()))?;
     let version: u32 =
         version.parse().map_err(|_| TraceCodecError::BadHeader(header.to_string()))?;
-    if version != TRACE_VERSION {
+    if !(TRACE_MIN_VERSION..=TRACE_VERSION).contains(&version) {
         return Err(TraceCodecError::UnsupportedVersion(version));
     }
 
     let mut declared: Option<u64> = None;
     let mut records = Vec::new();
+    let mut rebuilder = SpanRebuilder::new();
     for (i, line) in lines {
         let lineno = i + 1;
         let line = line.trim_end_matches('\r');
@@ -210,7 +285,10 @@ pub fn decode_trace(text: &str) -> Result<Vec<TraceRecord>, TraceCodecError> {
                 }
                 declared = Some(parse_num(rest, "event count", lineno)?);
             }
-            "enter" | "exit" | "point" => {
+            "enter" | "exit" | "point" | "gossip" => {
+                if version < 2 && keyword == "gossip" {
+                    return Err(bad_record(lineno, "gossip records require mto-trace v2"));
+                }
                 let mut tokens = rest.split(' ');
                 let mut next = |what: &str| {
                     tokens
@@ -221,17 +299,50 @@ pub fn decode_trace(text: &str) -> Result<Vec<TraceRecord>, TraceCodecError> {
                 let seq: u64 = parse_num(&next("seq")?, "seq", lineno)?;
                 let t_us: u64 = parse_num(&next("t_us")?, "t_us", lineno)?;
                 let record = match keyword {
-                    "enter" => TraceRecord::Enter { seq, t_us, name: next("name")? },
-                    "exit" => TraceRecord::Exit {
+                    "enter" => {
+                        let (span, parent) = if version >= 2 {
+                            let span = parse_num(&next("span")?, "span", lineno)?;
+                            let parent = parse_num(&next("parent")?, "parent", lineno)?;
+                            (span, parent)
+                        } else {
+                            rebuilder.enter()
+                        };
+                        TraceRecord::Enter { seq, t_us, span, parent, name: next("name")? }
+                    }
+                    "exit" => {
+                        let span = if version >= 2 {
+                            parse_num(&next("span")?, "span", lineno)?
+                        } else {
+                            rebuilder.exit()
+                        };
+                        TraceRecord::Exit {
+                            seq,
+                            t_us,
+                            span,
+                            cost: parse_num(&next("cost")?, "cost", lineno)?,
+                        }
+                    }
+                    "point" => {
+                        let span = if version >= 2 {
+                            parse_num(&next("span")?, "span", lineno)?
+                        } else {
+                            rebuilder.current()
+                        };
+                        TraceRecord::Point {
+                            seq,
+                            t_us,
+                            span,
+                            name: next("name")?,
+                            value: parse_num(&next("value")?, "value", lineno)?,
+                        }
+                    }
+                    _ => TraceRecord::Gossip {
                         seq,
                         t_us,
-                        cost: parse_num(&next("cost")?, "cost", lineno)?,
-                    },
-                    _ => TraceRecord::Point {
-                        seq,
-                        t_us,
-                        name: next("name")?,
-                        value: parse_num(&next("value")?, "value", lineno)?,
+                        span: parse_num(&next("span")?, "span", lineno)?,
+                        from: next("from")?,
+                        to: next("to")?,
+                        count: parse_num(&next("count")?, "count", lineno)?,
                     },
                 };
                 if tokens.next().is_some() {
@@ -259,6 +370,7 @@ mod tests {
         sink.point(0, "ledger-pool", 320);
         sink.enter(0, "job-a");
         sink.exit(0, 64);
+        sink.gossip(0, "job-a", "job-b", 12);
         sink.exit(0, 128);
         sink.point(1_000_000, "job-finished:a", 400);
         sink
@@ -268,15 +380,49 @@ mod tests {
     fn round_trip_preserves_every_record() {
         let sink = sample_sink();
         let text = encode_trace(&sink);
-        assert!(text.starts_with("mto-trace v1\nevents 6\n"));
+        assert!(text.starts_with("mto-trace v2\nevents 7\n"));
         assert!(!text.ends_with('\n'), "no newline after the checksum trailer");
         let decoded = decode_trace(&text).unwrap();
         assert_eq!(decoded, sink.events());
     }
 
     #[test]
+    fn v2_lines_carry_span_and_parent_ids() {
+        let text = encode_trace(&sample_sink());
+        assert!(text.contains("\nenter 0 0 1 0 epoch-0\n"), "top-level span: id 1, parent 0");
+        assert!(text.contains("\nenter 2 0 2 1 job-a\n"), "nested span: id 2, parent 1");
+        assert!(text.contains("\ngossip 4 0 1 job-a job-b 12\n"));
+        assert!(text.contains("\npoint 6 1000000 0 job-finished:a 400\n"), "point outside spans");
+    }
+
+    #[test]
     fn encode_is_deterministic() {
         assert_eq!(encode_trace(&sample_sink()), encode_trace(&sample_sink()));
+    }
+
+    #[test]
+    fn v1_documents_decode_with_reconstructed_spans() {
+        // The exact byte layout PR 7's encoder produced for the sample
+        // calls (minus the gossip edge, which v1 could not record).
+        let v1 = "mto-trace v1\nevents 6\nenter 0 0 epoch-0\npoint 1 0 ledger-pool 320\n\
+                  enter 2 0 job-a\nexit 3 0 64\nexit 4 0 128\npoint 5 1000000 job-finished:a 400\n";
+        let sealed = format!("{v1}checksum {:016x}", crate::fnv1a64(v1.as_bytes()));
+        let decoded = decode_trace(&sealed).unwrap();
+        let mut sink = TraceSink::new();
+        sink.enter(0, "epoch-0");
+        sink.point(0, "ledger-pool", 320);
+        sink.enter(0, "job-a");
+        sink.exit(0, 64);
+        sink.exit(0, 128);
+        sink.point(1_000_000, "job-finished:a", 400);
+        assert_eq!(decoded, sink.events(), "v1 decode reconstructs v2 span ids and parents");
+    }
+
+    #[test]
+    fn gossip_records_are_rejected_in_v1_documents() {
+        let v1 = "mto-trace v1\nevents 1\ngossip 0 0 1 job-a job-b 3\n";
+        let sealed = format!("{v1}checksum {:016x}", crate::fnv1a64(v1.as_bytes()));
+        assert!(matches!(decode_trace(&sealed), Err(TraceCodecError::BadRecord { line: 3, .. })));
     }
 
     #[test]
@@ -291,7 +437,7 @@ mod tests {
     #[test]
     fn header_and_record_errors_name_the_problem() {
         let empty = encode_trace(&TraceSink::new());
-        let wrong_magic = empty.replacen("mto-trace v1", "mto-videotape v1", 1);
+        let wrong_magic = empty.replacen("mto-trace v2", "mto-videotape v2", 1);
         // Re-seal so only the header is wrong.
         let body = &wrong_magic[..wrong_magic.rfind("checksum ").unwrap()];
         let resealed = format!("{body}checksum {:016x}", crate::fnv1a64(body.as_bytes()));
@@ -301,11 +447,15 @@ mod tests {
         let sealed = format!("{v9}checksum {:016x}", crate::fnv1a64(v9.as_bytes()));
         assert_eq!(decode_trace(&sealed), Err(TraceCodecError::UnsupportedVersion(9)));
 
-        let bad = "mto-trace v1\nevents 0\nenter x\n";
+        let v0 = "mto-trace v0\nevents 0\n";
+        let sealed = format!("{v0}checksum {:016x}", crate::fnv1a64(v0.as_bytes()));
+        assert_eq!(decode_trace(&sealed), Err(TraceCodecError::UnsupportedVersion(0)));
+
+        let bad = "mto-trace v2\nevents 0\nenter x\n";
         let sealed = format!("{bad}checksum {:016x}", crate::fnv1a64(bad.as_bytes()));
         assert!(matches!(decode_trace(&sealed), Err(TraceCodecError::BadRecord { line: 3, .. })));
 
-        let undeclared = "mto-trace v1\npoint 0 0 a 1\n";
+        let undeclared = "mto-trace v2\npoint 0 0 0 a 1\n";
         let sealed = format!("{undeclared}checksum {:016x}", crate::fnv1a64(undeclared.as_bytes()));
         assert!(matches!(decode_trace(&sealed), Err(TraceCodecError::BadRecord { .. })));
     }
@@ -313,7 +463,7 @@ mod tests {
     #[test]
     fn declared_count_is_cross_checked() {
         let text = encode_trace(&sample_sink());
-        let lying = text.replacen("events 6", "events 5", 1);
+        let lying = text.replacen("events 7", "events 6", 1);
         let body = &lying[..lying.rfind("checksum ").unwrap()];
         let resealed = format!("{body}checksum {:016x}", crate::fnv1a64(body.as_bytes()));
         assert!(matches!(decode_trace(&resealed), Err(TraceCodecError::BadRecord { .. })));

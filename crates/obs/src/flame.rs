@@ -30,7 +30,7 @@ pub fn fold(records: &[TraceRecord]) -> String {
                 stack.pop();
                 *weights.entry(path).or_insert(0) += cost;
             }
-            TraceRecord::Point { .. } => {}
+            TraceRecord::Point { .. } | TraceRecord::Gossip { .. } => {}
         }
     }
     let mut out = String::new();
@@ -66,9 +66,15 @@ mod tests {
     #[test]
     fn unbalanced_and_empty_streams_are_harmless() {
         assert_eq!(fold(&[]), "");
-        let dangling = vec![TraceRecord::Exit { seq: 0, t_us: 0, cost: 9 }];
+        let dangling = vec![TraceRecord::Exit { seq: 0, t_us: 0, span: 0, cost: 9 }];
         assert_eq!(fold(&dangling), "");
-        let open = vec![TraceRecord::Enter { seq: 0, t_us: 0, name: "left-open".into() }];
+        let open = vec![TraceRecord::Enter {
+            seq: 0,
+            t_us: 0,
+            span: 1,
+            parent: 0,
+            name: "left-open".into(),
+        }];
         assert_eq!(fold(&open), "");
     }
 

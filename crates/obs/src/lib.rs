@@ -13,25 +13,44 @@
 //!   epoch barriers exactly like `HistoryStore` gossip: merging is
 //!   associative and commutative, so the folded registry is invariant
 //!   under merge order.
-//! * [`TraceSink`] — a structured span/point event recorder stamped with
-//!   **virtual** time and submission order only, never wall-clock.
-//!   Serialized through the FNV-checksummed [`codec`] (`mto-trace/v1`,
-//!   the same line-oriented style as the history codec) and folded into
-//!   collapsed flamegraph stacks by [`flame::fold`] / the `trace2flame`
-//!   binary.
+//! * [`TraceSink`] — a structured span/point/gossip event recorder
+//!   stamped with **virtual** time and submission order only, never
+//!   wall-clock, carrying causal structure (stable span ids, parent
+//!   links, cross-job gossip edges). Serialized through the
+//!   FNV-checksummed [`codec`] (`mto-trace/v2`, the same line-oriented
+//!   style as the history codec; v1 still decodes).
+//!
+//! On top of the recorder sits the **analysis layer**, all of it a pure
+//! function of decoded records: [`flame::fold`] (collapsed flamegraph
+//! stacks), [`critpath`] (the longest virtual-time dependency chain
+//! bounding the fleet's makespan, attributed per job and phase),
+//! [`timeline`] (fixed-width ASCII epoch lanes), [`diff`] (first
+//! divergent event with causal context, for the determinism witnesses),
+//! and [`baseline`] (the committed `OBS_BASELINE.json` gate pinning
+//! shard-invariant `metric` figures). Each ships as a binary —
+//! `trace2flame`, `trace2critpath`, `trace2timeline`, `trace2diff`,
+//! `obs_baseline` — on the shared [`cli`] shell.
 //!
 //! This crate sits below `mto-osn` in the workspace DAG and depends on
 //! nothing internal: timestamps are plain `u64` microseconds supplied by
 //! callers (the serving layers own the virtual clocks).
 
+pub mod baseline;
+pub mod cli;
 pub mod codec;
+pub mod critpath;
+pub mod diff;
 pub mod flame;
 pub mod metrics;
+pub mod timeline;
 pub mod trace;
 
-pub use codec::{decode_trace, encode_trace, TraceCodecError, TRACE_MAGIC, TRACE_VERSION};
+pub use codec::{
+    decode_trace, encode_trace, render_record, TraceCodecError, TRACE_MAGIC, TRACE_MIN_VERSION,
+    TRACE_VERSION,
+};
 pub use metrics::{percent, Histogram, MetricsRegistry};
-pub use trace::{TraceRecord, TraceSink};
+pub use trace::{TraceRecord, TraceSink, NO_SPAN};
 
 /// FNV-1a 64-bit hash — the integrity primitive of the trace codec,
 /// identical to the history codec's (the constant pair is the standard

@@ -1,7 +1,7 @@
-//! The structured trace sink: span enter/exit and point events on a
-//! virtual timeline.
+//! The structured trace sink: span enter/exit, point, and gossip-edge
+//! events on a virtual timeline.
 //!
-//! A [`TraceSink`] records three kinds of events, each stamped with a
+//! A [`TraceSink`] records four kinds of events, each stamped with a
 //! caller-supplied **virtual-time** microsecond instant and an
 //! automatically assigned submission ordinal (`seq`). Wall-clock never
 //! appears: two runs of the same deterministic workload produce
@@ -9,10 +9,21 @@
 //! finest shard-invariant clock it has — the epoch ordinal — so its
 //! traces are byte-identical across shard counts too.
 //!
+//! Since `mto-trace/v2`, every event also carries **causal structure**:
+//! spans get a stable id (assigned in open order, starting at 1; 0 means
+//! "outside any span") and record the id of their parent span, and point
+//! and gossip events record the id of the innermost span open when they
+//! fired. That turns a decoded trace into a causal DAG the analysis
+//! layer ([`crate::critpath`], [`crate::diff`]) can walk without
+//! replaying the stack discipline.
+//!
 //! Spans carry an **explicit cost** at exit (steps, microseconds —
 //! whatever the instrumented layer meters) instead of deriving cost from
 //! timestamp deltas; that keeps coarse-clocked span nests meaningful and
 //! is what [`crate::flame::fold`] attributes to collapsed stacks.
+
+/// Span id meaning "outside any span" (as a parent or enclosing id).
+pub const NO_SPAN: u64 = 0;
 
 /// One recorded trace event.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,6 +34,10 @@ pub enum TraceRecord {
         seq: u64,
         /// Virtual-time stamp in microseconds.
         t_us: u64,
+        /// Stable span id (1-based, assigned in open order).
+        span: u64,
+        /// Id of the enclosing span, or [`NO_SPAN`] at top level.
+        parent: u64,
         /// Span name (whitespace-free).
         name: String,
     },
@@ -32,6 +47,8 @@ pub enum TraceRecord {
         seq: u64,
         /// Virtual-time stamp in microseconds.
         t_us: u64,
+        /// Id of the span being closed.
+        span: u64,
         /// Explicit cost attributed to the span (the flamegraph weight).
         cost: u64,
     },
@@ -41,10 +58,28 @@ pub enum TraceRecord {
         seq: u64,
         /// Virtual-time stamp in microseconds.
         t_us: u64,
+        /// Id of the innermost open span, or [`NO_SPAN`].
+        span: u64,
         /// Event name (whitespace-free).
         name: String,
         /// Event payload value.
         value: u64,
+    },
+    /// A causal cross-job edge: `to` adopted `count` responses first
+    /// fetched on behalf of `from` (history gossip at an epoch barrier).
+    Gossip {
+        /// Submission ordinal.
+        seq: u64,
+        /// Virtual-time stamp in microseconds.
+        t_us: u64,
+        /// Id of the innermost open span, or [`NO_SPAN`].
+        span: u64,
+        /// Name of the job whose crawl first fetched the responses.
+        from: String,
+        /// Name of the adopting job.
+        to: String,
+        /// Number of adopted responses.
+        count: u64,
     },
 }
 
@@ -54,7 +89,8 @@ impl TraceRecord {
         match self {
             TraceRecord::Enter { seq, .. }
             | TraceRecord::Exit { seq, .. }
-            | TraceRecord::Point { seq, .. } => *seq,
+            | TraceRecord::Point { seq, .. }
+            | TraceRecord::Gossip { seq, .. } => *seq,
         }
     }
 
@@ -63,7 +99,19 @@ impl TraceRecord {
         match self {
             TraceRecord::Enter { t_us, .. }
             | TraceRecord::Exit { t_us, .. }
-            | TraceRecord::Point { t_us, .. } => *t_us,
+            | TraceRecord::Point { t_us, .. }
+            | TraceRecord::Gossip { t_us, .. } => *t_us,
+        }
+    }
+
+    /// The span the record belongs to: its own id for `Enter`/`Exit`,
+    /// the innermost enclosing span for `Point`/`Gossip`.
+    pub fn span(&self) -> u64 {
+        match self {
+            TraceRecord::Enter { span, .. }
+            | TraceRecord::Exit { span, .. }
+            | TraceRecord::Point { span, .. }
+            | TraceRecord::Gossip { span, .. } => *span,
         }
     }
 }
@@ -80,11 +128,19 @@ fn sanitize(name: &str) -> String {
 /// finalization), never from racing workers. Hot paths hold an
 /// `Option<&mut TraceSink>` (or no sink at all) so the disabled
 /// configuration costs nothing.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceSink {
     events: Vec<TraceRecord>,
     next_seq: u64,
-    depth: usize,
+    next_span: u64,
+    open: Vec<u64>,
+    underflows: u64,
+}
+
+impl Default for TraceSink {
+    fn default() -> Self {
+        TraceSink { events: Vec::new(), next_seq: 0, next_span: 1, open: Vec::new(), underflows: 0 }
+    }
 }
 
 impl TraceSink {
@@ -93,38 +149,73 @@ impl TraceSink {
         TraceSink::default()
     }
 
-    /// Opens a span named `name` at virtual time `t_us`.
-    pub fn enter(&mut self, t_us: u64, name: &str) {
+    fn take_seq(&mut self) -> u64 {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.depth += 1;
-        self.events.push(TraceRecord::Enter { seq, t_us, name: sanitize(name) });
+        seq
+    }
+
+    fn current_span(&self) -> u64 {
+        self.open.last().copied().unwrap_or(NO_SPAN)
+    }
+
+    /// Opens a span named `name` at virtual time `t_us` and returns its
+    /// stable id.
+    pub fn enter(&mut self, t_us: u64, name: &str) -> u64 {
+        let seq = self.take_seq();
+        let span = self.next_span;
+        self.next_span += 1;
+        let parent = self.current_span();
+        self.open.push(span);
+        self.events.push(TraceRecord::Enter { seq, t_us, span, parent, name: sanitize(name) });
+        span
     }
 
     /// Closes the innermost open span at `t_us`, attributing `cost` to
-    /// it. An exit with no open span is ignored (defensive: a damaged
-    /// caller cannot poison the recording).
+    /// it. An exit with no open span records nothing but is **counted**
+    /// as an underflow anomaly (see [`TraceSink::underflows`]) so a
+    /// damaged caller cannot poison the recording yet cannot hide
+    /// either.
     pub fn exit(&mut self, t_us: u64, cost: u64) {
-        if self.depth == 0 {
-            debug_assert!(false, "TraceSink::exit with no open span");
+        let Some(span) = self.open.pop() else {
+            self.underflows += 1;
             return;
-        }
-        self.depth -= 1;
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.events.push(TraceRecord::Exit { seq, t_us, cost });
+        };
+        let seq = self.take_seq();
+        self.events.push(TraceRecord::Exit { seq, t_us, span, cost });
     }
 
     /// Records an instantaneous `name = value` event at `t_us`.
     pub fn point(&mut self, t_us: u64, name: &str, value: u64) {
-        let seq = self.next_seq;
-        self.next_seq += 1;
-        self.events.push(TraceRecord::Point { seq, t_us, name: sanitize(name), value });
+        let seq = self.take_seq();
+        let span = self.current_span();
+        self.events.push(TraceRecord::Point { seq, t_us, span, name: sanitize(name), value });
+    }
+
+    /// Records a causal gossip edge: `to` adopted `count` responses
+    /// first fetched on behalf of `from`.
+    pub fn gossip(&mut self, t_us: u64, from: &str, to: &str, count: u64) {
+        let seq = self.take_seq();
+        let span = self.current_span();
+        self.events.push(TraceRecord::Gossip {
+            seq,
+            t_us,
+            span,
+            from: sanitize(from),
+            to: sanitize(to),
+            count,
+        });
     }
 
     /// Number of open spans.
     pub fn open_spans(&self) -> usize {
-        self.depth
+        self.open.len()
+    }
+
+    /// Number of `exit` calls that found no open span. Always zero for a
+    /// well-nested caller; surfaced as the `trace-underflows` metric.
+    pub fn underflows(&self) -> u64 {
+        self.underflows
     }
 
     /// The recorded events, in submission order.
@@ -161,9 +252,39 @@ mod tests {
         assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
         assert_eq!(
             sink.events()[1],
-            TraceRecord::Point { seq: 1, t_us: 0, name: "grant-job-a".into(), value: 64 },
+            TraceRecord::Point { seq: 1, t_us: 0, span: 1, name: "grant-job-a".into(), value: 64 },
             "whitespace in names is sanitized"
         );
+    }
+
+    #[test]
+    fn span_ids_and_parents_encode_the_nest() {
+        let mut sink = TraceSink::new();
+        let outer = sink.enter(0, "epoch-0");
+        let inner = sink.enter(0, "job-a");
+        sink.exit(0, 10);
+        sink.gossip(0, "job-a", "job-b", 3);
+        sink.exit(0, 0);
+        sink.point(1, "fleet-epochs", 1);
+        assert_eq!((outer, inner), (1, 2));
+        assert_eq!(
+            sink.events()[1],
+            TraceRecord::Enter { seq: 1, t_us: 0, span: 2, parent: 1, name: "job-a".into() }
+        );
+        assert_eq!(sink.events()[2], TraceRecord::Exit { seq: 2, t_us: 0, span: 2, cost: 10 });
+        assert_eq!(
+            sink.events()[3],
+            TraceRecord::Gossip {
+                seq: 3,
+                t_us: 0,
+                span: 1,
+                from: "job-a".into(),
+                to: "job-b".into(),
+                count: 3
+            },
+            "gossip edges record the innermost open span"
+        );
+        assert_eq!(sink.events()[5].span(), NO_SPAN, "points outside any span carry span 0");
     }
 
     #[test]
@@ -180,10 +301,16 @@ mod tests {
         assert_eq!(run(), run());
     }
 
-    #[cfg(debug_assertions)]
     #[test]
-    #[should_panic(expected = "no open span")]
-    fn unbalanced_exit_is_caught_in_debug() {
-        TraceSink::new().exit(0, 1);
+    fn unbalanced_exit_is_counted_not_recorded() {
+        let mut sink = TraceSink::new();
+        sink.exit(0, 1);
+        assert_eq!(sink.underflows(), 1);
+        assert!(sink.is_empty(), "the underflowing exit records nothing");
+        sink.enter(0, "a");
+        sink.exit(0, 2);
+        sink.exit(0, 3);
+        assert_eq!(sink.underflows(), 2);
+        assert_eq!(sink.len(), 2, "well-nested activity keeps recording after an underflow");
     }
 }

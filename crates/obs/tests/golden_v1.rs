@@ -1,0 +1,68 @@
+//! Golden-fixture compatibility test (ISSUE 8, satellite 3): the v2
+//! decoder must keep reading committed `mto-trace/v1` documents exactly
+//! as PR 7 wrote them, reconstructing the causal structure (span ids,
+//! parent links) v1 never serialized.
+
+use mto_obs::{decode_trace, encode_trace, TraceRecord, TraceSink, NO_SPAN};
+
+const GOLDEN: &str = include_str!("fixtures/golden_v1.trace");
+
+#[test]
+fn committed_v1_fixture_decodes_under_the_v2_reader() {
+    let records = decode_trace(GOLDEN).expect("the committed fixture must stay decodable");
+    assert_eq!(records.len(), 10);
+
+    // Span ids and parents are reconstructed from the stack discipline:
+    // epoch-0 is span 1 at top level, the two job spans nest under it.
+    assert_eq!(
+        records[0],
+        TraceRecord::Enter { seq: 0, t_us: 0, span: 1, parent: NO_SPAN, name: "epoch-0".into() }
+    );
+    assert_eq!(
+        records[3],
+        TraceRecord::Enter { seq: 3, t_us: 0, span: 2, parent: 1, name: "job-a".into() }
+    );
+    assert_eq!(records[4], TraceRecord::Exit { seq: 4, t_us: 0, span: 2, cost: 64 });
+    assert_eq!(
+        records[5],
+        TraceRecord::Enter { seq: 5, t_us: 0, span: 3, parent: 1, name: "job-b".into() }
+    );
+    assert_eq!(records[7], TraceRecord::Exit { seq: 7, t_us: 0, span: 1, cost: 0 });
+    // Points inherit the innermost open span — or NO_SPAN at top level.
+    assert_eq!(records[1].span(), 1);
+    assert_eq!(records[8].span(), NO_SPAN);
+
+    // The decoded stream is exactly what a v2 sink produces for the
+    // same calls — so every analysis tool treats v1 and v2 captures of
+    // one run identically.
+    let mut sink = TraceSink::new();
+    sink.enter(0, "epoch-0");
+    sink.point(0, "ledger-pool", 320);
+    sink.point(0, "grant-a", 64);
+    sink.enter(0, "job-a");
+    sink.exit(0, 64);
+    sink.enter(0, "job-b");
+    sink.exit(0, 32);
+    sink.exit(0, 0);
+    sink.point(1_000_000, "finish-a", 400);
+    sink.point(2_000_000, "job-finished:b", 200);
+    assert_eq!(records, sink.events());
+
+    // Re-encoding upgrades the document to v2 bytes that round-trip.
+    let upgraded = encode_trace(&sink);
+    assert!(upgraded.starts_with("mto-trace v2\n"));
+    assert_eq!(decode_trace(&upgraded).unwrap(), records);
+}
+
+#[test]
+fn the_fixture_is_bitwise_what_the_v1_encoder_wrote() {
+    // Guard the fixture itself: v1 layout, declared count, sealed
+    // checksum, no trailing newline. If someone "helpfully" reformats
+    // it, this fails before the compatibility claim silently weakens.
+    assert!(GOLDEN.starts_with("mto-trace v1\nevents 10\n"));
+    assert!(!GOLDEN.ends_with('\n'));
+    let body_end = GOLDEN.rfind("checksum ").unwrap();
+    let body = &GOLDEN[..body_end];
+    let stored = u64::from_str_radix(&GOLDEN[body_end + "checksum ".len()..], 16).unwrap();
+    assert_eq!(mto_obs::fnv1a64(body.as_bytes()), stored);
+}

@@ -10,9 +10,9 @@
 use mto_sampler::core::mto::MtoConfig;
 use mto_sampler::graph::generators::paper_barbell;
 use mto_sampler::graph::NodeId;
+use mto_sampler::net::demand::{PoolJob, WalkerSpec};
 use mto_sampler::net::driver::{run_pool, DriverConfig, DriverMode};
 use mto_sampler::net::pipeline::PipelineConfig;
-use mto_sampler::net::trace::{PoolJob, WalkerSpec};
 use mto_sampler::net::{ProviderProfile, TimedInterface};
 use mto_sampler::osn::{
     OsnService, RateLimitPolicy, RateLimitedInterface, SocialNetworkInterface, VirtualClock,
