@@ -21,7 +21,16 @@
 //!   appends the mto-obs summary (shard-invariant `metric` lines plus
 //!   `timing` lines), and `trace FILE` writes the deterministic
 //!   `mto-trace/v1` span/point record — feed it to `trace2flame` for a
-//!   collapsed-stack profile over virtual time.
+//!   collapsed-stack profile over virtual time. A `prom FILE` directive
+//!   enables the wall-clock telemetry plane (per-phase wall time across
+//!   shard service, barrier waits, gossip merges, pipeline replay,
+//!   scheduler workers, and history encode/decode) and writes a
+//!   Prometheus text-exposition snapshot of the metrics and wall
+//!   registries — the run's only output that varies run to run; report
+//!   bodies, traces, and `metric` lines are byte-identical with or
+//!   without it (join the two planes with `trace2gap`). Build with
+//!   `--features wall-alloc` to add per-phase allocation counts/bytes
+//!   to the snapshot.
 //! * `snapshot` runs the request's **first** job for `--at` steps as a
 //!   [`SamplerSession`], then freezes it (network spec included) to
 //!   `--to`. Fleet directives (`shards` / `epochs`) describe a whole
@@ -42,7 +51,9 @@ use std::sync::Arc;
 use mto_core::walk::Walker;
 use mto_fleet::{FleetConfig, FleetCoordinator, FleetReport};
 use mto_net::TimedInterface;
-use mto_obs::{encode_trace, percent, TraceSink};
+use mto_obs::{
+    encode_trace, percent, MetricsRegistry, TraceSink, WallClockRegistry, WallClockScope, WallKey,
+};
 use mto_osn::{CachedClient, OsnService, SharedClient, SocialNetworkInterface, VirtualClock};
 use mto_serve::error::ServeError;
 use mto_serve::history::HistoryStore;
@@ -55,6 +66,13 @@ const USAGE: &str = "usage:
   mto_serve run <request-file> [--out FILE]
   mto_serve snapshot <request-file> --at STEPS --to FILE
   mto_serve resume <snapshot-file> [--out FILE]";
+
+// With `--features wall-alloc`, every allocation bumps the process-wide
+// counters the wall plane snapshots, so `prom` dumps carry per-phase
+// alloc/byte figures. Without the feature those figures read 0.
+#[cfg(feature = "wall-alloc")]
+#[global_allocator]
+static ALLOC: mto_obs::wallclock::CountingAllocator = mto_obs::wallclock::CountingAllocator;
 
 /// Metadata key under which snapshots record their network spec.
 const NETWORK_META: &str = "network";
@@ -142,6 +160,12 @@ fn cmd_run(args: &[String]) -> Result<(), Invocation> {
     let (request_path, flags) = parse_flags(args, &["out"])?;
     let request = read_request(&request_path)?;
 
+    // The `prom` directive turns on the wall plane; phases observed at
+    // this process level (history codec work) accumulate here and merge
+    // with whatever the run itself collected before the snapshot writes.
+    let wall_on = request.prom.is_some();
+    let mut process_wall = WallClockRegistry::new();
+
     // Prior history: a warm-start snapshot, or the journal's replayed
     // state (the request parser guarantees at most one of the two).
     let mut journal: Option<(HistoryJournal, JournalRecovery)> = match &request.journal {
@@ -149,7 +173,11 @@ fn cmd_run(args: &[String]) -> Result<(), Invocation> {
         None => None,
     };
     let prior: Option<HistoryStore> = if let Some(path) = &request.warm_start {
+        let timer = wall_on.then(WallClockScope::start);
         let store = HistoryStore::load(path)?;
+        if let Some(timer) = timer {
+            timer.stop_into(&mut process_wall, WallKey::phase("history-decode"));
+        }
         eprintln!(
             "warm-starting from {} ({} cached responses)",
             path.display(),
@@ -174,13 +202,17 @@ fn cmd_run(args: &[String]) -> Result<(), Invocation> {
         })
     };
 
-    let (mut body, final_store) = match request.shards {
+    let (mut body, final_store, plane) = match request.shards {
         Some(shards) => run_fleet(&request, shards, prior)?,
         None => run_scheduler(&request, prior)?,
     };
 
     if let Some(path) = &request.save_history {
+        let timer = wall_on.then(WallClockScope::start);
         final_store.save(path)?;
+        if let Some(timer) = timer {
+            timer.stop_into(&mut process_wall, WallKey::phase("history-encode"));
+        }
         eprintln!(
             "saved history ({} cached responses) to {}",
             final_store.num_responses(),
@@ -201,8 +233,25 @@ fn cmd_run(args: &[String]) -> Result<(), Invocation> {
         )
         .expect("string write");
     }
+    if let Some(path) = &request.prom {
+        let mut plane = plane.unwrap_or_default();
+        plane.wall.merge(&process_wall);
+        std::fs::write(path, mto_obs::prom::render(plane.metrics.as_ref(), &plane.wall))
+            .map_err(ServeError::from)?;
+        // A stderr note, like the trace write: report bodies (and their
+        // CI diffs) stay byte-identical whether `prom` is present.
+        eprintln!("wrote prom snapshot ({} wall keys) to {}", plane.wall.len(), path.display());
+    }
     emit(&body, flags.get("out"))?;
     Ok(())
+}
+
+/// What the `prom` directive snapshots: the run's metrics registry
+/// (when the run built one) plus the wall-clock registry.
+#[derive(Default)]
+struct WallPlane {
+    metrics: Option<MetricsRegistry>,
+    wall: WallClockRegistry,
 }
 
 /// Opens an existing journal (replaying it, tolerating a torn tail) or
@@ -222,15 +271,16 @@ fn open_journal(path: &Path) -> Result<(HistoryJournal, JournalRecovery), ServeE
 fn run_scheduler(
     request: &ServeRequest,
     prior: Option<HistoryStore>,
-) -> Result<(String, HistoryStore), ServeError> {
+) -> Result<(String, HistoryStore, Option<WallPlane>), ServeError> {
     let service = OsnService::with_defaults(&request.network.build());
+    let mut wall = request.prom.is_some().then(WallClockRegistry::new);
     let (report, store, obs) = match request.provider {
         Some(profile) => {
             let timed = TimedInterface::new(service, profile, 0x5EED);
             let clock = timed.clock().clone();
-            execute(timed, request, prior, Some(clock))?
+            execute(timed, request, prior, Some(clock), wall.as_mut())?
         }
-        None => execute(service, request, prior, None)?,
+        None => execute(service, request, prior, None, wall.as_mut())?,
     };
     let mut body = render_report(request, &report);
     if request.metrics {
@@ -239,7 +289,18 @@ fn run_scheduler(
     if let Some(path) = &request.trace {
         write_trace(path, &scheduler_trace(&report, &obs.quanta))?;
     }
-    Ok((body, store))
+    // The single-client path renders its metrics straight off the
+    // client; the prom snapshot rebuilds the same deterministic figures
+    // as a registry so both planes export through one writer.
+    let plane = wall.map(|wall| {
+        let mut metrics = MetricsRegistry::new();
+        metrics.inc("walk-steps", report.outcomes.iter().map(|o| o.steps as u64).sum());
+        metrics.inc("unique-queries", obs.unique_queries);
+        metrics.inc("total-lookups", obs.total_lookups);
+        metrics.inc("transient-retries", obs.transient_retries);
+        WallPlane { metrics: Some(metrics), wall }
+    });
+    Ok((body, store, plane))
 }
 
 /// Client counters and planner quanta the single-client path surfaces
@@ -262,6 +323,7 @@ fn execute<I: SocialNetworkInterface + Send + Sync>(
     request: &ServeRequest,
     prior: Option<HistoryStore>,
     clock: Option<VirtualClock>,
+    wall: Option<&mut WallClockRegistry>,
 ) -> Result<(ServeReport, HistoryStore, SchedulerObs), ServeError> {
     let mut scheduler = match &prior {
         Some(store) => JobScheduler::warm_start(service, store, request.scheduler)?,
@@ -271,7 +333,7 @@ fn execute<I: SocialNetworkInterface + Send + Sync>(
         scheduler = scheduler.with_virtual_clock(clock);
     }
     let quanta = scheduler.planned_quanta(&request.jobs);
-    let report = scheduler.run(request.jobs.clone())?;
+    let report = scheduler.run_instrumented(request.jobs.clone(), wall)?;
     let (store, obs) = scheduler.client().with(|c| {
         (
             HistoryStore::from_client(c),
@@ -377,7 +439,7 @@ fn run_fleet(
     request: &ServeRequest,
     shards: usize,
     prior: Option<HistoryStore>,
-) -> Result<(String, HistoryStore), ServeError> {
+) -> Result<(String, HistoryStore, Option<WallPlane>), ServeError> {
     let service = Arc::new(OsnService::with_defaults(&request.network.build()));
     let max_budget = request.jobs.iter().map(|j| j.step_budget).max().unwrap_or(0);
     let target_epochs = request.epochs.unwrap_or(4).max(1);
@@ -388,7 +450,11 @@ fn run_fleet(
         provider: request.provider,
         policy: request.scheduler.policy,
         fleet_budget: request.scheduler.global_query_budget,
-        obs: request.trace.is_some() || request.metrics,
+        // `prom` wants the metrics families in its snapshot, so it
+        // implies obs; enabling obs never changes results (the fleet's
+        // own tests pin that).
+        obs: request.trace.is_some() || request.metrics || request.prom.is_some(),
+        wall: request.prom.is_some(),
         ..Default::default()
     };
     let mut fleet = FleetCoordinator::new(move |_| service.clone(), config);
@@ -404,8 +470,12 @@ fn run_fleet(
         let fallback = TraceSink::new();
         write_trace(path, report.obs.as_ref().map_or(&fallback, |o| &o.trace))?;
     }
+    let plane = report
+        .wall
+        .clone()
+        .map(|wall| WallPlane { metrics: report.obs.as_ref().map(|o| o.registry.clone()), wall });
     let store = report.union_store;
-    Ok((body, store))
+    Ok((body, store, plane))
 }
 
 /// Metrics summary of a fleet run (`metrics` directive), in two planes:

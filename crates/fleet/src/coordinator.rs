@@ -129,6 +129,14 @@ pub struct FleetConfig {
     /// and the deterministic `mto-trace/v2` trace. Off by default — the
     /// disabled configuration adds no work to the epoch loop.
     pub obs: bool,
+    /// Collect the wall-clock telemetry plane
+    /// ([`mto_obs::wallclock`]): per-epoch/per-shard service wall time,
+    /// barrier-wait time, gossip-merge cost, and per-shard pipeline
+    /// replay time, reported in [`FleetReport::wall`]. Independent of
+    /// [`FleetConfig::obs`] and excluded from every deterministic
+    /// surface — results, traces, and `metric` figures are
+    /// byte-identical whether this is on or off.
+    pub wall: bool,
 }
 
 impl Default for FleetConfig {
@@ -146,6 +154,7 @@ impl Default for FleetConfig {
             fleet_budget: None,
             deadline_policy: DeadlinePolicy::Optimistic,
             obs: false,
+            wall: false,
         }
     }
 }
@@ -288,6 +297,11 @@ struct Shard<I: SocialNetworkInterface> {
     /// Cached node ids at the last barrier (ascending) — the diff basis
     /// for "which nodes did *this shard pay for* this epoch".
     known: Vec<NodeId>,
+    /// Wall plane: this epoch's self-timed service (`Some` iff
+    /// [`FleetConfig::wall`]). The shard accumulates on its own thread;
+    /// the coordinator takes and keys it after the barrier, so the hot
+    /// path needs no locks and no knowledge of its epoch/shard index.
+    wall: Option<mto_obs::WallStats>,
     error: Option<ServeError>,
 }
 
@@ -302,6 +316,14 @@ impl<I: SocialNetworkInterface> Shard<I> {
     /// in `known` and cost no virtual time here: nobody re-pays them.
     /// `grants` is indexed by ledger account.
     fn run_epoch(&mut self, grants: &[usize]) {
+        let timer = self.wall.is_some().then(mto_obs::WallClockScope::start);
+        self.run_epoch_inner(grants);
+        if let (Some(wall), Some(timer)) = (self.wall.as_mut(), timer) {
+            wall.absorb(timer.stop());
+        }
+    }
+
+    fn run_epoch_inner(&mut self, grants: &[usize]) {
         for slot in &mut self.slots {
             let steps = grants[slot.account];
             if steps == 0 {
@@ -454,6 +476,9 @@ where
                 if self.config.obs {
                     pipeline.enable_obs();
                 }
+                if self.config.wall {
+                    pipeline.enable_wall();
+                }
                 let mut slots = Vec::with_capacity(positions.len());
                 for &account in positions {
                     let orig = admitted[account];
@@ -470,7 +495,14 @@ where
                         finished_secs: None,
                     });
                 }
-                let mut shard = Shard { client, pipeline, slots, known: Vec::new(), error: None };
+                let mut shard = Shard {
+                    client,
+                    pipeline,
+                    slots,
+                    known: Vec::new(),
+                    wall: self.config.wall.then(mto_obs::WallStats::default),
+                    error: None,
+                };
                 shard.refresh_known();
                 // The seed position is demand too: charge it before the
                 // first epoch so a zero-step job still bills its start.
@@ -527,6 +559,8 @@ where
 
         // ── Epoch loop: planned grants, parallel stepping, serial QoS
         // accounting and gossip at the barrier.
+        let mut wall =
+            if self.config.wall { Some(mto_obs::WallClockRegistry::new()) } else { None };
         let mut epochs = Vec::new();
         let mut total_adopted = 0u64;
         let mut total_conflicts = 0u64;
@@ -617,12 +651,43 @@ where
                     .collect();
             }
 
+            let section_timer = wall.is_some().then(mto_obs::WallClockScope::start);
             std::thread::scope(|scope| {
                 for shard in shards.iter_mut() {
                     let grants = &grants;
                     scope.spawn(move || shard.run_epoch(grants));
                 }
             });
+            if let Some(timer) = section_timer {
+                let section = timer.stop();
+                let wall = wall.as_mut().expect("section timer implies wall plane");
+                // Each shard self-timed its service; the coordinator keys
+                // it now that the epoch and shard index are known. The
+                // barrier's own cost is what the parallel section took
+                // beyond the slowest shard: spawn/join overhead plus the
+                // lockstep wait every faster shard paid.
+                let mut slowest = 0u64;
+                for (s, shard) in shards.iter_mut().enumerate() {
+                    if let Some(service) = shard.wall.replace(mto_obs::WallStats::default()) {
+                        slowest = slowest.max(service.nanos);
+                        wall.record(
+                            mto_obs::WallKey::phase("shard-service")
+                                .at_epoch(epoch as u64)
+                                .on_shard(s as u64),
+                            service,
+                        );
+                    }
+                }
+                wall.record(
+                    mto_obs::WallKey::phase("barrier-wait").at_epoch(epoch as u64),
+                    mto_obs::WallStats {
+                        count: 1,
+                        nanos: section.nanos.saturating_sub(slowest),
+                        allocs: 0,
+                        bytes: 0,
+                    },
+                );
+            }
             for shard in &mut shards {
                 if let Some(e) = shard.error.take() {
                     return Err(e);
@@ -789,6 +854,7 @@ where
             }
 
             if self.config.gossip && shards.len() > 1 {
+                let timer = wall.is_some().then(mto_obs::WallClockScope::start);
                 let stores: Vec<HistoryStore> = shards
                     .iter()
                     .map(|s| s.client.with(|c| HistoryStore::from_client(c)))
@@ -805,6 +871,12 @@ where
                 report.merge_conflicts = conflicts;
                 total_adopted += report.adopted_responses;
                 total_conflicts += conflicts;
+                if let (Some(wall), Some(timer)) = (wall.as_mut(), timer) {
+                    timer.stop_into(
+                        wall,
+                        mto_obs::WallKey::phase("gossip-merge").at_epoch(epoch as u64),
+                    );
+                }
             }
             if let Some(obs) = obs.as_mut() {
                 // Gossip savings are a W-dependent figure: registry only,
@@ -961,6 +1033,20 @@ where
             }
         }
 
+        // Wall plane: fold each shard pipeline's accumulated replay time
+        // (one figure per shard, not per epoch — the pipeline does not
+        // know about barriers).
+        if let Some(wall) = wall.as_mut() {
+            for (s, shard) in shards.iter_mut().enumerate() {
+                if let Some(replay) = shard.pipeline.take_wall() {
+                    wall.record(
+                        mto_obs::WallKey::phase("pipeline-replay").on_shard(s as u64),
+                        replay,
+                    );
+                }
+            }
+        }
+
         Ok(FleetReport {
             outcomes: indexed.into_iter().map(|(_, o)| o).collect(),
             shards: shards.len(),
@@ -985,6 +1071,7 @@ where
             epochs,
             pipeline_stats,
             obs,
+            wall,
         })
     }
 }
@@ -1479,6 +1566,65 @@ mod tests {
             assert_eq!(mto_obs::critpath::render(&other_path), report, "W={shards}");
             assert_eq!(mto_obs::timeline::render(&other_model).unwrap(), lanes, "W={shards}");
         }
+    }
+
+    #[test]
+    fn wall_plane_reports_phases_without_perturbing_the_deterministic_plane() {
+        let run = |wall| {
+            barbell_fleet(FleetConfig {
+                shards: 2,
+                epoch_quantum: 32,
+                obs: true,
+                wall,
+                ..Default::default()
+            })
+            .run(mixed_jobs())
+            .unwrap()
+        };
+        let plain = run(false);
+        assert!(plain.wall.is_none(), "the wall plane is strictly opt-in");
+        let timed = run(true);
+        // The determinism contract with the wall plane enabled: results,
+        // bills, trace bytes, and the whole metrics registry are
+        // identical to the uninstrumented run.
+        assert_eq!(timed.results_digest(), plain.results_digest());
+        assert_eq!(timed.total_unique_queries, plain.total_unique_queries);
+        let (a, b) = (plain.obs.as_ref().unwrap(), timed.obs.as_ref().unwrap());
+        assert_eq!(mto_obs::encode_trace(&b.trace), mto_obs::encode_trace(&a.trace));
+        assert_eq!(b.registry, a.registry, "wall figures must never leak into metrics");
+
+        let wall = timed.wall.expect("wall was requested");
+        assert!(!wall.is_empty());
+        for (key, stats) in wall.iter() {
+            match key.phase {
+                "shard-service" => {
+                    assert!(key.epoch.is_some() && key.shard.is_some(), "{key:?}");
+                }
+                "barrier-wait" | "gossip-merge" => {
+                    assert!(key.epoch.is_some() && key.shard.is_none(), "{key:?}");
+                }
+                "pipeline-replay" => {
+                    assert!(key.epoch.is_none() && key.shard.is_some(), "{key:?}");
+                }
+                other => panic!("unexpected wall phase {other:?}"),
+            }
+            assert!(stats.count > 0, "{key:?} recorded nothing");
+        }
+        // Every epoch has both shards' service and a barrier row; the
+        // replay fold covers both shard pipelines.
+        for e in 0..timed.epochs.len() as u64 {
+            for s in 0..2 {
+                let key = mto_obs::WallKey::phase("shard-service").at_epoch(e).on_shard(s);
+                assert!(wall.get(&key).is_some(), "missing {key:?}");
+            }
+            let key = mto_obs::WallKey::phase("barrier-wait").at_epoch(e);
+            assert!(wall.get(&key).is_some(), "missing {key:?}");
+        }
+        for s in 0..2 {
+            let key = mto_obs::WallKey::phase("pipeline-replay").on_shard(s);
+            assert!(wall.get(&key).is_some(), "missing {key:?}");
+        }
+        assert!(wall.total().nanos > 0, "wall clocks advance");
     }
 
     #[test]

@@ -107,6 +107,12 @@ pub struct FleetReport {
     /// Metrics and trace, when the run was observed
     /// ([`crate::FleetConfig::obs`]).
     pub obs: Option<FleetObsData>,
+    /// Wall-clock telemetry (`Some` iff [`crate::FleetConfig::wall`]):
+    /// per-epoch/per-shard service time, barrier waits, gossip-merge
+    /// cost, pipeline replay time. Deliberately **not** covered by
+    /// [`FleetReport::results_digest`] or any deterministic surface —
+    /// wall figures vary run to run by nature.
+    pub wall: Option<mto_obs::wallclock::WallClockRegistry>,
 }
 
 impl FleetReport {

@@ -203,6 +203,11 @@ pub struct QueryPipeline<I> {
     stats: PipelineStats,
     /// Latency histograms, recorded per completion when enabled.
     obs: Option<PipelineObs>,
+    /// Wall-plane accumulator: real nanoseconds spent replaying
+    /// completions (the backing query plus event bookkeeping), when
+    /// enabled. Lives outside the determinism contract — nothing
+    /// virtual ever reads it.
+    wall: Option<mto_obs::WallStats>,
 }
 
 impl<I: SocialNetworkInterface> QueryPipeline<I> {
@@ -234,6 +239,7 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
             next_id: 0,
             stats: PipelineStats::default(),
             obs: None,
+            wall: None,
             config,
         }
     }
@@ -254,6 +260,20 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
     /// Detaches and returns the recorded latency histograms.
     pub fn take_obs(&mut self) -> Option<PipelineObs> {
         self.obs.take()
+    }
+
+    /// Starts recording wall-clock replay time (idempotent). Purely
+    /// observational: completions, logs, and stats are byte-identical
+    /// with the wall plane on or off.
+    pub fn enable_wall(&mut self) {
+        if self.wall.is_none() {
+            self.wall = Some(mto_obs::WallStats::default());
+        }
+    }
+
+    /// Detaches and returns the accumulated wall-clock replay stats.
+    pub fn take_wall(&mut self) -> Option<mto_obs::WallStats> {
+        self.wall.take()
     }
 
     /// The clock this pipeline advances.
@@ -437,6 +457,7 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
     /// failures), and logs it.
     fn fire_next_event(&mut self) -> Option<Completion> {
         let event = self.events.pop()?;
+        let scope = self.wall.is_some().then(mto_obs::WallClockScope::start);
         let p = event.payload;
         self.clock.advance_to_us(event.time_us);
 
@@ -468,6 +489,9 @@ impl<I: SocialNetworkInterface> QueryPipeline<I> {
             "#{} node={} submit={}us start={}us done={}us attempts={} {}",
             p.id, p.node, p.submitted_us, p.started_us, event.time_us, p.attempts, summary
         ));
+        if let (Some(wall), Some(scope)) = (self.wall.as_mut(), scope) {
+            wall.absorb(scope.stop());
+        }
         Some(Completion {
             id: p.id,
             node: p.node,
@@ -869,6 +893,34 @@ mod tests {
             (p.log_text(), p.stats())
         };
         assert_eq!(run(Some(0.01)), run(None), "fixed-K must stay byte-identical");
+    }
+
+    #[test]
+    fn wall_plane_observes_replay_without_perturbing_the_stream() {
+        let run = |wall: bool| {
+            let mut p = pipeline(PipelineConfig {
+                max_in_flight: 4,
+                latency: LatencyModel::LogNormal { median_secs: 0.2, sigma: 0.8 },
+                seed: 77,
+                ..Default::default()
+            });
+            if wall {
+                p.enable_wall();
+            }
+            for v in 0..12u32 {
+                p.submit(NodeId(v % 22));
+            }
+            p.drain();
+            (p.log_text(), p.stats(), p.take_wall())
+        };
+        let (log_on, stats_on, wall_on) = run(true);
+        let (log_off, stats_off, wall_off) = run(false);
+        assert_eq!(log_on, log_off, "wall plane must not perturb the completion stream");
+        assert_eq!(stats_on, stats_off);
+        assert_eq!(wall_off, None, "disabled: nothing collected");
+        let wall = wall_on.expect("enabled: replay observed");
+        assert_eq!(wall.count, 12, "one observation per completion");
+        assert!(wall.nanos > 0, "replay spends real time: {wall:?}");
     }
 
     #[test]

@@ -2,27 +2,38 @@
 //!
 //! ```text
 //! obs_baseline check <baseline.json> <report.txt>
-//! obs_baseline write <baseline.json> <report.txt> <request note…>
+//! obs_baseline --write <baseline.json> <report.txt> [request note…]
 //! ```
 //!
 //! `check` compares the shard-invariant `metric` lines of a rendered
 //! report against the committed `OBS_BASELINE.json`, exiting 1 with one
 //! `drift metric=…` line per figure outside its declared tolerance.
-//! `write` regenerates the baseline from a report (tolerances default
-//! to 0 — the determinism contract — and can be relaxed by hand).
+//! `--write` (alias: `write`) regenerates the baseline from a report:
+//! when the baseline file already exists, each still-present metric
+//! keeps its declared tolerance and the request note carries over
+//! unless a new one is given — so accepting intentional drift is one
+//! command, not a hand edit of the JSON. Metrics new to the report are
+//! pinned at tolerance 0 (the determinism contract).
 
 use std::process::ExitCode;
 
 use mto_obs::baseline::{parse_metric_lines, Baseline, BaselineEntry};
 
 const USAGE: &str = "obs_baseline check <baseline.json> <report.txt>\n       \
-                     obs_baseline write <baseline.json> <report.txt> <request note...>";
+                     obs_baseline --write <baseline.json> <report.txt> [request note...]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let note = |args: &[String]| {
+        if args.len() > 3 {
+            Some(args[3..].join(" "))
+        } else {
+            None
+        }
+    };
     match args.first().map(String::as_str) {
         Some("check") if args.len() == 3 => check(&args[1], &args[2]),
-        Some("write") if args.len() >= 4 => write(&args[1], &args[2], &args[3..].join(" ")),
+        Some("write" | "--write") if args.len() >= 3 => write(&args[1], &args[2], note(&args)),
         _ => mto_obs::cli::usage(USAGE),
     }
 }
@@ -58,7 +69,7 @@ fn check(baseline_path: &str, report_path: &str) -> ExitCode {
     }
 }
 
-fn write(baseline_path: &str, report_path: &str, request: &str) -> ExitCode {
+fn write(baseline_path: &str, report_path: &str, request: Option<String>) -> ExitCode {
     let report = match mto_obs::cli::read_file("obs_baseline", report_path) {
         Ok(text) => text,
         Err(e) => return mto_obs::cli::fail(&e),
@@ -69,16 +80,55 @@ fn write(baseline_path: &str, report_path: &str, request: &str) -> ExitCode {
             "obs_baseline: {report_path}: no `metric` lines to pin"
         ));
     }
+    // An existing baseline donates its request note and per-metric
+    // tolerances, so a regenerate only moves the *values*. A missing
+    // file is a fresh start; an unparsable one is an error (silently
+    // clobbering a corrupt-but-committed gate would hide the corruption).
+    let prior = match std::fs::read_to_string(baseline_path) {
+        Ok(text) => match Baseline::parse(&text) {
+            Ok(b) => Some(b),
+            Err(e) => {
+                return mto_obs::cli::fail(&format!(
+                    "obs_baseline: {baseline_path}: existing baseline is unreadable ({e}); \
+                     delete it to start fresh"
+                ))
+            }
+        },
+        Err(_) => None,
+    };
+    let request = match (request, &prior) {
+        (Some(note), _) => note,
+        (None, Some(prior)) => prior.request.clone(),
+        (None, None) => {
+            return mto_obs::cli::fail(&format!(
+                "obs_baseline: {baseline_path}: no existing baseline to carry a request note \
+                 from; pass one: obs_baseline --write <baseline.json> <report.txt> <note...>"
+            ))
+        }
+    };
+    let carried: usize = metrics
+        .keys()
+        .filter(|name| prior.as_ref().is_some_and(|p| p.metrics.contains_key(*name)))
+        .count();
     let baseline = Baseline {
-        request: request.to_string(),
+        request,
         metrics: metrics
             .into_iter()
-            .map(|(name, value)| (name, BaselineEntry { value, tolerance_pct: 0 }))
+            .map(|(name, value)| {
+                let tolerance_pct = prior
+                    .as_ref()
+                    .and_then(|p| p.metrics.get(&name))
+                    .map_or(0, |e| e.tolerance_pct);
+                (name, BaselineEntry { value, tolerance_pct })
+            })
             .collect(),
     };
     if let Err(e) = std::fs::write(baseline_path, baseline.render()) {
         return mto_obs::cli::fail(&format!("obs_baseline: cannot write {baseline_path}: {e}"));
     }
-    println!("obs-baseline: pinned {} metrics to {baseline_path}", baseline.metrics.len());
+    println!(
+        "obs-baseline: pinned {} metrics to {baseline_path} ({carried} tolerances carried over)",
+        baseline.metrics.len()
+    );
     ExitCode::SUCCESS
 }

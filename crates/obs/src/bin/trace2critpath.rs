@@ -17,7 +17,7 @@ fn main() -> ExitCode {
     let (Some(path), None) = (args.next(), args.next()) else {
         return mto_obs::cli::usage("trace2critpath <trace-file>");
     };
-    let records = match mto_obs::cli::load_trace("trace2critpath", &path) {
+    let records = match mto_obs::cli::load_nonempty_trace("trace2critpath", &path) {
         Ok(records) => records,
         Err(e) => return mto_obs::cli::fail(&e),
     };

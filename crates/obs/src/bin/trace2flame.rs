@@ -3,8 +3,9 @@
 //!
 //! The output is the standard `path;to;span weight` format consumed by
 //! `flamegraph.pl` and compatible renderers. Exits non-zero with a
-//! one-line diagnostic on a missing, empty, truncated, or corrupted
-//! trace (shared shell: `mto_obs::cli`).
+//! one-line diagnostic on a missing, empty, header-only, truncated, or
+//! corrupted trace (shared shell: `mto_obs::cli`) — never an empty
+//! report.
 
 use std::process::ExitCode;
 
@@ -13,7 +14,7 @@ fn main() -> ExitCode {
     let (Some(path), None) = (args.next(), args.next()) else {
         return mto_obs::cli::usage("trace2flame <trace-file>");
     };
-    match mto_obs::cli::load_trace("trace2flame", &path) {
+    match mto_obs::cli::load_nonempty_trace("trace2flame", &path) {
         Ok(records) => {
             print!("{}", mto_obs::flame::fold(&records));
             ExitCode::SUCCESS

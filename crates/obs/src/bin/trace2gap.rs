@@ -1,0 +1,44 @@
+//! `trace2gap <trace-file> <prom-file>` — per-epoch virtual-vs-wall
+//! attribution.
+//!
+//! Joins a v2 causal trace (the virtual plane) with a Prometheus wall
+//! snapshot written by `mto_serve`'s `prom FILE` directive (the wall
+//! plane): one row per epoch showing the fixed virtual span, the steps
+//! jobs took, and the wall nanoseconds per phase. The `epochs` line
+//! equals the trace's epoch count — the same figure as `metric epochs`.
+//! Exits non-zero on unreadable input, an empty or header-only trace, a
+//! flat (non-fleet) trace, or a malformed prom dump.
+
+use std::process::ExitCode;
+
+use mto_obs::critpath::FleetModel;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(trace_path), Some(prom_path), None) = (args.next(), args.next(), args.next()) else {
+        return mto_obs::cli::usage("trace2gap <trace-file> <prom-file>");
+    };
+    let records = match mto_obs::cli::load_nonempty_trace("trace2gap", &trace_path) {
+        Ok(records) => records,
+        Err(e) => return mto_obs::cli::fail(&e),
+    };
+    let model = match FleetModel::from_records(&records) {
+        Ok(model) => model,
+        Err(e) => return mto_obs::cli::fail(&format!("trace2gap: {trace_path}: {e}")),
+    };
+    if model.epochs == 0 {
+        return mto_obs::cli::fail(&format!(
+            "trace2gap: {trace_path}: flat trace (no epoch spans), nothing to attribute"
+        ));
+    }
+    let prom_text = match mto_obs::cli::read_file("trace2gap", &prom_path) {
+        Ok(text) => text,
+        Err(e) => return mto_obs::cli::fail(&e),
+    };
+    let samples = match mto_obs::prom::parse(&prom_text) {
+        Ok(samples) => samples,
+        Err(e) => return mto_obs::cli::fail(&format!("trace2gap: {prom_path}: {e}")),
+    };
+    print!("{}", mto_obs::gap::render(&model, &samples));
+    ExitCode::SUCCESS
+}

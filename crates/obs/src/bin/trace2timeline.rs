@@ -14,7 +14,7 @@ fn main() -> ExitCode {
     let (Some(path), None) = (args.next(), args.next()) else {
         return mto_obs::cli::usage("trace2timeline <trace-file>");
     };
-    let records = match mto_obs::cli::load_trace("trace2timeline", &path) {
+    let records = match mto_obs::cli::load_nonempty_trace("trace2timeline", &path) {
         Ok(records) => records,
         Err(e) => return mto_obs::cli::fail(&e),
     };

@@ -17,6 +17,21 @@ pub fn load_trace(tool: &str, path: &str) -> Result<Vec<TraceRecord>, String> {
     decode_trace(&text).map_err(|e| format!("{tool}: {path}: {e}"))
 }
 
+/// [`load_trace`], additionally rejecting a *header-only* trace (a
+/// valid `events 0` document). Every analysis tool wants this: an empty
+/// report silently piped onward is worse than a loud exit, because the
+/// usual cause is a run that produced no spans (missing `trace`
+/// directive, wrong file) rather than a run that genuinely did nothing.
+pub fn load_nonempty_trace(tool: &str, path: &str) -> Result<Vec<TraceRecord>, String> {
+    let records = load_trace(tool, path)?;
+    if records.is_empty() {
+        return Err(format!(
+            "{tool}: {path}: trace has no events (header-only document) — nothing to analyze"
+        ));
+    }
+    Ok(records)
+}
+
 /// Reads a text file with the shared diagnostics (used for report files
 /// too, where trace decoding does not apply). Empty files are called
 /// out explicitly — a 0-byte trace is the most common symptom of a run
@@ -64,6 +79,19 @@ mod tests {
         std::fs::write(&torn, "mto-trace v2\nevents 0\n").unwrap();
         let err = load_trace("t2x", torn.to_str().unwrap()).unwrap_err();
         assert!(err.contains("trace truncated"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn header_only_traces_pass_load_but_fail_the_nonempty_loader() {
+        let dir = std::env::temp_dir().join(format!("mto-obs-cli-nonempty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("header-only.trace");
+        std::fs::write(&path, crate::codec::encode_trace(&crate::trace::TraceSink::new())).unwrap();
+        let path = path.to_str().unwrap();
+        assert_eq!(load_trace("t2x", path).unwrap(), vec![], "a valid empty document decodes");
+        let err = load_nonempty_trace("t2x", path).unwrap_err();
+        assert!(err.contains("trace has no events"), "{err}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

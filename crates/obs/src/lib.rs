@@ -31,6 +31,16 @@
 //! `trace2flame`, `trace2critpath`, `trace2timeline`, `trace2diff`,
 //! `obs_baseline` — on the shared [`cli`] shell.
 //!
+//! Beside the deterministic plane sits the **wall-clock plane**
+//! ([`wallclock`]): opt-in real-time telemetry — per-phase wall
+//! nanoseconds, barrier-wait time, and (behind the `wall-alloc`
+//! feature) allocation accounting — kept in a separate
+//! [`WallClockRegistry`] that is excluded from digests, traces, and
+//! `metric` lines by construction. Both planes export through the
+//! Prometheus text exposition ([`prom`]), and [`gap`] (binary:
+//! `trace2gap`) joins a v2 trace with a wall dump into a per-epoch
+//! virtual-vs-wall attribution table.
+//!
 //! This crate sits below `mto-osn` in the workspace DAG and depends on
 //! nothing internal: timestamps are plain `u64` microseconds supplied by
 //! callers (the serving layers own the virtual clocks).
@@ -41,9 +51,12 @@ pub mod codec;
 pub mod critpath;
 pub mod diff;
 pub mod flame;
+pub mod gap;
 pub mod metrics;
+pub mod prom;
 pub mod timeline;
 pub mod trace;
+pub mod wallclock;
 
 pub use codec::{
     decode_trace, encode_trace, render_record, TraceCodecError, TRACE_MAGIC, TRACE_MIN_VERSION,
@@ -51,6 +64,7 @@ pub use codec::{
 };
 pub use metrics::{percent, Histogram, MetricsRegistry};
 pub use trace::{TraceRecord, TraceSink, NO_SPAN};
+pub use wallclock::{WallClockRegistry, WallClockScope, WallKey, WallStats};
 
 /// FNV-1a 64-bit hash — the integrity primitive of the trace codec,
 /// identical to the history codec's (the constant pair is the standard

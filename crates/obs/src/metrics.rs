@@ -93,6 +93,17 @@ impl Histogram {
         self.buckets[i]
     }
 
+    /// Number of buckets (the valid `i` range of [`Histogram::bucket`]).
+    pub fn num_buckets() -> usize {
+        BUCKETS
+    }
+
+    /// Inclusive upper bound of bucket `i` (the `le` labels of the
+    /// Prometheus exposition reuse these fixed bounds).
+    pub fn bound(i: usize) -> u64 {
+        bucket_bound(i)
+    }
+
     /// The `num/den` quantile as an exact integer: the upper bound of
     /// the bucket containing the rank-`ceil(count · num / den)` value
     /// (clamped to the exact maximum). Returns 0 for an empty histogram.
@@ -195,6 +206,22 @@ impl MetricsRegistry {
     /// Histogram `name`, when it has recorded anything.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Iterates counters in name order (exposition-layer hook: the
+    /// Prometheus renderer walks the registry without knowing names).
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(&name, &v)| (name, v))
+    }
+
+    /// Iterates gauges in name order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.gauges.iter().map(|(&name, &v)| (name, v))
+    }
+
+    /// Iterates histograms in name order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&'static str, &Histogram)> + '_ {
+        self.histograms.iter().map(|(&name, h)| (name, h))
     }
 
     /// Whether nothing has been recorded.

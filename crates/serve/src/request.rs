@@ -25,6 +25,11 @@
 //! # is the one directive with no payload)
 //! trace run.trace
 //! metrics
+//! # wall-clock plane: write a Prometheus text-exposition snapshot of
+//! # the run's metrics and wall-phase timings here. The snapshot is a
+//! # side channel — report bodies, traces, and `metric` lines stay
+//! # byte-identical whether or not `prom` is present.
+//! prom metrics.prom
 //! # fleet mode (mto-fleet): shard the jobs across W workers and gossip
 //! # history at N epoch barriers. Replaces the scheduler: `workers` /
 //! # `quantum` are rejected together with `shards`; `budget` becomes the
@@ -241,6 +246,12 @@ pub struct ServeRequest {
     /// Append the metrics summary to the report (`metrics` directive,
     /// no payload).
     pub metrics: bool,
+    /// Write a Prometheus text-exposition snapshot here (`prom`
+    /// directive). Enables the wall-clock telemetry plane for the run;
+    /// the snapshot carries both the deterministic metrics and the
+    /// wall-phase timings, and is the *only* output that varies run to
+    /// run — reports, traces, and `metric` lines are unaffected.
+    pub prom: Option<PathBuf>,
     /// The jobs, in file order.
     pub jobs: Vec<JobSpec>,
 }
@@ -261,6 +272,7 @@ impl ServeRequest {
         let mut scheduler = SchedulerConfig::default();
         let mut trace = None;
         let mut metrics = false;
+        let mut prom = None;
         let mut jobs: Vec<JobSpec> = Vec::new();
         let err = |line: usize, message: String| ServeError::Request { line, message };
 
@@ -310,6 +322,12 @@ impl ServeRequest {
                         return Err(err(lineno, "duplicate trace directive".into()));
                     }
                     trace = Some(PathBuf::from(rest));
+                }
+                "prom" => {
+                    if prom.is_some() {
+                        return Err(err(lineno, "duplicate prom directive".into()));
+                    }
+                    prom = Some(PathBuf::from(rest));
                 }
                 "warm-start" => warm_start = Some(PathBuf::from(rest)),
                 "save-history" => save_history = Some(PathBuf::from(rest)),
@@ -425,6 +443,7 @@ impl ServeRequest {
             scheduler,
             trace,
             metrics,
+            prom,
             jobs,
         })
     }
@@ -557,16 +576,19 @@ job id=b algo=srw start=3 steps=400 seed=9
     #[test]
     fn trace_and_metrics_directives_parse_and_reject_duplicates() {
         let req = ServeRequest::parse(
-            "network barbell\ntrace run.trace\nmetrics\njob id=a algo=mto start=0 steps=1",
+            "network barbell\ntrace run.trace\nmetrics\nprom run.prom\n\
+             job id=a algo=mto start=0 steps=1",
         )
         .unwrap();
         assert_eq!(req.trace, Some(PathBuf::from("run.trace")));
         assert!(req.metrics);
+        assert_eq!(req.prom, Some(PathBuf::from("run.prom")));
 
         let plain = ServeRequest::parse("network barbell\njob id=a algo=mto start=0 steps=1");
         let plain = plain.unwrap();
         assert_eq!(plain.trace, None);
         assert!(!plain.metrics, "observability defaults off");
+        assert_eq!(plain.prom, None, "the wall-clock plane defaults off");
 
         for (text, needle) in [
             (
@@ -577,7 +599,12 @@ job id=b algo=srw start=3 steps=400 seed=9
                 "network barbell\nmetrics\nmetrics\njob id=a algo=mto start=0 steps=1",
                 "duplicate metrics",
             ),
+            (
+                "network barbell\nprom a.prom\nprom b.prom\njob id=a algo=mto start=0 steps=1",
+                "duplicate prom",
+            ),
             ("network barbell\ntrace\njob id=a algo=mto start=0 steps=1", "no payload"),
+            ("network barbell\nprom\njob id=a algo=mto start=0 steps=1", "no payload"),
         ] {
             let e = ServeRequest::parse(text).unwrap_err();
             assert!(e.to_string().contains(needle), "{text:?} → {e}");

@@ -23,6 +23,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use mto_core::mto::{RewireStats, ScanProbe};
 use mto_core::walk::Walker;
 use mto_graph::NodeId;
+use mto_obs::{WallClockRegistry, WallClockScope, WallKey, WallStats};
 use mto_osn::{CachedClient, QueryClient, SharedClient, SocialNetworkInterface, VirtualClock};
 use parking_lot::Mutex;
 
@@ -258,6 +259,21 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
     /// Runs `jobs` to completion (or to the global query budget) and
     /// collects their outcomes in submission order.
     pub fn run(&self, jobs: Vec<JobSpec>) -> Result<ServeReport> {
+        self.run_instrumented(jobs, None)
+    }
+
+    /// [`JobScheduler::run`] with the wall-clock telemetry plane: when
+    /// `wall` is given, each worker times its `session.advance` calls
+    /// and the totals land in the registry as `worker-service` keyed by
+    /// worker index. Results are identical to an uninstrumented run —
+    /// scopes only observe time around work that runs either way — and
+    /// workers accumulate locally, merging once at exit, so the hot loop
+    /// takes no extra locks.
+    pub fn run_instrumented(
+        &self,
+        jobs: Vec<JobSpec>,
+        wall: Option<&mut WallClockRegistry>,
+    ) -> Result<ServeReport> {
         let total = jobs.len();
         // Saturating: step budgets are user input and may sum past usize.
         let total_budget: usize =
@@ -290,56 +306,81 @@ impl<I: SocialNetworkInterface + Send + Sync> JobScheduler<I> {
         let first_error: Mutex<Option<ServeError>> = Mutex::new(None);
         let finished = AtomicUsize::new(0);
         let budget = self.config.global_query_budget;
+        // Wall plane: workers accumulate into private `WallStats` and
+        // fold them in here once, after their loop exits.
+        let collected: Option<Mutex<WallClockRegistry>> =
+            wall.as_ref().map(|_| Mutex::new(WallClockRegistry::new()));
 
         std::thread::scope(|scope| {
-            for _ in 0..self.config.workers.max(1) {
-                scope.spawn(|| loop {
-                    if first_error.lock().is_some() {
-                        break;
-                    }
-                    let item = pop_next(&mut queue.lock(), policy);
-                    let QueueEntry { index, quantum, deadline, skips: _, mut session } = match item
-                    {
-                        Some(s) => s,
-                        None => {
-                            if finished.load(Ordering::Acquire) >= total {
-                                break;
+            let (queue, done, first_error, finished, collected) =
+                (&queue, &done, &first_error, &finished, &collected);
+            for worker in 0..self.config.workers.max(1) {
+                scope.spawn(move || {
+                    let mut service = WallStats::default();
+                    loop {
+                        if first_error.lock().is_some() {
+                            break;
+                        }
+                        let item = pop_next(&mut queue.lock(), policy);
+                        let QueueEntry { index, quantum, deadline, skips: _, mut session } =
+                            match item {
+                                Some(s) => s,
+                                None => {
+                                    if finished.load(Ordering::Acquire) >= total {
+                                        break;
+                                    }
+                                    // Jobs are in flight on other workers
+                                    // and may be re-enqueued; don't exit,
+                                    // but also don't spin against the
+                                    // queue lock while we wait.
+                                    std::thread::sleep(std::time::Duration::from_micros(200));
+                                    continue;
+                                }
+                            };
+                        let over_budget = budget.is_some_and(|b| self.client.unique_queries() >= b);
+                        if !over_budget {
+                            let timer = collected.is_some().then(WallClockScope::start);
+                            let advanced = session.advance(quantum);
+                            if let Some(timer) = timer {
+                                service.absorb(timer.stop());
                             }
-                            // Jobs are in flight on other workers and may
-                            // be re-enqueued; don't exit, but also don't
-                            // spin against the queue lock while we wait.
-                            std::thread::sleep(std::time::Duration::from_micros(200));
-                            continue;
+                            if let Err(e) = advanced {
+                                *first_error.lock() = Some(e);
+                                finished.fetch_add(1, Ordering::Release);
+                                continue;
+                            }
                         }
-                    };
-                    let over_budget = budget.is_some_and(|b| self.client.unique_queries() >= b);
-                    if !over_budget {
-                        if let Err(e) = session.advance(quantum) {
-                            *first_error.lock() = Some(e);
+                        if over_budget || session.state() == SessionState::Completed {
+                            match finalize_session(&mut session, !over_budget) {
+                                Ok(outcome) => done.lock().push((index, outcome)),
+                                Err(e) => *first_error.lock() = Some(e),
+                            }
                             finished.fetch_add(1, Ordering::Release);
-                            continue;
+                        } else {
+                            // A job that just ran re-enters the queue
+                            // un-aged.
+                            queue.lock().push_back(QueueEntry {
+                                index,
+                                quantum,
+                                deadline,
+                                skips: 0,
+                                session,
+                            });
                         }
                     }
-                    if over_budget || session.state() == SessionState::Completed {
-                        match finalize_session(&mut session, !over_budget) {
-                            Ok(outcome) => done.lock().push((index, outcome)),
-                            Err(e) => *first_error.lock() = Some(e),
+                    if let Some(sink) = collected {
+                        if service.count > 0 {
+                            let key = WallKey::phase("worker-service").on_shard(worker as u64);
+                            sink.lock().record(key, service);
                         }
-                        finished.fetch_add(1, Ordering::Release);
-                    } else {
-                        // A job that just ran re-enters the queue un-aged.
-                        queue.lock().push_back(QueueEntry {
-                            index,
-                            quantum,
-                            deadline,
-                            skips: 0,
-                            session,
-                        });
                     }
                 });
             }
         });
 
+        if let (Some(wall), Some(collected)) = (wall, collected) {
+            wall.merge(&collected.into_inner());
+        }
         if let Some(e) = first_error.lock().take() {
             return Err(e);
         }
@@ -516,6 +557,34 @@ mod tests {
             assert_eq!(oa.history, ob.history, "job {} diverged across worker counts", oa.id);
             assert_eq!(oa.stats, ob.stats);
             assert_eq!(oa.avg_degree_estimate, ob.avg_degree_estimate);
+        }
+    }
+
+    #[test]
+    fn wall_instrumented_runs_reproduce_plain_results() {
+        let run = |wall: Option<&mut WallClockRegistry>| {
+            let scheduler = JobScheduler::new(
+                OsnService::with_defaults(&paper_barbell()),
+                SchedulerConfig { workers: 2, quantum: 16, ..Default::default() },
+            );
+            scheduler.run_instrumented(mixed_jobs(), wall).unwrap()
+        };
+        let plain = run(None);
+        let mut wall = WallClockRegistry::new();
+        let timed = run(Some(&mut wall));
+        assert_eq!(plain.total_unique_queries, timed.total_unique_queries);
+        for (a, b) in plain.outcomes.iter().zip(&timed.outcomes) {
+            assert_eq!(a.history, b.history, "wall plane perturbed job {}", a.id);
+            assert_eq!(a.stats, b.stats);
+            assert_eq!((a.steps, a.completed), (b.steps, b.completed));
+        }
+        assert!(!wall.is_empty(), "instrumented workers must report service time");
+        let total = wall.total();
+        assert!(total.count > 0 && total.nanos > 0, "{total:?}");
+        for (key, _) in wall.iter() {
+            assert_eq!(key.phase, "worker-service");
+            assert!(key.shard.is_some(), "worker attribution required");
+            assert_eq!(key.epoch, None, "the plain scheduler has no epochs");
         }
     }
 
