@@ -360,6 +360,7 @@ fn bench_qos(c: &mut Criterion) {
             start: NodeId(i % graph.num_nodes() as u32),
             step_budget: 1_000 + i as usize * 17,
             deadline: (i % 3 == 0).then_some(30.0 + i as f64),
+            ess: None,
         })
         .collect();
 

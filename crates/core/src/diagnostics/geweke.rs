@@ -70,9 +70,18 @@ pub fn geweke_converged(series: &[f64], threshold: f64, config: GewekeConfig) ->
 /// Incremental convergence monitor: push attribute values step by step,
 /// poll for convergence every `check_interval` pushes. Used by the
 /// experiment drivers so a converged walk stops issuing queries.
+///
+/// Since the quality plane landed, the monitor no longer grows an
+/// unbounded `Vec<f64>` with the walk: storage is a
+/// [`mto_obs::quality::GewekeStream`] window (kept prefix + ring of the
+/// most recent samples), so memory stays O(1) for arbitrarily long
+/// walks. While the whole series fits the window — the case for every
+/// experiment protocol in this repo — the statistic is **bit-identical**
+/// to the historical full-series computation, because [`geweke_z`] is
+/// evaluated with the same summation order on the retained window.
 #[derive(Clone, Debug)]
 pub struct GewekeMonitor {
-    series: Vec<f64>,
+    window: mto_obs::quality::GewekeStream,
     threshold: f64,
     config: GewekeConfig,
     check_interval: usize,
@@ -84,13 +93,21 @@ impl GewekeMonitor {
     /// Creates a monitor declaring convergence at `threshold`.
     pub fn new(threshold: f64) -> Self {
         GewekeMonitor {
-            series: Vec::new(),
+            window: mto_obs::quality::GewekeStream::new(),
             threshold,
             config: GewekeConfig::default(),
             check_interval: 50,
             min_samples: 100,
             converged_at: None,
         }
+    }
+
+    /// Overrides the retained-window capacities (kept prefix, recent
+    /// ring). Smaller windows bound memory tighter; results stay
+    /// bit-identical to the full series as long as it fits.
+    pub fn with_window(mut self, first_capacity: usize, last_capacity: usize) -> Self {
+        self.window = mto_obs::quality::GewekeStream::with_capacity(first_capacity, last_capacity);
+        self
     }
 
     /// Overrides the minimum series length before convergence may fire.
@@ -107,14 +124,14 @@ impl GewekeMonitor {
 
     /// Feeds one observation; returns `true` once converged (latched).
     pub fn push(&mut self, value: f64) -> bool {
-        self.series.push(value);
+        self.window.push(value);
         if self.converged_at.is_some() {
             return true;
         }
-        let n = self.series.len();
+        let n = self.window.seen() as usize;
         if n >= self.min_samples
             && n % self.check_interval == 0
-            && geweke_converged(&self.series, self.threshold, self.config)
+            && geweke_converged(&self.window.retained(), self.threshold, self.config)
         {
             self.converged_at = Some(n);
             return true;
@@ -127,14 +144,20 @@ impl GewekeMonitor {
         self.converged_at
     }
 
-    /// The attribute series accumulated so far.
-    pub fn series(&self) -> &[f64] {
-        &self.series
+    /// Observations fed so far (retained or windowed out).
+    pub fn seen(&self) -> usize {
+        self.window.seen() as usize
     }
 
-    /// Current Z value (recomputed on demand).
+    /// The retained window, in arrival order: the full series while it
+    /// fits the window capacities, the kept ends of it afterwards.
+    pub fn retained(&self) -> Vec<f64> {
+        self.window.retained()
+    }
+
+    /// Current Z value (recomputed on demand over the retained window).
     pub fn current_z(&self) -> Option<f64> {
-        geweke_z(&self.series, self.config)
+        geweke_z(&self.window.retained(), self.config)
     }
 }
 
@@ -218,7 +241,35 @@ mod tests {
         }
         assert!(!converged);
         assert_eq!(m.converged_at(), None);
-        assert_eq!(m.series().len(), 3000);
+        assert_eq!(m.seen(), 3000);
+        assert_eq!(m.retained().len(), 3000, "3000 samples fit the default window whole");
+    }
+
+    #[test]
+    fn windowed_monitor_is_bit_identical_while_the_series_fits() {
+        // The satellite contract: the bounded window changes memory, not
+        // results — z over the retained window is the exact historical
+        // full-series statistic whenever nothing has been dropped.
+        let mut rng = StdRng::seed_from_u64(21);
+        let series: Vec<f64> = (0..4000).map(|_| rng.gen_range(0.0..50.0)).collect();
+        let mut m = GewekeMonitor::new(0.0).with_min_samples(usize::MAX); // never latch
+        for &v in &series {
+            m.push(v);
+        }
+        assert_eq!(m.retained(), series);
+        let full = geweke_z(&series, GewekeConfig::default()).unwrap();
+        assert_eq!(m.current_z().unwrap().to_bits(), full.to_bits());
+    }
+
+    #[test]
+    fn windowed_monitor_memory_is_bounded() {
+        let mut m = GewekeMonitor::new(0.1).with_window(100, 400).with_min_samples(usize::MAX);
+        for i in 0..100_000 {
+            m.push((i % 17) as f64);
+        }
+        assert_eq!(m.seen(), 100_000);
+        assert_eq!(m.retained().len(), 500, "only the window is retained");
+        assert!(m.current_z().is_some(), "the statistic keeps working past the window");
     }
 
     #[test]

@@ -15,8 +15,8 @@ use std::path::PathBuf;
 
 use mto_experiments::report::ExperimentReport;
 use mto_experiments::{
-    deadline, fig10, fig11, fig7, fig8, fig9, fleet, latency, running_example, table1, theorem6,
-    warm_start,
+    deadline, fig10, fig11, fig7, fig8, fig9, fleet, latency, quality, running_example, table1,
+    theorem6, warm_start,
 };
 
 const EXPERIMENTS: &[&str] = &[
@@ -32,6 +32,7 @@ const EXPERIMENTS: &[&str] = &[
     "latency",
     "fleet",
     "deadline",
+    "quality",
 ];
 
 struct Options {
@@ -147,6 +148,14 @@ fn run_experiment(name: &str, reduced: bool) -> ExperimentReport {
                 deadline::DeadlineConfig::full()
             };
             deadline::run(&config).1
+        }
+        "quality" => {
+            let config = if reduced {
+                quality::QualityConfig::reduced()
+            } else {
+                quality::QualityConfig::full()
+            };
+            quality::run(&config).1
         }
         other => unreachable!("experiment {other} validated during arg parsing"),
     }

@@ -267,6 +267,12 @@ pub fn build_dataset(spec: &DatasetSpec) -> Graph {
         }
         let local_weights: Vec<f64> =
             community.iter().map(|&v| residual[v as usize] * (1.0 - spec.mixing)).collect();
+        if local_weights.iter().sum::<f64>() <= 0.0 {
+            // Every member sealed into whiskers: nothing to realize (a
+            // high `whisker_fraction` can consume a small community
+            // entirely; its circles are attached by gateway edges below).
+            continue;
+        }
         let local = chung_lu_graph(&local_weights, &mut rng);
         for e in local.edges() {
             builder.add_edge_u32(community[e.small().index()], community[e.large().index()]);

@@ -144,6 +144,7 @@ fn job_pool(config: &DeadlineConfig, num_nodes: usize) -> Vec<JobSpec> {
             start: NodeId(((i * 83) % num_nodes) as u32),
             step_budget: config.steps,
             deadline: None,
+            ess: None,
         })
         .collect()
 }

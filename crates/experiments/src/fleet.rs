@@ -114,6 +114,7 @@ fn job_pool(config: &FleetSweepConfig) -> Vec<JobSpec> {
             start: NodeId(0),
             step_budget: config.steps,
             deadline: None,
+            ess: None,
         })
         .collect()
 }

@@ -17,6 +17,7 @@
 //! | [`latency`] | network layer: serial vs pipelined vs walk-not-wait (`mto-net`) |
 //! | [`fleet`] | fleet layer: epoch gossip vs isolated shards (`mto-fleet`) |
 //! | [`deadline`] | QoS layer: EDF vs round-robin deadline hits at equal budget (`mto-qos`) |
+//! | [`quality`] | quality plane: unique queries to a target ESS, MTO vs SRW, SLO early stop |
 //!
 //! Each module exposes a `Config` with `full()` (paper-scale) and
 //! `reduced()` (CI-scale) presets and returns structured results plus an
@@ -35,6 +36,7 @@ pub mod fig8;
 pub mod fig9;
 pub mod fleet;
 pub mod latency;
+pub mod quality;
 pub mod report;
 pub mod running_example;
 pub mod table1;
@@ -46,5 +48,6 @@ pub use deadline::{DeadlineConfig, DeadlineResult};
 pub use driver::{run_converged, Algorithm, ConvergedRun, RunProtocol};
 pub use fleet::{FleetSweepConfig, FleetSweepResult};
 pub use latency::{LatencyConfig, LatencyResult};
+pub use quality::{QualityConfig, QualityResult};
 pub use report::{ExperimentReport, Series, Table};
 pub use warm_start::{WarmStartConfig, WarmStartResult};

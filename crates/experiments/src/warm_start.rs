@@ -91,6 +91,7 @@ fn job(id: &str, seed: u64, steps: usize) -> JobSpec {
         start: NodeId(0),
         step_budget: steps,
         deadline: None,
+        ess: None,
     }
 }
 

@@ -51,6 +51,7 @@ use std::sync::Arc;
 use mto_core::walk::Walker;
 use mto_fleet::{FleetConfig, FleetCoordinator, FleetReport};
 use mto_net::TimedInterface;
+use mto_obs::quality::{JobQualityFigures, QualityReport};
 use mto_obs::{
     encode_trace, percent, MetricsRegistry, TraceSink, WallClockRegistry, WallClockScope, WallKey,
 };
@@ -59,7 +60,7 @@ use mto_serve::error::ServeError;
 use mto_serve::history::HistoryStore;
 use mto_serve::journal::{HistoryJournal, JournalRecovery};
 use mto_serve::request::{NetworkSpec, ServeRequest};
-use mto_serve::scheduler::{JobOutcome, JobScheduler, ServeReport};
+use mto_serve::scheduler::{fold_quality, JobOutcome, JobScheduler, ServeReport};
 use mto_serve::session::{SamplerSession, SessionSnapshot};
 
 const USAGE: &str = "usage:
@@ -236,8 +237,11 @@ fn cmd_run(args: &[String]) -> Result<(), Invocation> {
     if let Some(path) = &request.prom {
         let mut plane = plane.unwrap_or_default();
         plane.wall.merge(&process_wall);
-        std::fs::write(path, mto_obs::prom::render(plane.metrics.as_ref(), &plane.wall))
-            .map_err(ServeError::from)?;
+        std::fs::write(
+            path,
+            mto_obs::prom::render(plane.metrics.as_ref(), plane.quality.as_ref(), &plane.wall),
+        )
+        .map_err(ServeError::from)?;
         // A stderr note, like the trace write: report bodies (and their
         // CI diffs) stay byte-identical whether `prom` is present.
         eprintln!("wrote prom snapshot ({} wall keys) to {}", plane.wall.len(), path.display());
@@ -247,10 +251,13 @@ fn cmd_run(args: &[String]) -> Result<(), Invocation> {
 }
 
 /// What the `prom` directive snapshots: the run's metrics registry
-/// (when the run built one) plus the wall-clock registry.
+/// (when the run built one), the estimator-quality report (when the
+/// request carried the `quality` directive), plus the wall-clock
+/// registry.
 #[derive(Default)]
 struct WallPlane {
     metrics: Option<MetricsRegistry>,
+    quality: Option<QualityReport>,
     wall: WallClockRegistry,
 }
 
@@ -282,7 +289,7 @@ fn run_scheduler(
         }
         None => execute(service, request, prior, None, wall.as_mut())?,
     };
-    let mut body = render_report(request, &report);
+    let mut body = render_report(request, &report, obs.quality.as_ref());
     if request.metrics {
         render_scheduler_metrics(&mut body, &report, &obs);
     }
@@ -298,7 +305,7 @@ fn run_scheduler(
         metrics.inc("unique-queries", obs.unique_queries);
         metrics.inc("total-lookups", obs.total_lookups);
         metrics.inc("transient-retries", obs.transient_retries);
-        WallPlane { metrics: Some(metrics), wall }
+        WallPlane { metrics: Some(metrics), quality: obs.quality.clone(), wall }
     });
     Ok((body, store, plane))
 }
@@ -313,6 +320,11 @@ struct SchedulerObs {
     transient_retries: u64,
     arena_rewrites_in_place: u64,
     arena_leaked_ids: u64,
+    /// Estimator-quality figures (`Some` iff the request carried the
+    /// `quality` directive), folded post-hoc from the full walk
+    /// histories — the single-client path never stops early, so an
+    /// `ess=` SLO here is judged at the end of the budget.
+    quality: Option<QualityReport>,
 }
 
 /// Builds the scheduler (cold or warm-started), runs the jobs, and
@@ -334,6 +346,9 @@ fn execute<I: SocialNetworkInterface + Send + Sync>(
     }
     let quanta = scheduler.planned_quanta(&request.jobs);
     let report = scheduler.run_instrumented(request.jobs.clone(), wall)?;
+    let quality = request
+        .quality
+        .then(|| fold_quality(scheduler.client(), &request.jobs, &report.outcomes).report());
     let (store, obs) = scheduler.client().with(|c| {
         (
             HistoryStore::from_client(c),
@@ -344,6 +359,7 @@ fn execute<I: SocialNetworkInterface + Send + Sync>(
                 transient_retries: c.transient_retries(),
                 arena_rewrites_in_place: c.arena().rewrites_in_place(),
                 arena_leaked_ids: c.arena().leaked_ids(),
+                quality,
             },
         )
     });
@@ -427,6 +443,9 @@ fn render_scheduler_metrics(out: &mut String, report: &ServeReport, obs: &Schedu
     // exists so the baseline gate watches it anyway.
     writeln!(out, "metric trace-underflows 0").expect("string write");
     render_walker_metrics(out, &report.outcomes);
+    if let Some(quality) = &obs.quality {
+        quality.render_metric_lines(out);
+    }
 }
 
 /// The fleet path: jobs sharded across `W` workers with epoch-barrier
@@ -455,6 +474,7 @@ fn run_fleet(
         // own tests pin that).
         obs: request.trace.is_some() || request.metrics || request.prom.is_some(),
         wall: request.prom.is_some(),
+        quality: request.quality,
         ..Default::default()
     };
     let mut fleet = FleetCoordinator::new(move |_| service.clone(), config);
@@ -470,10 +490,11 @@ fn run_fleet(
         let fallback = TraceSink::new();
         write_trace(path, report.obs.as_ref().map_or(&fallback, |o| &o.trace))?;
     }
-    let plane = report
-        .wall
-        .clone()
-        .map(|wall| WallPlane { metrics: report.obs.as_ref().map(|o| o.registry.clone()), wall });
+    let plane = report.wall.clone().map(|wall| WallPlane {
+        metrics: report.obs.as_ref().map(|o| o.registry.clone()),
+        quality: report.quality.clone(),
+        wall,
+    });
     let store = report.union_store;
     Ok((body, store, plane))
 }
@@ -511,6 +532,12 @@ fn render_fleet_metrics(out: &mut String, request: &ServeRequest, report: &Fleet
     writeln!(out, "metric trace-underflows {}", reg.counter("trace-underflows"))
         .expect("string write");
     render_walker_metrics(out, &report.outcomes);
+    // Quality figures are pure functions of the walks, so they belong
+    // to the shard-invariant plane (the quality-smoke CI job diffs them
+    // across W).
+    if let Some(quality) = &report.quality {
+        quality.render_metric_lines(out);
+    }
     writeln!(out, "# timing (varies with shard count)").expect("string write");
     writeln!(out, "timing fleet-bill-unique-queries {}", report.total_unique_queries)
         .expect("string write");
@@ -545,7 +572,12 @@ fn render_fleet_metrics(out: &mut String, request: &ServeRequest, report: &Fleet
     }
 }
 
-fn render_job_line(out: &mut String, o: &JobOutcome, deadline: Option<f64>) {
+fn render_job_line(
+    out: &mut String,
+    o: &JobOutcome,
+    deadline: Option<f64>,
+    quality: Option<&JobQualityFigures>,
+) {
     use std::fmt::Write;
     write!(
         out,
@@ -581,10 +613,22 @@ fn render_job_line(out: &mut String, o: &JobOutcome, deadline: Option<f64>) {
             write!(out, " deadline-met={}", u8::from(o.deadline_met(d))).expect("string write");
         }
     }
+    // The SLO verdict appears only for jobs that declared `ess=`:
+    // SLO-free job lines stay byte-stable with or without the quality
+    // plane.
+    if let Some(q) = quality {
+        if q.target_ess.is_some() {
+            write!(out, " quality-met={}", u8::from(q.met)).expect("string write");
+        }
+    }
     out.push('\n');
 }
 
-fn render_report(request: &ServeRequest, report: &ServeReport) -> String {
+fn render_report(
+    request: &ServeRequest,
+    report: &ServeReport,
+    quality: Option<&QualityReport>,
+) -> String {
     use std::fmt::Write;
     let mut out = String::new();
     writeln!(out, "# mto-serve results").expect("string write");
@@ -603,7 +647,7 @@ fn render_report(request: &ServeRequest, report: &ServeReport) -> String {
     )
     .expect("string write");
     for (o, spec) in report.outcomes.iter().zip(&request.jobs) {
-        render_job_line(&mut out, o, spec.deadline);
+        render_job_line(&mut out, o, spec.deadline, quality.and_then(|q| q.jobs.get(&o.id)));
     }
     out
 }
@@ -684,7 +728,8 @@ fn render_fleet_report(request: &ServeRequest, report: &FleetReport, quantum: us
         .expect("string write");
     }
     for (o, spec) in report.outcomes.iter().zip(&request.jobs) {
-        render_job_line(&mut out, o, spec.deadline);
+        let figures = report.quality.as_ref().and_then(|q| q.jobs.get(&o.id));
+        render_job_line(&mut out, o, spec.deadline, figures);
     }
     out
 }

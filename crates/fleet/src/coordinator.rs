@@ -68,7 +68,7 @@ use mto_qos::{
 use mto_serve::error::{Result, ServeError};
 use mto_serve::history::HistoryStore;
 use mto_serve::scheduler::{finalize_session, JobOutcome, SchedulePolicy};
-use mto_serve::session::{JobSpec, SamplerSession, SessionState};
+use mto_serve::session::{JobSpec, SampleObserver, SamplerSession, SessionState};
 
 use mto_net::PipelineStats;
 use mto_obs::MetricsRegistry;
@@ -137,6 +137,18 @@ pub struct FleetConfig {
     /// surface — results, traces, and `metric` figures are
     /// byte-identical whether this is on or off.
     pub wall: bool,
+    /// Collect the estimator-quality plane ([`mto_obs::quality`]):
+    /// per-job streaming ESS, windowed Geweke z, and the cross-chain
+    /// R-hat, folded from per-slot sample series (the degree of every
+    /// node the walk visits — a pure function of the walk) at every
+    /// epoch barrier, reported in [`FleetReport::quality`]. Jobs may
+    /// additionally declare `ess=N` SLOs: the epoch planner stops
+    /// granting a converged job's quanta and its remaining budget is
+    /// released to the ledger at the same barrier. Off by default; the
+    /// disabled configuration adds no work to the epoch loop, and a
+    /// quality run without SLOs produces byte-identical results,
+    /// traces, and non-quality `metric` lines to a run without it.
+    pub quality: bool,
 }
 
 impl Default for FleetConfig {
@@ -155,6 +167,7 @@ impl Default for FleetConfig {
             deadline_policy: DeadlinePolicy::Optimistic,
             obs: false,
             wall: false,
+            quality: false,
         }
     }
 }
@@ -206,6 +219,13 @@ struct Slot<I: SocialNetworkInterface> {
     cut: bool,
     /// Shard-clock time at the barrier after the job's last step.
     finished_secs: Option<f64>,
+    /// Cursor into the walk history for the quality plane's sample
+    /// series (tracked only when [`FleetConfig::quality`]).
+    observer: SampleObserver,
+    /// The job's `ess=N` SLO latched: the quality plane judged the walk
+    /// converged, so the planner stops granting it quanta and the
+    /// ledger treats it as finished (outcome reports `completed`).
+    quality_met: bool,
 }
 
 impl<I: SocialNetworkInterface> Slot<I> {
@@ -221,7 +241,7 @@ impl<I: SocialNetworkInterface> Slot<I> {
     }
 
     fn done(&self) -> bool {
-        self.cut || self.session.state() == SessionState::Completed
+        self.cut || self.quality_met || self.session.state() == SessionState::Completed
     }
 }
 
@@ -414,6 +434,20 @@ where
         });
         let budgeted = ledger.is_some();
 
+        // ── Quality plane: one fleet-wide accumulator. Jobs are
+        // registered in account order so the figures (and the trace
+        // stamps derived from the id-ordered iteration) cover every
+        // admitted job even before its first sample. Slot sample series
+        // are folded in at every barrier; because a job runs whole on
+        // one shard and its series is a pure function of its walk, the
+        // fold commutes with sharding (`proptest_quality`).
+        let mut quality = self.config.quality.then(mto_obs::quality::QualityAccumulator::new);
+        if let Some(acc) = quality.as_mut() {
+            for &orig in &admitted {
+                acc.register(&jobs[orig].id, jobs[orig].ess);
+            }
+        }
+
         // ── Observability. Every trace event below is emitted from this
         // serial control path, stamped with epoch-ordinal virtual time,
         // and derived from shard-invariant state only (grants, demand,
@@ -493,6 +527,8 @@ where
                         suspended: false,
                         cut: false,
                         finished_secs: None,
+                        observer: SampleObserver::new(),
+                        quality_met: false,
                     });
                 }
                 let mut shard = Shard {
@@ -724,6 +760,67 @@ where
                 }
             }
 
+            // ── Quality barrier: fold every slot's fresh sample series
+            // (the degree of each node its walk visited this epoch)
+            // into the fleet accumulator, shards in the gossip merge
+            // order. Jobs are disjoint across shards and every figure
+            // is job-local, so — like the history gossip — the fold
+            // order cannot change a single figure.
+            if let Some(acc) = quality.as_mut() {
+                let shard_order: Vec<usize> = match self.config.merge_order {
+                    MergeOrder::Forward => (0..shards.len()).collect(),
+                    MergeOrder::Reverse => (0..shards.len()).rev().collect(),
+                };
+                for s in shard_order {
+                    for slot in &mut shards[s].slots {
+                        let samples = slot.observer.drain(&slot.session);
+                        acc.observe(&slot.session.spec().id, &samples);
+                    }
+                }
+                // Stamp the epoch's figures into the trace (id order,
+                // inside the epoch span): per-job ESS, the Geweke z
+                // once the window splits, then the fleet R-hat —
+                // exactly what `trace2mix` folds into trajectories.
+                if let Some(obs) = obs.as_mut() {
+                    let t = epoch_t_us(epoch);
+                    for (id, jq) in acc.jobs() {
+                        let ess = mto_obs::quality::scale_milli(jq.ess());
+                        obs.trace.point(t, &format!("quality-ess-{id}"), ess);
+                        if let Some(z) = jq.geweke_z() {
+                            let z = mto_obs::quality::scale_milli(z);
+                            obs.trace.point(t, &format!("quality-z-{id}"), z);
+                        }
+                    }
+                    if let Some(rhat) = acc.rhat() {
+                        obs.trace.point(t, "quality-rhat", mto_obs::quality::scale_milli(rhat));
+                    }
+                }
+                // Early stop, in account order: a job whose `ess=N` SLO
+                // latched is converged — pause it so the planner stops
+                // granting its quanta. The ledger block below treats it
+                // as finished, releasing its unspent slice to the pool
+                // at this same barrier.
+                for &(s, pos) in &slot_of_account {
+                    let slot = &mut shards[s].slots[pos];
+                    if slot.done() {
+                        continue;
+                    }
+                    let id = slot.session.spec().id.clone();
+                    let Some(jq) = acc.job(&id) else { continue };
+                    if jq.met() {
+                        slot.quality_met = true;
+                        slot.session.pause();
+                        if let Some(obs) = obs.as_mut() {
+                            obs.trace.point(
+                                epoch_t_us(epoch),
+                                &format!("quality-met-{id}"),
+                                mto_obs::quality::scale_milli(jq.ess()),
+                            );
+                        }
+                    }
+                }
+            }
+
             let mut report = EpochReport {
                 epoch,
                 fleet_unique_queries: shards
@@ -762,17 +859,24 @@ where
                             );
                         }
                     }
-                    if slot.session.state() == SessionState::Completed {
+                    if slot.session.state() == SessionState::Completed || slot.quality_met {
+                        // Quality-met jobs finish here too: their SLO
+                        // latch already marked the convergence in the
+                        // trace, so only true completions get a
+                        // `finish-` point, but both release their
+                        // unspent slice to the pool.
                         if !released[slot.account] {
                             released[slot.account] = true;
                             finished.push(slot.account);
                             slot.finished_secs.get_or_insert(now_secs);
                             if let Some(obs) = obs.as_mut() {
-                                obs.trace.point(
-                                    epoch_t_us(epoch),
-                                    &format!("finish-{}", slot.session.spec().id),
-                                    steps_now as u64,
-                                );
+                                if slot.session.state() == SessionState::Completed {
+                                    obs.trace.point(
+                                        epoch_t_us(epoch),
+                                        &format!("finish-{}", slot.session.spec().id),
+                                        steps_now as u64,
+                                    );
+                                }
                             }
                         }
                     } else if exhausted && !slot.suspended {
@@ -786,7 +890,7 @@ where
                             );
                         }
                     }
-                    if slot.suspended && !slot.cut {
+                    if slot.suspended && !slot.done() {
                         // Claim what the rest of the walk is predicted to
                         // demand, judged against the *static* warm store
                         // so the claim is shard-invariant — PLUS the
@@ -834,12 +938,16 @@ where
                     }
                 }
             } else {
-                // Unbudgeted: only completion times need recording.
+                // Unbudgeted: only completion times need recording
+                // (quality-met jobs finish here too; their convergence
+                // is already marked by the `quality-met-` point).
                 for &(s, pos) in &slot_of_account {
                     let now_secs = shards[s].pipeline.clock().now();
                     let slot = &mut shards[s].slots[pos];
-                    if slot.session.state() == SessionState::Completed {
-                        if slot.finished_secs.is_none() {
+                    if slot.session.state() == SessionState::Completed || slot.quality_met {
+                        if slot.finished_secs.is_none()
+                            && slot.session.state() == SessionState::Completed
+                        {
                             if let Some(obs) = obs.as_mut() {
                                 obs.trace.point(
                                     epoch_t_us(epoch),
@@ -917,6 +1025,18 @@ where
             obs.trace.point(epoch_t_us(epochs.len()), "fleet-epochs", epochs.len() as u64);
         }
 
+        // Final quality drain (idempotent — the observer cursor makes a
+        // re-drain of already-folded history a no-op): covers runs that
+        // never crossed a barrier, e.g. zero-step jobs whose only sample
+        // is the seed position.
+        if let Some(acc) = quality.as_mut() {
+            for &(s, pos) in &slot_of_account {
+                let slot = &mut shards[s].slots[pos];
+                let samples = slot.observer.drain(&slot.session);
+                acc.observe(&slot.session.spec().id, &samples);
+            }
+        }
+
         // ── Finalize outcomes in submission order: run slots first, then
         // placeholders for jobs admission kept off the fleet.
         let mut indexed: Vec<(usize, JobOutcome)> = Vec::with_capacity(jobs.len());
@@ -926,6 +1046,12 @@ where
             for slot in &mut shard.slots {
                 let mut outcome = finalize_session(&mut slot.session, !slot.cut)?;
                 outcome.finished_secs = slot.finished_secs;
+                // A quality-met job stopped early *because it met its
+                // goal*: it completes by SLO even though its session
+                // never exhausted the step budget.
+                if slot.quality_met {
+                    outcome.completed = true;
+                }
                 if slot.cut {
                     cut_jobs += 1;
                 }
@@ -1072,6 +1198,7 @@ where
             pipeline_stats,
             obs,
             wall,
+            quality: quality.map(|acc| acc.report()),
         })
     }
 }
@@ -1117,6 +1244,7 @@ mod tests {
                 start: NodeId(0),
                 step_budget: 400,
                 deadline: None,
+                ess: None,
             },
             JobSpec {
                 id: "mto-b".into(),
@@ -1124,6 +1252,7 @@ mod tests {
                 start: NodeId(11),
                 step_budget: 300,
                 deadline: None,
+                ess: None,
             },
             JobSpec {
                 id: "srw".into(),
@@ -1131,6 +1260,7 @@ mod tests {
                 start: NodeId(5),
                 step_budget: 250,
                 deadline: None,
+                ess: None,
             },
             JobSpec {
                 id: "mhrw".into(),
@@ -1138,6 +1268,7 @@ mod tests {
                 start: NodeId(16),
                 step_budget: 200,
                 deadline: None,
+                ess: None,
             },
         ]
     }
@@ -1461,6 +1592,7 @@ mod tests {
                 start: NodeId(0),
                 step_budget: 64,
                 deadline: None,
+                ess: None,
             },
             JobSpec {
                 id: "b".into(),
@@ -1468,6 +1600,7 @@ mod tests {
                 start: NodeId(1),
                 step_budget: 64,
                 deadline: None,
+                ess: None,
             },
         ];
         let err = fleet.run(jobs).unwrap_err();
@@ -1648,5 +1781,141 @@ mod tests {
             data.registry.counter("unique-nodes-crawled"),
             observed.union_store.num_responses() as u64
         );
+    }
+
+    #[test]
+    fn quality_plane_is_shard_invariant_and_strictly_opt_in() {
+        let run = |shards, merge_order, quality| {
+            barbell_fleet(FleetConfig {
+                shards,
+                merge_order,
+                epoch_quantum: 32,
+                obs: true,
+                quality,
+                ..Default::default()
+            })
+            .run(mixed_jobs())
+            .unwrap()
+        };
+        let plain = run(2, MergeOrder::Forward, false);
+        assert!(plain.quality.is_none(), "the quality plane is strictly opt-in");
+
+        let reference = run(1, MergeOrder::Forward, true);
+        let report = reference.quality.as_ref().expect("quality was requested");
+        // Observation is read-only: results and bills are untouched by
+        // the plane (no job declared an SLO, so nothing stops early).
+        assert_eq!(reference.results_digest(), plain.results_digest());
+        for (id, figures) in &report.jobs {
+            let outcome = reference.outcomes.iter().find(|o| &o.id == id).unwrap();
+            assert_eq!(
+                figures.samples,
+                outcome.history.len() as u64,
+                "job {id}: one sample per visited position"
+            );
+            assert!(figures.ess > 0.0, "job {id} has a positive ESS");
+            assert!(figures.target_ess.is_none() && !figures.met, "no job declared an SLO");
+        }
+        assert!(report.rhat.is_some(), "four chains fold into an R-hat");
+
+        // Every figure is a pure function of the walks, so the report —
+        // and the quality trace stamps — are byte-identical across
+        // shard counts and fold orders.
+        let encoded = mto_obs::encode_trace(&reference.obs.as_ref().unwrap().trace);
+        assert!(
+            reference.obs.as_ref().unwrap().trace.events().iter().any(|e| matches!(
+                e,
+                mto_obs::TraceRecord::Point { name, .. } if name.starts_with("quality-ess-")
+            )),
+            "quality runs stamp per-epoch ESS points"
+        );
+        for shards in [2, 4] {
+            for order in [MergeOrder::Forward, MergeOrder::Reverse] {
+                let other = run(shards, order, true);
+                assert_eq!(
+                    other.quality.as_ref(),
+                    Some(report),
+                    "quality figures diverged at W={shards} {order:?}"
+                );
+                assert_eq!(
+                    mto_obs::encode_trace(&other.obs.as_ref().unwrap().trace),
+                    encoded,
+                    "quality trace diverged at W={shards} {order:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn quality_slo_stops_a_converged_job_early_and_releases_its_budget() {
+        let jobs = || {
+            vec![
+                JobSpec {
+                    id: "converge".into(),
+                    algo: AlgoSpec::Mto(MtoConfig { seed: 9, ..Default::default() }),
+                    start: NodeId(0),
+                    step_budget: 4000,
+                    deadline: None,
+                    ess: Some(10),
+                },
+                JobSpec {
+                    id: "plain".into(),
+                    algo: AlgoSpec::Srw(SrwConfig { seed: 4, lazy: false }),
+                    start: NodeId(11),
+                    step_budget: 300,
+                    deadline: None,
+                    ess: None,
+                },
+            ]
+        };
+        let run = |shards| {
+            barbell_fleet(FleetConfig {
+                shards,
+                epoch_quantum: 50,
+                fleet_budget: Some(10_000),
+                obs: true,
+                quality: true,
+                ..Default::default()
+            })
+            .run(jobs())
+            .unwrap()
+        };
+        let report = run(2);
+        let converged = report.outcomes.iter().find(|o| o.id == "converge").unwrap();
+        assert!(
+            converged.steps < 4000,
+            "a 10-ESS target on a 4000-step walk must latch early (took {})",
+            converged.steps
+        );
+        assert!(converged.completed, "meeting the SLO is completion");
+        assert!(converged.finished_secs.is_some(), "early stop records a finish time");
+        let plain = report.outcomes.iter().find(|o| o.id == "plain").unwrap();
+        assert_eq!((plain.steps, plain.completed), (300, true), "non-SLO jobs run to budget");
+
+        let quality = report.quality.as_ref().expect("quality was requested");
+        let figures = &quality.jobs["converge"];
+        assert!(figures.met && figures.target_ess == Some(10));
+        assert!(figures.ess >= 10.0, "the latch means the target was reached");
+
+        // The early stop released the converged job's unspent slice to
+        // the pool at the same barrier, and the trace marks the latch.
+        let ledger = report.ledger.as_ref().expect("the run was budgeted");
+        assert!(ledger.reclaimed > 0, "an early-stopped job reclaims budget");
+        assert_eq!(ledger.cut_jobs, 0, "a generous budget cuts nobody");
+        let trace = &report.obs.as_ref().unwrap().trace;
+        assert!(
+            trace.events().iter().any(|e| matches!(
+                e,
+                mto_obs::TraceRecord::Point { name, .. } if name == "quality-met-converge"
+            )),
+            "the SLO latch is stamped into the trace"
+        );
+
+        // The latch fires at an epoch barrier — a shard-invariant clock
+        // — so the early-stopped walk itself is bit-identical across W.
+        for shards in [1, 4] {
+            let other = run(shards);
+            assert_eq!(other.results_digest(), report.results_digest(), "W={shards}");
+            assert_eq!(other.quality.as_ref(), report.quality.as_ref(), "W={shards}");
+        }
     }
 }

@@ -55,6 +55,7 @@
 //!         start: NodeId(5 * i),
 //!         step_budget: 200,
 //!         deadline: None,
+//!         ess: None,
 //!     })
 //!     .collect();
 //! let fleet = FleetCoordinator::new(

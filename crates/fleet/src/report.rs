@@ -113,6 +113,14 @@ pub struct FleetReport {
     /// [`FleetReport::results_digest`] or any deterministic surface —
     /// wall figures vary run to run by nature.
     pub wall: Option<mto_obs::wallclock::WallClockRegistry>,
+    /// Estimator-quality figures (`Some` iff
+    /// [`crate::FleetConfig::quality`]): per-job streaming ESS, windowed
+    /// Geweke z, SLO status, and the cross-chain R-hat, folded from slot
+    /// sample series at every epoch barrier. Every figure is a pure
+    /// function of the walks, so the report — like the `metric
+    /// quality-*` lines derived from it — is byte-identical across shard
+    /// counts.
+    pub quality: Option<mto_obs::quality::QualityReport>,
 }
 
 impl FleetReport {

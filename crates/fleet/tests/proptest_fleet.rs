@@ -41,6 +41,7 @@ fn build_jobs(raw: &[(u8, u64, u32, usize)]) -> Vec<JobSpec> {
             start: NodeId(start),
             step_budget: steps,
             deadline: None,
+            ess: None,
         })
         .collect()
 }

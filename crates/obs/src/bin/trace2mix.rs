@@ -1,0 +1,43 @@
+//! `trace2mix <trace-file> [report-file]` — render per-job convergence
+//! trajectories (ESS per epoch, Geweke crossing, R-hat decay) from the
+//! quality points of a v2 trace.
+//!
+//! With a report file, additionally cross-checks the final traced ESS of
+//! every job against the report's `metric quality-*-ess-mil` lines and
+//! appends one confirmation line per job; any divergence (or a report
+//! with no quality metrics) exits non-zero with a one-line diagnostic.
+
+use std::process::ExitCode;
+
+use mto_obs::mix::{cross_check, MixModel};
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(trace_path), report_path, None) = (args.next(), args.next(), args.next()) else {
+        return mto_obs::cli::usage("trace2mix <trace-file> [report-file]");
+    };
+    let records = match mto_obs::cli::load_nonempty_trace("trace2mix", &trace_path) {
+        Ok(records) => records,
+        Err(e) => return mto_obs::cli::fail(&e),
+    };
+    let model = match MixModel::from_records(&records) {
+        Ok(model) => model,
+        Err(e) => return mto_obs::cli::fail(&format!("trace2mix: {trace_path}: {e}")),
+    };
+    print!("{}", model.render());
+    if let Some(report_path) = report_path {
+        let report = match mto_obs::cli::read_file("trace2mix", &report_path) {
+            Ok(text) => text,
+            Err(e) => return mto_obs::cli::fail(&e),
+        };
+        match cross_check(&model, &report) {
+            Ok(lines) => {
+                for line in lines {
+                    println!("{line}");
+                }
+            }
+            Err(e) => return mto_obs::cli::fail(&format!("trace2mix: {report_path}: {e}")),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -31,6 +31,15 @@
 //! `trace2flame`, `trace2critpath`, `trace2timeline`, `trace2diff`,
 //! `obs_baseline` — on the shared [`cli`] shell.
 //!
+//! The third deterministic surface is the **estimator-quality plane**
+//! ([`quality`]): streaming convergence diagnostics (batch-means ESS,
+//! windowed Geweke, cross-chain R-hat) over each job's sample series,
+//! accumulated in exact integer moments so per-shard states fold at
+//! fleet epoch barriers exactly like history gossip. Its figures ride
+//! ordinary v2 point events and `metric quality-*` lines, and [`mix`]
+//! (binary: `trace2mix`) renders per-job convergence trajectories and
+//! burn-in attribution from a traced run.
+//!
 //! Beside the deterministic plane sits the **wall-clock plane**
 //! ([`wallclock`]): opt-in real-time telemetry — per-phase wall
 //! nanoseconds, barrier-wait time, and (behind the `wall-alloc`
@@ -53,7 +62,9 @@ pub mod diff;
 pub mod flame;
 pub mod gap;
 pub mod metrics;
+pub mod mix;
 pub mod prom;
+pub mod quality;
 pub mod timeline;
 pub mod trace;
 pub mod wallclock;

@@ -18,6 +18,14 @@
 //! * `mto_hist_bucket{name="…",le="…"}` (+ `_sum`, `_count`) — the
 //!   log-2-bucket histograms, with cumulative `le` bounds taken from
 //!   the fixed bucket bounds and a closing `le="+Inf"` sample;
+//! * `mto_anomaly_total{kind="…"}` — the anomaly counters
+//!   (`trace-underflows`, `merge-conflicts`) that `metric` lines
+//!   already carry, always emitted (at 0 when clean) so an alert on
+//!   the family never silently loses its series;
+//! * `mto_quality_*{job="…"}` — the estimator-quality plane: samples,
+//!   ESS and Geweke z in milli-units, the cross-chain
+//!   `mto_quality_rhat_milli`, and target/met for jobs with a
+//!   `quality ess=N` SLO;
 //! * `mto_wall_nanos_total` / `mto_wall_count_total` /
 //!   `mto_wall_allocs_total` / `mto_wall_alloc_bytes_total`, labelled
 //!   `phase="…"` plus `epoch="…"`/`shard="…"` when attributed — the
@@ -32,18 +40,34 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 
 use crate::metrics::{Histogram, MetricsRegistry};
+use crate::quality::{scale_milli, QualityReport};
 use crate::wallclock::WallClockRegistry;
 
-/// Renders one snapshot of both planes as Prometheus text exposition.
+/// The anomaly counters every exposition names explicitly, mirroring
+/// the `metric` lines: a scrape target alerting on `mto_anomaly_total`
+/// must see the series at 0 when the run is clean, not an absent
+/// family.
+const ANOMALY_KINDS: [&str; 2] = ["trace-underflows", "merge-conflicts"];
+
+/// Renders one snapshot of all planes as Prometheus text exposition.
 /// `metrics` is the deterministic plane (`None` when the run collected
-/// no registry); `wall` is the wall plane (empty is fine — the wall
-/// families are simply absent).
-pub fn render(metrics: Option<&MetricsRegistry>, wall: &WallClockRegistry) -> String {
+/// no registry); `quality` is the estimator-quality plane (`None`
+/// without the `quality` directive); `wall` is the wall plane (empty is
+/// fine — the wall families are simply absent).
+pub fn render(
+    metrics: Option<&MetricsRegistry>,
+    quality: Option<&QualityReport>,
+    wall: &WallClockRegistry,
+) -> String {
     let mut out = String::new();
     if let Some(registry) = metrics {
         render_counters(&mut out, registry);
         render_gauges(&mut out, registry);
         render_histograms(&mut out, registry);
+        render_anomalies(&mut out, registry);
+    }
+    if let Some(quality) = quality {
+        render_quality(&mut out, quality);
     }
     render_wall(&mut out, wall);
     out
@@ -101,6 +125,77 @@ fn render_histograms(out: &mut String, registry: &MetricsRegistry) {
             .expect("string write");
         writeln!(out, "mto_hist_sum{{name=\"{name}\"}} {}", h.total()).expect("string write");
         writeln!(out, "mto_hist_count{{name=\"{name}\"}} {}", h.count()).expect("string write");
+    }
+}
+
+fn render_anomalies(out: &mut String, registry: &MetricsRegistry) {
+    if registry.is_empty() {
+        return;
+    }
+    out.push_str("# HELP mto_anomaly_total Anomaly counters (nonzero means something broke).\n");
+    out.push_str("# TYPE mto_anomaly_total counter\n");
+    for kind in ANOMALY_KINDS {
+        writeln!(
+            out,
+            "mto_anomaly_total{{kind=\"{}\"}} {}",
+            escape_label(kind),
+            registry.counter(kind)
+        )
+        .expect("string write");
+    }
+}
+
+fn render_quality(out: &mut String, quality: &QualityReport) {
+    out.push_str("# HELP mto_quality_samples_total Quality-plane samples observed per job.\n");
+    out.push_str("# TYPE mto_quality_samples_total counter\n");
+    for (job, q) in &quality.jobs {
+        writeln!(out, "mto_quality_samples_total{{job=\"{}\"}} {}", escape_label(job), q.samples)
+            .expect("string write");
+    }
+    out.push_str("# HELP mto_quality_ess_milli Effective sample size per job (milli-units).\n");
+    out.push_str("# TYPE mto_quality_ess_milli gauge\n");
+    for (job, q) in &quality.jobs {
+        writeln!(
+            out,
+            "mto_quality_ess_milli{{job=\"{}\"}} {}",
+            escape_label(job),
+            scale_milli(q.ess)
+        )
+        .expect("string write");
+    }
+    let with_z: Vec<_> =
+        quality.jobs.iter().filter_map(|(job, q)| q.geweke_z.map(|z| (job, z))).collect();
+    if !with_z.is_empty() {
+        out.push_str("# HELP mto_quality_geweke_z_milli Geweke z per job (milli-units).\n");
+        out.push_str("# TYPE mto_quality_geweke_z_milli gauge\n");
+        for (job, z) in with_z {
+            writeln!(
+                out,
+                "mto_quality_geweke_z_milli{{job=\"{}\"}} {}",
+                escape_label(job),
+                scale_milli(z)
+            )
+            .expect("string write");
+        }
+    }
+    let with_slo: Vec<_> =
+        quality.jobs.iter().filter_map(|(job, q)| q.target_ess.map(|t| (job, t, q.met))).collect();
+    if !with_slo.is_empty() {
+        out.push_str("# HELP mto_quality_target_ess Declared quality SLO (quality ess=N).\n");
+        out.push_str("# TYPE mto_quality_target_ess gauge\n");
+        out.push_str("# HELP mto_quality_met Whether the quality SLO is met (0/1).\n");
+        out.push_str("# TYPE mto_quality_met gauge\n");
+        for (job, target, met) in with_slo {
+            writeln!(out, "mto_quality_target_ess{{job=\"{}\"}} {target}", escape_label(job))
+                .expect("string write");
+            writeln!(out, "mto_quality_met{{job=\"{}\"}} {}", escape_label(job), u8::from(met))
+                .expect("string write");
+        }
+    }
+    if let Some(rhat) = quality.rhat {
+        out.push_str("# HELP mto_quality_rhat_milli Cross-chain R-hat (milli-units).\n");
+        out.push_str("# TYPE mto_quality_rhat_milli gauge\n");
+        writeln!(out, "mto_quality_rhat_milli {}", scale_milli(rhat)).expect("string write");
     }
 }
 
@@ -269,7 +364,7 @@ mod tests {
     #[test]
     fn round_trip_parses_every_emitted_sample() {
         let (m, w) = sample_planes();
-        let text = render(Some(&m), &w);
+        let text = render(Some(&m), None, &w);
         let samples = parse(&text).unwrap();
 
         let find = |name: &str, label: (&str, &str)| {
@@ -322,7 +417,7 @@ mod tests {
         wb.record(WallKey::phase("p1"), WallStats::from_nanos(20));
         wb.record(WallKey::phase("p2").on_shard(1), WallStats::from_nanos(10));
 
-        assert_eq!(render(Some(&a), &wa), render(Some(&b), &wb));
+        assert_eq!(render(Some(&a), None, &wa), render(Some(&b), None, &wb));
 
         // Merge order cannot move bytes either (the fleet folds shard
         // registries in grant order; the exposition must not care).
@@ -330,14 +425,14 @@ mod tests {
         ab.merge(&b);
         let mut ba = b.clone();
         ba.merge(&a);
-        assert_eq!(render(Some(&ab), &wa), render(Some(&ba), &wa));
+        assert_eq!(render(Some(&ab), None, &wa), render(Some(&ba), None, &wa));
     }
 
     #[test]
     fn label_values_escape_and_unescape() {
         let mut w = WallClockRegistry::new();
         w.record(WallKey::phase("odd \"phase\"\\with\nnewline"), WallStats::from_nanos(1));
-        let text = render(None, &w);
+        let text = render(None, None, &w);
         assert!(
             text.contains(r#"phase="odd \"phase\"\\with\nnewline""#),
             "escaped exposition:\n{text}"
@@ -358,8 +453,82 @@ mod tests {
     }
 
     #[test]
+    fn anomaly_family_carries_what_metric_lines_carry() {
+        let (m, w) = sample_planes();
+        let text = render(Some(&m), None, &w);
+        let samples = parse(&text).unwrap();
+        let kind = |k: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == "mto_anomaly_total" && s.label("kind") == Some(k))
+                .unwrap_or_else(|| panic!("missing anomaly kind {k} in:\n{text}"))
+                .value
+        };
+        // A clean run still exposes both series, at zero.
+        assert_eq!(kind("trace-underflows"), 0);
+        assert_eq!(kind("merge-conflicts"), 0);
+
+        let mut dirty = m.clone();
+        dirty.inc("trace-underflows", 2);
+        dirty.inc("merge-conflicts", 5);
+        let text = render(Some(&dirty), None, &w);
+        let samples = parse(&text).unwrap();
+        let dirty_kind = |k: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == "mto_anomaly_total" && s.label("kind") == Some(k))
+                .unwrap()
+                .value
+        };
+        assert_eq!(dirty_kind("trace-underflows"), 2);
+        assert_eq!(dirty_kind("merge-conflicts"), 5);
+    }
+
+    #[test]
+    fn quality_families_round_trip() {
+        use crate::quality::QualityAccumulator;
+        let mut acc = QualityAccumulator::new();
+        acc.register("a", Some(50));
+        acc.register("b", None);
+        let mut state = 3u64;
+        for _ in 0..300 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            acc.observe("a", &[(state >> 33) % 40]);
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            acc.observe("b", &[(state >> 33) % 40]);
+        }
+        let report = acc.report();
+        let text = render(None, Some(&report), &WallClockRegistry::new());
+        let samples = parse(&text).unwrap();
+        let find = |name: &str, job: &str| {
+            samples
+                .iter()
+                .find(|s| s.name == name && s.label("job") == Some(job))
+                .unwrap_or_else(|| panic!("missing {name} job={job} in:\n{text}"))
+                .value
+        };
+        assert_eq!(find("mto_quality_samples_total", "a"), 300);
+        assert_eq!(
+            find("mto_quality_ess_milli", "a"),
+            crate::quality::scale_milli(report.jobs["a"].ess)
+        );
+        assert_eq!(find("mto_quality_target_ess", "a"), 50);
+        assert_eq!(find("mto_quality_met", "a"), 1);
+        assert!(
+            !samples
+                .iter()
+                .any(|s| s.name == "mto_quality_target_ess" && s.label("job") == Some("b")),
+            "jobs without an SLO expose no target series"
+        );
+        assert!(
+            samples.iter().any(|s| s.name == "mto_quality_rhat_milli"),
+            "two chains expose the cross-chain R-hat:\n{text}"
+        );
+    }
+
+    #[test]
     fn empty_planes_render_nothing() {
-        assert_eq!(render(None, &WallClockRegistry::new()), "");
-        assert_eq!(render(Some(&MetricsRegistry::new()), &WallClockRegistry::new()), "");
+        assert_eq!(render(None, None, &WallClockRegistry::new()), "");
+        assert_eq!(render(Some(&MetricsRegistry::new()), None, &WallClockRegistry::new()), "");
     }
 }

@@ -1,0 +1,175 @@
+//! Property suite for the estimator-quality plane (PR 10, satellite 4).
+//!
+//! The contracts under test:
+//!
+//! * [`ChainMoments::merge`] and [`RhatAccumulator::merge`] are exact:
+//!   merging per-chunk moments is bit-equivalent in count and
+//!   f64-equal in the derived figures to pushing the whole series into
+//!   one accumulator — associative, commutative, and invariant under
+//!   how the series was partitioned (the fleet's "fold at epoch
+//!   barriers like history gossip" story);
+//! * [`QualityAccumulator::merge`] over disjoint job sets is invariant
+//!   under the shard partition and the fold order — the coordinator's
+//!   W-invariance reduced to its algebraic core;
+//! * the streaming [`EssEstimator`] matches a from-scratch batch
+//!   recomputation ([`ess_batch`]) bit for bit at every prefix length —
+//!   the O(1)-memory stream drops nothing the offline estimate keeps.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use mto_obs::quality::{
+    ess_batch, ChainMoments, EssEstimator, QualityAccumulator, RhatAccumulator,
+};
+
+/// Splits `series` into chunks at the given fractional cut points.
+fn chunked(series: &[u64], cuts: &[usize]) -> Vec<Vec<u64>> {
+    let mut bounds: Vec<usize> =
+        cuts.iter().map(|&c| if series.is_empty() { 0 } else { c % (series.len() + 1) }).collect();
+    bounds.push(0);
+    bounds.push(series.len());
+    bounds.sort_unstable();
+    bounds.windows(2).map(|w| series[w[0]..w[1]].to_vec()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn chain_moments_merge_is_partition_invariant(
+        series in vec(0u64..5_000, 0..300),
+        cuts in vec(any::<usize>(), 0..6),
+    ) {
+        let mut whole = ChainMoments::new();
+        for &x in &series {
+            whole.push(x);
+        }
+        let chunks = chunked(&series, &cuts);
+        // Forward fold.
+        let mut forward = ChainMoments::new();
+        for chunk in &chunks {
+            let mut part = ChainMoments::new();
+            for &x in chunk {
+                part.push(x);
+            }
+            forward.merge(&part);
+        }
+        // Reverse fold: commutativity on top of associativity.
+        let mut reverse = ChainMoments::new();
+        for chunk in chunks.iter().rev() {
+            let mut part = ChainMoments::new();
+            for &x in chunk {
+                part.push(x);
+            }
+            reverse.merge(&part);
+        }
+        for folded in [&forward, &reverse] {
+            prop_assert_eq!(folded.count(), whole.count());
+            let close = |a: f64, b: f64| (a - b).abs() <= 1e-9 * b.abs().max(1.0);
+            prop_assert!(close(folded.mean(), whole.mean()),
+                "mean {} vs {}", folded.mean(), whole.mean());
+            prop_assert!(close(folded.variance(), whole.variance()),
+                "variance {} vs {}", folded.variance(), whole.variance());
+        }
+    }
+
+    #[test]
+    fn rhat_merge_matches_the_unsharded_accumulator(
+        chains in vec((0u64..4_000, vec(0u64..4_000, 1..60)), 2..6),
+        order in any::<bool>(),
+    ) {
+        // One accumulator fed every chain directly...
+        let mut whole = RhatAccumulator::new();
+        for (c, (offset, series)) in chains.iter().enumerate() {
+            for &x in series {
+                whole.push(&format!("job-{c}"), x + offset);
+            }
+        }
+        // ...versus per-chain accumulators merged in either order, as W
+        // shard accumulators would be at a fleet epoch barrier.
+        let mut parts: Vec<RhatAccumulator> = chains
+            .iter()
+            .enumerate()
+            .map(|(c, (offset, series))| {
+                let mut acc = RhatAccumulator::new();
+                for &x in series {
+                    acc.push(&format!("job-{c}"), x + offset);
+                }
+                acc
+            })
+            .collect();
+        if order {
+            parts.reverse();
+        }
+        let mut folded = RhatAccumulator::new();
+        for part in &parts {
+            folded.merge(part);
+        }
+        prop_assert_eq!(folded.num_chains(), whole.num_chains());
+        match (folded.rhat(), whole.rhat()) {
+            (Some(a), Some(b)) => prop_assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0), "rhat {a} vs {b}"
+            ),
+            (a, b) => prop_assert_eq!(a.is_some(), b.is_some(), "{:?} vs {:?}", a, b),
+        }
+    }
+
+    #[test]
+    fn quality_accumulator_fold_is_shard_partition_invariant(
+        jobs in vec((vec(0u64..3_000, 0..120), any::<bool>(), 1u64..200), 1..6),
+        shards in 1usize..5,
+        order in any::<bool>(),
+    ) {
+        // Roughly half the jobs declare an `ess=` SLO target.
+        let jobs: Vec<(Vec<u64>, Option<u64>)> = jobs
+            .into_iter()
+            .map(|(series, slo, target)| (series, slo.then_some(target)))
+            .collect();
+        // The unsharded reference: every job observed on one accumulator.
+        let mut whole = QualityAccumulator::new();
+        for (j, (series, target)) in jobs.iter().enumerate() {
+            let id = format!("job-{j}");
+            whole.register(&id, *target);
+            whole.observe(&id, series);
+        }
+        // The fleet shape: jobs dealt round-robin onto `shards` disjoint
+        // accumulators, folded in either order.
+        let mut parts: Vec<QualityAccumulator> =
+            (0..shards).map(|_| QualityAccumulator::new()).collect();
+        for (j, (series, target)) in jobs.iter().enumerate() {
+            let id = format!("job-{j}");
+            let part = &mut parts[j % shards];
+            part.register(&id, *target);
+            part.observe(&id, series);
+        }
+        if order {
+            parts.reverse();
+        }
+        let mut folded = QualityAccumulator::new();
+        for part in &parts {
+            folded.merge(part);
+        }
+        // Job states are moved wholesale by the disjoint-union merge, so
+        // the derived report is exactly equal — not merely close.
+        prop_assert_eq!(folded.report(), whole.report());
+        prop_assert_eq!(folded, whole);
+    }
+
+    #[test]
+    fn streaming_ess_matches_batch_recomputation_at_every_prefix(
+        series in vec(0u64..10_000, 0..400),
+    ) {
+        let mut stream = EssEstimator::new();
+        for (n, &x) in series.iter().enumerate() {
+            stream.push(x);
+            let offline = ess_batch(&series[..=n]);
+            let online = stream.ess();
+            // Bit-identical, not approximately equal: the streaming
+            // estimator is the same arithmetic in the same order.
+            prop_assert_eq!(
+                online.to_bits(), offline.to_bits(),
+                "prefix {}: stream {} vs batch {}", n + 1, online, offline
+            );
+        }
+    }
+}

@@ -198,6 +198,7 @@ mod tests {
             start: NodeId(0),
             step_budget: steps,
             deadline,
+            ess: None,
         }
     }
 
@@ -242,6 +243,7 @@ mod tests {
                 start: NodeId(0),
                 step_budget: 1000,
                 deadline: None,
+                ess: None,
             },
             job("urgent", 1000, Some(1e9)),
         ];

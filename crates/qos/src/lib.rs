@@ -44,6 +44,7 @@
 //!         start: NodeId(0),
 //!         step_budget: 200,
 //!         deadline: (i == 0).then_some(30.0),
+//!         ess: None,
 //!     })
 //!     .collect();
 //! let predictor = CostPredictor::new(Some(1000));

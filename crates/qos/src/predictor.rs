@@ -198,6 +198,7 @@ mod tests {
             start: NodeId(0),
             step_budget: steps,
             deadline: None,
+            ess: None,
         }
     }
 

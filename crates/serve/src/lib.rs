@@ -40,6 +40,7 @@
 //!     start: NodeId(0),
 //!     step_budget: 200,
 //!     deadline: None,
+//!     ess: None,
 //! };
 //! let mut session = SamplerSession::create(client(), job).unwrap();
 //! session.advance(80).unwrap();

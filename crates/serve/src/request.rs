@@ -25,6 +25,12 @@
 //! # is the one directive with no payload)
 //! trace run.trace
 //! metrics
+//! # estimator-quality plane (payload-free, like `metrics`): streaming
+//! # ESS / Geweke z per job and the cross-chain R-hat, folded at epoch
+//! # barriers. Pure observation — results and trace spans are
+//! # byte-identical with or without it. Jobs may then declare a
+//! # `quality ess=N` SLO via `ess=` for deterministic early stop.
+//! quality
 //! # wall-clock plane: write a Prometheus text-exposition snapshot of
 //! # the run's metrics and wall-phase timings here. The snapshot is a
 //! # side channel — report bodies, traces, and `metric` lines stay
@@ -246,6 +252,12 @@ pub struct ServeRequest {
     /// Append the metrics summary to the report (`metrics` directive,
     /// no payload).
     pub metrics: bool,
+    /// Enable the estimator-quality plane (`quality` directive, no
+    /// payload): per-job streaming ESS and windowed Geweke z, the
+    /// cross-chain R-hat, `metric quality-*` report lines, and per-epoch
+    /// quality trace points. Purely observational unless a job also
+    /// declares an `ess=` SLO (which requires this directive).
+    pub quality: bool,
     /// Write a Prometheus text-exposition snapshot here (`prom`
     /// directive). Enables the wall-clock telemetry plane for the run;
     /// the snapshot carries both the deterministic metrics and the
@@ -272,6 +284,7 @@ impl ServeRequest {
         let mut scheduler = SchedulerConfig::default();
         let mut trace = None;
         let mut metrics = false;
+        let mut quality = false;
         let mut prom = None;
         let mut jobs: Vec<JobSpec> = Vec::new();
         let err = |line: usize, message: String| ServeError::Request { line, message };
@@ -282,12 +295,20 @@ impl ServeRequest {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            // `metrics` is the one flag directive: no payload to parse.
+            // `metrics` and `quality` are the flag directives: no
+            // payload to parse.
             if line == "metrics" {
                 if metrics {
                     return Err(err(lineno, "duplicate metrics directive".into()));
                 }
                 metrics = true;
+                continue;
+            }
+            if line == "quality" {
+                if quality {
+                    return Err(err(lineno, "duplicate quality directive".into()));
+                }
+                quality = true;
                 continue;
             }
             let (keyword, rest) = match line.split_once(char::is_whitespace) {
@@ -420,6 +441,23 @@ impl ServeRequest {
                     .into(),
             ));
         }
+        if !quality {
+            if let Some(job) = jobs.iter().find(|j| j.ess.is_some()) {
+                // An `ess=` SLO is judged against the quality plane's
+                // streaming ESS; without the plane the target could
+                // never latch and the job would silently run its full
+                // budget — reject instead.
+                return Err(err(
+                    0,
+                    format!(
+                        "job {:?} declares an ess= SLO but the request has no `quality` \
+                         directive (the quality plane computes the ESS the SLO is judged \
+                         against)",
+                        job.id
+                    ),
+                ));
+            }
+        }
         let num_nodes = network.num_nodes();
         for job in &jobs {
             if job.start.index() >= num_nodes {
@@ -443,6 +481,7 @@ impl ServeRequest {
             scheduler,
             trace,
             metrics,
+            quality,
             prom,
             jobs,
         })
@@ -605,6 +644,36 @@ job id=b algo=srw start=3 steps=400 seed=9
             ),
             ("network barbell\ntrace\njob id=a algo=mto start=0 steps=1", "no payload"),
             ("network barbell\nprom\njob id=a algo=mto start=0 steps=1", "no payload"),
+        ] {
+            let e = ServeRequest::parse(text).unwrap_err();
+            assert!(e.to_string().contains(needle), "{text:?} → {e}");
+        }
+    }
+
+    #[test]
+    fn quality_directive_parses_and_gates_ess_slos() {
+        let req = ServeRequest::parse(
+            "network barbell\nquality\nshards 2\nepochs 4\n\
+             job id=a algo=mto start=0 steps=100 ess=40\n\
+             job id=b algo=srw start=3 steps=100",
+        )
+        .unwrap();
+        assert!(req.quality);
+        assert_eq!(req.jobs[0].ess, Some(40));
+        assert_eq!(req.jobs[1].ess, None);
+
+        let plain = ServeRequest::parse("network barbell\njob id=a algo=mto start=0 steps=1");
+        assert!(!plain.unwrap().quality, "the quality plane defaults off");
+
+        for (text, needle) in [
+            (
+                "network barbell\nquality\nquality\njob id=a algo=mto start=0 steps=1",
+                "duplicate quality",
+            ),
+            (
+                "network barbell\njob id=a algo=mto start=0 steps=100 ess=40",
+                "no `quality` directive",
+            ),
         ] {
             let e = ServeRequest::parse(text).unwrap_err();
             assert!(e.to_string().contains(needle), "{text:?} → {e}");

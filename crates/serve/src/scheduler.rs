@@ -473,6 +473,85 @@ pub fn finalize_session<I: SocialNetworkInterface>(
     })
 }
 
+/// Folds the estimator-quality accumulator for a finished run: each
+/// outcome's full degree series (via the shared client's cache — every
+/// visited node is cached by the walk that visited it), with SLO targets
+/// taken from the matching [`JobSpec`]. Both the single-client scheduler
+/// path and tests use this; the fleet coordinator folds incrementally at
+/// epoch barriers instead, and the two agree because the series is a
+/// pure function of the walk.
+pub fn fold_quality<I: SocialNetworkInterface>(
+    client: &SharedClient<I>,
+    jobs: &[JobSpec],
+    outcomes: &[JobOutcome],
+) -> mto_obs::quality::QualityAccumulator {
+    let mut acc = mto_obs::quality::QualityAccumulator::new();
+    for outcome in outcomes {
+        let target = jobs.iter().find(|j| j.id == outcome.id).and_then(|j| j.ess);
+        acc.register(&outcome.id, target);
+        let samples: Vec<u64> = client.with(|c| {
+            outcome
+                .history
+                .iter()
+                .map(|&v| {
+                    c.known_degree(v).unwrap_or_else(|| {
+                        panic!("visited node {v} is not cached — outcome/client mismatch")
+                    }) as u64
+                })
+                .collect()
+        });
+        acc.observe(&outcome.id, &samples);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod quality_tests {
+    use super::*;
+    use crate::session::AlgoSpec;
+    use mto_core::mto::MtoConfig;
+    use mto_core::walk::SrwConfig;
+    use mto_graph::generators::paper_barbell;
+    use mto_osn::OsnService;
+
+    #[test]
+    fn quality_fold_is_worker_count_invariant() {
+        let jobs = vec![
+            JobSpec {
+                id: "m".into(),
+                algo: AlgoSpec::Mto(MtoConfig { seed: 5, ..Default::default() }),
+                start: NodeId(0),
+                step_budget: 400,
+                deadline: None,
+                ess: Some(30),
+            },
+            JobSpec {
+                id: "s".into(),
+                algo: AlgoSpec::Srw(SrwConfig { seed: 6, lazy: false }),
+                start: NodeId(3),
+                step_budget: 300,
+                deadline: None,
+                ess: None,
+            },
+        ];
+        let reports: Vec<_> = [1usize, 4]
+            .into_iter()
+            .map(|workers| {
+                let sched = JobScheduler::new(
+                    OsnService::with_defaults(&paper_barbell()),
+                    SchedulerConfig { workers, ..Default::default() },
+                );
+                let report = sched.run(jobs.clone()).unwrap();
+                fold_quality(sched.client(), &jobs, &report.outcomes).report()
+            })
+            .collect();
+        assert_eq!(reports[0], reports[1], "quality figures are worker-count invariant");
+        assert_eq!(reports[0].jobs["m"].samples, 401, "seed position + every step");
+        assert_eq!(reports[0].jobs["m"].target_ess, Some(30));
+        assert!(reports[0].rhat.is_some(), "two jobs give a cross-chain R-hat");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -490,6 +569,7 @@ mod tests {
                 start: NodeId(0),
                 step_budget: 400,
                 deadline: None,
+                ess: None,
             },
             JobSpec {
                 id: "mto-b".into(),
@@ -497,6 +577,7 @@ mod tests {
                 start: NodeId(11),
                 step_budget: 300,
                 deadline: Some(30.0),
+                ess: None,
             },
             JobSpec {
                 id: "srw".into(),
@@ -504,6 +585,7 @@ mod tests {
                 start: NodeId(5),
                 step_budget: 250,
                 deadline: None,
+                ess: None,
             },
             JobSpec {
                 id: "mhrw".into(),
@@ -511,6 +593,7 @@ mod tests {
                 start: NodeId(16),
                 step_budget: 200,
                 deadline: Some(10.0),
+                ess: None,
             },
         ]
     }
@@ -704,6 +787,7 @@ mod tests {
                     start: NodeId(0),
                     step_budget: 10,
                     deadline,
+                    ess: None,
                 },
             )
             .unwrap(),

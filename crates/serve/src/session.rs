@@ -75,6 +75,13 @@ pub struct JobSpec {
     /// [`crate::scheduler::SchedulePolicy::EarliestDeadlineFirst`]
     /// prioritizes quanta by them. `None` means best-effort.
     pub deadline: Option<f64>,
+    /// Optional quality SLO: the target effective sample size (`ess=`
+    /// field). Requires the request's `quality` directive — the quality
+    /// plane computes the streaming ESS the SLO is judged against, and
+    /// the fleet's epoch planner stops granting quanta once a job's ESS
+    /// reaches the target (deterministic early stop; unspent budget goes
+    /// back to the ledger). `None` means run the full step budget.
+    pub ess: Option<u64>,
 }
 
 impl JobSpec {
@@ -94,6 +101,9 @@ impl JobSpec {
                 ));
             }
         }
+        if self.ess == Some(0) {
+            return Err(format!("job {:?} ess=0 is vacuous (already met at start)", self.id));
+        }
         Ok(())
     }
 }
@@ -112,6 +122,9 @@ pub fn format_job_line(spec: &JobSpec) -> String {
     use std::fmt::Write;
     if let Some(d) = spec.deadline {
         write!(line, " deadline={d:?}").expect("string write");
+    }
+    if let Some(target) = spec.ess {
+        write!(line, " ess={target}").expect("string write");
     }
     match &spec.algo {
         AlgoSpec::Mto(c) => {
@@ -165,6 +178,10 @@ pub fn parse_job_line(line: &str) -> std::result::Result<JobSpec, String> {
         Some(v) => Some(parse_field(v, "deadline")?),
         None => None,
     };
+    let ess: Option<u64> = match take("ess") {
+        Some(v) => Some(parse_field(v, "ess")?),
+        None => None,
+    };
     let seed: u64 = match take("seed") {
         Some(v) => parse_field(v, "seed")?,
         None => 1,
@@ -211,7 +228,7 @@ pub fn parse_job_line(line: &str) -> std::result::Result<JobSpec, String> {
     if let Some(k) = fields.keys().next() {
         return Err(format!("unknown field {k:?} for algo {algo_name}"));
     }
-    let spec = JobSpec { id, algo, start, step_budget, deadline };
+    let spec = JobSpec { id, algo, start, step_budget, deadline, ess };
     spec.validate()?;
     Ok(spec)
 }
@@ -592,6 +609,57 @@ impl<I: SocialNetworkInterface> SamplerSession<I> {
     }
 }
 
+/// Cursor-based extractor of the quality plane's sample series: the
+/// **degree of every visited node**, in visit order. Degree is the
+/// paper's own convergence indicator ("applies to every graph"), and it
+/// is a pure function of the walk — every visited node is cached by the
+/// walker's own queries — so the drained series is byte-identical across
+/// shard counts and scheduler interleavings.
+///
+/// The observer batches: each [`SampleObserver::drain`] returns only the
+/// suffix of the history the cursor has not seen yet, so callers can
+/// feed an accumulator at quantum or epoch granularity without
+/// re-walking the whole history.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SampleObserver {
+    cursor: usize,
+}
+
+impl SampleObserver {
+    /// A fresh observer (cursor at the start of the history).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Positions visited so far that have already been drained.
+    pub fn drained(&self) -> usize {
+        self.cursor
+    }
+
+    /// Drains the degrees of the nodes visited since the last drain.
+    ///
+    /// # Panics
+    /// Panics when a visited node is not cached — impossible for any
+    /// walker in this crate (stepping queries the node it stands on),
+    /// so a miss means the session and client were mismatched.
+    pub fn drain<I: SocialNetworkInterface>(&mut self, session: &SamplerSession<I>) -> Vec<u64> {
+        let history = session.walker().history();
+        let fresh = &history[self.cursor.min(history.len())..];
+        let samples = session.client().with(|c| {
+            fresh
+                .iter()
+                .map(|&v| {
+                    c.known_degree(v).unwrap_or_else(|| {
+                        panic!("visited node {v} is not cached — session/client mismatch")
+                    }) as u64
+                })
+                .collect()
+        });
+        self.cursor = history.len();
+        samples
+    }
+}
+
 /// A frozen session: everything needed to continue it later, in another
 /// process, against a fresh instance of the same network.
 #[derive(Clone, Debug, PartialEq)]
@@ -735,6 +803,7 @@ mod tests {
             start: NodeId(0),
             step_budget: steps,
             deadline: None,
+            ess: None,
         }
     }
 
@@ -775,6 +844,7 @@ mod tests {
                 start: NodeId(7),
                 step_budget: 10,
                 deadline: None,
+                ess: None,
             },
             JobSpec {
                 id: "s".into(),
@@ -782,6 +852,7 @@ mod tests {
                 start: NodeId(1),
                 step_budget: 20,
                 deadline: Some(12.5),
+                ess: Some(250),
             },
             JobSpec {
                 id: "h".into(),
@@ -789,6 +860,7 @@ mod tests {
                 start: NodeId(2),
                 step_budget: 30,
                 deadline: Some(0.125),
+                ess: None,
             },
             JobSpec {
                 id: "r".into(),
@@ -796,6 +868,7 @@ mod tests {
                 start: NodeId(3),
                 step_budget: 40,
                 deadline: None,
+                ess: None,
             },
         ];
         for spec in specs {
@@ -818,9 +891,34 @@ mod tests {
             "id=a algo=mto start=0 steps=1 deadline=-4.0",
             "id=a algo=mto start=0 steps=1 deadline=0",
             "id=a algo=mto start=0 steps=1 deadline=inf",
+            "id=a algo=mto start=0 steps=1 ess=0",
+            "id=a algo=mto start=0 steps=1 ess=-3",
+            "id=a algo=mto start=0 steps=1 ess=soon",
         ] {
             assert!(parse_job_line(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn sample_observer_drains_the_degree_series_in_batches() {
+        let mut s = SamplerSession::create(shared_client(), mto_job("q", 200, 3)).unwrap();
+        let mut obs = SampleObserver::new();
+        let first = obs.drain(&s);
+        assert_eq!(first.len(), 1, "the seed position is a sample too");
+        s.advance(80).unwrap();
+        let mid = obs.drain(&s);
+        assert_eq!(mid.len(), 80);
+        assert!(obs.drain(&s).is_empty(), "nothing new since the cursor");
+        s.run_to_completion().unwrap();
+        let rest = obs.drain(&s);
+        assert_eq!(obs.drained(), 201);
+
+        // Batched drains see exactly the full-history degree series.
+        let all: Vec<u64> = [first, mid, rest].concat();
+        let whole: Vec<u64> = s.client().with(|c| {
+            s.walker().history().iter().map(|&v| c.known_degree(v).unwrap() as u64).collect()
+        });
+        assert_eq!(all, whole);
     }
 
     #[test]

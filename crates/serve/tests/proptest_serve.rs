@@ -178,6 +178,7 @@ proptest! {
             start: NodeId(start),
             step_budget: steps,
             deadline: None,
+            ess: None,
         };
         let line = format_job_line(&spec);
         let parsed = parse_job_line(&line);
@@ -202,6 +203,7 @@ proptest! {
                 start: NodeId(current % 10),
                 step_budget,
                 deadline: (seed % 2 == 0).then_some((seed % 977 + 1) as f64 / 8.0),
+                ess: (seed % 3 == 0).then_some(seed % 501 + 1),
             },
             steps_taken,
             current: NodeId(current),

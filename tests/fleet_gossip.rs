@@ -29,6 +29,7 @@ fn jobs() -> Vec<JobSpec> {
             start: NodeId((17 * i as u32) % 200),
             step_budget: 400,
             deadline: None,
+            ess: None,
         })
         .collect()
 }

@@ -102,6 +102,7 @@ fn scheduler_reports_virtual_wall_clock_through_the_timed_interface() {
             start: NodeId(0),
             step_budget: 600,
             deadline: None,
+            ess: None,
         },
         JobSpec {
             id: "small".into(),
@@ -109,6 +110,7 @@ fn scheduler_reports_virtual_wall_clock_through_the_timed_interface() {
             start: NodeId(11),
             step_budget: 100,
             deadline: None,
+            ess: None,
         },
     ];
     let report = scheduler.run(jobs).unwrap();

@@ -47,6 +47,7 @@ fn build_jobs(raw: &[RawJob]) -> Vec<JobSpec> {
             start: NodeId(start),
             step_budget: steps,
             deadline: with_deadline.then_some(deadline as f64 / 10.0),
+            ess: None,
         })
         .collect()
 }
@@ -198,6 +199,7 @@ proptest! {
             start: NodeId(start),
             step_budget: steps,
             deadline: None,
+            ess: None,
         };
         let predictor = CostPredictor::new(Some(22));
         let cold = predictor.predict_queries(&spec, None);

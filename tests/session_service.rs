@@ -26,6 +26,7 @@ fn mto_job(id: &str, start: u32, steps: usize, seed: u64) -> JobSpec {
         start: NodeId(start),
         step_budget: steps,
         deadline: None,
+        ess: None,
     }
 }
 
@@ -99,6 +100,7 @@ fn scheduler_shares_budget_and_is_deterministic() {
                 start: NodeId(4),
                 step_budget: 300,
                 deadline: None,
+                ess: None,
             },
         ]
     };
